@@ -1,0 +1,122 @@
+// Reproduces Figure 10: what-if query output versus ground truth for every
+// variant of HypeR and the Indep baseline.
+//
+//   (a) German-Syn: update each financial attribute to its maximum and
+//       measure the probability of good credit. Shape: HypeR, HypeR-sampled
+//       and HypeR-NB track the ground truth within a few percent; Indep
+//       overshoots on Status (it mistakes the Age-driven correlation for a
+//       causal effect).
+//   (b) Student-Syn: update each participation attribute to its maximum and
+//       measure the average grade. Shape: HypeR/HypeR-NB accurate, Indep
+//       noisy/overshooting.
+
+#include <cstdio>
+
+#include "baselines/ground_truth.h"
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "sql/parser.h"
+#include "whatif/engine.h"
+
+namespace hyper {
+namespace {
+
+whatif::WhatIfOptions Options(whatif::BackdoorMode mode, size_t sample,
+                              uint64_t seed) {
+  whatif::WhatIfOptions options;
+  options.estimator = learn::EstimatorKind::kForest;
+  options.forest.num_trees = 12;
+  options.backdoor = mode;
+  options.sample_size = sample;
+  options.seed = seed;
+  return options;
+}
+
+struct Update {
+  const char* attribute;
+  const char* value;
+};
+
+void RunPanel(const char* title, const data::Dataset& ds,
+              const Database& engine_db, const causal::CausalGraph& graph,
+              const char* relation, const char* output,
+              const std::vector<Update>& updates, double denom,
+              const bench::BenchFlags& flags) {
+  bench::Banner(title);
+  bench::TablePrinter table({"update", "GroundTruth", "HypeR",
+                             "HypeR-sampled", "HypeR-NB", "Indep"});
+  table.PrintHeader();
+
+  for (const Update& u : updates) {
+    const std::string query = StrFormat("Use %s Update(%s) = %s Output %s",
+                                        relation, u.attribute, u.value,
+                                        output);
+    auto stmt = bench::Unwrap(sql::ParseSql(query), "parse");
+
+    const double truth =
+        bench::Unwrap(baselines::GroundTruthWhatIf(ds.flat, ds.scm,
+                                                   *stmt.whatif),
+                      "ground truth") /
+        denom;
+    auto run = [&](whatif::BackdoorMode mode, size_t sample) {
+      whatif::WhatIfEngine engine(&engine_db, &graph,
+                                  Options(mode, sample, flags.seed));
+      return bench::Unwrap(engine.Run(*stmt.whatif), "engine").value / denom;
+    };
+    const size_t n = engine_db.TotalRows();
+    table.PrintRow(
+        {std::string(u.attribute) + "=" + u.value, bench::Fmt(truth, "%.4f"),
+         bench::Fmt(run(whatif::BackdoorMode::kGraph, 0), "%.4f"),
+         bench::Fmt(run(whatif::BackdoorMode::kGraph, n / 4), "%.4f"),
+         bench::Fmt(run(whatif::BackdoorMode::kAllAttributes, 0), "%.4f"),
+         bench::Fmt(run(whatif::BackdoorMode::kUpdateOnly, 0), "%.4f")});
+  }
+}
+
+}  // namespace
+}  // namespace hyper
+
+int main(int argc, char** argv) {
+  using namespace hyper;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  {
+    auto ds = bench::Unwrap(
+        data::MakeByName("german-syn-1m", flags.ScaleOr(0.05), flags.seed),
+        "german-syn");
+    std::printf("German-Syn rows: %zu\n", ds.db.TotalRows());
+    RunPanel("Figure 10a: German-Syn — P(good credit) after update",
+             ds, ds.db, ds.graph, "German", "Avg(Post(Credit))",
+             {{"Status", "3"},
+              {"Savings", "2"},
+              {"Housing", "2"},
+              {"CreditAmount", "3"}},
+             /*denom=*/1.0, flags);
+    std::printf(
+        "expected shape: HypeR variants within ~5%% of truth; Indep "
+        "overshoots Status (§5.4)\n");
+  }
+  {
+    data::StudentOptions opt;
+    opt.students = static_cast<size_t>(2000 * flags.ScaleOr(0.5));
+    opt.seed = flags.seed;
+    auto ds = bench::Unwrap(data::MakeStudentSyn(opt), "student-syn");
+    std::printf("\nStudent-Syn participation rows: %zu\n",
+                ds.flat.TotalRows());
+    // The engine runs on the flat participation table (one row per course
+    // enrollment) — the average grade over it equals the average of
+    // per-student course averages.
+    RunPanel("Figure 10b: Student-Syn — average grade after update",
+             ds, ds.flat, ds.graph, "FlatParticipation", "Avg(Post(Grade))",
+             {{"Assignment", "100"},
+              {"Attendance", "100"},
+              {"Announcements", "1"},
+              {"HandRaised", "3"},
+              {"Discussion", "3"}},
+             /*denom=*/1.0, flags);
+    std::printf(
+        "expected shape: HypeR/NB track truth; Indep inflated by "
+        "correlation between participation signals\n");
+  }
+  return 0;
+}

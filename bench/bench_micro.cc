@@ -1,0 +1,182 @@
+// Component-level micro-benchmarks (google-benchmark): relational executor,
+// learners, causal machinery, and the IP solvers. Not tied to a paper
+// figure; used to track regressions in the substrates.
+
+#include <benchmark/benchmark.h>
+
+#include "causal/graph.h"
+#include "causal/ground.h"
+#include "data/datasets.h"
+#include "learn/forest.h"
+#include "learn/frequency.h"
+#include "opt/lp.h"
+#include "opt/mck.h"
+#include "opt/milp.h"
+#include "relational/select.h"
+#include "sql/parser.h"
+#include "whatif/engine.h"
+
+namespace hyper {
+namespace {
+
+const data::Dataset& AmazonDataset() {
+  static const data::Dataset* ds = [] {
+    data::AmazonOptions opt;
+    opt.products = 1000;
+    opt.reviews_per_product = 10;
+    return new data::Dataset(std::move(data::MakeAmazonSyn(opt).value()));
+  }();
+  return *ds;
+}
+
+const data::Dataset& GermanDataset() {
+  static const data::Dataset* ds = [] {
+    data::GermanOptions opt;
+    opt.rows = 20000;
+    return new data::Dataset(std::move(data::MakeGermanSyn(opt).value()));
+  }();
+  return *ds;
+}
+
+void BM_ParseWhatIf(benchmark::State& state) {
+  const std::string query =
+      "Use RelevantView As (Select T1.PID, T1.Category, T1.Price, T1.Brand, "
+      "Avg(Sentiment) As Senti, Avg(T2.Rating) As Rtng "
+      "From Product As T1, Review As T2 Where T1.PID = T2.PID "
+      "Group By T1.PID, T1.Category, T1.Price, T1.Brand) "
+      "When Brand = 'Asus' Update(Price) = 1.1 * Pre(Price) "
+      "Output Avg(Post(Rtng)) For Pre(Category) = 'Laptop' "
+      "And Post(Senti) > 0.5";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::ParseSql(query));
+  }
+}
+BENCHMARK(BM_ParseWhatIf);
+
+void BM_HashJoinGroupBy(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDataset();
+  auto stmt = sql::ParseSql(
+                  "Select T1.PID, T1.Price, Avg(T2.Rating) As Rtng "
+                  "From Product As T1, Review As T2 Where T1.PID = T2.PID "
+                  "Group By T1.PID, T1.Price")
+                  .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relational::ExecuteSelect(ds.db, *stmt.select));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(ds.db.GetTable("Review").value()->num_rows()));
+}
+BENCHMARK(BM_HashJoinGroupBy);
+
+void BM_ForestTrain(benchmark::State& state) {
+  const data::Dataset& ds = GermanDataset();
+  const Table& t = *ds.db.GetTable("German").value();
+  auto encoder =
+      learn::FeatureEncoder::Fit(t, {"Status", "Age", "Sex"}).value();
+  learn::Matrix x = encoder.EncodeAll(t).value();
+  std::vector<double> y = learn::ExtractTarget(t, "Credit").value();
+  learn::ForestOptions options;
+  options.num_trees = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    learn::RandomForestRegressor forest(options);
+    benchmark::DoNotOptimize(forest.Fit(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_ForestTrain)->Arg(4)->Arg(16);
+
+void BM_FrequencyFit(benchmark::State& state) {
+  const data::Dataset& ds = GermanDataset();
+  const Table& t = *ds.db.GetTable("German").value();
+  auto encoder =
+      learn::FeatureEncoder::Fit(t, {"Status", "Age", "Sex"}).value();
+  learn::Matrix x = encoder.EncodeAll(t).value();
+  std::vector<double> y = learn::ExtractTarget(t, "Credit").value();
+  for (auto _ : state) {
+    learn::FrequencyEstimator estimator;
+    benchmark::DoNotOptimize(estimator.Fit(x, y));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_FrequencyFit);
+
+void BM_BlockDecomposition(benchmark::State& state) {
+  const data::Dataset& ds = AmazonDataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        causal::TupleComponents::Build(ds.graph, ds.db));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.db.TotalRows()));
+}
+BENCHMARK(BM_BlockDecomposition);
+
+void BM_MinimalBackdoor(benchmark::State& state) {
+  // A layered DAG with many candidate adjusters.
+  causal::CausalGraph g;
+  for (int i = 0; i < 12; ++i) {
+    const std::string c = "C" + std::to_string(i);
+    g.AddEdge(c, "B");
+    g.AddEdge(c, "Y");
+  }
+  g.AddEdge("B", "Y");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::MinimalBackdoorSet(g, "B", "Y"));
+  }
+}
+BENCHMARK(BM_MinimalBackdoor);
+
+void BM_SimplexLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  opt::LpProblem p;
+  for (int j = 0; j < n; ++j) p.objective.push_back(rng.Uniform(0, 1));
+  for (int i = 0; i < n / 2; ++i) {
+    std::vector<double> row(n);
+    for (int j = 0; j < n; ++j) row[j] = rng.Uniform(0, 1);
+    p.AddRow(std::move(row), 1.0 + rng.Uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::SolveLp(p));
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(16)->Arg(64);
+
+void BM_MckSolve(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<opt::MckGroup> groups(8);
+  for (auto& g : groups) {
+    for (int i = 0; i < 10; ++i) {
+      g.values.push_back(rng.Uniform(-1, 5));
+      g.costs.push_back(rng.Uniform(0, 2));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::SolveMck(groups, 6.0));
+  }
+}
+BENCHMARK(BM_MckSolve);
+
+void BM_WhatIfEndToEnd(benchmark::State& state) {
+  const data::Dataset& ds = GermanDataset();
+  whatif::WhatIfOptions options;
+  options.estimator = learn::EstimatorKind::kFrequency;
+  whatif::WhatIfEngine engine(&ds.db, &ds.graph, options);
+  auto stmt = sql::ParseSql(
+                  "Use German Update(Status) = 3 Output Count(Credit = 1)")
+                  .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(*stmt.whatif));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.db.TotalRows()));
+}
+BENCHMARK(BM_WhatIfEndToEnd);
+
+}  // namespace
+}  // namespace hyper
+
+BENCHMARK_MAIN();

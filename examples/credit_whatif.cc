@@ -1,0 +1,86 @@
+// Credit-scoring what-if analysis on the synthetic German dataset: shows how
+// the causal adjustment changes answers relative to the correlational
+// baseline, and what the engine picked as the adjustment (backdoor) set.
+//
+// Scenario: a bank asks "if we moved every customer to the best
+// checking-account status, what share would be good credit risks?" — the
+// correlational answer overstates the effect because older customers both
+// hold better accounts and repay better (Age confounds Status and Credit).
+
+#include <cstdio>
+
+#include "baselines/ground_truth.h"
+#include "data/datasets.h"
+#include "sql/parser.h"
+#include "whatif/engine.h"
+
+using namespace hyper;
+
+int main() {
+  data::GermanOptions generator;
+  generator.rows = 20000;
+  auto ds = data::MakeGermanSyn(generator);
+  if (!ds.ok()) {
+    std::printf("dataset error: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("German credit dataset: %zu rows\n", ds->db.TotalRows());
+  std::printf("causal graph: %s\n\n", ds->graph.ToString().c_str());
+
+  const char* query =
+      "Use German Update(Status) = 3 Output Avg(Post(Credit))";
+  auto stmt = sql::ParseSql(query).value();
+  std::printf("query: %s\n\n", query);
+
+  // Exact answer from the generating structural equations.
+  const double truth =
+      baselines::GroundTruthWhatIf(ds->flat, ds->scm, *stmt.whatif).value();
+
+  // HypeR with the causal graph.
+  whatif::WhatIfOptions hyper_options;
+  hyper_options.estimator = learn::EstimatorKind::kFrequency;
+  auto hyper = whatif::WhatIfEngine(&ds->db, &ds->graph, hyper_options)
+                   .Run(*stmt.whatif)
+                   .value();
+
+  // HypeR-NB: no graph knowledge, adjust on everything.
+  whatif::WhatIfOptions nb_options = hyper_options;
+  nb_options.backdoor = whatif::BackdoorMode::kAllAttributes;
+  auto nb = whatif::WhatIfEngine(&ds->db, &ds->graph, nb_options)
+                .Run(*stmt.whatif)
+                .value();
+
+  // Correlational baseline: conditions only on Status itself.
+  whatif::WhatIfOptions indep_options = hyper_options;
+  indep_options.backdoor = whatif::BackdoorMode::kUpdateOnly;
+  auto indep = whatif::WhatIfEngine(&ds->db, &ds->graph, indep_options)
+                   .Run(*stmt.whatif)
+                   .value();
+
+  std::printf("P(good credit | do(Status = best)):\n");
+  std::printf("  ground truth (structural equations):  %.4f\n", truth);
+  std::printf("  HypeR (backdoor adjustment):          %.4f\n", hyper.value);
+  std::printf("  HypeR-NB (adjust on everything):      %.4f\n", nb.value);
+  std::printf("  Indep (correlational, no adjustment): %.4f  <- inflated\n",
+              indep.value);
+
+  std::printf("\nadjustment set HypeR derived from the graph: {");
+  for (size_t i = 0; i < hyper.backdoor.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", hyper.backdoor[i].c_str());
+  }
+  std::printf("}\n");
+
+  // A more selective question: only customers with poor history.
+  const char* targeted =
+      "Use German When CreditHistory = 0 Update(Status) = 3 "
+      "Output Count(Credit = 1) For Pre(CreditHistory) = 0";
+  auto targeted_result =
+      whatif::WhatIfEngine(&ds->db, &ds->graph, hyper_options)
+          .RunSql(targeted)
+          .value();
+  std::printf(
+      "\ntargeted update (only poor-history customers): %.0f of %zu "
+      "such customers would be good risks\n",
+      targeted_result.value, targeted_result.updated_rows);
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Interactive HypeR shell: load a built-in dataset (or your own CSVs) and
+// run what-if / how-to / select statements against it.
+//
+//   ./build/examples/hyper_shell                 # german-syn-20k by default
+//   ./build/examples/hyper_shell student-syn
+//   ./build/examples/hyper_shell --csv products.csv=Product
+//                                --csv reviews.csv=Review   (repeatable)
+//
+// Shell commands:
+//   \tables               list relations
+//   \schema <relation>    show a schema
+//   \graph                show the causal graph (when available)
+//   \estimator f|t        frequency / forest (tree) estimator
+//   \mode graph|nb|indep  backdoor mode
+//   \sample <n>           HypeR-sampled training cap (0 = off)
+//   \quit
+// Anything else is parsed as a HypeR statement (end with ';' or newline).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "data/datasets.h"
+#include "howto/engine.h"
+#include "relational/select.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+#include "whatif/engine.h"
+
+using namespace hyper;
+
+namespace {
+
+void PrintResult(const whatif::WhatIfResult& result) {
+  std::printf("value: %.6g\n", result.value);
+  std::printf("  view rows %zu | updated %zu | blocks %zu | patterns %zu\n",
+              result.view_rows, result.updated_rows, result.num_blocks,
+              result.num_patterns);
+  if (!result.backdoor.empty()) {
+    std::printf("  adjustment set: {");
+    for (size_t i = 0; i < result.backdoor.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", result.backdoor[i].c_str());
+    }
+    std::printf("}\n");
+  }
+  std::printf("  %.3fs total (%.3fs training)\n", result.total_seconds,
+              result.train_seconds);
+}
+
+void PrintHowTo(const howto::HowToResult& result) {
+  std::printf("plan: %s\n", result.PlanToString().c_str());
+  std::printf("  objective %.6g (baseline %.6g), %zu candidates, %s solver\n",
+              result.objective_value, result.baseline_value,
+              result.candidates_evaluated,
+              result.used_mck ? "MCK" : "branch&bound");
+}
+
+struct ShellState {
+  Database db;
+  causal::CausalGraph graph;
+  bool has_graph = false;
+  whatif::WhatIfOptions options;
+};
+
+void RunStatement(ShellState& state, const std::string& text) {
+  auto stmt = sql::ParseSql(text);
+  if (!stmt.ok()) {
+    std::printf("error: %s\n", stmt.status().ToString().c_str());
+    return;
+  }
+  const causal::CausalGraph* graph = state.has_graph ? &state.graph : nullptr;
+  if (stmt->whatif != nullptr) {
+    whatif::WhatIfEngine engine(&state.db, graph, state.options);
+    auto result = engine.Run(*stmt->whatif);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintResult(*result);
+  } else if (stmt->howto != nullptr) {
+    howto::HowToOptions options;
+    options.whatif = state.options;
+    howto::HowToEngine engine(&state.db, graph, options);
+    auto result = engine.Run(*stmt->howto);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintHowTo(*result);
+  } else if (stmt->select != nullptr) {
+    auto table = relational::ExecuteSelect(state.db, *stmt->select);
+    if (!table.ok()) {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", table->ToString(20).c_str());
+  }
+}
+
+void RunCommand(ShellState& state, const std::string& line) {
+  const std::vector<std::string> parts = Split(line, ' ');
+  const std::string& cmd = parts[0];
+  if (cmd == "\\tables") {
+    for (const std::string& name : state.db.TableNames()) {
+      std::printf("%s (%zu rows)\n", name.c_str(),
+                  state.db.GetTable(name).value()->num_rows());
+    }
+  } else if (cmd == "\\schema" && parts.size() > 1) {
+    auto table = state.db.GetTable(parts[1]);
+    if (table.ok()) {
+      std::printf("%s\n", (*table)->schema().ToString().c_str());
+    } else {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+    }
+  } else if (cmd == "\\graph") {
+    std::printf("%s\n", state.has_graph ? state.graph.ToString().c_str()
+                                        : "(no causal graph loaded)");
+  } else if (cmd == "\\dot") {
+    std::printf("%s", state.has_graph ? state.graph.ToDot().c_str()
+                                      : "(no causal graph loaded)\n");
+  } else if (cmd == "\\estimator" && parts.size() > 1) {
+    state.options.estimator = parts[1][0] == 'f'
+                                  ? learn::EstimatorKind::kFrequency
+                                  : learn::EstimatorKind::kForest;
+    std::printf("estimator: %s\n",
+                learn::EstimatorKindName(state.options.estimator));
+  } else if (cmd == "\\mode" && parts.size() > 1) {
+    if (parts[1] == "graph") {
+      state.options.backdoor = whatif::BackdoorMode::kGraph;
+    } else if (parts[1] == "nb") {
+      state.options.backdoor = whatif::BackdoorMode::kAllAttributes;
+    } else if (parts[1] == "indep") {
+      state.options.backdoor = whatif::BackdoorMode::kUpdateOnly;
+    }
+    std::printf("mode: %s\n", BackdoorModeName(state.options.backdoor));
+  } else if (cmd == "\\sample" && parts.size() > 1) {
+    state.options.sample_size =
+        static_cast<size_t>(std::strtoull(parts[1].c_str(), nullptr, 10));
+    std::printf("sample: %zu\n", state.options.sample_size);
+  } else if (cmd == "\\explain" && parts.size() > 1) {
+    const std::string query = line.substr(line.find(' ') + 1);
+    const causal::CausalGraph* graph =
+        state.has_graph ? &state.graph : nullptr;
+    whatif::WhatIfEngine engine(&state.db, graph, state.options);
+    auto plan = engine.ExplainSql(query);
+    if (plan.ok()) {
+      std::printf("%s", plan->c_str());
+    } else {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+    }
+  } else {
+    std::printf(
+        "commands: \\tables \\schema <rel> \\graph \\dot "
+        "\\explain <what-if> \\estimator f|t \\mode graph|nb|indep "
+        "\\sample <n> \\quit\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellState state;
+  state.options.estimator = learn::EstimatorKind::kFrequency;
+
+  std::string dataset = "german-syn-20k";
+  bool loaded_csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv", 5) == 0 && i + 1 < argc) {
+      // --csv path=Relation
+      const std::string spec = argv[++i];
+      const size_t eq = spec.find('=');
+      const std::string path = spec.substr(0, eq);
+      const std::string relation =
+          eq == std::string::npos ? "Data" : spec.substr(eq + 1);
+      auto table = ReadCsvFile(path, relation, {});
+      if (!table.ok()) {
+        std::printf("cannot load %s: %s\n", path.c_str(),
+                    table.status().ToString().c_str());
+        return 1;
+      }
+      if (!state.db.AddTable(std::move(table).value()).ok()) return 1;
+      loaded_csv = true;
+    } else if (argv[i][0] != '-') {
+      dataset = argv[i];
+    }
+  }
+  if (!loaded_csv) {
+    auto ds = data::MakeByName(dataset, /*scale=*/0.5);
+    if (!ds.ok()) {
+      std::printf("%s\n", ds.status().ToString().c_str());
+      return 1;
+    }
+    state.db = std::move(ds->db);
+    state.graph = std::move(ds->graph);
+    state.has_graph = true;
+    std::printf("loaded %s: %zu rows\n", dataset.c_str(),
+                state.db.TotalRows());
+  } else {
+    std::printf("loaded %zu relation(s) from CSV (no causal graph: engine "
+                "runs in no-background mode)\n",
+                state.db.num_tables());
+  }
+
+  std::printf("HypeR shell. \\quit to exit, \\help for commands.\n");
+  std::string line;
+  while (true) {
+    std::printf("hyper> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (!trimmed.empty() && trimmed.back() == ';') trimmed.pop_back();
+    if (trimmed[0] == '\\') {
+      RunCommand(state, trimmed);
+    } else {
+      RunStatement(state, trimmed);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// How-to analysis on the student dataset: which intervention lifts average
+// grades the most, under different budgets — plus the lexicographic
+// multi-objective extension (§4.3, Example 11).
+
+#include <cstdio>
+
+#include "data/datasets.h"
+#include "howto/engine.h"
+#include "common/strings.h"
+#include "sql/parser.h"
+
+using namespace hyper;
+
+int main() {
+  data::StudentOptions generator;
+  generator.students = 1500;
+  auto ds = data::MakeStudentSyn(generator);
+  if (!ds.ok()) {
+    std::printf("dataset error: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("students: %zu, course enrollments: %zu\n",
+              ds->db.GetTable("Student").value()->num_rows(),
+              ds->db.GetTable("Participation").value()->num_rows());
+
+  howto::HowToOptions options;
+  options.whatif.estimator = learn::EstimatorKind::kFrequency;
+  howto::HowToEngine engine(&ds->flat, &ds->graph, options);
+
+  // 1. Unconstrained: push the strongest levers.
+  {
+    auto plan = engine.RunSql(
+        "Use FlatParticipation HowToUpdate Assignment, Discussion "
+        "ToMaximize Avg(Post(Grade))");
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nunconstrained plan: %s\n", plan->PlanToString().c_str());
+    std::printf("expected avg grade: %.2f (baseline %.2f)\n",
+                plan->objective_value, plan->baseline_value);
+  }
+
+  // 2. Range-limited: assignments can only be nudged, not maxed.
+  {
+    auto plan = engine.RunSql(
+        "Use FlatParticipation HowToUpdate Assignment "
+        "Limit 25 <= Post(Assignment) <= 75 "
+        "ToMaximize Avg(Post(Grade))");
+    if (plan.ok()) {
+      std::printf("\nrange-limited plan: %s -> %.2f\n",
+                  plan->PlanToString().c_str(), plan->objective_value);
+    }
+  }
+
+  // 3. Lexicographic: first maximize grades, then (at that grade level)
+  //    maximize announcements read.
+  {
+    auto primary = sql::ParseSql(
+        "Use FlatParticipation HowToUpdate Assignment, Announcements "
+        "ToMaximize Avg(Post(Grade))");
+    auto secondary = sql::ParseSql(
+        "Use FlatParticipation HowToUpdate Assignment, Announcements "
+        "ToMaximize Avg(Post(Announcements))");
+    if (primary.ok() && secondary.ok()) {
+      auto plan = engine.RunLexicographic(
+          {primary->howto.get(), secondary->howto.get()});
+      if (plan.ok()) {
+        std::printf("\nlexicographic plan (grades first, announcements "
+                    "second): %s\n",
+                    plan->PlanToString().c_str());
+        std::printf("primary objective preserved at %.2f\n",
+                    plan->objective_value);
+      } else {
+        std::printf("\nlexicographic error: %s\n",
+                    plan.status().ToString().c_str());
+      }
+    }
+  }
+
+  // 4. Per-attribute "budget of one": scan single-attribute plans.
+  {
+    std::printf("\nbest single-attribute intervention:\n");
+    double best = -1e18;
+    std::string best_plan;
+    for (const char* attr : {"Attendance", "Assignment", "Discussion",
+                             "Announcements", "HandRaised"}) {
+      const std::string query =
+          StrFormat("Use FlatParticipation HowToUpdate %s "
+                    "ToMaximize Avg(Post(Grade))",
+                    attr);
+      auto plan = engine.RunSql(query);
+      if (!plan.ok()) continue;
+      std::printf("  %-14s -> %.2f\n", attr, plan->objective_value);
+      if (plan->objective_value > best) {
+        best = plan->objective_value;
+        best_plan = plan->PlanToString();
+      }
+    }
+    std::printf("winner: %s (expected avg grade %.2f)\n", best_plan.c_str(),
+                best);
+  }
+  return 0;
+}

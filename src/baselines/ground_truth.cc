@@ -1,0 +1,107 @@
+#include "baselines/ground_truth.h"
+
+#include "relational/eval.h"
+#include "whatif/compile.h"
+
+namespace hyper::baselines {
+
+using relational::Env;
+using relational::EvalExpr;
+using relational::EvalPredicate;
+using sql::AggKind;
+
+Result<double> GroundTruthWhatIf(const Database& db, const causal::Scm& scm,
+                                 const sql::WhatIfStmt& stmt) {
+  HYPER_ASSIGN_OR_RETURN(whatif::CompiledWhatIf q,
+                         whatif::CompileWhatIf(db, stmt));
+  const Table& view = q.view_info.view;
+  const Schema& vschema = view.schema();
+  const size_t n = view.num_rows();
+
+  // Columns that participate in the SCM (the rest ride along unchanged).
+  std::vector<std::pair<std::string, size_t>> scm_columns;
+  for (const std::string& attr : scm.attributes()) {
+    if (vschema.Contains(attr)) {
+      scm_columns.emplace_back(attr, vschema.IndexOf(attr).value());
+    }
+  }
+
+  std::vector<size_t> update_cols;
+  for (const whatif::UpdateSpec& u : q.updates) {
+    HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(u.attribute));
+    update_cols.push_back(idx);
+  }
+
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    bool selected = true;
+    if (q.when != nullptr) {
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
+      HYPER_ASSIGN_OR_RETURN(selected, EvalPredicate(*q.when, env));
+    }
+
+    // Per-world evaluation helper shared by both branches.
+    auto evaluate_world = [&](const Row& post_row, double prob) -> Status {
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r), &post_row);
+      if (q.for_pred != nullptr) {
+        HYPER_ASSIGN_OR_RETURN(bool qualifies,
+                               EvalPredicate(*q.for_pred, env));
+        if (!qualifies) return Status::OK();
+      }
+      denominator += prob;
+      if (q.output_value != nullptr) {
+        HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*q.output_value, env));
+        HYPER_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        numerator += prob * d;
+      } else {
+        numerator += prob;  // Count
+      }
+      return Status::OK();
+    };
+
+    if (!selected) {
+      // Unaffected tuple: one deterministic world.
+      HYPER_RETURN_NOT_OK(evaluate_world(view.row(r), 1.0));
+      continue;
+    }
+
+    // Build the observed assignment over SCM attributes and intervene.
+    causal::Assignment observed;
+    for (const auto& [attr, col] : scm_columns) {
+      observed.emplace(attr, view.At(r, col));
+    }
+    causal::Assignment interventions;
+    for (size_t j = 0; j < q.updates.size(); ++j) {
+      HYPER_ASSIGN_OR_RETURN(Value post,
+                             q.updates[j].Apply(view.At(r, update_cols[j])));
+      interventions.emplace(q.updates[j].attribute, std::move(post));
+    }
+    HYPER_ASSIGN_OR_RETURN(auto worlds,
+                           scm.InterventionalWorlds(observed, interventions));
+    for (const auto& [assignment, prob] : worlds) {
+      Row post_row = view.row(r);
+      for (const auto& [attr, col] : scm_columns) {
+        post_row[col] = assignment.at(attr);
+      }
+      HYPER_RETURN_NOT_OK(evaluate_world(post_row, prob));
+    }
+  }
+
+  switch (q.output_agg) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+      return numerator;
+    case AggKind::kAvg:
+      if (denominator <= 0.0) {
+        return Status::InvalidArgument("Avg over an empty qualifying set");
+      }
+      return numerator / denominator;
+    default:
+      return Status::InvalidArgument("unsupported aggregate");
+  }
+}
+
+}  // namespace hyper::baselines

@@ -1,0 +1,108 @@
+#include "baselines/opt_howto.h"
+
+#include "baselines/ground_truth.h"
+#include "common/stopwatch.h"
+
+namespace hyper::baselines {
+
+Result<OptHowToResult> OptHowTo(
+    const sql::HowToStmt& stmt,
+    const std::vector<std::vector<whatif::UpdateSpec>>& candidates,
+    const JointScorer& scorer) {
+  Stopwatch timer;
+  if (candidates.size() != stmt.update_attributes.size()) {
+    return Status::InvalidArgument(
+        "candidate groups must match HowToUpdate attributes");
+  }
+
+  OptHowToResult result;
+  const double sign = stmt.maximize ? 1.0 : -1.0;
+  double best_signed = 0.0;
+  std::vector<int> best_choice(candidates.size(), -1);
+  bool have_best = false;
+
+  // Odometer over the cross product; index -1 per attribute = no change.
+  std::vector<int> choice(candidates.size(), -1);
+  while (true) {
+    std::vector<std::optional<whatif::UpdateSpec>> assignment;
+    assignment.reserve(candidates.size());
+    for (size_t a = 0; a < candidates.size(); ++a) {
+      if (choice[a] >= 0) {
+        assignment.emplace_back(candidates[a][choice[a]]);
+      } else {
+        assignment.emplace_back(std::nullopt);
+      }
+    }
+    HYPER_ASSIGN_OR_RETURN(double value, scorer(assignment));
+    ++result.combinations_evaluated;
+    if (!have_best || sign * value > best_signed) {
+      have_best = true;
+      best_signed = sign * value;
+      best_choice = choice;
+      result.objective_value = value;
+    }
+
+    // Advance the odometer.
+    size_t a = 0;
+    while (a < candidates.size()) {
+      ++choice[a];
+      if (choice[a] < static_cast<int>(candidates[a].size())) break;
+      choice[a] = -1;
+      ++a;
+    }
+    if (a == candidates.size()) break;  // wrapped around
+  }
+
+  for (size_t a = 0; a < candidates.size(); ++a) {
+    howto::AttributeChoice ac;
+    ac.attribute = stmt.update_attributes[a];
+    if (best_choice[a] >= 0) {
+      ac.changed = true;
+      ac.update = candidates[a][best_choice[a]];
+    }
+    result.plan.push_back(std::move(ac));
+  }
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+JointScorer MakeEngineScorer(const Database* db,
+                             const causal::CausalGraph* graph,
+                             const whatif::WhatIfOptions& options,
+                             const sql::HowToStmt* stmt) {
+  return [db, graph, options, stmt](
+             const std::vector<std::optional<whatif::UpdateSpec>>& assignment)
+             -> Result<double> {
+    std::vector<whatif::UpdateSpec> updates;
+    for (const auto& u : assignment) {
+      if (u.has_value()) updates.push_back(*u);
+    }
+    if (updates.empty()) {
+      return howto::BaselineObjective(*db, *stmt);
+    }
+    sql::WhatIfStmt whatif_stmt = howto::MakeCandidateWhatIf(*stmt, updates);
+    whatif::WhatIfEngine engine(db, graph, options);
+    HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result,
+                           engine.Run(whatif_stmt));
+    return result.value;
+  };
+}
+
+JointScorer MakeGroundTruthScorer(const Database* db, const causal::Scm* scm,
+                                  const sql::HowToStmt* stmt) {
+  return [db, scm, stmt](
+             const std::vector<std::optional<whatif::UpdateSpec>>& assignment)
+             -> Result<double> {
+    std::vector<whatif::UpdateSpec> updates;
+    for (const auto& u : assignment) {
+      if (u.has_value()) updates.push_back(*u);
+    }
+    if (updates.empty()) {
+      return howto::BaselineObjective(*db, *stmt);
+    }
+    sql::WhatIfStmt whatif_stmt = howto::MakeCandidateWhatIf(*stmt, updates);
+    return GroundTruthWhatIf(*db, *scm, whatif_stmt);
+  };
+}
+
+}  // namespace hyper::baselines

@@ -1,0 +1,53 @@
+#ifndef HYPER_BASELINES_OPT_HOWTO_H_
+#define HYPER_BASELINES_OPT_HOWTO_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "causal/scm.h"
+#include "common/status.h"
+#include "howto/engine.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "whatif/engine.h"
+
+namespace hyper::baselines {
+
+/// Scores one joint update assignment (one optional update per HowToUpdate
+/// attribute; nullopt = leave unchanged). Returns the objective value.
+using JointScorer = std::function<Result<double>(
+    const std::vector<std::optional<whatif::UpdateSpec>>&)>;
+
+struct OptHowToResult {
+  std::vector<howto::AttributeChoice> plan;
+  double objective_value = 0.0;
+  size_t combinations_evaluated = 0;
+  double total_seconds = 0.0;
+};
+
+/// The Opt-HowTo baseline (§5.1): exhaustively enumerates the cross product
+/// of candidate updates (including "no change" per attribute) and scores
+/// every combination — exponential in the number of HowToUpdate attributes,
+/// versus HypeR's IP which is linear in the number of candidates (§5.5,
+/// Figure 11b).
+Result<OptHowToResult> OptHowTo(
+    const sql::HowToStmt& stmt,
+    const std::vector<std::vector<whatif::UpdateSpec>>& candidates,
+    const JointScorer& scorer);
+
+/// Scorer that runs the HypeR what-if engine on the joint update (used for
+/// the runtime comparisons; same estimator as the engine under test).
+JointScorer MakeEngineScorer(const Database* db,
+                             const causal::CausalGraph* graph,
+                             const whatif::WhatIfOptions& options,
+                             const sql::HowToStmt* stmt);
+
+/// Scorer that evaluates the joint update exactly against the generating
+/// SCM (used for the solution-quality comparisons: Figures 9/10, §5.4).
+JointScorer MakeGroundTruthScorer(const Database* db, const causal::Scm* scm,
+                                  const sql::HowToStmt* stmt);
+
+}  // namespace hyper::baselines
+
+#endif  // HYPER_BASELINES_OPT_HOWTO_H_

@@ -1,0 +1,52 @@
+#include "causal/augment.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hyper::causal {
+
+Result<CausalGraph> AugmentGraph(
+    const CausalGraph& graph, const std::vector<AggregateNode>& aggregates) {
+  std::unordered_map<std::string, std::string> aggregate_of_source;
+  std::unordered_set<std::string> fresh_names;
+  for (const AggregateNode& agg : aggregates) {
+    if (!graph.HasNode(agg.source)) {
+      return Status::NotFound("aggregate source '" + agg.source +
+                              "' not in causal graph");
+    }
+    if (graph.HasNode(agg.name) || fresh_names.count(agg.name) > 0) {
+      return Status::AlreadyExists("aggregate name '" + agg.name +
+                                   "' collides with an existing node");
+    }
+    if (!aggregate_of_source.emplace(agg.source, agg.name).second) {
+      return Status::InvalidArgument("source '" + agg.source +
+                                     "' aggregated twice");
+    }
+    fresh_names.insert(agg.name);
+  }
+
+  CausalGraph out;
+  for (const std::string& node : graph.nodes()) out.AddNode(node);
+  for (const AggregateNode& agg : aggregates) out.AddNode(agg.name);
+
+  for (const CausalEdge& edge : graph.edges()) {
+    auto it = aggregate_of_source.find(edge.from);
+    if (it != aggregate_of_source.end()) {
+      // Downstream influence of an aggregated attribute is rerouted through
+      // the aggregate node; the aggregate-to-child edge is view-level
+      // (same row), so it carries no link attribute.
+      out.AddEdge(it->second, edge.to);
+    } else {
+      out.AddEdge(edge.from, edge.to, edge.link_attribute);
+    }
+  }
+  // The grounded instances feed the aggregate.
+  for (const AggregateNode& agg : aggregates) {
+    out.AddEdge(agg.source, agg.name);
+  }
+
+  HYPER_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace hyper::causal

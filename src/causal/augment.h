@@ -1,0 +1,37 @@
+#ifndef HYPER_CAUSAL_AUGMENT_H_
+#define HYPER_CAUSAL_AUGMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/graph.h"
+#include "common/status.h"
+
+namespace hyper::causal {
+
+/// One aggregated attribute of the relevant view: `name` (e.g. "Rtng")
+/// summarizes `source` (e.g. "Rating") across the tuples joined into a view
+/// row.
+struct AggregateNode {
+  std::string name;
+  std::string source;
+};
+
+/// Builds the augmented causal graph of §A.3.2: for each aggregate node A'
+/// over source attribute A,
+///   - A' is added as a child of A (the grounded instances feed the
+///     aggregate),
+///   - every child of A becomes a child of A' instead (the aggregate
+///     mediates A's downstream influence under the homogeneity assumption),
+///   - A's original edges to those children are removed.
+///
+/// The result is the graph on which backdoor reasoning for view-level
+/// queries is sound: adjusting for (or targeting) the aggregate column of
+/// the view corresponds to the A' node. Sources must exist in `graph`;
+/// aggregate names must be fresh.
+Result<CausalGraph> AugmentGraph(const CausalGraph& graph,
+                                 const std::vector<AggregateNode>& aggregates);
+
+}  // namespace hyper::causal
+
+#endif  // HYPER_CAUSAL_AUGMENT_H_

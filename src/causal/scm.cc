@@ -1,0 +1,391 @@
+#include "causal/scm.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hyper::causal {
+
+// ---------------------------------------------------------------------------
+// Mechanisms
+// ---------------------------------------------------------------------------
+
+Result<std::vector<std::pair<Value, double>>> DiscreteMechanism::Distribution(
+    const std::vector<Value>& parents) const {
+  std::vector<double> weights = weights_(parents);
+  if (weights.size() != outcomes_.size()) {
+    return Status::Internal(StrFormat(
+        "mechanism weight function returned %zu weights for %zu outcomes",
+        weights.size(), outcomes_.size()));
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) return Status::Internal("negative mechanism weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::Internal("mechanism weights sum to zero");
+  }
+  std::vector<std::pair<Value, double>> out;
+  out.reserve(outcomes_.size());
+  for (size_t i = 0; i < outcomes_.size(); ++i) {
+    out.emplace_back(outcomes_[i], weights[i] / total);
+  }
+  return out;
+}
+
+Result<Value> DiscreteMechanism::Sample(const std::vector<Value>& parents,
+                                        Rng& rng) const {
+  std::vector<double> weights = weights_(parents);
+  if (weights.size() != outcomes_.size()) {
+    return Status::Internal("mechanism weight arity mismatch");
+  }
+  return outcomes_[rng.Categorical(weights)];
+}
+
+Result<std::vector<std::pair<Value, double>>>
+LinearGaussianMechanism::Distribution(const std::vector<Value>&) const {
+  return Status::Unimplemented(
+      "linear-Gaussian mechanisms have no finite outcome distribution; use "
+      "Sample (or discretize the attribute)");
+}
+
+Result<Value> LinearGaussianMechanism::Sample(
+    const std::vector<Value>& parents, Rng& rng) const {
+  if (parents.size() != weights_.size()) {
+    return Status::Internal(
+        StrFormat("linear mechanism expects %zu parents, got %zu",
+                  weights_.size(), parents.size()));
+  }
+  double acc = bias_;
+  for (size_t i = 0; i < parents.size(); ++i) {
+    HYPER_ASSIGN_OR_RETURN(double p, parents[i].AsDouble());
+    acc += weights_[i] * p;
+  }
+  if (stddev_ > 0.0) acc += rng.Gaussian(0.0, stddev_);
+  return Value::Double(acc);
+}
+
+// ---------------------------------------------------------------------------
+// Scm
+// ---------------------------------------------------------------------------
+
+Status Scm::AddAttribute(const std::string& name,
+                         std::vector<ParentRef> parents,
+                         std::unique_ptr<Mechanism> mechanism) {
+  if (nodes_.count(name) > 0) {
+    return Status::AlreadyExists("SCM attribute '" + name +
+                                 "' already declared");
+  }
+  if (mechanism == nullptr) {
+    return Status::InvalidArgument("mechanism must not be null");
+  }
+  for (const ParentRef& p : parents) {
+    if (nodes_.count(p.attribute) == 0) {
+      return Status::FailedPrecondition(
+          "parent '" + p.attribute + "' of '" + name +
+          "' not declared yet; add attributes parents-first");
+    }
+  }
+  nodes_.emplace(name, Node{std::move(parents), std::move(mechanism)});
+  order_.push_back(name);
+  return Status::OK();
+}
+
+const std::vector<ParentRef>& Scm::ParentsOf(const std::string& name) const {
+  auto it = nodes_.find(name);
+  HYPER_CHECK(it != nodes_.end());
+  return it->second.parents;
+}
+
+const Mechanism& Scm::MechanismOf(const std::string& name) const {
+  auto it = nodes_.find(name);
+  HYPER_CHECK(it != nodes_.end());
+  return *it->second.mechanism;
+}
+
+CausalGraph Scm::Graph() const {
+  CausalGraph graph;
+  for (const std::string& attr : order_) {
+    graph.AddNode(attr);
+    for (const ParentRef& p : nodes_.at(attr).parents) {
+      graph.AddEdge(p.attribute, attr, p.link);
+    }
+  }
+  return graph;
+}
+
+Result<std::vector<Value>> Scm::GatherParents(const std::string& attr,
+                                              const Assignment& state) const {
+  const Node& node = nodes_.at(attr);
+  std::vector<Value> values;
+  values.reserve(node.parents.size());
+  for (const ParentRef& p : node.parents) {
+    auto it = state.find(p.attribute);
+    if (it == state.end()) {
+      return Status::FailedPrecondition("parent '" + p.attribute +
+                                        "' has no value in entity state");
+    }
+    values.push_back(it->second);
+  }
+  return values;
+}
+
+Result<Assignment> Scm::SampleEntity(Rng& rng) const {
+  Assignment state;
+  for (const std::string& attr : order_) {
+    HYPER_ASSIGN_OR_RETURN(std::vector<Value> parents,
+                           GatherParents(attr, state));
+    HYPER_ASSIGN_OR_RETURN(Value v,
+                           nodes_.at(attr).mechanism->Sample(parents, rng));
+    state.emplace(attr, std::move(v));
+  }
+  return state;
+}
+
+std::vector<std::string> Scm::AffectedInOrder(
+    const std::vector<std::string>& targets) const {
+  const CausalGraph graph = Graph();
+  std::unordered_set<std::string> affected;
+  std::unordered_set<std::string> target_set(targets.begin(), targets.end());
+  for (const std::string& t : targets) {
+    for (const std::string& d : graph.Descendants(t)) affected.insert(d);
+  }
+  std::vector<std::string> ordered;
+  for (const std::string& attr : order_) {
+    if (affected.count(attr) > 0 && target_set.count(attr) == 0) {
+      ordered.push_back(attr);
+    }
+  }
+  return ordered;
+}
+
+Result<std::vector<std::pair<Assignment, double>>> Scm::InterventionalWorlds(
+    const Assignment& observed, const Assignment& interventions) const {
+  Assignment state = observed;
+  std::vector<std::string> targets;
+  for (const auto& [attr, value] : interventions) {
+    if (nodes_.count(attr) == 0) {
+      return Status::NotFound("intervened attribute '" + attr +
+                              "' not in SCM");
+    }
+    state[attr] = value;
+    targets.push_back(attr);
+  }
+  const std::vector<std::string> affected = AffectedInOrder(targets);
+  for (const std::string& attr : affected) {
+    if (!nodes_.at(attr).mechanism->is_discrete()) {
+      return Status::FailedPrecondition(
+          "exact enumeration requires discrete mechanisms; '" + attr +
+          "' is continuous (use InterventionalMean)");
+    }
+  }
+
+  std::vector<std::pair<Assignment, double>> worlds;
+  // Depth-first enumeration over the affected attributes in topo order.
+  std::function<Status(size_t, double)> recurse = [&](size_t depth,
+                                                      double prob) -> Status {
+    if (depth == affected.size()) {
+      worlds.emplace_back(state, prob);
+      return Status::OK();
+    }
+    const std::string& attr = affected[depth];
+    HYPER_ASSIGN_OR_RETURN(std::vector<Value> parents,
+                           GatherParents(attr, state));
+    HYPER_ASSIGN_OR_RETURN(auto dist,
+                           nodes_.at(attr).mechanism->Distribution(parents));
+    for (const auto& [value, p] : dist) {
+      if (p == 0.0) continue;
+      state[attr] = value;
+      HYPER_RETURN_NOT_OK(recurse(depth + 1, prob * p));
+    }
+    state.erase(attr);
+    return Status::OK();
+  };
+  HYPER_RETURN_NOT_OK(recurse(0, 1.0));
+  return worlds;
+}
+
+Result<double> Scm::InterventionalMean(const Assignment& observed,
+                                       const Assignment& interventions,
+                                       const std::string& target,
+                                       size_t samples, Rng& rng) const {
+  if (nodes_.count(target) == 0) {
+    return Status::NotFound("target attribute '" + target + "' not in SCM");
+  }
+  std::vector<std::string> targets;
+  for (const auto& [attr, _] : interventions) targets.push_back(attr);
+  const std::vector<std::string> affected = AffectedInOrder(targets);
+
+  double total = 0.0;
+  for (size_t s = 0; s < samples; ++s) {
+    Assignment state = observed;
+    for (const auto& [attr, value] : interventions) state[attr] = value;
+    for (const std::string& attr : affected) {
+      HYPER_ASSIGN_OR_RETURN(std::vector<Value> parents,
+                             GatherParents(attr, state));
+      HYPER_ASSIGN_OR_RETURN(Value v,
+                             nodes_.at(attr).mechanism->Sample(parents, rng));
+      state[attr] = std::move(v);
+    }
+    HYPER_ASSIGN_OR_RETURN(double y, state.at(target).AsDouble());
+    total += y;
+  }
+  return total / static_cast<double>(samples);
+}
+
+// ---------------------------------------------------------------------------
+// GroundScm
+// ---------------------------------------------------------------------------
+
+Result<GroundScm> GroundScm::Build(const Scm* scm, const Database* db) {
+  HYPER_CHECK(scm != nullptr && db != nullptr);
+  GroundScm out;
+  out.scm_ = scm;
+  out.db_ = db;
+  HYPER_ASSIGN_OR_RETURN(out.ground_,
+                         GroundCausalGraph::Build(scm->Graph(), *db));
+
+  // Topological order over ground nodes (Kahn).
+  const size_t n = out.ground_.num_nodes();
+  std::vector<size_t> in_degree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    in_degree[i] = out.ground_.ParentsOf(i).size();
+  }
+  std::deque<size_t> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    size_t node = ready.front();
+    ready.pop_front();
+    out.topo_.push_back(node);
+    for (size_t child : out.ground_.ChildrenOf(node)) {
+      if (--in_degree[child] == 0) ready.push_back(child);
+    }
+  }
+  if (out.topo_.size() != n) {
+    return Status::InvalidArgument("ground causal graph contains a cycle");
+  }
+  return out;
+}
+
+namespace {
+
+/// psi: summarizes a set of ground parent values into one value (paper §2.2,
+/// Example 5 uses averaging). A single value passes through unchanged.
+Result<Value> Summarize(const std::vector<Value>& values) {
+  if (values.empty()) return Value::Null();
+  if (values.size() == 1) return values[0];
+  double sum = 0.0;
+  for (const Value& v : values) {
+    HYPER_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    sum += d;
+  }
+  return Value::Double(sum / static_cast<double>(values.size()));
+}
+
+}  // namespace
+
+Result<std::vector<PossibleWorld>> GroundScm::PostUpdateWorlds(
+    const std::vector<GroundIntervention>& interventions) const {
+  constexpr size_t kMaxWorlds = 1u << 20;
+
+  Database working = db_->Clone();
+
+  // Apply interventions and collect their ground node indices.
+  std::vector<size_t> intervened_nodes;
+  for (const GroundIntervention& iv : interventions) {
+    HYPER_ASSIGN_OR_RETURN(Table* table,
+                           working.GetMutableTable(iv.tuple.relation));
+    HYPER_ASSIGN_OR_RETURN(size_t attr_idx,
+                           table->schema().IndexOf(iv.attribute));
+    table->SetValue(iv.tuple.tid, attr_idx, iv.value);
+    HYPER_ASSIGN_OR_RETURN(size_t node,
+                           ground_.NodeIndex(iv.tuple, iv.attribute));
+    intervened_nodes.push_back(node);
+  }
+
+  // Affected = ground descendants of the intervened nodes.
+  std::vector<bool> affected(ground_.num_nodes(), false);
+  {
+    std::deque<size_t> frontier(intervened_nodes.begin(),
+                                intervened_nodes.end());
+    std::vector<bool> seen(ground_.num_nodes(), false);
+    for (size_t node : intervened_nodes) seen[node] = true;
+    while (!frontier.empty()) {
+      size_t node = frontier.front();
+      frontier.pop_front();
+      for (size_t child : ground_.ChildrenOf(node)) {
+        if (!seen[child]) {
+          seen[child] = true;
+          affected[child] = true;
+          frontier.push_back(child);
+        }
+      }
+    }
+  }
+
+  std::vector<size_t> affected_order;
+  for (size_t node : topo_) {
+    if (affected[node]) affected_order.push_back(node);
+  }
+
+  // Evaluates the summarized parent vector for a ground node against the
+  // current working database.
+  auto gather = [&](size_t node) -> Result<std::vector<Value>> {
+    const GroundNode& gn = ground_.nodes()[node];
+    const std::vector<ParentRef>& refs = scm_->ParentsOf(gn.attribute);
+    std::vector<Value> out;
+    out.reserve(refs.size());
+    for (const ParentRef& ref : refs) {
+      std::vector<Value> group;
+      for (size_t parent : ground_.ParentsOf(node)) {
+        const GroundNode& pn = ground_.nodes()[parent];
+        if (pn.attribute != ref.attribute) continue;
+        const Table& table = *working.GetTable(pn.tuple.relation).value();
+        const size_t attr_idx =
+            table.schema().IndexOf(pn.attribute).value();
+        group.push_back(table.At(pn.tuple.tid, attr_idx));
+      }
+      HYPER_ASSIGN_OR_RETURN(Value summarized, Summarize(group));
+      out.push_back(std::move(summarized));
+    }
+    return out;
+  };
+
+  std::vector<PossibleWorld> worlds;
+  std::function<Status(size_t, double)> recurse = [&](size_t depth,
+                                                      double prob) -> Status {
+    if (depth == affected_order.size()) {
+      if (worlds.size() >= kMaxWorlds) {
+        return Status::OutOfRange(
+            "possible-world enumeration exceeded the safety cap; this oracle "
+            "is for small instances only");
+      }
+      worlds.push_back(PossibleWorld{working.Clone(), prob});
+      return Status::OK();
+    }
+    const size_t node = affected_order[depth];
+    const GroundNode& gn = ground_.nodes()[node];
+    HYPER_ASSIGN_OR_RETURN(std::vector<Value> parents, gather(node));
+    HYPER_ASSIGN_OR_RETURN(
+        auto dist, scm_->MechanismOf(gn.attribute).Distribution(parents));
+    Table* table = working.GetMutableTable(gn.tuple.relation).value();
+    const size_t attr_idx = table->schema().IndexOf(gn.attribute).value();
+    const Value saved = table->At(gn.tuple.tid, attr_idx);
+    for (const auto& [value, p] : dist) {
+      if (p == 0.0) continue;
+      table->SetValue(gn.tuple.tid, attr_idx, value);
+      HYPER_RETURN_NOT_OK(recurse(depth + 1, prob * p));
+    }
+    table->SetValue(gn.tuple.tid, attr_idx, saved);
+    return Status::OK();
+  };
+  HYPER_RETURN_NOT_OK(recurse(0, 1.0));
+  return worlds;
+}
+
+}  // namespace hyper::causal

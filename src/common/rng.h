@@ -1,0 +1,105 @@
+#ifndef HYPER_COMMON_RNG_H_
+#define HYPER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hyper {
+
+/// Deterministic pseudo-random source used throughout the library.
+///
+/// All stochastic components (SCM sampling, forest bagging, data generators,
+/// HypeR-sampled) take an explicit Rng or seed so experiments reproduce
+/// bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    HYPER_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    HYPER_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights need not be normalized; all must be >= 0 with a positive sum.
+  size_t Categorical(const std::vector<double>& weights) {
+    HYPER_DCHECK(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) total += w;
+    HYPER_DCHECK(total > 0.0);
+    double r = Uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples k indices without replacement from [0, n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+inline std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  HYPER_DCHECK(k <= n);
+  // Floyd's algorithm keeps this O(k) in expectation for k << n; for dense
+  // draws fall back to shuffling an index vector.
+  if (k * 2 >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  std::vector<bool> used(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (used[t]) t = j;
+    used[t] = true;
+    picked.push_back(t);
+  }
+  return picked;
+}
+
+}  // namespace hyper
+
+#endif  // HYPER_COMMON_RNG_H_

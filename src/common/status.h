@@ -1,0 +1,157 @@
+#ifndef HYPER_COMMON_STATUS_H_
+#define HYPER_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hyper {
+
+/// Error taxonomy for the whole library. Mirrors the Arrow/RocksDB idiom:
+/// no exceptions cross public API boundaries; fallible operations return a
+/// Status (or Result<T> when they also produce a value).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error outcome. Holds T on success, a non-OK Status on failure.
+///
+/// Usage:
+///   Result<Table> r = Parse(...);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or a Status (failure) keeps
+  /// call sites readable: `return table;` / `return Status::ParseError(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { EnsureOk(); return *value_; }
+  T& value() & { EnsureOk(); return *value_; }
+  T&& value() && { EnsureOk(); return *std::move(value_); }
+
+  const T& operator*() const& { EnsureOk(); return *value_; }
+  T& operator*() & { EnsureOk(); return *value_; }
+  const T* operator->() const { EnsureOk(); return &*value_; }
+  T* operator->() { EnsureOk(); return &*value_; }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  /// Accessing the value of an errored Result is a programming error;
+  /// fail loudly with the underlying status instead of invoking UB.
+  void EnsureOk() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "[hyper] Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define HYPER_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::hyper::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result-returning expression, assigning the value on success
+/// and returning the error Status otherwise.
+#define HYPER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define HYPER_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define HYPER_ASSIGN_OR_RETURN_NAME(x, y) HYPER_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define HYPER_ASSIGN_OR_RETURN(lhs, expr) \
+  HYPER_ASSIGN_OR_RETURN_IMPL(            \
+      HYPER_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace hyper
+
+#endif  // HYPER_COMMON_STATUS_H_

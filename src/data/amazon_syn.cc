@@ -1,0 +1,203 @@
+#include <memory>
+
+#include "data/datasets.h"
+
+namespace hyper::data {
+
+namespace {
+
+using causal::DiscreteMechanism;
+using causal::Scm;
+
+double AsD(const Value& v) { return v.AsDouble().value_or(0.0); }
+
+struct BrandInfo {
+  const char* name;
+  double quality_prior;  // base quality in [0, 1]
+};
+
+constexpr BrandInfo kLaptopBrands[] = {
+    {"Apple", 0.85}, {"Dell", 0.72},  {"Toshiba", 0.66},
+    {"Acer", 0.60},  {"Asus", 0.58},  {"HP", 0.55},
+    {"Vaio", 0.52},
+};
+constexpr BrandInfo kCameraBrands[] = {{"Canon", 0.75}, {"Nikon", 0.7},
+                                       {"Sony", 0.68}};
+constexpr BrandInfo kBookBrands[] = {{"Fantasy Press", 0.5},
+                                     {"Orbit", 0.55}};
+
+struct CategoryInfo {
+  const char* name;
+  double base_price;
+  double price_spread;
+  const BrandInfo* brands;
+  size_t num_brands;
+};
+
+constexpr CategoryInfo kCategories[] = {
+    {"Laptop", 700, 500, kLaptopBrands, 7},
+    {"DSLR Camera", 500, 300, kCameraBrands, 3},
+    {"Sci Fi eBooks", 14, 10, kBookBrands, 2},
+};
+
+constexpr const char* kColors[] = {"Black", "Silver", "Red", "Blue"};
+
+/// P(rating = k | quality, relative price): quality pushes ratings up;
+/// paying more than the category norm pushes them down (§5.3's "reducing
+/// laptop price increases average ratings").
+std::vector<double> RatingWeights(double quality, double relative_price) {
+  const double score = 2.4 * quality - 1.1 * relative_price;  // roughly [-1, 2]
+  // Stars 1..5 map to targets [-0.625, 2.125]: even the best product sits
+  // below the 5-star target, so premium brands keep headroom and benefit
+  // most from price cuts (§5.3 reports Apple first) instead of saturating.
+  std::vector<double> w(5);
+  for (int k = 0; k < 5; ++k) {
+    const double target = (k - 1.0) / 1.45;
+    const double d = score - target;
+    w[k] = std::exp(-1.4 * d * d);
+  }
+  return w;
+}
+
+std::vector<double> SentimentWeights(double quality, bool is_red) {
+  const double base = quality + (is_red ? 0.07 : 0.0);
+  std::vector<double> w(4);
+  const double levels[4] = {0.1, 0.35, 0.6, 0.85};  // maps to -0.9..0.9
+  for (int k = 0; k < 4; ++k) {
+    const double d = base - levels[k];
+    w[k] = std::exp(-6.0 * d * d);
+  }
+  return w;
+}
+
+/// Flat-entity SCM (one review joined with its product) used for ground
+/// truth on review-level outcomes.
+Result<Scm> BuildFlatScm() {
+  Scm scm;
+  auto discrete = [](std::vector<Value> outcomes,
+                     DiscreteMechanism::WeightFn fn) {
+    return std::make_unique<DiscreteMechanism>(std::move(outcomes),
+                                               std::move(fn));
+  };
+  // Exogenous product attributes (held fixed under intervention).
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Quality", {},
+      std::make_unique<causal::LinearGaussianMechanism>(
+          std::vector<double>{}, 0.6, 0.12)));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Price", {{"Quality", ""}},
+      std::make_unique<causal::LinearGaussianMechanism>(
+          std::vector<double>{600.0}, 300.0, 120.0)));
+  std::vector<Value> ratings;
+  for (int k = 1; k <= 5; ++k) ratings.push_back(Value::Int(k));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Rating", {{"Price", ""}, {"Quality", ""}},
+      discrete(std::move(ratings), [](const std::vector<Value>& ps) {
+        const double relative = (AsD(ps[0]) - 700.0) / 500.0;
+        return RatingWeights(AsD(ps[1]), relative);
+      })));
+  std::vector<Value> sentiments{Value::Double(-0.9), Value::Double(-0.3),
+                                Value::Double(0.3), Value::Double(0.9)};
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Sentiment", {{"Quality", ""}},
+      discrete(std::move(sentiments), [](const std::vector<Value>& ps) {
+        return SentimentWeights(AsD(ps[0]), false);
+      })));
+  return scm;
+}
+
+}  // namespace
+
+Result<Dataset> MakeAmazonSyn(const AmazonOptions& options) {
+  Dataset ds;
+  ds.name = "amazon-syn";
+  ds.main_relation = "Product";
+  ds.flat_relation = "FlatReview";
+  HYPER_ASSIGN_OR_RETURN(ds.scm, BuildFlatScm());
+
+  // Relational causal graph (Figure 2): Quality -> Price within a product;
+  // Quality/Price -> Rating and Quality/Color -> Sentiment across the
+  // Product-Review key link.
+  ds.graph.AddEdge("Quality", "Price");
+  ds.graph.AddEdge("Quality", "Rating", "PID");
+  ds.graph.AddEdge("Price", "Rating", "PID");
+  ds.graph.AddEdge("Quality", "Sentiment", "PID");
+  ds.graph.AddEdge("Color", "Sentiment", "PID");
+
+  Table product(Schema("Product",
+                       {{"PID", ValueType::kInt, Mutability::kImmutable},
+                        {"Category", ValueType::kString, Mutability::kImmutable},
+                        {"Brand", ValueType::kString, Mutability::kImmutable},
+                        {"Color", ValueType::kString, Mutability::kMutable},
+                        {"Quality", ValueType::kDouble, Mutability::kMutable},
+                        {"Price", ValueType::kDouble, Mutability::kMutable}},
+                       {"PID"}));
+  Table review(Schema("Review",
+                      {{"PID", ValueType::kInt, Mutability::kImmutable},
+                       {"ReviewID", ValueType::kInt, Mutability::kImmutable},
+                       {"Sentiment", ValueType::kDouble, Mutability::kMutable},
+                       {"Rating", ValueType::kInt, Mutability::kMutable}},
+                      {"PID", "ReviewID"}));
+  Table flat(Schema("FlatReview",
+                    {{"RowId", ValueType::kInt, Mutability::kImmutable},
+                     {"PID", ValueType::kInt, Mutability::kImmutable},
+                     {"Category", ValueType::kString, Mutability::kImmutable},
+                     {"Brand", ValueType::kString, Mutability::kImmutable},
+                     {"Color", ValueType::kString, Mutability::kMutable},
+                     {"Quality", ValueType::kDouble, Mutability::kMutable},
+                     {"Price", ValueType::kDouble, Mutability::kMutable},
+                     {"Sentiment", ValueType::kDouble, Mutability::kMutable},
+                     {"Rating", ValueType::kInt, Mutability::kMutable}},
+                    {"RowId"}));
+
+  Rng rng(options.seed);
+  int64_t review_id = 0;
+  int64_t flat_id = 0;
+  const double sentiment_levels[4] = {-0.9, -0.3, 0.3, 0.9};
+  for (size_t p = 0; p < options.products; ++p) {
+    const CategoryInfo& cat =
+        kCategories[rng.Categorical({0.55, 0.25, 0.20})];
+    const BrandInfo& brand =
+        cat.brands[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(cat.num_brands) - 1))];
+    const char* color = kColors[static_cast<size_t>(rng.UniformInt(0, 3))];
+    const double quality = std::min(
+        0.98, std::max(0.05, brand.quality_prior + rng.Gaussian(0, 0.08)));
+    const double price = std::max(
+        1.0, cat.base_price + cat.price_spread * (quality - 0.6) * 2.0 +
+                 rng.Gaussian(0, cat.price_spread * 0.25));
+    product.AppendUnchecked({Value::Int(static_cast<int64_t>(p + 1)),
+                             Value::String(cat.name),
+                             Value::String(brand.name), Value::String(color),
+                             Value::Double(quality), Value::Double(price)});
+
+    const size_t num_reviews = 1 + static_cast<size_t>(rng.UniformInt(
+                                       0, static_cast<int64_t>(
+                                              2 * options.reviews_per_product -
+                                              2)));
+    const double relative = (price - cat.base_price) / cat.price_spread;
+    for (size_t r = 0; r < num_reviews; ++r) {
+      const size_t srow =
+          rng.Categorical(SentimentWeights(quality, color == kColors[2]));
+      const double sentiment = sentiment_levels[srow];
+      const int rating =
+          1 + static_cast<int>(rng.Categorical(RatingWeights(quality,
+                                                             relative)));
+      review.AppendUnchecked({Value::Int(static_cast<int64_t>(p + 1)),
+                              Value::Int(++review_id),
+                              Value::Double(sentiment), Value::Int(rating)});
+      flat.AppendUnchecked({Value::Int(flat_id++),
+                            Value::Int(static_cast<int64_t>(p + 1)),
+                            Value::String(cat.name),
+                            Value::String(brand.name), Value::String(color),
+                            Value::Double(quality), Value::Double(price),
+                            Value::Double(sentiment), Value::Int(rating)});
+    }
+  }
+  HYPER_RETURN_NOT_OK(ds.db.AddTable(std::move(product)));
+  HYPER_RETURN_NOT_OK(ds.db.AddTable(std::move(review)));
+  HYPER_RETURN_NOT_OK(ds.flat.AddTable(std::move(flat)));
+  return ds;
+}
+
+}  // namespace hyper::data

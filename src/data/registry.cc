@@ -1,0 +1,65 @@
+#include <algorithm>
+
+#include "common/strings.h"
+#include "data/datasets.h"
+
+namespace hyper::data {
+
+Result<Dataset> MakeByName(const std::string& name, double scale,
+                           uint64_t seed) {
+  const std::string key = ToLower(name);
+  const double s = std::clamp(scale, 0.001, 1.0);
+  auto rows = [&](size_t full) {
+    return std::max<size_t>(200, static_cast<size_t>(full * s));
+  };
+
+  if (key == "german") {
+    GermanOptions opt;
+    opt.rows = rows(1000);
+    opt.seed = seed;
+    return MakeGermanSyn(opt);
+  }
+  if (key == "german-syn-20k") {
+    GermanOptions opt;
+    opt.rows = rows(20000);
+    opt.seed = seed;
+    return MakeGermanSyn(opt);
+  }
+  if (key == "german-syn-20k-continuous") {
+    GermanOptions opt;
+    opt.rows = rows(20000);
+    opt.seed = seed;
+    opt.continuous_amount = true;
+    return MakeGermanSyn(opt);
+  }
+  if (key == "german-syn-1m") {
+    GermanOptions opt;
+    opt.rows = rows(1000000);
+    opt.seed = seed;
+    return MakeGermanSyn(opt);
+  }
+  if (key == "adult") {
+    AdultOptions opt;
+    opt.rows = rows(32000);
+    opt.seed = seed;
+    return MakeAdultSyn(opt);
+  }
+  if (key == "amazon") {
+    AmazonOptions opt;
+    opt.products = rows(3000);
+    opt.seed = seed;
+    return MakeAmazonSyn(opt);
+  }
+  if (key == "student-syn") {
+    StudentOptions opt;
+    opt.students = rows(2000);
+    opt.seed = seed;
+    return MakeStudentSyn(opt);
+  }
+  return Status::NotFound("unknown dataset '" + name +
+                          "'; known: german, german-syn-20k, "
+                          "german-syn-20k-continuous, german-syn-1m, adult, "
+                          "amazon, student-syn");
+}
+
+}  // namespace hyper::data

@@ -1,0 +1,215 @@
+#include <memory>
+
+#include "data/datasets.h"
+
+namespace hyper::data {
+
+namespace {
+
+using causal::DiscreteMechanism;
+using causal::Scm;
+
+std::vector<Value> IntOutcomes(const std::vector<int64_t>& values) {
+  std::vector<Value> out;
+  for (int64_t v : values) out.push_back(Value::Int(v));
+  return out;
+}
+
+double AsD(const Value& v) { return v.AsDouble().value_or(0.0); }
+
+/// Grade distribution given participation signals. Attendance has the
+/// largest *total* effect: its direct weight plus its influence through
+/// discussion, announcements and hand-raising (§5.4's how-to answer).
+std::vector<double> GradeWeights(double hand, double discussion,
+                                 double announce, double assignment,
+                                 double attendance) {
+  const double score = 0.05 * (hand / 3.0) + 0.16 * (discussion / 3.0) +
+                       0.10 * announce + 0.24 * (assignment / 100.0) +
+                       0.45 * (attendance / 100.0);
+  // Grades 0, 20, ..., 100 with a peak near score * 100.
+  std::vector<double> w(6);
+  for (int k = 0; k < 6; ++k) {
+    const double target = k / 5.0;
+    const double d = score - target;
+    w[k] = std::exp(-10.0 * d * d);
+  }
+  return w;
+}
+
+/// Flat-entity SCM: one participation row with its student attributes.
+Result<Scm> BuildFlatScm() {
+  Scm scm;
+  auto discrete = [](std::vector<Value> outcomes,
+                     DiscreteMechanism::WeightFn fn) {
+    return std::make_unique<DiscreteMechanism>(std::move(outcomes),
+                                               std::move(fn));
+  };
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Age", {}, discrete(IntOutcomes({0, 1, 2}),
+                          [](const std::vector<Value>&) {
+                            return std::vector<double>{0.4, 0.4, 0.2};
+                          })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Gender", {}, discrete(IntOutcomes({0, 1}),
+                             [](const std::vector<Value>&) {
+                               return std::vector<double>{0.5, 0.5};
+                             })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Country", {}, discrete(IntOutcomes({0, 1, 2, 3, 4}),
+                              [](const std::vector<Value>&) {
+                                return std::vector<double>{0.3, 0.25, 0.2,
+                                                           0.15, 0.1};
+                              })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Attendance", {{"Age", ""}, {"Country", ""}},
+      discrete(IntOutcomes({40, 60, 80, 100}),
+               [](const std::vector<Value>& ps) {
+                 const double age = AsD(ps[0]);
+                 const double country = AsD(ps[1]);
+                 return std::vector<double>{
+                     0.9 - 0.2 * age, 1.0, 0.6 + 0.25 * age,
+                     0.3 + 0.25 * age + 0.05 * country};
+               })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "HandRaised", {{"Attendance", ""}},
+      discrete(IntOutcomes({0, 1, 2, 3}), [](const std::vector<Value>& ps) {
+        const double att = AsD(ps[0]) / 100.0;
+        return std::vector<double>{1.1 - att, 0.9, 0.3 + 0.5 * att,
+                                   0.1 + 0.6 * att};
+      })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Discussion", {{"Attendance", ""}},
+      discrete(IntOutcomes({0, 1, 2, 3}), [](const std::vector<Value>& ps) {
+        const double att = AsD(ps[0]) / 100.0;
+        return std::vector<double>{1.2 - 0.8 * att, 0.9, 0.25 + 0.55 * att,
+                                   0.1 + 0.7 * att};
+      })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Announcements", {{"Attendance", ""}},
+      discrete(IntOutcomes({0, 1}), [](const std::vector<Value>& ps) {
+        const double p = 0.25 + 0.6 * (AsD(ps[0]) / 100.0);
+        return std::vector<double>{1.0 - p, p};
+      })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Assignment", {{"Attendance", ""}},
+      discrete(IntOutcomes({0, 25, 50, 75, 100}),
+               [](const std::vector<Value>& ps) {
+                 const double att = AsD(ps[0]) / 100.0;
+                 return std::vector<double>{0.6 - 0.3 * att, 0.8 - 0.2 * att,
+                                            1.0, 0.5 + 0.4 * att,
+                                            0.25 + 0.5 * att};
+               })));
+  HYPER_RETURN_NOT_OK(scm.AddAttribute(
+      "Grade",
+      {{"HandRaised", ""},
+       {"Discussion", ""},
+       {"Announcements", ""},
+       {"Assignment", ""},
+       {"Attendance", ""}},
+      discrete(IntOutcomes({0, 20, 40, 60, 80, 100}),
+               [](const std::vector<Value>& ps) {
+                 return GradeWeights(AsD(ps[0]), AsD(ps[1]), AsD(ps[2]),
+                                     AsD(ps[3]), AsD(ps[4]));
+               })));
+  return scm;
+}
+
+}  // namespace
+
+Result<Dataset> MakeStudentSyn(const StudentOptions& options) {
+  Dataset ds;
+  ds.name = "student-syn";
+  ds.main_relation = "Student";
+  ds.flat_relation = "FlatParticipation";
+  HYPER_ASSIGN_OR_RETURN(ds.scm, BuildFlatScm());
+
+  // Relational graph: student-level attributes drive participation-level
+  // ones across the SID link.
+  ds.graph.AddEdge("Age", "Attendance");
+  ds.graph.AddEdge("Country", "Attendance");
+  ds.graph.AddEdge("Attendance", "HandRaised", "SID");
+  ds.graph.AddEdge("Attendance", "Discussion", "SID");
+  ds.graph.AddEdge("Attendance", "Announcements", "SID");
+  ds.graph.AddEdge("Attendance", "Assignment", "SID");
+  ds.graph.AddEdge("HandRaised", "Grade");
+  ds.graph.AddEdge("Discussion", "Grade");
+  ds.graph.AddEdge("Announcements", "Grade");
+  ds.graph.AddEdge("Assignment", "Grade");
+  ds.graph.AddEdge("Attendance", "Grade", "SID");
+
+  Table student(Schema("Student",
+                       {{"SID", ValueType::kInt, Mutability::kImmutable},
+                        {"Age", ValueType::kInt, Mutability::kImmutable},
+                        {"Gender", ValueType::kInt, Mutability::kImmutable},
+                        {"Country", ValueType::kInt, Mutability::kImmutable},
+                        {"Attendance", ValueType::kInt, Mutability::kMutable}},
+                       {"SID"}));
+  Table participation(
+      Schema("Participation",
+             {{"SID", ValueType::kInt, Mutability::kImmutable},
+              {"CourseID", ValueType::kInt, Mutability::kImmutable},
+              {"HandRaised", ValueType::kInt, Mutability::kMutable},
+              {"Discussion", ValueType::kInt, Mutability::kMutable},
+              {"Announcements", ValueType::kInt, Mutability::kMutable},
+              {"Assignment", ValueType::kInt, Mutability::kMutable},
+              {"Grade", ValueType::kInt, Mutability::kMutable}},
+             {"SID", "CourseID"}));
+  Table flat(Schema(
+      "FlatParticipation",
+      {{"RowId", ValueType::kInt, Mutability::kImmutable},
+       {"SID", ValueType::kInt, Mutability::kImmutable},
+       {"Age", ValueType::kInt, Mutability::kImmutable},
+       {"Gender", ValueType::kInt, Mutability::kImmutable},
+       {"Country", ValueType::kInt, Mutability::kImmutable},
+       {"Attendance", ValueType::kInt, Mutability::kMutable},
+       {"HandRaised", ValueType::kInt, Mutability::kMutable},
+       {"Discussion", ValueType::kInt, Mutability::kMutable},
+       {"Announcements", ValueType::kInt, Mutability::kMutable},
+       {"Assignment", ValueType::kInt, Mutability::kMutable},
+       {"Grade", ValueType::kInt, Mutability::kMutable}},
+      {"RowId"}));
+
+  Rng rng(options.seed);
+  int64_t flat_id = 0;
+  for (size_t s = 0; s < options.students; ++s) {
+    // Sample the student-level prefix once, then per-course suffixes with
+    // the same attendance (the entity-level SCM factorizes this way).
+    HYPER_ASSIGN_OR_RETURN(causal::Assignment base, ds.scm.SampleEntity(rng));
+    student.AppendUnchecked({Value::Int(static_cast<int64_t>(s)),
+                             base.at("Age"), base.at("Gender"),
+                             base.at("Country"), base.at("Attendance")});
+    for (size_t c = 0; c < options.courses_per_student; ++c) {
+      causal::Assignment row = base;
+      if (c > 0) {
+        // Resample the participation-level attributes for this course,
+        // holding the student-level prefix fixed.
+        for (const char* attr : {"HandRaised", "Discussion", "Announcements",
+                                 "Assignment", "Grade"}) {
+          std::vector<Value> parents;
+          for (const causal::ParentRef& p : ds.scm.ParentsOf(attr)) {
+            parents.push_back(row.at(p.attribute));
+          }
+          HYPER_ASSIGN_OR_RETURN(
+              Value v, ds.scm.MechanismOf(attr).Sample(parents, rng));
+          row[attr] = std::move(v);
+        }
+      }
+      participation.AppendUnchecked(
+          {Value::Int(static_cast<int64_t>(s)),
+           Value::Int(static_cast<int64_t>(c)), row.at("HandRaised"),
+           row.at("Discussion"), row.at("Announcements"),
+           row.at("Assignment"), row.at("Grade")});
+      flat.AppendUnchecked(
+          {Value::Int(flat_id++), Value::Int(static_cast<int64_t>(s)),
+           base.at("Age"), base.at("Gender"), base.at("Country"),
+           base.at("Attendance"), row.at("HandRaised"), row.at("Discussion"),
+           row.at("Announcements"), row.at("Assignment"), row.at("Grade")});
+    }
+  }
+  HYPER_RETURN_NOT_OK(ds.db.AddTable(std::move(student)));
+  HYPER_RETURN_NOT_OK(ds.db.AddTable(std::move(participation)));
+  HYPER_RETURN_NOT_OK(ds.flat.AddTable(std::move(flat)));
+  return ds;
+}
+
+}  // namespace hyper::data

@@ -1,0 +1,655 @@
+#include "howto/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "learn/discretizer.h"
+#include "opt/mck.h"
+#include "opt/milp.h"
+#include "relational/eval.h"
+#include "sql/parser.h"
+
+namespace hyper::howto {
+
+using relational::Env;
+using relational::EvalPredicate;
+using sql::LimitItem;
+using sql::LimitKind;
+using whatif::UpdateSpec;
+
+std::string AttributeChoice::ToString() const {
+  if (!changed) return attribute + ": no change";
+  switch (update.func) {
+    case sql::UpdateFuncKind::kSet:
+      return attribute + ": set to " + update.constant.ToString();
+    case sql::UpdateFuncKind::kScale:
+      return attribute + ": scale by " + update.constant.ToString();
+    case sql::UpdateFuncKind::kShift:
+      return attribute + ": shift by " + update.constant.ToString();
+  }
+  return attribute + ": ?";
+}
+
+std::string HowToResult::PlanToString() const {
+  std::vector<std::string> parts;
+  for (const AttributeChoice& c : plan) parts.push_back(c.ToString());
+  return "{" + Join(parts, "; ") + "}";
+}
+
+sql::WhatIfStmt MakeCandidateWhatIf(const sql::HowToStmt& howto,
+                                    const std::vector<UpdateSpec>& updates) {
+  sql::WhatIfStmt stmt;
+  stmt.use.view_name = howto.use.view_name;
+  stmt.use.table = howto.use.table;
+  if (howto.use.select != nullptr) {
+    stmt.use.select = std::make_unique<sql::SelectStmt>();
+    stmt.use.select->items.reserve(howto.use.select->items.size());
+    for (const auto& item : howto.use.select->items) {
+      sql::SelectItem copy;
+      copy.expr = item.expr ? item.expr->Clone() : nullptr;
+      copy.alias = item.alias;
+      copy.agg = item.agg;
+      stmt.use.select->items.push_back(std::move(copy));
+    }
+    stmt.use.select->from = howto.use.select->from;
+    stmt.use.select->where =
+        howto.use.select->where ? howto.use.select->where->Clone() : nullptr;
+    for (const auto& g : howto.use.select->group_by) {
+      stmt.use.select->group_by.push_back(g->Clone());
+    }
+  }
+  stmt.when = howto.when ? howto.when->Clone() : nullptr;
+  for (const UpdateSpec& u : updates) {
+    sql::UpdateClause clause;
+    clause.attribute = u.attribute;
+    clause.func = u.func;
+    clause.constant = u.constant;
+    stmt.updates.push_back(std::move(clause));
+  }
+  stmt.output.agg = howto.objective_agg;
+  stmt.output.inner =
+      howto.objective_inner ? howto.objective_inner->Clone() : nullptr;
+  stmt.for_pred = howto.for_pred ? howto.for_pred->Clone() : nullptr;
+  return stmt;
+}
+
+namespace {
+
+/// Replaces When by a never-true predicate so no tuple updates: the engine
+/// then evaluates every tuple on its exact observational path.
+sql::WhatIfStmt MakeBaselineWhatIf(const sql::HowToStmt& howto,
+                                   const std::string& any_attribute,
+                                   const Value& any_value) {
+  UpdateSpec dummy;
+  dummy.attribute = any_attribute;
+  dummy.func = sql::UpdateFuncKind::kSet;
+  dummy.constant = any_value;
+  sql::WhatIfStmt stmt = MakeCandidateWhatIf(howto, {dummy});
+  stmt.when = sql::MakeLiteral(Value::Bool(false));
+  return stmt;
+}
+
+}  // namespace
+
+Result<double> BaselineObjective(const Database& db,
+                                 const sql::HowToStmt& stmt) {
+  if (stmt.update_attributes.empty()) {
+    return Status::InvalidArgument("HowToUpdate needs at least one attribute");
+  }
+  sql::WhatIfStmt baseline =
+      MakeBaselineWhatIf(stmt, stmt.update_attributes[0], Value::Int(0));
+  whatif::WhatIfOptions options;
+  options.estimator = learn::EstimatorKind::kFrequency;
+  whatif::WhatIfEngine engine(&db, nullptr, options);
+  HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result, engine.Run(baseline));
+  return result.value;
+}
+
+HowToEngine::HowToEngine(const Database* db, const causal::CausalGraph* graph,
+                         HowToOptions options)
+    : db_(db), graph_(graph), options_(options) {}
+
+Result<HowToResult> HowToEngine::RunSql(const std::string& text) const {
+  HYPER_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(text));
+  if (stmt.howto == nullptr) {
+    return Status::InvalidArgument("expected a how-to statement");
+  }
+  return Run(*stmt.howto);
+}
+
+Result<std::vector<std::vector<UpdateSpec>>> HowToEngine::EnumerateCandidates(
+    const sql::HowToStmt& stmt) const {
+  if (stmt.update_attributes.empty()) {
+    return Status::InvalidArgument("HowToUpdate needs at least one attribute");
+  }
+  // Materialize the view once to evaluate When and collect data ranges.
+  HYPER_ASSIGN_OR_RETURN(
+      whatif::ViewInfo view_info,
+      whatif::BuildRelevantView(*db_, stmt.use, stmt.update_attributes[0]));
+  const Table& view = view_info.view;
+  const Schema& vschema = view.schema();
+
+  std::vector<size_t> s_rows;
+  for (size_t r = 0; r < view.num_rows(); ++r) {
+    if (stmt.when != nullptr) {
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
+      HYPER_ASSIGN_OR_RETURN(bool sel, EvalPredicate(*stmt.when, env));
+      if (!sel) continue;
+    }
+    s_rows.push_back(r);
+  }
+  if (s_rows.empty()) {
+    return Status::InvalidArgument("When selects no tuples to update");
+  }
+
+  std::vector<std::vector<UpdateSpec>> out;
+  for (const std::string& attr : stmt.update_attributes) {
+    HYPER_ASSIGN_OR_RETURN(size_t col, vschema.IndexOf(attr));
+    if (vschema.attribute(col).mutability == Mutability::kImmutable) {
+      return Status::InvalidArgument("HowToUpdate attribute '" + attr +
+                                     "' is immutable");
+    }
+    const bool is_string = vschema.attribute(col).type == ValueType::kString;
+
+    // Collect this attribute's Limit items.
+    std::vector<const LimitItem*> limits;
+    for (const LimitItem& item : stmt.limits) {
+      if (EqualsIgnoreCase(item.attribute, attr)) limits.push_back(&item);
+    }
+
+    // Pre-update values over S (range defaults and relative bounds).
+    std::vector<double> pre_values;
+    std::set<std::string> distinct_strings;
+    for (size_t r : s_rows) {
+      const Value& v = view.At(r, col);
+      if (is_string) {
+        if (!v.is_null()) distinct_strings.insert(v.string_value());
+      } else {
+        HYPER_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        pre_values.push_back(d);
+      }
+    }
+
+    // Candidate post-update values.
+    std::vector<Value> raw_candidates;
+    const LimitItem* in_set = nullptr;
+    for (const LimitItem* item : limits) {
+      if (item->kind == LimitKind::kInSet) in_set = item;
+    }
+    if (in_set != nullptr) {
+      raw_candidates = in_set->values;
+    } else if (is_string) {
+      // No explicit set: all observed values of the whole view (capped).
+      std::set<std::string> all;
+      for (size_t r = 0; r < view.num_rows(); ++r) {
+        const Value& v = view.At(r, col);
+        if (!v.is_null()) all.insert(v.string_value());
+        if (all.size() >= 64) break;
+      }
+      for (const std::string& s : all) {
+        raw_candidates.push_back(Value::String(s));
+      }
+    } else {
+      double lo = *std::min_element(pre_values.begin(), pre_values.end());
+      double hi = *std::max_element(pre_values.begin(), pre_values.end());
+      for (const LimitItem* item : limits) {
+        if (item->kind != LimitKind::kAbsRange) continue;
+        if (item->lo.has_value()) lo = std::max(lo, *item->lo);
+        if (item->hi.has_value()) hi = std::min(hi, *item->hi);
+      }
+      if (lo <= hi &&
+          vschema.attribute(col).type == ValueType::kInt) {
+        // Integer attribute: candidates are the distinct observed values in
+        // range (evenly subsampled when there are more than num_buckets).
+        std::set<int64_t> distinct;
+        for (size_t r = 0; r < view.num_rows(); ++r) {
+          const Value& v = view.At(r, col);
+          if (v.is_null()) continue;
+          HYPER_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          if (d >= lo && d <= hi) {
+            distinct.insert(static_cast<int64_t>(std::llround(d)));
+          }
+        }
+        std::vector<int64_t> values(distinct.begin(), distinct.end());
+        if (values.size() > options_.num_buckets &&
+            options_.num_buckets > 0) {
+          std::vector<int64_t> sampled;
+          const double stride = static_cast<double>(values.size()) /
+                                static_cast<double>(options_.num_buckets);
+          for (size_t k = 0; k < options_.num_buckets; ++k) {
+            sampled.push_back(values[static_cast<size_t>(k * stride)]);
+          }
+          values = std::move(sampled);
+        }
+        for (int64_t v : values) raw_candidates.push_back(Value::Int(v));
+      } else if (lo <= hi) {
+        HYPER_ASSIGN_OR_RETURN(
+            learn::EquiWidthDiscretizer disc,
+            learn::EquiWidthDiscretizer::Create(lo, hi,
+                                                options_.num_buckets));
+        for (double rep : disc.Representatives()) {
+          raw_candidates.push_back(Value::Double(rep));
+        }
+      }
+    }
+
+    // Filter by relative and L1 limits (for a Set-update, a per-tuple bound
+    // must hold for every tuple of S).
+    std::vector<UpdateSpec> specs;
+    for (const Value& candidate : raw_candidates) {
+      bool feasible = true;
+      double cand_num = 0.0;
+      const bool numeric = candidate.is_numeric();
+      if (numeric) cand_num = candidate.AsDouble().value();
+
+      for (const LimitItem* item : limits) {
+        switch (item->kind) {
+          case LimitKind::kAbsRange:
+            if (!numeric) break;
+            if (item->lo.has_value() && cand_num < *item->lo) feasible = false;
+            if (item->hi.has_value() && cand_num > *item->hi) feasible = false;
+            break;
+          case LimitKind::kRelShift:
+          case LimitKind::kRelScale: {
+            if (!numeric) break;
+            for (double pre : pre_values) {
+              const double bound = item->kind == LimitKind::kRelShift
+                                       ? pre + item->hi.value_or(0)
+                                       : pre * item->hi.value_or(1);
+              if (item->upper_is_bound ? cand_num > bound
+                                       : cand_num < bound) {
+                feasible = false;
+                break;
+              }
+            }
+            break;
+          }
+          case LimitKind::kL1: {
+            if (!numeric) break;
+            double total = 0.0;
+            for (double pre : pre_values) total += std::fabs(cand_num - pre);
+            if (total / static_cast<double>(pre_values.size()) >
+                item->hi.value_or(0)) {
+              feasible = false;
+            }
+            break;
+          }
+          case LimitKind::kInSet:
+            break;  // candidate came from the set
+        }
+        if (!feasible) break;
+      }
+      if (!feasible) continue;
+
+      UpdateSpec spec;
+      spec.attribute = attr;
+      spec.func = sql::UpdateFuncKind::kSet;
+      spec.constant = candidate;
+      specs.push_back(std::move(spec));
+    }
+    out.push_back(std::move(specs));
+  }
+  return out;
+}
+
+struct HowToEngine::ScoredCandidates {
+  double baseline = 0.0;
+  std::vector<std::vector<CandidateUpdate>> per_attribute;
+  size_t evaluated = 0;
+};
+
+Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
+    const sql::HowToStmt& stmt) const {
+  ScoredCandidates scored;
+  HYPER_ASSIGN_OR_RETURN(std::vector<std::vector<UpdateSpec>> candidates,
+                         EnumerateCandidates(stmt));
+
+  // Baseline via the no-op what-if (every tuple on its exact path).
+  {
+    sql::WhatIfStmt baseline =
+        MakeBaselineWhatIf(stmt, stmt.update_attributes[0],
+                           candidates[0].empty() ? Value::Int(0)
+                                                 : candidates[0][0].constant);
+    whatif::WhatIfEngine engine(db_, graph_, options_.whatif);
+    HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result, engine.Run(baseline));
+    scored.baseline = result.value;
+  }
+
+  // Per-tuple pre values for L1 costs.
+  HYPER_ASSIGN_OR_RETURN(
+      whatif::ViewInfo view_info,
+      whatif::BuildRelevantView(*db_, stmt.use, stmt.update_attributes[0]));
+  const Table& view = view_info.view;
+  const Schema& vschema = view.schema();
+  std::vector<size_t> s_rows;
+  for (size_t r = 0; r < view.num_rows(); ++r) {
+    if (stmt.when != nullptr) {
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
+      HYPER_ASSIGN_OR_RETURN(bool sel, EvalPredicate(*stmt.when, env));
+      if (!sel) continue;
+    }
+    s_rows.push_back(r);
+  }
+
+  whatif::WhatIfEngine engine(db_, graph_, options_.whatif);
+  scored.per_attribute.resize(candidates.size());
+  for (size_t a = 0; a < candidates.size(); ++a) {
+    HYPER_ASSIGN_OR_RETURN(
+        size_t col, vschema.IndexOf(stmt.update_attributes[a]));
+    for (const UpdateSpec& spec : candidates[a]) {
+      sql::WhatIfStmt whatif_stmt = MakeCandidateWhatIf(stmt, {spec});
+      HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result,
+                             engine.Run(whatif_stmt));
+      ++scored.evaluated;
+
+      CandidateUpdate cu;
+      cu.spec = spec;
+      cu.objective_value = result.value;
+      cu.delta = result.value - scored.baseline;
+      // Normalized L1 cost over S (fraction-changed for categoricals).
+      double total = 0.0;
+      for (size_t r : s_rows) {
+        const Value& pre = view.At(r, col);
+        if (spec.constant.is_numeric() && pre.is_numeric()) {
+          total += std::fabs(spec.constant.AsDouble().value() -
+                             pre.AsDouble().value());
+        } else if (!spec.constant.Equals(pre)) {
+          total += 1.0;
+        }
+      }
+      cu.cost = s_rows.empty() ? 0.0
+                               : total / static_cast<double>(s_rows.size());
+      scored.per_attribute[a].push_back(std::move(cu));
+    }
+  }
+  return scored;
+}
+
+Result<HowToResult> HowToEngine::Run(const sql::HowToStmt& stmt) const {
+  Stopwatch timer;
+
+  // Soundness (§4.1): updated attributes must be causally unrelated.
+  if (graph_ != nullptr && stmt.update_attributes.size() > 1) {
+    for (const std::string& a : stmt.update_attributes) {
+      if (!graph_->HasNode(a)) continue;
+      const auto desc = graph_->Descendants(a);
+      for (const std::string& b : stmt.update_attributes) {
+        if (a != b && desc.count(b) > 0) {
+          return Status::InvalidArgument(
+              "HowToUpdate attributes must be causally unrelated: '" + a +
+              "' affects '" + b + "'");
+        }
+      }
+    }
+  }
+
+  HYPER_ASSIGN_OR_RETURN(ScoredCandidates scored, ScoreCandidates(stmt));
+
+  // IP objective: maximize sum of chosen deltas (negated for ToMinimize).
+  const double sign = stmt.maximize ? 1.0 : -1.0;
+
+  HowToResult result;
+  result.baseline_value = scored.baseline;
+  result.candidates_evaluated = scored.evaluated;
+  result.candidates = scored.per_attribute;
+
+  const bool mck_applicable = options_.prefer_mck;
+  std::vector<int> choice(scored.per_attribute.size(), -1);
+  if (mck_applicable) {
+    std::vector<opt::MckGroup> groups(scored.per_attribute.size());
+    for (size_t a = 0; a < scored.per_attribute.size(); ++a) {
+      for (const CandidateUpdate& cu : scored.per_attribute[a]) {
+        groups[a].values.push_back(sign * cu.delta);
+        groups[a].costs.push_back(cu.cost);
+      }
+    }
+    HYPER_ASSIGN_OR_RETURN(opt::MckSolution sol,
+                           opt::SolveMck(groups, options_.global_l1_budget));
+    choice = sol.choice;
+    result.used_mck = true;
+    result.solver_nodes = sol.nodes_explored;
+  } else {
+    // General IP path (Equations 7-9).
+    opt::LpProblem ip;
+    std::vector<std::pair<size_t, size_t>> var_index;  // (attr, candidate)
+    for (size_t a = 0; a < scored.per_attribute.size(); ++a) {
+      for (size_t i = 0; i < scored.per_attribute[a].size(); ++i) {
+        ip.objective.push_back(sign * scored.per_attribute[a][i].delta);
+        var_index.emplace_back(a, i);
+      }
+    }
+    for (size_t a = 0; a < scored.per_attribute.size(); ++a) {
+      std::vector<double> row(ip.objective.size(), 0.0);
+      for (size_t v = 0; v < var_index.size(); ++v) {
+        if (var_index[v].first == a) row[v] = 1.0;
+      }
+      ip.AddRow(std::move(row), 1.0);  // Equation (8)
+    }
+    if (options_.global_l1_budget >= 0.0) {
+      std::vector<double> row;
+      for (const auto& [a, i] : var_index) {
+        row.push_back(scored.per_attribute[a][i].cost);
+      }
+      ip.AddRow(std::move(row), options_.global_l1_budget);
+    }
+    HYPER_ASSIGN_OR_RETURN(opt::MilpSolution sol, opt::SolveBinaryMilp(ip));
+    if (!sol.feasible) {
+      return Status::Internal("how-to IP infeasible (unexpected)");
+    }
+    result.solver_nodes = sol.nodes_explored;
+    for (size_t v = 0; v < var_index.size(); ++v) {
+      if (sol.x[v] == 1) {
+        choice[var_index[v].first] = static_cast<int>(var_index[v].second);
+      }
+    }
+  }
+
+  // Assemble the plan.
+  result.objective_value = scored.baseline;
+  for (size_t a = 0; a < scored.per_attribute.size(); ++a) {
+    AttributeChoice ac;
+    ac.attribute = stmt.update_attributes[a];
+    if (choice[a] >= 0) {
+      const CandidateUpdate& cu = scored.per_attribute[a][choice[a]];
+      ac.changed = true;
+      ac.update = cu.spec;
+      ac.delta = cu.delta;
+      ac.cost = cu.cost;
+      result.objective_value += cu.delta;
+    }
+    result.plan.push_back(std::move(ac));
+  }
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<HowToResult> HowToEngine::RunMinCost(const sql::HowToStmt& stmt,
+                                            double objective_target) const {
+  Stopwatch timer;
+  HYPER_ASSIGN_OR_RETURN(ScoredCandidates scored, ScoreCandidates(stmt));
+  const double sign = stmt.maximize ? 1.0 : -1.0;
+  // Required signed improvement over the baseline.
+  const double required = sign * (objective_target - scored.baseline);
+
+  // IP: minimize sum(cost * delta-vars)  ==  maximize -cost, subject to
+  // choice rows and  sum(signed_delta * delta-vars) >= required.
+  opt::LpProblem ip;
+  std::vector<std::pair<size_t, size_t>> var_index;
+  for (size_t a = 0; a < scored.per_attribute.size(); ++a) {
+    for (size_t i = 0; i < scored.per_attribute[a].size(); ++i) {
+      ip.objective.push_back(-scored.per_attribute[a][i].cost);
+      var_index.emplace_back(a, i);
+    }
+  }
+  for (size_t a = 0; a < scored.per_attribute.size(); ++a) {
+    std::vector<double> row(var_index.size(), 0.0);
+    for (size_t v = 0; v < var_index.size(); ++v) {
+      if (var_index[v].first == a) row[v] = 1.0;
+    }
+    ip.AddRow(std::move(row), 1.0);
+  }
+  {
+    // -sum(signed_delta) <= -required.
+    std::vector<double> row;
+    for (const auto& [a, i] : var_index) {
+      row.push_back(-sign * scored.per_attribute[a][i].delta);
+    }
+    ip.AddRow(std::move(row), -required);
+  }
+  HYPER_ASSIGN_OR_RETURN(opt::MilpSolution sol, opt::SolveBinaryMilp(ip));
+  if (!sol.feasible) {
+    return Status::FailedPrecondition(
+        "no feasible plan reaches the objective target " +
+        StrFormat("%g", objective_target) +
+        " (baseline " + StrFormat("%g", scored.baseline) + ")");
+  }
+
+  HowToResult result;
+  result.baseline_value = scored.baseline;
+  result.candidates_evaluated = scored.evaluated;
+  result.candidates = scored.per_attribute;
+  result.solver_nodes = sol.nodes_explored;
+  result.objective_value = scored.baseline;
+  std::vector<int> choice(scored.per_attribute.size(), -1);
+  for (size_t v = 0; v < var_index.size(); ++v) {
+    if (sol.x[v] == 1) {
+      choice[var_index[v].first] = static_cast<int>(var_index[v].second);
+    }
+  }
+  for (size_t a = 0; a < scored.per_attribute.size(); ++a) {
+    AttributeChoice ac;
+    ac.attribute = stmt.update_attributes[a];
+    if (choice[a] >= 0) {
+      const CandidateUpdate& cu = scored.per_attribute[a][choice[a]];
+      ac.changed = true;
+      ac.update = cu.spec;
+      ac.delta = cu.delta;
+      ac.cost = cu.cost;
+      result.objective_value += cu.delta;
+    }
+    result.plan.push_back(std::move(ac));
+  }
+  result.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<HowToResult> HowToEngine::RunLexicographic(
+    const std::vector<const sql::HowToStmt*>& stmts) const {
+  if (stmts.empty()) {
+    return Status::InvalidArgument("need at least one objective");
+  }
+  for (const sql::HowToStmt* s : stmts) {
+    if (s->update_attributes != stmts[0]->update_attributes) {
+      return Status::InvalidArgument(
+          "lexicographic objectives must share the HowToUpdate list");
+    }
+  }
+
+  // Score every objective over the shared candidate space.
+  std::vector<ScoredCandidates> scored;
+  for (const sql::HowToStmt* s : stmts) {
+    HYPER_ASSIGN_OR_RETURN(ScoredCandidates sc, ScoreCandidates(*s));
+    scored.push_back(std::move(sc));
+  }
+  // Candidate sets must align (same Limit structure).
+  for (size_t k = 1; k < scored.size(); ++k) {
+    if (scored[k].per_attribute.size() != scored[0].per_attribute.size()) {
+      return Status::InvalidArgument("objectives disagree on candidates");
+    }
+    for (size_t a = 0; a < scored[0].per_attribute.size(); ++a) {
+      if (scored[k].per_attribute[a].size() !=
+          scored[0].per_attribute[a].size()) {
+        return Status::InvalidArgument("objectives disagree on candidates");
+      }
+    }
+  }
+
+  std::vector<std::pair<size_t, size_t>> var_index;
+  for (size_t a = 0; a < scored[0].per_attribute.size(); ++a) {
+    for (size_t i = 0; i < scored[0].per_attribute[a].size(); ++i) {
+      var_index.emplace_back(a, i);
+    }
+  }
+
+  std::vector<double> locked_values;  // achieved signed deltas per objective
+  std::vector<int> final_x;
+  for (size_t k = 0; k < stmts.size(); ++k) {
+    const double sign = stmts[k]->maximize ? 1.0 : -1.0;
+    opt::LpProblem ip;
+    for (const auto& [a, i] : var_index) {
+      ip.objective.push_back(sign * scored[k].per_attribute[a][i].delta);
+    }
+    for (size_t a = 0; a < scored[0].per_attribute.size(); ++a) {
+      std::vector<double> row(var_index.size(), 0.0);
+      for (size_t v = 0; v < var_index.size(); ++v) {
+        if (var_index[v].first == a) row[v] = 1.0;
+      }
+      ip.AddRow(std::move(row), 1.0);
+    }
+    if (options_.global_l1_budget >= 0.0) {
+      std::vector<double> row;
+      for (const auto& [a, i] : var_index) {
+        row.push_back(scored[k].per_attribute[a][i].cost);
+      }
+      ip.AddRow(std::move(row), options_.global_l1_budget);
+    }
+    // Lock previously solved objectives to their achieved values
+    // (Example 11): equality as a <= / >= pair with a small tolerance.
+    for (size_t j = 0; j < locked_values.size(); ++j) {
+      const double sj = stmts[j]->maximize ? 1.0 : -1.0;
+      std::vector<double> row;
+      for (const auto& [a, i] : var_index) {
+        row.push_back(sj * scored[j].per_attribute[a][i].delta);
+      }
+      const double eps = 1e-6 * (1.0 + std::fabs(locked_values[j]));
+      std::vector<double> neg(row.size());
+      for (size_t v = 0; v < row.size(); ++v) neg[v] = -row[v];
+      ip.AddRow(std::move(row), locked_values[j] + eps);
+      ip.AddRow(std::move(neg), -(locked_values[j] - eps));
+    }
+    HYPER_ASSIGN_OR_RETURN(opt::MilpSolution sol, opt::SolveBinaryMilp(ip));
+    if (!sol.feasible) {
+      return Status::Internal("lexicographic IP infeasible");
+    }
+    locked_values.push_back(sol.objective);
+    final_x = sol.x;
+  }
+
+  // Assemble from the last solve; report the primary objective's metrics.
+  HowToResult result;
+  result.baseline_value = scored[0].baseline;
+  result.candidates_evaluated = 0;
+  for (const ScoredCandidates& sc : scored) {
+    result.candidates_evaluated += sc.evaluated;
+  }
+  result.candidates = scored[0].per_attribute;
+  result.objective_value = scored[0].baseline;
+  std::vector<int> choice(scored[0].per_attribute.size(), -1);
+  for (size_t v = 0; v < var_index.size(); ++v) {
+    if (final_x[v] == 1) {
+      choice[var_index[v].first] = static_cast<int>(var_index[v].second);
+    }
+  }
+  for (size_t a = 0; a < scored[0].per_attribute.size(); ++a) {
+    AttributeChoice ac;
+    ac.attribute = stmts[0]->update_attributes[a];
+    if (choice[a] >= 0) {
+      const CandidateUpdate& cu = scored[0].per_attribute[a][choice[a]];
+      ac.changed = true;
+      ac.update = cu.spec;
+      ac.delta = cu.delta;
+      ac.cost = cu.cost;
+      result.objective_value += cu.delta;
+    }
+    result.plan.push_back(std::move(ac));
+  }
+  return result;
+}
+
+}  // namespace hyper::howto

@@ -1,0 +1,129 @@
+#ifndef HYPER_HOWTO_ENGINE_H_
+#define HYPER_HOWTO_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causal/graph.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "whatif/compile.h"
+#include "whatif/engine.h"
+
+namespace hyper::howto {
+
+struct HowToOptions {
+  /// Estimation options for the candidate what-if evaluations.
+  whatif::WhatIfOptions whatif = {};
+  /// Buckets for discretizing continuous update ranges (§4.3; Figure 9
+  /// sweeps this).
+  size_t num_buckets = 8;
+  /// Optional global L1 budget coupling the chosen updates across
+  /// attributes (sum of per-attribute normalized L1 costs). Negative =
+  /// disabled; per-attribute L1 limits from the query always apply.
+  /// This is the engine-level extension that makes the IP a genuine
+  /// multiple-choice knapsack instead of a separable argmax.
+  double global_l1_budget = -1.0;
+  /// Solve with the exact multiple-choice-knapsack specialisation when the
+  /// IP has only choice rows + one budget row; false forces general
+  /// branch-and-bound (ablation).
+  bool prefer_mck = true;
+};
+
+/// One candidate update for one attribute (an element of the S_B sets of
+/// §4.3), with its estimated single-attribute what-if objective.
+struct CandidateUpdate {
+  whatif::UpdateSpec spec;
+  double objective_value = 0.0;  // estimated what-if value if applied alone
+  double delta = 0.0;            // objective_value - baseline_value
+  double cost = 0.0;             // normalized L1 over S (0 for categorical)
+};
+
+/// The chosen action for one HowToUpdate attribute.
+struct AttributeChoice {
+  std::string attribute;
+  bool changed = false;
+  whatif::UpdateSpec update;  // valid when changed
+  double delta = 0.0;
+  double cost = 0.0;
+
+  std::string ToString() const;
+};
+
+struct HowToResult {
+  std::vector<AttributeChoice> plan;
+  double baseline_value = 0.0;   // objective with no update
+  double objective_value = 0.0;  // baseline + sum of chosen deltas (linear phi)
+  size_t candidates_evaluated = 0;
+  bool used_mck = false;
+  size_t solver_nodes = 0;
+  double total_seconds = 0.0;
+  /// Full candidate sets, per HowToUpdate attribute (for benches/debugging).
+  std::vector<std::vector<CandidateUpdate>> candidates;
+
+  std::string PlanToString() const;
+};
+
+/// The HypeR how-to engine (§4): enumerates permissible bucketized updates
+/// per attribute, scores each with a candidate what-if query (Definition 7),
+/// and solves the resulting integer program (Equations 7-9) — by exact
+/// multiple-choice knapsack when the structure allows, else by
+/// branch-and-bound over the simplex relaxation.
+class HowToEngine {
+ public:
+  HowToEngine(const Database* db, const causal::CausalGraph* graph,
+              HowToOptions options = {});
+
+  Result<HowToResult> Run(const sql::HowToStmt& stmt) const;
+  Result<HowToResult> RunSql(const std::string& text) const;
+
+  /// Preferential multi-objective optimization (§4.3, Example 11): solves
+  /// the statements in order of priority; each solved objective is locked
+  /// (its achieved delta becomes an equality constraint) before optimizing
+  /// the next. All statements must share Use/When/HowToUpdate/Limit.
+  Result<HowToResult> RunLexicographic(
+      const std::vector<const sql::HowToStmt*>& stmts) const;
+
+  /// The paper's alternate formulation (§4.3, footnote 3): minimize the
+  /// total normalized-L1 update cost subject to the objective reaching at
+  /// least `objective_target` (for ToMaximize statements; at most, for
+  /// ToMinimize). Infeasible targets surface as FailedPrecondition.
+  Result<HowToResult> RunMinCost(const sql::HowToStmt& stmt,
+                                 double objective_target) const;
+
+  /// Generates the candidate update set for each HowToUpdate attribute of
+  /// `stmt` without scoring them (exposed for the Opt-HowTo baseline, which
+  /// must search the same space).
+  Result<std::vector<std::vector<whatif::UpdateSpec>>> EnumerateCandidates(
+      const sql::HowToStmt& stmt) const;
+
+  const HowToOptions& options() const { return options_; }
+
+ private:
+  struct ScoredCandidates;
+
+  /// Scores every candidate with a single-attribute what-if run.
+  Result<ScoredCandidates> ScoreCandidates(const sql::HowToStmt& stmt) const;
+
+  const Database* db_;
+  const causal::CausalGraph* graph_;  // nullable
+  HowToOptions options_;
+};
+
+/// The baseline objective value: the what-if machinery run with an empty
+/// update set (every tuple unaffected), i.e. the observational aggregate.
+Result<double> BaselineObjective(const Database& db,
+                                 const sql::HowToStmt& stmt);
+
+/// Builds the candidate what-if statement of Definition 7: same Use / When /
+/// For as the how-to statement, the given updates, and the ToMaximize /
+/// ToMinimize aggregate as Output. Shared with the Opt-HowTo baseline so
+/// both search exactly the same query space.
+sql::WhatIfStmt MakeCandidateWhatIf(const sql::HowToStmt& howto,
+                                    const std::vector<whatif::UpdateSpec>& updates);
+
+}  // namespace hyper::howto
+
+#endif  // HYPER_HOWTO_ENGINE_H_

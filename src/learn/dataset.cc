@@ -1,0 +1,103 @@
+#include "learn/dataset.h"
+
+#include "common/strings.h"
+
+namespace hyper::learn {
+
+Result<FeatureEncoder> FeatureEncoder::Fit(
+    const Table& table, const std::vector<std::string>& columns) {
+  FeatureEncoder enc;
+  enc.columns_ = columns;
+  for (const std::string& col : columns) {
+    HYPER_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(col));
+    enc.column_indices_.push_back(idx);
+    enc.is_categorical_.push_back(table.schema().attribute(idx).type ==
+                                  ValueType::kString);
+    enc.codes_.emplace_back();
+  }
+  // Label-encode string columns in first-seen order.
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    for (size_t f = 0; f < enc.columns_.size(); ++f) {
+      if (!enc.is_categorical_[f]) continue;
+      const Value& v = table.At(t, enc.column_indices_[f]);
+      if (v.is_null()) continue;
+      auto& codes = enc.codes_[f];
+      codes.emplace(v.string_value(), static_cast<double>(codes.size()));
+    }
+  }
+  return enc;
+}
+
+Result<double> FeatureEncoder::EncodeValue(size_t i, const Value& v) const {
+  if (i >= columns_.size()) {
+    return Status::OutOfRange("feature index out of range");
+  }
+  if (v.is_null()) {
+    // NULLs encode as a sentinel below every real value; trees can separate
+    // them from genuine data.
+    return -1e30;
+  }
+  if (is_categorical_[i]) {
+    if (v.type() != ValueType::kString) {
+      // Numeric value for a categorical feature (e.g. pre-encoded): accept.
+      return v.AsDouble();
+    }
+    auto it = codes_[i].find(v.string_value());
+    if (it == codes_[i].end()) {
+      return static_cast<double>(codes_[i].size());  // unseen category
+    }
+    return it->second;
+  }
+  return v.AsDouble();
+}
+
+Result<std::vector<double>> FeatureEncoder::EncodeRow(const Table& table,
+                                                      size_t tid) const {
+  std::vector<double> out(columns_.size());
+  for (size_t f = 0; f < columns_.size(); ++f) {
+    HYPER_ASSIGN_OR_RETURN(out[f],
+                           EncodeValue(f, table.At(tid, column_indices_[f])));
+  }
+  return out;
+}
+
+Result<Matrix> FeatureEncoder::EncodeAll(const Table& table) const {
+  Matrix out;
+  out.reserve(table.num_rows());
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    HYPER_ASSIGN_OR_RETURN(std::vector<double> row, EncodeRow(table, t));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Matrix> FeatureEncoder::EncodeSubset(
+    const Table& table, const std::vector<size_t>& tids) const {
+  Matrix out;
+  out.reserve(tids.size());
+  for (size_t t : tids) {
+    HYPER_ASSIGN_OR_RETURN(std::vector<double> row, EncodeRow(table, t));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<double>> ExtractTarget(const Table& table,
+                                          const std::string& column) {
+  HYPER_ASSIGN_OR_RETURN(size_t idx, table.schema().IndexOf(column));
+  std::vector<double> out;
+  out.reserve(table.num_rows());
+  for (size_t t = 0; t < table.num_rows(); ++t) {
+    const Value& v = table.At(t, idx);
+    if (v.is_null()) {
+      return Status::InvalidArgument(
+          StrFormat("NULL target in column '%s' at row %zu", column.c_str(),
+                    t));
+    }
+    HYPER_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace hyper::learn

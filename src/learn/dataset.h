@@ -1,0 +1,55 @@
+#ifndef HYPER_LEARN_DATASET_H_
+#define HYPER_LEARN_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hyper::learn {
+
+/// Row-major numeric feature matrix.
+using Matrix = std::vector<std::vector<double>>;
+
+/// Maps table columns to numeric features: numeric columns pass through,
+/// string columns are label-encoded in first-seen order. The encoder is
+/// fitted once on training data and then applied to (possibly hypothetical)
+/// values at prediction time; unseen categories map to a fresh code past the
+/// fitted range, which regression trees treat as "none of the known ones".
+class FeatureEncoder {
+ public:
+  /// Fits an encoder over `columns` of `table`.
+  static Result<FeatureEncoder> Fit(const Table& table,
+                                    const std::vector<std::string>& columns);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t num_features() const { return columns_.size(); }
+
+  /// Encodes a single value for feature `i`.
+  Result<double> EncodeValue(size_t i, const Value& v) const;
+
+  /// Encodes one table row (by the fitted column set).
+  Result<std::vector<double>> EncodeRow(const Table& table, size_t tid) const;
+
+  /// Encodes every row of `table` (or of the subset `tids`).
+  Result<Matrix> EncodeAll(const Table& table) const;
+  Result<Matrix> EncodeSubset(const Table& table,
+                              const std::vector<size_t>& tids) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<size_t> column_indices_;              // into the fitted schema
+  std::vector<bool> is_categorical_;                // per feature
+  std::vector<std::unordered_map<std::string, double>> codes_;  // per feature
+};
+
+/// Extracts a numeric target column; booleans map to 0/1 and NULLs are
+/// rejected.
+Result<std::vector<double>> ExtractTarget(const Table& table,
+                                          const std::string& column);
+
+}  // namespace hyper::learn
+
+#endif  // HYPER_LEARN_DATASET_H_

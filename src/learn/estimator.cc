@@ -1,0 +1,13 @@
+#include "learn/estimator.h"
+
+namespace hyper::learn {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kFrequency: return "frequency";
+    case EstimatorKind::kForest: return "forest";
+  }
+  return "?";
+}
+
+}  // namespace hyper::learn

@@ -1,0 +1,49 @@
+#ifndef HYPER_LEARN_ESTIMATOR_H_
+#define HYPER_LEARN_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "learn/dataset.h"
+
+namespace hyper::learn {
+
+/// Estimates the conditional mean E[y | x] from training data. This is the
+/// single abstraction behind all probability estimation in HypeR: with an
+/// indicator target it estimates Pr(event | x) (Proposition 2), with a
+/// numeric target it estimates E[Y | x] (Proposition 5). The paper's
+/// implementation used sklearn's RandomForestRegressor; this library ships
+/// a from-scratch forest plus an exact frequency-table estimator for fully
+/// discrete data (the §A.4 support index).
+class ConditionalMeanEstimator {
+ public:
+  virtual ~ConditionalMeanEstimator() = default;
+
+  /// Trains on feature matrix X (one row per example) and targets y.
+  virtual Status Fit(const Matrix& x, const std::vector<double>& y) = 0;
+
+  /// Predicts E[y | x]. Must be called after a successful Fit.
+  virtual double Predict(const std::vector<double>& x) const = 0;
+
+  /// Batch prediction convenience.
+  std::vector<double> PredictAll(const Matrix& x) const {
+    std::vector<double> out;
+    out.reserve(x.size());
+    for (const auto& row : x) out.push_back(Predict(row));
+    return out;
+  }
+};
+
+/// Which estimator backs probability computation (engine option; the paper's
+/// experiments correspond to kForest).
+enum class EstimatorKind {
+  kFrequency = 0,  // exact empirical conditionals with a support index
+  kForest,         // bagged CART regression forest
+};
+
+const char* EstimatorKindName(EstimatorKind kind);
+
+}  // namespace hyper::learn
+
+#endif  // HYPER_LEARN_ESTIMATOR_H_

@@ -1,0 +1,82 @@
+#include "learn/forest.h"
+
+#include <cmath>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace hyper::learn {
+
+Status RandomForestRegressor::Fit(const Matrix& x,
+                                  const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("feature/target row counts differ");
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument("cannot fit a forest on zero rows");
+  }
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features == 0 && options_.sqrt_features &&
+      !x[0].empty()) {
+    tree_options.max_features = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(x[0].size()))));
+  }
+
+  // Draw every bootstrap sample up front from one sequential stream so the
+  // forest is deterministic regardless of how training is scheduled.
+  Rng rng(options_.seed);
+  const size_t n = x.size();
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(options_.subsample * static_cast<double>(n)));
+  std::vector<std::vector<size_t>> bootstraps(options_.num_trees);
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    bootstraps[t].resize(sample_size);
+    for (size_t i = 0; i < sample_size; ++i) {
+      bootstraps[t][i] = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    trees_.emplace_back(tree_options, /*seed=*/options_.seed + 7919 * (t + 1));
+  }
+
+  // Train trees in parallel when the work is worth the thread overhead.
+  const size_t hardware = std::thread::hardware_concurrency();
+  const size_t workers = std::min<size_t>(
+      options_.num_trees,
+      hardware > 1 && n * options_.num_trees > 65536 ? hardware : 1);
+  std::vector<Status> statuses(options_.num_trees);
+  if (workers <= 1) {
+    for (size_t t = 0; t < options_.num_trees; ++t) {
+      statuses[t] = trees_[t].FitSubset(x, y, std::move(bootstraps[t]));
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (size_t t = w; t < options_.num_trees; t += workers) {
+          statuses[t] = trees_[t].FitSubset(x, y, std::move(bootstraps[t]));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (const Status& status : statuses) {
+    HYPER_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+double RandomForestRegressor::Predict(const std::vector<double>& x) const {
+  HYPER_DCHECK(!trees_.empty());
+  double total = 0.0;
+  for (const DecisionTreeRegressor& tree : trees_) {
+    total += tree.Predict(x);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace hyper::learn

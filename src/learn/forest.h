@@ -1,0 +1,41 @@
+#ifndef HYPER_LEARN_FOREST_H_
+#define HYPER_LEARN_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "learn/tree.h"
+
+namespace hyper::learn {
+
+struct ForestOptions {
+  size_t num_trees = 16;
+  TreeOptions tree = {};
+  /// Bootstrap sample fraction per tree.
+  double subsample = 1.0;
+  /// When true and tree.max_features == 0, each tree considers
+  /// ceil(sqrt(#features)) features per split (standard RF default).
+  bool sqrt_features = true;
+  uint64_t seed = 1234;
+};
+
+/// Bagged random forest regressor — the estimator the paper uses for
+/// conditional probabilities (§5 "random forest regressor").
+class RandomForestRegressor : public ConditionalMeanEstimator {
+ public:
+  explicit RandomForestRegressor(ForestOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace hyper::learn
+
+#endif  // HYPER_LEARN_FOREST_H_

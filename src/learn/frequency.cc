@@ -1,0 +1,82 @@
+#include "learn/frequency.h"
+
+#include "common/logging.h"
+
+namespace hyper::learn {
+
+Status FrequencyEstimator::Fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("feature/target row counts differ");
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument("cannot fit estimator on zero rows");
+  }
+  num_features_ = x[0].size();
+  tables_.clear();
+  const size_t levels = backoff_ ? num_features_ : 1;
+  tables_.resize(std::max<size_t>(levels, 1));
+
+  double total = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    total += y[i];
+    if (num_features_ == 0) continue;
+    if (backoff_) {
+      std::vector<double> prefix;
+      prefix.reserve(num_features_);
+      for (size_t k = 0; k < num_features_; ++k) {
+        prefix.push_back(x[i][k]);
+        Cell& cell = tables_[k][prefix];
+        cell.sum += y[i];
+        ++cell.count;
+      }
+    } else {
+      Cell& cell = tables_[0][x[i]];
+      cell.sum += y[i];
+      ++cell.count;
+    }
+  }
+  global_mean_ = total / static_cast<double>(x.size());
+  return Status::OK();
+}
+
+double FrequencyEstimator::Predict(const std::vector<double>& x) const {
+  HYPER_DCHECK(x.size() == num_features_);
+  if (num_features_ == 0 || tables_.empty()) return global_mean_;
+
+  if (!backoff_) {
+    auto it = tables_[0].find(x);
+    if (it == tables_[0].end()) return global_mean_;
+    return (it->second.sum + smoothing_ * global_mean_) /
+           (static_cast<double>(it->second.count) + smoothing_);
+  }
+
+  if (smoothing_ <= 0.0) {
+    // Exact mode: longest-prefix match, most specific first.
+    std::vector<double> prefix = x;
+    for (size_t k = num_features_; k > 0; --k) {
+      prefix.resize(k);
+      const SupportTable& table = tables_[k - 1];
+      auto it = table.find(prefix);
+      if (it != table.end()) {
+        return it->second.sum / static_cast<double>(it->second.count);
+      }
+    }
+    return global_mean_;
+  }
+
+  // Hierarchical shrinkage: fold from the least specific level down,
+  // blending each cell with the estimate one level up.
+  double estimate = global_mean_;
+  std::vector<double> prefix;
+  prefix.reserve(num_features_);
+  for (size_t k = 0; k < num_features_; ++k) {
+    prefix.push_back(x[k]);
+    auto it = tables_[k].find(prefix);
+    if (it == tables_[k].end()) break;  // deeper levels are unseen too
+    estimate = (it->second.sum + smoothing_ * estimate) /
+               (static_cast<double>(it->second.count) + smoothing_);
+  }
+  return estimate;
+}
+
+}  // namespace hyper::learn

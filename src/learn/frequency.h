@@ -1,0 +1,74 @@
+#ifndef HYPER_LEARN_FREQUENCY_H_
+#define HYPER_LEARN_FREQUENCY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "learn/estimator.h"
+
+namespace hyper::learn {
+
+/// Exact empirical conditional-mean estimator for discrete feature spaces:
+/// E[y | x] = mean of y over training rows with exactly the feature vector
+/// x. This is the paper's §A.4 optimization — instead of iterating over the
+/// full Dom(C) (exponential), an index over the values with non-zero support
+/// is built once (linear in data size) and consulted at query time.
+///
+/// Unseen feature vectors fall back along a backoff chain: drop the last
+/// feature and retry, ending at the global mean. (The last features are the
+/// least specific in how the engine orders them: update attribute first,
+/// then backdoor attributes.)
+class FrequencyEstimator : public ConditionalMeanEstimator {
+ public:
+  /// `backoff`: when true (default) unseen vectors back off by dropping
+  /// trailing features; when false they return the global mean directly.
+  ///
+  /// `smoothing` (pseudo-count m >= 0): hierarchical shrinkage along the
+  /// backoff chain. Each level's estimate is the cell mean blended with the
+  /// next-less-specific level's estimate,
+  ///     est_k = (sum_k + m * est_{k-1}) / (count_k + m),
+  /// anchored at the global mean. m = 0 reproduces the exact empirical
+  /// conditional (used by the correctness tests); small m (5-20) trades a
+  /// little bias for much lower variance in sparse cells — important when
+  /// continuous features are bucketized.
+  explicit FrequencyEstimator(bool backoff = true, double smoothing = 0.0)
+      : backoff_(backoff), smoothing_(smoothing) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+  double Predict(const std::vector<double>& x) const override;
+
+  /// Number of distinct feature vectors with support (index size).
+  size_t support_size() const {
+    return tables_.empty() ? 0 : tables_.back().size();
+  }
+
+ private:
+  struct VecHash {
+    size_t operator()(const std::vector<double>& v) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (double d : v) {
+        h ^= std::hash<double>()(d);
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+  struct Cell {
+    double sum = 0.0;
+    size_t count = 0;
+  };
+  using SupportTable =
+      std::unordered_map<std::vector<double>, Cell, VecHash>;
+
+  bool backoff_ = true;
+  double smoothing_ = 0.0;
+  double global_mean_ = 0.0;
+  size_t num_features_ = 0;
+  /// tables_[k] indexes prefixes of length k+1; tables_.back() is the full
+  /// feature vector. Only the full table is built when backoff_ is false.
+  std::vector<SupportTable> tables_;
+};
+
+}  // namespace hyper::learn
+
+#endif  // HYPER_LEARN_FREQUENCY_H_

@@ -1,0 +1,185 @@
+#include "learn/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hyper::learn {
+
+Status DecisionTreeRegressor::Fit(const Matrix& x,
+                                  const std::vector<double>& y) {
+  std::vector<size_t> rows(x.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return FitSubset(x, y, std::move(rows));
+}
+
+Status DecisionTreeRegressor::FitSubset(const Matrix& x,
+                                        const std::vector<double>& y,
+                                        std::vector<size_t> rows) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("feature/target row counts differ");
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("cannot fit a tree on zero rows");
+  }
+  for (size_t r : rows) {
+    if (r >= x.size()) return Status::OutOfRange("row index out of range");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  order_ = std::move(rows);
+  BuildNode(x, y, 0, order_.size(), 0);
+  return Status::OK();
+}
+
+int DecisionTreeRegressor::BuildNode(const Matrix& x,
+                                     const std::vector<double>& y,
+                                     size_t begin, size_t end, int depth) {
+  depth_ = std::max(depth_, depth);
+  const size_t n = end - begin;
+
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += y[order_[i]];
+  const double mean = sum / static_cast<double>(n);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].value = mean;
+
+  if (depth >= options_.max_depth || n < 2 * options_.min_samples_leaf) {
+    return node_index;
+  }
+
+  // Pure nodes stop; impure nodes accept the best valid split even at zero
+  // immediate gain (an XOR-style interaction has zero marginal gain at the
+  // root yet splits perfectly one level down).
+  double sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = y[order_[i]] - mean;
+    sq += d * d;
+  }
+  if (sq <= 1e-12) return node_index;
+
+  Split split = FindBestSplit(x, y, begin, end);
+  if (split.feature < 0) {
+    return node_index;  // no valid candidate (all features constant)
+  }
+
+  // Partition order_[begin, end) around the threshold.
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (x[order_[i]][split.feature] <= split.threshold) {
+      std::swap(order_[i], order_[mid]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) {
+    return node_index;  // degenerate split (ties): keep as leaf
+  }
+
+  nodes_[node_index].feature = split.feature;
+  nodes_[node_index].threshold = split.threshold;
+  const int left = BuildNode(x, y, begin, mid, depth + 1);
+  const int right = BuildNode(x, y, mid, end, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+DecisionTreeRegressor::Split DecisionTreeRegressor::FindBestSplit(
+    const Matrix& x, const std::vector<double>& y, size_t begin, size_t end) {
+  const size_t n = end - begin;
+  const size_t num_features = x.empty() ? 0 : x[0].size();
+
+  // Candidate features (random subset when max_features is set — forests).
+  std::vector<size_t> features;
+  if (options_.max_features > 0 && options_.max_features < num_features) {
+    features = rng_.SampleWithoutReplacement(num_features,
+                                             options_.max_features);
+  } else {
+    features.resize(num_features);
+    for (size_t f = 0; f < num_features; ++f) features[f] = f;
+  }
+
+  Split best;
+  best.gain = -1.0;  // accept zero-gain splits; see BuildNode
+  std::vector<std::pair<double, double>> pairs;  // (feature value, target)
+  pairs.reserve(n);
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double t = y[order_[i]];
+    total_sum += t;
+    total_sq += t * t;
+  }
+  const double parent_sse =
+      total_sq - total_sum * total_sum / static_cast<double>(n);
+
+  for (size_t f : features) {
+    pairs.clear();
+    for (size_t i = begin; i < end; ++i) {
+      pairs.emplace_back(x[order_[i]][f], y[order_[i]]);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    if (pairs.front().first == pairs.back().first) continue;  // constant
+
+    // Scan split positions between distinct consecutive values. With more
+    // than max_thresholds distinct boundaries, evaluate a stride subset.
+    double left_sum = 0.0, left_sq = 0.0;
+    size_t left_n = 0;
+    // Collect boundary positions first to apply the stride uniformly.
+    std::vector<size_t> boundaries;
+    for (size_t i = 0; i + 1 < pairs.size(); ++i) {
+      if (pairs[i].first < pairs[i + 1].first) boundaries.push_back(i);
+    }
+    size_t stride = 1;
+    if (boundaries.size() > options_.max_thresholds &&
+        options_.max_thresholds > 0) {
+      stride = boundaries.size() / options_.max_thresholds;
+    }
+
+    size_t next_boundary = 0;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      left_sum += pairs[i].second;
+      left_sq += pairs[i].second * pairs[i].second;
+      ++left_n;
+      if (next_boundary >= boundaries.size() ||
+          boundaries[next_boundary] != i) {
+        continue;
+      }
+      next_boundary += stride;
+      if (left_n < options_.min_samples_leaf ||
+          n - left_n < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const size_t right_n = n - left_n;
+      const double left_sse =
+          left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double right_sse =
+          right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = parent_sse - left_sse - right_sse;
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = (pairs[i].first + pairs[i + 1].first) / 2.0;
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+double DecisionTreeRegressor::Predict(const std::vector<double>& x) const {
+  HYPER_DCHECK(!nodes_.empty());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& n = nodes_[node];
+    node = x[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace hyper::learn

@@ -1,0 +1,75 @@
+#ifndef HYPER_LEARN_TREE_H_
+#define HYPER_LEARN_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "learn/estimator.h"
+
+namespace hyper::learn {
+
+struct TreeOptions {
+  int max_depth = 12;
+  size_t min_samples_leaf = 5;
+  /// Features considered per split; 0 = all (single trees), forests pass
+  /// ~sqrt(#features).
+  size_t max_features = 0;
+  /// Cap on candidate thresholds per feature per node; larger = finer splits
+  /// but slower training.
+  size_t max_thresholds = 64;
+};
+
+/// CART regression tree: axis-aligned splits chosen by variance reduction,
+/// leaves predict the mean target of their training rows.
+class DecisionTreeRegressor : public ConditionalMeanEstimator {
+ public:
+  explicit DecisionTreeRegressor(TreeOptions options = {},
+                                 uint64_t seed = 42)
+      : options_(options), rng_(seed) {}
+
+  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+
+  /// Trains on the subset of rows `rows` of (x, y) — used by forests for
+  /// bootstrap samples without copying the matrix.
+  Status FitSubset(const Matrix& x, const std::vector<double>& y,
+                   std::vector<size_t> rows);
+
+  double Predict(const std::vector<double>& x) const override;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;      // leaf prediction
+  };
+
+  /// Builds the subtree over x/y rows [begin, end) of `order_` at `depth`;
+  /// returns the node index.
+  int BuildNode(const Matrix& x, const std::vector<double>& y, size_t begin,
+                size_t end, int depth);
+
+  struct Split {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+  Split FindBestSplit(const Matrix& x, const std::vector<double>& y,
+                      size_t begin, size_t end);
+
+  TreeOptions options_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::vector<size_t> order_;  // row indices, partitioned during building
+  int depth_ = 0;
+};
+
+}  // namespace hyper::learn
+
+#endif  // HYPER_LEARN_TREE_H_

@@ -1,0 +1,207 @@
+#include "opt/lp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hyper::opt {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr size_t kMaxIterations = 20000;
+
+/// Dense tableau state: equality system A x = b with a current basis.
+struct Tableau {
+  std::vector<std::vector<double>> a;  // m x cols
+  std::vector<double> b;               // m
+  std::vector<size_t> basis;           // m basic column indices
+  size_t cols = 0;
+
+  void Pivot(size_t row, size_t col) {
+    const double pivot = a[row][col];
+    HYPER_DCHECK(std::fabs(pivot) > kEps);
+    const double inv = 1.0 / pivot;
+    for (size_t j = 0; j < cols; ++j) a[row][j] *= inv;
+    b[row] *= inv;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i == row) continue;
+      const double factor = a[i][col];
+      if (std::fabs(factor) < kEps) continue;
+      for (size_t j = 0; j < cols; ++j) a[i][j] -= factor * a[row][j];
+      b[i] -= factor * b[row];
+    }
+    basis[row] = col;
+  }
+};
+
+/// Runs primal simplex maximizing costs^T x over columns < allowed_cols.
+/// Returns kOptimal or kUnbounded.
+Result<LpStatus> RunSimplex(Tableau* t, const std::vector<double>& costs,
+                            size_t allowed_cols) {
+  const size_t m = t->a.size();
+  for (size_t iter = 0; iter < kMaxIterations; ++iter) {
+    // Reduced costs: c_j - c_B^T B^{-1} A_j. The tableau is kept in
+    // canonical form, so c_B^T B^{-1} A_j = sum over rows of
+    // cost(basis[i]) * a[i][j].
+    size_t entering = SIZE_MAX;
+    for (size_t j = 0; j < allowed_cols; ++j) {
+      double reduced = costs[j];
+      for (size_t i = 0; i < m; ++i) {
+        if (costs[t->basis[i]] != 0.0) {
+          reduced -= costs[t->basis[i]] * t->a[i][j];
+        }
+      }
+      if (reduced > kEps) {  // Bland: first improving column
+        entering = j;
+        break;
+      }
+    }
+    if (entering == SIZE_MAX) return LpStatus::kOptimal;
+
+    // Ratio test (Bland tie-break on the basic variable index).
+    size_t leaving = SIZE_MAX;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      if (t->a[i][entering] > kEps) {
+        const double ratio = t->b[i] / t->a[i][entering];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leaving == SIZE_MAX || t->basis[i] < t->basis[leaving]))) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+    }
+    if (leaving == SIZE_MAX) return LpStatus::kUnbounded;
+    t->Pivot(leaving, entering);
+  }
+  return Status::Internal("simplex iteration limit exceeded");
+}
+
+}  // namespace
+
+void LpProblem::AddRow(std::vector<double> row, double bound) {
+  HYPER_CHECK(row.size() == objective.size());
+  constraints.push_back(std::move(row));
+  rhs.push_back(bound);
+}
+
+Result<LpSolution> SolveLp(const LpProblem& problem) {
+  const size_t n = problem.num_vars();
+  const size_t m = problem.num_rows();
+  for (const auto& row : problem.constraints) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("constraint row arity mismatch");
+    }
+  }
+  if (problem.rhs.size() != m) {
+    return Status::InvalidArgument("rhs size mismatch");
+  }
+
+  if (m == 0) {
+    // Unconstrained nonnegative maximization: either all costs <= 0 (x = 0)
+    // or unbounded.
+    LpSolution sol;
+    sol.x.assign(n, 0.0);
+    for (double c : problem.objective) {
+      if (c > kEps) {
+        sol.status = LpStatus::kUnbounded;
+        return sol;
+      }
+    }
+    sol.status = LpStatus::kOptimal;
+    sol.objective = 0.0;
+    return sol;
+  }
+
+  // Equality system with slacks; rows with negative rhs are negated and get
+  // artificial variables (their slack enters with coefficient -1).
+  Tableau t;
+  std::vector<bool> needs_artificial(m, false);
+  t.a.assign(m, std::vector<double>(n + m, 0.0));
+  t.b.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) t.a[i][j] = problem.constraints[i][j];
+    t.a[i][n + i] = 1.0;
+    t.b[i] = problem.rhs[i];
+    if (t.b[i] < 0.0) {
+      for (size_t j = 0; j < n + m; ++j) t.a[i][j] = -t.a[i][j];
+      t.b[i] = -t.b[i];
+      needs_artificial[i] = true;
+    }
+  }
+  size_t num_artificial = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (needs_artificial[i]) ++num_artificial;
+  }
+  t.cols = n + m + num_artificial;
+  t.basis.resize(m);
+  {
+    size_t next_art = n + m;
+    for (size_t i = 0; i < m; ++i) {
+      for (auto& row : t.a) row.resize(t.cols, 0.0);
+      if (needs_artificial[i]) {
+        t.a[i][next_art] = 1.0;
+        t.basis[i] = next_art;
+        ++next_art;
+      } else {
+        t.basis[i] = n + i;
+      }
+    }
+  }
+
+  // Phase 1: maximize -(sum of artificials) to 0.
+  if (num_artificial > 0) {
+    std::vector<double> phase1(t.cols, 0.0);
+    for (size_t j = n + m; j < t.cols; ++j) phase1[j] = -1.0;
+    HYPER_ASSIGN_OR_RETURN(LpStatus st, RunSimplex(&t, phase1, t.cols));
+    if (st == LpStatus::kUnbounded) {
+      return Status::Internal("phase-1 cannot be unbounded");
+    }
+    double infeasibility = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      if (t.basis[i] >= n + m) infeasibility += t.b[i];
+    }
+    if (infeasibility > 1e-7) {
+      LpSolution sol;
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    // Pivot any artificial still basic (at level ~0) out of the basis.
+    for (size_t i = 0; i < m; ++i) {
+      if (t.basis[i] < n + m) continue;
+      size_t col = SIZE_MAX;
+      for (size_t j = 0; j < n + m; ++j) {
+        if (std::fabs(t.a[i][j]) > kEps) {
+          col = j;
+          break;
+        }
+      }
+      if (col != SIZE_MAX) t.Pivot(i, col);
+      // Otherwise the row is redundant; the artificial stays basic at 0.
+    }
+  }
+
+  // Phase 2: maximize the real objective over structural + slack columns.
+  std::vector<double> costs(t.cols, 0.0);
+  for (size_t j = 0; j < n; ++j) costs[j] = problem.objective[j];
+  HYPER_ASSIGN_OR_RETURN(LpStatus st, RunSimplex(&t, costs, n + m));
+  LpSolution sol;
+  sol.status = st;
+  if (st != LpStatus::kOptimal) return sol;
+
+  sol.x.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (t.basis[i] < n) sol.x[t.basis[i]] = t.b[i];
+  }
+  sol.objective = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    sol.objective += problem.objective[j] * sol.x[j];
+  }
+  return sol;
+}
+
+}  // namespace hyper::opt

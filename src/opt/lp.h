@@ -1,0 +1,46 @@
+#ifndef HYPER_OPT_LP_H_
+#define HYPER_OPT_LP_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyper::opt {
+
+/// A linear program in the form
+///     maximize    c^T x
+///     subject to  A x <= b,  x >= 0.
+/// Coefficients and right-hand sides may be negative (the solver runs a
+/// phase-1 when the all-slack basis is infeasible).
+struct LpProblem {
+  std::vector<double> objective;                 // c
+  std::vector<std::vector<double>> constraints;  // rows of A
+  std::vector<double> rhs;                       // b
+
+  size_t num_vars() const { return objective.size(); }
+  size_t num_rows() const { return constraints.size(); }
+
+  /// Appends a row a^T x <= b.
+  void AddRow(std::vector<double> row, double bound);
+};
+
+enum class LpStatus {
+  kOptimal = 0,
+  kInfeasible,
+  kUnbounded,
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+};
+
+/// Dense two-phase primal simplex with Bland's anti-cycling rule. Intended
+/// for the small/medium IP relaxations the how-to engine emits (hundreds of
+/// variables); not a sparse industrial solver.
+Result<LpSolution> SolveLp(const LpProblem& problem);
+
+}  // namespace hyper::opt
+
+#endif  // HYPER_OPT_LP_H_

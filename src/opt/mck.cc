@@ -1,0 +1,94 @@
+#include "opt/mck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hyper::opt {
+
+namespace {
+
+struct MckState {
+  const std::vector<MckGroup>* groups = nullptr;
+  double budget = 0.0;
+  bool budgeted = false;
+  /// suffix_best[g] = sum over groups >= g of max(0, best value) — an
+  /// admissible (budget-ignoring) bound on the remaining gain.
+  std::vector<double> suffix_best;
+  std::vector<int> choice;
+  std::vector<int> best_choice;
+  double best_value = 0.0;
+  size_t nodes = 0;
+
+  void Dfs(size_t g, double value, double cost) {
+    ++nodes;
+    if (g == groups->size()) {
+      if (value > best_value) {
+        best_value = value;
+        best_choice = choice;
+      }
+      return;
+    }
+    if (value + suffix_best[g] <= best_value + 1e-15) return;  // bound
+
+    const MckGroup& group = (*groups)[g];
+    // Try items in descending value so good incumbents appear early.
+    std::vector<size_t> order(group.values.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return group.values[a] > group.values[b];
+    });
+    for (size_t i : order) {
+      if (budgeted && cost + group.costs[i] > budget + 1e-12) continue;
+      if (group.values[i] <= 0.0) break;  // worse than skipping, and sorted
+      choice[g] = static_cast<int>(i);
+      Dfs(g + 1, value + group.values[i], cost + group.costs[i]);
+    }
+    choice[g] = -1;  // skip this group
+    Dfs(g + 1, value, cost);
+  }
+};
+
+}  // namespace
+
+Result<MckSolution> SolveMck(const std::vector<MckGroup>& groups,
+                             double budget) {
+  for (const MckGroup& g : groups) {
+    if (g.values.size() != g.costs.size()) {
+      return Status::InvalidArgument("group value/cost arity mismatch");
+    }
+    for (double c : g.costs) {
+      if (c < 0.0) {
+        return Status::InvalidArgument("MCK costs must be nonnegative");
+      }
+    }
+  }
+
+  MckState state;
+  state.groups = &groups;
+  state.budgeted = budget >= 0.0;
+  state.budget = budget;
+  state.choice.assign(groups.size(), -1);
+  state.best_choice = state.choice;
+  state.suffix_best.assign(groups.size() + 1, 0.0);
+  for (size_t g = groups.size(); g > 0; --g) {
+    double best = 0.0;
+    for (double v : groups[g - 1].values) best = std::max(best, v);
+    state.suffix_best[g - 1] = state.suffix_best[g] + best;
+  }
+
+  state.Dfs(0, 0.0, 0.0);
+
+  MckSolution sol;
+  sol.choice = state.best_choice;
+  sol.value = state.best_value;
+  sol.nodes_explored = state.nodes;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (sol.choice[g] >= 0) sol.cost += groups[g].costs[sol.choice[g]];
+  }
+  return sol;
+}
+
+}  // namespace hyper::opt

@@ -1,0 +1,38 @@
+#ifndef HYPER_OPT_MCK_H_
+#define HYPER_OPT_MCK_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyper::opt {
+
+/// One group of a multiple-choice knapsack: pick at most one item.
+struct MckGroup {
+  std::vector<double> values;
+  std::vector<double> costs;  // nonnegative
+};
+
+struct MckSolution {
+  /// Chosen item index per group; -1 = none.
+  std::vector<int> choice;
+  double value = 0.0;
+  double cost = 0.0;
+  size_t nodes_explored = 0;
+};
+
+/// Exact multiple-choice knapsack:
+///     maximize   sum of values of chosen items
+///     subject to sum of costs <= budget, at most one item per group.
+///
+/// This is the special structure of the how-to IP (Equations 7-9) when only
+/// the L1 budget couples the choice rows — solved by depth-first search
+/// with an admissible bound (sum of best remaining group values), orders of
+/// magnitude faster than general branch-and-bound on these instances.
+/// `budget` < 0 means unconstrained (plain per-group argmax).
+Result<MckSolution> SolveMck(const std::vector<MckGroup>& groups,
+                             double budget);
+
+}  // namespace hyper::opt
+
+#endif  // HYPER_OPT_MCK_H_

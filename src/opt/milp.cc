@@ -1,0 +1,140 @@
+#include "opt/milp.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hyper::opt {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+struct BnbState {
+  const LpProblem* problem = nullptr;
+  std::vector<int8_t> fixed;  // -1 free, 0, 1
+  double best_objective = -std::numeric_limits<double>::infinity();
+  std::vector<int> best_x;
+  bool found = false;
+  size_t nodes = 0;
+};
+
+/// Builds the LP for the current node: fixed variables are substituted out
+/// (their columns removed, rhs adjusted) and x <= 1 rows added for the free
+/// ones.
+LpProblem ReducedLp(const BnbState& state, std::vector<size_t>* free_vars) {
+  const LpProblem& p = *state.problem;
+  const size_t n = p.num_vars();
+  free_vars->clear();
+  for (size_t j = 0; j < n; ++j) {
+    if (state.fixed[j] < 0) free_vars->push_back(j);
+  }
+  LpProblem lp;
+  lp.objective.reserve(free_vars->size());
+  for (size_t j : *free_vars) lp.objective.push_back(p.objective[j]);
+  for (size_t i = 0; i < p.num_rows(); ++i) {
+    std::vector<double> row;
+    row.reserve(free_vars->size());
+    double bound = p.rhs[i];
+    for (size_t j = 0; j < n; ++j) {
+      if (state.fixed[j] >= 0) {
+        bound -= p.constraints[i][j] * state.fixed[j];
+      }
+    }
+    for (size_t j : *free_vars) row.push_back(p.constraints[i][j]);
+    lp.AddRow(std::move(row), bound);
+  }
+  // Binary upper bounds for free variables.
+  for (size_t k = 0; k < free_vars->size(); ++k) {
+    std::vector<double> row(free_vars->size(), 0.0);
+    row[k] = 1.0;
+    lp.AddRow(std::move(row), 1.0);
+  }
+  return lp;
+}
+
+Status Branch(BnbState* state) {
+  ++state->nodes;
+  if (state->nodes > 200000) {
+    return Status::Internal("branch-and-bound node limit exceeded");
+  }
+
+  std::vector<size_t> free_vars;
+  LpProblem lp = ReducedLp(*state, &free_vars);
+  HYPER_ASSIGN_OR_RETURN(LpSolution relax, SolveLp(lp));
+  if (relax.status == LpStatus::kInfeasible) return Status::OK();
+  if (relax.status == LpStatus::kUnbounded) {
+    return Status::InvalidArgument(
+        "binary MILP relaxation unbounded; check constraint rows");
+  }
+
+  double fixed_objective = 0.0;
+  const LpProblem& p = *state->problem;
+  for (size_t j = 0; j < p.num_vars(); ++j) {
+    if (state->fixed[j] > 0) fixed_objective += p.objective[j];
+  }
+  const double bound = fixed_objective + relax.objective;
+  if (state->found && bound <= state->best_objective + 1e-12) {
+    return Status::OK();  // pruned
+  }
+
+  // Most fractional free variable.
+  size_t branch_var = SIZE_MAX;
+  double most_fractional = kIntTol;
+  for (size_t k = 0; k < free_vars.size(); ++k) {
+    const double frac = std::fabs(relax.x[k] - std::round(relax.x[k]));
+    if (frac > most_fractional) {
+      most_fractional = frac;
+      branch_var = free_vars[k];
+    }
+  }
+
+  if (branch_var == SIZE_MAX) {
+    // Integral relaxation: candidate incumbent.
+    std::vector<int> x(p.num_vars(), 0);
+    for (size_t j = 0; j < p.num_vars(); ++j) {
+      if (state->fixed[j] >= 0) x[j] = state->fixed[j];
+    }
+    for (size_t k = 0; k < free_vars.size(); ++k) {
+      x[free_vars[k]] = static_cast<int>(std::round(relax.x[k]));
+    }
+    double objective = 0.0;
+    for (size_t j = 0; j < p.num_vars(); ++j) {
+      objective += p.objective[j] * x[j];
+    }
+    if (!state->found || objective > state->best_objective) {
+      state->found = true;
+      state->best_objective = objective;
+      state->best_x = std::move(x);
+    }
+    return Status::OK();
+  }
+
+  // Branch: try x = 1 first (how-to objectives reward taking an update).
+  state->fixed[branch_var] = 1;
+  HYPER_RETURN_NOT_OK(Branch(state));
+  state->fixed[branch_var] = 0;
+  HYPER_RETURN_NOT_OK(Branch(state));
+  state->fixed[branch_var] = -1;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MilpSolution> SolveBinaryMilp(const LpProblem& problem) {
+  BnbState state;
+  state.problem = &problem;
+  state.fixed.assign(problem.num_vars(), -1);
+  HYPER_RETURN_NOT_OK(Branch(&state));
+  MilpSolution sol;
+  sol.feasible = state.found;
+  sol.nodes_explored = state.nodes;
+  if (state.found) {
+    sol.x = std::move(state.best_x);
+    sol.objective = state.best_objective;
+  }
+  return sol;
+}
+
+}  // namespace hyper::opt

@@ -1,0 +1,29 @@
+#ifndef HYPER_OPT_MILP_H_
+#define HYPER_OPT_MILP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "opt/lp.h"
+
+namespace hyper::opt {
+
+struct MilpSolution {
+  bool feasible = false;
+  std::vector<int> x;  // 0/1 assignment
+  double objective = 0.0;
+  size_t nodes_explored = 0;  // branch-and-bound tree size
+};
+
+/// Exact 0/1 integer programming by branch-and-bound on the simplex
+/// relaxation:
+///     maximize    c^T x
+///     subject to  A x <= b,  x in {0,1}^n.
+/// Branches on the most fractional relaxation variable; prunes by LP bound.
+/// This is the "existing IP solver" role of §4.3 — exact on the how-to IPs
+/// HypeR emits (Equations 7-9 plus Limit-derived rows).
+Result<MilpSolution> SolveBinaryMilp(const LpProblem& problem);
+
+}  // namespace hyper::opt
+
+#endif  // HYPER_OPT_MILP_H_

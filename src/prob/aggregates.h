@@ -1,0 +1,66 @@
+#ifndef HYPER_PROB_AGGREGATES_H_
+#define HYPER_PROB_AGGREGATES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace hyper::prob {
+
+/// Accumulates a decomposable aggregate (Definition 6) across blocks.
+///
+/// Every aggregate HypeR supports decomposes as
+///     aggr(D) = g({f'(D_i)})           with g = Sum,
+/// where f'(D_i) is a per-block partial:
+///   Count: partial = expected number of qualifying tuples in the block
+///   Sum:   partial = expected sum of Y over qualifying tuples
+///   Avg:   tracked as a (numerator, denominator) pair and finished as
+///          numerator / denominator. With no post-update conditions in For,
+///          the denominator is the deterministic count of qualifying tuples
+///          (the paper's 1/|D| decomposition in Example 8); with post-update
+///          conditions it is the expected qualifying count, making Avg a
+///          ratio of expectations (documented deviation, DESIGN.md §5).
+///
+/// The combination properties of Definition 6 (alpha-homogeneity and
+/// additivity of g) hold because g is Sum; tests exercise them directly.
+class BlockAccumulator {
+ public:
+  explicit BlockAccumulator(sql::AggKind agg) : agg_(agg) {}
+
+  /// Starts a new block partial.
+  void BeginBlock();
+
+  /// Adds one tuple's contribution to the current block:
+  ///   `weight`         — the tuple's qualification probability
+  ///                      Pr(mu_For,Post | mu_For,Pre) (1.0/0.0 when
+  ///                      deterministic),
+  ///   `weighted_value` — the expected *qualified* output contribution
+  ///                      E[Y * 1{mu_For,Post}] (ignored for Count).
+  /// Keeping the joint expectation (not value * weight) avoids dividing by
+  /// near-zero qualification probabilities.
+  void Add(double weight, double weighted_value);
+
+  /// Closes the current block (applies f' and folds into g).
+  void EndBlock();
+
+  /// Final aggregate value over all blocks. NULL-like cases (Avg of an
+  /// empty set) surface as an error.
+  Result<double> Finish() const;
+
+  size_t num_blocks() const { return num_blocks_; }
+
+ private:
+  sql::AggKind agg_;
+  double numerator_ = 0.0;    // g-folded partial numerators
+  double denominator_ = 0.0;  // g-folded partial denominators (Avg)
+  double block_numerator_ = 0.0;
+  double block_denominator_ = 0.0;
+  size_t num_blocks_ = 0;
+  bool in_block_ = false;
+};
+
+}  // namespace hyper::prob
+
+#endif  // HYPER_PROB_AGGREGATES_H_

@@ -1,0 +1,172 @@
+#include "relational/eval.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hyper::relational {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+Result<Value> Env::Lookup(const std::string& qualifier,
+                          const std::string& name, bool want_post) const {
+  const BoundTuple* found = nullptr;
+  size_t found_attr = 0;
+  for (const BoundTuple& bt : tuples_) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(bt.alias, qualifier)) continue;
+    if (!bt.schema->Contains(name)) continue;
+    if (found != nullptr) {
+      return Status::InvalidArgument("ambiguous column reference '" + name +
+                                     "'");
+    }
+    found = &bt;
+    found_attr = bt.schema->IndexOf(name).value();
+  }
+  if (found == nullptr) {
+    return Status::NotFound(
+        "unresolved column reference '" +
+        (qualifier.empty() ? name : qualifier + "." + name) + "'");
+  }
+  if (want_post) {
+    const Row* post = found->post_row != nullptr ? found->post_row : found->row;
+    return (*post)[found_attr];
+  }
+  return (*found->row)[found_attr];
+}
+
+namespace {
+
+Result<Value> EvalBinary(const Expr& expr, const Env& env, bool post_mode) {
+  const BinaryOp op = expr.op;
+
+  // Logical operators short-circuit.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    HYPER_ASSIGN_OR_RETURN(Value lhs_val,
+                           EvalExpr(*expr.children[0], env, post_mode));
+    HYPER_ASSIGN_OR_RETURN(bool lhs, lhs_val.AsBool());
+    if (op == BinaryOp::kAnd && !lhs) return Value::Bool(false);
+    if (op == BinaryOp::kOr && lhs) return Value::Bool(true);
+    HYPER_ASSIGN_OR_RETURN(Value rhs_val,
+                           EvalExpr(*expr.children[1], env, post_mode));
+    HYPER_ASSIGN_OR_RETURN(bool rhs, rhs_val.AsBool());
+    return Value::Bool(rhs);
+  }
+
+  HYPER_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], env, post_mode));
+  HYPER_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], env, post_mode));
+
+  if (sql::IsComparisonOp(op)) {
+    if (op == BinaryOp::kEq) return Value::Bool(lhs.Equals(rhs));
+    if (op == BinaryOp::kNe) return Value::Bool(!lhs.Equals(rhs));
+    HYPER_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+    switch (op) {
+      case BinaryOp::kLt: return Value::Bool(cmp < 0);
+      case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+      case BinaryOp::kGt: return Value::Bool(cmp > 0);
+      case BinaryOp::kGe: return Value::Bool(cmp >= 0);
+      default: break;
+    }
+  }
+
+  // Arithmetic.
+  HYPER_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+  HYPER_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+  const bool both_int = lhs.type() == ValueType::kInt &&
+                        rhs.type() == ValueType::kInt;
+  switch (op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value::Int(lhs.int_value() + rhs.int_value())
+                      : Value::Double(a + b);
+    case BinaryOp::kSub:
+      return both_int ? Value::Int(lhs.int_value() - rhs.int_value())
+                      : Value::Double(a - b);
+    case BinaryOp::kMul:
+      return both_int ? Value::Int(lhs.int_value() * rhs.int_value())
+                      : Value::Double(a * b);
+    case BinaryOp::kDiv:
+      if (b == 0.0) {
+        return Status::InvalidArgument("division by zero");
+      }
+      return Value::Double(a / b);
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const Env& env, bool post_mode) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef:
+      return env.Lookup(expr.qualifier, expr.name, post_mode);
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is only valid inside Count(*)");
+    case ExprKind::kPre:
+      return EvalExpr(*expr.children[0], env, /*post_mode=*/false);
+    case ExprKind::kPost:
+      return EvalExpr(*expr.children[0], env, /*post_mode=*/true);
+    case ExprKind::kNot: {
+      HYPER_ASSIGN_OR_RETURN(Value inner,
+                             EvalExpr(*expr.children[0], env, post_mode));
+      HYPER_ASSIGN_OR_RETURN(bool b, inner.AsBool());
+      return Value::Bool(!b);
+    }
+    case ExprKind::kNeg: {
+      HYPER_ASSIGN_OR_RETURN(Value inner,
+                             EvalExpr(*expr.children[0], env, post_mode));
+      if (inner.type() == ValueType::kInt) return Value::Int(-inner.int_value());
+      HYPER_ASSIGN_OR_RETURN(double d, inner.AsDouble());
+      return Value::Double(-d);
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(expr, env, post_mode);
+    case ExprKind::kInList: {
+      HYPER_ASSIGN_OR_RETURN(Value needle,
+                             EvalExpr(*expr.children[0], env, post_mode));
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        HYPER_ASSIGN_OR_RETURN(Value item,
+                               EvalExpr(*expr.children[i], env, post_mode));
+        if (needle.Equals(item)) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    }
+    case ExprKind::kFuncCall: {
+      if (EqualsIgnoreCase(expr.name, "ABS")) {
+        if (expr.children.size() != 1) {
+          return Status::InvalidArgument("Abs takes one argument");
+        }
+        HYPER_ASSIGN_OR_RETURN(Value inner,
+                               EvalExpr(*expr.children[0], env, post_mode));
+        HYPER_ASSIGN_OR_RETURN(double d, inner.AsDouble());
+        return Value::Double(std::fabs(d));
+      }
+      if (EqualsIgnoreCase(expr.name, "L1")) {
+        if (expr.children.size() != 2) {
+          return Status::InvalidArgument("L1 takes two arguments");
+        }
+        HYPER_ASSIGN_OR_RETURN(Value a,
+                               EvalExpr(*expr.children[0], env, post_mode));
+        HYPER_ASSIGN_OR_RETURN(Value b,
+                               EvalExpr(*expr.children[1], env, post_mode));
+        HYPER_ASSIGN_OR_RETURN(double da, a.AsDouble());
+        HYPER_ASSIGN_OR_RETURN(double db, b.AsDouble());
+        return Value::Double(std::fabs(da - db));
+      }
+      return Status::InvalidArgument(
+          "aggregate/function '" + expr.name +
+          "' is not valid in a per-row expression");
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Env& env, bool post_mode) {
+  HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, env, post_mode));
+  return v.AsBool();
+}
+
+}  // namespace hyper::relational

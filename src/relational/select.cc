@@ -1,0 +1,399 @@
+#include "relational/select.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "relational/eval.h"
+
+namespace hyper::relational {
+
+using sql::AggKind;
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::SelectStmt;
+
+namespace {
+
+struct Source {
+  std::string alias;
+  const Table* table = nullptr;
+};
+
+/// A joined tuple: row index per source (aligned with the sources vector).
+using JoinedTuple = std::vector<size_t>;
+
+struct ResolvedColumn {
+  size_t source = 0;
+  size_t attr = 0;
+};
+
+Result<ResolvedColumn> ResolveColumn(const std::vector<Source>& sources,
+                                     const std::string& qualifier,
+                                     const std::string& name) {
+  const Source* found_source = nullptr;
+  ResolvedColumn out;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(sources[s].alias, qualifier)) {
+      continue;
+    }
+    const Schema& schema = sources[s].table->schema();
+    if (!schema.Contains(name)) continue;
+    if (found_source != nullptr) {
+      return Status::InvalidArgument("ambiguous column '" + name + "'");
+    }
+    found_source = &sources[s];
+    out.source = s;
+    out.attr = schema.IndexOf(name).value();
+  }
+  if (found_source == nullptr) {
+    return Status::NotFound(
+        "unresolved column '" +
+        (qualifier.empty() ? name : qualifier + "." + name) + "'");
+  }
+  return out;
+}
+
+/// An equi-join conjunct `a.X = b.Y` between two distinct sources.
+struct JoinCondition {
+  ResolvedColumn lhs;
+  ResolvedColumn rhs;
+};
+
+Env MakeEnv(const std::vector<Source>& sources, const JoinedTuple& tuple) {
+  Env env;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    env.Bind(sources[s].alias, &sources[s].table->schema(),
+             &sources[s].table->row(tuple[s]));
+  }
+  return env;
+}
+
+/// Derives the output column name for a select item.
+std::string ItemName(const sql::SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.agg != AggKind::kNone) {
+    std::string base = AggKindName(item.agg);
+    if (item.expr != nullptr && item.expr->kind == ExprKind::kColumnRef) {
+      base += "_" + item.expr->name;
+    }
+    return base;
+  }
+  if (item.expr != nullptr && item.expr->kind == ExprKind::kColumnRef) {
+    return item.expr->name;
+  }
+  return StrFormat("col%zu", index);
+}
+
+/// Accumulator for one aggregate select item within one group.
+struct AggAccumulator {
+  double sum = 0.0;
+  size_t count = 0;      // rows contributing to sum (non-null)
+  size_t count_rows = 0; // all rows (COUNT(*))
+
+  Status Add(const sql::SelectItem& item, const Env& env) {
+    ++count_rows;
+    if (item.expr == nullptr || item.expr->kind == ExprKind::kStar) {
+      return Status::OK();
+    }
+    HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, env));
+    if (v.is_null()) return Status::OK();
+    if (item.agg == AggKind::kCount) {
+      // COUNT over a boolean expression counts satisfying rows (the paper's
+      // Count(Credit = 'Good') form); over non-boolean it counts non-NULLs.
+      if (v.type() == ValueType::kBool) {
+        if (v.bool_value()) ++count;
+      } else {
+        ++count;
+      }
+      return Status::OK();
+    }
+    HYPER_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    sum += d;
+    ++count;
+    return Status::OK();
+  }
+
+  Value Finish(const sql::SelectItem& item) const {
+    switch (item.agg) {
+      case AggKind::kCount:
+        if (item.expr == nullptr || item.expr->kind == ExprKind::kStar) {
+          return Value::Int(static_cast<int64_t>(count_rows));
+        }
+        return Value::Int(static_cast<int64_t>(count));
+      case AggKind::kSum:
+        return Value::Double(sum);
+      case AggKind::kAvg:
+        return count == 0 ? Value::Null()
+                          : Value::Double(sum / static_cast<double>(count));
+      default:
+        return Value::Null();
+    }
+  }
+};
+
+ValueType OutputTypeFor(const sql::SelectItem& item,
+                        const std::vector<Source>& sources) {
+  if (item.agg == AggKind::kCount) return ValueType::kInt;
+  if (item.agg != AggKind::kNone) return ValueType::kDouble;
+  if (item.expr->kind == ExprKind::kColumnRef) {
+    auto resolved = ResolveColumn(sources, item.expr->qualifier, item.expr->name);
+    if (resolved.ok()) {
+      return sources[resolved->source]
+          .table->schema()
+          .attribute(resolved->attr)
+          .type;
+    }
+  }
+  return ValueType::kDouble;
+}
+
+Mutability OutputMutabilityFor(const sql::SelectItem& item,
+                               const std::vector<Source>& sources) {
+  if (item.agg != AggKind::kNone) return Mutability::kMutable;
+  if (item.expr->kind == ExprKind::kColumnRef) {
+    auto resolved = ResolveColumn(sources, item.expr->qualifier, item.expr->name);
+    if (resolved.ok()) {
+      return sources[resolved->source]
+          .table->schema()
+          .attribute(resolved->attr)
+          .mutability;
+    }
+  }
+  return Mutability::kMutable;
+}
+
+}  // namespace
+
+Result<Table> ExecuteSelect(const Database& db, const SelectStmt& stmt,
+                            const std::string& view_name) {
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("select requires a From clause");
+  }
+
+  // Resolve sources.
+  std::vector<Source> sources;
+  for (const sql::TableRef& ref : stmt.from) {
+    HYPER_ASSIGN_OR_RETURN(const Table* table, db.GetTable(ref.table));
+    sources.push_back(
+        Source{ref.alias.empty() ? ref.table : ref.alias, table});
+  }
+
+  // Classify where-conjuncts into hash-joinable equi-joins and residuals.
+  std::vector<JoinCondition> join_conditions;
+  std::vector<sql::ExprPtr> residual;
+  if (stmt.where != nullptr) {
+    for (sql::ExprPtr& term : sql::SplitConjunction(*stmt.where)) {
+      bool is_join = false;
+      if (term->kind == ExprKind::kBinary && term->op == BinaryOp::kEq &&
+          term->children[0]->kind == ExprKind::kColumnRef &&
+          term->children[1]->kind == ExprKind::kColumnRef) {
+        auto lhs = ResolveColumn(sources, term->children[0]->qualifier,
+                                 term->children[0]->name);
+        auto rhs = ResolveColumn(sources, term->children[1]->qualifier,
+                                 term->children[1]->name);
+        if (lhs.ok() && rhs.ok() && lhs->source != rhs->source) {
+          join_conditions.push_back(JoinCondition{*lhs, *rhs});
+          is_join = true;
+        }
+      }
+      if (!is_join) residual.push_back(std::move(term));
+    }
+  }
+
+  // Left-deep join pipeline. `joined[k]` holds row ids for sources[0..k].
+  std::vector<JoinedTuple> current;
+  current.reserve(sources[0].table->num_rows());
+  for (size_t r = 0; r < sources[0].table->num_rows(); ++r) {
+    current.push_back({r});
+  }
+
+  std::vector<bool> condition_used(join_conditions.size(), false);
+  for (size_t next = 1; next < sources.size(); ++next) {
+    // Find a join condition connecting `next` to an already-joined source.
+    int use_idx = -1;
+    for (size_t c = 0; c < join_conditions.size(); ++c) {
+      if (condition_used[c]) continue;
+      const JoinCondition& jc = join_conditions[c];
+      const bool connects =
+          (jc.lhs.source == next && jc.rhs.source < next) ||
+          (jc.rhs.source == next && jc.lhs.source < next);
+      if (connects) {
+        use_idx = static_cast<int>(c);
+        break;
+      }
+    }
+
+    std::vector<JoinedTuple> merged;
+    const Table& next_table = *sources[next].table;
+    if (use_idx >= 0) {
+      condition_used[use_idx] = true;
+      const JoinCondition& jc = join_conditions[use_idx];
+      const ResolvedColumn& probe_col =
+          jc.lhs.source == next ? jc.rhs : jc.lhs;
+      const ResolvedColumn& build_col =
+          jc.lhs.source == next ? jc.lhs : jc.rhs;
+      // Build a hash table on the new source.
+      std::unordered_multimap<size_t, size_t> hash;
+      hash.reserve(next_table.num_rows());
+      for (size_t r = 0; r < next_table.num_rows(); ++r) {
+        hash.emplace(next_table.At(r, build_col.attr).Hash(), r);
+      }
+      for (const JoinedTuple& tuple : current) {
+        const Value& probe =
+            sources[probe_col.source].table->At(tuple[probe_col.source],
+                                                probe_col.attr);
+        auto [begin, end] = hash.equal_range(probe.Hash());
+        for (auto it = begin; it != end; ++it) {
+          if (!next_table.At(it->second, build_col.attr).Equals(probe)) {
+            continue;  // hash collision
+          }
+          JoinedTuple extended = tuple;
+          extended.push_back(it->second);
+          merged.push_back(std::move(extended));
+        }
+      }
+    } else {
+      // No equi-join condition: cartesian product.
+      merged.reserve(current.size() * next_table.num_rows());
+      for (const JoinedTuple& tuple : current) {
+        for (size_t r = 0; r < next_table.num_rows(); ++r) {
+          JoinedTuple extended = tuple;
+          extended.push_back(r);
+          merged.push_back(std::move(extended));
+        }
+      }
+    }
+    current = std::move(merged);
+  }
+
+  // Any join conditions not consumed by the pipeline become residual filters.
+  for (size_t c = 0; c < join_conditions.size(); ++c) {
+    if (condition_used[c]) continue;
+    const JoinCondition& jc = join_conditions[c];
+    std::vector<JoinedTuple> kept;
+    for (JoinedTuple& tuple : current) {
+      const Value& a =
+          sources[jc.lhs.source].table->At(tuple[jc.lhs.source], jc.lhs.attr);
+      const Value& b =
+          sources[jc.rhs.source].table->At(tuple[jc.rhs.source], jc.rhs.attr);
+      if (a.Equals(b)) kept.push_back(std::move(tuple));
+    }
+    current = std::move(kept);
+  }
+
+  // Residual predicates.
+  for (const sql::ExprPtr& pred : residual) {
+    std::vector<JoinedTuple> kept;
+    for (JoinedTuple& tuple : current) {
+      Env env = MakeEnv(sources, tuple);
+      HYPER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, env));
+      if (pass) kept.push_back(std::move(tuple));
+    }
+    current = std::move(kept);
+  }
+
+  // Output schema. Derived names that collide get a positional suffix.
+  std::vector<AttributeDef> out_attrs;
+  std::unordered_map<std::string, size_t> name_counts;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    AttributeDef def;
+    def.name = ItemName(stmt.items[i], i);
+    if (name_counts[def.name]++ > 0) {
+      def.name += StrFormat("_%zu", i);
+    }
+    def.type = OutputTypeFor(stmt.items[i], sources);
+    def.mutability = OutputMutabilityFor(stmt.items[i], sources);
+    out_attrs.push_back(std::move(def));
+  }
+  Table out(Schema(view_name, std::move(out_attrs), /*key=*/{}));
+
+  const bool has_aggregates = [&] {
+    for (const auto& item : stmt.items) {
+      if (item.agg != AggKind::kNone) return true;
+    }
+    return false;
+  }();
+
+  if (!has_aggregates && stmt.group_by.empty()) {
+    // Plain projection.
+    for (const JoinedTuple& tuple : current) {
+      Env env = MakeEnv(sources, tuple);
+      Row row;
+      row.reserve(stmt.items.size());
+      for (const auto& item : stmt.items) {
+        HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, env));
+        row.push_back(std::move(v));
+      }
+      HYPER_RETURN_NOT_OK(out.Append(std::move(row)));
+    }
+    return out;
+  }
+
+  // Grouped (or single-group) aggregation.
+  struct Group {
+    Row representative;  // select-item values taken from the first row
+    std::vector<AggAccumulator> accumulators;
+  };
+  std::unordered_map<std::vector<Value>, Group, ValueVectorHash, ValueVectorEq>
+      groups;
+  std::vector<std::vector<Value>> group_order;
+
+  for (const JoinedTuple& tuple : current) {
+    Env env = MakeEnv(sources, tuple);
+    std::vector<Value> key;
+    key.reserve(stmt.group_by.size());
+    for (const auto& g : stmt.group_by) {
+      HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, env));
+      key.push_back(std::move(v));
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      Group group;
+      group.accumulators.resize(stmt.items.size());
+      group.representative.resize(stmt.items.size());
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (stmt.items[i].agg == AggKind::kNone) {
+          HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.items[i].expr, env));
+          group.representative[i] = std::move(v);
+        }
+      }
+      it = groups.emplace(key, std::move(group)).first;
+      group_order.push_back(key);
+    }
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      if (stmt.items[i].agg != AggKind::kNone) {
+        HYPER_RETURN_NOT_OK(it->second.accumulators[i].Add(stmt.items[i], env));
+      }
+    }
+  }
+
+  if (groups.empty() && stmt.group_by.empty()) {
+    // Aggregates over an empty input produce one row of neutral values.
+    Row row;
+    for (const auto& item : stmt.items) {
+      AggAccumulator empty;
+      row.push_back(empty.Finish(item));
+    }
+    HYPER_RETURN_NOT_OK(out.Append(std::move(row)));
+    return out;
+  }
+
+  for (const std::vector<Value>& key : group_order) {
+    const Group& group = groups.at(key);
+    Row row;
+    row.reserve(stmt.items.size());
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      if (stmt.items[i].agg == AggKind::kNone) {
+        row.push_back(group.representative[i]);
+      } else {
+        row.push_back(group.accumulators[i].Finish(stmt.items[i]));
+      }
+    }
+    HYPER_RETURN_NOT_OK(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace hyper::relational

@@ -1,0 +1,26 @@
+#ifndef HYPER_RELATIONAL_SELECT_H_
+#define HYPER_RELATIONAL_SELECT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace hyper::relational {
+
+/// Executes the SQL subset allowed inside the Use operator:
+/// SELECT (columns and SUM/AVG/COUNT aggregates, with aliases)
+/// FROM one or more relations (aliased), WHERE any predicate (equi-join
+/// conditions are executed as hash joins), GROUP BY expressions.
+///
+/// Output column naming: the alias when given, else the referenced column
+/// name, else "col<i>". `view_name` names the produced relation (defaults
+/// to "View"). Aggregates over empty groups yield NULL (AVG) or 0 (SUM,
+/// COUNT).
+Result<Table> ExecuteSelect(const Database& db, const sql::SelectStmt& stmt,
+                            const std::string& view_name = "View");
+
+}  // namespace hyper::relational
+
+#endif  // HYPER_RELATIONAL_SELECT_H_

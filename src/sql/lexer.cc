@@ -1,0 +1,226 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace hyper::sql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end-of-input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "double";
+    case TokenKind::kString: return "string";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  switch (kind) {
+    case TokenKind::kIdent: return text;
+    case TokenKind::kString: return "'" + text + "'";
+    case TokenKind::kInt: return std::to_string(int_value);
+    case TokenKind::kDouble: return StrFormat("%g", double_value);
+    default: return TokenKindName(kind);
+  }
+}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::Error(const std::string& message) const {
+  return Status::ParseError(
+      StrFormat("lex error at %d:%d: %s", line_, column_, message.c_str()));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (!AtEnd()) {
+    // Skip whitespace and comments.
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+      continue;
+    }
+    if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+      continue;
+    }
+    HYPER_RETURN_NOT_OK(LexOne(&out));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line_;
+  end.column = column_;
+  out.push_back(end);
+  return out;
+}
+
+Status Lexer::LexOne(std::vector<Token>* out) {
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  const char c = Peek();
+
+  auto single = [&](TokenKind kind) {
+    Advance();
+    tok.kind = kind;
+    out->push_back(tok);
+    return Status::OK();
+  };
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string ident;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      ident.push_back(Advance());
+    }
+    tok.kind = TokenKind::kIdent;
+    tok.text = std::move(ident);
+    out->push_back(tok);
+    return Status::OK();
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    std::string num;
+    bool is_double = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      num.push_back(Advance());
+    }
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      num.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num.push_back(Advance());
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      size_t look = 1;
+      if (Peek(look) == '+' || Peek(look) == '-') ++look;
+      if (std::isdigit(static_cast<unsigned char>(Peek(look)))) {
+        is_double = true;
+        num.push_back(Advance());  // e
+        if (Peek() == '+' || Peek() == '-') num.push_back(Advance());
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          num.push_back(Advance());
+        }
+      }
+    }
+    if (is_double) {
+      tok.kind = TokenKind::kDouble;
+      tok.double_value = std::stod(num);
+    } else {
+      tok.kind = TokenKind::kInt;
+      tok.int_value = std::stoll(num);
+    }
+    out->push_back(tok);
+    return Status::OK();
+  }
+
+  if (c == '\'') {
+    Advance();  // opening quote
+    std::string contents;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      char ch = Advance();
+      if (ch == '\'') {
+        if (Peek() == '\'') {  // '' escapes a quote
+          contents.push_back('\'');
+          Advance();
+          continue;
+        }
+        break;
+      }
+      contents.push_back(ch);
+    }
+    tok.kind = TokenKind::kString;
+    tok.text = std::move(contents);
+    out->push_back(tok);
+    return Status::OK();
+  }
+
+  switch (c) {
+    case ',': return single(TokenKind::kComma);
+    case '.': return single(TokenKind::kDot);
+    case '(': return single(TokenKind::kLParen);
+    case ')': return single(TokenKind::kRParen);
+    case '*': return single(TokenKind::kStar);
+    case '+': return single(TokenKind::kPlus);
+    case '-': return single(TokenKind::kMinus);
+    case '/': return single(TokenKind::kSlash);
+    case '%': return single(TokenKind::kPercent);
+    case '=': return single(TokenKind::kEq);
+    case '!':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kNe;
+        out->push_back(tok);
+        return Status::OK();
+      }
+      return Error("expected '=' after '!'");
+    case '<':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kLe;
+      } else if (Peek() == '>') {
+        Advance();
+        tok.kind = TokenKind::kNe;
+      } else {
+        tok.kind = TokenKind::kLt;
+      }
+      out->push_back(tok);
+      return Status::OK();
+    case '>':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        tok.kind = TokenKind::kGe;
+      } else {
+        tok.kind = TokenKind::kGt;
+      }
+      out->push_back(tok);
+      return Status::OK();
+    default:
+      return Error(StrFormat("unexpected character '%c'", c));
+  }
+}
+
+Result<std::vector<Token>> TokenizeSql(const std::string& text) {
+  Lexer lexer(text);
+  return lexer.Tokenize();
+}
+
+}  // namespace hyper::sql

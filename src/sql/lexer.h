@@ -1,0 +1,41 @@
+#ifndef HYPER_SQL_LEXER_H_
+#define HYPER_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace hyper::sql {
+
+/// Tokenizes HypeR query text. The dialect is ASCII, case-insensitive on
+/// keywords; identifiers are [A-Za-z_][A-Za-z0-9_]*; strings use single
+/// quotes with '' as the escape for a literal quote; `--` starts a comment
+/// through end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string text) : text_(std::move(text)) {}
+
+  /// Lexes the whole input. The final token is always kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Status LexOne(std::vector<Token>* out);
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  Status Error(const std::string& message) const;
+
+  std::string text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// Convenience wrapper.
+Result<std::vector<Token>> TokenizeSql(const std::string& text);
+
+}  // namespace hyper::sql
+
+#endif  // HYPER_SQL_LEXER_H_

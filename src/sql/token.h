@@ -1,0 +1,50 @@
+#ifndef HYPER_SQL_TOKEN_H_
+#define HYPER_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hyper::sql {
+
+enum class TokenKind {
+  kEnd = 0,
+  kIdent,     // bare identifier (keywords are matched case-insensitively
+              // against identifiers by the parser)
+  kInt,       // integer literal
+  kDouble,    // floating-point literal
+  kString,    // 'single-quoted' string literal
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,      // '*' — multiplication or COUNT(*) depending on context
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNe,        // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// One lexed token with its source position (1-based line/column) for
+/// error messages.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier or string contents
+  int64_t int_value = 0;  // kInt
+  double double_value = 0.0;  // kDouble
+  int line = 1;
+  int column = 1;
+
+  std::string ToString() const;
+};
+
+}  // namespace hyper::sql
+
+#endif  // HYPER_SQL_TOKEN_H_

@@ -1,0 +1,69 @@
+#include "storage/database.h"
+
+namespace hyper {
+
+Status Database::AddTable(Schema schema) {
+  return AddTable(Table(std::move(schema)));
+}
+
+Status Database::AddTable(Table table) {
+  const std::string name = table.schema().relation_name();
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [_, table] : tables_) total += table.num_rows();
+  return total;
+}
+
+Result<std::string> Database::RelationOfAttribute(
+    const std::string& attr) const {
+  std::string found;
+  for (const auto& [name, table] : tables_) {
+    if (table.schema().Contains(attr)) {
+      if (!found.empty()) {
+        return Status::InvalidArgument("attribute '" + attr +
+                                       "' is ambiguous: appears in '" + found +
+                                       "' and '" + name + "'");
+      }
+      found = name;
+    }
+  }
+  if (found.empty()) {
+    return Status::NotFound("attribute '" + attr + "' not in any relation");
+  }
+  return found;
+}
+
+}  // namespace hyper

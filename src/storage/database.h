@@ -1,0 +1,56 @@
+#ifndef HYPER_STORAGE_DATABASE_H_
+#define HYPER_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hyper {
+
+/// A named collection of relations — the paper's multi-relational database D.
+///
+/// The map is ordered so iteration (and thus block decomposition, ground-graph
+/// construction, benchmarks) is deterministic.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds an empty relation with the given schema.
+  Status AddTable(Schema schema);
+
+  /// Adds a fully-built table.
+  Status AddTable(Table table);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Relation names in deterministic (sorted) order.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Total number of tuples across all relations.
+  size_t TotalRows() const;
+
+  /// Finds the unique relation containing attribute `attr`. Errors when the
+  /// attribute is absent or ambiguous (the paper assumes update and output
+  /// attributes appear in a single relation, §2).
+  Result<std::string> RelationOfAttribute(const std::string& attr) const;
+
+  /// Deep copy (used to materialize hypothetical worlds).
+  Database Clone() const { return *this; }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace hyper
+
+#endif  // HYPER_STORAGE_DATABASE_H_

@@ -1,0 +1,116 @@
+#include "storage/value.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hyper {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return "BOOL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kBool: return bool_value() ? 1.0 : 0.0;
+    case ValueType::kInt: return static_cast<double>(int_value());
+    case ValueType::kDouble: return double_value();
+    case ValueType::kNull:
+      return Status::InvalidArgument("cannot coerce NULL to a number");
+    case ValueType::kString:
+      return Status::InvalidArgument("cannot coerce string '" +
+                                     string_value() + "' to a number");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> Value::AsBool() const {
+  switch (type()) {
+    case ValueType::kBool: return bool_value();
+    case ValueType::kInt: return int_value() != 0;
+    case ValueType::kDouble: return double_value() != 0.0;
+    case ValueType::kNull:
+      return Status::InvalidArgument("cannot coerce NULL to a boolean");
+    case ValueType::kString:
+      return Status::InvalidArgument("cannot coerce string '" +
+                                     string_value() + "' to a boolean");
+  }
+  return Status::Internal("unreachable");
+}
+
+bool Value::Equals(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    return a == b;
+  }
+  if (a == ValueType::kString || b == ValueType::kString) {
+    return a == b && string_value() == other.string_value();
+  }
+  // Both numeric-ish: compare as doubles.
+  return AsDouble().value() == other.AsDouble().value();
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  const ValueType a = type();
+  const ValueType b = other.type();
+  if (a == ValueType::kNull && b == ValueType::kNull) return 0;
+  if (a == ValueType::kNull) return -1;
+  if (b == ValueType::kNull) return 1;
+  if (a == ValueType::kString && b == ValueType::kString) {
+    const int c = string_value().compare(other.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a == ValueType::kString || b == ValueType::kString) {
+    return Status::InvalidArgument(
+        "cannot compare " + std::string(ValueTypeName(a)) + " with " +
+        std::string(ValueTypeName(b)));
+  }
+  const double x = AsDouble().value();
+  const double y = other.AsDouble().value();
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kString:
+      return std::hash<std::string>()(string_value());
+    default: {
+      // Hash numerics by their double image so Equals-equal values collide.
+      const double d = AsDouble().value();
+      if (d == 0.0) return 0;  // +0.0 and -0.0 compare equal.
+      return std::hash<double>()(d);
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return bool_value() ? "TRUE" : "FALSE";
+    case ValueType::kInt: return std::to_string(int_value());
+    case ValueType::kDouble: {
+      std::string s = StrFormat("%.6g", double_value());
+      return s;
+    }
+    case ValueType::kString: return "'" + string_value() + "'";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace hyper

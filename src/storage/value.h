@@ -1,0 +1,125 @@
+#ifndef HYPER_STORAGE_VALUE_H_
+#define HYPER_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hyper {
+
+/// Runtime type of a Value / declared type of an attribute.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically-typed SQL value: NULL, boolean, 64-bit integer, double, or
+/// string. Integers and doubles compare and combine numerically (SQL-style
+/// coercion); strings only compare with strings; NULL compares equal only to
+/// NULL (this library uses NULL as "absent", not three-valued logic — the
+/// paper's model has no NULLs, they appear only in intermediate results).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kBool;
+      case 2: return ValueType::kInt;
+      case 3: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return rep_.index() == 0; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble ||
+           type() == ValueType::kBool;
+  }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error
+  /// (checked in debug builds); use type() or the As* coercions first.
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  /// Numeric coercion: bool -> 0/1, int -> double, double -> double.
+  /// Fails on NULL and string.
+  Result<double> AsDouble() const;
+
+  /// Truthiness: bool as-is, numbers != 0. Fails on NULL and string.
+  Result<bool> AsBool() const;
+
+  /// Structural equality with numeric coercion between int/double/bool.
+  bool Equals(const Value& other) const;
+
+  /// Three-way comparison: -1, 0, +1. Numeric values compare numerically;
+  /// strings lexicographically; NULL sorts before everything. Comparing a
+  /// string with a number returns an error.
+  Result<int> Compare(const Value& other) const;
+
+  /// Hash consistent with Equals (numeric values hash by double value).
+  size_t Hash() const;
+
+  /// SQL-ish rendering: NULL, TRUE/FALSE, 42, 3.14, 'text'.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator!=(const Value& other) const { return !Equals(other); }
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Hash functor so Values can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Hash/equality for composite keys (vectors of values).
+struct ValueVectorHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const Value& v : vs) {
+      h ^= v.Hash();
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+struct ValueVectorEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace hyper
+
+#endif  // HYPER_STORAGE_VALUE_H_

@@ -1,0 +1,240 @@
+#include "whatif/compile.h"
+
+#include "common/strings.h"
+#include "relational/select.h"
+
+namespace hyper::whatif {
+
+using sql::AggKind;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+Result<Value> UpdateSpec::Apply(const Value& pre) const {
+  switch (func) {
+    case sql::UpdateFuncKind::kSet:
+      return constant;
+    case sql::UpdateFuncKind::kScale: {
+      HYPER_ASSIGN_OR_RETURN(double p, pre.AsDouble());
+      HYPER_ASSIGN_OR_RETURN(double c, constant.AsDouble());
+      return Value::Double(c * p);
+    }
+    case sql::UpdateFuncKind::kShift: {
+      HYPER_ASSIGN_OR_RETURN(double p, pre.AsDouble());
+      HYPER_ASSIGN_OR_RETURN(double c, constant.AsDouble());
+      return Value::Double(c + p);
+    }
+  }
+  return Status::Internal("unhandled update function kind");
+}
+
+namespace {
+
+/// Wraps bare column references of a predicate in Post(...): Output-clause
+/// predicates like Count(Credit = 'Good') read post-update values (§3.1).
+ExprPtr PostifyBareRefs(const sql::Expr& expr) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    return sql::MakePost(expr.Clone());
+  }
+  if (expr.kind == ExprKind::kPre || expr.kind == ExprKind::kPost) {
+    return expr.Clone();  // explicit wrappers win
+  }
+  auto out = std::make_unique<sql::Expr>();
+  out->kind = expr.kind;
+  out->literal = expr.literal;
+  out->qualifier = expr.qualifier;
+  out->name = expr.name;
+  out->op = expr.op;
+  for (const auto& child : expr.children) {
+    out->children.push_back(PostifyBareRefs(*child));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ViewInfo> BuildRelevantView(const Database& db,
+                                   const sql::UseClause& use,
+                                   const std::string& update_attr) {
+  HYPER_ASSIGN_OR_RETURN(std::string relation,
+                         db.RelationOfAttribute(update_attr));
+  HYPER_ASSIGN_OR_RETURN(const Table* base, db.GetTable(relation));
+
+  ViewInfo info;
+  info.update_relation = relation;
+
+  if (use.is_table()) {
+    if (use.table != relation) {
+      // `Use Review` with an update attribute from Product is a query error.
+      HYPER_ASSIGN_OR_RETURN(const Table* named, db.GetTable(use.table));
+      if (!named->schema().Contains(update_attr)) {
+        return Status::InvalidArgument(
+            "Use relation '" + use.table + "' does not contain the update "
+            "attribute '" + update_attr + "'");
+      }
+    }
+    info.view = *base;
+    for (size_t k : base->schema().key_indices()) {
+      info.view_key_columns.push_back(base->schema().attribute(k).name);
+    }
+    info.view_row_to_tid.resize(base->num_rows());
+    for (size_t t = 0; t < base->num_rows(); ++t) {
+      info.view_row_to_tid[t] = t;
+    }
+    for (const AttributeDef& attr : base->schema().attributes()) {
+      info.causal_of_column.emplace(attr.name, attr.name);
+    }
+    return info;
+  }
+
+  // Embedded select: execute it, then map rows back to R by key.
+  const std::string view_name =
+      use.view_name.empty() ? "RelevantView" : use.view_name;
+  HYPER_ASSIGN_OR_RETURN(info.view,
+                         relational::ExecuteSelect(db, *use.select, view_name));
+
+  // Column -> causal attribute mapping from the select items.
+  for (size_t i = 0; i < use.select->items.size(); ++i) {
+    const sql::SelectItem& item = use.select->items[i];
+    const std::string col = info.view.schema().attribute(i).name;
+    if (item.expr != nullptr && item.expr->kind == ExprKind::kColumnRef) {
+      // Plain column or aggregate of a column: both stand for the base
+      // attribute in the (augmented) causal graph.
+      info.causal_of_column.emplace(col, item.expr->name);
+    }
+  }
+
+  // The view must expose R's key (the §3.1 contract: the Select and Group By
+  // clauses include the key of R, so the view has one row per R tuple).
+  std::vector<size_t> key_attr_indices;
+  for (size_t k : base->schema().key_indices()) {
+    const std::string& key_name = base->schema().attribute(k).name;
+    if (!info.view.schema().Contains(key_name)) {
+      return Status::InvalidArgument(
+          "relevant view must include the key attribute '" + key_name +
+          "' of relation '" + relation + "'");
+    }
+    info.view_key_columns.push_back(key_name);
+    key_attr_indices.push_back(k);
+  }
+  if (!info.view.schema().Contains(update_attr)) {
+    return Status::InvalidArgument(
+        "relevant view must include the update attribute '" + update_attr +
+        "'");
+  }
+
+  // Key -> tid index on R.
+  std::unordered_map<std::vector<Value>, size_t, ValueVectorHash, ValueVectorEq>
+      key_to_tid;
+  key_to_tid.reserve(base->num_rows());
+  for (size_t t = 0; t < base->num_rows(); ++t) {
+    std::vector<Value> key;
+    key.reserve(key_attr_indices.size());
+    for (size_t k : key_attr_indices) key.push_back(base->At(t, k));
+    key_to_tid.emplace(std::move(key), t);
+  }
+
+  std::vector<size_t> view_key_cols;
+  for (const std::string& name : info.view_key_columns) {
+    HYPER_ASSIGN_OR_RETURN(size_t idx, info.view.schema().IndexOf(name));
+    view_key_cols.push_back(idx);
+  }
+
+  info.view_row_to_tid.resize(info.view.num_rows());
+  std::vector<bool> seen(base->num_rows(), false);
+  for (size_t r = 0; r < info.view.num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(view_key_cols.size());
+    for (size_t c : view_key_cols) key.push_back(info.view.At(r, c));
+    auto it = key_to_tid.find(key);
+    if (it == key_to_tid.end()) {
+      return Status::Internal(
+          "relevant view row has a key not present in relation '" + relation +
+          "'");
+    }
+    if (seen[it->second]) {
+      return Status::InvalidArgument(
+          "relevant view has multiple rows for one tuple of '" + relation +
+          "'; group by the relation key (§3.1)");
+    }
+    seen[it->second] = true;
+    info.view_row_to_tid[r] = it->second;
+  }
+  return info;
+}
+
+Result<CompiledWhatIf> CompileWhatIf(const Database& db,
+                                     const sql::WhatIfStmt& stmt) {
+  if (stmt.updates.empty()) {
+    return Status::InvalidArgument("what-if query requires an Update clause");
+  }
+
+  CompiledWhatIf out;
+  HYPER_ASSIGN_OR_RETURN(
+      out.view_info,
+      BuildRelevantView(db, stmt.use, stmt.updates[0].attribute));
+
+  const Schema& vschema = out.view_info.view.schema();
+  for (const sql::UpdateClause& u : stmt.updates) {
+    if (!vschema.Contains(u.attribute)) {
+      return Status::InvalidArgument("update attribute '" + u.attribute +
+                                     "' not in the relevant view");
+    }
+    HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(u.attribute));
+    if (vschema.attribute(idx).mutability == Mutability::kImmutable) {
+      return Status::InvalidArgument("update attribute '" + u.attribute +
+                                     "' is immutable");
+    }
+    UpdateSpec spec;
+    spec.attribute = u.attribute;
+    spec.func = u.func;
+    spec.constant = u.constant;
+    out.updates.push_back(std::move(spec));
+  }
+
+  if (stmt.when != nullptr) {
+    if (sql::ContainsPost(*stmt.when)) {
+      return Status::InvalidArgument(
+          "the When operator selects tuples by pre-update values only "
+          "(§3.1); Post(...) is not allowed");
+    }
+    out.when = stmt.when->Clone();
+  }
+  if (stmt.for_pred != nullptr) {
+    out.for_pred = stmt.for_pred->Clone();
+  }
+
+  out.output_agg = stmt.output.agg;
+  if (stmt.output.inner == nullptr) {
+    // Count(*).
+    if (out.output_agg != AggKind::kCount) {
+      return Status::InvalidArgument("only Count supports '*'");
+    }
+  } else if (out.output_agg == AggKind::kCount) {
+    // Count(pred): fold the predicate (over post-update values) into For.
+    ExprPtr pred = PostifyBareRefs(*stmt.output.inner);
+    if (out.for_pred != nullptr) {
+      out.for_pred = sql::MakeBinary(sql::BinaryOp::kAnd,
+                                     std::move(out.for_pred), std::move(pred));
+    } else {
+      out.for_pred = std::move(pred);
+    }
+  } else {
+    // Sum/Avg(value-expression), evaluated on post-update values.
+    out.output_value = PostifyBareRefs(*stmt.output.inner);
+  }
+
+  // Sanity: every column referenced anywhere must exist in the view.
+  std::vector<std::string> referenced;
+  if (out.when) sql::CollectColumnRefs(*out.when, &referenced);
+  if (out.for_pred) sql::CollectColumnRefs(*out.for_pred, &referenced);
+  if (out.output_value) sql::CollectColumnRefs(*out.output_value, &referenced);
+  for (const std::string& col : referenced) {
+    if (!vschema.Contains(col)) {
+      return Status::InvalidArgument("attribute '" + col +
+                                     "' not in the relevant view");
+    }
+  }
+  return out;
+}
+
+}  // namespace hyper::whatif

@@ -1,0 +1,63 @@
+#ifndef HYPER_WHATIF_COMPILE_H_
+#define HYPER_WHATIF_COMPILE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace hyper::whatif {
+
+/// A resolved hypothetical update u_{R,B,f,S} (Definition 2) on one view
+/// column. S is determined separately by the When predicate.
+struct UpdateSpec {
+  std::string attribute;  // view column == base attribute name
+  sql::UpdateFuncKind func = sql::UpdateFuncKind::kSet;
+  Value constant;
+
+  /// f(pre): the post-update value of the attribute.
+  Result<Value> Apply(const Value& pre) const;
+};
+
+/// The materialized relevant view V_rel plus the bookkeeping the engine
+/// needs: which base relation R the update targets, how view rows map back
+/// to R tuples, and which causal-model attribute each view column stands
+/// for (aggregated columns map to their base attribute — the augmented-graph
+/// reading of §A.3.2).
+struct ViewInfo {
+  Table view;
+  std::string update_relation;                 // R
+  std::vector<std::string> view_key_columns;   // key of R, as view columns
+  std::vector<size_t> view_row_to_tid;         // view row -> tid in R
+  std::unordered_map<std::string, std::string> causal_of_column;
+};
+
+/// A fully compiled what-if query.
+struct CompiledWhatIf {
+  ViewInfo view_info;
+  std::vector<UpdateSpec> updates;
+  sql::ExprPtr when;      // nullable
+  sql::ExprPtr for_pred;  // nullable; Count(pred) outputs are folded in here
+  sql::AggKind output_agg = sql::AggKind::kCount;
+  sql::ExprPtr output_value;  // value expression for Sum/Avg; null for Count
+};
+
+/// Builds V_rel for a Use clause. `update_attr` (the first update
+/// attribute) determines the relation R; the view must expose R's key and
+/// the update attribute, and contains exactly one row per tuple of R (§3.1).
+Result<ViewInfo> BuildRelevantView(const Database& db,
+                                   const sql::UseClause& use,
+                                   const std::string& update_attr);
+
+/// Compiles a parsed what-if statement against a database. Validation
+/// errors (unknown attributes, immutable update targets, view shape
+/// violations) surface here, before any estimation work starts.
+Result<CompiledWhatIf> CompileWhatIf(const Database& db,
+                                     const sql::WhatIfStmt& stmt);
+
+}  // namespace hyper::whatif
+
+#endif  // HYPER_WHATIF_COMPILE_H_

@@ -1,0 +1,754 @@
+#include "whatif/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "causal/ground.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "learn/dataset.h"
+#include "learn/discretizer.h"
+#include "learn/frequency.h"
+#include "prob/aggregates.h"
+#include "relational/eval.h"
+#include "sql/parser.h"
+
+namespace hyper::whatif {
+
+using relational::Env;
+using relational::EvalExpr;
+using relational::EvalPredicate;
+using sql::AggKind;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+const char* BackdoorModeName(BackdoorMode mode) {
+  switch (mode) {
+    case BackdoorMode::kGraph: return "graph";
+    case BackdoorMode::kAllAttributes: return "all-attributes";
+    case BackdoorMode::kUpdateOnly: return "update-only";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// For-predicate folding (§A.2): per tuple, every subexpression whose value
+// is already determined (pre-update values, immutable attributes, the
+// deterministic post-update value of the update attribute itself) is folded
+// to a literal; what remains — the residual — references only genuinely
+// random post-update attributes and is handled by the estimator.
+// ---------------------------------------------------------------------------
+
+/// True when `expr` (inside or outside Post) transitively references a
+/// random column through a Post(...) wrapper.
+bool ContainsRandomPost(const Expr& expr,
+                        const std::set<std::string>& random_cols) {
+  if (expr.kind == ExprKind::kPost) {
+    std::vector<std::string> cols;
+    sql::CollectColumnRefs(*expr.children[0], &cols);
+    for (const std::string& col : cols) {
+      if (random_cols.count(col) > 0) return true;
+    }
+    return false;
+  }
+  for (const auto& child : expr.children) {
+    if (ContainsRandomPost(*child, random_cols)) return true;
+  }
+  return false;
+}
+
+/// Collects columns referenced inside Post(...) wrappers — the outcome
+/// attributes of the query, as opposed to pre-update conditioning columns.
+void CollectPostColumnRefs(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == ExprKind::kPost) {
+    sql::CollectColumnRefs(*expr.children[0], out);
+    return;
+  }
+  for (const auto& child : expr.children) {
+    CollectPostColumnRefs(*child, out);
+  }
+}
+
+bool IsBoolLiteral(const Expr& expr, bool* value) {
+  if (expr.kind != ExprKind::kLiteral) return false;
+  auto b = expr.literal.AsBool();
+  if (!b.ok()) return false;
+  *value = *b;
+  return true;
+}
+
+/// Folds `expr` for one tuple. `env` binds the tuple with its deterministic
+/// post image (update attributes set to f(b), everything else pre).
+Result<ExprPtr> FoldExpr(const Expr& expr, const Env& env,
+                         const std::set<std::string>& random_cols) {
+  if (!ContainsRandomPost(expr, random_cols)) {
+    HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, env));
+    return sql::MakeLiteral(std::move(v));
+  }
+  switch (expr.kind) {
+    case ExprKind::kBinary:
+      if (expr.op == sql::BinaryOp::kAnd || expr.op == sql::BinaryOp::kOr) {
+        HYPER_ASSIGN_OR_RETURN(ExprPtr lhs,
+                               FoldExpr(*expr.children[0], env, random_cols));
+        HYPER_ASSIGN_OR_RETURN(ExprPtr rhs,
+                               FoldExpr(*expr.children[1], env, random_cols));
+        bool lit = false;
+        const bool is_and = expr.op == sql::BinaryOp::kAnd;
+        if (IsBoolLiteral(*lhs, &lit)) {
+          if (is_and) return lit ? std::move(rhs) : sql::MakeLiteral(Value::Bool(false));
+          return lit ? sql::MakeLiteral(Value::Bool(true)) : std::move(rhs);
+        }
+        if (IsBoolLiteral(*rhs, &lit)) {
+          if (is_and) return lit ? std::move(lhs) : sql::MakeLiteral(Value::Bool(false));
+          return lit ? sql::MakeLiteral(Value::Bool(true)) : std::move(lhs);
+        }
+        return sql::MakeBinary(expr.op, std::move(lhs), std::move(rhs));
+      }
+      break;
+    case ExprKind::kNot: {
+      HYPER_ASSIGN_OR_RETURN(ExprPtr inner,
+                             FoldExpr(*expr.children[0], env, random_cols));
+      bool lit = false;
+      if (IsBoolLiteral(*inner, &lit)) {
+        return sql::MakeLiteral(Value::Bool(!lit));
+      }
+      return sql::MakeNot(std::move(inner));
+    }
+    case ExprKind::kPost:
+      // A random Post reference: keep verbatim for the estimator.
+      return expr.Clone();
+    default:
+      break;
+  }
+  // A mixed atom (comparison/arithmetic/in-list containing a random Post
+  // plus determined parts): fold the determined children to literals — this
+  // is the Proposition 6 grounding, e.g. Post(A) > Pre(A) becomes
+  // "Post(A) > 5" for a tuple whose A is 5.
+  auto out = std::make_unique<Expr>();
+  out->kind = expr.kind;
+  out->literal = expr.literal;
+  out->qualifier = expr.qualifier;
+  out->name = expr.name;
+  out->op = expr.op;
+  for (const auto& child : expr.children) {
+    HYPER_ASSIGN_OR_RETURN(ExprPtr folded,
+                           FoldExpr(*child, env, random_cols));
+    out->children.push_back(std::move(folded));
+  }
+  return out;
+}
+
+/// Estimators trained for one residual pattern.
+struct PatternEstimators {
+  bool literal = false;
+  bool literal_value = false;  // valid when literal
+  std::unique_ptr<learn::ConditionalMeanEstimator> weight;  // Pr(residual)
+  std::unique_ptr<learn::ConditionalMeanEstimator> value;   // E[Y * 1{res}]
+};
+
+std::unique_ptr<learn::ConditionalMeanEstimator> MakeEstimator(
+    const WhatIfOptions& options) {
+  if (options.estimator == learn::EstimatorKind::kFrequency) {
+    return std::make_unique<learn::FrequencyEstimator>(
+        /*backoff=*/true, options.frequency_smoothing);
+  }
+  learn::ForestOptions fo = options.forest;
+  fo.seed = options.seed * 2654435761u + 17;
+  return std::make_unique<learn::RandomForestRegressor>(fo);
+}
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+WhatIfEngine::WhatIfEngine(const Database* db,
+                           const causal::CausalGraph* graph,
+                           WhatIfOptions options)
+    : db_(db), graph_(graph), options_(options) {}
+
+Result<WhatIfResult> WhatIfEngine::RunSql(const std::string& text) const {
+  HYPER_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(text));
+  if (stmt.whatif == nullptr) {
+    return Status::InvalidArgument("expected a what-if statement");
+  }
+  return Run(*stmt.whatif);
+}
+
+Result<std::string> WhatIfEngine::ExplainSql(const std::string& text) const {
+  HYPER_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(text));
+  if (stmt.whatif == nullptr) {
+    return Status::InvalidArgument("expected a what-if statement");
+  }
+  return Explain(*stmt.whatif);
+}
+
+Result<std::string> WhatIfEngine::Explain(const sql::WhatIfStmt& stmt) const {
+  HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(*db_, stmt));
+  const Table& view = q.view_info.view;
+  const Schema& vschema = view.schema();
+  const BackdoorMode mode =
+      graph_ == nullptr ? BackdoorMode::kAllAttributes : options_.backdoor;
+
+  std::string out;
+  out += StrFormat("relevant view: %s over relation '%s' (%zu rows, %zu "
+                   "attributes)\n",
+                   vschema.relation_name().c_str(),
+                   q.view_info.update_relation.c_str(), view.num_rows(),
+                   vschema.num_attributes());
+
+  size_t selected = view.num_rows();
+  if (q.when != nullptr) {
+    selected = 0;
+    for (size_t r = 0; r < view.num_rows(); ++r) {
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
+      HYPER_ASSIGN_OR_RETURN(bool sel, EvalPredicate(*q.when, env));
+      if (sel) ++selected;
+    }
+    out += "when: " + q.when->ToString() +
+           StrFormat("  -> S has %zu tuple(s)\n", selected);
+  } else {
+    out += StrFormat("when: (absent) -> S = all %zu tuples\n", selected);
+  }
+  for (const UpdateSpec& u : q.updates) {
+    out += StrFormat("update: %s <- %s(%s)\n", u.attribute.c_str(),
+                     sql::UpdateFuncKindName(u.func),
+                     u.constant.ToString().c_str());
+  }
+  out += std::string("output: ") + sql::AggKindName(q.output_agg);
+  if (q.output_value != nullptr) {
+    out += " of " + q.output_value->ToString();
+  }
+  out += "\n";
+  if (q.for_pred != nullptr) {
+    out += "for: " + q.for_pred->ToString() + "\n";
+  }
+
+  out += std::string("backdoor mode: ") + BackdoorModeName(mode) + "\n";
+  if (mode == BackdoorMode::kGraph) {
+    std::vector<std::string> targets;
+    if (q.for_pred != nullptr) CollectPostColumnRefs(*q.for_pred, &targets);
+    if (q.output_value != nullptr) {
+      sql::CollectColumnRefs(*q.output_value, &targets);
+    }
+    for (const UpdateSpec& u : q.updates) {
+      auto it = q.view_info.causal_of_column.find(u.attribute);
+      const std::string b =
+          it != q.view_info.causal_of_column.end() ? it->second : u.attribute;
+      if (!graph_->HasNode(b)) continue;
+      for (const std::string& target : targets) {
+        auto jt = q.view_info.causal_of_column.find(target);
+        const std::string y =
+            jt != q.view_info.causal_of_column.end() ? jt->second : target;
+        if (!graph_->HasNode(y)) continue;
+        auto set = causal::MinimalBackdoorSet(*graph_, b, y);
+        if (!set.ok()) continue;
+        out += "  adjust (" + b + " -> " + y + "): {";
+        bool first = true;
+        for (const std::string& c : *set) {
+          if (!first) out += ", ";
+          out += c;
+          first = false;
+        }
+        out += "}\n";
+      }
+    }
+  }
+  out += std::string("estimator: ") +
+         learn::EstimatorKindName(options_.estimator);
+  if (options_.sample_size > 0) {
+    out += StrFormat(" (training sample %zu)", options_.sample_size);
+  }
+  out += "\n";
+  return out;
+}
+
+Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
+  Stopwatch total_timer;
+  WhatIfResult result;
+
+  HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(*db_, stmt));
+  const Table& view = q.view_info.view;
+  const Schema& vschema = view.schema();
+  const size_t n = view.num_rows();
+  result.view_rows = n;
+  if (n == 0) {
+    return Status::InvalidArgument("relevant view is empty");
+  }
+
+  const BackdoorMode mode =
+      graph_ == nullptr ? BackdoorMode::kAllAttributes : options_.backdoor;
+
+  // Causal name <-> view column maps.
+  auto causal_of = [&](const std::string& col) -> std::string {
+    auto it = q.view_info.causal_of_column.find(col);
+    return it == q.view_info.causal_of_column.end() ? std::string() : it->second;
+  };
+  std::unordered_map<std::string, std::string> column_of_causal;
+  for (const auto& [col, attr] : q.view_info.causal_of_column) {
+    column_of_causal.emplace(attr, col);
+  }
+
+  // Update columns, S membership, and deterministic post-update values.
+  std::vector<size_t> update_cols;
+  for (const UpdateSpec& u : q.updates) {
+    HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(u.attribute));
+    update_cols.push_back(idx);
+  }
+  // Multi-update soundness (§3.1): updated attributes must be causally
+  // unrelated to each other.
+  if (mode == BackdoorMode::kGraph && q.updates.size() > 1) {
+    for (size_t i = 0; i < q.updates.size(); ++i) {
+      const std::string bi = causal_of(q.updates[i].attribute);
+      if (!graph_->HasNode(bi)) continue;
+      const auto desc = graph_->Descendants(bi);
+      for (size_t j = 0; j < q.updates.size(); ++j) {
+        if (i == j) continue;
+        if (desc.count(causal_of(q.updates[j].attribute)) > 0) {
+          return Status::InvalidArgument(
+              "multi-attribute update requires causally unrelated "
+              "attributes: '" + q.updates[i].attribute + "' affects '" +
+              q.updates[j].attribute + "'");
+        }
+      }
+    }
+  }
+
+  std::vector<bool> in_s(n, true);
+  if (q.when != nullptr) {
+    for (size_t r = 0; r < n; ++r) {
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
+      HYPER_ASSIGN_OR_RETURN(bool sel, EvalPredicate(*q.when, env));
+      in_s[r] = sel;
+    }
+  }
+  // Deterministic post image per row: update attributes set to f(b) on S.
+  std::vector<Row> post_rows(n);
+  size_t updated = 0;
+  for (size_t r = 0; r < n; ++r) {
+    post_rows[r] = view.row(r);
+    if (!in_s[r]) continue;
+    ++updated;
+    for (size_t j = 0; j < q.updates.size(); ++j) {
+      HYPER_ASSIGN_OR_RETURN(
+          Value post, q.updates[j].Apply(view.At(r, update_cols[j])));
+      post_rows[r][update_cols[j]] = std::move(post);
+    }
+  }
+  result.updated_rows = updated;
+
+  // Random columns: mutable view columns that an update can actually move.
+  // With a causal graph these are the causal descendants of the update
+  // attributes; without one, every mutable non-update attribute.
+  std::set<std::string> random_cols;
+  {
+    std::set<std::string> update_names;
+    for (const UpdateSpec& u : q.updates) update_names.insert(u.attribute);
+    if (mode == BackdoorMode::kGraph) {
+      std::unordered_set<std::string> desc;
+      for (const UpdateSpec& u : q.updates) {
+        const std::string b = causal_of(u.attribute);
+        if (!graph_->HasNode(b)) continue;
+        for (const std::string& d : graph_->Descendants(b)) desc.insert(d);
+      }
+      for (const AttributeDef& attr : vschema.attributes()) {
+        if (attr.mutability == Mutability::kImmutable) continue;
+        if (update_names.count(attr.name) > 0) continue;
+        if (desc.count(causal_of(attr.name)) > 0) random_cols.insert(attr.name);
+      }
+    } else {
+      for (const AttributeDef& attr : vschema.attributes()) {
+        if (attr.mutability == Mutability::kImmutable) continue;
+        if (update_names.count(attr.name) > 0) continue;
+        random_cols.insert(attr.name);
+      }
+    }
+  }
+
+  // Post-referenced target columns (for backdoor computation and feature
+  // exclusion): random columns mentioned under Post(...) in For / Output.
+  // Columns referenced only through Pre(...) are conditioning attributes,
+  // not outcomes.
+  std::set<std::string> target_cols;
+  {
+    std::vector<std::string> cols;
+    if (q.for_pred != nullptr) CollectPostColumnRefs(*q.for_pred, &cols);
+    if (q.output_value != nullptr) {
+      sql::CollectColumnRefs(*q.output_value, &cols);
+    }
+    for (const std::string& col : cols) {
+      if (random_cols.count(col) > 0) target_cols.insert(col);
+    }
+  }
+
+  // psi cross-tuple summary features (§2.2 / §A.3.2): when the graph has a
+  // cross-tuple edge out of an update attribute, the group mean of that
+  // attribute over the link group becomes a feature, recomputed post-update
+  // — this is how updating Asus prices moves Vaio ratings.
+  struct PsiSpec {
+    size_t update_index;   // into q.updates
+    size_t link_col;       // view column of the link attribute
+    std::string name;
+  };
+  std::vector<PsiSpec> psi_specs;
+  if (mode == BackdoorMode::kGraph) {
+    for (size_t j = 0; j < q.updates.size(); ++j) {
+      const std::string b = causal_of(q.updates[j].attribute);
+      for (const causal::CausalEdge& e : graph_->edges()) {
+        if (!e.is_cross_tuple() || e.from != b) continue;
+        auto link_col = column_of_causal.find(e.link_attribute);
+        std::string link_name = link_col != column_of_causal.end()
+                                    ? link_col->second
+                                    : e.link_attribute;
+        if (!vschema.Contains(link_name)) continue;
+        PsiSpec spec;
+        spec.update_index = j;
+        spec.link_col = vschema.IndexOf(link_name).value();
+        spec.name = "psi_" + q.updates[j].attribute;
+        psi_specs.push_back(std::move(spec));
+        break;  // one psi per update attribute
+      }
+    }
+  }
+
+  // Group means for psi features (pre and post).
+  std::vector<std::vector<double>> psi_pre(psi_specs.size()),
+      psi_post(psi_specs.size());
+  std::vector<bool> psi_changed(n, false);
+  for (size_t p = 0; p < psi_specs.size(); ++p) {
+    const PsiSpec& spec = psi_specs[p];
+    const size_t bcol = update_cols[spec.update_index];
+    std::unordered_map<Value, std::pair<double, double>, ValueHash> sums;
+    std::unordered_map<Value, size_t, ValueHash> counts;
+    for (size_t r = 0; r < n; ++r) {
+      const Value& g = view.At(r, spec.link_col);
+      HYPER_ASSIGN_OR_RETURN(double pre, view.At(r, bcol).AsDouble());
+      HYPER_ASSIGN_OR_RETURN(double post, post_rows[r][bcol].AsDouble());
+      sums[g].first += pre;
+      sums[g].second += post;
+      counts[g] += 1;
+    }
+    psi_pre[p].resize(n);
+    psi_post[p].resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      const Value& g = view.At(r, spec.link_col);
+      const auto& s = sums.at(g);
+      const double c = static_cast<double>(counts.at(g));
+      psi_pre[p][r] = s.first / c;
+      psi_post[p][r] = s.second / c;
+      if (std::fabs(psi_pre[p][r] - psi_post[p][r]) > 1e-12) {
+        psi_changed[r] = true;
+      }
+    }
+  }
+
+  // Adjustment set C (Equation 1) per the backdoor mode.
+  std::vector<std::string> backdoor_cols;
+  {
+    std::set<std::string> chosen;  // causal names
+    if (mode == BackdoorMode::kGraph) {
+      for (const UpdateSpec& u : q.updates) {
+        const std::string b = causal_of(u.attribute);
+        if (!graph_->HasNode(b)) continue;
+        for (const std::string& target : target_cols) {
+          const std::string y = causal_of(target);
+          if (!graph_->HasNode(y)) continue;
+          auto set = causal::MinimalBackdoorSet(*graph_, b, y);
+          if (!set.ok()) continue;  // disconnected: nothing to adjust
+          for (const std::string& c : *set) chosen.insert(c);
+        }
+      }
+    } else if (mode == BackdoorMode::kAllAttributes) {
+      std::set<std::string> excluded = target_cols;
+      for (const UpdateSpec& u : q.updates) excluded.insert(u.attribute);
+      for (const std::string& k : q.view_info.view_key_columns) {
+        excluded.insert(k);
+      }
+      for (const AttributeDef& attr : vschema.attributes()) {
+        if (excluded.count(attr.name) > 0) continue;
+        chosen.insert(causal_of(attr.name).empty() ? attr.name
+                                                   : causal_of(attr.name));
+      }
+    }  // kUpdateOnly: empty set
+    for (const std::string& c : chosen) {
+      auto it = column_of_causal.find(c);
+      const std::string col = it != column_of_causal.end() ? it->second : c;
+      if (vschema.Contains(col)) {
+        backdoor_cols.push_back(col);
+        result.backdoor.push_back(c);
+      }
+    }
+    std::sort(backdoor_cols.begin(), backdoor_cols.end());
+    std::sort(result.backdoor.begin(), result.backdoor.end());
+  }
+
+  // Conditioning attributes from the For operator (§5.5, Figure 11a): the
+  // estimation of Proposition 2 conditions on mu_For,Pre, so attributes
+  // referenced by pre-update conditions join the regressor features. Only
+  // non-descendants of the update attributes qualify — conditioning on a
+  // mediator's pre-value would block part of the causal path. The Indep
+  // baseline skips these (it conditions on nothing but the update).
+  std::vector<std::string> conditioning_cols;
+  if (q.for_pred != nullptr && mode != BackdoorMode::kUpdateOnly) {
+    std::unordered_set<std::string> descendants_of_updates;
+    if (mode == BackdoorMode::kGraph) {
+      for (const UpdateSpec& u : q.updates) {
+        const std::string b = causal_of(u.attribute);
+        if (!graph_->HasNode(b)) continue;
+        for (const std::string& d : graph_->Descendants(b)) {
+          descendants_of_updates.insert(d);
+        }
+      }
+    }
+    std::set<std::string> existing(backdoor_cols.begin(),
+                                   backdoor_cols.end());
+    for (const UpdateSpec& u : q.updates) existing.insert(u.attribute);
+    for (const std::string& k : q.view_info.view_key_columns) {
+      existing.insert(k);
+    }
+    std::vector<std::string> refs;
+    sql::CollectColumnRefs(*q.for_pred, &refs);
+    for (const std::string& col : refs) {
+      if (existing.count(col) > 0) continue;
+      if (target_cols.count(col) > 0) continue;
+      if (random_cols.count(col) > 0) continue;  // mutable descendants
+      if (mode == BackdoorMode::kGraph &&
+          descendants_of_updates.count(causal_of(col)) > 0) {
+        continue;
+      }
+      if (!vschema.Contains(col)) continue;
+      conditioning_cols.push_back(col);
+      existing.insert(col);
+    }
+  }
+
+  // Feature layout: update attributes, then backdoor columns, then For
+  // conditioning columns, then psi.
+  std::vector<std::string> feature_cols;
+  for (const UpdateSpec& u : q.updates) feature_cols.push_back(u.attribute);
+  for (const std::string& c : backdoor_cols) feature_cols.push_back(c);
+  for (const std::string& c : conditioning_cols) feature_cols.push_back(c);
+  HYPER_ASSIGN_OR_RETURN(learn::FeatureEncoder encoder,
+                         learn::FeatureEncoder::Fit(view, feature_cols));
+
+  // The frequency estimator needs a discrete feature space: bucketize
+  // continuous feature columns into equal-count (quantile) cells, fitted
+  // over pre- and post-update values so hypothetical points land inside the
+  // range (the paper likewise bucketizes continuous attributes, §5.4).
+  // Quantile cells keep the tails densely populated, so conditional
+  // estimates stay stable at extreme candidate values.
+  std::vector<std::optional<learn::QuantileDiscretizer>> feature_disc(
+      feature_cols.size());
+  if (options_.estimator == learn::EstimatorKind::kFrequency) {
+    for (size_t j = 0; j < feature_cols.size(); ++j) {
+      const size_t col = vschema.IndexOf(feature_cols[j]).value();
+      if (vschema.attribute(col).type != ValueType::kDouble) continue;
+      // Fit on the observed (pre-update) distribution only: the grid must
+      // reflect where training data lives; hypothetical points clamp into
+      // the nearest populated cell, which keeps candidate rankings monotone
+      // without letting duplicated post-update constants distort the cells.
+      std::vector<double> values;
+      values.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        auto pre = view.At(r, col).AsDouble();
+        if (pre.ok()) values.push_back(*pre);
+      }
+      auto disc = learn::QuantileDiscretizer::FitToData(std::move(values), 16);
+      if (disc.ok()) feature_disc[j] = *disc;
+    }
+  }
+  auto snap_feature = [&](size_t j, double v) {
+    return feature_disc[j].has_value()
+               ? feature_disc[j]->Representative(feature_disc[j]->BucketOf(v))
+               : v;
+  };
+
+  // Training rows (HypeR-sampled caps them).
+  std::vector<size_t> train_rows;
+  if (options_.sample_size > 0 && options_.sample_size < n) {
+    Rng rng(options_.seed);
+    train_rows = rng.SampleWithoutReplacement(n, options_.sample_size);
+  } else {
+    train_rows.resize(n);
+    for (size_t r = 0; r < n; ++r) train_rows[r] = r;
+  }
+
+  Stopwatch train_timer;
+  double train_seconds = 0.0;
+
+  // Pre-encode training features (observed values + psi_pre).
+  learn::Matrix train_x;
+  train_x.reserve(train_rows.size());
+  for (size_t r : train_rows) {
+    HYPER_ASSIGN_OR_RETURN(std::vector<double> x, encoder.EncodeRow(view, r));
+    for (size_t j = 0; j < x.size(); ++j) x[j] = snap_feature(j, x[j]);
+    for (size_t p = 0; p < psi_specs.size(); ++p) x.push_back(psi_pre[p][r]);
+    train_x.push_back(std::move(x));
+  }
+
+  // Observed output values (Sum/Avg only).
+  std::vector<double> y_obs;
+  if (q.output_value != nullptr) {
+    y_obs.resize(train_rows.size());
+    for (size_t i = 0; i < train_rows.size(); ++i) {
+      const size_t r = train_rows[i];
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r),
+               &view.row(r));
+      HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*q.output_value, env));
+      HYPER_ASSIGN_OR_RETURN(y_obs[i], v.AsDouble());
+    }
+  }
+
+  // Residual-pattern estimator cache with lazy training.
+  std::unordered_map<std::string, PatternEstimators> patterns;
+  auto get_pattern = [&](const ExprPtr& residual,
+                         const std::string& key) -> Result<PatternEstimators*> {
+    auto it = patterns.find(key);
+    if (it != patterns.end()) return &it->second;
+    train_timer.Restart();
+    PatternEstimators pat;
+    bool lit = false;
+    const bool is_literal = IsBoolLiteral(*residual, &lit);
+    pat.literal = is_literal;
+    pat.literal_value = lit;
+
+    // Indicator targets 1{residual} evaluated observationally.
+    std::vector<double> ind(train_rows.size(), 1.0);
+    if (!is_literal) {
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        const size_t r = train_rows[i];
+        Env env;
+        env.Bind(vschema.relation_name(), &vschema, &view.row(r),
+                 &view.row(r));
+        HYPER_ASSIGN_OR_RETURN(bool b, EvalPredicate(*residual, env));
+        ind[i] = b ? 1.0 : 0.0;
+      }
+      pat.weight = MakeEstimator(options_);
+      HYPER_RETURN_NOT_OK(pat.weight->Fit(train_x, ind));
+    }
+    if (q.output_value != nullptr && !(is_literal && !lit)) {
+      std::vector<double> value_target(train_rows.size());
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        value_target[i] = y_obs[i] * ind[i];
+      }
+      pat.value = MakeEstimator(options_);
+      HYPER_RETURN_NOT_OK(pat.value->Fit(train_x, value_target));
+    }
+    train_seconds += train_timer.ElapsedSeconds();
+    auto [ins, _] = patterns.emplace(key, std::move(pat));
+    return &ins->second;
+  };
+
+  // Block-independent decomposition (§3.3).
+  std::vector<std::vector<size_t>> block_rows;
+  if (options_.use_blocks && graph_ != nullptr) {
+    auto components = causal::TupleComponents::Build(*graph_, *db_);
+    if (components.ok()) {
+      std::unordered_map<size_t, size_t> block_index;
+      for (size_t r = 0; r < n; ++r) {
+        auto block = components->BlockOf(causal::TupleId{
+            q.view_info.update_relation, q.view_info.view_row_to_tid[r]});
+        const size_t b = block.ok() ? *block : 0;
+        auto [it, inserted] = block_index.emplace(b, block_rows.size());
+        if (inserted) block_rows.emplace_back();
+        block_rows[it->second].push_back(r);
+      }
+    }
+  }
+  if (block_rows.empty()) {
+    block_rows.emplace_back();
+    block_rows[0].resize(n);
+    for (size_t r = 0; r < n; ++r) block_rows[0][r] = r;
+  }
+  result.num_blocks = block_rows.size();
+
+  // Main evaluation loop.
+  prob::BlockAccumulator acc(q.output_agg);
+  ExprPtr literal_true = sql::MakeLiteral(Value::Bool(true));
+
+  for (const std::vector<size_t>& rows : block_rows) {
+    acc.BeginBlock();
+    for (size_t r : rows) {
+      // Fold the For predicate against this tuple's deterministic values.
+      Env fold_env;
+      fold_env.Bind(vschema.relation_name(), &vschema, &view.row(r),
+                    &post_rows[r]);
+      ExprPtr residual;
+      if (q.for_pred != nullptr) {
+        HYPER_ASSIGN_OR_RETURN(residual,
+                               FoldExpr(*q.for_pred, fold_env, random_cols));
+      } else {
+        residual = literal_true->Clone();
+      }
+      bool lit = false;
+      if (IsBoolLiteral(*residual, &lit) && !lit) continue;  // disqualified
+
+      const bool affected = in_s[r] || psi_changed[r];
+      if (!affected) {
+        // Unchanged tuple: post == pre, everything is exact.
+        Env env;
+        env.Bind(vschema.relation_name(), &vschema, &view.row(r),
+                 &view.row(r));
+        HYPER_ASSIGN_OR_RETURN(bool qualifies, EvalPredicate(*residual, env));
+        if (!qualifies) continue;
+        double value = 0.0;
+        if (q.output_value != nullptr) {
+          HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*q.output_value, env));
+          HYPER_ASSIGN_OR_RETURN(value, v.AsDouble());
+        }
+        acc.Add(1.0, value);
+        continue;
+      }
+
+      // Affected tuple: estimate via the backdoor-adjusted estimator at the
+      // post-update feature point.
+      HYPER_ASSIGN_OR_RETURN(PatternEstimators * pat,
+                             get_pattern(residual, residual->ToString()));
+      std::vector<double> x;
+      x.reserve(feature_cols.size() + psi_specs.size());
+      for (size_t j = 0; j < q.updates.size(); ++j) {
+        HYPER_ASSIGN_OR_RETURN(
+            double f, encoder.EncodeValue(j, post_rows[r][update_cols[j]]));
+        x.push_back(snap_feature(j, f));
+      }
+      for (size_t j = q.updates.size(); j < feature_cols.size(); ++j) {
+        HYPER_ASSIGN_OR_RETURN(
+            double f,
+            encoder.EncodeValue(
+                j, view.At(r, vschema.IndexOf(feature_cols[j]).value())));
+        x.push_back(snap_feature(j, f));
+      }
+      for (size_t p = 0; p < psi_specs.size(); ++p) {
+        x.push_back(psi_post[p][r]);
+      }
+
+      const double weight =
+          pat->literal ? (pat->literal_value ? 1.0 : 0.0)
+                       : Clamp01(pat->weight->Predict(x));
+      if (weight <= 0.0) continue;
+      double weighted_value = 0.0;
+      if (pat->value != nullptr) {
+        weighted_value = pat->value->Predict(x);
+      }
+      acc.Add(weight, weighted_value);
+    }
+    acc.EndBlock();
+  }
+
+  result.num_patterns = patterns.size();
+  result.train_seconds = train_seconds;
+  HYPER_ASSIGN_OR_RETURN(result.value, acc.Finish());
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace hyper::whatif

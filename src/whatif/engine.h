@@ -1,0 +1,94 @@
+#ifndef HYPER_WHATIF_ENGINE_H_
+#define HYPER_WHATIF_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/graph.h"
+#include "common/status.h"
+#include "learn/estimator.h"
+#include "learn/forest.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "whatif/compile.h"
+
+namespace hyper::whatif {
+
+/// How the engine picks the adjustment set C of Equation (1).
+enum class BackdoorMode {
+  /// Minimal backdoor set from the causal graph (§A.2 greedy). This is
+  /// "HypeR" in the paper's experiments.
+  kGraph = 0,
+  /// No background knowledge: every attribute joins the adjustment set
+  /// ("HypeR-NB", §2.2 canonical model).
+  kAllAttributes,
+  /// No adjustment at all: condition on the update attribute only. This is
+  /// the correlational "Indep" baseline of §5.1 — it ignores confounding
+  /// and cross-attribute dependencies.
+  kUpdateOnly,
+};
+
+const char* BackdoorModeName(BackdoorMode mode);
+
+struct WhatIfOptions {
+  learn::EstimatorKind estimator = learn::EstimatorKind::kForest;
+  learn::ForestOptions forest = {};
+  /// Shrinkage pseudo-count for the frequency estimator (0 = exact
+  /// empirical conditionals; ~5-20 stabilizes sparse cells when continuous
+  /// attributes are bucketized).
+  double frequency_smoothing = 0.0;
+  BackdoorMode backdoor = BackdoorMode::kGraph;
+  /// Training-sample cap for the estimators; 0 = use every view row
+  /// ("HypeR"), >0 = "HypeR-sampled" with this many rows (§5.2).
+  size_t sample_size = 0;
+  /// Compute per block of the block-independent decomposition (§3.3). Off
+  /// switches to a single block — same value, used by the ablation bench.
+  bool use_blocks = true;
+  uint64_t seed = 7;
+};
+
+struct WhatIfResult {
+  /// valwhatif(Q, D) — Definition 5.
+  double value = 0.0;
+  size_t view_rows = 0;
+  size_t updated_rows = 0;   // |S|
+  size_t num_blocks = 1;
+  size_t num_patterns = 0;   // distinct post-residual formulas estimated
+  std::vector<std::string> backdoor;  // adjustment set (causal names)
+  double train_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The HypeR what-if engine (§3.3): builds the relevant view, interprets the
+/// update as an intervention, and estimates the post-update aggregate with
+/// the backdoor-adjusted estimator, decomposed over independent blocks.
+class WhatIfEngine {
+ public:
+  /// `graph` may be null: the engine then behaves as if BackdoorMode were
+  /// kAllAttributes (no background knowledge).
+  WhatIfEngine(const Database* db, const causal::CausalGraph* graph,
+               WhatIfOptions options = {});
+
+  /// Runs a parsed what-if statement.
+  Result<WhatIfResult> Run(const sql::WhatIfStmt& stmt) const;
+
+  /// Parses and runs query text (must be a what-if statement).
+  Result<WhatIfResult> RunSql(const std::string& text) const;
+
+  /// Human-readable execution plan: relevant-view shape, When selectivity,
+  /// update interpretation, target attributes and the adjustment set the
+  /// configured backdoor mode would use. No estimators are trained.
+  Result<std::string> Explain(const sql::WhatIfStmt& stmt) const;
+  Result<std::string> ExplainSql(const std::string& text) const;
+
+  const WhatIfOptions& options() const { return options_; }
+
+ private:
+  const Database* db_;
+  const causal::CausalGraph* graph_;  // nullable
+  WhatIfOptions options_;
+};
+
+}  // namespace hyper::whatif
+
+#endif  // HYPER_WHATIF_ENGINE_H_

@@ -1,0 +1,148 @@
+#include "whatif/naive.h"
+
+#include <unordered_map>
+
+#include "relational/eval.h"
+#include "relational/select.h"
+#include "whatif/compile.h"
+
+namespace hyper::whatif {
+
+using relational::Env;
+using relational::EvalExpr;
+using relational::EvalPredicate;
+using sql::AggKind;
+
+Result<double> NaiveWhatIf(const Database& db, const causal::Scm& scm,
+                           const sql::WhatIfStmt& stmt) {
+  HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(db, stmt));
+  const Table& view = q.view_info.view;
+  const Schema& vschema = view.schema();
+  const size_t n = view.num_rows();
+
+  // S = tuples selected by When (pre-update values).
+  std::vector<bool> in_s(n, true);
+  if (q.when != nullptr) {
+    for (size_t r = 0; r < n; ++r) {
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
+      HYPER_ASSIGN_OR_RETURN(bool sel, EvalPredicate(*q.when, env));
+      in_s[r] = sel;
+    }
+  }
+
+  // Interventions on the base relation R.
+  std::vector<causal::GroundIntervention> interventions;
+  std::vector<size_t> update_cols;
+  for (const UpdateSpec& u : q.updates) {
+    HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(u.attribute));
+    update_cols.push_back(idx);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (!in_s[r]) continue;
+    for (size_t j = 0; j < q.updates.size(); ++j) {
+      HYPER_ASSIGN_OR_RETURN(Value post,
+                             q.updates[j].Apply(view.At(r, update_cols[j])));
+      interventions.push_back(causal::GroundIntervention{
+          causal::TupleId{q.view_info.update_relation,
+                          q.view_info.view_row_to_tid[r]},
+          q.updates[j].attribute, std::move(post)});
+    }
+  }
+
+  HYPER_ASSIGN_OR_RETURN(causal::GroundScm ground,
+                         causal::GroundScm::Build(&scm, &db));
+  HYPER_ASSIGN_OR_RETURN(std::vector<causal::PossibleWorld> worlds,
+                         ground.PostUpdateWorlds(interventions));
+
+  // View key columns, for matching pre rows to world rows.
+  std::vector<size_t> key_cols;
+  for (const std::string& k : q.view_info.view_key_columns) {
+    HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(k));
+    key_cols.push_back(idx);
+  }
+
+  double expectation = 0.0;
+  double qualified_mass = 0.0;  // probability mass with a non-empty Avg set
+  for (const causal::PossibleWorld& world : worlds) {
+    // Recompute the relevant view over the possible world.
+    Table view_post;
+    if (q.view_info.update_relation == vschema.relation_name() &&
+        stmt.use.is_table()) {
+      HYPER_ASSIGN_OR_RETURN(const Table* t,
+                             world.db.GetTable(stmt.use.table));
+      view_post = *t;
+    } else {
+      HYPER_ASSIGN_OR_RETURN(
+          view_post, relational::ExecuteSelect(world.db, *stmt.use.select,
+                                               vschema.relation_name()));
+    }
+
+    // Key -> post-view row index.
+    std::unordered_map<std::vector<Value>, size_t, ValueVectorHash,
+                       ValueVectorEq>
+        post_index;
+    for (size_t r = 0; r < view_post.num_rows(); ++r) {
+      std::vector<Value> key;
+      key.reserve(key_cols.size());
+      for (size_t c : key_cols) key.push_back(view_post.At(r, c));
+      post_index.emplace(std::move(key), r);
+    }
+
+    // Definition 4: aggregate over qualifying tuples in this world.
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t r = 0; r < n; ++r) {
+      std::vector<Value> key;
+      key.reserve(key_cols.size());
+      for (size_t c : key_cols) key.push_back(view.At(r, c));
+      auto it = post_index.find(key);
+      if (it == post_index.end()) {
+        return Status::Internal("view row lost its key in a possible world");
+      }
+      Env env;
+      env.Bind(vschema.relation_name(), &vschema, &view.row(r),
+               &view_post.row(it->second));
+      if (q.for_pred != nullptr) {
+        HYPER_ASSIGN_OR_RETURN(bool qualifies,
+                               EvalPredicate(*q.for_pred, env));
+        if (!qualifies) continue;
+      }
+      ++count;
+      if (q.output_value != nullptr) {
+        HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*q.output_value, env));
+        HYPER_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        sum += d;
+      }
+    }
+
+    double world_value = 0.0;
+    switch (q.output_agg) {
+      case AggKind::kCount:
+        world_value = static_cast<double>(count);
+        break;
+      case AggKind::kSum:
+        world_value = sum;
+        break;
+      case AggKind::kAvg:
+        if (count == 0) continue;  // excluded from normalization
+        world_value = sum / static_cast<double>(count);
+        break;
+      default:
+        return Status::InvalidArgument("unsupported aggregate");
+    }
+    expectation += world.prob * world_value;
+    qualified_mass += world.prob;
+  }
+
+  if (q.output_agg == AggKind::kAvg) {
+    if (qualified_mass <= 0.0) {
+      return Status::InvalidArgument(
+          "Avg undefined: qualifying set empty in every possible world");
+    }
+    return expectation / qualified_mass;
+  }
+  return expectation;
+}
+
+}  // namespace hyper::whatif

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "baselines/opt_howto.h"
+#include "data/datasets.h"
+#include "howto/engine.h"
+#include "sql/parser.h"
+
+namespace hyper::howto {
+namespace {
+
+class HowToGermanTest : public ::testing::Test {
+ protected:
+  HowToGermanTest() {
+    data::GermanOptions opt;
+    opt.rows = 4000;
+    opt.seed = 41;
+    ds_ = std::make_unique<data::Dataset>(
+        std::move(data::MakeGermanSyn(opt).value()));
+    options_.whatif.estimator = learn::EstimatorKind::kFrequency;
+  }
+
+  HowToEngine Engine() const {
+    return HowToEngine(&ds_->db, &ds_->graph, options_);
+  }
+
+  std::unique_ptr<data::Dataset> ds_;
+  HowToOptions options_;
+};
+
+TEST_F(HowToGermanTest, BaselineEqualsObservationalAggregate) {
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate Status "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  const double baseline = BaselineObjective(ds_->db, *stmt.howto).value();
+  // Observational mean of Credit.
+  const Table& t = *ds_->db.GetTable("German").value();
+  double sum = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    sum += static_cast<double>(t.At(r, 8).int_value());
+  }
+  EXPECT_NEAR(baseline, sum / t.num_rows(), 1e-9);
+}
+
+TEST_F(HowToGermanTest, CandidatesRespectIntegerDomain) {
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate Status "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  auto candidates = Engine().EnumerateCandidates(*stmt.howto).value();
+  ASSERT_EQ(candidates.size(), 1u);
+  ASSERT_EQ(candidates[0].size(), 4u);  // Status in {0,1,2,3}
+  for (const auto& spec : candidates[0]) {
+    EXPECT_EQ(spec.constant.type(), ValueType::kInt);
+  }
+}
+
+TEST_F(HowToGermanTest, CandidatesRespectAbsRange) {
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate Status "
+                  "Limit 1 <= Post(Status) <= 2 "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  auto candidates = Engine().EnumerateCandidates(*stmt.howto).value();
+  ASSERT_EQ(candidates[0].size(), 2u);
+  for (const auto& spec : candidates[0]) {
+    const int64_t v = spec.constant.int_value();
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 2);
+  }
+}
+
+TEST_F(HowToGermanTest, CandidatesRespectL1Limit) {
+  // Mean |v - Status_t| over all tuples must stay under the bound; a tiny
+  // bound keeps only candidates near the observational mean.
+  auto loose = sql::ParseSql(
+                   "Use German HowToUpdate Status "
+                   "Limit L1(Pre(Status), Post(Status)) <= 10 "
+                   "ToMaximize Avg(Post(Credit))")
+                   .value();
+  auto tight = sql::ParseSql(
+                   "Use German HowToUpdate Status "
+                   "Limit L1(Pre(Status), Post(Status)) <= 0.9 "
+                   "ToMaximize Avg(Post(Credit))")
+                   .value();
+  auto engine = Engine();
+  const size_t all = engine.EnumerateCandidates(*loose.howto)
+                         .value()[0]
+                         .size();
+  const size_t few = engine.EnumerateCandidates(*tight.howto)
+                         .value()[0]
+                         .size();
+  EXPECT_EQ(all, 4u);
+  EXPECT_LT(few, all);
+  EXPECT_GE(few, 1u);
+}
+
+TEST_F(HowToGermanTest, PicksMaxStatus) {
+  auto result = Engine().RunSql(
+      "Use German HowToUpdate Status ToMaximize Avg(Post(Credit))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->plan.size(), 1u);
+  ASSERT_TRUE(result->plan[0].changed);
+  EXPECT_TRUE(result->plan[0].update.constant.Equals(Value::Int(3)));
+  EXPECT_GT(result->objective_value, result->baseline_value);
+  EXPECT_TRUE(result->used_mck);
+  EXPECT_EQ(result->candidates_evaluated, 4u);
+}
+
+TEST_F(HowToGermanTest, MatchesOptHowToGroundTruthPlan) {
+  // §5.4: HypeR's plan coincides with exhaustive enumeration against the
+  // structural equations.
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate Status, Savings "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  auto engine = Engine();
+  auto hyper = engine.Run(*stmt.howto).value();
+
+  auto candidates = engine.EnumerateCandidates(*stmt.howto).value();
+  auto scorer =
+      baselines::MakeGroundTruthScorer(&ds_->db, &ds_->scm, stmt.howto.get());
+  auto exact = baselines::OptHowTo(*stmt.howto, candidates, scorer).value();
+
+  // Cross product: (4+1) * (3+1) = 20 combinations.
+  EXPECT_EQ(exact.combinations_evaluated, 20u);
+  ASSERT_EQ(hyper.plan.size(), exact.plan.size());
+  for (size_t a = 0; a < hyper.plan.size(); ++a) {
+    EXPECT_EQ(hyper.plan[a].changed, exact.plan[a].changed) << a;
+    if (hyper.plan[a].changed && exact.plan[a].changed) {
+      EXPECT_TRUE(hyper.plan[a].update.constant.Equals(
+          exact.plan[a].update.constant))
+          << a;
+    }
+  }
+}
+
+TEST_F(HowToGermanTest, MckAndMilpAgree) {
+  const std::string query =
+      "Use German HowToUpdate Status, Savings, Housing "
+      "ToMaximize Avg(Post(Credit))";
+  auto mck_result = Engine().RunSql(query).value();
+  HowToOptions milp_options = options_;
+  milp_options.prefer_mck = false;
+  auto milp_result =
+      HowToEngine(&ds_->db, &ds_->graph, milp_options).RunSql(query).value();
+  EXPECT_TRUE(mck_result.used_mck);
+  EXPECT_FALSE(milp_result.used_mck);
+  EXPECT_NEAR(mck_result.objective_value, milp_result.objective_value, 1e-9);
+  for (size_t a = 0; a < mck_result.plan.size(); ++a) {
+    EXPECT_EQ(mck_result.plan[a].changed, milp_result.plan[a].changed);
+  }
+}
+
+TEST_F(HowToGermanTest, GlobalBudgetForcesSelection) {
+  HowToOptions budgeted = options_;
+  budgeted.global_l1_budget = 0.0;  // no paid change allowed
+  auto result = HowToEngine(&ds_->db, &ds_->graph, budgeted)
+                    .RunSql(
+                        "Use German HowToUpdate Status, Savings "
+                        "ToMaximize Avg(Post(Credit))")
+                    .value();
+  // Every Set-update has positive L1 cost here, so nothing can change.
+  for (const AttributeChoice& c : result.plan) {
+    EXPECT_FALSE(c.changed);
+  }
+  EXPECT_NEAR(result.objective_value, result.baseline_value, 1e-9);
+}
+
+TEST_F(HowToGermanTest, MinimizeFlipsDirection) {
+  auto result = Engine().RunSql(
+      "Use German HowToUpdate Status ToMinimize Avg(Post(Credit))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->plan[0].changed);
+  EXPECT_TRUE(result->plan[0].update.constant.Equals(Value::Int(0)));
+  EXPECT_LT(result->objective_value, result->baseline_value);
+}
+
+TEST_F(HowToGermanTest, WhenRestrictsUpdateSet) {
+  auto result = Engine().RunSql(
+      "Use German When Age = 0 HowToUpdate Status "
+      "ToMaximize Avg(Post(Credit))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Updating only the young cohort moves the objective less than updating
+  // everyone.
+  auto full = Engine().RunSql(
+      "Use German HowToUpdate Status ToMaximize Avg(Post(Credit))");
+  EXPECT_LT(result->objective_value, full->objective_value);
+  EXPECT_GT(result->objective_value, result->baseline_value);
+}
+
+TEST_F(HowToGermanTest, LexicographicLocksPrimary) {
+  auto primary = sql::ParseSql(
+                     "Use German HowToUpdate Status, Savings "
+                     "ToMaximize Avg(Post(Credit))")
+                     .value();
+  auto secondary = sql::ParseSql(
+                       "Use German HowToUpdate Status, Savings "
+                       "ToMinimize Avg(Post(CreditAmount))")
+                       .value();
+  auto engine = Engine();
+  auto solo = engine.Run(*primary.howto).value();
+  auto lex = engine
+                 .RunLexicographic({primary.howto.get(),
+                                    secondary.howto.get()})
+                 .value();
+  // The lexicographic solution achieves the same primary objective.
+  EXPECT_NEAR(lex.objective_value, solo.objective_value, 1e-6);
+}
+
+TEST_F(HowToGermanTest, RejectsCausallyRelatedUpdates) {
+  // Savings affects CreditAmount in the discrete German SCM.
+  auto result = Engine().RunSql(
+      "Use German HowToUpdate Savings, CreditAmount "
+      "ToMaximize Avg(Post(Credit))");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(HowToGermanTest, RejectsImmutableAttribute) {
+  auto result = Engine().RunSql(
+      "Use German HowToUpdate Age ToMaximize Avg(Post(Credit))");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(HowToGermanTest, RejectsNonHowToSql) {
+  EXPECT_FALSE(Engine().RunSql("Select Id From German").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Continuous attribute bucketization (Figure 9 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(HowToContinuousTest, MoreBucketsRefineTheOptimum) {
+  data::GermanOptions opt;
+  opt.rows = 12000;
+  opt.seed = 43;
+  opt.continuous_amount = true;
+  auto ds = data::MakeGermanSyn(opt).value();
+
+  auto run = [&](size_t buckets) {
+    HowToOptions options;
+    options.whatif.estimator = learn::EstimatorKind::kFrequency;
+    options.num_buckets = buckets;
+    HowToEngine engine(&ds.db, &ds.graph, options);
+    return engine
+        .RunSql(
+            "Use German HowToUpdate CreditAmount "
+            "ToMaximize Avg(Post(Credit))")
+        .value();
+  };
+  auto coarse = run(2);
+  auto fine = run(10);
+  EXPECT_EQ(coarse.candidates_evaluated, 2u);
+  EXPECT_EQ(fine.candidates_evaluated, 10u);
+  // Finer buckets cannot do worse (same family of candidate sets).
+  EXPECT_GE(fine.objective_value, coarse.objective_value - 1e-6);
+  // The chosen amount should be in the upper half of the range (good
+  // credit rises monotonically with the amount in this SCM).
+  ASSERT_TRUE(fine.plan[0].changed);
+  EXPECT_GT(fine.plan[0].update.constant.AsDouble().value(), 3000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Min-cost formulation (§4.3 footnote 3)
+// ---------------------------------------------------------------------------
+
+class MinCostTest : public ::testing::Test {
+ protected:
+  MinCostTest() {
+    data::GermanOptions opt;
+    opt.rows = 4000;
+    opt.seed = 47;
+    ds_ = std::make_unique<data::Dataset>(
+        std::move(data::MakeGermanSyn(opt).value()));
+    options_.whatif.estimator = learn::EstimatorKind::kFrequency;
+  }
+
+  std::unique_ptr<data::Dataset> ds_;
+  HowToOptions options_;
+};
+
+TEST_F(MinCostTest, ReachesTargetAtMinimalCost) {
+  HowToEngine engine(&ds_->db, &ds_->graph, options_);
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate Status, Savings "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  // First find the full-maximization value, then ask for a modest target.
+  auto max_plan = engine.Run(*stmt.howto).value();
+  const double modest_target =
+      max_plan.baseline_value +
+      0.3 * (max_plan.objective_value - max_plan.baseline_value);
+  auto cheap = engine.RunMinCost(*stmt.howto, modest_target).value();
+  EXPECT_GE(cheap.objective_value, modest_target - 1e-9);
+  // The cheap plan must not cost more than the full-max plan.
+  double cheap_cost = 0, max_cost = 0;
+  for (const auto& c : cheap.plan) cheap_cost += c.changed ? c.cost : 0;
+  for (const auto& c : max_plan.plan) max_cost += c.changed ? c.cost : 0;
+  EXPECT_LE(cheap_cost, max_cost + 1e-9);
+}
+
+TEST_F(MinCostTest, TrivialTargetCostsNothing) {
+  HowToEngine engine(&ds_->db, &ds_->graph, options_);
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate Status "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  auto result =
+      engine.RunMinCost(*stmt.howto, /*objective_target=*/0.0).value();
+  // The baseline already exceeds 0: no update needed.
+  EXPECT_FALSE(result.plan[0].changed);
+}
+
+TEST_F(MinCostTest, ImpossibleTargetFails) {
+  HowToEngine engine(&ds_->db, &ds_->graph, options_);
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate Status "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  auto result = engine.RunMinCost(*stmt.howto, /*objective_target=*/5.0);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HowToContinuousTest, InSetLimitsUseListedValues) {
+  data::GermanOptions opt;
+  opt.rows = 1000;
+  opt.continuous_amount = true;
+  auto ds = data::MakeGermanSyn(opt).value();
+  HowToOptions options;
+  options.whatif.estimator = learn::EstimatorKind::kFrequency;
+  HowToEngine engine(&ds.db, &ds.graph, options);
+  auto stmt = sql::ParseSql(
+                  "Use German HowToUpdate CreditAmount "
+                  "Limit Post(CreditAmount) In (1000, 9000) "
+                  "ToMaximize Avg(Post(Credit))")
+                  .value();
+  auto candidates = engine.EnumerateCandidates(*stmt.howto).value();
+  ASSERT_EQ(candidates[0].size(), 2u);
+  auto result = engine.Run(*stmt.howto).value();
+  ASSERT_TRUE(result.plan[0].changed);
+  EXPECT_TRUE(result.plan[0].update.constant.Equals(Value::Int(9000)));
+}
+
+}  // namespace
+}  // namespace hyper::howto

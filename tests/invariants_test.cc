@@ -1,0 +1,176 @@
+// Engine invariants that must hold for every query and configuration:
+// probability bounds, determinism, sampling consistency, and semantic
+// relations between query variants (sub-additivity of Count under For
+// strengthening, When-subset monotonicity of deviation from baseline).
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "data/datasets.h"
+#include "whatif/engine.h"
+
+namespace hyper {
+namespace {
+
+struct Config {
+  learn::EstimatorKind estimator;
+  whatif::BackdoorMode mode;
+  size_t sample;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  std::string name = learn::EstimatorKindName(info.param.estimator);
+  name += info.param.mode == whatif::BackdoorMode::kGraph       ? "Graph"
+          : info.param.mode == whatif::BackdoorMode::kUpdateOnly ? "Indep"
+                                                                 : "Nb";
+  name += info.param.sample > 0 ? "Sampled" : "Full";
+  return name;
+}
+
+class EngineInvariants : public ::testing::TestWithParam<Config> {
+ protected:
+  static const data::Dataset& Dataset() {
+    static const data::Dataset* ds = [] {
+      data::GermanOptions opt;
+      opt.rows = 6000;
+      opt.seed = 77;
+      return new data::Dataset(std::move(data::MakeGermanSyn(opt).value()));
+    }();
+    return *ds;
+  }
+
+  whatif::WhatIfEngine Engine() const {
+    whatif::WhatIfOptions options;
+    options.estimator = GetParam().estimator;
+    options.forest.num_trees = 8;
+    options.backdoor = GetParam().mode;
+    options.sample_size = GetParam().sample;
+    return whatif::WhatIfEngine(&Dataset().db, &Dataset().graph, options);
+  }
+};
+
+TEST_P(EngineInvariants, CountBoundedByQualifyingRows) {
+  auto result =
+      Engine().RunSql("Use German Update(Status) = 3 Output Count(Credit = 1)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->value, 0.0);
+  EXPECT_LE(result->value, static_cast<double>(result->view_rows));
+}
+
+TEST_P(EngineInvariants, AvgOfBinaryStaysInUnitInterval) {
+  auto result =
+      Engine().RunSql("Use German Update(Savings) = 2 Output Avg(Post(Credit))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE(result->value, 0.0);
+  EXPECT_LE(result->value, 1.0);
+}
+
+TEST_P(EngineInvariants, DeterministicAcrossRuns) {
+  const char* query =
+      "Use German When Age = 1 Update(Status) = 2 Output Count(Credit = 1)";
+  auto a = Engine().RunSql(query);
+  auto b = Engine().RunSql(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->value, b->value);
+}
+
+TEST_P(EngineInvariants, StrongerForNeverIncreasesCount) {
+  // Count over (A and B) <= Count over A: the qualifying set shrinks.
+  auto weak = Engine().RunSql(
+      "Use German Update(Status) = 3 Output Count(*) For Post(Credit) = 1");
+  auto strong = Engine().RunSql(
+      "Use German Update(Status) = 3 Output Count(*) "
+      "For Post(Credit) = 1 And Pre(Age) = 2");
+  ASSERT_TRUE(weak.ok());
+  ASSERT_TRUE(strong.ok());
+  EXPECT_LE(strong->value, weak->value + 1e-9);
+}
+
+TEST_P(EngineInvariants, DisjunctionAtLeastEachDisjunct) {
+  auto disj = Engine().RunSql(
+      "Use German Update(Status) = 3 Output Count(*) "
+      "For Pre(Age) = 0 Or Post(Credit) = 1");
+  auto left = Engine().RunSql(
+      "Use German Update(Status) = 3 Output Count(*) For Pre(Age) = 0");
+  ASSERT_TRUE(disj.ok());
+  ASSERT_TRUE(left.ok());
+  EXPECT_GE(disj->value, left->value - 1e-9);
+}
+
+TEST_P(EngineInvariants, WhenSubsetMovesLessThanFullUpdate) {
+  // Updating a subset of tuples moves the aggregate at most as far from the
+  // observational baseline as updating everyone (monotone effects here).
+  auto baseline = Engine().RunSql(
+      "Use German When Age = 99 Update(Status) = 3 Output Count(Credit = 1)");
+  auto subset = Engine().RunSql(
+      "Use German When Age = 0 Update(Status) = 3 Output Count(Credit = 1)");
+  auto full = Engine().RunSql(
+      "Use German Update(Status) = 3 Output Count(Credit = 1)");
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(subset.ok());
+  ASSERT_TRUE(full.ok());
+  const double subset_shift = std::abs(subset->value - baseline->value);
+  const double full_shift = std::abs(full->value - baseline->value);
+  EXPECT_LE(subset_shift, full_shift + 1e-6);
+}
+
+TEST_P(EngineInvariants, UpdatedRowsMatchesWhenSelectivity) {
+  auto result = Engine().RunSql(
+      "Use German When Age = 1 Update(Status) = 2 Output Count(*)");
+  ASSERT_TRUE(result.ok());
+  // Count the Age=1 rows directly.
+  const Table& t = *Dataset().db.GetTable("German").value();
+  size_t expected = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.At(r, 1).Equals(Value::Int(1))) ++expected;
+  }
+  EXPECT_EQ(result->updated_rows, expected);
+  // Count(*) with no For is deterministic regardless of estimator.
+  EXPECT_DOUBLE_EQ(result->value, static_cast<double>(t.num_rows()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EngineInvariants,
+    ::testing::Values(
+        Config{learn::EstimatorKind::kFrequency,
+               whatif::BackdoorMode::kGraph, 0},
+        Config{learn::EstimatorKind::kFrequency,
+               whatif::BackdoorMode::kAllAttributes, 0},
+        Config{learn::EstimatorKind::kFrequency,
+               whatif::BackdoorMode::kUpdateOnly, 0},
+        Config{learn::EstimatorKind::kForest, whatif::BackdoorMode::kGraph,
+               0},
+        Config{learn::EstimatorKind::kFrequency,
+               whatif::BackdoorMode::kGraph, 2000},
+        Config{learn::EstimatorKind::kForest, whatif::BackdoorMode::kGraph,
+               2000}),
+    ConfigName);
+
+// ---------------------------------------------------------------------------
+// Seed sensitivity: different sampling seeds give close (not wild) results.
+// ---------------------------------------------------------------------------
+
+TEST(SamplingStability, SeedsAgreeWithinTolerance) {
+  data::GermanOptions opt;
+  opt.rows = 12000;
+  auto ds = data::MakeGermanSyn(opt).value();
+  const char* query =
+      "Use German Update(Status) = 3 Output Avg(Post(Credit))";
+  double min_v = 1e18, max_v = -1e18;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    whatif::WhatIfOptions options;
+    options.estimator = learn::EstimatorKind::kFrequency;
+    options.sample_size = 4000;
+    options.seed = seed;
+    auto result = whatif::WhatIfEngine(&ds.db, &ds.graph, options)
+                      .RunSql(query)
+                      .value();
+    min_v = std::min(min_v, result.value);
+    max_v = std::max(max_v, result.value);
+  }
+  EXPECT_LT(max_v - min_v, 0.05);  // spread across seeds stays tight
+}
+
+}  // namespace
+}  // namespace hyper

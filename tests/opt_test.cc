@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "opt/lp.h"
+#include "opt/mck.h"
+#include "opt/milp.h"
+
+namespace hyper::opt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simplex LP
+// ---------------------------------------------------------------------------
+
+TEST(LpTest, TextbookTwoVariable) {
+  // max 3x + 2y st x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+  LpProblem p;
+  p.objective = {3, 2};
+  p.AddRow({1, 1}, 4);
+  p.AddRow({1, 3}, 6);
+  auto sol = SolveLp(p).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 12, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0, 1e-9);
+}
+
+TEST(LpTest, InteriorOptimum) {
+  // max x + y st x <= 2, y <= 3 -> (2,3).
+  LpProblem p;
+  p.objective = {1, 1};
+  p.AddRow({1, 0}, 2);
+  p.AddRow({0, 1}, 3);
+  auto sol = SolveLp(p).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5, 1e-9);
+}
+
+TEST(LpTest, UnboundedDetected) {
+  LpProblem p;
+  p.objective = {1, 0};
+  p.AddRow({0, 1}, 1);  // x unconstrained above
+  auto sol = SolveLp(p).value();
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, InfeasibleByNegativeRhs) {
+  // x >= 2 (written as -x <= -2) with x <= 1: infeasible.
+  LpProblem p;
+  p.objective = {1};
+  p.AddRow({-1}, -2);
+  p.AddRow({1}, 1);
+  auto sol = SolveLp(p).value();
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(LpTest, PhaseOneFindsFeasibleStart) {
+  // x >= 1 and x <= 3, max -x -> x = 1.
+  LpProblem p;
+  p.objective = {-1};
+  p.AddRow({-1}, -1);
+  p.AddRow({1}, 3);
+  auto sol = SolveLp(p).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1, 1e-9);
+  EXPECT_NEAR(sol.objective, -1, 1e-9);
+}
+
+TEST(LpTest, EqualityViaTwoInequalities) {
+  // x + y == 2 (<= and >=), max x st x <= 1.5 -> x=1.5, y=0.5.
+  LpProblem p;
+  p.objective = {1, 0};
+  p.AddRow({1, 1}, 2);
+  p.AddRow({-1, -1}, -2);
+  p.AddRow({1, 0}, 1.5);
+  auto sol = SolveLp(p).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.5, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.5, 1e-9);
+}
+
+TEST(LpTest, NoConstraintsZeroOrUnbounded) {
+  LpProblem zero;
+  zero.objective = {-1, -2};
+  auto sol = SolveLp(zero).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0, 1e-12);
+
+  LpProblem unbounded;
+  unbounded.objective = {1};
+  EXPECT_EQ(SolveLp(unbounded).value().status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, DegenerateVerticesTerminate) {
+  // Multiple redundant constraints through one vertex (degeneracy): the
+  // Bland rule must still terminate.
+  LpProblem p;
+  p.objective = {1, 1};
+  p.AddRow({1, 1}, 2);
+  p.AddRow({1, 1}, 2);
+  p.AddRow({2, 2}, 4);
+  p.AddRow({1, 0}, 2);
+  auto sol = SolveLp(p).value();
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2, 1e-9);
+}
+
+TEST(LpTest, RowArityValidated) {
+  LpProblem p;
+  p.objective = {1, 2};
+  p.constraints.push_back({1});  // wrong arity, bypassing AddRow
+  p.rhs.push_back(1);
+  EXPECT_FALSE(SolveLp(p).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Binary MILP
+// ---------------------------------------------------------------------------
+
+TEST(MilpTest, KnapsackInstance) {
+  // values {6,10,12}, weights {1,2,3}, capacity 5 -> take items 2,3 = 22.
+  LpProblem p;
+  p.objective = {6, 10, 12};
+  p.AddRow({1, 2, 3}, 5);
+  auto sol = SolveBinaryMilp(p).value();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 22, 1e-9);
+  EXPECT_EQ(sol.x, (std::vector<int>{0, 1, 1}));
+}
+
+TEST(MilpTest, LpRelaxationWouldCheat) {
+  // Fractional relaxation of knapsack {value 10, weight 2} cap 1 would take
+  // half the item; integral answer is 0.
+  LpProblem p;
+  p.objective = {10};
+  p.AddRow({2}, 1);
+  auto sol = SolveBinaryMilp(p).value();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 0, 1e-9);
+  EXPECT_EQ(sol.x[0], 0);
+}
+
+TEST(MilpTest, ChoiceRows) {
+  // Two groups, one pick each: max 3a1 + 5a2 + 4b1 + 1b2
+  // st a1+a2 <= 1, b1+b2 <= 1 -> a2 + b1 = 9.
+  LpProblem p;
+  p.objective = {3, 5, 4, 1};
+  p.AddRow({1, 1, 0, 0}, 1);
+  p.AddRow({0, 0, 1, 1}, 1);
+  auto sol = SolveBinaryMilp(p).value();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 9, 1e-9);
+  EXPECT_EQ(sol.x, (std::vector<int>{0, 1, 1, 0}));
+}
+
+TEST(MilpTest, ChoicePlusBudgetCoupling) {
+  // Same groups, but a2 and b1 together bust the budget.
+  LpProblem p;
+  p.objective = {3, 5, 4, 1};
+  p.AddRow({1, 1, 0, 0}, 1);
+  p.AddRow({0, 0, 1, 1}, 1);
+  p.AddRow({1, 4, 3, 1}, 5);  // costs
+  auto sol = SolveBinaryMilp(p).value();
+  ASSERT_TRUE(sol.feasible);
+  // Options: a2+b2=6 (cost 5 ok), a1+b1=7 (cost 4 ok) -> 7.
+  EXPECT_NEAR(sol.objective, 7, 1e-9);
+}
+
+TEST(MilpTest, InfeasibleInstance) {
+  // x1 + x2 >= 3 cannot hold for two binaries.
+  LpProblem p;
+  p.objective = {1, 1};
+  p.AddRow({-1, -1}, -3);
+  auto sol = SolveBinaryMilp(p).value();
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(MilpTest, NegativeObjectiveCoefficientsStayZero) {
+  LpProblem p;
+  p.objective = {-2, -3};
+  p.AddRow({1, 1}, 2);
+  auto sol = SolveBinaryMilp(p).value();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 0, 1e-9);
+  EXPECT_EQ(sol.x, (std::vector<int>{0, 0}));
+}
+
+TEST(MilpTest, TenVariableStress) {
+  // max sum x_i with pairwise exclusions forming a matching-like structure.
+  LpProblem p;
+  p.objective = {5, 4, 3, 7, 6, 2, 8, 1, 9, 10};
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> row(10, 0.0);
+    row[2 * i] = 1;
+    row[2 * i + 1] = 1;
+    p.AddRow(std::move(row), 1);
+  }
+  auto sol = SolveBinaryMilp(p).value();
+  ASSERT_TRUE(sol.feasible);
+  // Best of each pair: 5, 7, 6, 8, 10 = 36.
+  EXPECT_NEAR(sol.objective, 36, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Multiple-choice knapsack
+// ---------------------------------------------------------------------------
+
+TEST(MckTest, UnbudgetedIsPerGroupArgmax) {
+  std::vector<MckGroup> groups{{{1, 5, 3}, {0, 0, 0}},
+                               {{2, 2.5}, {0, 0}}};
+  auto sol = SolveMck(groups, /*budget=*/-1).value();
+  EXPECT_NEAR(sol.value, 7.5, 1e-12);
+  EXPECT_EQ(sol.choice, (std::vector<int>{1, 1}));
+}
+
+TEST(MckTest, SkipsGroupsWithOnlyNegativeValues) {
+  std::vector<MckGroup> groups{{{-1, -2}, {0, 0}}, {{4}, {0}}};
+  auto sol = SolveMck(groups, -1).value();
+  EXPECT_NEAR(sol.value, 4, 1e-12);
+  EXPECT_EQ(sol.choice[0], -1);
+}
+
+TEST(MckTest, BudgetForcesTradeoff) {
+  // Group A: value 10 cost 8, value 6 cost 3. Group B: value 9 cost 6,
+  // value 4 cost 1. Budget 9: best = 6+9 (cost 9) = 15.
+  std::vector<MckGroup> groups{{{10, 6}, {8, 3}}, {{9, 4}, {6, 1}}};
+  auto sol = SolveMck(groups, 9).value();
+  EXPECT_NEAR(sol.value, 15, 1e-12);
+  EXPECT_NEAR(sol.cost, 9, 1e-12);
+  EXPECT_EQ(sol.choice, (std::vector<int>{1, 0}));
+}
+
+TEST(MckTest, ZeroBudgetOnlyFreeItems) {
+  std::vector<MckGroup> groups{{{5, 1}, {2, 0}}, {{7}, {1}}};
+  auto sol = SolveMck(groups, 0).value();
+  EXPECT_NEAR(sol.value, 1, 1e-12);
+  EXPECT_EQ(sol.choice, (std::vector<int>{1, -1}));
+}
+
+TEST(MckTest, MatchesMilpOnRandomInstances) {
+  hyper::Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t num_groups = 1 + trial % 4;
+    std::vector<MckGroup> groups(num_groups);
+    LpProblem milp;
+    std::vector<double> costs_row;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const size_t items = 1 + static_cast<size_t>(rng.UniformInt(1, 4));
+      for (size_t i = 0; i < items; ++i) {
+        groups[g].values.push_back(rng.Uniform(-2, 10));
+        groups[g].costs.push_back(rng.Uniform(0, 5));
+        milp.objective.push_back(groups[g].values.back());
+        costs_row.push_back(groups[g].costs.back());
+      }
+    }
+    // Choice rows.
+    size_t offset = 0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      std::vector<double> row(milp.objective.size(), 0.0);
+      for (size_t i = 0; i < groups[g].values.size(); ++i) {
+        row[offset + i] = 1.0;
+      }
+      offset += groups[g].values.size();
+      milp.AddRow(std::move(row), 1.0);
+    }
+    const double budget = rng.Uniform(0, 8);
+    milp.AddRow(costs_row, budget);
+
+    auto mck = SolveMck(groups, budget).value();
+    auto bnb = SolveBinaryMilp(milp).value();
+    ASSERT_TRUE(bnb.feasible);
+    EXPECT_NEAR(mck.value, bnb.objective, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(MckTest, NegativeCostRejected) {
+  std::vector<MckGroup> groups{{{1}, {-0.5}}};
+  EXPECT_FALSE(SolveMck(groups, 1).ok());
+}
+
+}  // namespace
+}  // namespace hyper::opt

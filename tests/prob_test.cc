@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "prob/aggregates.h"
+
+namespace hyper::prob {
+namespace {
+
+using sql::AggKind;
+
+// ---------------------------------------------------------------------------
+// BlockAccumulator semantics
+// ---------------------------------------------------------------------------
+
+TEST(BlockAccumulatorTest, CountSumsWeights) {
+  BlockAccumulator acc(AggKind::kCount);
+  acc.BeginBlock();
+  acc.Add(1.0, 0.0);
+  acc.Add(0.25, 0.0);
+  acc.EndBlock();
+  acc.BeginBlock();
+  acc.Add(0.75, 0.0);
+  acc.EndBlock();
+  EXPECT_DOUBLE_EQ(acc.Finish().value(), 2.0);
+  EXPECT_EQ(acc.num_blocks(), 2u);
+}
+
+TEST(BlockAccumulatorTest, SumUsesWeightedValues) {
+  BlockAccumulator acc(AggKind::kSum);
+  acc.BeginBlock();
+  acc.Add(1.0, 5.0);   // E[Y * 1{for}] = 5
+  acc.Add(0.5, 1.25);  // joint expectation already weighted
+  acc.EndBlock();
+  EXPECT_DOUBLE_EQ(acc.Finish().value(), 6.25);
+}
+
+TEST(BlockAccumulatorTest, AvgIsRatioOfExpectations) {
+  BlockAccumulator acc(AggKind::kAvg);
+  acc.BeginBlock();
+  acc.Add(1.0, 4.0);
+  acc.Add(1.0, 2.0);
+  acc.EndBlock();
+  acc.BeginBlock();
+  acc.Add(0.5, 3.0);
+  acc.EndBlock();
+  // (4 + 2 + 3) / (1 + 1 + 0.5)
+  EXPECT_DOUBLE_EQ(acc.Finish().value(), 9.0 / 2.5);
+}
+
+TEST(BlockAccumulatorTest, AvgOverNothingIsError) {
+  BlockAccumulator acc(AggKind::kAvg);
+  acc.BeginBlock();
+  acc.EndBlock();
+  EXPECT_FALSE(acc.Finish().ok());
+}
+
+TEST(BlockAccumulatorTest, EmptyBlocksContributeNothing) {
+  BlockAccumulator acc(AggKind::kSum);
+  for (int i = 0; i < 5; ++i) {
+    acc.BeginBlock();
+    acc.EndBlock();
+  }
+  acc.BeginBlock();
+  acc.Add(1.0, 7.0);
+  acc.EndBlock();
+  EXPECT_DOUBLE_EQ(acc.Finish().value(), 7.0);
+  EXPECT_EQ(acc.num_blocks(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Definition 6 properties: block partition invariance = decomposability,
+// alpha-homogeneity and additivity of the combiner g.
+// ---------------------------------------------------------------------------
+
+struct Contribution {
+  double weight;
+  double weighted_value;
+};
+
+double Accumulate(AggKind agg, const std::vector<std::vector<Contribution>>&
+                                   blocks) {
+  BlockAccumulator acc(agg);
+  for (const auto& block : blocks) {
+    acc.BeginBlock();
+    for (const Contribution& c : block) acc.Add(c.weight, c.weighted_value);
+    acc.EndBlock();
+  }
+  return acc.Finish().value();
+}
+
+class DecomposabilitySweep : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(DecomposabilitySweep, PartitionInvariance) {
+  // Any partition of the same tuple contributions yields the same value —
+  // the content of Proposition 1 at the accumulator level.
+  Rng rng(99);
+  std::vector<Contribution> tuples;
+  for (int i = 0; i < 40; ++i) {
+    const double w = rng.Uniform();
+    tuples.push_back({w, w * rng.Uniform(-3, 5)});
+  }
+  // Partition 1: one big block.
+  std::vector<std::vector<Contribution>> one_block{tuples};
+  // Partition 2: singletons.
+  std::vector<std::vector<Contribution>> singletons;
+  for (const Contribution& c : tuples) singletons.push_back({c});
+  // Partition 3: random split.
+  std::vector<std::vector<Contribution>> random_split(5);
+  for (const Contribution& c : tuples) {
+    random_split[rng.UniformInt(0, 4)].push_back(c);
+  }
+
+  const double a = Accumulate(GetParam(), one_block);
+  const double b = Accumulate(GetParam(), singletons);
+  const double c = Accumulate(GetParam(), random_split);
+  EXPECT_NEAR(a, b, 1e-9);
+  EXPECT_NEAR(a, c, 1e-9);
+}
+
+TEST_P(DecomposabilitySweep, ScalingHomogeneity) {
+  // alpha * g({x_i}) == g({alpha * x_i}) for the Count/Sum numerators
+  // (Definition 6, second property). Avg is scale-invariant in weights and
+  // values jointly; check that instead.
+  Rng rng(7);
+  std::vector<Contribution> tuples;
+  for (int i = 0; i < 20; ++i) {
+    const double w = rng.Uniform();
+    tuples.push_back({w, w * rng.Uniform(0, 4)});
+  }
+  const double alpha = 2.75;
+  std::vector<Contribution> scaled;
+  for (const Contribution& c : tuples) {
+    scaled.push_back({alpha * c.weight, alpha * c.weighted_value});
+  }
+  const AggKind agg = GetParam();
+  const double base = Accumulate(agg, {tuples});
+  const double scaled_value = Accumulate(agg, {scaled});
+  if (agg == AggKind::kAvg) {
+    EXPECT_NEAR(scaled_value, base, 1e-9);  // ratio cancels alpha
+  } else {
+    EXPECT_NEAR(scaled_value, alpha * base, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Aggregates, DecomposabilitySweep,
+                         ::testing::Values(AggKind::kCount, AggKind::kSum,
+                                           AggKind::kAvg),
+                         [](const auto& info) {
+                           return std::string(sql::AggKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace hyper::prob

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "relational/eval.h"
+#include "relational/select.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace hyper::relational {
+namespace {
+
+using sql::ParseSql;
+using sql::ParseSqlExpr;
+
+/// Builds the Figure 1 Amazon database from the paper.
+Database PaperDatabase() {
+  Database db;
+  Table product(Schema("Product",
+                       {{"PID", ValueType::kInt, Mutability::kImmutable},
+                        {"Category", ValueType::kString, Mutability::kImmutable},
+                        {"Price", ValueType::kDouble, Mutability::kMutable},
+                        {"Brand", ValueType::kString, Mutability::kImmutable},
+                        {"Color", ValueType::kString, Mutability::kMutable},
+                        {"Quality", ValueType::kDouble, Mutability::kMutable}},
+                       {"PID"}));
+  auto P = [&](int pid, const char* cat, double price, const char* brand,
+               const char* color, double quality) {
+    ASSERT_TRUE(product
+                    .Append({Value::Int(pid), Value::String(cat),
+                             Value::Double(price), Value::String(brand),
+                             Value::String(color), Value::Double(quality)})
+                    .ok());
+  };
+  P(1, "Laptop", 999, "Vaio", "Silver", 0.7);
+  P(2, "Laptop", 529, "Asus", "Black", 0.65);
+  P(3, "Laptop", 599, "HP", "Silver", 0.5);
+  P(4, "DSLR Camera", 549, "Canon", "Black", 0.75);
+  P(5, "Sci Fi eBooks", 15.99, "Fantasy Press", "Blue", 0.4);
+
+  Table review(Schema("Review",
+                      {{"PID", ValueType::kInt, Mutability::kImmutable},
+                       {"ReviewID", ValueType::kInt, Mutability::kImmutable},
+                       {"Sentiment", ValueType::kDouble, Mutability::kMutable},
+                       {"Rating", ValueType::kDouble, Mutability::kMutable}},
+                      {"PID", "ReviewID"}));
+  auto R = [&](int pid, int rid, double senti, double rating) {
+    ASSERT_TRUE(review
+                    .Append({Value::Int(pid), Value::Int(rid),
+                             Value::Double(senti), Value::Double(rating)})
+                    .ok());
+  };
+  R(1, 1, -0.95, 2);
+  R(2, 2, 0.7, 4);
+  R(2, 3, -0.2, 1);
+  R(3, 3, 0.23, 3);
+  R(3, 5, 0.95, 5);
+  R(4, 5, 0.7, 4);
+
+  EXPECT_TRUE(db.AddTable(std::move(product)).ok());
+  EXPECT_TRUE(db.AddTable(std::move(review)).ok());
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Env / EvalExpr
+// ---------------------------------------------------------------------------
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : db_(PaperDatabase()) {
+    product_ = db_.GetTable("Product").value();
+  }
+
+  Env EnvFor(size_t tid, const Row* post = nullptr) {
+    Env env;
+    env.Bind("Product", &product_->schema(), &product_->row(tid), post);
+    return env;
+  }
+
+  Value Eval(const std::string& expr_text, const Env& env) {
+    auto expr = ParseSqlExpr(expr_text).value();
+    auto v = EvalExpr(*expr, env);
+    EXPECT_TRUE(v.ok()) << expr_text << ": " << v.status();
+    return v.ok() ? *v : Value::Null();
+  }
+
+  Database db_;
+  const Table* product_ = nullptr;
+};
+
+TEST_F(EvalTest, ColumnLookup) {
+  Env env = EnvFor(1);  // Asus laptop
+  EXPECT_TRUE(Eval("Brand", env).Equals(Value::String("Asus")));
+  EXPECT_DOUBLE_EQ(Eval("Price", env).AsDouble().value(), 529);
+}
+
+TEST_F(EvalTest, QualifiedLookup) {
+  Env env = EnvFor(0);
+  EXPECT_TRUE(Eval("Product.Brand", env).Equals(Value::String("Vaio")));
+}
+
+TEST_F(EvalTest, UnresolvedColumnFails) {
+  Env env = EnvFor(0);
+  auto expr = ParseSqlExpr("Nope").value();
+  EXPECT_EQ(EvalExpr(*expr, env).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EvalTest, ComparisonAndLogic) {
+  Env env = EnvFor(1);
+  EXPECT_TRUE(Eval("Price < 600 And Brand = 'Asus'", env).bool_value());
+  EXPECT_FALSE(Eval("Price < 500 Or Brand = 'HP'", env).bool_value());
+  EXPECT_TRUE(Eval("Not (Brand = 'HP')", env).bool_value());
+  EXPECT_TRUE(Eval("Price != 530", env).bool_value());
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  Env env = EnvFor(1);
+  EXPECT_DOUBLE_EQ(Eval("Price * 1.1", env).AsDouble().value(), 529 * 1.1);
+  EXPECT_DOUBLE_EQ(Eval("Price + 100 - 29", env).AsDouble().value(), 600);
+  EXPECT_DOUBLE_EQ(Eval("(Price + 71) / 2", env).AsDouble().value(), 300);
+}
+
+TEST_F(EvalTest, IntegerArithmeticStaysInt) {
+  Env env = EnvFor(1);
+  Value v = Eval("2 + 3 * 4", env);
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.int_value(), 14);
+}
+
+TEST_F(EvalTest, DivisionByZeroFails) {
+  Env env = EnvFor(0);
+  auto expr = ParseSqlExpr("Price / 0").value();
+  EXPECT_FALSE(EvalExpr(*expr, env).ok());
+}
+
+TEST_F(EvalTest, InListEval) {
+  Env env = EnvFor(1);
+  EXPECT_TRUE(Eval("Brand In ('Asus', 'HP')", env).bool_value());
+  EXPECT_FALSE(Eval("Brand In ('Vaio', 'HP')", env).bool_value());
+}
+
+TEST_F(EvalTest, PrePostAgainstHypotheticalRow) {
+  Row post = product_->row(1);
+  post[2] = Value::Double(581.9);  // price updated
+  Env env = EnvFor(1, &post);
+  EXPECT_DOUBLE_EQ(Eval("Pre(Price)", env).AsDouble().value(), 529);
+  EXPECT_DOUBLE_EQ(Eval("Post(Price)", env).AsDouble().value(), 581.9);
+  // Bare reference defaults to pre.
+  EXPECT_DOUBLE_EQ(Eval("Price", env).AsDouble().value(), 529);
+  // Immutable attributes agree pre and post.
+  EXPECT_TRUE(Eval("Post(Brand) = Pre(Brand)", env).bool_value());
+}
+
+TEST_F(EvalTest, PostWithoutPostRowReadsPre) {
+  Env env = EnvFor(1);
+  EXPECT_DOUBLE_EQ(Eval("Post(Price)", env).AsDouble().value(), 529);
+}
+
+TEST_F(EvalTest, L1AndAbs) {
+  Row post = product_->row(1);
+  post[2] = Value::Double(629);
+  Env env = EnvFor(1, &post);
+  EXPECT_DOUBLE_EQ(Eval("L1(Pre(Price), Post(Price))", env).AsDouble().value(),
+                   100);
+  EXPECT_DOUBLE_EQ(Eval("Abs(0 - 3.5)", env).AsDouble().value(), 3.5);
+}
+
+TEST_F(EvalTest, AggregateInRowContextFails) {
+  Env env = EnvFor(0);
+  auto expr = ParseSqlExpr("Avg(Price)").value();
+  EXPECT_FALSE(EvalExpr(*expr, env).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ExecuteSelect
+// ---------------------------------------------------------------------------
+
+class SelectTest : public ::testing::Test {
+ protected:
+  SelectTest() : db_(PaperDatabase()) {}
+
+  Table Run(const std::string& text) {
+    auto stmt = ParseSql(text);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto table = ExecuteSelect(db_, *stmt->select);
+    EXPECT_TRUE(table.ok()) << table.status();
+    return std::move(table).value();
+  }
+
+  Database db_;
+};
+
+TEST_F(SelectTest, ProjectionAndFilter) {
+  Table t = Run("Select PID, Price From Product Where Brand = 'Asus'");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.At(0, 0).Equals(Value::Int(2)));
+  EXPECT_DOUBLE_EQ(t.At(0, 1).double_value(), 529);
+}
+
+TEST_F(SelectTest, OutputColumnNames) {
+  Table t = Run("Select PID, Price * 2 As Dbl From Product");
+  EXPECT_EQ(t.schema().attribute(0).name, "PID");
+  EXPECT_EQ(t.schema().attribute(1).name, "Dbl");
+}
+
+TEST_F(SelectTest, HashJoinMatchesPaper) {
+  Table t = Run(
+      "Select T1.PID, T2.Rating From Product As T1, Review As T2 "
+      "Where T1.PID = T2.PID");
+  EXPECT_EQ(t.num_rows(), 6u);  // every review joins its product
+}
+
+TEST_F(SelectTest, JoinWithResidualFilter) {
+  Table t = Run(
+      "Select T1.PID, T2.Rating From Product As T1, Review As T2 "
+      "Where T1.PID = T2.PID And T1.Brand = 'Asus'");
+  ASSERT_EQ(t.num_rows(), 2u);  // reviews r2 and r3
+}
+
+TEST_F(SelectTest, GroupByWithAverages) {
+  // The paper's Example 5: per-product average rating; p2 averages 4 and 1.
+  Table t = Run(
+      "Select T1.PID, Avg(T2.Rating) As Rtng "
+      "From Product As T1, Review As T2 Where T1.PID = T2.PID "
+      "Group By T1.PID");
+  ASSERT_EQ(t.num_rows(), 4u);  // products 1-4 have reviews
+  bool found_p2 = false;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.At(r, 0).Equals(Value::Int(2))) {
+      EXPECT_DOUBLE_EQ(t.At(r, 1).double_value(), 2.5);  // (4+1)/2
+      found_p2 = true;
+    }
+  }
+  EXPECT_TRUE(found_p2);
+}
+
+TEST_F(SelectTest, RelevantViewOfFigure4) {
+  Table t = Run(
+      "Select T1.PID, T1.Category, T1.Price, T1.Brand, "
+      "Avg(Sentiment) As Senti, Avg(T2.Rating) As Rtng "
+      "From Product As T1, Review As T2 Where T1.PID = T2.PID "
+      "Group By T1.PID, T1.Category, T1.Price, T1.Brand");
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.schema().num_attributes(), 6u);
+  EXPECT_EQ(t.schema().attribute(4).name, "Senti");
+  EXPECT_EQ(t.schema().attribute(5).name, "Rtng");
+}
+
+TEST_F(SelectTest, CountStarAndCountPredicate) {
+  Table all = Run("Select Count(*) From Review");
+  EXPECT_TRUE(all.At(0, 0).Equals(Value::Int(6)));
+  Table good = Run("Select Count(Rating >= 4) From Review");
+  EXPECT_TRUE(good.At(0, 0).Equals(Value::Int(3)));
+}
+
+TEST_F(SelectTest, SumAggregate) {
+  Table t = Run("Select Sum(Rating) From Review");
+  EXPECT_DOUBLE_EQ(t.At(0, 0).double_value(), 2 + 4 + 1 + 3 + 5 + 4);
+}
+
+TEST_F(SelectTest, AggregatesOverEmptyInput) {
+  Table t = Run("Select Count(*), Sum(Rating), Avg(Rating) From Review "
+                "Where Rating > 100");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.At(0, 0).Equals(Value::Int(0)));
+  EXPECT_DOUBLE_EQ(t.At(0, 1).double_value(), 0.0);
+  EXPECT_TRUE(t.At(0, 2).is_null());
+}
+
+TEST_F(SelectTest, GroupByCategoryCounts) {
+  Table t = Run(
+      "Select Category, Count(*) As N From Product Group By Category");
+  ASSERT_EQ(t.num_rows(), 3u);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.At(r, 0).Equals(Value::String("Laptop"))) {
+      EXPECT_TRUE(t.At(r, 1).Equals(Value::Int(3)));
+    }
+  }
+}
+
+TEST_F(SelectTest, CartesianWhenNoJoinCondition) {
+  Table t = Run("Select T1.PID From Product As T1, Review As T2");
+  EXPECT_EQ(t.num_rows(), 30u);  // 5 x 6
+}
+
+TEST_F(SelectTest, MutabilityPropagatesThroughProjection) {
+  Table t = Run("Select Brand, Price From Product");
+  EXPECT_EQ(t.schema().attribute(0).mutability, Mutability::kImmutable);
+  EXPECT_EQ(t.schema().attribute(1).mutability, Mutability::kMutable);
+}
+
+TEST_F(SelectTest, UnknownTableFails) {
+  auto stmt = ParseSql("Select a From Nope").value();
+  EXPECT_EQ(ExecuteSelect(db_, *stmt.select).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SelectTest, UnknownColumnFails) {
+  auto stmt = ParseSql("Select Nope From Product").value();
+  EXPECT_FALSE(ExecuteSelect(db_, *stmt.select).ok());
+}
+
+}  // namespace
+}  // namespace hyper::relational
