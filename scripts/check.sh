@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Pre-merge gate: configure + build + full test suite + benchmark smoke.
+#
+# Usage: scripts/check.sh [build-dir]
+#
+# Exits non-zero on the first failure. The bench smoke run also asserts that
+# the columnar engine reproduces the row interpreter's answers exactly, so a
+# green check covers both correctness and the perf substrate's wiring.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "== bench smoke =="
+if [ -x "$BUILD_DIR/bench_micro" ]; then
+  (cd "$BUILD_DIR" && ./bench_micro --smoke)
+else
+  # google-benchmark is optional in CMakeLists.txt; without it the binary
+  # is never built and the smoke stage has nothing to run.
+  echo "bench_micro not built (google-benchmark missing); skipping smoke"
+fi
+
+echo "== check passed =="

@@ -1,0 +1,145 @@
+#ifndef HYPER_COMMON_THREAD_POOL_H_
+#define HYPER_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hyper {
+
+/// Derives an independent RNG stream seed from a base seed and a stream id
+/// (splitmix64 finalizer). Parallel shards seed `Rng(DeriveStreamSeed(seed,
+/// shard))` so every shard draws from its own deterministic stream: results
+/// are a function of (seed, shard) alone, never of thread scheduling.
+inline uint64_t DeriveStreamSeed(uint64_t base, uint64_t stream) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// A small fixed-size worker pool for sharding independent loops (the
+/// what-if engine's block decomposition, bench harnesses). Tasks must not
+/// throw: the library communicates failure via Status, and a task's status
+/// is the caller's to collect (see ParallelFor usage in whatif/engine.cc).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = DefaultThreads();
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1.
+  static size_t DefaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& Shared() {
+    static ThreadPool pool(DefaultThreads());
+    return pool;
+  }
+
+  /// Runs fn(i) for every i in [0, n). The calling thread participates, so
+  /// this works (sequentially) even on a pool of size 0 workers or when the
+  /// pool is busy. Blocks until every index has been processed. fn must be
+  /// safe to call concurrently from multiple threads.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    if (n == 1 || workers_.empty()) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    state->fn = &fn;
+    const size_t drivers = std::min(workers_.size(), n - 1);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (size_t d = 0; d < drivers; ++d) {
+        tasks_.push([state] { state->Drive(); });
+      }
+    }
+    cv_.notify_all();
+    state->Drive();  // caller participates
+    state->WaitDone();
+  }
+
+ private:
+  struct ForState {
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+
+    void Drive() {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        (*fn)(i);
+        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::unique_lock<std::mutex> lock(done_mu);
+          done_cv.notify_all();
+        }
+      }
+    }
+
+    void WaitDone() {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [this] {
+        return done.load(std::memory_order_acquire) >= n;
+      });
+    }
+  };
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace hyper
+
+#endif  // HYPER_COMMON_THREAD_POOL_H_

@@ -10,6 +10,7 @@
 #include "learn/discretizer.h"
 #include "opt/mck.h"
 #include "opt/milp.h"
+#include "relational/compiled.h"
 #include "relational/eval.h"
 #include "sql/parser.h"
 
@@ -93,6 +94,28 @@ sql::WhatIfStmt MakeBaselineWhatIf(const sql::HowToStmt& howto,
   return stmt;
 }
 
+/// Rows of the view selected by `when` (all rows when null), evaluated with
+/// a compiled predicate: column references resolve once, not per row.
+Result<std::vector<size_t>> SelectWhenRows(const Table& view,
+                                           const sql::Expr* when) {
+  std::vector<size_t> rows;
+  if (when == nullptr) {
+    rows.resize(view.num_rows());
+    for (size_t r = 0; r < view.num_rows(); ++r) rows[r] = r;
+    return rows;
+  }
+  const std::vector<relational::ScopedTuple> scope{relational::ScopedTuple{
+      view.schema().relation_name(), &view.schema()}};
+  HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr compiled,
+                         relational::CompiledExpr::Compile(*when, scope));
+  for (size_t r = 0; r < view.num_rows(); ++r) {
+    const relational::BoundRow frame{&view.row(r), nullptr};
+    HYPER_ASSIGN_OR_RETURN(bool sel, compiled.EvalRowBool(&frame));
+    if (sel) rows.push_back(r);
+  }
+  return rows;
+}
+
 }  // namespace
 
 Result<double> BaselineObjective(const Database& db,
@@ -133,16 +156,8 @@ Result<std::vector<std::vector<UpdateSpec>>> HowToEngine::EnumerateCandidates(
   const Table& view = view_info.view;
   const Schema& vschema = view.schema();
 
-  std::vector<size_t> s_rows;
-  for (size_t r = 0; r < view.num_rows(); ++r) {
-    if (stmt.when != nullptr) {
-      Env env;
-      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
-      HYPER_ASSIGN_OR_RETURN(bool sel, EvalPredicate(*stmt.when, env));
-      if (!sel) continue;
-    }
-    s_rows.push_back(r);
-  }
+  HYPER_ASSIGN_OR_RETURN(std::vector<size_t> s_rows,
+                         SelectWhenRows(view, stmt.when.get()));
   if (s_rows.empty()) {
     return Status::InvalidArgument("When selects no tuples to update");
   }
@@ -326,16 +341,8 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
       whatif::BuildRelevantView(*db_, stmt.use, stmt.update_attributes[0]));
   const Table& view = view_info.view;
   const Schema& vschema = view.schema();
-  std::vector<size_t> s_rows;
-  for (size_t r = 0; r < view.num_rows(); ++r) {
-    if (stmt.when != nullptr) {
-      Env env;
-      env.Bind(vschema.relation_name(), &vschema, &view.row(r));
-      HYPER_ASSIGN_OR_RETURN(bool sel, EvalPredicate(*stmt.when, env));
-      if (!sel) continue;
-    }
-    s_rows.push_back(r);
-  }
+  HYPER_ASSIGN_OR_RETURN(std::vector<size_t> s_rows,
+                         SelectWhenRows(view, stmt.when.get()));
 
   whatif::WhatIfEngine engine(db_, graph_, options_.whatif);
   scored.per_attribute.resize(candidates.size());

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/column.h"
 #include "storage/table.h"
 
 namespace hyper::learn {
@@ -23,6 +24,19 @@ class FeatureEncoder {
   /// Fits an encoder over `columns` of `table`.
   static Result<FeatureEncoder> Fit(const Table& table,
                                     const std::vector<std::string>& columns);
+
+  /// Columnar fit: identical label assignment (per-column first-seen order)
+  /// but string labels are derived from dictionary codes without hashing a
+  /// single string. The encoder remembers the dictionary so EncodeValue and
+  /// EncodeColumn can translate codes directly.
+  static Result<FeatureEncoder> Fit(const ColumnTable& table,
+                                    const std::vector<std::string>& columns);
+
+  /// Encodes feature `i` for every row of the fitted columnar table in one
+  /// typed pass. `table` must be the table the encoder was fitted on (or one
+  /// sharing its dictionary).
+  Result<std::vector<double>> EncodeColumn(const ColumnTable& table,
+                                           size_t i) const;
 
   const std::vector<std::string>& columns() const { return columns_; }
   size_t num_features() const { return columns_.size(); }
@@ -43,6 +57,10 @@ class FeatureEncoder {
   std::vector<size_t> column_indices_;              // into the fitted schema
   std::vector<bool> is_categorical_;                // per feature
   std::vector<std::unordered_map<std::string, double>> codes_;  // per feature
+  /// Columnar-fit extras: dictionary-code -> label per feature (empty when
+  /// fitted on a row store or for non-categorical features).
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<std::vector<double>> label_of_code_;  // -1 = unseen
 };
 
 /// Extracts a numeric target column; booleans map to 0/1 and NULLs are

@@ -20,19 +20,37 @@ Status FrequencyEstimator::Fit(const Matrix& x, const std::vector<double>& y) {
   for (size_t i = 0; i < x.size(); ++i) {
     total += y[i];
     if (num_features_ == 0) continue;
+    const double* row = x[i].data();
+    size_t h = kFnvOffset;
     if (backoff_) {
-      std::vector<double> prefix;
-      prefix.reserve(num_features_);
       for (size_t k = 0; k < num_features_; ++k) {
-        prefix.push_back(x[i][k]);
-        Cell& cell = tables_[k][prefix];
-        cell.sum += y[i];
-        ++cell.count;
+        h = HashStep(h, row[k]);
+        SupportTable& table = tables_[k];
+        const PrefixView view{row, k + 1, h};
+        auto it = table.find(view);
+        if (it == table.end()) {
+          it = table
+                   .emplace(PrefixKey{std::vector<double>(row, row + k + 1), h},
+                            Cell{})
+                   .first;
+        }
+        it->second.sum += y[i];
+        ++it->second.count;
       }
     } else {
-      Cell& cell = tables_[0][x[i]];
-      cell.sum += y[i];
-      ++cell.count;
+      for (size_t k = 0; k < num_features_; ++k) h = HashStep(h, row[k]);
+      SupportTable& table = tables_[0];
+      const PrefixView view{row, num_features_, h};
+      auto it = table.find(view);
+      if (it == table.end()) {
+        it = table
+                 .emplace(PrefixKey{std::vector<double>(row, row + num_features_),
+                                    h},
+                          Cell{})
+                 .first;
+      }
+      it->second.sum += y[i];
+      ++it->second.count;
     }
   }
   global_mean_ = total / static_cast<double>(x.size());
@@ -43,20 +61,31 @@ double FrequencyEstimator::Predict(const std::vector<double>& x) const {
   HYPER_DCHECK(x.size() == num_features_);
   if (num_features_ == 0 || tables_.empty()) return global_mean_;
 
+  // Running prefix hashes: hashes[k] covers x[0..k].
+  const double* row = x.data();
   if (!backoff_) {
-    auto it = tables_[0].find(x);
+    size_t h = kFnvOffset;
+    for (size_t k = 0; k < num_features_; ++k) h = HashStep(h, row[k]);
+    auto it = tables_[0].find(PrefixView{row, num_features_, h});
     if (it == tables_[0].end()) return global_mean_;
     return (it->second.sum + smoothing_ * global_mean_) /
            (static_cast<double>(it->second.count) + smoothing_);
   }
 
+  std::vector<size_t> hashes(num_features_);
+  {
+    size_t h = kFnvOffset;
+    for (size_t k = 0; k < num_features_; ++k) {
+      h = HashStep(h, row[k]);
+      hashes[k] = h;
+    }
+  }
+
   if (smoothing_ <= 0.0) {
     // Exact mode: longest-prefix match, most specific first.
-    std::vector<double> prefix = x;
     for (size_t k = num_features_; k > 0; --k) {
-      prefix.resize(k);
       const SupportTable& table = tables_[k - 1];
-      auto it = table.find(prefix);
+      auto it = table.find(PrefixView{row, k, hashes[k - 1]});
       if (it != table.end()) {
         return it->second.sum / static_cast<double>(it->second.count);
       }
@@ -67,11 +96,8 @@ double FrequencyEstimator::Predict(const std::vector<double>& x) const {
   // Hierarchical shrinkage: fold from the least specific level down,
   // blending each cell with the estimate one level up.
   double estimate = global_mean_;
-  std::vector<double> prefix;
-  prefix.reserve(num_features_);
   for (size_t k = 0; k < num_features_; ++k) {
-    prefix.push_back(x[k]);
-    auto it = tables_[k].find(prefix);
+    auto it = tables_[k].find(PrefixView{row, k + 1, hashes[k]});
     if (it == tables_[k].end()) break;  // deeper levels are unseen too
     estimate = (it->second.sum + smoothing_ * estimate) /
                (static_cast<double>(it->second.count) + smoothing_);

@@ -43,22 +43,59 @@ class FrequencyEstimator : public ConditionalMeanEstimator {
   }
 
  private:
-  struct VecHash {
-    size_t operator()(const std::vector<double>& v) const {
-      size_t h = 0xcbf29ce484222325ULL;
-      for (double d : v) {
-        h ^= std::hash<double>()(d);
-        h *= 0x100000001b3ULL;
+  // Support cells are keyed by feature-vector prefixes. Keys cache their
+  // FNV hash, and lookups go through a borrowed PrefixView (C++20
+  // heterogeneous lookup) so a training row costs one incremental hash per
+  // level — O(F) per row instead of the O(F^2) hash-and-copy of hashing
+  // every prefix from scratch.
+  struct PrefixKey {
+    std::vector<double> values;
+    size_t hash = 0;
+  };
+  struct PrefixView {
+    const double* data = nullptr;
+    size_t len = 0;
+    size_t hash = 0;
+  };
+  struct PrefixHash {
+    using is_transparent = void;
+    size_t operator()(const PrefixKey& k) const { return k.hash; }
+    size_t operator()(const PrefixView& v) const { return v.hash; }
+  };
+  struct PrefixEq {
+    using is_transparent = void;
+    static bool Eq(const double* a, size_t an, const double* b, size_t bn) {
+      if (an != bn) return false;
+      for (size_t i = 0; i < an; ++i) {
+        if (a[i] != b[i]) return false;
       }
-      return h;
+      return true;
+    }
+    bool operator()(const PrefixKey& a, const PrefixKey& b) const {
+      return Eq(a.values.data(), a.values.size(), b.values.data(),
+                b.values.size());
+    }
+    bool operator()(const PrefixKey& a, const PrefixView& b) const {
+      return Eq(a.values.data(), a.values.size(), b.data, b.len);
+    }
+    bool operator()(const PrefixView& a, const PrefixKey& b) const {
+      return Eq(a.data, a.len, b.values.data(), b.values.size());
+    }
+    bool operator()(const PrefixView& a, const PrefixView& b) const {
+      return Eq(a.data, a.len, b.data, b.len);
     }
   };
   struct Cell {
     double sum = 0.0;
     size_t count = 0;
   };
-  using SupportTable =
-      std::unordered_map<std::vector<double>, Cell, VecHash>;
+  using SupportTable = std::unordered_map<PrefixKey, Cell, PrefixHash, PrefixEq>;
+
+  static constexpr size_t kFnvOffset = 0xcbf29ce484222325ULL;
+  static constexpr size_t kFnvPrime = 0x100000001b3ULL;
+  static size_t HashStep(size_t h, double d) {
+    return (h ^ std::hash<double>()(d)) * kFnvPrime;
+  }
 
   bool backoff_ = true;
   double smoothing_ = 0.0;

@@ -38,6 +38,14 @@ void BlockAccumulator::EndBlock() {
   ++num_blocks_;
 }
 
+void BlockAccumulator::MergeBlockPartial(double block_numerator,
+                                         double block_denominator) {
+  HYPER_DCHECK(!in_block_);
+  numerator_ += block_numerator;
+  denominator_ += block_denominator;
+  ++num_blocks_;
+}
+
 Result<double> BlockAccumulator::Finish() const {
   HYPER_DCHECK(!in_block_);
   switch (agg_) {

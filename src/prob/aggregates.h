@@ -51,6 +51,18 @@ class BlockAccumulator {
 
   size_t num_blocks() const { return num_blocks_; }
 
+  /// g-folded partials accumulated so far. A block evaluated in isolation
+  /// (one BeginBlock/Add.../EndBlock round on its own accumulator) exposes
+  /// exactly the f'(D_i) partial here.
+  double numerator() const { return numerator_; }
+  double denominator() const { return denominator_; }
+
+  /// Folds a block partial computed elsewhere into g. Because g is Sum,
+  /// evaluating blocks on separate accumulators (possibly on separate
+  /// threads) and merging them *in block order* reproduces the sequential
+  /// fold bit for bit.
+  void MergeBlockPartial(double block_numerator, double block_denominator);
+
  private:
   sql::AggKind agg_;
   double numerator_ = 0.0;    // g-folded partial numerators

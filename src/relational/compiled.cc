@@ -1,0 +1,841 @@
+#include "relational/compiled.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hyper::relational {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+
+// ---------------------------------------------------------------------------
+// Scalar
+// ---------------------------------------------------------------------------
+
+Scalar Scalar::FromValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return Null();
+    case ValueType::kBool: return Bool(v.bool_value());
+    case ValueType::kInt: return Int(v.int_value());
+    case ValueType::kDouble: return Double(v.double_value());
+    case ValueType::kString: return Str(&v.string_value());
+  }
+  return Null();
+}
+
+Value Scalar::ToValue() const {
+  switch (kind) {
+    case K::kNull: return Value::Null();
+    case K::kBool: return Value::Bool(b);
+    case K::kInt: return Value::Int(i);
+    case K::kDouble: return Value::Double(d);
+    case K::kStr: return Value::String(*s);
+  }
+  return Value::Null();
+}
+
+Result<double> Scalar::AsDouble() const {
+  switch (kind) {
+    case K::kBool: return b ? 1.0 : 0.0;
+    case K::kInt: return static_cast<double>(i);
+    case K::kDouble: return d;
+    case K::kNull:
+      return Status::InvalidArgument("cannot coerce NULL to a number");
+    case K::kStr:
+      return Status::InvalidArgument("cannot coerce string '" + *s +
+                                     "' to a number");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> Scalar::AsBool() const {
+  switch (kind) {
+    case K::kBool: return b;
+    case K::kInt: return i != 0;
+    case K::kDouble: return d != 0.0;
+    case K::kNull:
+      return Status::InvalidArgument("cannot coerce NULL to a boolean");
+    case K::kStr:
+      return Status::InvalidArgument("cannot coerce string '" + *s +
+                                     "' to a boolean");
+  }
+  return Status::Internal("unreachable");
+}
+
+bool Scalar::Equals(const Scalar& other) const {
+  if (kind == K::kNull || other.kind == K::kNull) {
+    return kind == other.kind;
+  }
+  if (kind == K::kStr || other.kind == K::kStr) {
+    if (kind != other.kind) return false;
+    if (code >= 0 && other.code >= 0) return code == other.code;
+    return *s == *other.s;
+  }
+  return AsDouble().value() == other.AsDouble().value();
+}
+
+namespace {
+
+const char* ScalarTypeName(Scalar::K k) {
+  switch (k) {
+    case Scalar::K::kNull: return "NULL";
+    case Scalar::K::kBool: return "BOOL";
+    case Scalar::K::kInt: return "INT";
+    case Scalar::K::kDouble: return "DOUBLE";
+    case Scalar::K::kStr: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+Result<int> Scalar::Compare(const Scalar& other) const {
+  if (kind == K::kNull && other.kind == K::kNull) return 0;
+  if (kind == K::kNull) return -1;
+  if (other.kind == K::kNull) return 1;
+  if (kind == K::kStr && other.kind == K::kStr) {
+    if (code >= 0 && code == other.code) return 0;
+    const int c = s->compare(*other.s);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (kind == K::kStr || other.kind == K::kStr) {
+    return Status::InvalidArgument(
+        "cannot compare " + std::string(ScalarTypeName(kind)) + " with " +
+        std::string(ScalarTypeName(other.kind)));
+  }
+  const double x = AsDouble().value();
+  const double y = other.AsDouble().value();
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ResolvedRef {
+  uint16_t slot = 0;
+  uint32_t attr = 0;
+};
+
+/// Mirrors Env::Lookup resolution: qualified references match aliases
+/// case-insensitively; unqualified references must be unique in the scope.
+Result<ResolvedRef> ResolveRef(const std::vector<ScopedTuple>& scope,
+                               const std::string& qualifier,
+                               const std::string& name) {
+  bool found = false;
+  ResolvedRef out;
+  for (size_t t = 0; t < scope.size(); ++t) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(scope[t].alias, qualifier)) {
+      continue;
+    }
+    if (!scope[t].schema->Contains(name)) continue;
+    if (found) {
+      return Status::InvalidArgument("ambiguous column reference '" + name +
+                                     "'");
+    }
+    found = true;
+    out.slot = static_cast<uint16_t>(t);
+    out.attr = static_cast<uint32_t>(scope[t].schema->IndexOf(name).value());
+  }
+  if (!found) {
+    return Status::NotFound(
+        "unresolved column reference '" +
+        (qualifier.empty() ? name : qualifier + "." + name) + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+Result<uint32_t> CompileNode(const Expr& expr,
+                             const std::vector<ScopedTuple>& scope,
+                             bool post_mode,
+                             std::vector<CompiledExpr::Node>* nodes,
+                             bool* references_post) {
+  using Node = CompiledExpr::Node;
+  using Op = CompiledExpr::Node::Op;
+
+  // Pre/Post wrappers set the ambient mode and emit no node of their own.
+  if (expr.kind == ExprKind::kPre) {
+    return CompileNode(*expr.children[0], scope, /*post_mode=*/false, nodes,
+                       references_post);
+  }
+  if (expr.kind == ExprKind::kPost) {
+    return CompileNode(*expr.children[0], scope, /*post_mode=*/true, nodes,
+                       references_post);
+  }
+
+  const uint32_t idx = static_cast<uint32_t>(nodes->size());
+  nodes->emplace_back();
+
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      (*nodes)[idx].op = Op::kLiteral;
+      (*nodes)[idx].literal = expr.literal;
+      return idx;
+    case ExprKind::kColumnRef: {
+      HYPER_ASSIGN_OR_RETURN(ResolvedRef ref,
+                             ResolveRef(scope, expr.qualifier, expr.name));
+      Node& n = (*nodes)[idx];
+      n.op = Op::kColumnRef;
+      n.slot = ref.slot;
+      n.attr = ref.attr;
+      n.post = post_mode;
+      if (post_mode) *references_post = true;
+      return idx;
+    }
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is only valid inside Count(*)");
+    case ExprKind::kNot:
+    case ExprKind::kNeg: {
+      (*nodes)[idx].op = expr.kind == ExprKind::kNot ? Op::kNot : Op::kNeg;
+      HYPER_ASSIGN_OR_RETURN(
+          uint32_t child, CompileNode(*expr.children[0], scope, post_mode,
+                                      nodes, references_post));
+      (*nodes)[idx].children.push_back(child);
+      return idx;
+    }
+    case ExprKind::kBinary: {
+      Op op;
+      if (expr.op == BinaryOp::kAnd) {
+        op = Op::kAnd;
+      } else if (expr.op == BinaryOp::kOr) {
+        op = Op::kOr;
+      } else if (sql::IsComparisonOp(expr.op)) {
+        op = Op::kCompare;
+      } else {
+        op = Op::kArith;
+      }
+      (*nodes)[idx].op = op;
+      (*nodes)[idx].cmp = expr.op;
+      HYPER_ASSIGN_OR_RETURN(
+          uint32_t lhs, CompileNode(*expr.children[0], scope, post_mode,
+                                    nodes, references_post));
+      HYPER_ASSIGN_OR_RETURN(
+          uint32_t rhs, CompileNode(*expr.children[1], scope, post_mode,
+                                    nodes, references_post));
+      (*nodes)[idx].children.push_back(lhs);
+      (*nodes)[idx].children.push_back(rhs);
+      return idx;
+    }
+    case ExprKind::kInList: {
+      (*nodes)[idx].op = Op::kInList;
+      for (const auto& child : expr.children) {
+        HYPER_ASSIGN_OR_RETURN(uint32_t c,
+                               CompileNode(*child, scope, post_mode, nodes,
+                                           references_post));
+        (*nodes)[idx].children.push_back(c);
+      }
+      return idx;
+    }
+    case ExprKind::kFuncCall: {
+      if (EqualsIgnoreCase(expr.name, "ABS")) {
+        if (expr.children.size() != 1) {
+          return Status::InvalidArgument("Abs takes one argument");
+        }
+        (*nodes)[idx].op = Op::kAbs;
+      } else if (EqualsIgnoreCase(expr.name, "L1")) {
+        if (expr.children.size() != 2) {
+          return Status::InvalidArgument("L1 takes two arguments");
+        }
+        (*nodes)[idx].op = Op::kL1;
+      } else {
+        return Status::InvalidArgument(
+            "aggregate/function '" + expr.name +
+            "' is not valid in a per-row expression");
+      }
+      for (const auto& child : expr.children) {
+        HYPER_ASSIGN_OR_RETURN(uint32_t c,
+                               CompileNode(*child, scope, post_mode, nodes,
+                                           references_post));
+        (*nodes)[idx].children.push_back(c);
+      }
+      return idx;
+    }
+    default:
+      return Status::Internal("unhandled expression kind in compilation");
+  }
+}
+
+}  // namespace
+
+Result<CompiledExpr> CompiledExpr::Compile(const Expr& expr,
+                                           const std::vector<ScopedTuple>& scope,
+                                           bool post_mode) {
+  CompiledExpr out;
+  HYPER_ASSIGN_OR_RETURN(
+      uint32_t root,
+      CompileNode(expr, scope, post_mode, &out.nodes_, &out.references_post_));
+  if (root != 0) {
+    return Status::Internal("compiled expression root is not node 0");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Row-mode evaluation (mirrors relational::EvalExpr exactly)
+// ---------------------------------------------------------------------------
+
+Result<Scalar> CompiledExpr::EvalNode(uint32_t idx,
+                                      const BoundRow* frame) const {
+  const Node& n = nodes_[idx];
+  switch (n.op) {
+    case Node::Op::kLiteral:
+      return Scalar::FromValue(n.literal);
+    case Node::Op::kColumnRef: {
+      const BoundRow& br = frame[n.slot];
+      const Row* src = n.post ? (br.post != nullptr ? br.post : br.pre)
+                              : br.pre;
+      return Scalar::FromValue((*src)[n.attr]);
+    }
+    case Node::Op::kNot: {
+      HYPER_ASSIGN_OR_RETURN(Scalar inner, EvalNode(n.children[0], frame));
+      HYPER_ASSIGN_OR_RETURN(bool b, inner.AsBool());
+      return Scalar::Bool(!b);
+    }
+    case Node::Op::kNeg: {
+      HYPER_ASSIGN_OR_RETURN(Scalar inner, EvalNode(n.children[0], frame));
+      if (inner.kind == Scalar::K::kInt) return Scalar::Int(-inner.i);
+      HYPER_ASSIGN_OR_RETURN(double d, inner.AsDouble());
+      return Scalar::Double(-d);
+    }
+    case Node::Op::kAnd:
+    case Node::Op::kOr: {
+      HYPER_ASSIGN_OR_RETURN(Scalar lhs_val, EvalNode(n.children[0], frame));
+      HYPER_ASSIGN_OR_RETURN(bool lhs, lhs_val.AsBool());
+      if (n.op == Node::Op::kAnd && !lhs) return Scalar::Bool(false);
+      if (n.op == Node::Op::kOr && lhs) return Scalar::Bool(true);
+      HYPER_ASSIGN_OR_RETURN(Scalar rhs_val, EvalNode(n.children[1], frame));
+      HYPER_ASSIGN_OR_RETURN(bool rhs, rhs_val.AsBool());
+      return Scalar::Bool(rhs);
+    }
+    case Node::Op::kCompare: {
+      HYPER_ASSIGN_OR_RETURN(Scalar lhs, EvalNode(n.children[0], frame));
+      HYPER_ASSIGN_OR_RETURN(Scalar rhs, EvalNode(n.children[1], frame));
+      if (n.cmp == BinaryOp::kEq) return Scalar::Bool(lhs.Equals(rhs));
+      if (n.cmp == BinaryOp::kNe) return Scalar::Bool(!lhs.Equals(rhs));
+      HYPER_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+      switch (n.cmp) {
+        case BinaryOp::kLt: return Scalar::Bool(cmp < 0);
+        case BinaryOp::kLe: return Scalar::Bool(cmp <= 0);
+        case BinaryOp::kGt: return Scalar::Bool(cmp > 0);
+        case BinaryOp::kGe: return Scalar::Bool(cmp >= 0);
+        default: return Status::Internal("unhandled comparison");
+      }
+    }
+    case Node::Op::kArith: {
+      HYPER_ASSIGN_OR_RETURN(Scalar lhs, EvalNode(n.children[0], frame));
+      HYPER_ASSIGN_OR_RETURN(Scalar rhs, EvalNode(n.children[1], frame));
+      HYPER_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+      HYPER_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+      const bool both_int =
+          lhs.kind == Scalar::K::kInt && rhs.kind == Scalar::K::kInt;
+      switch (n.cmp) {
+        case BinaryOp::kAdd:
+          return both_int ? Scalar::Int(lhs.i + rhs.i) : Scalar::Double(a + b);
+        case BinaryOp::kSub:
+          return both_int ? Scalar::Int(lhs.i - rhs.i) : Scalar::Double(a - b);
+        case BinaryOp::kMul:
+          return both_int ? Scalar::Int(lhs.i * rhs.i) : Scalar::Double(a * b);
+        case BinaryOp::kDiv:
+          if (b == 0.0) {
+            return Status::InvalidArgument("division by zero");
+          }
+          return Scalar::Double(a / b);
+        default:
+          return Status::Internal("unhandled binary operator");
+      }
+    }
+    case Node::Op::kInList: {
+      HYPER_ASSIGN_OR_RETURN(Scalar needle, EvalNode(n.children[0], frame));
+      for (size_t c = 1; c < n.children.size(); ++c) {
+        HYPER_ASSIGN_OR_RETURN(Scalar item, EvalNode(n.children[c], frame));
+        if (needle.Equals(item)) return Scalar::Bool(true);
+      }
+      return Scalar::Bool(false);
+    }
+    case Node::Op::kAbs: {
+      HYPER_ASSIGN_OR_RETURN(Scalar inner, EvalNode(n.children[0], frame));
+      HYPER_ASSIGN_OR_RETURN(double d, inner.AsDouble());
+      return Scalar::Double(std::fabs(d));
+    }
+    case Node::Op::kL1: {
+      HYPER_ASSIGN_OR_RETURN(Scalar a, EvalNode(n.children[0], frame));
+      HYPER_ASSIGN_OR_RETURN(Scalar b, EvalNode(n.children[1], frame));
+      HYPER_ASSIGN_OR_RETURN(double da, a.AsDouble());
+      HYPER_ASSIGN_OR_RETURN(double db, b.AsDouble());
+      return Scalar::Double(std::fabs(da - db));
+    }
+  }
+  return Status::Internal("unhandled compiled node");
+}
+
+Result<bool> CompiledExpr::EvalRowBool(const BoundRow* frame) const {
+  HYPER_ASSIGN_OR_RETURN(Scalar v, EvalRow(frame));
+  return v.AsBool();
+}
+
+Result<Value> CompiledExpr::EvalRowValue(const BoundRow* frame) const {
+  HYPER_ASSIGN_OR_RETURN(Scalar v, EvalRow(frame));
+  return v.ToValue();
+}
+
+// ---------------------------------------------------------------------------
+// PostImage
+// ---------------------------------------------------------------------------
+
+void PostImage::SetConst(size_t attr, Value v) {
+  if (overrides_.size() <= attr) overrides_.resize(attr + 1);
+  overrides_[attr].kind = OvKind::kConst;
+  overrides_[attr].constant = std::move(v);
+}
+
+void PostImage::SetPerRowDouble(size_t attr, std::vector<double> values) {
+  if (overrides_.size() <= attr) overrides_.resize(attr + 1);
+  overrides_[attr].kind = OvKind::kPerRowDouble;
+  overrides_[attr].per_row = std::move(values);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar binding
+// ---------------------------------------------------------------------------
+
+Result<ColumnBoundExpr> ColumnBoundExpr::Bind(const CompiledExpr& expr,
+                                              const ColumnTable& table,
+                                              const PostImage* post) {
+  ColumnBoundExpr out;
+  out.table_ = &table;
+  out.post_ = post;
+  out.nodes_ = expr.nodes();
+  out.bound_.resize(out.nodes_.size());
+  for (size_t i = 0; i < out.nodes_.size(); ++i) {
+    const CompiledExpr::Node& n = out.nodes_[i];
+    BoundNode& b = out.bound_[i];
+    if (n.op == CompiledExpr::Node::Op::kColumnRef) {
+      if (n.slot != 0) {
+        return Status::InvalidArgument(
+            "columnar binding requires a single-tuple scope");
+      }
+      if (n.attr >= table.num_columns()) {
+        return Status::OutOfRange("attribute index out of range");
+      }
+      b.column = &table.col(n.attr);
+      if (n.post && post != nullptr && post->has_override(n.attr)) {
+        b.override_ = &post->overrides_[n.attr];
+        if (b.override_->kind == PostImage::OvKind::kConst) {
+          const Value& v = b.override_->constant;
+          b.override_const =
+              v.type() == ValueType::kString
+                  ? Scalar::Str(&v.string_value(),
+                                table.dict().Find(v.string_value()))
+                  : Scalar::FromValue(v);
+        }
+      }
+    } else if (n.op == CompiledExpr::Node::Op::kLiteral &&
+               n.literal.type() == ValueType::kString) {
+      b.literal_code = table.dict().Find(n.literal.string_value());
+    }
+  }
+  return out;
+}
+
+Result<Scalar> ColumnBoundExpr::ReadColumn(uint32_t idx, size_t row) const {
+  const BoundNode& b = bound_[idx];
+  if (b.override_ != nullptr) {
+    const bool active =
+        post_->active_ == nullptr || (*post_->active_)[row];
+    if (active) {
+      if (b.override_->kind == PostImage::OvKind::kConst) {
+        return b.override_const;
+      }
+      return Scalar::Double(b.override_->per_row[row]);
+    }
+  }
+  const Column& col = *b.column;
+  if (col.is_null(row)) return Scalar::Null();
+  switch (col.kind) {
+    case ColumnKind::kInt64: return Scalar::Int(col.i64[row]);
+    case ColumnKind::kDouble: return Scalar::Double(col.f64[row]);
+    case ColumnKind::kBool: return Scalar::Bool(col.b8[row] != 0);
+    case ColumnKind::kCode: {
+      const int32_t code = col.codes[row];
+      if (code == Dictionary::kNullCode) return Scalar::Null();
+      return Scalar::Str(&table_->dict().at(code), code);
+    }
+  }
+  return Status::Internal("unhandled column kind");
+}
+
+Result<Scalar> ColumnBoundExpr::EvalNode(uint32_t idx, size_t row) const {
+  const CompiledExpr::Node& n = nodes_[idx];
+  using Node = CompiledExpr::Node;
+  switch (n.op) {
+    case Node::Op::kLiteral: {
+      Scalar v = Scalar::FromValue(n.literal);
+      if (v.kind == Scalar::K::kStr) v.code = bound_[idx].literal_code;
+      return v;
+    }
+    case Node::Op::kColumnRef:
+      return ReadColumn(idx, row);
+    case Node::Op::kNot: {
+      HYPER_ASSIGN_OR_RETURN(Scalar inner, EvalNode(n.children[0], row));
+      HYPER_ASSIGN_OR_RETURN(bool b, inner.AsBool());
+      return Scalar::Bool(!b);
+    }
+    case Node::Op::kNeg: {
+      HYPER_ASSIGN_OR_RETURN(Scalar inner, EvalNode(n.children[0], row));
+      if (inner.kind == Scalar::K::kInt) return Scalar::Int(-inner.i);
+      HYPER_ASSIGN_OR_RETURN(double d, inner.AsDouble());
+      return Scalar::Double(-d);
+    }
+    case Node::Op::kAnd:
+    case Node::Op::kOr: {
+      HYPER_ASSIGN_OR_RETURN(Scalar lhs_val, EvalNode(n.children[0], row));
+      HYPER_ASSIGN_OR_RETURN(bool lhs, lhs_val.AsBool());
+      if (n.op == Node::Op::kAnd && !lhs) return Scalar::Bool(false);
+      if (n.op == Node::Op::kOr && lhs) return Scalar::Bool(true);
+      HYPER_ASSIGN_OR_RETURN(Scalar rhs_val, EvalNode(n.children[1], row));
+      HYPER_ASSIGN_OR_RETURN(bool rhs, rhs_val.AsBool());
+      return Scalar::Bool(rhs);
+    }
+    case Node::Op::kCompare: {
+      HYPER_ASSIGN_OR_RETURN(Scalar lhs, EvalNode(n.children[0], row));
+      HYPER_ASSIGN_OR_RETURN(Scalar rhs, EvalNode(n.children[1], row));
+      if (n.cmp == BinaryOp::kEq) return Scalar::Bool(lhs.Equals(rhs));
+      if (n.cmp == BinaryOp::kNe) return Scalar::Bool(!lhs.Equals(rhs));
+      HYPER_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+      switch (n.cmp) {
+        case BinaryOp::kLt: return Scalar::Bool(cmp < 0);
+        case BinaryOp::kLe: return Scalar::Bool(cmp <= 0);
+        case BinaryOp::kGt: return Scalar::Bool(cmp > 0);
+        case BinaryOp::kGe: return Scalar::Bool(cmp >= 0);
+        default: return Status::Internal("unhandled comparison");
+      }
+    }
+    case Node::Op::kArith: {
+      HYPER_ASSIGN_OR_RETURN(Scalar lhs, EvalNode(n.children[0], row));
+      HYPER_ASSIGN_OR_RETURN(Scalar rhs, EvalNode(n.children[1], row));
+      HYPER_ASSIGN_OR_RETURN(double a, lhs.AsDouble());
+      HYPER_ASSIGN_OR_RETURN(double b, rhs.AsDouble());
+      const bool both_int =
+          lhs.kind == Scalar::K::kInt && rhs.kind == Scalar::K::kInt;
+      switch (n.cmp) {
+        case BinaryOp::kAdd:
+          return both_int ? Scalar::Int(lhs.i + rhs.i) : Scalar::Double(a + b);
+        case BinaryOp::kSub:
+          return both_int ? Scalar::Int(lhs.i - rhs.i) : Scalar::Double(a - b);
+        case BinaryOp::kMul:
+          return both_int ? Scalar::Int(lhs.i * rhs.i) : Scalar::Double(a * b);
+        case BinaryOp::kDiv:
+          if (b == 0.0) {
+            return Status::InvalidArgument("division by zero");
+          }
+          return Scalar::Double(a / b);
+        default:
+          return Status::Internal("unhandled binary operator");
+      }
+    }
+    case Node::Op::kInList: {
+      HYPER_ASSIGN_OR_RETURN(Scalar needle, EvalNode(n.children[0], row));
+      for (size_t c = 1; c < n.children.size(); ++c) {
+        HYPER_ASSIGN_OR_RETURN(Scalar item, EvalNode(n.children[c], row));
+        if (needle.Equals(item)) return Scalar::Bool(true);
+      }
+      return Scalar::Bool(false);
+    }
+    case Node::Op::kAbs: {
+      HYPER_ASSIGN_OR_RETURN(Scalar inner, EvalNode(n.children[0], row));
+      HYPER_ASSIGN_OR_RETURN(double d, inner.AsDouble());
+      return Scalar::Double(std::fabs(d));
+    }
+    case Node::Op::kL1: {
+      HYPER_ASSIGN_OR_RETURN(Scalar a, EvalNode(n.children[0], row));
+      HYPER_ASSIGN_OR_RETURN(Scalar b, EvalNode(n.children[1], row));
+      HYPER_ASSIGN_OR_RETURN(double da, a.AsDouble());
+      HYPER_ASSIGN_OR_RETURN(double db, b.AsDouble());
+      return Scalar::Double(std::fabs(da - db));
+    }
+  }
+  return Status::Internal("unhandled compiled node");
+}
+
+Result<bool> ColumnBoundExpr::EvalBool(size_t row) const {
+  HYPER_ASSIGN_OR_RETURN(Scalar v, Eval(row));
+  return v.AsBool();
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized mask kernel
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Applies `op` over per-row doubles produced by two getters. Equality uses
+/// double comparison — exactly Value::Equals / Value::Compare for numerics.
+template <typename GetL, typename GetR>
+void CompareLoop(size_t n, BinaryOp op, GetL&& lhs, GetR&& rhs,
+                 std::vector<uint8_t>* mask) {
+  switch (op) {
+    case BinaryOp::kEq:
+      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) == rhs(r);
+      break;
+    case BinaryOp::kNe:
+      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) != rhs(r);
+      break;
+    case BinaryOp::kLt:
+      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) < rhs(r);
+      break;
+    case BinaryOp::kLe:
+      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) <= rhs(r);
+      break;
+    case BinaryOp::kGt:
+      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) > rhs(r);
+      break;
+    case BinaryOp::kGe:
+      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) >= rhs(r);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Per-row numeric view of a null-free column, dispatched once per column.
+template <typename Fn>
+bool WithNumericGetter(const Column& col, Fn&& fn) {
+  switch (col.kind) {
+    case ColumnKind::kInt64:
+      fn([data = col.i64.data()](size_t r) {
+        return static_cast<double>(data[r]);
+      });
+      return true;
+    case ColumnKind::kDouble:
+      fn([data = col.f64.data()](size_t r) { return data[r]; });
+      return true;
+    case ColumnKind::kBool:
+      fn([data = col.b8.data()](size_t r) {
+        return data[r] != 0 ? 1.0 : 0.0;
+      });
+      return true;
+    case ColumnKind::kCode:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ColumnBoundExpr::MaskKernel(uint32_t idx,
+                                 std::vector<uint8_t>* mask) const {
+  using Node = CompiledExpr::Node;
+  const Node& n = nodes_[idx];
+  const size_t num_rows = table_->num_rows();
+
+  // A column reference is kernel-eligible when it reads the pre image
+  // directly: no NULLs, no post override.
+  auto eligible_col = [&](uint32_t node_idx) -> const Column* {
+    const Node& cn = nodes_[node_idx];
+    if (cn.op != Node::Op::kColumnRef) return nullptr;
+    if (bound_[node_idx].override_ != nullptr) return nullptr;
+    const Column* col = bound_[node_idx].column;
+    if (col->has_nulls()) return nullptr;
+    return col;
+  };
+
+  switch (n.op) {
+    case Node::Op::kLiteral: {
+      auto b = n.literal.AsBool();
+      if (!b.ok()) return false;
+      std::fill(mask->begin(), mask->end(), *b ? 1 : 0);
+      return true;
+    }
+    case Node::Op::kColumnRef: {
+      const Column* col = eligible_col(idx);
+      if (col == nullptr || col->kind == ColumnKind::kCode) return false;
+      bool ok = WithNumericGetter(*col, [&](auto get) {
+        for (size_t r = 0; r < num_rows; ++r) (*mask)[r] = get(r) != 0.0;
+      });
+      return ok;
+    }
+    case Node::Op::kNot: {
+      if (!MaskKernel(n.children[0], mask)) return false;
+      for (size_t r = 0; r < num_rows; ++r) (*mask)[r] = !(*mask)[r];
+      return true;
+    }
+    case Node::Op::kAnd:
+    case Node::Op::kOr: {
+      // Eager evaluation is safe here: kernel-eligible subtrees cannot error,
+      // so the mask matches the short-circuit semantics bit for bit.
+      if (!MaskKernel(n.children[0], mask)) return false;
+      std::vector<uint8_t> rhs(num_rows);
+      if (!MaskKernel(n.children[1], &rhs)) return false;
+      if (n.op == Node::Op::kAnd) {
+        for (size_t r = 0; r < num_rows; ++r) (*mask)[r] &= rhs[r];
+      } else {
+        for (size_t r = 0; r < num_rows; ++r) (*mask)[r] |= rhs[r];
+      }
+      return true;
+    }
+    case Node::Op::kCompare: {
+      const uint32_t li = n.children[0], ri = n.children[1];
+      const Node& ln = nodes_[li];
+      const Node& rn = nodes_[ri];
+      const Column* lcol = eligible_col(li);
+      const Column* rcol = eligible_col(ri);
+
+      // column vs column.
+      if (lcol != nullptr && rcol != nullptr) {
+        if (lcol->kind == ColumnKind::kCode || rcol->kind == ColumnKind::kCode) {
+          // Same-dictionary code equality; ordered comparisons need strings.
+          if (lcol->kind != rcol->kind) return false;
+          if (n.cmp != BinaryOp::kEq && n.cmp != BinaryOp::kNe) return false;
+          const int32_t* a = lcol->codes.data();
+          const int32_t* b = rcol->codes.data();
+          const bool want_eq = n.cmp == BinaryOp::kEq;
+          for (size_t r = 0; r < num_rows; ++r) {
+            (*mask)[r] = (a[r] == b[r]) == want_eq;
+          }
+          return true;
+        }
+        bool handled = false;
+        WithNumericGetter(*lcol, [&](auto gl) {
+          handled = WithNumericGetter(*rcol, [&](auto gr) {
+            CompareLoop(num_rows, n.cmp, gl, gr, mask);
+          });
+        });
+        return handled;
+      }
+
+      // column vs literal (either side).
+      const Column* col = lcol != nullptr ? lcol : rcol;
+      const Node* lit = lcol != nullptr ? &rn : &ln;
+      const uint32_t lit_idx = lcol != nullptr ? ri : li;
+      const bool col_is_lhs = lcol != nullptr;
+      if (col == nullptr || lit->op != Node::Op::kLiteral) return false;
+      const Value& lv = lit->literal;
+      if (lv.is_null()) return false;  // NULL ordering: leave to fallback
+
+      if (col->kind == ColumnKind::kCode) {
+        if (lv.type() != ValueType::kString) {
+          // Equals(string, number) is false without error; ordered
+          // comparisons error — fallback for those.
+          if (n.cmp == BinaryOp::kEq) {
+            std::fill(mask->begin(), mask->end(), 0);
+            return true;
+          }
+          if (n.cmp == BinaryOp::kNe) {
+            std::fill(mask->begin(), mask->end(), 1);
+            return true;
+          }
+          return false;
+        }
+        if (n.cmp != BinaryOp::kEq && n.cmp != BinaryOp::kNe) {
+          return false;  // lexicographic order: codes are unordered
+        }
+        const int32_t code = bound_[lit_idx].literal_code;
+        const int32_t* data = col->codes.data();
+        const bool want_eq = n.cmp == BinaryOp::kEq;
+        for (size_t r = 0; r < num_rows; ++r) {
+          (*mask)[r] = (data[r] == code) == want_eq;
+        }
+        return true;
+      }
+
+      if (lv.type() == ValueType::kString) {
+        if (n.cmp == BinaryOp::kEq) {
+          std::fill(mask->begin(), mask->end(), 0);
+          return true;
+        }
+        if (n.cmp == BinaryOp::kNe) {
+          std::fill(mask->begin(), mask->end(), 1);
+          return true;
+        }
+        return false;
+      }
+      const double c = lv.AsDouble().value();
+      bool handled = WithNumericGetter(*col, [&](auto get) {
+        if (col_is_lhs) {
+          CompareLoop(num_rows, n.cmp, get, [c](size_t) { return c; }, mask);
+        } else {
+          CompareLoop(num_rows, n.cmp, [c](size_t) { return c; }, get, mask);
+        }
+      });
+      return handled;
+    }
+    case Node::Op::kInList: {
+      const Column* col = eligible_col(n.children[0]);
+      if (col == nullptr) return false;
+      // All items must be literals.
+      for (size_t c = 1; c < n.children.size(); ++c) {
+        if (nodes_[n.children[c]].op != Node::Op::kLiteral) return false;
+        if (nodes_[n.children[c]].literal.is_null()) return false;
+      }
+      if (col->kind == ColumnKind::kCode) {
+        std::vector<int32_t> want;
+        for (size_t c = 1; c < n.children.size(); ++c) {
+          const Node& item = nodes_[n.children[c]];
+          if (item.literal.type() != ValueType::kString) continue;  // never eq
+          want.push_back(bound_[n.children[c]].literal_code);
+        }
+        const int32_t* data = col->codes.data();
+        for (size_t r = 0; r < num_rows; ++r) {
+          uint8_t hit = 0;
+          for (int32_t w : want) hit |= (data[r] == w);
+          (*mask)[r] = hit;
+        }
+        return true;
+      }
+      std::vector<double> want;
+      for (size_t c = 1; c < n.children.size(); ++c) {
+        const Node& item = nodes_[n.children[c]];
+        if (item.literal.type() == ValueType::kString) continue;  // never eq
+        want.push_back(item.literal.AsDouble().value());
+      }
+      bool handled = WithNumericGetter(*col, [&](auto get) {
+        for (size_t r = 0; r < num_rows; ++r) {
+          const double v = get(r);
+          uint8_t hit = 0;
+          for (double w : want) hit |= (v == w);
+          (*mask)[r] = hit;
+        }
+      });
+      return handled;
+    }
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<uint8_t>> ColumnBoundExpr::EvalMask() const {
+  const size_t n = table_->num_rows();
+  std::vector<uint8_t> mask(n, 0);
+  if (MaskKernel(0, &mask)) return mask;
+  for (size_t r = 0; r < n; ++r) {
+    HYPER_ASSIGN_OR_RETURN(bool b, EvalBool(r));
+    mask[r] = b ? 1 : 0;
+  }
+  return mask;
+}
+
+Result<std::vector<uint8_t>> EvalPredicateMask(const sql::Expr* pred,
+                                               const ColumnTable& table) {
+  if (pred == nullptr) {
+    return std::vector<uint8_t>(table.num_rows(), 1);
+  }
+  std::vector<ScopedTuple> scope{
+      ScopedTuple{table.schema().relation_name(), &table.schema()}};
+  HYPER_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                         CompiledExpr::Compile(*pred, scope));
+  HYPER_ASSIGN_OR_RETURN(ColumnBoundExpr bound,
+                         ColumnBoundExpr::Bind(compiled, table));
+  return bound.EvalMask();
+}
+
+}  // namespace hyper::relational

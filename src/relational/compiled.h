@@ -1,0 +1,209 @@
+#ifndef HYPER_RELATIONAL_COMPILED_H_
+#define HYPER_RELATIONAL_COMPILED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace hyper::relational {
+
+// ---------------------------------------------------------------------------
+// Scalar: the compiled evaluator's runtime value. Mirrors Value semantics
+// (storage/value.cc) exactly — coercions, NULL ordering, error cases — but
+// never owns a string: strings are borrowed pointers, optionally tagged with
+// the dictionary code they were read from so equality is an int compare.
+// ---------------------------------------------------------------------------
+
+struct Scalar {
+  enum class K : uint8_t { kNull = 0, kBool, kInt, kDouble, kStr };
+
+  K kind = K::kNull;
+  union {
+    bool b;
+    int64_t i;
+    double d;
+  };
+  const std::string* s = nullptr;  // kStr: borrowed
+  int32_t code = -1;               // kStr: dictionary code when known
+
+  static Scalar Null() { return Scalar(); }
+  static Scalar Bool(bool v) { Scalar x; x.kind = K::kBool; x.b = v; return x; }
+  static Scalar Int(int64_t v) { Scalar x; x.kind = K::kInt; x.i = v; return x; }
+  static Scalar Double(double v) {
+    Scalar x; x.kind = K::kDouble; x.d = v; return x;
+  }
+  static Scalar Str(const std::string* sp, int32_t dict_code = -1) {
+    Scalar x; x.kind = K::kStr; x.s = sp; x.code = dict_code; return x;
+  }
+  /// Borrows from `v`: the Value must outlive the Scalar for strings.
+  static Scalar FromValue(const Value& v);
+  Value ToValue() const;
+
+  bool is_null() const { return kind == K::kNull; }
+  Result<double> AsDouble() const;
+  Result<bool> AsBool() const;
+  bool Equals(const Scalar& other) const;
+  Result<int> Compare(const Scalar& other) const;
+};
+
+// ---------------------------------------------------------------------------
+// Compilation: resolve column references once per query.
+// ---------------------------------------------------------------------------
+
+/// One tuple visible during compilation: alias (or relation name) + schema.
+/// The position in the scope vector is the tuple slot used at evaluation.
+struct ScopedTuple {
+  std::string alias;
+  const Schema* schema = nullptr;
+};
+
+/// Row-mode evaluation frame entry for one tuple slot: pre image and
+/// (optionally) the post-update image. A null `post` makes Post(...) read
+/// the pre image — the observational evaluation mode of training harvests.
+struct BoundRow {
+  const Row* pre = nullptr;
+  const Row* post = nullptr;
+};
+
+/// An expression with every ColumnRef resolved to (tuple_slot, attr_index)
+/// and Pre/Post wrappers folded into a per-reference flag. Compile once per
+/// query; evaluation never touches attribute names again.
+class CompiledExpr {
+ public:
+  struct Node {
+    enum class Op : uint8_t {
+      kLiteral,
+      kColumnRef,
+      kNot,
+      kNeg,
+      kAnd,
+      kOr,
+      kCompare,   // cmp holds the comparison operator
+      kArith,     // cmp holds the arithmetic operator
+      kInList,
+      kAbs,
+      kL1,
+    };
+    Op op = Op::kLiteral;
+    sql::BinaryOp cmp = sql::BinaryOp::kEq;
+    Value literal;         // kLiteral
+    uint16_t slot = 0;     // kColumnRef
+    uint32_t attr = 0;     // kColumnRef
+    bool post = false;     // kColumnRef: read the post image
+    std::vector<uint32_t> children;
+  };
+
+  /// Compiles `expr` against the ordered tuple scope. Resolution follows
+  /// Env::Lookup: qualified references match aliases case-insensitively,
+  /// unqualified references must be unique across the scope. Aggregates and
+  /// '*' are compile errors (they are not per-row expressions).
+  static Result<CompiledExpr> Compile(const sql::Expr& expr,
+                                      const std::vector<ScopedTuple>& scope,
+                                      bool post_mode = false);
+
+  /// Row-mode evaluation; `frame[slot]` supplies each tuple's images.
+  Result<Scalar> EvalRow(const BoundRow* frame) const { return EvalNode(0, frame); }
+  Result<bool> EvalRowBool(const BoundRow* frame) const;
+  Result<Value> EvalRowValue(const BoundRow* frame) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool references_post() const { return references_post_; }
+
+ private:
+  friend class ColumnBoundExpr;
+  Result<Scalar> EvalNode(uint32_t idx, const BoundRow* frame) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  bool references_post_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Columnar binding: evaluate a single-slot compiled expression directly over
+// a ColumnTable's typed vectors.
+// ---------------------------------------------------------------------------
+
+/// Deterministic post-update image of a bound ColumnTable, described as
+/// per-attribute overrides instead of materialized rows: Post(...) column
+/// reads go through the override for *active* rows and fall back to the pre
+/// image otherwise. This is how the what-if engine represents "update
+/// attributes set to f(b) on S" without copying every row.
+class PostImage {
+ public:
+  /// Post value of `attr` is `v` for every active row (Update(B) = c).
+  void SetConst(size_t attr, Value v);
+  /// Post value of `attr` is `values[row]` for active rows (scale/shift).
+  void SetPerRowDouble(size_t attr, std::vector<double> values);
+  /// Rows where `active` is false keep their pre image everywhere. A null
+  /// active set means every row is updated.
+  void set_active(const std::vector<bool>* active) { active_ = active; }
+
+  bool has_override(size_t attr) const {
+    return attr < overrides_.size() && overrides_[attr].kind != OvKind::kNone;
+  }
+
+ private:
+  friend class ColumnBoundExpr;
+  enum class OvKind : uint8_t { kNone = 0, kConst, kPerRowDouble };
+  struct Override {
+    OvKind kind = OvKind::kNone;
+    Value constant;
+    std::vector<double> per_row;
+  };
+  std::vector<Override> overrides_;
+  const std::vector<bool>* active_ = nullptr;
+};
+
+/// A compiled expression bound to one ColumnTable (tuple slot 0): column
+/// references carry raw pointers into the typed vectors and string literals
+/// are pre-interned against the table's dictionary. `post` may be null, in
+/// which case Post(...) reads the pre image.
+class ColumnBoundExpr {
+ public:
+  ColumnBoundExpr() = default;
+
+  static Result<ColumnBoundExpr> Bind(const CompiledExpr& expr,
+                                      const ColumnTable& table,
+                                      const PostImage* post = nullptr);
+
+  Result<Scalar> Eval(size_t row) const { return EvalNode(0, row); }
+  Result<bool> EvalBool(size_t row) const;
+
+  /// Batch predicate evaluation over every row of the bound table. Uses
+  /// tight typed loops for comparisons / logical connectives over null-free,
+  /// non-overridden columns and falls back to per-row EvalBool for anything
+  /// else; the produced mask is identical either way.
+  Result<std::vector<uint8_t>> EvalMask() const;
+
+ private:
+  struct BoundNode {
+    const Column* column = nullptr;   // kColumnRef
+    const PostImage::Override* override_ = nullptr;  // kColumnRef with post
+    int32_t literal_code = -1;        // kLiteral string: code in table dict
+    Scalar override_const;            // kConst override, pre-resolved at Bind
+  };
+
+  Result<Scalar> EvalNode(uint32_t idx, size_t row) const;
+  Result<Scalar> ReadColumn(uint32_t idx, size_t row) const;
+  bool MaskKernel(uint32_t idx, std::vector<uint8_t>* mask) const;
+
+  const ColumnTable* table_ = nullptr;
+  const PostImage* post_ = nullptr;
+  std::vector<CompiledExpr::Node> nodes_;
+  std::vector<BoundNode> bound_;
+};
+
+/// Convenience: compiles `pred` against `table` (single tuple named after
+/// the table's relation) and returns the selection mask; a null `pred`
+/// selects every row.
+Result<std::vector<uint8_t>> EvalPredicateMask(const sql::Expr* pred,
+                                               const ColumnTable& table);
+
+}  // namespace hyper::relational
+
+#endif  // HYPER_RELATIONAL_COMPILED_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "relational/compiled.h"
 #include "relational/eval.h"
 
 namespace hyper::relational {
@@ -61,13 +62,22 @@ struct JoinCondition {
   ResolvedColumn rhs;
 };
 
-Env MakeEnv(const std::vector<Source>& sources, const JoinedTuple& tuple) {
-  Env env;
-  for (size_t s = 0; s < sources.size(); ++s) {
-    env.Bind(sources[s].alias, &sources[s].table->schema(),
-             &sources[s].table->row(tuple[s]));
+std::vector<ScopedTuple> MakeScope(const std::vector<Source>& sources) {
+  std::vector<ScopedTuple> scope;
+  scope.reserve(sources.size());
+  for (const Source& s : sources) {
+    scope.push_back(ScopedTuple{s.alias, &s.table->schema()});
   }
-  return env;
+  return scope;
+}
+
+/// Fills the per-slot row frame for one joined tuple (no post images in the
+/// select executor).
+void FillFrame(const std::vector<Source>& sources, const JoinedTuple& tuple,
+               std::vector<BoundRow>* frame) {
+  for (size_t s = 0; s < sources.size(); ++s) {
+    (*frame)[s].pre = &sources[s].table->row(tuple[s]);
+  }
 }
 
 /// Derives the output column name for a select item.
@@ -92,12 +102,14 @@ struct AggAccumulator {
   size_t count = 0;      // rows contributing to sum (non-null)
   size_t count_rows = 0; // all rows (COUNT(*))
 
-  Status Add(const sql::SelectItem& item, const Env& env) {
+  /// `v` is the already-evaluated item expression (null pointer for
+  /// COUNT(*) / '*' items, which have no expression).
+  Status Add(const sql::SelectItem& item, const Value* vp) {
     ++count_rows;
-    if (item.expr == nullptr || item.expr->kind == ExprKind::kStar) {
+    if (vp == nullptr) {
       return Status::OK();
     }
-    HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, env));
+    const Value& v = *vp;
     if (v.is_null()) return Status::OK();
     if (item.agg == AggKind::kCount) {
       // COUNT over a boolean expression counts satisfying rows (the paper's
@@ -283,12 +295,17 @@ Result<Table> ExecuteSelect(const Database& db, const SelectStmt& stmt,
     current = std::move(kept);
   }
 
-  // Residual predicates.
+  // Residual predicates, compiled once: references resolve to (slot, attr)
+  // here instead of by name per row.
+  const std::vector<ScopedTuple> scope = MakeScope(sources);
+  std::vector<BoundRow> frame(sources.size());
   for (const sql::ExprPtr& pred : residual) {
+    HYPER_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                           CompiledExpr::Compile(*pred, scope));
     std::vector<JoinedTuple> kept;
     for (JoinedTuple& tuple : current) {
-      Env env = MakeEnv(sources, tuple);
-      HYPER_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, env));
+      FillFrame(sources, tuple, &frame);
+      HYPER_ASSIGN_OR_RETURN(bool pass, compiled.EvalRowBool(frame.data()));
       if (pass) kept.push_back(std::move(tuple));
     }
     current = std::move(kept);
@@ -316,14 +333,29 @@ Result<Table> ExecuteSelect(const Database& db, const SelectStmt& stmt,
     return false;
   }();
 
+  // Select-item and group-key expressions, compiled once. '*' items carry
+  // no expression.
+  std::vector<std::optional<CompiledExpr>> item_exprs(stmt.items.size());
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const auto& item = stmt.items[i];
+    if (item.expr == nullptr || item.expr->kind == ExprKind::kStar) continue;
+    HYPER_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                           CompiledExpr::Compile(*item.expr, scope));
+    item_exprs[i] = std::move(compiled);
+  }
+
   if (!has_aggregates && stmt.group_by.empty()) {
     // Plain projection.
     for (const JoinedTuple& tuple : current) {
-      Env env = MakeEnv(sources, tuple);
+      FillFrame(sources, tuple, &frame);
       Row row;
       row.reserve(stmt.items.size());
-      for (const auto& item : stmt.items) {
-        HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, env));
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        if (!item_exprs[i].has_value()) {
+          return Status::InvalidArgument("'*' is only valid inside Count(*)");
+        }
+        HYPER_ASSIGN_OR_RETURN(Value v,
+                               item_exprs[i]->EvalRowValue(frame.data()));
         row.push_back(std::move(v));
       }
       HYPER_RETURN_NOT_OK(out.Append(std::move(row)));
@@ -340,12 +372,21 @@ Result<Table> ExecuteSelect(const Database& db, const SelectStmt& stmt,
       groups;
   std::vector<std::vector<Value>> group_order;
 
+  std::vector<CompiledExpr> group_exprs;
+  group_exprs.reserve(stmt.group_by.size());
+  for (const auto& g : stmt.group_by) {
+    HYPER_ASSIGN_OR_RETURN(CompiledExpr compiled,
+                           CompiledExpr::Compile(*g, scope));
+    group_exprs.push_back(std::move(compiled));
+  }
+
+  std::vector<Value> key;
   for (const JoinedTuple& tuple : current) {
-    Env env = MakeEnv(sources, tuple);
-    std::vector<Value> key;
-    key.reserve(stmt.group_by.size());
-    for (const auto& g : stmt.group_by) {
-      HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, env));
+    FillFrame(sources, tuple, &frame);
+    key.clear();
+    key.reserve(group_exprs.size());
+    for (const CompiledExpr& g : group_exprs) {
+      HYPER_ASSIGN_OR_RETURN(Value v, g.EvalRowValue(frame.data()));
       key.push_back(std::move(v));
     }
     auto it = groups.find(key);
@@ -355,7 +396,12 @@ Result<Table> ExecuteSelect(const Database& db, const SelectStmt& stmt,
       group.representative.resize(stmt.items.size());
       for (size_t i = 0; i < stmt.items.size(); ++i) {
         if (stmt.items[i].agg == AggKind::kNone) {
-          HYPER_ASSIGN_OR_RETURN(Value v, EvalExpr(*stmt.items[i].expr, env));
+          if (!item_exprs[i].has_value()) {
+            return Status::InvalidArgument(
+                "'*' is only valid inside Count(*)");
+          }
+          HYPER_ASSIGN_OR_RETURN(Value v,
+                                 item_exprs[i]->EvalRowValue(frame.data()));
           group.representative[i] = std::move(v);
         }
       }
@@ -364,7 +410,13 @@ Result<Table> ExecuteSelect(const Database& db, const SelectStmt& stmt,
     }
     for (size_t i = 0; i < stmt.items.size(); ++i) {
       if (stmt.items[i].agg != AggKind::kNone) {
-        HYPER_RETURN_NOT_OK(it->second.accumulators[i].Add(stmt.items[i], env));
+        const Value* vp = nullptr;
+        Value v;
+        if (item_exprs[i].has_value()) {
+          HYPER_ASSIGN_OR_RETURN(v, item_exprs[i]->EvalRowValue(frame.data()));
+          vp = &v;
+        }
+        HYPER_RETURN_NOT_OK(it->second.accumulators[i].Add(stmt.items[i], vp));
       }
     }
   }

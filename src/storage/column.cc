@@ -1,0 +1,188 @@
+#include "storage/column.h"
+
+#include "common/strings.h"
+
+namespace hyper {
+
+int32_t Dictionary::Intern(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(strings_.size());
+  strings_.push_back(s);
+  index_.emplace(s, code);
+  return code;
+}
+
+int32_t Dictionary::Find(const std::string& s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNullCode : it->second;
+}
+
+const char* ColumnKindName(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kInt64: return "int64";
+    case ColumnKind::kDouble: return "double";
+    case ColumnKind::kBool: return "bool";
+    case ColumnKind::kCode: return "code";
+  }
+  return "?";
+}
+
+size_t Column::num_rows() const {
+  switch (kind) {
+    case ColumnKind::kInt64: return i64.size();
+    case ColumnKind::kDouble: return f64.size();
+    case ColumnKind::kBool: return b8.size();
+    case ColumnKind::kCode: return codes.size();
+  }
+  return 0;
+}
+
+namespace {
+
+/// Physical kind for a column given the value types it actually holds,
+/// falling back to the declared type for all-NULL columns.
+Result<ColumnKind> InferKind(const Table& table, size_t attr) {
+  bool saw_string = false, saw_double = false, saw_int = false,
+       saw_bool = false, saw_numeric = false;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    switch (table.At(r, attr).type()) {
+      case ValueType::kNull: break;
+      case ValueType::kBool: saw_bool = true; saw_numeric = true; break;
+      case ValueType::kInt: saw_int = true; saw_numeric = true; break;
+      case ValueType::kDouble: saw_double = true; saw_numeric = true; break;
+      case ValueType::kString: saw_string = true; break;
+    }
+  }
+  if (saw_string && saw_numeric) {
+    return Status::InvalidArgument(
+        "column '" + table.schema().attribute(attr).name +
+        "' mixes strings with numeric values; cannot columnarize");
+  }
+  if (saw_string) return ColumnKind::kCode;
+  if (saw_double) return ColumnKind::kDouble;
+  if (saw_int && saw_bool) return ColumnKind::kDouble;
+  if (saw_int) return ColumnKind::kInt64;
+  if (saw_bool) return ColumnKind::kBool;
+  // All NULL: shape after the declared type.
+  switch (table.schema().attribute(attr).type) {
+    case ValueType::kString: return ColumnKind::kCode;
+    case ValueType::kInt: return ColumnKind::kInt64;
+    case ValueType::kBool: return ColumnKind::kBool;
+    default: return ColumnKind::kDouble;
+  }
+}
+
+}  // namespace
+
+Result<ColumnTable> ColumnTable::FromTable(const Table& table,
+                                           std::shared_ptr<Dictionary> dict) {
+  ColumnTable out;
+  out.schema_ = table.schema();
+  out.num_rows_ = table.num_rows();
+  out.dict_ = dict != nullptr ? std::move(dict)
+                              : std::make_shared<Dictionary>();
+  const size_t n = table.num_rows();
+  const size_t num_attrs = table.schema().num_attributes();
+  out.columns_.resize(num_attrs);
+
+  for (size_t a = 0; a < num_attrs; ++a) {
+    Column& col = out.columns_[a];
+    HYPER_ASSIGN_OR_RETURN(col.kind, InferKind(table, a));
+    switch (col.kind) {
+      case ColumnKind::kInt64: col.i64.resize(n); break;
+      case ColumnKind::kDouble: col.f64.resize(n); break;
+      case ColumnKind::kBool: col.b8.resize(n); break;
+      case ColumnKind::kCode: col.codes.resize(n); break;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const Value& v = table.At(r, a);
+      if (v.is_null()) {
+        if (col.nulls.empty()) col.nulls.resize(n, 0);
+        col.nulls[r] = 1;
+        switch (col.kind) {
+          case ColumnKind::kInt64: col.i64[r] = 0; break;
+          case ColumnKind::kDouble: col.f64[r] = 0.0; break;
+          case ColumnKind::kBool: col.b8[r] = 0; break;
+          case ColumnKind::kCode: col.codes[r] = Dictionary::kNullCode; break;
+        }
+        continue;
+      }
+      switch (col.kind) {
+        case ColumnKind::kInt64:
+          col.i64[r] = v.int_value();
+          break;
+        case ColumnKind::kDouble:
+          col.f64[r] = v.AsDouble().value();
+          break;
+        case ColumnKind::kBool:
+          col.b8[r] = v.bool_value() ? 1 : 0;
+          break;
+        case ColumnKind::kCode:
+          col.codes[r] = out.dict_->Intern(v.string_value());
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Value ColumnTable::GetValue(size_t row, size_t attr) const {
+  const Column& col = columns_[attr];
+  if (col.is_null(row)) return Value::Null();
+  switch (col.kind) {
+    case ColumnKind::kInt64: return Value::Int(col.i64[row]);
+    case ColumnKind::kDouble: return Value::Double(col.f64[row]);
+    case ColumnKind::kBool: return Value::Bool(col.b8[row] != 0);
+    case ColumnKind::kCode: return Value::String(dict_->at(col.codes[row]));
+  }
+  return Value::Null();
+}
+
+Result<std::vector<double>> ColumnTable::ColumnAsDoubles(size_t attr) const {
+  const Column& col = columns_[attr];
+  if (col.kind == ColumnKind::kCode) {
+    return Status::InvalidArgument(
+        "cannot coerce string column '" + schema_.attribute(attr).name +
+        "' to numbers");
+  }
+  if (col.has_nulls()) {
+    return Status::InvalidArgument(
+        "cannot coerce NULL to a number (column '" +
+        schema_.attribute(attr).name + "')");
+  }
+  std::vector<double> out(num_rows_);
+  switch (col.kind) {
+    case ColumnKind::kInt64:
+      for (size_t r = 0; r < num_rows_; ++r) {
+        out[r] = static_cast<double>(col.i64[r]);
+      }
+      break;
+    case ColumnKind::kDouble:
+      out = col.f64;
+      break;
+    case ColumnKind::kBool:
+      for (size_t r = 0; r < num_rows_; ++r) {
+        out[r] = col.b8[r] != 0 ? 1.0 : 0.0;
+      }
+      break;
+    case ColumnKind::kCode:
+      break;  // handled above
+  }
+  return out;
+}
+
+Table ColumnTable::ToTable() const {
+  Table out(schema_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    Row row;
+    row.reserve(columns_.size());
+    for (size_t a = 0; a < columns_.size(); ++a) {
+      row.push_back(GetValue(r, a));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace hyper

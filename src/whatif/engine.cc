@@ -5,17 +5,21 @@
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "causal/ground.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "learn/dataset.h"
 #include "learn/discretizer.h"
 #include "learn/frequency.h"
 #include "prob/aggregates.h"
+#include "relational/compiled.h"
 #include "relational/eval.h"
 #include "sql/parser.h"
+#include "storage/column.h"
 
 namespace hyper::whatif {
 
@@ -166,6 +170,430 @@ std::unique_ptr<learn::ConditionalMeanEstimator> MakeEstimator(
 
 double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
 
+// ---------------------------------------------------------------------------
+// Query planning shared by the row and columnar execution paths: everything
+// derivable from the compiled query + causal graph without scanning a single
+// row. Keeping this in one place is what makes "both paths return identical
+// answers" a structural property instead of a test-enforced hope.
+// ---------------------------------------------------------------------------
+
+struct WhatIfPlan {
+  BackdoorMode mode = BackdoorMode::kAllAttributes;
+  std::vector<size_t> update_cols;      // view column of each update
+  /// Mutable view columns an update can actually move.
+  std::set<std::string> random_cols;
+  /// Random columns mentioned under Post(...) in For / Output.
+  std::set<std::string> target_cols;
+  /// psi cross-tuple summary features (§2.2 / §A.3.2).
+  struct PsiSpec {
+    size_t update_index;  // into q.updates
+    size_t link_col;      // view column of the link attribute
+    std::string name;
+  };
+  std::vector<PsiSpec> psi_specs;
+  /// Adjustment set C (Equation 1): view columns, sorted, plus the causal
+  /// names reported in WhatIfResult.
+  std::vector<std::string> backdoor_cols;
+  std::vector<std::string> backdoor_causal;
+  /// Feature layout: update attributes, then backdoor columns, then For
+  /// conditioning columns (psi features are appended at encode time).
+  std::vector<std::string> feature_cols;
+};
+
+Result<WhatIfPlan> BuildWhatIfPlan(const CompiledWhatIf& q,
+                                   const causal::CausalGraph* graph,
+                                   BackdoorMode requested_mode) {
+  const Schema& vschema = q.view_info.view.schema();
+  WhatIfPlan plan;
+  plan.mode = graph == nullptr ? BackdoorMode::kAllAttributes : requested_mode;
+  const BackdoorMode mode = plan.mode;
+
+  // Causal name <-> view column maps.
+  auto causal_of = [&](const std::string& col) -> std::string {
+    auto it = q.view_info.causal_of_column.find(col);
+    return it == q.view_info.causal_of_column.end() ? std::string()
+                                                    : it->second;
+  };
+  std::unordered_map<std::string, std::string> column_of_causal;
+  for (const auto& [col, attr] : q.view_info.causal_of_column) {
+    column_of_causal.emplace(attr, col);
+  }
+
+  // Update columns. Multi-update soundness (§3.1): updated attributes must
+  // be causally unrelated to each other.
+  for (const UpdateSpec& u : q.updates) {
+    HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(u.attribute));
+    plan.update_cols.push_back(idx);
+  }
+  if (mode == BackdoorMode::kGraph && q.updates.size() > 1) {
+    for (size_t i = 0; i < q.updates.size(); ++i) {
+      const std::string bi = causal_of(q.updates[i].attribute);
+      if (!graph->HasNode(bi)) continue;
+      const auto desc = graph->Descendants(bi);
+      for (size_t j = 0; j < q.updates.size(); ++j) {
+        if (i == j) continue;
+        if (desc.count(causal_of(q.updates[j].attribute)) > 0) {
+          return Status::InvalidArgument(
+              "multi-attribute update requires causally unrelated "
+              "attributes: '" + q.updates[i].attribute + "' affects '" +
+              q.updates[j].attribute + "'");
+        }
+      }
+    }
+  }
+
+  // Random columns: mutable view columns that an update can actually move.
+  // With a causal graph these are the causal descendants of the update
+  // attributes; without one, every mutable non-update attribute.
+  {
+    std::set<std::string> update_names;
+    for (const UpdateSpec& u : q.updates) update_names.insert(u.attribute);
+    if (mode == BackdoorMode::kGraph) {
+      std::unordered_set<std::string> desc;
+      for (const UpdateSpec& u : q.updates) {
+        const std::string b = causal_of(u.attribute);
+        if (!graph->HasNode(b)) continue;
+        for (const std::string& d : graph->Descendants(b)) desc.insert(d);
+      }
+      for (const AttributeDef& attr : vschema.attributes()) {
+        if (attr.mutability == Mutability::kImmutable) continue;
+        if (update_names.count(attr.name) > 0) continue;
+        if (desc.count(causal_of(attr.name)) > 0) {
+          plan.random_cols.insert(attr.name);
+        }
+      }
+    } else {
+      for (const AttributeDef& attr : vschema.attributes()) {
+        if (attr.mutability == Mutability::kImmutable) continue;
+        if (update_names.count(attr.name) > 0) continue;
+        plan.random_cols.insert(attr.name);
+      }
+    }
+  }
+
+  // Post-referenced target columns (for backdoor computation and feature
+  // exclusion): random columns mentioned under Post(...) in For / Output.
+  // Columns referenced only through Pre(...) are conditioning attributes,
+  // not outcomes.
+  {
+    std::vector<std::string> cols;
+    if (q.for_pred != nullptr) CollectPostColumnRefs(*q.for_pred, &cols);
+    if (q.output_value != nullptr) {
+      sql::CollectColumnRefs(*q.output_value, &cols);
+    }
+    for (const std::string& col : cols) {
+      if (plan.random_cols.count(col) > 0) plan.target_cols.insert(col);
+    }
+  }
+
+  // psi features: when the graph has a cross-tuple edge out of an update
+  // attribute, the group mean of that attribute over the link group becomes
+  // a feature, recomputed post-update.
+  if (mode == BackdoorMode::kGraph) {
+    for (size_t j = 0; j < q.updates.size(); ++j) {
+      const std::string b = causal_of(q.updates[j].attribute);
+      for (const causal::CausalEdge& e : graph->edges()) {
+        if (!e.is_cross_tuple() || e.from != b) continue;
+        auto link_col = column_of_causal.find(e.link_attribute);
+        std::string link_name = link_col != column_of_causal.end()
+                                    ? link_col->second
+                                    : e.link_attribute;
+        if (!vschema.Contains(link_name)) continue;
+        WhatIfPlan::PsiSpec spec;
+        spec.update_index = j;
+        spec.link_col = vschema.IndexOf(link_name).value();
+        spec.name = "psi_" + q.updates[j].attribute;
+        plan.psi_specs.push_back(std::move(spec));
+        break;  // one psi per update attribute
+      }
+    }
+  }
+
+  // Adjustment set C (Equation 1) per the backdoor mode.
+  {
+    std::set<std::string> chosen;  // causal names
+    if (mode == BackdoorMode::kGraph) {
+      for (const UpdateSpec& u : q.updates) {
+        const std::string b = causal_of(u.attribute);
+        if (!graph->HasNode(b)) continue;
+        for (const std::string& target : plan.target_cols) {
+          const std::string y = causal_of(target);
+          if (!graph->HasNode(y)) continue;
+          auto set = causal::MinimalBackdoorSet(*graph, b, y);
+          if (!set.ok()) continue;  // disconnected: nothing to adjust
+          for (const std::string& c : *set) chosen.insert(c);
+        }
+      }
+    } else if (mode == BackdoorMode::kAllAttributes) {
+      std::set<std::string> excluded = plan.target_cols;
+      for (const UpdateSpec& u : q.updates) excluded.insert(u.attribute);
+      for (const std::string& k : q.view_info.view_key_columns) {
+        excluded.insert(k);
+      }
+      for (const AttributeDef& attr : vschema.attributes()) {
+        if (excluded.count(attr.name) > 0) continue;
+        chosen.insert(causal_of(attr.name).empty() ? attr.name
+                                                   : causal_of(attr.name));
+      }
+    }  // kUpdateOnly: empty set
+    for (const std::string& c : chosen) {
+      auto it = column_of_causal.find(c);
+      const std::string col = it != column_of_causal.end() ? it->second : c;
+      if (vschema.Contains(col)) {
+        plan.backdoor_cols.push_back(col);
+        plan.backdoor_causal.push_back(c);
+      }
+    }
+    std::sort(plan.backdoor_cols.begin(), plan.backdoor_cols.end());
+    std::sort(plan.backdoor_causal.begin(), plan.backdoor_causal.end());
+  }
+
+  // Conditioning attributes from the For operator (§5.5, Figure 11a): the
+  // estimation of Proposition 2 conditions on mu_For,Pre, so attributes
+  // referenced by pre-update conditions join the regressor features. Only
+  // non-descendants of the update attributes qualify — conditioning on a
+  // mediator's pre-value would block part of the causal path. The Indep
+  // baseline skips these (it conditions on nothing but the update).
+  std::vector<std::string> conditioning_cols;
+  if (q.for_pred != nullptr && mode != BackdoorMode::kUpdateOnly) {
+    std::unordered_set<std::string> descendants_of_updates;
+    if (mode == BackdoorMode::kGraph) {
+      for (const UpdateSpec& u : q.updates) {
+        const std::string b = causal_of(u.attribute);
+        if (!graph->HasNode(b)) continue;
+        for (const std::string& d : graph->Descendants(b)) {
+          descendants_of_updates.insert(d);
+        }
+      }
+    }
+    std::set<std::string> existing(plan.backdoor_cols.begin(),
+                                   plan.backdoor_cols.end());
+    for (const UpdateSpec& u : q.updates) existing.insert(u.attribute);
+    for (const std::string& k : q.view_info.view_key_columns) {
+      existing.insert(k);
+    }
+    std::vector<std::string> refs;
+    sql::CollectColumnRefs(*q.for_pred, &refs);
+    for (const std::string& col : refs) {
+      if (existing.count(col) > 0) continue;
+      if (plan.target_cols.count(col) > 0) continue;
+      if (plan.random_cols.count(col) > 0) continue;  // mutable descendants
+      if (mode == BackdoorMode::kGraph &&
+          descendants_of_updates.count(causal_of(col)) > 0) {
+        continue;
+      }
+      if (!vschema.Contains(col)) continue;
+      conditioning_cols.push_back(col);
+      existing.insert(col);
+    }
+  }
+
+  for (const UpdateSpec& u : q.updates) plan.feature_cols.push_back(u.attribute);
+  for (const std::string& c : plan.backdoor_cols) plan.feature_cols.push_back(c);
+  for (const std::string& c : conditioning_cols) plan.feature_cols.push_back(c);
+  return plan;
+}
+
+/// Block-independent decomposition (§3.3), shared by both paths: view rows
+/// grouped by the ground-graph component of their base tuple (a single
+/// block when decomposition is off or unavailable).
+std::vector<std::vector<size_t>> BuildBlockRows(
+    const CompiledWhatIf& q, const Database& db,
+    const causal::CausalGraph* graph, bool use_blocks, size_t n) {
+  std::vector<std::vector<size_t>> block_rows;
+  if (use_blocks && graph != nullptr) {
+    auto components = causal::TupleComponents::Build(*graph, db);
+    if (components.ok()) {
+      std::unordered_map<size_t, size_t> block_index;
+      for (size_t r = 0; r < n; ++r) {
+        auto block = components->BlockOf(causal::TupleId{
+            q.view_info.update_relation, q.view_info.view_row_to_tid[r]});
+        const size_t b = block.ok() ? *block : 0;
+        auto [it, inserted] = block_index.emplace(b, block_rows.size());
+        if (inserted) block_rows.emplace_back();
+        block_rows[it->second].push_back(r);
+      }
+    }
+  }
+  if (block_rows.empty()) {
+    block_rows.emplace_back();
+    block_rows[0].resize(n);
+    for (size_t r = 0; r < n; ++r) block_rows[0][r] = r;
+  }
+  return block_rows;
+}
+
+// ---------------------------------------------------------------------------
+// Columnar fold machinery. FoldExpr's recursion structure is row-independent:
+// which subtrees are "determined" depends only on random_cols. The columnar
+// path therefore compiles every maximal determined subtree (a "hole") once,
+// evaluates only the hole values per tuple, and caches the folded residual
+// per distinct hole-value vector — the Proposition 6 grounding, memoized.
+// ---------------------------------------------------------------------------
+
+/// Marks every node that transitively contains a random Post(...) reference
+/// (the nodes ContainsRandomPost is true for). Nodes inside a Post subtree
+/// are never marked: FoldExpr keeps Post subtrees verbatim.
+bool MarkRandom(const Expr& e, const std::set<std::string>& random_cols,
+                std::unordered_set<const Expr*>* random) {
+  if (e.kind == ExprKind::kPost) {
+    std::vector<std::string> cols;
+    sql::CollectColumnRefs(*e.children[0], &cols);
+    for (const std::string& col : cols) {
+      if (random_cols.count(col) > 0) {
+        random->insert(&e);
+        return true;
+      }
+    }
+    return false;
+  }
+  bool any = false;
+  for (const auto& child : e.children) {
+    if (MarkRandom(*child, random_cols, random)) any = true;
+  }
+  if (any) random->insert(&e);
+  return any;
+}
+
+/// Registers the maximal determined subtrees in FoldExpr evaluation order.
+void CollectHoles(const Expr& e,
+                  const std::unordered_set<const Expr*>& random,
+                  std::vector<const Expr*>* holes,
+                  std::unordered_map<const Expr*, size_t>* hole_of) {
+  if (random.count(&e) == 0) {
+    hole_of->emplace(&e, holes->size());
+    holes->push_back(&e);
+    return;
+  }
+  if (e.kind == ExprKind::kPost) return;  // kept verbatim by the fold
+  for (const auto& child : e.children) {
+    CollectHoles(*child, random, holes, hole_of);
+  }
+}
+
+/// FoldExpr with the determined subtrees replaced by precomputed values.
+/// Mirrors FoldExpr exactly, so the residual for a tuple is identical to
+/// what the row path would fold.
+ExprPtr FoldFromHoles(const Expr& expr,
+                      const std::unordered_map<const Expr*, size_t>& hole_of,
+                      const std::vector<Value>& hole_values) {
+  auto it = hole_of.find(&expr);
+  if (it != hole_of.end()) {
+    return sql::MakeLiteral(hole_values[it->second]);
+  }
+  switch (expr.kind) {
+    case ExprKind::kBinary:
+      if (expr.op == sql::BinaryOp::kAnd || expr.op == sql::BinaryOp::kOr) {
+        ExprPtr lhs = FoldFromHoles(*expr.children[0], hole_of, hole_values);
+        ExprPtr rhs = FoldFromHoles(*expr.children[1], hole_of, hole_values);
+        bool lit = false;
+        const bool is_and = expr.op == sql::BinaryOp::kAnd;
+        if (IsBoolLiteral(*lhs, &lit)) {
+          if (is_and) {
+            return lit ? std::move(rhs) : sql::MakeLiteral(Value::Bool(false));
+          }
+          return lit ? sql::MakeLiteral(Value::Bool(true)) : std::move(rhs);
+        }
+        if (IsBoolLiteral(*rhs, &lit)) {
+          if (is_and) {
+            return lit ? std::move(lhs) : sql::MakeLiteral(Value::Bool(false));
+          }
+          return lit ? sql::MakeLiteral(Value::Bool(true)) : std::move(lhs);
+        }
+        return sql::MakeBinary(expr.op, std::move(lhs), std::move(rhs));
+      }
+      break;
+    case ExprKind::kNot: {
+      ExprPtr inner = FoldFromHoles(*expr.children[0], hole_of, hole_values);
+      bool lit = false;
+      if (IsBoolLiteral(*inner, &lit)) {
+        return sql::MakeLiteral(Value::Bool(!lit));
+      }
+      return sql::MakeNot(std::move(inner));
+    }
+    case ExprKind::kPost:
+      return expr.Clone();
+    default:
+      break;
+  }
+  auto out = std::make_unique<Expr>();
+  out->kind = expr.kind;
+  out->literal = expr.literal;
+  out->qualifier = expr.qualifier;
+  out->name = expr.name;
+  out->op = expr.op;
+  for (const auto& child : expr.children) {
+    out->children.push_back(FoldFromHoles(*child, hole_of, hole_values));
+  }
+  return out;
+}
+
+/// Dense first-seen group ids over one column, hashing dictionary codes /
+/// raw machine words instead of Value objects. Falls back to Value keys for
+/// columns carrying NULLs.
+Result<std::vector<uint32_t>> GroupIdsForColumn(const ColumnTable& table,
+                                                size_t attr,
+                                                uint32_t* num_groups) {
+  const Column& col = table.col(attr);
+  const size_t n = table.num_rows();
+  std::vector<uint32_t> gid(n);
+  uint32_t next = 0;
+  if (!col.has_nulls()) {
+    switch (col.kind) {
+      case ColumnKind::kCode: {
+        std::vector<uint32_t> of_code(table.dict().size(), UINT32_MAX);
+        for (size_t r = 0; r < n; ++r) {
+          uint32_t& g = of_code[col.codes[r]];
+          if (g == UINT32_MAX) g = next++;
+          gid[r] = g;
+        }
+        *num_groups = next;
+        return gid;
+      }
+      case ColumnKind::kInt64: {
+        std::unordered_map<int64_t, uint32_t> of_key;
+        of_key.reserve(n / 4 + 1);
+        for (size_t r = 0; r < n; ++r) {
+          auto [it, inserted] = of_key.emplace(col.i64[r], next);
+          if (inserted) ++next;
+          gid[r] = it->second;
+        }
+        *num_groups = next;
+        return gid;
+      }
+      case ColumnKind::kDouble: {
+        std::unordered_map<double, uint32_t> of_key;
+        of_key.reserve(n / 4 + 1);
+        for (size_t r = 0; r < n; ++r) {
+          auto [it, inserted] = of_key.emplace(col.f64[r], next);
+          if (inserted) ++next;
+          gid[r] = it->second;
+        }
+        *num_groups = next;
+        return gid;
+      }
+      case ColumnKind::kBool: {
+        uint32_t of_bool[2] = {UINT32_MAX, UINT32_MAX};
+        for (size_t r = 0; r < n; ++r) {
+          uint32_t& g = of_bool[col.b8[r] != 0 ? 1 : 0];
+          if (g == UINT32_MAX) g = next++;
+          gid[r] = g;
+        }
+        *num_groups = next;
+        return gid;
+      }
+    }
+  }
+  std::unordered_map<Value, uint32_t, ValueHash> of_value;
+  for (size_t r = 0; r < n; ++r) {
+    auto [it, inserted] = of_value.emplace(table.GetValue(r, attr), next);
+    if (inserted) ++next;
+    gid[r] = it->second;
+  }
+  *num_groups = next;
+  return gid;
+}
+
 }  // namespace
 
 WhatIfEngine::WhatIfEngine(const Database* db,
@@ -271,6 +699,10 @@ Result<std::string> WhatIfEngine::Explain(const sql::WhatIfStmt& stmt) const {
 }
 
 Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
+  return options_.use_columnar ? RunColumnar(stmt) : RunRows(stmt);
+}
+
+Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
   Stopwatch total_timer;
   WhatIfResult result;
 
@@ -283,43 +715,10 @@ Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
     return Status::InvalidArgument("relevant view is empty");
   }
 
-  const BackdoorMode mode =
-      graph_ == nullptr ? BackdoorMode::kAllAttributes : options_.backdoor;
-
-  // Causal name <-> view column maps.
-  auto causal_of = [&](const std::string& col) -> std::string {
-    auto it = q.view_info.causal_of_column.find(col);
-    return it == q.view_info.causal_of_column.end() ? std::string() : it->second;
-  };
-  std::unordered_map<std::string, std::string> column_of_causal;
-  for (const auto& [col, attr] : q.view_info.causal_of_column) {
-    column_of_causal.emplace(attr, col);
-  }
-
-  // Update columns, S membership, and deterministic post-update values.
-  std::vector<size_t> update_cols;
-  for (const UpdateSpec& u : q.updates) {
-    HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(u.attribute));
-    update_cols.push_back(idx);
-  }
-  // Multi-update soundness (§3.1): updated attributes must be causally
-  // unrelated to each other.
-  if (mode == BackdoorMode::kGraph && q.updates.size() > 1) {
-    for (size_t i = 0; i < q.updates.size(); ++i) {
-      const std::string bi = causal_of(q.updates[i].attribute);
-      if (!graph_->HasNode(bi)) continue;
-      const auto desc = graph_->Descendants(bi);
-      for (size_t j = 0; j < q.updates.size(); ++j) {
-        if (i == j) continue;
-        if (desc.count(causal_of(q.updates[j].attribute)) > 0) {
-          return Status::InvalidArgument(
-              "multi-attribute update requires causally unrelated "
-              "attributes: '" + q.updates[i].attribute + "' affects '" +
-              q.updates[j].attribute + "'");
-        }
-      }
-    }
-  }
+  HYPER_ASSIGN_OR_RETURN(WhatIfPlan plan,
+                         BuildWhatIfPlan(q, graph_, options_.backdoor));
+  const std::vector<size_t>& update_cols = plan.update_cols;
+  result.backdoor = plan.backdoor_causal;
 
   std::vector<bool> in_s(n, true);
   if (q.when != nullptr) {
@@ -345,86 +744,15 @@ Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
   }
   result.updated_rows = updated;
 
-  // Random columns: mutable view columns that an update can actually move.
-  // With a causal graph these are the causal descendants of the update
-  // attributes; without one, every mutable non-update attribute.
-  std::set<std::string> random_cols;
-  {
-    std::set<std::string> update_names;
-    for (const UpdateSpec& u : q.updates) update_names.insert(u.attribute);
-    if (mode == BackdoorMode::kGraph) {
-      std::unordered_set<std::string> desc;
-      for (const UpdateSpec& u : q.updates) {
-        const std::string b = causal_of(u.attribute);
-        if (!graph_->HasNode(b)) continue;
-        for (const std::string& d : graph_->Descendants(b)) desc.insert(d);
-      }
-      for (const AttributeDef& attr : vschema.attributes()) {
-        if (attr.mutability == Mutability::kImmutable) continue;
-        if (update_names.count(attr.name) > 0) continue;
-        if (desc.count(causal_of(attr.name)) > 0) random_cols.insert(attr.name);
-      }
-    } else {
-      for (const AttributeDef& attr : vschema.attributes()) {
-        if (attr.mutability == Mutability::kImmutable) continue;
-        if (update_names.count(attr.name) > 0) continue;
-        random_cols.insert(attr.name);
-      }
-    }
-  }
-
-  // Post-referenced target columns (for backdoor computation and feature
-  // exclusion): random columns mentioned under Post(...) in For / Output.
-  // Columns referenced only through Pre(...) are conditioning attributes,
-  // not outcomes.
-  std::set<std::string> target_cols;
-  {
-    std::vector<std::string> cols;
-    if (q.for_pred != nullptr) CollectPostColumnRefs(*q.for_pred, &cols);
-    if (q.output_value != nullptr) {
-      sql::CollectColumnRefs(*q.output_value, &cols);
-    }
-    for (const std::string& col : cols) {
-      if (random_cols.count(col) > 0) target_cols.insert(col);
-    }
-  }
-
-  // psi cross-tuple summary features (§2.2 / §A.3.2): when the graph has a
-  // cross-tuple edge out of an update attribute, the group mean of that
-  // attribute over the link group becomes a feature, recomputed post-update
-  // — this is how updating Asus prices moves Vaio ratings.
-  struct PsiSpec {
-    size_t update_index;   // into q.updates
-    size_t link_col;       // view column of the link attribute
-    std::string name;
-  };
-  std::vector<PsiSpec> psi_specs;
-  if (mode == BackdoorMode::kGraph) {
-    for (size_t j = 0; j < q.updates.size(); ++j) {
-      const std::string b = causal_of(q.updates[j].attribute);
-      for (const causal::CausalEdge& e : graph_->edges()) {
-        if (!e.is_cross_tuple() || e.from != b) continue;
-        auto link_col = column_of_causal.find(e.link_attribute);
-        std::string link_name = link_col != column_of_causal.end()
-                                    ? link_col->second
-                                    : e.link_attribute;
-        if (!vschema.Contains(link_name)) continue;
-        PsiSpec spec;
-        spec.update_index = j;
-        spec.link_col = vschema.IndexOf(link_name).value();
-        spec.name = "psi_" + q.updates[j].attribute;
-        psi_specs.push_back(std::move(spec));
-        break;  // one psi per update attribute
-      }
-    }
-  }
+  const std::set<std::string>& random_cols = plan.random_cols;
+  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = plan.psi_specs;
 
   // Group means for psi features (pre and post).
   std::vector<std::vector<double>> psi_pre(psi_specs.size()),
       psi_post(psi_specs.size());
   std::vector<bool> psi_changed(n, false);
   for (size_t p = 0; p < psi_specs.size(); ++p) {
-    const PsiSpec& spec = psi_specs[p];
+    const WhatIfPlan::PsiSpec& spec = psi_specs[p];
     const size_t bcol = update_cols[spec.update_index];
     std::unordered_map<Value, std::pair<double, double>, ValueHash> sums;
     std::unordered_map<Value, size_t, ValueHash> counts;
@@ -450,92 +778,9 @@ Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
     }
   }
 
-  // Adjustment set C (Equation 1) per the backdoor mode.
-  std::vector<std::string> backdoor_cols;
-  {
-    std::set<std::string> chosen;  // causal names
-    if (mode == BackdoorMode::kGraph) {
-      for (const UpdateSpec& u : q.updates) {
-        const std::string b = causal_of(u.attribute);
-        if (!graph_->HasNode(b)) continue;
-        for (const std::string& target : target_cols) {
-          const std::string y = causal_of(target);
-          if (!graph_->HasNode(y)) continue;
-          auto set = causal::MinimalBackdoorSet(*graph_, b, y);
-          if (!set.ok()) continue;  // disconnected: nothing to adjust
-          for (const std::string& c : *set) chosen.insert(c);
-        }
-      }
-    } else if (mode == BackdoorMode::kAllAttributes) {
-      std::set<std::string> excluded = target_cols;
-      for (const UpdateSpec& u : q.updates) excluded.insert(u.attribute);
-      for (const std::string& k : q.view_info.view_key_columns) {
-        excluded.insert(k);
-      }
-      for (const AttributeDef& attr : vschema.attributes()) {
-        if (excluded.count(attr.name) > 0) continue;
-        chosen.insert(causal_of(attr.name).empty() ? attr.name
-                                                   : causal_of(attr.name));
-      }
-    }  // kUpdateOnly: empty set
-    for (const std::string& c : chosen) {
-      auto it = column_of_causal.find(c);
-      const std::string col = it != column_of_causal.end() ? it->second : c;
-      if (vschema.Contains(col)) {
-        backdoor_cols.push_back(col);
-        result.backdoor.push_back(c);
-      }
-    }
-    std::sort(backdoor_cols.begin(), backdoor_cols.end());
-    std::sort(result.backdoor.begin(), result.backdoor.end());
-  }
-
-  // Conditioning attributes from the For operator (§5.5, Figure 11a): the
-  // estimation of Proposition 2 conditions on mu_For,Pre, so attributes
-  // referenced by pre-update conditions join the regressor features. Only
-  // non-descendants of the update attributes qualify — conditioning on a
-  // mediator's pre-value would block part of the causal path. The Indep
-  // baseline skips these (it conditions on nothing but the update).
-  std::vector<std::string> conditioning_cols;
-  if (q.for_pred != nullptr && mode != BackdoorMode::kUpdateOnly) {
-    std::unordered_set<std::string> descendants_of_updates;
-    if (mode == BackdoorMode::kGraph) {
-      for (const UpdateSpec& u : q.updates) {
-        const std::string b = causal_of(u.attribute);
-        if (!graph_->HasNode(b)) continue;
-        for (const std::string& d : graph_->Descendants(b)) {
-          descendants_of_updates.insert(d);
-        }
-      }
-    }
-    std::set<std::string> existing(backdoor_cols.begin(),
-                                   backdoor_cols.end());
-    for (const UpdateSpec& u : q.updates) existing.insert(u.attribute);
-    for (const std::string& k : q.view_info.view_key_columns) {
-      existing.insert(k);
-    }
-    std::vector<std::string> refs;
-    sql::CollectColumnRefs(*q.for_pred, &refs);
-    for (const std::string& col : refs) {
-      if (existing.count(col) > 0) continue;
-      if (target_cols.count(col) > 0) continue;
-      if (random_cols.count(col) > 0) continue;  // mutable descendants
-      if (mode == BackdoorMode::kGraph &&
-          descendants_of_updates.count(causal_of(col)) > 0) {
-        continue;
-      }
-      if (!vschema.Contains(col)) continue;
-      conditioning_cols.push_back(col);
-      existing.insert(col);
-    }
-  }
-
-  // Feature layout: update attributes, then backdoor columns, then For
-  // conditioning columns, then psi.
-  std::vector<std::string> feature_cols;
-  for (const UpdateSpec& u : q.updates) feature_cols.push_back(u.attribute);
-  for (const std::string& c : backdoor_cols) feature_cols.push_back(c);
-  for (const std::string& c : conditioning_cols) feature_cols.push_back(c);
+  // Feature layout from the shared plan: update attributes, then backdoor
+  // columns, then For conditioning columns, then psi.
+  const std::vector<std::string>& feature_cols = plan.feature_cols;
   HYPER_ASSIGN_OR_RETURN(learn::FeatureEncoder encoder,
                          learn::FeatureEncoder::Fit(view, feature_cols));
 
@@ -648,27 +893,8 @@ Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
     return &ins->second;
   };
 
-  // Block-independent decomposition (§3.3).
-  std::vector<std::vector<size_t>> block_rows;
-  if (options_.use_blocks && graph_ != nullptr) {
-    auto components = causal::TupleComponents::Build(*graph_, *db_);
-    if (components.ok()) {
-      std::unordered_map<size_t, size_t> block_index;
-      for (size_t r = 0; r < n; ++r) {
-        auto block = components->BlockOf(causal::TupleId{
-            q.view_info.update_relation, q.view_info.view_row_to_tid[r]});
-        const size_t b = block.ok() ? *block : 0;
-        auto [it, inserted] = block_index.emplace(b, block_rows.size());
-        if (inserted) block_rows.emplace_back();
-        block_rows[it->second].push_back(r);
-      }
-    }
-  }
-  if (block_rows.empty()) {
-    block_rows.emplace_back();
-    block_rows[0].resize(n);
-    for (size_t r = 0; r < n; ++r) block_rows[0][r] = r;
-  }
+  const std::vector<std::vector<size_t>> block_rows =
+      BuildBlockRows(q, *db_, graph_, options_.use_blocks, n);
   result.num_blocks = block_rows.size();
 
   // Main evaluation loop.
@@ -742,6 +968,464 @@ Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
       acc.Add(weight, weighted_value);
     }
     acc.EndBlock();
+  }
+
+  result.num_patterns = patterns.size();
+  result.train_seconds = train_seconds;
+  HYPER_ASSIGN_OR_RETURN(result.value, acc.Finish());
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<WhatIfResult> WhatIfEngine::RunColumnar(
+    const sql::WhatIfStmt& stmt) const {
+  Stopwatch total_timer;
+  WhatIfResult result;
+
+  HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(*db_, stmt));
+  const Table& view = q.view_info.view;
+  const Schema& vschema = view.schema();
+  const size_t n = view.num_rows();
+  result.view_rows = n;
+  if (n == 0) {
+    return Status::InvalidArgument("relevant view is empty");
+  }
+
+  // Columnar image of the view, built once per query. Shapes the substrate
+  // cannot represent (a column mixing strings with numbers) fall back to the
+  // row interpreter.
+  auto cview_result = ColumnTable::FromTable(view);
+  if (!cview_result.ok()) return RunRows(stmt);
+  const ColumnTable& cview = *cview_result;
+  const std::vector<relational::ScopedTuple> scope{
+      relational::ScopedTuple{vschema.relation_name(), &vschema}};
+
+  HYPER_ASSIGN_OR_RETURN(WhatIfPlan plan,
+                         BuildWhatIfPlan(q, graph_, options_.backdoor));
+  const std::vector<size_t>& update_cols = plan.update_cols;
+  const std::set<std::string>& random_cols = plan.random_cols;
+  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = plan.psi_specs;
+  result.backdoor = plan.backdoor_causal;
+
+  // S membership from the When predicate, via the vectorized mask kernel.
+  HYPER_ASSIGN_OR_RETURN(std::vector<uint8_t> s_mask,
+                         relational::EvalPredicateMask(q.when.get(), cview));
+  std::vector<bool> in_s(n);
+  size_t updated = 0;
+  for (size_t r = 0; r < n; ++r) {
+    in_s[r] = s_mask[r] != 0;
+    if (in_s[r]) ++updated;
+  }
+  result.updated_rows = updated;
+
+  // Typed numeric read with Value::AsDouble error semantics.
+  auto read_double = [&](const Column& col, size_t r) -> Result<double> {
+    if (col.is_null(r)) {
+      return Status::InvalidArgument("cannot coerce NULL to a number");
+    }
+    switch (col.kind) {
+      case ColumnKind::kInt64: return static_cast<double>(col.i64[r]);
+      case ColumnKind::kDouble: return col.f64[r];
+      case ColumnKind::kBool: return col.b8[r] != 0 ? 1.0 : 0.0;
+      case ColumnKind::kCode:
+        return Status::InvalidArgument("cannot coerce string '" +
+                                       cview.dict().at(col.codes[r]) +
+                                       "' to a number");
+    }
+    return Status::Internal("unhandled column kind");
+  };
+
+  // Deterministic post image u = f(b) on S, held as per-attribute overrides
+  // instead of materialized post rows: Set updates are a constant, scale and
+  // shift are per-row doubles over S.
+  struct UpdatePost {
+    bool is_set = true;
+    std::vector<double> per_row;  // valid on S rows for scale/shift
+  };
+  std::vector<UpdatePost> upost(q.updates.size());
+  relational::PostImage post_image;
+  for (size_t j = 0; j < q.updates.size(); ++j) {
+    const UpdateSpec& u = q.updates[j];
+    if (u.func == sql::UpdateFuncKind::kSet) {
+      upost[j].is_set = true;
+      post_image.SetConst(update_cols[j], u.constant);
+      continue;
+    }
+    upost[j].is_set = false;
+    upost[j].per_row.assign(n, 0.0);
+    if (updated > 0) {
+      HYPER_ASSIGN_OR_RETURN(double c, u.constant.AsDouble());
+      const Column& col = cview.col(update_cols[j]);
+      for (size_t r = 0; r < n; ++r) {
+        if (!in_s[r]) continue;
+        HYPER_ASSIGN_OR_RETURN(double p, read_double(col, r));
+        upost[j].per_row[r] =
+            u.func == sql::UpdateFuncKind::kScale ? c * p : c + p;
+      }
+    }
+    post_image.SetPerRowDouble(update_cols[j], upost[j].per_row);
+  }
+  post_image.set_active(&in_s);
+
+  // Group means for psi features: grouped by dictionary codes / machine
+  // words, accumulated in row order (bit-identical to the row path).
+  std::vector<std::vector<double>> psi_pre(psi_specs.size()),
+      psi_post(psi_specs.size());
+  std::vector<bool> psi_changed(n, false);
+  for (size_t p = 0; p < psi_specs.size(); ++p) {
+    const WhatIfPlan::PsiSpec& spec = psi_specs[p];
+    const size_t bcol = update_cols[spec.update_index];
+    const Column& bc = cview.col(bcol);
+    const UpdatePost& up = upost[spec.update_index];
+    double set_double = 0.0;
+    if (up.is_set && updated > 0) {
+      HYPER_ASSIGN_OR_RETURN(
+          set_double, q.updates[spec.update_index].constant.AsDouble());
+    }
+    std::vector<double> pre_b(n), post_b(n);
+    for (size_t r = 0; r < n; ++r) {
+      HYPER_ASSIGN_OR_RETURN(pre_b[r], read_double(bc, r));
+      post_b[r] = in_s[r] ? (up.is_set ? set_double : up.per_row[r])
+                          : pre_b[r];
+    }
+    uint32_t num_groups = 0;
+    HYPER_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> gid,
+        GroupIdsForColumn(cview, spec.link_col, &num_groups));
+    std::vector<double> sum_pre(num_groups, 0.0), sum_post(num_groups, 0.0);
+    std::vector<size_t> counts(num_groups, 0);
+    for (size_t r = 0; r < n; ++r) {
+      sum_pre[gid[r]] += pre_b[r];
+      sum_post[gid[r]] += post_b[r];
+      ++counts[gid[r]];
+    }
+    psi_pre[p].resize(n);
+    psi_post[p].resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      const uint32_t g = gid[r];
+      const double c = static_cast<double>(counts[g]);
+      psi_pre[p][r] = sum_pre[g] / c;
+      psi_post[p][r] = sum_post[g] / c;
+      if (std::fabs(psi_pre[p][r] - psi_post[p][r]) > 1e-12) {
+        psi_changed[r] = true;
+      }
+    }
+  }
+
+  // Feature layout from the shared plan: update attributes, then backdoor
+  // columns, then For conditioning columns, then psi.
+  const std::vector<std::string>& feature_cols = plan.feature_cols;
+  HYPER_ASSIGN_OR_RETURN(learn::FeatureEncoder encoder,
+                         learn::FeatureEncoder::Fit(cview, feature_cols));
+  const size_t num_features = feature_cols.size();
+
+  // Quantile grids for the frequency estimator's continuous features.
+  std::vector<std::optional<learn::QuantileDiscretizer>> feature_disc(
+      num_features);
+  if (options_.estimator == learn::EstimatorKind::kFrequency) {
+    for (size_t j = 0; j < num_features; ++j) {
+      const size_t col = vschema.IndexOf(feature_cols[j]).value();
+      if (vschema.attribute(col).type != ValueType::kDouble) continue;
+      const Column& c = cview.col(col);
+      if (c.kind == ColumnKind::kCode) continue;
+      std::vector<double> values;
+      values.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        if (c.is_null(r)) continue;
+        auto v = read_double(c, r);
+        if (v.ok()) values.push_back(*v);
+      }
+      auto disc = learn::QuantileDiscretizer::FitToData(std::move(values), 16);
+      if (disc.ok()) feature_disc[j] = *disc;
+    }
+  }
+  auto snap_feature = [&](size_t j, double v) {
+    return feature_disc[j].has_value()
+               ? feature_disc[j]->Representative(feature_disc[j]->BucketOf(v))
+               : v;
+  };
+
+  // Encoded (and snapped) feature columns for every row, in one typed pass
+  // per feature.
+  std::vector<std::vector<double>> feat(num_features);
+  for (size_t j = 0; j < num_features; ++j) {
+    HYPER_ASSIGN_OR_RETURN(feat[j], encoder.EncodeColumn(cview, j));
+    if (feature_disc[j].has_value()) {
+      for (size_t r = 0; r < n; ++r) feat[j][r] = snap_feature(j, feat[j][r]);
+    }
+  }
+
+  // Training rows (HypeR-sampled caps them).
+  std::vector<size_t> train_rows;
+  if (options_.sample_size > 0 && options_.sample_size < n) {
+    Rng rng(options_.seed);
+    train_rows = rng.SampleWithoutReplacement(n, options_.sample_size);
+  } else {
+    train_rows.resize(n);
+    for (size_t r = 0; r < n; ++r) train_rows[r] = r;
+  }
+
+  Stopwatch train_timer;
+  double train_seconds = 0.0;
+
+  // Training features: pure double copies out of the encoded columns.
+  learn::Matrix train_x;
+  train_x.reserve(train_rows.size());
+  for (size_t r : train_rows) {
+    std::vector<double> x;
+    x.reserve(num_features + psi_specs.size());
+    for (size_t j = 0; j < num_features; ++j) x.push_back(feat[j][r]);
+    for (size_t p = 0; p < psi_specs.size(); ++p) x.push_back(psi_pre[p][r]);
+    train_x.push_back(std::move(x));
+  }
+
+  // Observed output values (Sum/Avg only), via the compiled output
+  // expression evaluated observationally (Post reads the pre image).
+  std::optional<relational::ColumnBoundExpr> out_eval;
+  std::vector<double> y_obs;
+  if (q.output_value != nullptr) {
+    HYPER_ASSIGN_OR_RETURN(
+        relational::CompiledExpr ce,
+        relational::CompiledExpr::Compile(*q.output_value, scope));
+    HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
+                           relational::ColumnBoundExpr::Bind(ce, cview));
+    out_eval = std::move(be);
+    y_obs.resize(train_rows.size());
+    for (size_t i = 0; i < train_rows.size(); ++i) {
+      HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
+                             out_eval->Eval(train_rows[i]));
+      HYPER_ASSIGN_OR_RETURN(y_obs[i], v.AsDouble());
+    }
+  }
+
+  // One folded residual per distinct hole-value vector, with the pattern
+  // estimators trained lazily on the first affected tuple that needs them.
+  struct ResidualEntry {
+    bool is_literal = false;
+    bool literal_value = false;
+    std::string key;
+    ExprPtr residual;
+    std::optional<relational::ColumnBoundExpr> exact;  // absent for literals
+    PatternEstimators* pattern = nullptr;
+  };
+  std::vector<std::unique_ptr<ResidualEntry>> entries;
+  std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
+                     ValueVectorEq>
+      entry_cache;
+  auto make_entry = [&](ExprPtr residual) -> Result<uint32_t> {
+    auto e = std::make_unique<ResidualEntry>();
+    bool lit = false;
+    e->is_literal = IsBoolLiteral(*residual, &lit);
+    e->literal_value = lit;
+    e->key = residual->ToString();
+    if (!e->is_literal) {
+      HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr ce,
+                             relational::CompiledExpr::Compile(*residual,
+                                                              scope));
+      HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
+                             relational::ColumnBoundExpr::Bind(ce, cview));
+      e->exact = std::move(be);
+    }
+    e->residual = std::move(residual);
+    entries.push_back(std::move(e));
+    return static_cast<uint32_t>(entries.size() - 1);
+  };
+
+  std::unordered_map<std::string, PatternEstimators> patterns;
+  auto train_pattern = [&](const ResidualEntry& e)
+      -> Result<PatternEstimators*> {
+    auto it = patterns.find(e.key);
+    if (it != patterns.end()) return &it->second;
+    train_timer.Restart();
+    PatternEstimators pat;
+    pat.literal = e.is_literal;
+    pat.literal_value = e.literal_value;
+
+    std::vector<double> ind(train_rows.size(), 1.0);
+    if (!e.is_literal) {
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        HYPER_ASSIGN_OR_RETURN(bool b, e.exact->EvalBool(train_rows[i]));
+        ind[i] = b ? 1.0 : 0.0;
+      }
+      pat.weight = MakeEstimator(options_);
+      HYPER_RETURN_NOT_OK(pat.weight->Fit(train_x, ind));
+    }
+    if (q.output_value != nullptr && !(e.is_literal && !e.literal_value)) {
+      std::vector<double> value_target(train_rows.size());
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        value_target[i] = y_obs[i] * ind[i];
+      }
+      pat.value = MakeEstimator(options_);
+      HYPER_RETURN_NOT_OK(pat.value->Fit(train_x, value_target));
+    }
+    train_seconds += train_timer.ElapsedSeconds();
+    auto [ins, _] = patterns.emplace(e.key, std::move(pat));
+    return &ins->second;
+  };
+
+  // Hole plan for the For predicate: compile every maximal determined
+  // subtree once against the columnar view + post image.
+  std::unordered_set<const Expr*> random_nodes;
+  std::vector<const Expr*> hole_exprs;
+  std::unordered_map<const Expr*, size_t> hole_of;
+  std::vector<relational::ColumnBoundExpr> hole_eval;
+  if (q.for_pred != nullptr) {
+    MarkRandom(*q.for_pred, random_cols, &random_nodes);
+    CollectHoles(*q.for_pred, random_nodes, &hole_exprs, &hole_of);
+    hole_eval.reserve(hole_exprs.size());
+    for (const Expr* h : hole_exprs) {
+      HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr ce,
+                             relational::CompiledExpr::Compile(*h, scope));
+      HYPER_ASSIGN_OR_RETURN(
+          relational::ColumnBoundExpr be,
+          relational::ColumnBoundExpr::Bind(ce, cview, &post_image));
+      hole_eval.push_back(std::move(be));
+    }
+  }
+
+  // Pass A (sequential): resolve each row to its residual entry and train
+  // the pattern estimators needed by affected rows, in row order.
+  std::vector<uint32_t> entry_of_row(n);
+  uint32_t true_entry = UINT32_MAX;
+  if (q.for_pred == nullptr) {
+    HYPER_ASSIGN_OR_RETURN(true_entry,
+                           make_entry(sql::MakeLiteral(Value::Bool(true))));
+  }
+  std::vector<Value> scratch;
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t id;
+    if (q.for_pred == nullptr) {
+      id = true_entry;
+    } else {
+      scratch.clear();
+      for (const relational::ColumnBoundExpr& he : hole_eval) {
+        HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(r));
+        scratch.push_back(s.ToValue());
+      }
+      auto it = entry_cache.find(scratch);
+      if (it != entry_cache.end()) {
+        id = it->second;
+      } else {
+        ExprPtr residual = FoldFromHoles(*q.for_pred, hole_of, scratch);
+        HYPER_ASSIGN_OR_RETURN(id, make_entry(std::move(residual)));
+        entry_cache.emplace(scratch, id);
+      }
+    }
+    entry_of_row[r] = id;
+    ResidualEntry& e = *entries[id];
+    if (e.is_literal && !e.literal_value) continue;  // disqualified
+    if ((in_s[r] || psi_changed[r]) && e.pattern == nullptr) {
+      HYPER_ASSIGN_OR_RETURN(e.pattern, train_pattern(e));
+    }
+  }
+
+  // Encoded Set-update feature values (one per update, not per row).
+  std::vector<double> set_feature(q.updates.size(), 0.0);
+  if (updated > 0) {
+    for (size_t j = 0; j < q.updates.size(); ++j) {
+      if (!upost[j].is_set) continue;
+      HYPER_ASSIGN_OR_RETURN(double f,
+                             encoder.EncodeValue(j, q.updates[j].constant));
+      set_feature[j] = snap_feature(j, f);
+    }
+  }
+
+  const std::vector<std::vector<size_t>> block_rows =
+      BuildBlockRows(q, *db_, graph_, options_.use_blocks, n);
+  result.num_blocks = block_rows.size();
+
+  // Pass B (parallel): blocks are independent (§3.3), so each one is
+  // evaluated on its own accumulator — estimators are read-only here — and
+  // the partials merge in block order, bit-identical to a sequential fold.
+  std::vector<std::pair<double, double>> partials(block_rows.size(),
+                                                  {0.0, 0.0});
+  std::vector<Status> block_status(block_rows.size());
+  auto eval_block = [&](size_t b) -> Status {
+    prob::BlockAccumulator bacc(q.output_agg);
+    bacc.BeginBlock();
+    std::vector<double> x;
+    x.reserve(num_features + psi_specs.size());
+    for (size_t r : block_rows[b]) {
+      const ResidualEntry& e = *entries[entry_of_row[r]];
+      if (e.is_literal && !e.literal_value) continue;  // disqualified
+      const bool affected = in_s[r] || psi_changed[r];
+      if (!affected) {
+        // Unchanged tuple: post == pre, everything is exact.
+        bool qualifies = e.literal_value;
+        if (!e.is_literal) {
+          auto qr = e.exact->EvalBool(r);
+          if (!qr.ok()) return qr.status();
+          qualifies = *qr;
+        }
+        if (!qualifies) continue;
+        double value = 0.0;
+        if (out_eval.has_value()) {
+          auto vr = out_eval->Eval(r);
+          if (!vr.ok()) return vr.status();
+          auto dr = vr->AsDouble();
+          if (!dr.ok()) return dr.status();
+          value = *dr;
+        }
+        bacc.Add(1.0, value);
+        continue;
+      }
+
+      // Affected tuple: estimate at the post-update feature point.
+      const PatternEstimators* pat = e.pattern;
+      x.clear();
+      for (size_t j = 0; j < q.updates.size(); ++j) {
+        if (!in_s[r]) {
+          x.push_back(feat[j][r]);
+        } else if (upost[j].is_set) {
+          x.push_back(set_feature[j]);
+        } else {
+          x.push_back(snap_feature(j, upost[j].per_row[r]));
+        }
+      }
+      for (size_t j = q.updates.size(); j < num_features; ++j) {
+        x.push_back(feat[j][r]);
+      }
+      for (size_t p = 0; p < psi_specs.size(); ++p) {
+        x.push_back(psi_post[p][r]);
+      }
+
+      const double weight =
+          pat->literal ? (pat->literal_value ? 1.0 : 0.0)
+                       : Clamp01(pat->weight->Predict(x));
+      if (weight <= 0.0) continue;
+      double weighted_value = 0.0;
+      if (pat->value != nullptr) {
+        weighted_value = pat->value->Predict(x);
+      }
+      bacc.Add(weight, weighted_value);
+    }
+    bacc.EndBlock();
+    partials[b] = {bacc.numerator(), bacc.denominator()};
+    return Status::OK();
+  };
+
+  const size_t threads = options_.num_threads == 0
+                             ? ThreadPool::DefaultThreads()
+                             : options_.num_threads;
+  if (threads <= 1 || block_rows.size() <= 1) {
+    for (size_t b = 0; b < block_rows.size(); ++b) {
+      block_status[b] = eval_block(b);
+    }
+  } else {
+    // Any parallel setting shares the process-wide hardware-sized pool:
+    // spawning threads per query would dominate small queries, and the
+    // block merge is order-fixed, so the answer never depends on the
+    // worker count anyway.
+    ThreadPool::Shared().ParallelFor(
+        block_rows.size(), [&](size_t b) { block_status[b] = eval_block(b); });
+  }
+  for (const Status& s : block_status) {
+    HYPER_RETURN_NOT_OK(s);
+  }
+
+  prob::BlockAccumulator acc(q.output_agg);
+  for (const auto& [num, den] : partials) {
+    acc.MergeBlockPartial(num, den);
   }
 
   result.num_patterns = patterns.size();

@@ -45,6 +45,16 @@ struct WhatIfOptions {
   /// switches to a single block — same value, used by the ablation bench.
   bool use_blocks = true;
   uint64_t seed = 7;
+  /// Route the tuple scans through the columnar substrate with compiled
+  /// expressions (default). Off = the legacy row-store interpreter path,
+  /// kept for A/B benchmarking; both paths return identical answers.
+  bool use_columnar = true;
+  /// Worker threads for the independent-block loop (columnar path only):
+  /// 1 = single-threaded, anything else = the process-wide hardware-sized
+  /// pool (0 is the default). Blocks are evaluated on separate accumulators
+  /// and merged in block order, so the answer is bit-for-bit identical for
+  /// every setting.
+  size_t num_threads = 0;
 };
 
 struct WhatIfResult {
@@ -84,6 +94,12 @@ class WhatIfEngine {
   const WhatIfOptions& options() const { return options_; }
 
  private:
+  /// Legacy interpreter: row store + per-row Env lookups.
+  Result<WhatIfResult> RunRows(const sql::WhatIfStmt& stmt) const;
+  /// Columnar path: dictionary-encoded columns, compiled expressions,
+  /// memoized residual folding and a parallel block loop.
+  Result<WhatIfResult> RunColumnar(const sql::WhatIfStmt& stmt) const;
+
   const Database* db_;
   const causal::CausalGraph* graph_;  // nullable
   WhatIfOptions options_;

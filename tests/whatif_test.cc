@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "causal/scm.h"
+#include "data/datasets.h"
 #include "sql/parser.h"
 #include "whatif/compile.h"
 #include "whatif/engine.h"
@@ -452,6 +453,152 @@ TEST(CompileTest, UnknownForAttributeFails) {
                   "Use R Update(B) = 1 Output Count(*) For Pre(Zzz) = 1")
                   .value();
   EXPECT_FALSE(CompileWhatIf(db, *stmt.whatif).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Columnar path: the columnar + compiled-expression substrate must return
+// exactly what the legacy row interpreter returns, and the parallel block
+// loop must reproduce the single-threaded answer bit for bit.
+// ---------------------------------------------------------------------------
+
+struct PathQuery {
+  const char* name;
+  const char* sql;
+};
+
+const PathQuery kPathQueries[] = {
+    {"count-for", "Use German Update(Status) = 3 Output Count(Credit = 1) "
+                  "For Pre(Age) = 1"},
+    {"count-nofor", "Use German Update(Status) = 3 Output Count(Credit = 1)"},
+    {"avg", "Use German Update(Status) = 3 Output Avg(Credit) "
+            "For Pre(Age) = 1"},
+    {"sum-when", "Use German When Age = 1 Update(Status) = 2 "
+                 "Output Sum(Credit)"},
+    {"scale", "Use German When Sex = 1 Update(Status) = 2 "
+              "Output Count(Credit = 1)"},
+};
+
+TEST(ColumnarPathTest, MatchesRowPathOnGerman) {
+  data::GermanOptions opt;
+  opt.rows = 1500;
+  auto ds = data::MakeGermanSyn(opt);
+  ASSERT_TRUE(ds.ok());
+  for (auto estimator :
+       {learn::EstimatorKind::kFrequency, learn::EstimatorKind::kForest}) {
+    for (const PathQuery& q : kPathQueries) {
+      WhatIfOptions options;
+      options.estimator = estimator;
+      options.forest.num_trees = 4;
+      options.use_columnar = false;
+      WhatIfEngine rows(&ds->db, &ds->graph, options);
+      options.use_columnar = true;
+      options.num_threads = 1;
+      WhatIfEngine columnar(&ds->db, &ds->graph, options);
+
+      auto a = rows.RunSql(q.sql);
+      auto b = columnar.RunSql(q.sql);
+      ASSERT_TRUE(a.ok()) << q.name << ": " << a.status();
+      ASSERT_TRUE(b.ok()) << q.name << ": " << b.status();
+      EXPECT_EQ(a->value, b->value) << q.name;  // bit-for-bit
+      EXPECT_EQ(a->updated_rows, b->updated_rows) << q.name;
+      EXPECT_EQ(a->num_blocks, b->num_blocks) << q.name;
+      EXPECT_EQ(a->num_patterns, b->num_patterns) << q.name;
+      EXPECT_EQ(a->backdoor, b->backdoor) << q.name;
+    }
+  }
+}
+
+TEST(ColumnarPathTest, MatchesRowPathOnAmazonView) {
+  data::AmazonOptions opt;
+  opt.products = 200;
+  opt.reviews_per_product = 4;
+  auto ds = data::MakeAmazonSyn(opt);
+  ASSERT_TRUE(ds.ok());
+  const char* query =
+      "Use V As (Select T1.PID, T1.Category, T1.Brand, T1.Price, T1.Quality, "
+      "Avg(T2.Rating) As Rtng From Product As T1, Review As T2 "
+      "Where T1.PID = T2.PID Group By T1.PID, T1.Category, T1.Brand, "
+      "T1.Price, T1.Quality) "
+      "When Category = 'Laptop' Update(Price) = 1.1 * Pre(Price) "
+      "Output Count(Rtng >= 4) For Pre(Category) = 'Laptop'";
+  for (auto mode : {BackdoorMode::kGraph, BackdoorMode::kAllAttributes,
+                    BackdoorMode::kUpdateOnly}) {
+    WhatIfOptions options;
+    options.estimator = learn::EstimatorKind::kForest;
+    options.forest.num_trees = 4;
+    options.backdoor = mode;
+    options.use_columnar = false;
+    WhatIfEngine rows(&ds->db, &ds->graph, options);
+    options.use_columnar = true;
+    options.num_threads = 1;
+    WhatIfEngine columnar(&ds->db, &ds->graph, options);
+
+    auto a = rows.RunSql(query);
+    auto b = columnar.RunSql(query);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->value, b->value) << BackdoorModeName(mode);
+    EXPECT_EQ(a->num_patterns, b->num_patterns);
+  }
+}
+
+TEST(ColumnarPathTest, ParallelBlocksAreBitForBitDeterministic) {
+  // Amazon decomposes into many independent blocks (one per product group);
+  // the sharded loop must reproduce the sequential fold exactly.
+  data::AmazonOptions opt;
+  opt.products = 150;
+  opt.reviews_per_product = 3;
+  auto ds = data::MakeAmazonSyn(opt);
+  ASSERT_TRUE(ds.ok());
+  const char* query =
+      "Use V As (Select T1.PID, T1.Category, T1.Brand, T1.Price, T1.Quality, "
+      "Avg(T2.Rating) As Rtng From Product As T1, Review As T2 "
+      "Where T1.PID = T2.PID Group By T1.PID, T1.Category, T1.Brand, "
+      "T1.Price, T1.Quality) "
+      "When Category = 'Laptop' Update(Price) = 0.9 * Pre(Price) "
+      "Output Avg(Rtng) For Pre(Category) = 'Laptop'";
+
+  double reference = 0.0;
+  size_t reference_blocks = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    WhatIfOptions options;
+    options.estimator = learn::EstimatorKind::kForest;
+    options.forest.num_trees = 4;
+    options.num_threads = threads;
+    WhatIfEngine engine(&ds->db, &ds->graph, options);
+    auto result = engine.RunSql(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GT(result->num_blocks, 1u);
+    if (threads == 1) {
+      reference = result->value;
+      reference_blocks = result->num_blocks;
+    } else {
+      EXPECT_EQ(result->value, reference)
+          << "threads=" << threads;  // bit-for-bit
+      EXPECT_EQ(result->num_blocks, reference_blocks);
+    }
+  }
+}
+
+TEST(ColumnarPathTest, RepeatedRunsAreDeterministic) {
+  data::GermanOptions opt;
+  opt.rows = 800;
+  auto ds = data::MakeGermanSyn(opt);
+  ASSERT_TRUE(ds.ok());
+  WhatIfOptions options;
+  options.estimator = learn::EstimatorKind::kForest;
+  options.forest.num_trees = 6;
+  options.sample_size = 500;  // exercises the seeded sampler too
+  WhatIfEngine engine(&ds->db, &ds->graph, options);
+  const char* query =
+      "Use German Update(Status) = 3 Output Count(Credit = 1) For Pre(Age) = 1";
+  auto first = engine.RunSql(query);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto again = engine.RunSql(query);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->value, first->value);
+  }
 }
 
 }  // namespace
