@@ -1,0 +1,249 @@
+// Scenario-service benchmark: what the serving layer saves.
+//
+//   ./build/bench_scenarios              # scaled-down german-syn
+//   ./build/bench_scenarios --full       # paper-scale
+//   ./build/bench_scenarios --smoke      # tiny + correctness gate only
+//
+// Three measurements, each gated on bit-for-bit equality with fresh
+// single-query runs (any mismatch exits non-zero, so scripts/check.sh can
+// use --smoke as a pre-merge gate):
+//
+//   1. whatif_cold_vs_warm   — the same what-if cold (prepare + train) vs
+//                              warm (plan + estimators from the cache).
+//   2. sweep_batch           — N interventions over one shared view: fresh
+//                              engine runs vs warm-cache singles vs one
+//                              SubmitWhatIfBatch against one prepared plan.
+//   3. howto_shared          — a how-to run with per-candidate retraining
+//                              (legacy) vs shared-plan candidate scoring.
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "howto/engine.h"
+#include "service/scenario_service.h"
+#include "sql/parser.h"
+#include "whatif/engine.h"
+
+using namespace hyper;
+using bench::Banner;
+using bench::CheckOk;
+using bench::Fmt;
+using bench::JsonLines;
+using bench::TablePrinter;
+using bench::Unwrap;
+
+namespace {
+
+size_t g_mismatches = 0;
+
+void CheckEqual(double fresh, double served, const std::string& what) {
+  // The service contract is bit-for-bit identity, not tolerance.
+  if (std::memcmp(&fresh, &served, sizeof(double)) != 0) {
+    std::fprintf(stderr,
+                 "[bench_scenarios] MISMATCH %s: fresh %.17g vs served "
+                 "%.17g\n",
+                 what.c_str(), fresh, served);
+    ++g_mismatches;
+  }
+}
+
+whatif::WhatIfOptions ForestOptions(size_t num_trees) {
+  whatif::WhatIfOptions options;
+  options.estimator = learn::EstimatorKind::kForest;
+  options.forest.num_trees = num_trees;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double scale = flags.ScaleOr(smoke ? 0.05 : 0.35);
+  const size_t num_trees = smoke ? 4 : 16;
+
+  data::Dataset ds = Unwrap(
+      data::MakeByName("german-syn-20k", scale, flags.seed), "make german");
+  const whatif::WhatIfOptions options = ForestOptions(num_trees);
+  JsonLines json("BENCH_scenarios.json");
+
+  const std::string query =
+      "Use German When Status = 1 Update(Status) = 2 "
+      "Output Count(Credit = 1)";
+
+  // -------------------------------------------------------------------
+  Banner("1. repeated what-if: cold vs warm plan cache");
+  service::ServiceOptions service_options;
+  service_options.whatif = options;
+  service_options.num_threads = 1;
+  service::ScenarioService service(ds.db, ds.graph, service_options);
+
+  whatif::WhatIfEngine fresh_engine(&ds.db, &ds.graph, options);
+  const whatif::WhatIfResult fresh =
+      Unwrap(fresh_engine.RunSql(query), "fresh what-if");
+
+  service::Response cold = service.Submit({"main", query, {}});
+  CheckOk(cold.status, "cold submit");
+  CheckEqual(fresh.value, cold.whatif.value, "cold what-if");
+
+  const size_t warm_reps = smoke ? 2 : 5;
+  double warm_seconds = 0.0;
+  for (size_t i = 0; i < warm_reps; ++i) {
+    service::Response warm = service.Submit({"main", query, {}});
+    CheckOk(warm.status, "warm submit");
+    CheckEqual(fresh.value, warm.whatif.value, "warm what-if");
+    if (!warm.whatif.plan_cache_hit) {
+      std::fprintf(stderr, "[bench_scenarios] warm run missed the cache\n");
+      ++g_mismatches;
+    }
+    warm_seconds += warm.whatif.total_seconds;
+  }
+  warm_seconds /= static_cast<double>(warm_reps);
+  const double cold_seconds = cold.whatif.total_seconds;
+
+  TablePrinter t1({"variant", "seconds", "speedup"});
+  t1.PrintHeader();
+  t1.PrintRow({"cold (prepare+train)", Fmt(cold_seconds), "1.0"});
+  t1.PrintRow({"warm (cached plan)", Fmt(warm_seconds),
+               Fmt(cold_seconds / warm_seconds, "%.1f")});
+  json.Record("whatif_cold_vs_warm",
+              {{"rows", static_cast<double>(fresh.view_rows)},
+               {"cold_seconds", cold_seconds},
+               {"warm_seconds", warm_seconds},
+               {"speedup", cold_seconds / warm_seconds},
+               {"equal", g_mismatches == 0 ? 1.0 : 0.0}});
+
+  // -------------------------------------------------------------------
+  Banner("2. intervention sweep: N singles vs batch on one prepared plan");
+  const size_t sweep_n = smoke ? 4 : 12;
+  std::vector<std::vector<whatif::UpdateSpec>> interventions;
+  std::vector<std::string> sweep_sql;
+  for (size_t i = 0; i < sweep_n; ++i) {
+    whatif::UpdateSpec spec;
+    spec.attribute = "Status";
+    spec.func = sql::UpdateFuncKind::kSet;
+    spec.constant = Value::Int(static_cast<int64_t>(i % 4));
+    interventions.push_back({spec});
+    sweep_sql.push_back(
+        "Use German When Status = 1 Update(Status) = " +
+        std::to_string(i % 4) + " Output Count(Credit = 1)");
+  }
+
+  // Fresh singles: a new engine run per intervention, nothing shared.
+  std::vector<double> fresh_values(sweep_n);
+  Stopwatch sweep_timer;
+  for (size_t i = 0; i < sweep_n; ++i) {
+    fresh_values[i] =
+        Unwrap(fresh_engine.RunSql(sweep_sql[i]), "sweep fresh").value;
+  }
+  const double fresh_seconds = sweep_timer.ElapsedSeconds();
+
+  // Warm-cache singles: one service, the plan is prepared once.
+  service::ScenarioService sweep_service(ds.db, ds.graph, service_options);
+  sweep_timer.Restart();
+  for (size_t i = 0; i < sweep_n; ++i) {
+    service::Response r = sweep_service.Submit({"main", sweep_sql[i], {}});
+    CheckOk(r.status, "sweep single");
+    CheckEqual(fresh_values[i], r.whatif.value, "sweep single " + sweep_sql[i]);
+  }
+  const double singles_seconds = sweep_timer.ElapsedSeconds();
+
+  // Batch: one prepared plan, one sharded pass.
+  service::ScenarioService batch_service(ds.db, ds.graph, service_options);
+  sweep_timer.Restart();
+  auto batch = Unwrap(
+      batch_service.SubmitWhatIfBatch("main", query, interventions),
+      "sweep batch");
+  const double batch_seconds = sweep_timer.ElapsedSeconds();
+  for (size_t i = 0; i < sweep_n; ++i) {
+    CheckEqual(fresh_values[i], batch[i].value,
+               "sweep batch intervention " + std::to_string(i));
+  }
+
+  TablePrinter t2({"variant", "seconds", "speedup"});
+  t2.PrintHeader();
+  t2.PrintRow({"fresh singles", Fmt(fresh_seconds), "1.0"});
+  t2.PrintRow({"warm singles", Fmt(singles_seconds),
+               Fmt(fresh_seconds / singles_seconds, "%.1f")});
+  t2.PrintRow({"one batch", Fmt(batch_seconds),
+               Fmt(fresh_seconds / batch_seconds, "%.1f")});
+  json.Record("sweep_batch",
+              {{"n", static_cast<double>(sweep_n)},
+               {"fresh_seconds", fresh_seconds},
+               {"warm_singles_seconds", singles_seconds},
+               {"batch_seconds", batch_seconds},
+               {"speedup_warm", fresh_seconds / singles_seconds},
+               {"speedup_batch", fresh_seconds / batch_seconds},
+               {"equal", g_mismatches == 0 ? 1.0 : 0.0}});
+
+  // -------------------------------------------------------------------
+  Banner("3. how-to: per-candidate retraining vs shared estimators");
+  const std::string howto_sql =
+      "Use German HowToUpdate Status, Savings "
+      "ToMaximize Count(Credit = 1)";
+  howto::HowToOptions legacy;
+  legacy.whatif = options;
+  legacy.share_plans = false;
+  howto::HowToOptions shared_options = legacy;
+  shared_options.share_plans = true;
+
+  howto::HowToEngine legacy_engine(&ds.db, &ds.graph, legacy);
+  Stopwatch howto_timer;
+  howto::HowToResult before = Unwrap(legacy_engine.RunSql(howto_sql),
+                                     "how-to legacy");
+  const double before_seconds = howto_timer.ElapsedSeconds();
+
+  howto::HowToEngine shared_engine(&ds.db, &ds.graph, shared_options);
+  howto_timer.Restart();
+  howto::HowToResult after = Unwrap(shared_engine.RunSql(howto_sql),
+                                    "how-to shared");
+  const double after_seconds = howto_timer.ElapsedSeconds();
+
+  CheckEqual(before.baseline_value, after.baseline_value, "how-to baseline");
+  CheckEqual(before.objective_value, after.objective_value,
+             "how-to objective");
+  if (before.PlanToString() != after.PlanToString()) {
+    std::fprintf(stderr, "[bench_scenarios] MISMATCH how-to plans: %s vs %s\n",
+                 before.PlanToString().c_str(), after.PlanToString().c_str());
+    ++g_mismatches;
+  }
+  for (size_t a = 0; a < before.candidates.size(); ++a) {
+    for (size_t i = 0; i < before.candidates[a].size(); ++i) {
+      CheckEqual(before.candidates[a][i].objective_value,
+                 after.candidates[a][i].objective_value,
+                 "how-to candidate " + std::to_string(a) + "/" +
+                     std::to_string(i));
+    }
+  }
+
+  TablePrinter t3({"variant", "seconds", "speedup", "trainings-saved"});
+  t3.PrintHeader();
+  t3.PrintRow({"per-candidate", Fmt(before_seconds), "1.0", "0"});
+  t3.PrintRow({"shared plans", Fmt(after_seconds),
+               Fmt(before_seconds / after_seconds, "%.1f"),
+               Fmt(static_cast<double>(after.pattern_cache_hits), "%.0f")});
+  json.Record("howto_shared",
+              {{"candidates", static_cast<double>(before.candidates_evaluated)},
+               {"legacy_seconds", before_seconds},
+               {"shared_seconds", after_seconds},
+               {"speedup", before_seconds / after_seconds},
+               {"pattern_cache_hits",
+                static_cast<double>(after.pattern_cache_hits)},
+               {"equal", g_mismatches == 0 ? 1.0 : 0.0}});
+
+  if (g_mismatches > 0) {
+    std::fprintf(stderr,
+                 "[bench_scenarios] FAILED: %zu cached-vs-fresh mismatch(es)\n",
+                 g_mismatches);
+    return 1;
+  }
+  std::printf("\nall cached/batched answers bit-identical to fresh runs\n");
+  return 0;
+}

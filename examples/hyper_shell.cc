@@ -1,18 +1,27 @@
 // Interactive HypeR shell: load a built-in dataset (or your own CSVs) and
-// run what-if / how-to / select statements against it.
+// run what-if / how-to / select statements against it — served through the
+// ScenarioService, so queries hit the shared estimator/plan cache and can
+// target named scenario branches.
 //
 //   ./build/examples/hyper_shell                 # german-syn-20k by default
-//   ./build/examples/hyper_shell student-syn
+//   ./build/examples/hyper_shell student-syn --threads 4
 //   ./build/examples/hyper_shell --csv products.csv=Product
 //                                --csv reviews.csv=Review   (repeatable)
 //
 // Shell commands:
-//   \tables               list relations
+//   \tables               list relations (of the current scenario)
 //   \schema <relation>    show a schema
 //   \graph                show the causal graph (when available)
 //   \estimator f|t        frequency / forest (tree) estimator
 //   \mode graph|nb|indep  backdoor mode
 //   \sample <n>           HypeR-sampled training cap (0 = off)
+//   \scenario list                 list scenario branches
+//   \scenario new <name> [parent]  branch a scenario (default parent: current)
+//   \scenario use <name>           switch the current scenario
+//   \scenario drop <name>          delete a branch
+//   \scenario apply <what-if>      apply the statement's deterministic update
+//                                  to the current scenario (chained updates)
+//   \cache stats|clear    shared estimator/plan cache
 //   \quit
 // Anything else is parsed as a HypeR statement (end with ';' or newline).
 
@@ -23,79 +32,99 @@
 
 #include "common/strings.h"
 #include "data/datasets.h"
-#include "howto/engine.h"
-#include "relational/select.h"
-#include "sql/parser.h"
+#include "examples/shell_common.h"
+#include "service/scenario_service.h"
 #include "storage/csv.h"
-#include "whatif/engine.h"
 
 using namespace hyper;
 
 namespace {
 
-void PrintResult(const whatif::WhatIfResult& result) {
-  std::printf("value: %.6g\n", result.value);
-  std::printf("  view rows %zu | updated %zu | blocks %zu | patterns %zu\n",
-              result.view_rows, result.updated_rows, result.num_blocks,
-              result.num_patterns);
-  if (!result.backdoor.empty()) {
-    std::printf("  adjustment set: {");
-    for (size_t i = 0; i < result.backdoor.size(); ++i) {
-      std::printf("%s%s", i ? ", " : "", result.backdoor[i].c_str());
-    }
-    std::printf("}\n");
-  }
-  std::printf("  %.3fs total (%.3fs training)\n", result.total_seconds,
-              result.train_seconds);
-}
-
-void PrintHowTo(const howto::HowToResult& result) {
-  std::printf("plan: %s\n", result.PlanToString().c_str());
-  std::printf("  objective %.6g (baseline %.6g), %zu candidates, %s solver\n",
-              result.objective_value, result.baseline_value,
-              result.candidates_evaluated,
-              result.used_mck ? "MCK" : "branch&bound");
-}
-
 struct ShellState {
-  Database db;
-  causal::CausalGraph graph;
-  bool has_graph = false;
-  whatif::WhatIfOptions options;
+  std::unique_ptr<service::ScenarioService> service;
+  std::string scenario = "main";
+  whatif::WhatIfOptions options;  // per-request override, tweakable live
 };
 
 void RunStatement(ShellState& state, const std::string& text) {
-  auto stmt = sql::ParseSql(text);
-  if (!stmt.ok()) {
-    std::printf("error: %s\n", stmt.status().ToString().c_str());
+  service::Request request;
+  request.scenario = state.scenario;
+  request.sql = text;
+  request.whatif_options = state.options;
+  service::Response response = state.service->Submit(request);
+  if (!response.ok()) {
+    std::printf("error: %s\n", response.status.ToString().c_str());
     return;
   }
-  const causal::CausalGraph* graph = state.has_graph ? &state.graph : nullptr;
-  if (stmt->whatif != nullptr) {
-    whatif::WhatIfEngine engine(&state.db, graph, state.options);
-    auto result = engine.Run(*stmt->whatif);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+  switch (response.kind) {
+    case service::Response::Kind::kWhatIf:
+      examples::PrintWhatIf(response.whatif);
+      break;
+    case service::Response::Kind::kHowTo:
+      examples::PrintHowTo(response.howto);
+      break;
+    case service::Response::Kind::kSelect:
+      std::printf("%s", response.table.ToString(20).c_str());
+      break;
+    case service::Response::Kind::kNone:
+      break;
+  }
+}
+
+void RunScenarioCommand(ShellState& state,
+                        const std::vector<std::string>& parts,
+                        const std::string& line) {
+  const std::string sub = parts.size() > 1 ? parts[1] : "list";
+  if (sub == "list") {
+    for (const service::ScenarioInfo& info :
+         state.service->ListScenarios()) {
+      std::printf("%s%s%s%s: %zu update(s), %zu overridden cell(s)\n",
+                  info.name == state.scenario ? "* " : "  ",
+                  info.name.c_str(),
+                  info.parent.empty() ? "" : " <- ",
+                  info.parent.c_str(), info.updates_applied,
+                  info.overridden_cells);
+    }
+  } else if (sub == "new" && parts.size() > 2) {
+    const std::string parent = parts.size() > 3 ? parts[3] : state.scenario;
+    Status status = state.service->CreateScenario(parts[2], parent);
+    if (status.ok()) {
+      state.scenario = parts[2];
+      std::printf("scenario '%s' branched from '%s' (now current)\n",
+                  parts[2].c_str(), parent.c_str());
+    } else {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  } else if (sub == "use" && parts.size() > 2) {
+    if (state.service->HasScenario(parts[2])) {
+      state.scenario = parts[2];
+      std::printf("scenario: %s\n", state.scenario.c_str());
+    } else {
+      std::printf("error: scenario '%s' does not exist\n", parts[2].c_str());
+    }
+  } else if (sub == "drop" && parts.size() > 2) {
+    Status status = state.service->DropScenario(parts[2]);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
       return;
     }
-    PrintResult(*result);
-  } else if (stmt->howto != nullptr) {
-    howto::HowToOptions options;
-    options.whatif = state.options;
-    howto::HowToEngine engine(&state.db, graph, options);
-    auto result = engine.Run(*stmt->howto);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      return;
+    if (state.scenario == parts[2]) state.scenario = "main";
+    std::printf("dropped '%s' (current: %s)\n", parts[2].c_str(),
+                state.scenario.c_str());
+  } else if (sub == "apply") {
+    const size_t pos = line.find("apply");
+    const std::string sql = std::string(Trim(line.substr(pos + 5)));
+    auto updated = state.service->ApplyHypotheticalSql(state.scenario, sql);
+    if (updated.ok()) {
+      std::printf("applied to '%s': %zu row(s) updated\n",
+                  state.scenario.c_str(), *updated);
+    } else {
+      std::printf("error: %s\n", updated.status().ToString().c_str());
     }
-    PrintHowTo(*result);
-  } else if (stmt->select != nullptr) {
-    auto table = relational::ExecuteSelect(state.db, *stmt->select);
-    if (!table.ok()) {
-      std::printf("error: %s\n", table.status().ToString().c_str());
-      return;
-    }
-    std::printf("%s", table->ToString(20).c_str());
+  } else {
+    std::printf(
+        "usage: \\scenario list | new <name> [parent] | use <name> | "
+        "drop <name> | apply <what-if>\n");
   }
 }
 
@@ -103,23 +132,35 @@ void RunCommand(ShellState& state, const std::string& line) {
   const std::vector<std::string> parts = Split(line, ' ');
   const std::string& cmd = parts[0];
   if (cmd == "\\tables") {
-    for (const std::string& name : state.db.TableNames()) {
+    auto db = state.service->EffectiveDatabase(state.scenario);
+    if (!db.ok()) {
+      std::printf("error: %s\n", db.status().ToString().c_str());
+      return;
+    }
+    for (const std::string& name : (*db)->TableNames()) {
       std::printf("%s (%zu rows)\n", name.c_str(),
-                  state.db.GetTable(name).value()->num_rows());
+                  (*db)->GetTable(name).value()->num_rows());
     }
   } else if (cmd == "\\schema" && parts.size() > 1) {
-    auto table = state.db.GetTable(parts[1]);
+    auto db = state.service->EffectiveDatabase(state.scenario);
+    if (!db.ok()) {
+      std::printf("error: %s\n", db.status().ToString().c_str());
+      return;
+    }
+    auto table = (*db)->GetTable(parts[1]);
     if (table.ok()) {
       std::printf("%s\n", (*table)->schema().ToString().c_str());
     } else {
       std::printf("error: %s\n", table.status().ToString().c_str());
     }
   } else if (cmd == "\\graph") {
-    std::printf("%s\n", state.has_graph ? state.graph.ToString().c_str()
-                                        : "(no causal graph loaded)");
+    const causal::CausalGraph* graph = state.service->graph();
+    std::printf("%s\n", graph != nullptr ? graph->ToString().c_str()
+                                         : "(no causal graph loaded)");
   } else if (cmd == "\\dot") {
-    std::printf("%s", state.has_graph ? state.graph.ToDot().c_str()
-                                      : "(no causal graph loaded)\n");
+    const causal::CausalGraph* graph = state.service->graph();
+    std::printf("%s", graph != nullptr ? graph->ToDot().c_str()
+                                       : "(no causal graph loaded)\n");
   } else if (cmd == "\\estimator" && parts.size() > 1) {
     state.options.estimator = parts[1][0] == 'f'
                                   ? learn::EstimatorKind::kFrequency
@@ -139,11 +180,25 @@ void RunCommand(ShellState& state, const std::string& line) {
     state.options.sample_size =
         static_cast<size_t>(std::strtoull(parts[1].c_str(), nullptr, 10));
     std::printf("sample: %zu\n", state.options.sample_size);
+  } else if (cmd == "\\scenario") {
+    RunScenarioCommand(state, parts, line);
+  } else if (cmd == "\\cache") {
+    const std::string sub = parts.size() > 1 ? parts[1] : "stats";
+    if (sub == "clear") {
+      state.service->ClearCache();
+      std::printf("plan cache cleared\n");
+    } else {
+      examples::PrintCacheStats(state.service->cache_stats());
+    }
   } else if (cmd == "\\explain" && parts.size() > 1) {
     const std::string query = line.substr(line.find(' ') + 1);
-    const causal::CausalGraph* graph =
-        state.has_graph ? &state.graph : nullptr;
-    whatif::WhatIfEngine engine(&state.db, graph, state.options);
+    auto db = state.service->EffectiveDatabase(state.scenario);
+    if (!db.ok()) {
+      std::printf("error: %s\n", db.status().ToString().c_str());
+      return;
+    }
+    whatif::WhatIfEngine engine(db->get(), state.service->graph(),
+                                state.options);
     auto plan = engine.ExplainSql(query);
     if (plan.ok()) {
       std::printf("%s", plan->c_str());
@@ -154,7 +209,8 @@ void RunCommand(ShellState& state, const std::string& line) {
     std::printf(
         "commands: \\tables \\schema <rel> \\graph \\dot "
         "\\explain <what-if> \\estimator f|t \\mode graph|nb|indep "
-        "\\sample <n> \\quit\n");
+        "\\sample <n> \\scenario list|new|use|drop|apply "
+        "\\cache stats|clear \\quit\n");
   }
 }
 
@@ -165,6 +221,8 @@ int main(int argc, char** argv) {
   state.options.estimator = learn::EstimatorKind::kFrequency;
 
   std::string dataset = "german-syn-20k";
+  size_t threads = 0;
+  Database csv_db;
   bool loaded_csv = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--csv", 5) == 0 && i + 1 < argc) {
@@ -180,33 +238,43 @@ int main(int argc, char** argv) {
                     table.status().ToString().c_str());
         return 1;
       }
-      if (!state.db.AddTable(std::move(table).value()).ok()) return 1;
+      if (!csv_db.AddTable(std::move(table).value()).ok()) return 1;
       loaded_csv = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (argv[i][0] != '-') {
       dataset = argv[i];
     }
   }
+
+  service::ServiceOptions service_options;
+  service_options.num_threads = threads;
+  service_options.whatif.num_threads = threads;
+
   if (!loaded_csv) {
     auto ds = data::MakeByName(dataset, /*scale=*/0.5);
     if (!ds.ok()) {
       std::printf("%s\n", ds.status().ToString().c_str());
       return 1;
     }
-    state.db = std::move(ds->db);
-    state.graph = std::move(ds->graph);
-    state.has_graph = true;
+    state.service = std::make_unique<service::ScenarioService>(
+        std::move(ds->db), std::move(ds->graph), service_options);
     std::printf("loaded %s: %zu rows\n", dataset.c_str(),
-                state.db.TotalRows());
+                state.service->EffectiveDatabase("main")
+                    .value()
+                    ->TotalRows());
   } else {
-    std::printf("loaded %zu relation(s) from CSV (no causal graph: engine "
-                "runs in no-background mode)\n",
-                state.db.num_tables());
+    state.service = std::make_unique<service::ScenarioService>(
+        std::move(csv_db), service_options);
+    std::printf("loaded CSV relations (no causal graph: engine runs in "
+                "no-background mode)\n");
   }
+  state.options.num_threads = threads;
 
   std::printf("HypeR shell. \\quit to exit, \\help for commands.\n");
   std::string line;
   while (true) {
-    std::printf("hyper> ");
+    std::printf("hyper:%s> ", state.scenario.c_str());
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     std::string trimmed(Trim(line));

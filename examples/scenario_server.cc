@@ -1,0 +1,182 @@
+// Scenario server demo: the ScenarioService serving a multi-session
+// exploration workload — named scenario branches, a shared estimator/plan
+// cache, and batched what-if evaluation.
+//
+//   ./build/scenario_server                       # german-syn-20k, demo script
+//   ./build/scenario_server amazon --threads 4
+//   ./build/scenario_server --stdin               # line protocol:
+//                                                 #   [scenario|]statement
+//
+// The demo script walks the workload of examples/SCENARIOS.md: branch,
+// apply a hypothetical, compare worlds, sweep interventions as one batch,
+// and show what the cache saved.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "data/datasets.h"
+#include "examples/shell_common.h"
+#include "service/scenario_service.h"
+
+using namespace hyper;
+
+namespace {
+
+void PrintResponse(const std::string& label,
+                   const service::Response& response) {
+  std::printf("-- %s\n", label.c_str());
+  if (!response.ok()) {
+    std::printf("error: %s\n", response.status.ToString().c_str());
+    return;
+  }
+  switch (response.kind) {
+    case service::Response::Kind::kWhatIf:
+      examples::PrintWhatIf(response.whatif);
+      break;
+    case service::Response::Kind::kHowTo:
+      examples::PrintHowTo(response.howto);
+      break;
+    case service::Response::Kind::kSelect:
+      std::printf("%s", response.table.ToString(10).c_str());
+      break;
+    case service::Response::Kind::kNone:
+      break;
+  }
+}
+
+int RunStdin(service::ScenarioService& service) {
+  std::printf("reading '[scenario|]statement' lines from stdin\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(Trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    service::Request request;
+    const size_t bar = trimmed.find('|');
+    if (bar != std::string::npos && trimmed.find(' ') > bar) {
+      request.scenario = trimmed.substr(0, bar);
+      request.sql = trimmed.substr(bar + 1);
+    } else {
+      request.sql = trimmed;
+    }
+    PrintResponse(request.scenario + ": " + request.sql,
+                  service.Submit(request));
+  }
+  return 0;
+}
+
+int RunDemo(service::ScenarioService& service) {
+  const std::string query =
+      "Use German When Status = 1 Update(Status) = 2 "
+      "Output Count(Credit = 1)";
+
+  // 1. The same what-if twice: the second run reuses the prepared plan and
+  //    its trained estimators.
+  PrintResponse("what-if (cold cache)", service.Submit({"main", query, {}}));
+  PrintResponse("what-if (warm cache)", service.Submit({"main", query, {}}));
+
+  // 2. Branch a scenario and apply a hypothetical: later queries on the
+  //    branch see the post-update world; 'main' is untouched.
+  if (Status s = service.CreateScenario("austerity", "main"); !s.ok()) {
+    std::printf("error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto updated = service.ApplyHypotheticalSql(
+      "austerity",
+      "Use German When Savings = 0 Update(Credit) = 0 Output Count(*)");
+  if (!updated.ok()) {
+    std::printf("error: %s\n", updated.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- applied hypothetical to 'austerity': %zu row(s)\n",
+              *updated);
+  PrintResponse("same what-if on 'austerity'",
+                service.Submit({"austerity", query, {}}));
+  PrintResponse("same what-if on 'main' (isolated)",
+                service.Submit({"main", query, {}}));
+
+  // 3. Intervention sweep: N what-ifs over one shared view, evaluated as a
+  //    single batch against one prepared plan.
+  std::vector<std::vector<whatif::UpdateSpec>> interventions;
+  for (int status = 0; status <= 3; ++status) {
+    whatif::UpdateSpec spec;
+    spec.attribute = "Status";
+    spec.func = sql::UpdateFuncKind::kSet;
+    spec.constant = Value::Int(status);
+    interventions.push_back({spec});
+  }
+  Stopwatch batch_timer;
+  auto batch = service.SubmitWhatIfBatch("main", query, interventions);
+  if (!batch.ok()) {
+    std::printf("error: %s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- intervention sweep (batch of %zu in %.3fs)\n",
+              batch->size(), batch_timer.ElapsedSeconds());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    std::printf("  Status <- %d: value %.6g\n", static_cast<int>(i),
+                (*batch)[i].value);
+  }
+
+  // 4. A how-to on the warm cache: candidate scoring shares the prepared
+  //    plans the sweep just populated.
+  PrintResponse(
+      "how-to (shared estimators)",
+      service.Submit({"main",
+                      "Use German HowToUpdate Status "
+                      "ToMaximize Count(Credit = 1)",
+                      {}}));
+
+  // 5. Mixed concurrent workload across branches.
+  std::vector<service::Request> mixed;
+  for (int i = 0; i < 4; ++i) {
+    mixed.push_back({i % 2 == 0 ? "main" : "austerity", query, {}});
+  }
+  Stopwatch mixed_timer;
+  std::vector<service::Response> responses = service.SubmitBatch(mixed);
+  size_t ok = 0;
+  for (const service::Response& r : responses) ok += r.ok() ? 1 : 0;
+  std::printf("-- mixed batch: %zu/%zu ok in %.3fs\n", ok, responses.size(),
+              mixed_timer.ElapsedSeconds());
+
+  examples::PrintCacheStats(service.cache_stats());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "german-syn-20k";
+  size_t threads = 0;
+  bool use_stdin = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--stdin") == 0) {
+      use_stdin = true;
+    } else if (argv[i][0] != '-') {
+      dataset = argv[i];
+    }
+  }
+
+  auto ds = data::MakeByName(dataset, /*scale=*/0.25);
+  if (!ds.ok()) {
+    std::printf("%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  service::ServiceOptions options;
+  options.whatif.estimator = learn::EstimatorKind::kFrequency;
+  options.num_threads = threads;
+  options.whatif.num_threads = threads;
+  service::ScenarioService service(std::move(ds->db), std::move(ds->graph),
+                                   options);
+  std::printf("scenario server: %s, %zu thread(s)\n", dataset.c_str(),
+              threads == 0 ? ThreadPool::DefaultThreads() : threads);
+
+  return use_stdin ? RunStdin(service) : RunDemo(service);
+}

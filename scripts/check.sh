@@ -30,4 +30,9 @@ else
   echo "bench_micro not built (google-benchmark missing); skipping smoke"
 fi
 
+echo "== scenario service smoke =="
+# Exits non-zero on any cached/batched answer that is not bit-for-bit
+# identical to a fresh single-query run.
+(cd "$BUILD_DIR" && ./bench_scenarios --smoke)
+
 echo "== check passed =="

@@ -1,0 +1,38 @@
+#ifndef HYPER_COMMON_HASH_H_
+#define HYPER_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hyper {
+
+/// Incremental FNV-1a-style 64-bit mixer. Shared by every content
+/// fingerprint in the library (Database::ContentFingerprint, scenario
+/// branch deltas) so the mixing rule can only ever change in one place.
+class Fnv1a {
+ public:
+  static constexpr uint64_t kBasis = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kPrime = 0x100000001b3ULL;
+
+  Fnv1a() = default;
+  explicit Fnv1a(uint64_t seed) : h_(seed) {}
+
+  void Mix(uint64_t v) {
+    h_ ^= v;
+    h_ *= kPrime;
+  }
+
+  void MixString(const std::string& s) {
+    Mix(s.size());
+    for (char c : s) Mix(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+
+  uint64_t hash() const { return h_; }
+
+ private:
+  uint64_t h_ = kBasis;
+};
+
+}  // namespace hyper
+
+#endif  // HYPER_COMMON_HASH_H_

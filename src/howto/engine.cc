@@ -316,6 +316,11 @@ struct HowToEngine::ScoredCandidates {
   double baseline = 0.0;
   std::vector<std::vector<CandidateUpdate>> per_attribute;
   size_t evaluated = 0;
+  size_t plan_cache_hits = 0;
+  size_t pattern_cache_hits = 0;
+  double prepare_seconds = 0.0;
+  double eval_seconds = 0.0;
+  double train_seconds = 0.0;
 };
 
 Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
@@ -324,15 +329,65 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
   HYPER_ASSIGN_OR_RETURN(std::vector<std::vector<UpdateSpec>> candidates,
                          EnumerateCandidates(stmt));
 
+  whatif::WhatIfEngine engine(db_, graph_, options_.whatif);
+
+  // Prepared-plan sharing: one plan serves the baseline, and one plan per
+  // HowToUpdate attribute serves every candidate of that attribute — the
+  // relevant view is compiled and each (view, adjustment-set) estimator is
+  // trained once, not once per candidate. Prepare ignores update constants,
+  // so Evaluate(plan, {spec}) is bit-for-bit identical to a fresh
+  // Run(MakeCandidateWhatIf(stmt, {spec})).
+  const bool shared = options_.share_plans;
+  auto prepare_shared = [&](const sql::WhatIfStmt& ws)
+      -> Result<std::shared_ptr<const whatif::PreparedWhatIf>> {
+    if (options_.plan_cache != nullptr) {
+      bool hit = false;
+      auto plan = options_.plan_cache->GetOrPrepare(
+          service::WhatIfPlanKey(options_.cache_scope, ws, options_.whatif),
+          [&] { return engine.Prepare(ws); }, &hit);
+      if (plan.ok()) {
+        if (hit) {
+          ++scored.plan_cache_hits;
+        } else {
+          scored.prepare_seconds += (*plan)->prepare_seconds();
+        }
+      }
+      return plan;
+    }
+    auto plan = engine.Prepare(ws);
+    if (plan.ok()) scored.prepare_seconds += (*plan)->prepare_seconds();
+    return plan;
+  };
+  auto record_eval = [&](const whatif::WhatIfResult& result) {
+    scored.eval_seconds += result.eval_seconds;
+    scored.train_seconds += result.train_seconds;
+    scored.pattern_cache_hits += result.pattern_cache_hits;
+  };
   // Baseline via the no-op what-if (every tuple on its exact path).
   {
     sql::WhatIfStmt baseline =
         MakeBaselineWhatIf(stmt, stmt.update_attributes[0],
                            candidates[0].empty() ? Value::Int(0)
                                                  : candidates[0][0].constant);
-    whatif::WhatIfEngine engine(db_, graph_, options_.whatif);
-    HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result, engine.Run(baseline));
-    scored.baseline = result.value;
+    bool ran = false;
+    if (shared) {
+      auto plan = prepare_shared(baseline);
+      if (plan.ok()) {
+        HYPER_ASSIGN_OR_RETURN(
+            whatif::WhatIfResult result,
+            engine.Evaluate(**plan, whatif::SpecsOfStatement(baseline)));
+        scored.baseline = result.value;
+        record_eval(result);
+        ran = true;
+      } else if (plan.status().code() != StatusCode::kUnimplemented) {
+        return plan.status();
+      }
+    }
+    if (!ran) {
+      HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result,
+                             engine.Run(baseline));
+      scored.baseline = result.value;
+    }
   }
 
   // Per-tuple pre values for L1 costs.
@@ -344,15 +399,30 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
   HYPER_ASSIGN_OR_RETURN(std::vector<size_t> s_rows,
                          SelectWhenRows(view, stmt.when.get()));
 
-  whatif::WhatIfEngine engine(db_, graph_, options_.whatif);
   scored.per_attribute.resize(candidates.size());
   for (size_t a = 0; a < candidates.size(); ++a) {
     HYPER_ASSIGN_OR_RETURN(
         size_t col, vschema.IndexOf(stmt.update_attributes[a]));
+    // One prepared plan per attribute, shared across its candidates.
+    std::shared_ptr<const whatif::PreparedWhatIf> plan;
+    if (shared && !candidates[a].empty()) {
+      sql::WhatIfStmt tmpl = MakeCandidateWhatIf(stmt, {candidates[a][0]});
+      auto prepared = prepare_shared(tmpl);
+      if (prepared.ok()) {
+        plan = *prepared;
+      } else if (prepared.status().code() != StatusCode::kUnimplemented) {
+        return prepared.status();
+      }
+    }
     for (const UpdateSpec& spec : candidates[a]) {
-      sql::WhatIfStmt whatif_stmt = MakeCandidateWhatIf(stmt, {spec});
-      HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result,
-                             engine.Run(whatif_stmt));
+      whatif::WhatIfResult result;
+      if (plan != nullptr) {
+        HYPER_ASSIGN_OR_RETURN(result, engine.Evaluate(*plan, {spec}));
+        record_eval(result);
+      } else {
+        sql::WhatIfStmt whatif_stmt = MakeCandidateWhatIf(stmt, {spec});
+        HYPER_ASSIGN_OR_RETURN(result, engine.Run(whatif_stmt));
+      }
       ++scored.evaluated;
 
       CandidateUpdate cu;
@@ -405,6 +475,11 @@ Result<HowToResult> HowToEngine::Run(const sql::HowToStmt& stmt) const {
   result.baseline_value = scored.baseline;
   result.candidates_evaluated = scored.evaluated;
   result.candidates = scored.per_attribute;
+  result.plan_cache_hits = scored.plan_cache_hits;
+  result.pattern_cache_hits = scored.pattern_cache_hits;
+  result.prepare_seconds = scored.prepare_seconds;
+  result.eval_seconds = scored.eval_seconds;
+  result.train_seconds = scored.train_seconds;
 
   const bool mck_applicable = options_.prefer_mck;
   std::vector<int> choice(scored.per_attribute.size(), -1);
@@ -521,6 +596,11 @@ Result<HowToResult> HowToEngine::RunMinCost(const sql::HowToStmt& stmt,
   result.baseline_value = scored.baseline;
   result.candidates_evaluated = scored.evaluated;
   result.candidates = scored.per_attribute;
+  result.plan_cache_hits = scored.plan_cache_hits;
+  result.pattern_cache_hits = scored.pattern_cache_hits;
+  result.prepare_seconds = scored.prepare_seconds;
+  result.eval_seconds = scored.eval_seconds;
+  result.train_seconds = scored.train_seconds;
   result.solver_nodes = sol.nodes_explored;
   result.objective_value = scored.baseline;
   std::vector<int> choice(scored.per_attribute.size(), -1);
@@ -634,6 +714,11 @@ Result<HowToResult> HowToEngine::RunLexicographic(
   result.candidates_evaluated = 0;
   for (const ScoredCandidates& sc : scored) {
     result.candidates_evaluated += sc.evaluated;
+    result.plan_cache_hits += sc.plan_cache_hits;
+    result.pattern_cache_hits += sc.pattern_cache_hits;
+    result.prepare_seconds += sc.prepare_seconds;
+    result.eval_seconds += sc.eval_seconds;
+    result.train_seconds += sc.train_seconds;
   }
   result.candidates = scored[0].per_attribute;
   result.objective_value = scored[0].baseline;

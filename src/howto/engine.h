@@ -7,6 +7,7 @@
 
 #include "causal/graph.h"
 #include "common/status.h"
+#include "service/plan_cache.h"
 #include "sql/ast.h"
 #include "storage/database.h"
 #include "whatif/compile.h"
@@ -30,6 +31,19 @@ struct HowToOptions {
   /// IP has only choice rows + one budget row; false forces general
   /// branch-and-bound (ablation).
   bool prefer_mck = true;
+  /// Share prepared what-if plans across the baseline and every candidate
+  /// of a run: the relevant view is built and each (view, adjustment-set)
+  /// estimator is trained once instead of once per candidate. Off = the
+  /// legacy per-candidate path, kept for A/B benchmarking; answers are
+  /// bit-for-bit identical either way.
+  bool share_plans = true;
+  /// Optional cross-run plan cache (the scenario service passes its own so
+  /// repeated how-to runs reuse trained estimators). When null, plans are
+  /// shared within a single run only. Not owned.
+  service::PlanCache* plan_cache = nullptr;
+  /// Data-snapshot scope for plan_cache keys (see WhatIfPlanKey); must
+  /// change whenever the database content changes.
+  std::string cache_scope;
 };
 
 /// One candidate update for one attribute (an element of the S_B sets of
@@ -60,6 +74,19 @@ struct HowToResult {
   bool used_mck = false;
   size_t solver_nodes = 0;
   double total_seconds = 0.0;
+  /// Prepared plans served by the cross-run cache instead of being built.
+  size_t plan_cache_hits = 0;
+  /// Candidate evaluations that reused an already-trained pattern estimator
+  /// (the shared-plan win: without sharing this is always 0 and every
+  /// candidate retrains).
+  size_t pattern_cache_hits = 0;
+  /// Plan construction (view + encode + training matrix) charged to this
+  /// run; ~0 when every plan came from the cache.
+  double prepare_seconds = 0.0;
+  /// Candidate evaluation time (includes lazy estimator training).
+  double eval_seconds = 0.0;
+  /// Estimator training actually incurred by this run.
+  double train_seconds = 0.0;
   /// Full candidate sets, per HowToUpdate attribute (for benches/debugging).
   std::vector<std::vector<CandidateUpdate>> candidates;
 

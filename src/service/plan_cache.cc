@@ -1,0 +1,111 @@
+#include "service/plan_cache.h"
+
+#include "common/strings.h"
+
+namespace hyper::service {
+
+std::string WhatIfPlanKey(const std::string& scope,
+                          const sql::WhatIfStmt& stmt,
+                          const whatif::WhatIfOptions& options) {
+  // Free-form fields (expression text, attribute names) are length-prefixed
+  // so the concatenation is injective: a string literal inside a predicate
+  // can never forge a neighbouring field and collide two different queries.
+  auto field = [](const char* tag, const std::string& text) {
+    return StrFormat("|%s[%zu]=", tag, text.size()) + text;
+  };
+  std::string key = field("scope", scope);
+  key += field("use", stmt.use.ToString());
+  key += field("when", stmt.when != nullptr ? stmt.when->ToString() : "");
+  for (const sql::UpdateClause& u : stmt.updates) {
+    key += field("upd", u.attribute);
+  }
+  key += field("out", stmt.output.ToString());
+  key += field("for",
+               stmt.for_pred != nullptr ? stmt.for_pred->ToString() : "");
+  key += StrFormat(
+      "|mode=%d|est=%d|smooth=%.17g|sample=%zu|seed=%llu|blocks=%d|cols=%d",
+      static_cast<int>(options.backdoor), static_cast<int>(options.estimator),
+      options.frequency_smoothing, options.sample_size,
+      static_cast<unsigned long long>(options.seed),
+      options.use_blocks ? 1 : 0, options.use_columnar ? 1 : 0);
+  const learn::ForestOptions& f = options.forest;
+  key += StrFormat(
+      "|forest=%zu,%.17g,%d,%llu,%d,%zu,%zu,%zu", f.num_trees, f.subsample,
+      f.sqrt_features ? 1 : 0, static_cast<unsigned long long>(f.seed),
+      f.tree.max_depth, f.tree.min_samples_leaf, f.tree.max_features,
+      f.tree.max_thresholds);
+  return key;
+}
+
+std::shared_ptr<const whatif::PreparedWhatIf> PlanCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.plan;
+}
+
+std::shared_ptr<const whatif::PreparedWhatIf> PlanCache::Put(
+    const std::string& key,
+    std::shared_ptr<const whatif::PreparedWhatIf> plan) {
+  if (capacity_ == 0) return plan;  // caching disabled
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // A concurrent preparer won the race; keep its entry so every caller
+    // shares one plan (and one pattern-estimator cache).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.plan;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{plan, lru_.begin()});
+  EvictIfNeededLocked();
+  return plan;
+}
+
+Result<std::shared_ptr<const whatif::PreparedWhatIf>> PlanCache::GetOrPrepare(
+    const std::string& key,
+    const std::function<
+        Result<std::shared_ptr<const whatif::PreparedWhatIf>>()>& prepare,
+    bool* hit) {
+  if (auto cached = Get(key)) {
+    if (hit != nullptr) *hit = true;
+    return cached;
+  }
+  if (hit != nullptr) *hit = false;
+  HYPER_ASSIGN_OR_RETURN(std::shared_ptr<const whatif::PreparedWhatIf> plan,
+                         prepare());
+  return Put(key, std::move(plan));
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = map_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void PlanCache::EvictIfNeededLocked() {
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace hyper::service

@@ -1,0 +1,89 @@
+#ifndef HYPER_SERVICE_PLAN_CACHE_H_
+#define HYPER_SERVICE_PLAN_CACHE_H_
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "whatif/engine.h"
+
+namespace hyper::service {
+
+struct PlanCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// Composes the cache key for a prepared what-if plan. The key captures
+/// everything Prepare() consumes:
+///   - `scope`: the data snapshot (ScenarioService uses generation + branch
+///     delta fingerprint; standalone callers can use
+///     Database::ContentFingerprint()). Plans must never be shared across
+///     scopes — that is the invalidation story: mutate data => new scope =>
+///     old entries become unreachable and age out of the LRU.
+///   - the query shape: Use / When / For / Output text and the ordered
+///     update-attribute list. Update *constants and functions* are excluded:
+///     a prepared plan answers any intervention over its attributes.
+///   - the estimator configuration: backdoor mode, estimator kind, forest
+///     hyperparameters, smoothing, sample size and seed, block decomposition.
+std::string WhatIfPlanKey(const std::string& scope,
+                          const sql::WhatIfStmt& stmt,
+                          const whatif::WhatIfOptions& options);
+
+/// A thread-safe LRU cache of prepared what-if plans (trained estimators +
+/// compiled view plans). Entries are shared_ptr, so eviction never
+/// invalidates a plan an in-flight query is evaluating against. Capacity 0
+/// disables caching (every lookup misses, nothing is stored).
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Returns the cached plan or nullptr; counts a hit/miss.
+  std::shared_ptr<const whatif::PreparedWhatIf> Get(const std::string& key);
+
+  /// Inserts `plan` unless the key is already present (first writer wins, so
+  /// concurrent preparers converge on one shared plan — and one shared
+  /// pattern-estimator cache). Returns the canonical entry.
+  std::shared_ptr<const whatif::PreparedWhatIf> Put(
+      const std::string& key,
+      std::shared_ptr<const whatif::PreparedWhatIf> plan);
+
+  /// Get, or run `prepare` and Put on a miss. `hit` (optional) reports which
+  /// happened. The factory runs outside the cache lock.
+  Result<std::shared_ptr<const whatif::PreparedWhatIf>> GetOrPrepare(
+      const std::string& key,
+      const std::function<
+          Result<std::shared_ptr<const whatif::PreparedWhatIf>>()>& prepare,
+      bool* hit = nullptr);
+
+  void Clear();
+  PlanCacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void EvictIfNeededLocked();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::string> lru_;
+  struct Slot {
+    std::shared_ptr<const whatif::PreparedWhatIf> plan;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, Slot> map_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace hyper::service
+
+#endif  // HYPER_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,41 @@
+#include "service/scenario.h"
+
+namespace hyper::service {
+
+size_t ScenarioBranch::overridden_cells() const {
+  size_t total = 0;
+  for (const auto& [relation, attrs] : overrides_) {
+    for (const auto& [attr, cells] : attrs) total += cells.size();
+  }
+  return total;
+}
+
+std::vector<std::string> ScenarioBranch::TouchedRelations() const {
+  std::vector<std::string> out;
+  out.reserve(overrides_.size());
+  for (const auto& [relation, _] : overrides_) out.push_back(relation);
+  return out;
+}
+
+ScenarioBranch::RelationOverrides ScenarioBranch::OverridesFor(
+    const std::string& relation) const {
+  auto it = overrides_.find(relation);
+  return it == overrides_.end() ? RelationOverrides{} : it->second;
+}
+
+void ScenarioBranch::Override(
+    const std::string& relation, size_t attr,
+    const std::vector<std::pair<size_t, Value>>& cells) {
+  if (cells.empty()) return;
+  auto& slot = overrides_[relation][attr];
+  fnv_.MixString(relation);
+  fnv_.Mix(attr);
+  for (const auto& [tid, value] : cells) {
+    slot[tid] = value;
+    fnv_.Mix(tid);
+    fnv_.Mix(value.Hash());
+  }
+  ++version_;
+}
+
+}  // namespace hyper::service

@@ -1,0 +1,92 @@
+#ifndef HYPER_SERVICE_SCENARIO_H_
+#define HYPER_SERVICE_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace hyper::service {
+
+/// One scenario branch: a named chain of hypothetical updates over a base
+/// database, held as sparse copy-on-write per-attribute override deltas —
+/// never a materialized copy of the data. A branch created from a parent
+/// starts with the parent's deltas (chaining); later updates merge cell by
+/// cell, later writes winning.
+///
+/// Overrides are relative to the *base* database. The ScenarioService
+/// materializes a touched relation by patching a copy of the base table
+/// (once per branch version, outside its lock, cached in its BranchState);
+/// untouched relations are shared with the base via Database::ShallowCopy.
+class ScenarioBranch {
+ public:
+  /// tid -> value overrides of one attribute.
+  using AttributeCells = std::map<size_t, Value>;
+  /// attr index -> cells, for one relation.
+  using RelationOverrides = std::map<size_t, AttributeCells>;
+
+  ScenarioBranch(std::string name, std::string parent)
+      : name_(std::move(name)), parent_(std::move(parent)) {}
+
+  /// Chaining: start from another branch's deltas.
+  ScenarioBranch(std::string name, const ScenarioBranch& parent)
+      : name_(std::move(name)),
+        parent_(parent.name_),
+        overrides_(parent.overrides_),
+        updates_applied_(parent.updates_applied_),
+        version_(0),
+        fnv_(parent.fnv_) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& parent() const { return parent_; }
+
+  /// Bumps on every non-empty Override batch; materialization and plan
+  /// scoping key on it.
+  uint64_t version() const { return version_; }
+
+  /// Deterministic hash of every override cell (relation, attribute, tid,
+  /// value). Two branches with identical deltas fingerprint identically, so
+  /// they share plan-cache entries.
+  uint64_t delta_fingerprint() const { return fnv_.hash(); }
+
+  size_t updates_applied() const { return updates_applied_; }
+  size_t overridden_cells() const;
+  bool touches(const std::string& relation) const {
+    return overrides_.count(relation) > 0;
+  }
+  std::vector<std::string> TouchedRelations() const;
+
+  /// Snapshot of one relation's overrides (empty when untouched). The copy
+  /// is O(overridden cells), so callers can patch tables outside any lock
+  /// guarding the branch.
+  RelationOverrides OverridesFor(const std::string& relation) const;
+
+  /// Merges one batch of cell overrides for (relation, attr index). Cells
+  /// overwrite earlier values at the same coordinates. An empty batch is a
+  /// no-op: it must not bump the version, change the fingerprint or mark
+  /// the relation touched (a data-identical world keeps its cached plans).
+  void Override(const std::string& relation, size_t attr,
+                const std::vector<std::pair<size_t, Value>>& cells);
+
+  /// Counts one applied hypothetical statement (which may Override several
+  /// attributes).
+  void RecordUpdateApplied() { ++updates_applied_; }
+
+ private:
+  std::string name_;
+  std::string parent_;
+  /// relation -> attr index -> tid -> value. Ordered maps keep the
+  /// fingerprint and materialization deterministic.
+  std::map<std::string, RelationOverrides> overrides_;
+  size_t updates_applied_ = 0;
+  uint64_t version_ = 0;
+  Fnv1a fnv_;
+};
+
+}  // namespace hyper::service
+
+#endif  // HYPER_SERVICE_SCENARIO_H_

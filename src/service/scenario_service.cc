@@ -1,0 +1,497 @@
+#include "service/scenario_service.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "relational/compiled.h"
+#include "relational/select.h"
+#include "sql/parser.h"
+
+namespace hyper::service {
+
+ScenarioService::ScenarioService(Database base, ServiceOptions options)
+    : base_(std::move(base)),
+      options_(options),
+      cache_(options.plan_cache_capacity) {
+  branches_.emplace("main", BranchState{ScenarioBranch("main", ""),
+                                        next_branch_id_++, ~0ULL, nullptr});
+}
+
+ScenarioService::ScenarioService(Database base, causal::CausalGraph graph,
+                                 ServiceOptions options)
+    : base_(std::move(base)),
+      graph_(std::move(graph)),
+      has_graph_(true),
+      options_(options),
+      cache_(options.plan_cache_capacity) {
+  branches_.emplace("main", BranchState{ScenarioBranch("main", ""),
+                                        next_branch_id_++, ~0ULL, nullptr});
+}
+
+Status ScenarioService::CreateScenario(const std::string& name,
+                                       const std::string& parent) {
+  if (name.empty()) {
+    return Status::InvalidArgument("scenario name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (branches_.count(name) > 0) {
+    return Status::AlreadyExists("scenario '" + name + "' already exists");
+  }
+  auto it = branches_.find(parent);
+  if (it == branches_.end()) {
+    return Status::NotFound("parent scenario '" + parent +
+                            "' does not exist");
+  }
+  branches_.emplace(name, BranchState{ScenarioBranch(name, it->second.branch),
+                                      next_branch_id_++, ~0ULL, nullptr});
+  return Status::OK();
+}
+
+Status ScenarioService::DropScenario(const std::string& name) {
+  if (name == "main") {
+    return Status::InvalidArgument("cannot drop the trunk scenario 'main'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (branches_.erase(name) == 0) {
+    return Status::NotFound("scenario '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+bool ScenarioService::HasScenario(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return branches_.count(name) > 0;
+}
+
+std::vector<ScenarioInfo> ScenarioService::ListScenarios() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ScenarioInfo> out;
+  out.reserve(branches_.size());
+  for (const auto& [name, state] : branches_) {
+    ScenarioInfo info;
+    info.name = name;
+    info.parent = state.branch.parent();
+    info.updates_applied = state.branch.updates_applied();
+    info.overridden_cells = state.branch.overridden_cells();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<ScenarioService::BranchState*> ScenarioService::FindBranchLocked(
+    const std::string& name) {
+  auto it = branches_.find(name);
+  if (it == branches_.end()) {
+    return Status::NotFound("scenario '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+std::string ScenarioService::ScopeLocked(const BranchState& state) const {
+  return StrFormat("g%llu|d%016llx",
+                   static_cast<unsigned long long>(generation_),
+                   static_cast<unsigned long long>(
+                       state.branch.delta_fingerprint()));
+}
+
+Result<ScenarioService::World> ScenarioService::SnapshotWorld(
+    const std::string& scenario) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    World world;
+    Database base_shallow;
+    std::vector<std::pair<std::string, ScenarioBranch::RelationOverrides>>
+        touched;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      HYPER_ASSIGN_OR_RETURN(BranchState * state, FindBranchLocked(scenario));
+      world.scope = ScopeLocked(*state);
+      world.branch_id = state->id;
+      world.branch_version = state->branch.version();
+      if (state->effective != nullptr &&
+          state->effective_version == state->branch.version()) {
+        world.db = state->effective;
+        return world;
+      }
+      // Snapshot what the rebuild needs: shared base handles (O(#relations))
+      // and the override cells (O(cells)) — never O(rows) under the lock.
+      base_shallow = base_.ShallowCopy();
+      for (const std::string& relation : state->branch.TouchedRelations()) {
+        touched.emplace_back(relation, state->branch.OverridesFor(relation));
+      }
+    }
+
+    // Copy-on-write materialization at relation granularity, outside the
+    // lock: touched relations are patched copies, everything else shares
+    // the base storage.
+    auto effective = std::make_shared<Database>(std::move(base_shallow));
+    for (const auto& [relation, overrides] : touched) {
+      HYPER_ASSIGN_OR_RETURN(const Table* base_table,
+                             effective->GetTable(relation));
+      auto patched = std::make_shared<Table>(*base_table);
+      for (const auto& [attr, cells] : overrides) {
+        for (const auto& [tid, value] : cells) {
+          if (tid >= patched->num_rows() ||
+              attr >= patched->schema().num_attributes()) {
+            continue;  // stale override beyond the base shape
+          }
+          patched->SetValue(tid, attr, value);
+        }
+      }
+      HYPER_RETURN_NOT_OK(effective->PutTable(std::move(patched)));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    HYPER_ASSIGN_OR_RETURN(BranchState * state, FindBranchLocked(scenario));
+    if (state->id != world.branch_id ||
+        state->branch.version() != world.branch_version) {
+      continue;  // the branch moved (or was recreated) meanwhile; retry
+    }
+    state->effective = effective;
+    state->effective_version = world.branch_version;
+    world.db = std::move(effective);
+    return world;
+  }
+  return Status::FailedPrecondition(
+      "scenario '" + scenario +
+      "' is being updated concurrently; retry the request");
+}
+
+Result<std::shared_ptr<const Database>> ScenarioService::EffectiveDatabase(
+    const std::string& scenario) {
+  HYPER_ASSIGN_OR_RETURN(World world, SnapshotWorld(scenario));
+  return world.db;
+}
+
+Result<size_t> ScenarioService::ApplyHypotheticalSql(
+    const std::string& scenario, const std::string& whatif_sql) {
+  HYPER_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseSql(whatif_sql));
+  if (stmt.whatif == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyHypothetical expects a what-if statement (its Use / When / "
+        "Update clauses define the branch update)");
+  }
+  return ApplyHypothetical(scenario, *stmt.whatif);
+}
+
+namespace {
+
+/// The deterministic delta of a hypothetical update against one world:
+/// target relation, attribute indices, and the f(pre) cell batches.
+struct HypotheticalDelta {
+  std::string relation;
+  std::vector<size_t> attr_of_update;
+  std::vector<std::vector<std::pair<size_t, Value>>> cells;  // per update
+  size_t updated_rows = 0;
+};
+
+Result<HypotheticalDelta> ComputeHypotheticalDelta(
+    const Database& eff, const sql::WhatIfStmt& stmt) {
+  HypotheticalDelta delta;
+  // All update attributes must live in one relation (the engine's relevant
+  // view has the same contract).
+  HYPER_ASSIGN_OR_RETURN(delta.relation,
+                         eff.RelationOfAttribute(stmt.updates[0].attribute));
+  HYPER_ASSIGN_OR_RETURN(const Table* table, eff.GetTable(delta.relation));
+  const Schema& schema = table->schema();
+  for (const sql::UpdateClause& u : stmt.updates) {
+    if (!schema.Contains(u.attribute)) {
+      return Status::InvalidArgument(
+          "update attributes span multiple relations: '" + u.attribute +
+          "' is not in '" + delta.relation + "'");
+    }
+    HYPER_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(u.attribute));
+    if (schema.attribute(idx).mutability == Mutability::kImmutable) {
+      return Status::InvalidArgument("update attribute '" + u.attribute +
+                                     "' is immutable");
+    }
+    delta.attr_of_update.push_back(idx);
+  }
+
+  // S from the When predicate, over the *branch-effective* relation so
+  // chained updates compose.
+  std::vector<size_t> s_rows;
+  if (stmt.when == nullptr) {
+    s_rows.resize(table->num_rows());
+    for (size_t r = 0; r < table->num_rows(); ++r) s_rows[r] = r;
+  } else {
+    const std::vector<relational::ScopedTuple> scope{
+        relational::ScopedTuple{delta.relation, &schema}};
+    HYPER_ASSIGN_OR_RETURN(
+        relational::CompiledExpr compiled,
+        relational::CompiledExpr::Compile(*stmt.when, scope));
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      const relational::BoundRow frame{&table->row(r), nullptr};
+      HYPER_ASSIGN_OR_RETURN(bool sel, compiled.EvalRowBool(&frame));
+      if (sel) s_rows.push_back(r);
+    }
+  }
+  delta.updated_rows = s_rows.size();
+
+  // Deterministic post image f(pre), all updates from the same pre state.
+  delta.cells.resize(stmt.updates.size());
+  for (size_t j = 0; j < stmt.updates.size(); ++j) {
+    whatif::UpdateSpec spec;
+    spec.attribute = stmt.updates[j].attribute;
+    spec.func = stmt.updates[j].func;
+    spec.constant = stmt.updates[j].constant;
+    delta.cells[j].reserve(s_rows.size());
+    for (size_t r : s_rows) {
+      HYPER_ASSIGN_OR_RETURN(
+          Value post, spec.Apply(table->At(r, delta.attr_of_update[j])));
+      delta.cells[j].emplace_back(r, std::move(post));
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+Result<size_t> ScenarioService::ApplyHypothetical(
+    const std::string& scenario, const sql::WhatIfStmt& stmt) {
+  if (stmt.updates.empty()) {
+    return Status::InvalidArgument("hypothetical update needs an Update "
+                                   "clause");
+  }
+  if (stmt.when != nullptr && sql::ContainsPost(*stmt.when)) {
+    return Status::InvalidArgument(
+        "the When operator selects tuples by pre-update values only (§3.1); "
+        "Post(...) is not allowed");
+  }
+
+  // Optimistic concurrency: the O(rows) When scan and post-image build run
+  // outside the service lock against an immutable snapshot, so concurrent
+  // Submits never stall behind a branch mutation. If another update lands
+  // on this branch meanwhile — the (id, version) pair moved; the id guards
+  // against a drop-and-recreate under the same name — recompute from the
+  // new world.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    HYPER_ASSIGN_OR_RETURN(World world, SnapshotWorld(scenario));
+    HYPER_ASSIGN_OR_RETURN(HypotheticalDelta delta,
+                           ComputeHypotheticalDelta(*world.db, stmt));
+    if (delta.updated_rows == 0) return size_t{0};  // nothing to record
+
+    std::lock_guard<std::mutex> lock(mu_);
+    HYPER_ASSIGN_OR_RETURN(BranchState * state, FindBranchLocked(scenario));
+    if (state->id != world.branch_id ||
+        state->branch.version() != world.branch_version) {
+      continue;  // world moved; retry against the new state
+    }
+    for (size_t j = 0; j < stmt.updates.size(); ++j) {
+      state->branch.Override(delta.relation, delta.attr_of_update[j],
+                             delta.cells[j]);
+    }
+    state->branch.RecordUpdateApplied();
+    return delta.updated_rows;
+  }
+  return Status::FailedPrecondition(
+      "scenario '" + scenario +
+      "' is being updated concurrently; retry the hypothetical");
+}
+
+Response ScenarioService::Dispatch(const Request& request,
+                                   const World& world) {
+  Response response;
+  Stopwatch timer;
+
+  auto parsed = sql::ParseSql(request.sql);
+  if (!parsed.ok()) {
+    response.status = parsed.status();
+    return response;
+  }
+
+  const whatif::WhatIfOptions opts =
+      request.whatif_options.has_value() ? *request.whatif_options
+                                         : options_.whatif;
+
+  if (parsed->whatif != nullptr) {
+    response.kind = Response::Kind::kWhatIf;
+    whatif::WhatIfEngine engine(world.db.get(), graph(), opts);
+    bool hit = false;
+    auto plan = cache_.GetOrPrepare(
+        WhatIfPlanKey(world.scope, *parsed->whatif, opts),
+        [&] { return engine.Prepare(*parsed->whatif); }, &hit);
+    if (plan.ok()) {
+      auto result =
+          engine.Evaluate(**plan, whatif::SpecsOfStatement(*parsed->whatif));
+      if (!result.ok()) {
+        response.status = result.status();
+        return response;
+      }
+      response.whatif = std::move(result).value();
+      response.whatif.plan_cache_hit = hit;
+      if (!hit) {
+        response.whatif.prepare_seconds = (*plan)->prepare_seconds();
+      }
+      response.whatif.total_seconds =
+          response.whatif.prepare_seconds + response.whatif.eval_seconds;
+    } else if (plan.status().code() == StatusCode::kUnimplemented) {
+      // Shapes the columnar substrate cannot serve run uncached on the
+      // legacy row path — dispatched there directly, so the failed Prepare
+      // is not attempted a second time inside Run.
+      whatif::WhatIfOptions row_options = opts;
+      row_options.use_columnar = false;
+      whatif::WhatIfEngine row_engine(world.db.get(), graph(), row_options);
+      auto result = row_engine.Run(*parsed->whatif);
+      if (!result.ok()) {
+        response.status = result.status();
+        return response;
+      }
+      response.whatif = std::move(result).value();
+    } else {
+      response.status = plan.status();
+      return response;
+    }
+  } else if (parsed->howto != nullptr) {
+    response.kind = Response::Kind::kHowTo;
+    howto::HowToOptions ho;
+    ho.whatif = opts;
+    ho.num_buckets = options_.howto_num_buckets;
+    ho.global_l1_budget = options_.howto_global_l1_budget;
+    ho.prefer_mck = options_.howto_prefer_mck;
+    ho.plan_cache = &cache_;
+    ho.cache_scope = world.scope;
+    howto::HowToEngine engine(world.db.get(), graph(), ho);
+    auto result = engine.Run(*parsed->howto);
+    if (!result.ok()) {
+      response.status = result.status();
+      return response;
+    }
+    response.howto = std::move(result).value();
+  } else if (parsed->select != nullptr) {
+    response.kind = Response::Kind::kSelect;
+    auto result = relational::ExecuteSelect(*world.db, *parsed->select);
+    if (!result.ok()) {
+      response.status = result.status();
+      return response;
+    }
+    response.table = std::move(result).value();
+  } else {
+    response.status =
+        Status::InvalidArgument("statement is neither what-if, how-to nor "
+                                "select");
+    return response;
+  }
+  response.seconds = timer.ElapsedSeconds();
+  return response;
+}
+
+Response ScenarioService::Submit(const Request& request) {
+  auto world = SnapshotWorld(request.scenario);
+  if (!world.ok()) {
+    Response response;
+    response.status = world.status();
+    return response;
+  }
+  return Dispatch(request, *world);
+}
+
+std::vector<Response> ScenarioService::SubmitBatch(
+    const std::vector<Request>& requests) {
+  std::vector<Response> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // Snapshot every request's world up front: the whole batch runs against
+  // one consistent state per scenario.
+  std::vector<Result<World>> worlds;
+  worlds.reserve(requests.size());
+  for (const Request& request : requests) {
+    worlds.push_back(SnapshotWorld(request.scenario));
+  }
+
+  auto run_one = [&](size_t i) {
+    if (!worlds[i].ok()) {
+      responses[i].status = worlds[i].status();
+      return;
+    }
+    responses[i] = Dispatch(requests[i], *worlds[i]);
+  };
+
+  const size_t threads = options_.num_threads == 0
+                             ? ThreadPool::DefaultThreads()
+                             : options_.num_threads;
+  if (threads <= 1 || requests.size() == 1) {
+    for (size_t i = 0; i < requests.size(); ++i) run_one(i);
+  } else {
+    ThreadPool::Shared().ParallelFor(requests.size(), run_one);
+  }
+  return responses;
+}
+
+Result<std::vector<whatif::WhatIfResult>> ScenarioService::SubmitWhatIfBatch(
+    const std::string& scenario, const std::string& base_whatif_sql,
+    const std::vector<std::vector<whatif::UpdateSpec>>& interventions) {
+  HYPER_ASSIGN_OR_RETURN(World world, SnapshotWorld(scenario));
+  HYPER_ASSIGN_OR_RETURN(sql::Statement parsed,
+                         sql::ParseSql(base_whatif_sql));
+  if (parsed.whatif == nullptr) {
+    return Status::InvalidArgument("SubmitWhatIfBatch expects a what-if "
+                                   "statement");
+  }
+
+  whatif::WhatIfEngine engine(world.db.get(), graph(), options_.whatif);
+  bool hit = false;
+  auto plan = cache_.GetOrPrepare(
+      WhatIfPlanKey(world.scope, *parsed.whatif, options_.whatif),
+      [&] { return engine.Prepare(*parsed.whatif); }, &hit);
+  if (!plan.ok()) {
+    if (plan.status().code() != StatusCode::kUnimplemented) {
+      return plan.status();
+    }
+    // Row-path fallback: run each intervention as a fresh statement, with
+    // the same shape contract Evaluate enforces — interventions supply
+    // constants and functions, never new attributes. Dispatch straight to
+    // the row interpreter so the failed Prepare is not re-attempted N times.
+    whatif::WhatIfOptions row_options = options_.whatif;
+    row_options.use_columnar = false;
+    whatif::WhatIfEngine row_engine(world.db.get(), graph(), row_options);
+    std::vector<whatif::WhatIfResult> results;
+    results.reserve(interventions.size());
+    for (const std::vector<whatif::UpdateSpec>& specs : interventions) {
+      if (specs.size() != parsed.whatif->updates.size()) {
+        return Status::InvalidArgument("intervention arity mismatch");
+      }
+      for (size_t j = 0; j < specs.size(); ++j) {
+        if (specs[j].attribute != parsed.whatif->updates[j].attribute) {
+          return Status::InvalidArgument(
+              "intervention update attribute '" + specs[j].attribute +
+              "' does not match the base statement's '" +
+              parsed.whatif->updates[j].attribute + "'");
+        }
+        parsed.whatif->updates[j].func = specs[j].func;
+        parsed.whatif->updates[j].constant = specs[j].constant;
+      }
+      HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result,
+                             row_engine.Run(*parsed.whatif));
+      results.push_back(std::move(result));
+    }
+    return results;
+  }
+
+  HYPER_ASSIGN_OR_RETURN(std::vector<whatif::WhatIfResult> results,
+                         engine.EvaluateBatch(**plan, interventions));
+  for (whatif::WhatIfResult& result : results) {
+    result.plan_cache_hit = hit;
+  }
+  if (!hit && !results.empty()) {
+    // Charge plan construction to the batch's first result so the totals
+    // stay meaningful.
+    results[0].prepare_seconds = (*plan)->prepare_seconds();
+    results[0].total_seconds =
+        results[0].prepare_seconds + results[0].eval_seconds;
+  }
+  return results;
+}
+
+void ScenarioService::ReloadDataset(Database base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  base_ = std::move(base);
+  ++generation_;
+  branches_.clear();
+  branches_.emplace("main", BranchState{ScenarioBranch("main", ""),
+                                        next_branch_id_++, ~0ULL, nullptr});
+  cache_.Clear();
+}
+
+}  // namespace hyper::service

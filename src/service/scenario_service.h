@@ -1,0 +1,193 @@
+#ifndef HYPER_SERVICE_SCENARIO_SERVICE_H_
+#define HYPER_SERVICE_SCENARIO_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causal/graph.h"
+#include "common/status.h"
+#include "howto/engine.h"
+#include "service/plan_cache.h"
+#include "service/scenario.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "whatif/engine.h"
+
+namespace hyper::service {
+
+struct ServiceOptions {
+  /// Default estimation options for what-if (and the what-if legs of
+  /// how-to) requests; overridable per request.
+  whatif::WhatIfOptions whatif;
+  /// How-to candidate discretization / solver knobs.
+  size_t howto_num_buckets = 8;
+  double howto_global_l1_budget = -1.0;
+  bool howto_prefer_mck = true;
+  /// Prepared plans kept across requests (LRU; 0 disables the cache).
+  size_t plan_cache_capacity = 64;
+  /// Worker threads for SubmitBatch request sharding: 1 = sequential,
+  /// anything else = the process-wide pool (0 = hardware default). Results
+  /// are ordered by request index and identical for every setting.
+  size_t num_threads = 0;
+};
+
+/// One request against a scenario branch. The statement kind (what-if /
+/// how-to / select) is detected from the parse.
+struct Request {
+  std::string scenario = "main";
+  std::string sql;
+  /// Per-request estimation override (defaults to the service options).
+  std::optional<whatif::WhatIfOptions> whatif_options;
+};
+
+struct Response {
+  Status status = Status::OK();
+  enum class Kind { kNone, kWhatIf, kHowTo, kSelect } kind = Kind::kNone;
+  whatif::WhatIfResult whatif;
+  howto::HowToResult howto;
+  Table table;  // select results
+  double seconds = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+struct ScenarioInfo {
+  std::string name;
+  std::string parent;
+  size_t updates_applied = 0;
+  size_t overridden_cells = 0;
+};
+
+/// The HypeR serving layer: owns a base database, a causal graph, named
+/// scenario branches (chained hypothetical updates as copy-on-write deltas,
+/// see ScenarioBranch) and a shared estimator/plan cache, and serves
+/// what-if / how-to / select requests against any branch.
+///
+/// Sharing model: a prepared what-if plan (relevant view, adjustment set,
+/// trained estimators) is keyed by (data scope, query shape, estimator
+/// config) and reused across requests, sessions and scenario branches with
+/// identical deltas. Cached answers are bit-for-bit identical to fresh
+/// single-query runs — the cache only ever skips re-deriving something the
+/// fresh run would have derived identically. Mutating data (ApplyHypothetical,
+/// ReloadDataset) changes the scope, so stale plans become unreachable and
+/// age out of the LRU.
+///
+/// Thread safety: Submit/SubmitBatch may be called concurrently; branch
+/// mutation takes effect atomically between requests (in-flight requests
+/// keep the world they started with).
+class ScenarioService {
+ public:
+  explicit ScenarioService(Database base, ServiceOptions options = {});
+  ScenarioService(Database base, causal::CausalGraph graph,
+                  ServiceOptions options = {});
+
+  // --- scenario branches -------------------------------------------------
+
+  /// Creates a branch chained off `parent` (default: the trunk scenario
+  /// "main", which carries no deltas until hypotheticals are applied to it).
+  Status CreateScenario(const std::string& name,
+                        const std::string& parent = "main");
+  Status DropScenario(const std::string& name);
+  bool HasScenario(const std::string& name) const;
+  std::vector<ScenarioInfo> ListScenarios() const;
+
+  /// Applies the *deterministic* part of a what-if statement to the branch:
+  /// rows selected by When get their update attributes set to f(pre), stored
+  /// as per-attribute override deltas. Subsequent queries on the branch see
+  /// the post-update world; other branches are untouched. Returns the number
+  /// of updated rows.
+  Result<size_t> ApplyHypothetical(const std::string& scenario,
+                                   const sql::WhatIfStmt& stmt);
+  Result<size_t> ApplyHypotheticalSql(const std::string& scenario,
+                                      const std::string& whatif_sql);
+
+  // --- serving -----------------------------------------------------------
+
+  Response Submit(const Request& request);
+
+  /// Runs every request (possibly concurrently over the worker pool);
+  /// results[i] corresponds to requests[i] and is identical to a sequential
+  /// Submit of the same request.
+  std::vector<Response> SubmitBatch(const std::vector<Request>& requests);
+
+  /// Evaluates N interventions against ONE prepared plan in a single
+  /// sharded pass: `base_whatif_sql` fixes the Use/When/For/Output shape and
+  /// the update attributes; interventions[i] supplies the i-th constants.
+  /// results[i] is bit-for-bit identical to submitting the corresponding
+  /// single statement.
+  Result<std::vector<whatif::WhatIfResult>> SubmitWhatIfBatch(
+      const std::string& scenario, const std::string& base_whatif_sql,
+      const std::vector<std::vector<whatif::UpdateSpec>>& interventions);
+
+  // --- cache & data management -------------------------------------------
+
+  PlanCacheStats cache_stats() const { return cache_.stats(); }
+  void ClearCache() { cache_.Clear(); }
+
+  /// Replaces the base database: every branch is dropped back to a clean
+  /// trunk and the plan cache scope rolls over (cached plans for the old
+  /// data can never serve the new data).
+  void ReloadDataset(Database base);
+
+  /// The branch's current world: base relations shared structurally,
+  /// touched relations patched (built lazily, cached per branch version).
+  /// The returned snapshot stays valid while queries hold it, even across
+  /// later branch mutations.
+  Result<std::shared_ptr<const Database>> EffectiveDatabase(
+      const std::string& scenario);
+
+  const causal::CausalGraph* graph() const {
+    return has_graph_ ? &graph_ : nullptr;
+  }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct BranchState {
+    ScenarioBranch branch;
+    /// Unique across the service lifetime: a dropped-and-recreated branch
+    /// under the same name gets a fresh id, so optimistic version checks
+    /// cannot ABA onto an unrelated branch.
+    uint64_t id = 0;
+    /// Cached effective world; rebuilt when branch.version() moves on.
+    uint64_t effective_version = ~0ULL;
+    std::shared_ptr<const Database> effective;
+  };
+
+  Result<BranchState*> FindBranchLocked(const std::string& name);
+  std::string ScopeLocked(const BranchState& state) const;
+
+  /// Snapshot of everything a request needs. (branch_id, branch_version)
+  /// identify the exact world, for optimistic writers.
+  struct World {
+    std::shared_ptr<const Database> db;
+    std::string scope;
+    uint64_t branch_id = 0;
+    uint64_t branch_version = 0;
+  };
+
+  /// Returns the branch's current world, materializing touched relations
+  /// outside the service lock (O(rows) copies never block other requests);
+  /// the result is cached per branch version.
+  Result<World> SnapshotWorld(const std::string& scenario);
+
+  Response Dispatch(const Request& request, const World& world);
+
+  mutable std::mutex mu_;
+  Database base_;
+  causal::CausalGraph graph_;
+  bool has_graph_ = false;
+  /// Bumped by ReloadDataset; prefixes every plan-cache scope.
+  uint64_t generation_ = 1;
+  uint64_t next_branch_id_ = 1;
+  std::map<std::string, BranchState> branches_;
+  ServiceOptions options_;
+  PlanCache cache_;
+};
+
+}  // namespace hyper::service
+
+#endif  // HYPER_SERVICE_SCENARIO_SERVICE_H_

@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include "common/hash.h"
+
 namespace hyper {
 
 Status Database::AddTable(Schema schema) {
@@ -14,7 +16,19 @@ Status Database::AddTable(Table table) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("relation '" + name + "' already exists");
   }
-  tables_.emplace(name, std::move(table));
+  tables_.emplace(name, std::make_shared<Table>(std::move(table)));
+  return Status::OK();
+}
+
+Status Database::PutTable(std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot put a null table");
+  }
+  const std::string name = table->schema().relation_name();
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  tables_[name] = std::move(table);
   return Status::OK();
 }
 
@@ -23,7 +37,7 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
   if (it == tables_.end()) {
     return Status::NotFound("relation '" + name + "' does not exist");
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Result<Table*> Database::GetMutableTable(const std::string& name) {
@@ -31,7 +45,19 @@ Result<Table*> Database::GetMutableTable(const std::string& name) {
   if (it == tables_.end()) {
     return Status::NotFound("relation '" + name + "' does not exist");
   }
-  return &it->second;
+  if (it->second.use_count() > 1) {
+    // Storage is shared with another Database: detach before mutating.
+    it->second = std::make_shared<Table>(*it->second);
+  }
+  return it->second.get();
+}
+
+Database Database::Clone() const {
+  Database copy;
+  for (const auto& [name, table] : tables_) {
+    copy.tables_.emplace(name, std::make_shared<Table>(*table));
+  }
+  return copy;
 }
 
 std::vector<std::string> Database::TableNames() const {
@@ -43,7 +69,7 @@ std::vector<std::string> Database::TableNames() const {
 
 size_t Database::TotalRows() const {
   size_t total = 0;
-  for (const auto& [_, table] : tables_) total += table.num_rows();
+  for (const auto& [_, table] : tables_) total += table->num_rows();
   return total;
 }
 
@@ -51,7 +77,7 @@ Result<std::string> Database::RelationOfAttribute(
     const std::string& attr) const {
   std::string found;
   for (const auto& [name, table] : tables_) {
-    if (table.schema().Contains(attr)) {
+    if (table->schema().Contains(attr)) {
       if (!found.empty()) {
         return Status::InvalidArgument("attribute '" + attr +
                                        "' is ambiguous: appears in '" + found +
@@ -64,6 +90,25 @@ Result<std::string> Database::RelationOfAttribute(
     return Status::NotFound("attribute '" + attr + "' not in any relation");
   }
   return found;
+}
+
+uint64_t Database::ContentFingerprint() const {
+  Fnv1a fnv;
+  for (const auto& [name, table] : tables_) {
+    fnv.MixString(name);
+    const Schema& schema = table->schema();
+    for (const AttributeDef& attr : schema.attributes()) {
+      fnv.MixString(attr.name);
+      fnv.Mix(static_cast<uint64_t>(attr.type));
+    }
+    fnv.Mix(table->num_rows());
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      for (size_t c = 0; c < schema.num_attributes(); ++c) {
+        fnv.Mix(table->At(r, c).Hash());
+      }
+    }
+  }
+  return fnv.hash();
 }
 
 }  // namespace hyper

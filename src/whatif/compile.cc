@@ -162,6 +162,19 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
   return info;
 }
 
+std::vector<UpdateSpec> SpecsOfStatement(const sql::WhatIfStmt& stmt) {
+  std::vector<UpdateSpec> specs;
+  specs.reserve(stmt.updates.size());
+  for (const sql::UpdateClause& u : stmt.updates) {
+    UpdateSpec spec;
+    spec.attribute = u.attribute;
+    spec.func = u.func;
+    spec.constant = u.constant;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 Result<CompiledWhatIf> CompileWhatIf(const Database& db,
                                      const sql::WhatIfStmt& stmt) {
   if (stmt.updates.empty()) {

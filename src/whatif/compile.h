@@ -58,6 +58,11 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
 Result<CompiledWhatIf> CompileWhatIf(const Database& db,
                                      const sql::WhatIfStmt& stmt);
 
+/// The statement's Update clauses as UpdateSpecs (the intervention shape
+/// WhatIfEngine::Evaluate consumes). No validation — CompileWhatIf /
+/// Evaluate do that.
+std::vector<UpdateSpec> SpecsOfStatement(const sql::WhatIfStmt& stmt);
+
 }  // namespace hyper::whatif
 
 #endif  // HYPER_WHATIF_COMPILE_H_

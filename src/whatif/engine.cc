@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -699,7 +700,22 @@ Result<std::string> WhatIfEngine::Explain(const sql::WhatIfStmt& stmt) const {
 }
 
 Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
-  return options_.use_columnar ? RunColumnar(stmt) : RunRows(stmt);
+  if (!options_.use_columnar) return RunRows(stmt);
+  Stopwatch total_timer;
+  auto prepared = Prepare(stmt);
+  if (!prepared.ok()) {
+    // Shapes the columnar substrate cannot represent fall back to the row
+    // interpreter, exactly as the pre-split engine did.
+    if (prepared.status().code() == StatusCode::kUnimplemented) {
+      return RunRows(stmt);
+    }
+    return prepared.status();
+  }
+  HYPER_ASSIGN_OR_RETURN(WhatIfResult result,
+                         Evaluate(**prepared, SpecsOfStatement(stmt)));
+  result.prepare_seconds = (*prepared)->prepare_seconds();
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
 }
 
 Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
@@ -977,63 +993,396 @@ Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
   return result;
 }
 
-Result<WhatIfResult> WhatIfEngine::RunColumnar(
-    const sql::WhatIfStmt& stmt) const {
-  Stopwatch total_timer;
-  WhatIfResult result;
+// ---------------------------------------------------------------------------
+// Prepared plans: the intervention-independent four-fifths of a columnar run
+// (view, adjustment set, encoders, training matrix, hole plan, blocks) plus
+// the shared, lazily-grown residual-pattern estimator cache. Evaluate() is
+// the cheap per-intervention fifth.
+// ---------------------------------------------------------------------------
 
-  HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(*db_, stmt));
-  const Table& view = q.view_info.view;
+namespace {
+
+/// Typed numeric read with Value::AsDouble error semantics.
+Result<double> ReadColumnDouble(const ColumnTable& cview, const Column& col,
+                                size_t r) {
+  if (col.is_null(r)) {
+    return Status::InvalidArgument("cannot coerce NULL to a number");
+  }
+  switch (col.kind) {
+    case ColumnKind::kInt64: return static_cast<double>(col.i64[r]);
+    case ColumnKind::kDouble: return col.f64[r];
+    case ColumnKind::kBool: return col.b8[r] != 0 ? 1.0 : 0.0;
+    case ColumnKind::kCode:
+      return Status::InvalidArgument("cannot coerce string '" +
+                                     cview.dict().at(col.codes[r]) +
+                                     "' to a number");
+  }
+  return Status::Internal("unhandled column kind");
+}
+
+}  // namespace
+
+struct PreparedWhatIf::Impl {
+  WhatIfOptions options;  // engine options at prepare time
+  CompiledWhatIf q;
+  ColumnTable cview;
+  std::vector<relational::ScopedTuple> scope;
+  WhatIfPlan plan;
+  std::vector<bool> in_s;
+  size_t updated = 0;
+
+  /// Intervention-independent psi (cross-tuple feature) state: link groups,
+  /// pre-update sums and the per-row pre group means.
+  struct PsiPrep {
+    std::vector<double> pre_b;
+    std::vector<uint32_t> gid;
+    std::vector<double> sum_pre;
+    std::vector<size_t> counts;
+    std::vector<double> psi_pre;  // per row
+  };
+  std::vector<PsiPrep> psi;
+
+  std::optional<learn::FeatureEncoder> encoder;
+  std::vector<std::optional<learn::QuantileDiscretizer>> feature_disc;
+  std::vector<std::vector<double>> feat;  // encoded + snapped, per feature
+  std::vector<size_t> train_rows;
+  learn::Matrix train_x;
+  std::vector<double> y_obs;
+  std::optional<relational::ColumnBoundExpr> out_eval;
+
+  /// Hole plan: compiled maximal determined subtrees of the For predicate.
+  /// Binding against a concrete post image happens per evaluation.
+  std::vector<const Expr*> hole_exprs;  // point into q.for_pred (owned here)
+  std::unordered_map<const Expr*, size_t> hole_of;
+  std::vector<relational::CompiledExpr> hole_compiled;
+
+  std::vector<std::vector<size_t>> block_rows;
+
+  double SnapFeature(size_t j, double v) const {
+    return feature_disc[j].has_value()
+               ? feature_disc[j]->Representative(feature_disc[j]->BucketOf(v))
+               : v;
+  }
+
+  /// One folded residual per distinct hole-value vector. Entries are
+  /// append-only and individually immutable once published (the pattern
+  /// pointer is written exactly once, under `mu`), so evaluations snapshot
+  /// raw pointers and read them lock-free afterwards.
+  struct Entry {
+    bool is_literal = false;
+    bool literal_value = false;
+    std::string key;
+    ExprPtr residual;
+    std::optional<relational::ColumnBoundExpr> exact;  // absent for literals
+    const PatternEstimators* pattern = nullptr;        // set once trained
+  };
+
+  // Shared caches, guarded by mu. Pattern estimators depend only on the
+  // residual pattern and the (intervention-independent) training matrix, so
+  // one trained estimator serves every query against this plan — that is
+  // the whole point of the prepare/evaluate split.
+  mutable std::mutex mu;
+  mutable std::vector<std::unique_ptr<Entry>> entries;
+  mutable std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
+                             ValueVectorEq>
+      entry_cache;
+  mutable std::unordered_map<std::string, PatternEstimators> patterns;
+
+  /// Resolves (or creates) the entry for one hole-value vector. Caller holds
+  /// `mu`. An empty For predicate resolves to the literal-true entry via the
+  /// empty hole vector.
+  Result<uint32_t> ResolveEntryLocked(const std::vector<Value>& holes) const {
+    auto it = entry_cache.find(holes);
+    if (it != entry_cache.end()) return it->second;
+    ExprPtr residual = q.for_pred == nullptr
+                           ? sql::MakeLiteral(Value::Bool(true))
+                           : FoldFromHoles(*q.for_pred, hole_of, holes);
+    auto e = std::make_unique<Entry>();
+    bool lit = false;
+    e->is_literal = IsBoolLiteral(*residual, &lit);
+    e->literal_value = lit;
+    e->key = residual->ToString();
+    if (!e->is_literal) {
+      HYPER_ASSIGN_OR_RETURN(
+          relational::CompiledExpr ce,
+          relational::CompiledExpr::Compile(*residual, scope));
+      HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
+                             relational::ColumnBoundExpr::Bind(ce, cview));
+      e->exact = std::move(be);
+    }
+    e->residual = std::move(residual);
+    entries.push_back(std::move(e));
+    const auto id = static_cast<uint32_t>(entries.size() - 1);
+    entry_cache.emplace(holes, id);
+    return id;
+  }
+
+  /// Trains (or fetches) the pattern estimators for `e`. Caller holds `mu`.
+  /// `was_cached` reports whether training was skipped; `train_seconds`
+  /// accrues the cost actually incurred by this call.
+  Result<const PatternEstimators*> EnsurePatternLocked(
+      Entry& e, bool* was_cached, double* train_seconds) const {
+    if (e.pattern != nullptr) {
+      *was_cached = true;
+      return e.pattern;
+    }
+    auto it = patterns.find(e.key);
+    if (it != patterns.end()) {
+      *was_cached = true;
+      e.pattern = &it->second;
+      return e.pattern;
+    }
+    *was_cached = false;
+    Stopwatch train_timer;
+    PatternEstimators pat;
+    pat.literal = e.is_literal;
+    pat.literal_value = e.literal_value;
+
+    std::vector<double> ind(train_rows.size(), 1.0);
+    if (!e.is_literal) {
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        HYPER_ASSIGN_OR_RETURN(bool b, e.exact->EvalBool(train_rows[i]));
+        ind[i] = b ? 1.0 : 0.0;
+      }
+      pat.weight = MakeEstimator(options);
+      HYPER_RETURN_NOT_OK(pat.weight->Fit(train_x, ind));
+    }
+    if (q.output_value != nullptr && !(e.is_literal && !e.literal_value)) {
+      std::vector<double> value_target(train_rows.size());
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        value_target[i] = y_obs[i] * ind[i];
+      }
+      pat.value = MakeEstimator(options);
+      HYPER_RETURN_NOT_OK(pat.value->Fit(train_x, value_target));
+    }
+    *train_seconds += train_timer.ElapsedSeconds();
+    auto [ins, inserted] = patterns.emplace(e.key, std::move(pat));
+    (void)inserted;
+    e.pattern = &ins->second;
+    return e.pattern;
+  }
+};
+
+PreparedWhatIf::PreparedWhatIf() : impl_(std::make_unique<Impl>()) {}
+PreparedWhatIf::~PreparedWhatIf() = default;
+
+Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
+    const sql::WhatIfStmt& stmt) const {
+  if (!options_.use_columnar) {
+    return Status::Unimplemented(
+        "Prepare requires the columnar path (use_columnar = true)");
+  }
+  Stopwatch prep_timer;
+  std::shared_ptr<PreparedWhatIf> prepared(new PreparedWhatIf());
+  PreparedWhatIf::Impl& im = *prepared->impl_;
+  im.options = options_;
+
+  HYPER_ASSIGN_OR_RETURN(im.q, CompileWhatIf(*db_, stmt));
+  const Table& view = im.q.view_info.view;
   const Schema& vschema = view.schema();
   const size_t n = view.num_rows();
-  result.view_rows = n;
   if (n == 0) {
     return Status::InvalidArgument("relevant view is empty");
   }
 
-  // Columnar image of the view, built once per query. Shapes the substrate
-  // cannot represent (a column mixing strings with numbers) fall back to the
-  // row interpreter.
+  // Columnar image of the view. Shapes the substrate cannot represent (a
+  // column mixing strings with numbers) surface as Unimplemented so Run and
+  // the scenario service fall back to the row interpreter.
   auto cview_result = ColumnTable::FromTable(view);
-  if (!cview_result.ok()) return RunRows(stmt);
-  const ColumnTable& cview = *cview_result;
-  const std::vector<relational::ScopedTuple> scope{
-      relational::ScopedTuple{vschema.relation_name(), &vschema}};
+  if (!cview_result.ok()) {
+    return Status::Unimplemented("columnar image unavailable: " +
+                                 cview_result.status().message());
+  }
+  im.cview = std::move(cview_result).value();
+  im.scope = {relational::ScopedTuple{vschema.relation_name(), &vschema}};
 
-  HYPER_ASSIGN_OR_RETURN(WhatIfPlan plan,
-                         BuildWhatIfPlan(q, graph_, options_.backdoor));
-  const std::vector<size_t>& update_cols = plan.update_cols;
-  const std::set<std::string>& random_cols = plan.random_cols;
-  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = plan.psi_specs;
-  result.backdoor = plan.backdoor_causal;
+  HYPER_ASSIGN_OR_RETURN(im.plan,
+                         BuildWhatIfPlan(im.q, graph_, options_.backdoor));
 
   // S membership from the When predicate, via the vectorized mask kernel.
-  HYPER_ASSIGN_OR_RETURN(std::vector<uint8_t> s_mask,
-                         relational::EvalPredicateMask(q.when.get(), cview));
-  std::vector<bool> in_s(n);
-  size_t updated = 0;
+  HYPER_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> s_mask,
+      relational::EvalPredicateMask(im.q.when.get(), im.cview));
+  im.in_s.resize(n);
+  im.updated = 0;
   for (size_t r = 0; r < n; ++r) {
-    in_s[r] = s_mask[r] != 0;
-    if (in_s[r]) ++updated;
+    im.in_s[r] = s_mask[r] != 0;
+    if (im.in_s[r]) ++im.updated;
   }
-  result.updated_rows = updated;
 
-  // Typed numeric read with Value::AsDouble error semantics.
-  auto read_double = [&](const Column& col, size_t r) -> Result<double> {
-    if (col.is_null(r)) {
-      return Status::InvalidArgument("cannot coerce NULL to a number");
+  // psi prep: link groups and pre-update sums, accumulated in row order
+  // (bit-identical to the row path).
+  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = im.plan.psi_specs;
+  im.psi.resize(psi_specs.size());
+  for (size_t p = 0; p < psi_specs.size(); ++p) {
+    const WhatIfPlan::PsiSpec& spec = psi_specs[p];
+    const Column& bc = im.cview.col(im.plan.update_cols[spec.update_index]);
+    PreparedWhatIf::Impl::PsiPrep& prep = im.psi[p];
+    prep.pre_b.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      HYPER_ASSIGN_OR_RETURN(prep.pre_b[r], ReadColumnDouble(im.cview, bc, r));
     }
-    switch (col.kind) {
-      case ColumnKind::kInt64: return static_cast<double>(col.i64[r]);
-      case ColumnKind::kDouble: return col.f64[r];
-      case ColumnKind::kBool: return col.b8[r] != 0 ? 1.0 : 0.0;
-      case ColumnKind::kCode:
-        return Status::InvalidArgument("cannot coerce string '" +
-                                       cview.dict().at(col.codes[r]) +
-                                       "' to a number");
+    uint32_t num_groups = 0;
+    HYPER_ASSIGN_OR_RETURN(
+        prep.gid, GroupIdsForColumn(im.cview, spec.link_col, &num_groups));
+    prep.sum_pre.assign(num_groups, 0.0);
+    prep.counts.assign(num_groups, 0);
+    for (size_t r = 0; r < n; ++r) {
+      prep.sum_pre[prep.gid[r]] += prep.pre_b[r];
+      ++prep.counts[prep.gid[r]];
     }
-    return Status::Internal("unhandled column kind");
-  };
+    prep.psi_pre.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      const uint32_t g = prep.gid[r];
+      prep.psi_pre[r] =
+          prep.sum_pre[g] / static_cast<double>(prep.counts[g]);
+    }
+  }
+
+  // Feature layout from the shared plan: update attributes, then backdoor
+  // columns, then For conditioning columns, then psi.
+  const std::vector<std::string>& feature_cols = im.plan.feature_cols;
+  const size_t num_features = feature_cols.size();
+  HYPER_ASSIGN_OR_RETURN(learn::FeatureEncoder encoder,
+                         learn::FeatureEncoder::Fit(im.cview, feature_cols));
+  im.encoder = std::move(encoder);
+
+  // Quantile grids for the frequency estimator's continuous features.
+  im.feature_disc.resize(num_features);
+  if (options_.estimator == learn::EstimatorKind::kFrequency) {
+    for (size_t j = 0; j < num_features; ++j) {
+      const size_t col = vschema.IndexOf(feature_cols[j]).value();
+      if (vschema.attribute(col).type != ValueType::kDouble) continue;
+      const Column& c = im.cview.col(col);
+      if (c.kind == ColumnKind::kCode) continue;
+      std::vector<double> values;
+      values.reserve(n);
+      for (size_t r = 0; r < n; ++r) {
+        if (c.is_null(r)) continue;
+        auto v = ReadColumnDouble(im.cview, c, r);
+        if (v.ok()) values.push_back(*v);
+      }
+      auto disc = learn::QuantileDiscretizer::FitToData(std::move(values), 16);
+      if (disc.ok()) im.feature_disc[j] = *disc;
+    }
+  }
+
+  // Encoded (and snapped) feature columns for every row, in one typed pass
+  // per feature.
+  im.feat.resize(num_features);
+  for (size_t j = 0; j < num_features; ++j) {
+    HYPER_ASSIGN_OR_RETURN(im.feat[j], im.encoder->EncodeColumn(im.cview, j));
+    if (im.feature_disc[j].has_value()) {
+      for (size_t r = 0; r < n; ++r) {
+        im.feat[j][r] = im.SnapFeature(j, im.feat[j][r]);
+      }
+    }
+  }
+
+  // Training rows (HypeR-sampled caps them).
+  if (options_.sample_size > 0 && options_.sample_size < n) {
+    Rng rng(options_.seed);
+    im.train_rows = rng.SampleWithoutReplacement(n, options_.sample_size);
+  } else {
+    im.train_rows.resize(n);
+    for (size_t r = 0; r < n; ++r) im.train_rows[r] = r;
+  }
+
+  // Training features: pure double copies out of the encoded columns.
+  im.train_x.reserve(im.train_rows.size());
+  for (size_t r : im.train_rows) {
+    std::vector<double> x;
+    x.reserve(num_features + psi_specs.size());
+    for (size_t j = 0; j < num_features; ++j) x.push_back(im.feat[j][r]);
+    for (size_t p = 0; p < psi_specs.size(); ++p) {
+      x.push_back(im.psi[p].psi_pre[r]);
+    }
+    im.train_x.push_back(std::move(x));
+  }
+
+  // Observed output values (Sum/Avg only), via the compiled output
+  // expression evaluated observationally (Post reads the pre image).
+  if (im.q.output_value != nullptr) {
+    HYPER_ASSIGN_OR_RETURN(
+        relational::CompiledExpr ce,
+        relational::CompiledExpr::Compile(*im.q.output_value, im.scope));
+    HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
+                           relational::ColumnBoundExpr::Bind(ce, im.cview));
+    im.out_eval = std::move(be);
+    im.y_obs.resize(im.train_rows.size());
+    for (size_t i = 0; i < im.train_rows.size(); ++i) {
+      HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
+                             im.out_eval->Eval(im.train_rows[i]));
+      HYPER_ASSIGN_OR_RETURN(im.y_obs[i], v.AsDouble());
+    }
+  }
+
+  // Hole plan for the For predicate: compile every maximal determined
+  // subtree once. Binding against the intervention's post image happens per
+  // evaluation (bindings are cheap; compilation is not).
+  if (im.q.for_pred != nullptr) {
+    std::unordered_set<const Expr*> random_nodes;
+    MarkRandom(*im.q.for_pred, im.plan.random_cols, &random_nodes);
+    CollectHoles(*im.q.for_pred, random_nodes, &im.hole_exprs, &im.hole_of);
+    im.hole_compiled.reserve(im.hole_exprs.size());
+    for (const Expr* h : im.hole_exprs) {
+      HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr ce,
+                             relational::CompiledExpr::Compile(*h, im.scope));
+      im.hole_compiled.push_back(std::move(ce));
+    }
+  }
+
+  im.block_rows = BuildBlockRows(im.q, *db_, graph_, options_.use_blocks, n);
+
+  for (const UpdateSpec& u : im.q.updates) {
+    prepared->update_attributes_.push_back(u.attribute);
+  }
+  prepared->backdoor_ = im.plan.backdoor_causal;
+  prepared->view_rows_ = n;
+  prepared->updated_rows_ = im.updated;
+  prepared->prepare_seconds_ = prep_timer.ElapsedSeconds();
+  return std::shared_ptr<const PreparedWhatIf>(std::move(prepared));
+}
+
+namespace {
+
+/// The per-intervention fifth of a what-if run, against a prepared plan.
+/// `block_threads` shards the block loop (1 inside batch fan-out to avoid
+/// oversubscription); the answer is identical for every setting.
+Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
+                                      const std::vector<UpdateSpec>& updates,
+                                      size_t block_threads) {
+  Stopwatch eval_timer;
+  WhatIfResult result;
+  const CompiledWhatIf& q = im.q;
+  const ColumnTable& cview = im.cview;
+  const size_t n = cview.num_rows();
+  const std::vector<size_t>& update_cols = im.plan.update_cols;
+  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = im.plan.psi_specs;
+  const std::vector<bool>& in_s = im.in_s;
+  const size_t updated = im.updated;
+  const size_t num_features = im.plan.feature_cols.size();
+
+  result.view_rows = n;
+  result.updated_rows = updated;
+  result.num_blocks = im.block_rows.size();
+  result.backdoor = im.plan.backdoor_causal;
+
+  // The intervention must target the plan's update attributes in order;
+  // constants and update functions are free.
+  if (updates.size() != q.updates.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "intervention has %zu update(s); the prepared plan expects %zu",
+        updates.size(), q.updates.size()));
+  }
+  for (size_t j = 0; j < updates.size(); ++j) {
+    if (updates[j].attribute != q.updates[j].attribute) {
+      return Status::InvalidArgument(
+          "intervention update attribute '" + updates[j].attribute +
+          "' does not match the prepared plan's '" + q.updates[j].attribute +
+          "'");
+    }
+  }
 
   // Deterministic post image u = f(b) on S, held as per-attribute overrides
   // instead of materialized post rows: Set updates are a constant, scale and
@@ -1042,10 +1391,10 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
     bool is_set = true;
     std::vector<double> per_row;  // valid on S rows for scale/shift
   };
-  std::vector<UpdatePost> upost(q.updates.size());
+  std::vector<UpdatePost> upost(updates.size());
   relational::PostImage post_image;
-  for (size_t j = 0; j < q.updates.size(); ++j) {
-    const UpdateSpec& u = q.updates[j];
+  for (size_t j = 0; j < updates.size(); ++j) {
+    const UpdateSpec& u = updates[j];
     if (u.func == sql::UpdateFuncKind::kSet) {
       upost[j].is_set = true;
       post_image.SetConst(update_cols[j], u.constant);
@@ -1058,7 +1407,7 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
       const Column& col = cview.col(update_cols[j]);
       for (size_t r = 0; r < n; ++r) {
         if (!in_s[r]) continue;
-        HYPER_ASSIGN_OR_RETURN(double p, read_double(col, r));
+        HYPER_ASSIGN_OR_RETURN(double p, ReadColumnDouble(cview, col, r));
         upost[j].per_row[r] =
             u.func == sql::UpdateFuncKind::kScale ? c * p : c + p;
       }
@@ -1067,276 +1416,113 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
   }
   post_image.set_active(&in_s);
 
-  // Group means for psi features: grouped by dictionary codes / machine
-  // words, accumulated in row order (bit-identical to the row path).
-  std::vector<std::vector<double>> psi_pre(psi_specs.size()),
-      psi_post(psi_specs.size());
+  // Post-update psi group means from the precomputed pre sums.
+  std::vector<std::vector<double>> psi_post(psi_specs.size());
   std::vector<bool> psi_changed(n, false);
   for (size_t p = 0; p < psi_specs.size(); ++p) {
     const WhatIfPlan::PsiSpec& spec = psi_specs[p];
-    const size_t bcol = update_cols[spec.update_index];
-    const Column& bc = cview.col(bcol);
+    const PreparedWhatIf::Impl::PsiPrep& prep = im.psi[p];
     const UpdatePost& up = upost[spec.update_index];
     double set_double = 0.0;
     if (up.is_set && updated > 0) {
-      HYPER_ASSIGN_OR_RETURN(
-          set_double, q.updates[spec.update_index].constant.AsDouble());
+      HYPER_ASSIGN_OR_RETURN(set_double,
+                             updates[spec.update_index].constant.AsDouble());
     }
-    std::vector<double> pre_b(n), post_b(n);
+    std::vector<double> sum_post(prep.counts.size(), 0.0);
     for (size_t r = 0; r < n; ++r) {
-      HYPER_ASSIGN_OR_RETURN(pre_b[r], read_double(bc, r));
-      post_b[r] = in_s[r] ? (up.is_set ? set_double : up.per_row[r])
-                          : pre_b[r];
+      const double post_b =
+          in_s[r] ? (up.is_set ? set_double : up.per_row[r]) : prep.pre_b[r];
+      sum_post[prep.gid[r]] += post_b;
     }
-    uint32_t num_groups = 0;
-    HYPER_ASSIGN_OR_RETURN(
-        std::vector<uint32_t> gid,
-        GroupIdsForColumn(cview, spec.link_col, &num_groups));
-    std::vector<double> sum_pre(num_groups, 0.0), sum_post(num_groups, 0.0);
-    std::vector<size_t> counts(num_groups, 0);
-    for (size_t r = 0; r < n; ++r) {
-      sum_pre[gid[r]] += pre_b[r];
-      sum_post[gid[r]] += post_b[r];
-      ++counts[gid[r]];
-    }
-    psi_pre[p].resize(n);
     psi_post[p].resize(n);
     for (size_t r = 0; r < n; ++r) {
-      const uint32_t g = gid[r];
-      const double c = static_cast<double>(counts[g]);
-      psi_pre[p][r] = sum_pre[g] / c;
-      psi_post[p][r] = sum_post[g] / c;
-      if (std::fabs(psi_pre[p][r] - psi_post[p][r]) > 1e-12) {
+      const uint32_t g = prep.gid[r];
+      psi_post[p][r] = sum_post[g] / static_cast<double>(prep.counts[g]);
+      if (std::fabs(prep.psi_pre[r] - psi_post[p][r]) > 1e-12) {
         psi_changed[r] = true;
       }
     }
   }
 
-  // Feature layout from the shared plan: update attributes, then backdoor
-  // columns, then For conditioning columns, then psi.
-  const std::vector<std::string>& feature_cols = plan.feature_cols;
-  HYPER_ASSIGN_OR_RETURN(learn::FeatureEncoder encoder,
-                         learn::FeatureEncoder::Fit(cview, feature_cols));
-  const size_t num_features = feature_cols.size();
-
-  // Quantile grids for the frequency estimator's continuous features.
-  std::vector<std::optional<learn::QuantileDiscretizer>> feature_disc(
-      num_features);
-  if (options_.estimator == learn::EstimatorKind::kFrequency) {
-    for (size_t j = 0; j < num_features; ++j) {
-      const size_t col = vschema.IndexOf(feature_cols[j]).value();
-      if (vschema.attribute(col).type != ValueType::kDouble) continue;
-      const Column& c = cview.col(col);
-      if (c.kind == ColumnKind::kCode) continue;
-      std::vector<double> values;
-      values.reserve(n);
-      for (size_t r = 0; r < n; ++r) {
-        if (c.is_null(r)) continue;
-        auto v = read_double(c, r);
-        if (v.ok()) values.push_back(*v);
-      }
-      auto disc = learn::QuantileDiscretizer::FitToData(std::move(values), 16);
-      if (disc.ok()) feature_disc[j] = *disc;
-    }
-  }
-  auto snap_feature = [&](size_t j, double v) {
-    return feature_disc[j].has_value()
-               ? feature_disc[j]->Representative(feature_disc[j]->BucketOf(v))
-               : v;
-  };
-
-  // Encoded (and snapped) feature columns for every row, in one typed pass
-  // per feature.
-  std::vector<std::vector<double>> feat(num_features);
-  for (size_t j = 0; j < num_features; ++j) {
-    HYPER_ASSIGN_OR_RETURN(feat[j], encoder.EncodeColumn(cview, j));
-    if (feature_disc[j].has_value()) {
-      for (size_t r = 0; r < n; ++r) feat[j][r] = snap_feature(j, feat[j][r]);
-    }
-  }
-
-  // Training rows (HypeR-sampled caps them).
-  std::vector<size_t> train_rows;
-  if (options_.sample_size > 0 && options_.sample_size < n) {
-    Rng rng(options_.seed);
-    train_rows = rng.SampleWithoutReplacement(n, options_.sample_size);
-  } else {
-    train_rows.resize(n);
-    for (size_t r = 0; r < n; ++r) train_rows[r] = r;
-  }
-
-  Stopwatch train_timer;
-  double train_seconds = 0.0;
-
-  // Training features: pure double copies out of the encoded columns.
-  learn::Matrix train_x;
-  train_x.reserve(train_rows.size());
-  for (size_t r : train_rows) {
-    std::vector<double> x;
-    x.reserve(num_features + psi_specs.size());
-    for (size_t j = 0; j < num_features; ++j) x.push_back(feat[j][r]);
-    for (size_t p = 0; p < psi_specs.size(); ++p) x.push_back(psi_pre[p][r]);
-    train_x.push_back(std::move(x));
-  }
-
-  // Observed output values (Sum/Avg only), via the compiled output
-  // expression evaluated observationally (Post reads the pre image).
-  std::optional<relational::ColumnBoundExpr> out_eval;
-  std::vector<double> y_obs;
-  if (q.output_value != nullptr) {
-    HYPER_ASSIGN_OR_RETURN(
-        relational::CompiledExpr ce,
-        relational::CompiledExpr::Compile(*q.output_value, scope));
-    HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
-                           relational::ColumnBoundExpr::Bind(ce, cview));
-    out_eval = std::move(be);
-    y_obs.resize(train_rows.size());
-    for (size_t i = 0; i < train_rows.size(); ++i) {
-      HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
-                             out_eval->Eval(train_rows[i]));
-      HYPER_ASSIGN_OR_RETURN(y_obs[i], v.AsDouble());
-    }
-  }
-
-  // One folded residual per distinct hole-value vector, with the pattern
-  // estimators trained lazily on the first affected tuple that needs them.
-  struct ResidualEntry {
-    bool is_literal = false;
-    bool literal_value = false;
-    std::string key;
-    ExprPtr residual;
-    std::optional<relational::ColumnBoundExpr> exact;  // absent for literals
-    PatternEstimators* pattern = nullptr;
-  };
-  std::vector<std::unique_ptr<ResidualEntry>> entries;
-  std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
-                     ValueVectorEq>
-      entry_cache;
-  auto make_entry = [&](ExprPtr residual) -> Result<uint32_t> {
-    auto e = std::make_unique<ResidualEntry>();
-    bool lit = false;
-    e->is_literal = IsBoolLiteral(*residual, &lit);
-    e->literal_value = lit;
-    e->key = residual->ToString();
-    if (!e->is_literal) {
-      HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr ce,
-                             relational::CompiledExpr::Compile(*residual,
-                                                              scope));
-      HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
-                             relational::ColumnBoundExpr::Bind(ce, cview));
-      e->exact = std::move(be);
-    }
-    e->residual = std::move(residual);
-    entries.push_back(std::move(e));
-    return static_cast<uint32_t>(entries.size() - 1);
-  };
-
-  std::unordered_map<std::string, PatternEstimators> patterns;
-  auto train_pattern = [&](const ResidualEntry& e)
-      -> Result<PatternEstimators*> {
-    auto it = patterns.find(e.key);
-    if (it != patterns.end()) return &it->second;
-    train_timer.Restart();
-    PatternEstimators pat;
-    pat.literal = e.is_literal;
-    pat.literal_value = e.literal_value;
-
-    std::vector<double> ind(train_rows.size(), 1.0);
-    if (!e.is_literal) {
-      for (size_t i = 0; i < train_rows.size(); ++i) {
-        HYPER_ASSIGN_OR_RETURN(bool b, e.exact->EvalBool(train_rows[i]));
-        ind[i] = b ? 1.0 : 0.0;
-      }
-      pat.weight = MakeEstimator(options_);
-      HYPER_RETURN_NOT_OK(pat.weight->Fit(train_x, ind));
-    }
-    if (q.output_value != nullptr && !(e.is_literal && !e.literal_value)) {
-      std::vector<double> value_target(train_rows.size());
-      for (size_t i = 0; i < train_rows.size(); ++i) {
-        value_target[i] = y_obs[i] * ind[i];
-      }
-      pat.value = MakeEstimator(options_);
-      HYPER_RETURN_NOT_OK(pat.value->Fit(train_x, value_target));
-    }
-    train_seconds += train_timer.ElapsedSeconds();
-    auto [ins, _] = patterns.emplace(e.key, std::move(pat));
-    return &ins->second;
-  };
-
-  // Hole plan for the For predicate: compile every maximal determined
-  // subtree once against the columnar view + post image.
-  std::unordered_set<const Expr*> random_nodes;
-  std::vector<const Expr*> hole_exprs;
-  std::unordered_map<const Expr*, size_t> hole_of;
-  std::vector<relational::ColumnBoundExpr> hole_eval;
-  if (q.for_pred != nullptr) {
-    MarkRandom(*q.for_pred, random_cols, &random_nodes);
-    CollectHoles(*q.for_pred, random_nodes, &hole_exprs, &hole_of);
-    hole_eval.reserve(hole_exprs.size());
-    for (const Expr* h : hole_exprs) {
-      HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr ce,
-                             relational::CompiledExpr::Compile(*h, scope));
-      HYPER_ASSIGN_OR_RETURN(
-          relational::ColumnBoundExpr be,
-          relational::ColumnBoundExpr::Bind(ce, cview, &post_image));
-      hole_eval.push_back(std::move(be));
-    }
-  }
-
-  // Pass A (sequential): resolve each row to its residual entry and train
-  // the pattern estimators needed by affected rows, in row order.
-  std::vector<uint32_t> entry_of_row(n);
-  uint32_t true_entry = UINT32_MAX;
-  if (q.for_pred == nullptr) {
-    HYPER_ASSIGN_OR_RETURN(true_entry,
-                           make_entry(sql::MakeLiteral(Value::Bool(true))));
-  }
-  std::vector<Value> scratch;
-  for (size_t r = 0; r < n; ++r) {
-    uint32_t id;
-    if (q.for_pred == nullptr) {
-      id = true_entry;
-    } else {
-      scratch.clear();
-      for (const relational::ColumnBoundExpr& he : hole_eval) {
-        HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(r));
-        scratch.push_back(s.ToValue());
-      }
-      auto it = entry_cache.find(scratch);
-      if (it != entry_cache.end()) {
-        id = it->second;
-      } else {
-        ExprPtr residual = FoldFromHoles(*q.for_pred, hole_of, scratch);
-        HYPER_ASSIGN_OR_RETURN(id, make_entry(std::move(residual)));
-        entry_cache.emplace(scratch, id);
-      }
-    }
-    entry_of_row[r] = id;
-    ResidualEntry& e = *entries[id];
-    if (e.is_literal && !e.literal_value) continue;  // disqualified
-    if ((in_s[r] || psi_changed[r]) && e.pattern == nullptr) {
-      HYPER_ASSIGN_OR_RETURN(e.pattern, train_pattern(e));
-    }
-  }
-
   // Encoded Set-update feature values (one per update, not per row).
-  std::vector<double> set_feature(q.updates.size(), 0.0);
+  std::vector<double> set_feature(updates.size(), 0.0);
   if (updated > 0) {
-    for (size_t j = 0; j < q.updates.size(); ++j) {
+    for (size_t j = 0; j < updates.size(); ++j) {
       if (!upost[j].is_set) continue;
       HYPER_ASSIGN_OR_RETURN(double f,
-                             encoder.EncodeValue(j, q.updates[j].constant));
-      set_feature[j] = snap_feature(j, f);
+                             im.encoder->EncodeValue(j, updates[j].constant));
+      set_feature[j] = im.SnapFeature(j, f);
     }
   }
 
-  const std::vector<std::vector<size_t>> block_rows =
-      BuildBlockRows(q, *db_, graph_, options_.use_blocks, n);
-  result.num_blocks = block_rows.size();
+  // Bind the hole plan against this intervention's post image.
+  std::vector<relational::ColumnBoundExpr> hole_eval;
+  hole_eval.reserve(im.hole_compiled.size());
+  for (const relational::CompiledExpr& ce : im.hole_compiled) {
+    HYPER_ASSIGN_OR_RETURN(
+        relational::ColumnBoundExpr be,
+        relational::ColumnBoundExpr::Bind(ce, cview, &post_image));
+    hole_eval.push_back(std::move(be));
+  }
+
+  // Pass A (sequential): resolve each row to its residual entry and make
+  // sure the pattern estimators needed by affected rows are trained. Entry
+  // and pattern caches are shared across every evaluation of this plan;
+  // evaluations snapshot raw pointers so Pass B runs lock-free.
+  double train_seconds = 0.0;
+  std::vector<uint32_t> entry_of_row(n);
+  std::vector<const PreparedWhatIf::Impl::Entry*> local_entries;
+  std::vector<const PatternEstimators*> pattern_of_entry;
+  std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
+                     ValueVectorEq>
+      local_cache;
+  std::unordered_set<const PatternEstimators*> used_patterns;
+  size_t pattern_hits = 0;
+  std::vector<Value> scratch;
+  auto grow_local = [&](uint32_t id) {
+    if (id >= local_entries.size()) {
+      local_entries.resize(id + 1, nullptr);
+      pattern_of_entry.resize(id + 1, nullptr);
+    }
+  };
+  for (size_t r = 0; r < n; ++r) {
+    scratch.clear();
+    for (const relational::ColumnBoundExpr& he : hole_eval) {
+      HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(r));
+      scratch.push_back(s.ToValue());
+    }
+    uint32_t id;
+    auto it = local_cache.find(scratch);
+    if (it != local_cache.end()) {
+      id = it->second;
+    } else {
+      std::lock_guard<std::mutex> lock(im.mu);
+      HYPER_ASSIGN_OR_RETURN(id, im.ResolveEntryLocked(scratch));
+      grow_local(id);
+      local_entries[id] = im.entries[id].get();
+      local_cache.emplace(scratch, id);
+    }
+    entry_of_row[r] = id;
+    const PreparedWhatIf::Impl::Entry& e = *local_entries[id];
+    if (e.is_literal && !e.literal_value) continue;  // disqualified
+    if ((in_s[r] || psi_changed[r]) && pattern_of_entry[id] == nullptr) {
+      bool was_cached = false;
+      const PatternEstimators* pat = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(im.mu);
+        HYPER_ASSIGN_OR_RETURN(
+            pat, im.EnsurePatternLocked(*im.entries[id], &was_cached,
+                                        &train_seconds));
+      }
+      pattern_of_entry[id] = pat;
+      if (used_patterns.insert(pat).second && was_cached) ++pattern_hits;
+    }
+  }
 
   // Pass B (parallel): blocks are independent (§3.3), so each one is
   // evaluated on its own accumulator — estimators are read-only here — and
   // the partials merge in block order, bit-identical to a sequential fold.
+  const std::vector<std::vector<size_t>>& block_rows = im.block_rows;
   std::vector<std::pair<double, double>> partials(block_rows.size(),
                                                   {0.0, 0.0});
   std::vector<Status> block_status(block_rows.size());
@@ -1346,7 +1532,8 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
     std::vector<double> x;
     x.reserve(num_features + psi_specs.size());
     for (size_t r : block_rows[b]) {
-      const ResidualEntry& e = *entries[entry_of_row[r]];
+      const uint32_t id = entry_of_row[r];
+      const PreparedWhatIf::Impl::Entry& e = *local_entries[id];
       if (e.is_literal && !e.literal_value) continue;  // disqualified
       const bool affected = in_s[r] || psi_changed[r];
       if (!affected) {
@@ -1359,8 +1546,8 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
         }
         if (!qualifies) continue;
         double value = 0.0;
-        if (out_eval.has_value()) {
-          auto vr = out_eval->Eval(r);
+        if (im.out_eval.has_value()) {
+          auto vr = im.out_eval->Eval(r);
           if (!vr.ok()) return vr.status();
           auto dr = vr->AsDouble();
           if (!dr.ok()) return dr.status();
@@ -1371,19 +1558,19 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
       }
 
       // Affected tuple: estimate at the post-update feature point.
-      const PatternEstimators* pat = e.pattern;
+      const PatternEstimators* pat = pattern_of_entry[id];
       x.clear();
-      for (size_t j = 0; j < q.updates.size(); ++j) {
+      for (size_t j = 0; j < updates.size(); ++j) {
         if (!in_s[r]) {
-          x.push_back(feat[j][r]);
+          x.push_back(im.feat[j][r]);
         } else if (upost[j].is_set) {
           x.push_back(set_feature[j]);
         } else {
-          x.push_back(snap_feature(j, upost[j].per_row[r]));
+          x.push_back(im.SnapFeature(j, upost[j].per_row[r]));
         }
       }
-      for (size_t j = q.updates.size(); j < num_features; ++j) {
-        x.push_back(feat[j][r]);
+      for (size_t j = updates.size(); j < num_features; ++j) {
+        x.push_back(im.feat[j][r]);
       }
       for (size_t p = 0; p < psi_specs.size(); ++p) {
         x.push_back(psi_post[p][r]);
@@ -1404,10 +1591,7 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
     return Status::OK();
   };
 
-  const size_t threads = options_.num_threads == 0
-                             ? ThreadPool::DefaultThreads()
-                             : options_.num_threads;
-  if (threads <= 1 || block_rows.size() <= 1) {
+  if (block_threads <= 1 || block_rows.size() <= 1) {
     for (size_t b = 0; b < block_rows.size(); ++b) {
       block_status[b] = eval_block(b);
     }
@@ -1428,11 +1612,62 @@ Result<WhatIfResult> WhatIfEngine::RunColumnar(
     acc.MergeBlockPartial(num, den);
   }
 
-  result.num_patterns = patterns.size();
+  result.num_patterns = used_patterns.size();
+  result.pattern_cache_hits = pattern_hits;
   result.train_seconds = train_seconds;
   HYPER_ASSIGN_OR_RETURN(result.value, acc.Finish());
-  result.total_seconds = total_timer.ElapsedSeconds();
+  result.eval_seconds = eval_timer.ElapsedSeconds();
+  result.total_seconds = result.eval_seconds;
   return result;
+}
+
+}  // namespace
+
+Result<WhatIfResult> WhatIfEngine::Evaluate(
+    const PreparedWhatIf& plan, const std::vector<UpdateSpec>& updates) const {
+  const size_t threads = options_.num_threads == 0
+                             ? ThreadPool::DefaultThreads()
+                             : options_.num_threads;
+  return EvaluatePrepared(*plan.impl_, updates, threads);
+}
+
+Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
+    const PreparedWhatIf& plan,
+    const std::vector<std::vector<UpdateSpec>>& interventions) const {
+  std::vector<WhatIfResult> results(interventions.size());
+  if (interventions.empty()) return results;
+  const size_t threads = options_.num_threads == 0
+                             ? ThreadPool::DefaultThreads()
+                             : options_.num_threads;
+  std::vector<Status> statuses(interventions.size());
+  if (threads <= 1 || interventions.size() == 1) {
+    for (size_t i = 0; i < interventions.size(); ++i) {
+      auto r = EvaluatePrepared(*plan.impl_, interventions[i], threads);
+      if (!r.ok()) {
+        statuses[i] = r.status();
+      } else {
+        results[i] = std::move(r).value();
+      }
+    }
+  } else {
+    // Shard across interventions; each evaluation runs its block loop
+    // single-threaded to keep the pool busy with whole interventions.
+    // Every evaluation is deterministic on its own, so results[i] is
+    // bit-for-bit identical to a sequential Evaluate(interventions[i]).
+    ThreadPool::Shared().ParallelFor(
+        interventions.size(), [&](size_t i) {
+          auto r = EvaluatePrepared(*plan.impl_, interventions[i], 1);
+          if (!r.ok()) {
+            statuses[i] = r.status();
+          } else {
+            results[i] = std::move(r).value();
+          }
+        });
+  }
+  for (const Status& s : statuses) {
+    HYPER_RETURN_NOT_OK(s);
+  }
+  return results;
 }
 
 }  // namespace hyper::whatif

@@ -1,6 +1,7 @@
 #ifndef HYPER_WHATIF_ENGINE_H_
 #define HYPER_WHATIF_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,10 +64,62 @@ struct WhatIfResult {
   size_t view_rows = 0;
   size_t updated_rows = 0;   // |S|
   size_t num_blocks = 1;
-  size_t num_patterns = 0;   // distinct post-residual formulas estimated
+  size_t num_patterns = 0;   // distinct post-residual formulas this query used
   std::vector<std::string> backdoor;  // adjustment set (causal names)
+  /// Estimator training actually incurred by this call (0 when every needed
+  /// pattern estimator was already trained on the shared plan).
   double train_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Plan construction (view + backdoor + encode + training matrix) charged
+  /// to this call; ~0 when the plan came from a cache.
+  double prepare_seconds = 0.0;
+  /// Per-intervention evaluation time (includes lazy pattern training).
+  double eval_seconds = 0.0;
+  /// True when a ScenarioService / PlanCache served the prepared plan.
+  bool plan_cache_hit = false;
+  /// Pattern estimators this query needed that were already trained on the
+  /// shared plan (by an earlier query or batch sibling).
+  size_t pattern_cache_hits = 0;
+};
+
+/// A prepared what-if plan: the relevant view (columnar image), the backdoor
+/// adjustment set, fitted encoders, the training matrix, the compiled hole
+/// plan for residual folding, and a lazily-grown cache of trained pattern
+/// estimators. Preparation is the expensive, intervention-independent part
+/// of a what-if run; `WhatIfEngine::Evaluate` answers any intervention over
+/// the same (view, update attributes, When, For, Output) shape against it.
+///
+/// A prepared plan is immutable except for its internal estimator cache,
+/// which is mutex-guarded: concurrent Evaluate calls are safe and return
+/// answers bit-for-bit identical to fresh single-query runs.
+class PreparedWhatIf {
+ public:
+  ~PreparedWhatIf();
+  PreparedWhatIf(const PreparedWhatIf&) = delete;
+  PreparedWhatIf& operator=(const PreparedWhatIf&) = delete;
+
+  /// Update attributes (in statement order) an intervention must target.
+  const std::vector<std::string>& update_attributes() const {
+    return update_attributes_;
+  }
+  const std::vector<std::string>& backdoor() const { return backdoor_; }
+  size_t view_rows() const { return view_rows_; }
+  size_t updated_rows() const { return updated_rows_; }
+  double prepare_seconds() const { return prepare_seconds_; }
+
+  /// Opaque internals (defined in engine.cc).
+  struct Impl;
+
+ private:
+  friend class WhatIfEngine;
+  PreparedWhatIf();
+
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::string> update_attributes_;
+  std::vector<std::string> backdoor_;
+  size_t view_rows_ = 0;
+  size_t updated_rows_ = 0;
+  double prepare_seconds_ = 0.0;
 };
 
 /// The HypeR what-if engine (§3.3): builds the relevant view, interprets the
@@ -79,11 +132,34 @@ class WhatIfEngine {
   WhatIfEngine(const Database* db, const causal::CausalGraph* graph,
                WhatIfOptions options = {});
 
-  /// Runs a parsed what-if statement.
+  /// Runs a parsed what-if statement. On the columnar path this is exactly
+  /// Prepare + Evaluate, so cached plans reproduce Run bit-for-bit.
   Result<WhatIfResult> Run(const sql::WhatIfStmt& stmt) const;
 
   /// Parses and runs query text (must be a what-if statement).
   Result<WhatIfResult> RunSql(const std::string& text) const;
+
+  /// Builds the intervention-independent plan for `stmt`: relevant view,
+  /// adjustment set, encoders, training matrix, residual hole plan. The
+  /// update constants/functions of `stmt` are ignored — only the update
+  /// attribute list matters. Returns Unimplemented when the statement needs
+  /// the legacy row path (callers should fall back to Run).
+  Result<std::shared_ptr<const PreparedWhatIf>> Prepare(
+      const sql::WhatIfStmt& stmt) const;
+
+  /// Evaluates one intervention against a prepared plan. `updates` must
+  /// target the plan's update attributes in order; constants and update
+  /// functions are free. Thread-safe; answers are bit-for-bit identical to
+  /// a fresh Run of the corresponding statement.
+  Result<WhatIfResult> Evaluate(const PreparedWhatIf& plan,
+                                const std::vector<UpdateSpec>& updates) const;
+
+  /// Evaluates N interventions against one prepared plan in a single sharded
+  /// pass over the worker pool. results[i] corresponds to interventions[i]
+  /// and is identical to Evaluate(plan, interventions[i]).
+  Result<std::vector<WhatIfResult>> EvaluateBatch(
+      const PreparedWhatIf& plan,
+      const std::vector<std::vector<UpdateSpec>>& interventions) const;
 
   /// Human-readable execution plan: relevant-view shape, When selectivity,
   /// update interpretation, target attributes and the adjustment set the
@@ -96,9 +172,6 @@ class WhatIfEngine {
  private:
   /// Legacy interpreter: row store + per-row Env lookups.
   Result<WhatIfResult> RunRows(const sql::WhatIfStmt& stmt) const;
-  /// Columnar path: dictionary-encoded columns, compiled expressions,
-  /// memoized residual folding and a parallel block loop.
-  Result<WhatIfResult> RunColumnar(const sql::WhatIfStmt& stmt) const;
 
   const Database* db_;
   const causal::CausalGraph* graph_;  // nullable

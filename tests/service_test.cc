@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "data/datasets.h"
+#include "howto/engine.h"
+#include "service/plan_cache.h"
+#include "service/scenario_service.h"
+#include "sql/parser.h"
+#include "whatif/engine.h"
+
+namespace hyper::service {
+namespace {
+
+// The cache-correctness contract under test: every answer produced through
+// the service / prepared-plan / batch machinery must be BIT-FOR-BIT equal
+// (==, not NEAR) to a fresh single-query WhatIfEngine::Run.
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() {
+    data::GermanOptions options;
+    options.rows = 800;
+    options.seed = 11;
+    auto ds = data::MakeGermanSyn(options);
+    EXPECT_TRUE(ds.ok()) << ds.status();
+    db_ = std::move(ds->db);
+    graph_ = std::move(ds->graph);
+  }
+
+  whatif::WhatIfOptions EngineOptions(whatif::BackdoorMode mode,
+                                      learn::EstimatorKind estimator) const {
+    whatif::WhatIfOptions options;
+    options.backdoor = mode;
+    options.estimator = estimator;
+    options.forest.num_trees = 4;  // keep forest runs quick
+    return options;
+  }
+
+  std::unique_ptr<ScenarioService> MakeService(
+      const whatif::WhatIfOptions& whatif_options, size_t capacity = 64,
+      size_t num_threads = 1) const {
+    ServiceOptions options;
+    options.whatif = whatif_options;
+    options.plan_cache_capacity = capacity;
+    options.num_threads = num_threads;
+    return std::make_unique<ScenarioService>(db_, graph_, options);
+  }
+
+  double FreshRun(const std::string& query,
+                  const whatif::WhatIfOptions& options) const {
+    whatif::WhatIfEngine engine(&db_, &graph_, options);
+    auto result = engine.RunSql(query);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result->value;
+  }
+
+  Database db_;
+  causal::CausalGraph graph_;
+};
+
+constexpr const char* kQuery =
+    "Use German When Status = 1 Update(Status) = 2 Output Count(Credit = 1)";
+constexpr const char* kAvgQuery =
+    "Use German When Age = 1 Update(Savings) = 2 Output Avg(Post(Credit))";
+
+// --- cached-vs-uncached bit-equality across modes and estimators ----------
+
+TEST_F(ServiceTest, CachedAnswersBitEqualAcrossModesAndEstimators) {
+  const whatif::BackdoorMode modes[] = {
+      whatif::BackdoorMode::kGraph, whatif::BackdoorMode::kAllAttributes,
+      whatif::BackdoorMode::kUpdateOnly};
+  const learn::EstimatorKind estimators[] = {learn::EstimatorKind::kFrequency,
+                                             learn::EstimatorKind::kForest};
+  for (whatif::BackdoorMode mode : modes) {
+    for (learn::EstimatorKind estimator : estimators) {
+      const whatif::WhatIfOptions options = EngineOptions(mode, estimator);
+      const double expected = FreshRun(kQuery, options);
+
+      auto service = MakeService(options);
+      Response cold = service->Submit({"main", kQuery, {}});
+      ASSERT_TRUE(cold.ok()) << cold.status;
+      Response warm = service->Submit({"main", kQuery, {}});
+      ASSERT_TRUE(warm.ok()) << warm.status;
+
+      EXPECT_EQ(expected, cold.whatif.value)
+          << whatif::BackdoorModeName(mode) << "/"
+          << learn::EstimatorKindName(estimator);
+      EXPECT_EQ(expected, warm.whatif.value)
+          << whatif::BackdoorModeName(mode) << "/"
+          << learn::EstimatorKindName(estimator);
+      EXPECT_FALSE(cold.whatif.plan_cache_hit);
+      EXPECT_TRUE(warm.whatif.plan_cache_hit);
+      EXPECT_GT(warm.whatif.pattern_cache_hits, 0u);
+      EXPECT_EQ(0.0, warm.whatif.train_seconds);
+    }
+  }
+}
+
+TEST_F(ServiceTest, AvgOutputCachedBitEqual) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  const double expected = FreshRun(kAvgQuery, options);
+  auto service = MakeService(options);
+  EXPECT_EQ(expected, service->Submit({"main", kAvgQuery, {}}).whatif.value);
+  EXPECT_EQ(expected, service->Submit({"main", kAvgQuery, {}}).whatif.value);
+}
+
+// --- prepared plans and batched evaluation --------------------------------
+
+TEST_F(ServiceTest, EvaluateBatchMatchesFreshRuns) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  whatif::WhatIfEngine engine(&db_, &graph_, options);
+
+  auto stmt = sql::ParseSql(kQuery);
+  ASSERT_TRUE(stmt.ok());
+  auto plan = engine.Prepare(*stmt->whatif);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  std::vector<std::vector<whatif::UpdateSpec>> interventions;
+  for (int v = 0; v <= 3; ++v) {
+    whatif::UpdateSpec spec;
+    spec.attribute = "Status";
+    spec.func = sql::UpdateFuncKind::kSet;
+    spec.constant = Value::Int(v);
+    interventions.push_back({spec});
+  }
+  auto batch = engine.EvaluateBatch(**plan, interventions);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(4u, batch->size());
+
+  for (int v = 0; v <= 3; ++v) {
+    const double expected = FreshRun(
+        "Use German When Status = 1 Update(Status) = " + std::to_string(v) +
+            " Output Count(Credit = 1)",
+        options);
+    EXPECT_EQ(expected, (*batch)[v].value) << "Status <- " << v;
+  }
+}
+
+TEST_F(ServiceTest, SubmitWhatIfBatchMatchesSingles) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kForest);
+  auto service = MakeService(options);
+
+  std::vector<std::vector<whatif::UpdateSpec>> interventions;
+  for (int v = 0; v <= 3; ++v) {
+    whatif::UpdateSpec spec;
+    spec.attribute = "Status";
+    spec.func = sql::UpdateFuncKind::kSet;
+    spec.constant = Value::Int(v);
+    interventions.push_back({spec});
+  }
+  auto batch = service->SubmitWhatIfBatch("main", kQuery, interventions);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+
+  for (int v = 0; v <= 3; ++v) {
+    const double expected = FreshRun(
+        "Use German When Status = 1 Update(Status) = " + std::to_string(v) +
+            " Output Count(Credit = 1)",
+        options);
+    EXPECT_EQ(expected, (*batch)[v].value) << "Status <- " << v;
+  }
+}
+
+// --- scenario branches ----------------------------------------------------
+
+TEST_F(ServiceTest, BranchIsolation) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  auto service = MakeService(options);
+  const double main_before = service->Submit({"main", kQuery, {}}).whatif.value;
+
+  ASSERT_TRUE(service->CreateScenario("b1", "main").ok());
+  auto updated = service->ApplyHypotheticalSql(
+      "b1", "Use German When Savings = 0 Update(Credit) = 0 Output Count(*)");
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_GT(*updated, 0u);
+
+  const double b1_value = service->Submit({"b1", kQuery, {}}).whatif.value;
+  const double main_after = service->Submit({"main", kQuery, {}}).whatif.value;
+  EXPECT_EQ(main_before, main_after);  // updates never leak out of b1
+  EXPECT_NE(main_before, b1_value);    // ...and b1 sees its own world
+
+  // A sibling branched from main stays at the pre-update world; a child
+  // branched from b1 inherits (chains) its deltas.
+  ASSERT_TRUE(service->CreateScenario("b2", "main").ok());
+  EXPECT_EQ(main_before, service->Submit({"b2", kQuery, {}}).whatif.value);
+  ASSERT_TRUE(service->CreateScenario("b1-child", "b1").ok());
+  EXPECT_EQ(b1_value,
+            service->Submit({"b1-child", kQuery, {}}).whatif.value);
+
+  // Chained update on the child only.
+  auto chained = service->ApplyHypotheticalSql(
+      "b1-child",
+      "Use German When Savings = 1 Update(Credit) = 0 Output Count(*)");
+  ASSERT_TRUE(chained.ok()) << chained.status();
+  EXPECT_EQ(b1_value, service->Submit({"b1", kQuery, {}}).whatif.value);
+  EXPECT_NE(b1_value,
+            service->Submit({"b1-child", kQuery, {}}).whatif.value);
+}
+
+TEST_F(ServiceTest, BranchManagementErrors) {
+  auto service = MakeService(EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency));
+  EXPECT_FALSE(service->DropScenario("main").ok());
+  EXPECT_FALSE(service->CreateScenario("x", "nope").ok());
+  ASSERT_TRUE(service->CreateScenario("x").ok());
+  EXPECT_FALSE(service->CreateScenario("x").ok());
+  EXPECT_TRUE(service->DropScenario("x").ok());
+  EXPECT_FALSE(service->Submit({"ghost", kQuery, {}}).ok());
+  // Immutable attributes reject hypothetical updates.
+  auto bad = service->ApplyHypotheticalSql(
+      "main", "Use German Update(Age) = 1 Output Count(*)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(ServiceTest, EmptyHypotheticalKeepsCachedPlans) {
+  auto service = MakeService(EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency));
+  ASSERT_TRUE(service->Submit({"main", kQuery, {}}).ok());
+  // When selects nothing: the world is data-identical, so the branch must
+  // not invalidate (no version bump, no fingerprint change) and the next
+  // submit still hits the cached plan.
+  auto updated = service->ApplyHypotheticalSql(
+      "main", "Use German When Status = 99 Update(Status) = 2 "
+              "Output Count(*)");
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_EQ(0u, *updated);
+  EXPECT_TRUE(service->Submit({"main", kQuery, {}}).whatif.plan_cache_hit);
+}
+
+// --- LRU eviction ---------------------------------------------------------
+
+TEST_F(ServiceTest, LruEvictionUnderSmallCapacity) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  auto service = MakeService(options, /*capacity=*/2);
+
+  const std::string queries[] = {
+      "Use German When Status = 0 Update(Status) = 2 Output Count(Credit = 1)",
+      "Use German When Status = 1 Update(Status) = 2 Output Count(Credit = 1)",
+      "Use German When Status = 2 Update(Status) = 3 Output Count(Credit = 1)",
+  };
+  for (const std::string& q : queries) {
+    ASSERT_TRUE(service->Submit({"main", q, {}}).ok());
+  }
+  PlanCacheStats stats = service->cache_stats();
+  EXPECT_EQ(2u, stats.entries);
+  EXPECT_EQ(1u, stats.evictions);
+  EXPECT_EQ(3u, stats.misses);
+
+  // The oldest entry was evicted: re-submitting it misses (and evicts the
+  // next-oldest), and the answer is still bit-identical to a fresh run.
+  Response again = service->Submit({"main", queries[0], {}});
+  EXPECT_FALSE(again.whatif.plan_cache_hit);
+  EXPECT_EQ(FreshRun(queries[0], options), again.whatif.value);
+  stats = service->cache_stats();
+  EXPECT_EQ(4u, stats.misses);
+  EXPECT_EQ(2u, stats.evictions);
+
+  // The most recent entry is still cached.
+  EXPECT_TRUE(service->Submit({"main", queries[2], {}}).whatif.plan_cache_hit);
+}
+
+TEST_F(ServiceTest, CapacityZeroDisablesCaching) {
+  auto service = MakeService(
+      EngineOptions(whatif::BackdoorMode::kGraph,
+                    learn::EstimatorKind::kFrequency),
+      /*capacity=*/0);
+  EXPECT_FALSE(service->Submit({"main", kQuery, {}}).whatif.plan_cache_hit);
+  EXPECT_FALSE(service->Submit({"main", kQuery, {}}).whatif.plan_cache_hit);
+  EXPECT_EQ(0u, service->cache_stats().entries);
+}
+
+// --- concurrency ----------------------------------------------------------
+
+TEST_F(ServiceTest, ConcurrentSubmitDeterminism) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kForest);
+
+  // Reference values from fresh single-query runs.
+  std::vector<std::string> queries;
+  std::vector<double> expected;
+  for (int v = 0; v <= 3; ++v) {
+    queries.push_back(
+        "Use German When Status = 1 Update(Status) = " + std::to_string(v) +
+        " Output Count(Credit = 1)");
+    expected.push_back(FreshRun(queries.back(), options));
+  }
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    auto service = MakeService(options, 64, threads);
+    std::vector<Request> requests;
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const std::string& q : queries) {
+        requests.push_back({"main", q, {}});
+      }
+    }
+    std::vector<Response> responses = service->SubmitBatch(requests);
+    ASSERT_EQ(requests.size(), responses.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      ASSERT_TRUE(responses[i].ok()) << responses[i].status;
+      EXPECT_EQ(expected[i % queries.size()], responses[i].whatif.value)
+          << "threads=" << threads << " request=" << i;
+    }
+  }
+}
+
+TEST_F(ServiceTest, ConcurrentExplicitThreadsDeterminism) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  const double expected = FreshRun(kQuery, options);
+  auto service = MakeService(options);
+
+  std::vector<double> values(8, 0.0);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < values.size(); ++t) {
+    workers.emplace_back([&, t] {
+      values[t] = service->Submit({"main", kQuery, {}}).whatif.value;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (double v : values) EXPECT_EQ(expected, v);
+}
+
+// --- how-to through shared plans ------------------------------------------
+
+TEST_F(ServiceTest, HowToSharedPlansBitEqualToLegacyPath) {
+  const std::string stmt_text =
+      "Use German HowToUpdate Status ToMaximize Count(Credit = 1)";
+  for (learn::EstimatorKind estimator :
+       {learn::EstimatorKind::kFrequency, learn::EstimatorKind::kForest}) {
+    howto::HowToOptions legacy;
+    legacy.whatif = EngineOptions(whatif::BackdoorMode::kGraph, estimator);
+    legacy.share_plans = false;
+    howto::HowToOptions shared = legacy;
+    shared.share_plans = true;
+
+    howto::HowToEngine legacy_engine(&db_, &graph_, legacy);
+    howto::HowToEngine shared_engine(&db_, &graph_, shared);
+    auto a = legacy_engine.RunSql(stmt_text);
+    auto b = shared_engine.RunSql(stmt_text);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+
+    EXPECT_EQ(a->baseline_value, b->baseline_value);
+    EXPECT_EQ(a->objective_value, b->objective_value);
+    EXPECT_EQ(a->PlanToString(), b->PlanToString());
+    ASSERT_EQ(a->candidates.size(), b->candidates.size());
+    for (size_t i = 0; i < a->candidates.size(); ++i) {
+      ASSERT_EQ(a->candidates[i].size(), b->candidates[i].size());
+      for (size_t j = 0; j < a->candidates[i].size(); ++j) {
+        EXPECT_EQ(a->candidates[i][j].objective_value,
+                  b->candidates[i][j].objective_value);
+      }
+    }
+    // The shared path actually shared: estimators were reused across
+    // candidates instead of retrained.
+    EXPECT_EQ(0u, a->pattern_cache_hits);
+    EXPECT_GT(b->pattern_cache_hits, 0u);
+  }
+}
+
+TEST_F(ServiceTest, HowToThroughServiceReusesCacheAcrossRuns) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  auto service = MakeService(options);
+  const std::string stmt_text =
+      "Use German HowToUpdate Status ToMaximize Count(Credit = 1)";
+
+  Response first = service->Submit({"main", stmt_text, {}});
+  ASSERT_TRUE(first.ok()) << first.status;
+  Response second = service->Submit({"main", stmt_text, {}});
+  ASSERT_TRUE(second.ok()) << second.status;
+
+  EXPECT_EQ(first.howto.objective_value, second.howto.objective_value);
+  EXPECT_EQ(first.howto.PlanToString(), second.howto.PlanToString());
+  EXPECT_EQ(0u, first.howto.plan_cache_hits);
+  EXPECT_GT(second.howto.plan_cache_hits, 0u);
+  EXPECT_EQ(0.0, second.howto.train_seconds);
+}
+
+// --- invalidation ---------------------------------------------------------
+
+TEST_F(ServiceTest, ReloadDatasetInvalidatesCache) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->Submit({"main", kQuery, {}}).ok());
+  EXPECT_EQ(1u, service->cache_stats().entries);
+
+  // Reload with different data: the old plan must not serve the new world.
+  data::GermanOptions german;
+  german.rows = 500;
+  german.seed = 99;
+  auto ds = data::MakeGermanSyn(german);
+  ASSERT_TRUE(ds.ok());
+  service->ReloadDataset(std::move(ds->db));
+  EXPECT_EQ(0u, service->cache_stats().entries);
+
+  std::shared_ptr<const Database> reloaded =
+      service->EffectiveDatabase("main").value();
+  whatif::WhatIfEngine fresh(reloaded.get(), &graph_, options);
+  Response after = service->Submit({"main", kQuery, {}});
+  ASSERT_TRUE(after.ok()) << after.status;
+  EXPECT_FALSE(after.whatif.plan_cache_hit);
+  EXPECT_EQ(fresh.RunSql(kQuery)->value, after.whatif.value);
+}
+
+// --- the storage substrate the branches ride on ---------------------------
+
+TEST_F(ServiceTest, DatabaseShallowCopyIsCopyOnWrite) {
+  Database shallow = db_.ShallowCopy();
+  const Table* original = db_.GetTable("German").value();
+  EXPECT_EQ(original, shallow.GetTable("German").value());  // shared storage
+  EXPECT_EQ(db_.ContentFingerprint(), shallow.ContentFingerprint());
+
+  const Value before = original->At(0, 2);
+  Table* detached = shallow.GetMutableTable("German").value();
+  EXPECT_NE(static_cast<const Table*>(detached), original);  // detached
+  detached->SetValue(0, 2, Value::Int(before.Equals(Value::Int(3)) ? 2 : 3));
+  EXPECT_TRUE(db_.GetTable("German").value()->At(0, 2).Equals(before))
+      << "mutation leaked into the base";
+  EXPECT_NE(db_.ContentFingerprint(), shallow.ContentFingerprint());
+
+  // Deep Clone stays eagerly independent (the SCM oracle mutates through
+  // raw Table pointers taken before the clone).
+  Database deep = db_.Clone();
+  EXPECT_NE(db_.GetTable("German").value(), deep.GetTable("German").value());
+  EXPECT_EQ(db_.ContentFingerprint(), deep.ContentFingerprint());
+}
+
+}  // namespace
+}  // namespace hyper::service
