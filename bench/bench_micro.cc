@@ -31,6 +31,7 @@
 #include "relational/select.h"
 #include "sql/parser.h"
 #include "storage/column.h"
+#include "whatif/compile.h"
 #include "whatif/engine.h"
 
 namespace hyper {
@@ -91,7 +92,7 @@ void BM_ForestTrain(benchmark::State& state) {
   const Table& t = *ds.db.GetTable("German").value();
   auto encoder =
       learn::FeatureEncoder::Fit(t, {"Status", "Age", "Sex"}).value();
-  learn::Matrix x = encoder.EncodeAll(t).value();
+  learn::FeatureMatrix x = encoder.EncodeAll(t).value();
   std::vector<double> y = learn::ExtractTarget(t, "Credit").value();
   learn::ForestOptions options;
   options.num_trees = static_cast<size_t>(state.range(0));
@@ -100,7 +101,7 @@ void BM_ForestTrain(benchmark::State& state) {
     benchmark::DoNotOptimize(forest.Fit(x, y));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(x.size()));
+                          static_cast<int64_t>(x.num_rows()));
 }
 BENCHMARK(BM_ForestTrain)->Arg(4)->Arg(16);
 
@@ -109,14 +110,14 @@ void BM_FrequencyFit(benchmark::State& state) {
   const Table& t = *ds.db.GetTable("German").value();
   auto encoder =
       learn::FeatureEncoder::Fit(t, {"Status", "Age", "Sex"}).value();
-  learn::Matrix x = encoder.EncodeAll(t).value();
+  learn::FeatureMatrix x = encoder.EncodeAll(t).value();
   std::vector<double> y = learn::ExtractTarget(t, "Credit").value();
   for (auto _ : state) {
     learn::FrequencyEstimator estimator;
     benchmark::DoNotOptimize(estimator.Fit(x, y));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(x.size()));
+                          static_cast<int64_t>(x.num_rows()));
 }
 BENCHMARK(BM_FrequencyFit);
 
@@ -407,6 +408,167 @@ void RunComparisonSuite(bool smoke) {
                 {"row_store_s", row_s},
                 {"columnar_s", col_s},
                 {"speedup", row_s / col_s}});
+  }
+
+  // 5. Estimator training: exact sort-based tree splits vs pre-binned
+  // histogram training, and per-row vs batched tree inference, on the
+  // german-syn forest configuration (the what-if estimator workload).
+  {
+    data::GermanOptions gopt;
+    gopt.rows = smoke ? 2000 : 7000;
+    auto gds = bench::Unwrap(data::MakeGermanSyn(gopt), "german_syn");
+    const Table& t = *gds.db.GetTable("German").value();
+    auto encoder =
+        bench::Unwrap(learn::FeatureEncoder::Fit(
+                          t, {"Status", "Savings", "Housing", "CreditHistory",
+                              "CreditAmount", "Age", "Sex"}),
+                      "fit encoder");
+    learn::FeatureMatrix x = bench::Unwrap(encoder.EncodeAll(t), "encode");
+    std::vector<double> y =
+        bench::Unwrap(learn::ExtractTarget(t, "Credit"), "target");
+
+    learn::ForestOptions fo;
+    fo.num_trees = 16;
+    fo.num_threads = 1;  // single-core substrate measurement
+    const size_t train_reps = smoke ? 3 : 5;
+
+    fo.tree.use_histograms = false;
+    const double exact_s = bench::TimePerRep(train_reps, [&] {
+      learn::RandomForestRegressor forest(fo);
+      bench::CheckOk(forest.Fit(x, y), "exact forest fit");
+      sink += static_cast<double>(forest.num_trees());
+    });
+    fo.tree.use_histograms = true;
+    const double hist_s = bench::TimePerRep(train_reps, [&] {
+      learn::RandomForestRegressor forest(fo);
+      bench::CheckOk(forest.Fit(x, y), "histogram forest fit");
+      sink += static_cast<double>(forest.num_trees());
+    });
+    out.Record("estimator_train_forest",
+               {{"rows", static_cast<double>(x.num_rows())},
+                {"features", static_cast<double>(x.num_cols())},
+                {"trees", static_cast<double>(fo.num_trees)},
+                {"exact_s", exact_s},
+                {"histogram_s", hist_s},
+                {"speedup", exact_s / hist_s}});
+
+    // Batched inference against per-row virtual Predict on the same forest,
+    // with a bit-equality assertion (PredictBatch's contract).
+    learn::RandomForestRegressor forest(fo);
+    bench::CheckOk(forest.Fit(x, y), "forest fit");
+    const size_t pred_reps = smoke ? 5 : 20;
+    std::vector<double> per_row(x.num_rows());
+    const double perrow_s = bench::TimePerRep(pred_reps, [&] {
+      std::vector<double> point(x.num_cols());
+      const learn::ConditionalMeanEstimator& est = forest;  // virtual per row
+      for (size_t r = 0; r < x.num_rows(); ++r) {
+        point.assign(x.row(r), x.row(r) + x.num_cols());
+        per_row[r] = est.Predict(point);
+      }
+      sink += per_row.back();
+    });
+    std::vector<double> batched(x.num_rows());
+    const double batch_s = bench::TimePerRep(pred_reps, [&] {
+      forest.PredictBatch(x, batched);
+      sink += batched.back();
+    });
+    if (std::memcmp(per_row.data(), batched.data(),
+                    per_row.size() * sizeof(double)) != 0) {
+      std::fprintf(stderr,
+                   "[bench] PredictBatch diverges from per-row Predict\n");
+      std::exit(1);
+    }
+    out.Record("predict_batch_forest",
+               {{"rows", static_cast<double>(x.num_rows())},
+                {"per_row_s", perrow_s},
+                {"batched_s", batch_s},
+                {"speedup", perrow_s / batch_s}});
+  }
+
+  // 6. What-if prepare/evaluate on the german-syn forest config: cold
+  // prepare+train with exact vs histogram training, and warm Evaluate with
+  // per-row vs batched inference (bit-equality enforced on the latter —
+  // identical estimators, different loop).
+  {
+    data::GermanOptions gopt;
+    gopt.rows = smoke ? 2000 : 7000;
+    auto gds = bench::Unwrap(data::MakeGermanSyn(gopt), "german_syn");
+    auto stmt = bench::Unwrap(
+        sql::ParseSql("Use German When Status = 1 Update(Status) = 2 "
+                      "Output Count(Credit = 1)"),
+        "parse");
+    const std::vector<whatif::UpdateSpec> specs =
+        whatif::SpecsOfStatement(*stmt.whatif);
+
+    whatif::WhatIfOptions base;
+    base.estimator = learn::EstimatorKind::kForest;
+    base.forest.num_trees = 16;
+    base.num_threads = 1;
+
+    auto cold_seconds = [&](const whatif::WhatIfOptions& options,
+                            double* value) {
+      whatif::WhatIfEngine engine(&gds.db, &gds.graph, options);
+      const size_t reps = smoke ? 2 : 3;
+      return bench::TimePerRep(reps, [&] {
+        auto plan = bench::Unwrap(engine.Prepare(*stmt.whatif), "prepare");
+        auto result = bench::Unwrap(engine.Evaluate(*plan, specs), "eval");
+        *value = result.value;
+        sink += result.value;
+      });
+    };
+
+    whatif::WhatIfOptions exact_opt = base;
+    exact_opt.forest.tree.use_histograms = false;
+    exact_opt.batched_inference = false;
+    double exact_value = 0.0, hist_value = 0.0;
+    const double cold_exact_s = cold_seconds(exact_opt, &exact_value);
+    const double cold_hist_s = cold_seconds(base, &hist_value);
+    // German's features are small-cardinality, so histogram training is in
+    // its parity regime and the answers must agree exactly; guard loosely
+    // anyway in case the dataset generator changes shape.
+    if (std::fabs(exact_value - hist_value) >
+        1e-6 * std::max(1.0, std::fabs(exact_value))) {
+      std::fprintf(stderr,
+                   "[bench] histogram what-if diverges: %.17g vs %.17g\n",
+                   exact_value, hist_value);
+      std::exit(1);
+    }
+    out.Record("whatif_prepare_forest",
+               {{"rows", static_cast<double>(gds.db.TotalRows())},
+                {"exact_cold_s", cold_exact_s},
+                {"histogram_cold_s", cold_hist_s},
+                {"speedup", cold_exact_s / cold_hist_s}});
+
+    // Warm Evaluate A/B on one shared plan per engine: estimators are
+    // identical (histogram-trained), only the inference loop differs.
+    auto warm_seconds = [&](const whatif::WhatIfOptions& options,
+                            double* value) {
+      whatif::WhatIfEngine engine(&gds.db, &gds.graph, options);
+      auto plan = bench::Unwrap(engine.Prepare(*stmt.whatif), "prepare");
+      *value =
+          bench::Unwrap(engine.Evaluate(*plan, specs), "train eval").value;
+      const size_t reps = smoke ? 5 : 10;
+      return bench::TimePerRep(reps, [&] {
+        auto result = bench::Unwrap(engine.Evaluate(*plan, specs), "eval");
+        sink += result.value;
+      });
+    };
+    whatif::WhatIfOptions per_row_opt = base;
+    per_row_opt.batched_inference = false;
+    double warm_perrow_value = 0.0, warm_batched_value = 0.0;
+    const double warm_perrow_s = warm_seconds(per_row_opt, &warm_perrow_value);
+    const double warm_batched_s = warm_seconds(base, &warm_batched_value);
+    if (warm_perrow_value != warm_batched_value) {
+      std::fprintf(stderr,
+                   "[bench] batched evaluate diverges: %.17g vs %.17g\n",
+                   warm_perrow_value, warm_batched_value);
+      std::exit(1);
+    }
+    out.Record("whatif_evaluate_forest",
+               {{"rows", static_cast<double>(gds.db.TotalRows())},
+                {"per_row_s", warm_perrow_s},
+                {"batched_s", warm_batched_s},
+                {"speedup", warm_perrow_s / warm_batched_s}});
   }
 
   if (sink == 42.0) std::printf("(unlikely sink)\n");  // defeat DCE

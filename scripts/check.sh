@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Pre-merge gate: configure + build + full test suite + benchmark smoke.
+# Pre-merge gate: configure + build + full test suite + perf gate.
 #
 # Usage: scripts/check.sh [build-dir]
 #
-# Exits non-zero on the first failure. The bench smoke run also asserts that
-# the columnar engine reproduces the row interpreter's answers exactly, so a
-# green check covers both correctness and the perf substrate's wiring.
+# Exits non-zero on the first failure. The perf gate (`ctest -L perf`) runs
+# the histogram/batched-inference parity tests and the bench smoke runs,
+# which assert that the columnar engine reproduces the row interpreter, that
+# cached/batched answers are bit-identical to fresh runs, and that
+# PredictBatch matches per-row Predict — so a green check covers both
+# correctness and the perf substrate's wiring.
 
 set -euo pipefail
 
@@ -19,20 +22,11 @@ echo "== build =="
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 echo "== ctest =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" -LE perf
 
-echo "== bench smoke =="
-if [ -x "$BUILD_DIR/bench_micro" ]; then
-  (cd "$BUILD_DIR" && ./bench_micro --smoke)
-else
-  # google-benchmark is optional in CMakeLists.txt; without it the binary
-  # is never built and the smoke stage has nothing to run.
-  echo "bench_micro not built (google-benchmark missing); skipping smoke"
-fi
-
-echo "== scenario service smoke =="
-# Exits non-zero on any cached/batched answer that is not bit-for-bit
-# identical to a fresh single-query run.
-(cd "$BUILD_DIR" && ./bench_scenarios --smoke)
+echo "== perf gate (parity tests + bench smoke) =="
+# bench_micro_smoke exists only when google-benchmark was found; ctest runs
+# whatever perf tests are registered.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
 
 echo "== check passed =="

@@ -1,0 +1,87 @@
+#include "learn/binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyper::learn {
+
+Result<BinnedMatrix> BinnedMatrix::Build(const FeatureMatrix& x,
+                                         size_t max_bins) {
+  if (max_bins == 0) {
+    return Status::InvalidArgument("max_bins must be positive");
+  }
+  max_bins = std::min<size_t>(max_bins, 256);  // codes are uint8_t
+
+  BinnedMatrix out;
+  out.num_rows_ = x.num_rows();
+  out.num_features_ = x.num_cols();
+  out.offsets_.assign(out.num_features_ + 1, 0);
+  out.codes_.assign(out.num_rows_ * out.num_features_, 0);
+
+  const size_t n = out.num_rows_;
+  std::vector<double> sorted(n);
+  for (size_t f = 0; f < out.num_features_; ++f) {
+    for (size_t r = 0; r < n; ++r) {
+      const double v = x.At(r, f);
+      if (std::isnan(v)) {
+        // Checked before the sort: NaN breaks strict weak ordering, so it
+        // must never reach std::sort or the lower_bound code assignment.
+        return Status::InvalidArgument("cannot bin NaN feature values");
+      }
+      sorted[r] = v;
+    }
+    std::sort(sorted.begin(), sorted.end());
+
+    // Walk the sorted column once, closing a bin when it has reached its
+    // equal-count share AND the next value differs (bins never split a tie
+    // run, so every raw value maps to exactly one bin). With <= max_bins
+    // distinct values every distinct value closes its own bin.
+    const size_t feature_offset = out.bin_min_.size();
+    out.offsets_[f] = feature_offset;
+    if (n == 0) continue;
+    size_t distinct = 1;
+    for (size_t r = 1; r < n; ++r) {
+      if (sorted[r] != sorted[r - 1]) ++distinct;
+    }
+    const size_t target_bins = std::min(distinct, max_bins);
+    size_t bin_start = 0;  // first sorted index of the open bin
+    size_t bins_made = 0;
+    for (size_t r = 0; r < n; ++r) {
+      const bool last = r + 1 == n;
+      const bool tie = !last && sorted[r + 1] == sorted[r];
+      // Close after index r when we're at the end, or the bin has consumed
+      // its share of rows, or one bin per distinct value is wanted.
+      const size_t filled = r + 1 - bin_start;
+      const size_t remaining_bins = target_bins - bins_made;
+      const size_t remaining_rows = n - bin_start;
+      const bool quota = filled * remaining_bins >= remaining_rows;
+      if (last || (!tie && (quota || target_bins == distinct))) {
+        if (!last && remaining_bins == 1) continue;  // rest joins last bin
+        out.bin_min_.push_back(sorted[bin_start]);
+        out.bin_max_.push_back(sorted[r]);
+        ++bins_made;
+        bin_start = r + 1;
+      }
+    }
+    const size_t bins = out.bin_min_.size() - feature_offset;
+    if (bins > 256) {
+      return Status::Internal("binning produced more than 256 bins");
+    }
+
+    // Assign codes: first bin whose max covers the value. Values outside the
+    // build range clamp into the end bins (only reachable if callers bin one
+    // matrix and code another, which the engine never does).
+    const double* bmax = out.bin_max_.data() + feature_offset;
+    for (size_t r = 0; r < n; ++r) {
+      const double v = x.At(r, f);
+      const size_t b =
+          std::lower_bound(bmax, bmax + bins, v) - bmax;
+      out.codes_[r * out.num_features_ + f] =
+          static_cast<uint8_t>(b < bins ? b : bins - 1);
+    }
+  }
+  out.offsets_[out.num_features_] = out.bin_min_.size();
+  return out;
+}
+
+}  // namespace hyper::learn

@@ -1,0 +1,70 @@
+#ifndef HYPER_LEARN_BINNING_H_
+#define HYPER_LEARN_BINNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "learn/feature_matrix.h"
+
+namespace hyper::learn {
+
+/// Pre-binned image of a FeatureMatrix for histogram tree training
+/// (LightGBM-style): every feature is quantile-binned to at most 256
+/// uint8_t codes, computed ONCE per training matrix and shared across all
+/// pattern estimators and all trees of a forest. Codes are stored row-major
+/// so a node's histogram accumulation reads one contiguous byte row per
+/// training tuple.
+///
+/// Per-bin metadata keeps the raw-value extrema observed at build time:
+/// split thresholds are placed halfway between the left bin's max and the
+/// right bin's min, so when every distinct value gets its own bin (<= 256
+/// distinct values) histogram splits evaluate the same candidate set at the
+/// same thresholds as the exact sort-based splitter. Split *gains* sum the
+/// targets per bin rather than per sorted row, so the two paths produce
+/// identical trees whenever target partial sums are exact in double
+/// (indicator 0/1 targets — every weight estimator — and integer-valued
+/// outputs); fractional targets can differ in the last ulp and flip a
+/// near-tied split.
+class BinnedMatrix {
+ public:
+  /// Bins `x` with at most `max_bins` (clamped to 256) codes per feature.
+  /// Features with <= max_bins distinct values get one bin per value;
+  /// denser features get equal-count (quantile) bins.
+  static Result<BinnedMatrix> Build(const FeatureMatrix& x,
+                                    size_t max_bins = 256);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Codes of one row, contiguous, one byte per feature.
+  const uint8_t* row_codes(size_t r) const {
+    return codes_.data() + r * num_features_;
+  }
+  uint8_t code(size_t r, size_t f) const {
+    return codes_[r * num_features_ + f];
+  }
+
+  /// Bin count of feature `f`.
+  size_t num_bins(size_t f) const { return offsets_[f + 1] - offsets_[f]; }
+  /// Offset of feature `f`'s bins in the flattened histogram layout.
+  size_t bin_offset(size_t f) const { return offsets_[f]; }
+  /// Total bins across all features — the flattened histogram length.
+  size_t total_bins() const { return offsets_.back(); }
+
+  /// Smallest / largest raw value binned into (f, b) at build time.
+  double bin_min(size_t f, size_t b) const { return bin_min_[offsets_[f] + b]; }
+  double bin_max(size_t f, size_t b) const { return bin_max_[offsets_[f] + b]; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+  std::vector<uint8_t> codes_;     // row-major, num_rows x num_features
+  std::vector<size_t> offsets_;    // per-feature bin offsets, size F+1
+  std::vector<double> bin_min_;    // flattened per-bin minima
+  std::vector<double> bin_max_;    // flattened per-bin maxima
+};
+
+}  // namespace hyper::learn
+
+#endif  // HYPER_LEARN_BINNING_H_

@@ -158,23 +158,27 @@ Result<std::vector<double>> FeatureEncoder::EncodeRow(const Table& table,
   return out;
 }
 
-Result<Matrix> FeatureEncoder::EncodeAll(const Table& table) const {
-  Matrix out;
-  out.reserve(table.num_rows());
+Result<FeatureMatrix> FeatureEncoder::EncodeAll(const Table& table) const {
+  FeatureMatrix out(table.num_rows(), columns_.size());
   for (size_t t = 0; t < table.num_rows(); ++t) {
-    HYPER_ASSIGN_OR_RETURN(std::vector<double> row, EncodeRow(table, t));
-    out.push_back(std::move(row));
+    double* row = out.mutable_row(t);
+    for (size_t f = 0; f < columns_.size(); ++f) {
+      HYPER_ASSIGN_OR_RETURN(row[f],
+                             EncodeValue(f, table.At(t, column_indices_[f])));
+    }
   }
   return out;
 }
 
-Result<Matrix> FeatureEncoder::EncodeSubset(
+Result<FeatureMatrix> FeatureEncoder::EncodeSubset(
     const Table& table, const std::vector<size_t>& tids) const {
-  Matrix out;
-  out.reserve(tids.size());
-  for (size_t t : tids) {
-    HYPER_ASSIGN_OR_RETURN(std::vector<double> row, EncodeRow(table, t));
-    out.push_back(std::move(row));
+  FeatureMatrix out(tids.size(), columns_.size());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    double* row = out.mutable_row(i);
+    for (size_t f = 0; f < columns_.size(); ++f) {
+      HYPER_ASSIGN_OR_RETURN(
+          row[f], EncodeValue(f, table.At(tids[i], column_indices_[f])));
+    }
   }
   return out;
 }

@@ -6,13 +6,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "learn/feature_matrix.h"
 #include "storage/column.h"
 #include "storage/table.h"
 
 namespace hyper::learn {
-
-/// Row-major numeric feature matrix.
-using Matrix = std::vector<std::vector<double>>;
 
 /// Maps table columns to numeric features: numeric columns pass through,
 /// string columns are label-encoded in first-seen order. The encoder is
@@ -47,10 +45,11 @@ class FeatureEncoder {
   /// Encodes one table row (by the fitted column set).
   Result<std::vector<double>> EncodeRow(const Table& table, size_t tid) const;
 
-  /// Encodes every row of `table` (or of the subset `tids`).
-  Result<Matrix> EncodeAll(const Table& table) const;
-  Result<Matrix> EncodeSubset(const Table& table,
-                              const std::vector<size_t>& tids) const;
+  /// Encodes every row of `table` (or of the subset `tids`) into a flat
+  /// row-major matrix.
+  Result<FeatureMatrix> EncodeAll(const Table& table) const;
+  Result<FeatureMatrix> EncodeSubset(const Table& table,
+                                     const std::vector<size_t>& tids) const;
 
  private:
   std::vector<std::string> columns_;

@@ -2,6 +2,7 @@
 #define HYPER_LEARN_ESTIMATOR_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -21,16 +22,33 @@ class ConditionalMeanEstimator {
   virtual ~ConditionalMeanEstimator() = default;
 
   /// Trains on feature matrix X (one row per example) and targets y.
-  virtual Status Fit(const Matrix& x, const std::vector<double>& y) = 0;
+  /// (Matrix literals convert implicitly — see FeatureMatrix.)
+  virtual Status Fit(const FeatureMatrix& x, const std::vector<double>& y) = 0;
 
   /// Predicts E[y | x]. Must be called after a successful Fit.
   virtual double Predict(const std::vector<double>& x) const = 0;
 
-  /// Batch prediction convenience.
-  std::vector<double> PredictAll(const Matrix& x) const {
-    std::vector<double> out;
-    out.reserve(x.size());
-    for (const auto& row : x) out.push_back(Predict(row));
+  /// Predicts E[y | x] for every row of `x` into `out` (out.size() must be
+  /// x.num_rows()). Bit-for-bit identical to calling Predict per row, but
+  /// one virtual dispatch per batch instead of per tuple — concrete
+  /// estimators override with tree-at-a-time / pointer-walking loops. This
+  /// is the inference entry point of the what-if Evaluate hot path.
+  virtual void PredictBatch(const FeatureMatrix& x,
+                            std::span<double> out) const {
+    std::vector<double> row(x.num_cols());
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      const double* src = x.row(r);
+      row.assign(src, src + x.num_cols());
+      out[r] = Predict(row);
+    }
+  }
+
+  /// DEPRECATED: allocating batch-prediction convenience; prefer
+  /// PredictBatch with a caller-owned buffer. Kept for API compatibility;
+  /// now reserves up front by delegating to PredictBatch.
+  std::vector<double> PredictAll(const FeatureMatrix& x) const {
+    std::vector<double> out(x.num_rows());
+    PredictBatch(x, out);
     return out;
   }
 };

@@ -1,0 +1,70 @@
+#ifndef HYPER_LEARN_FEATURE_MATRIX_H_
+#define HYPER_LEARN_FEATURE_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace hyper::learn {
+
+/// Legacy row-of-rows feature matrix. Kept as a construction convenience
+/// (tests build literals with nested braces); everything on the training and
+/// inference hot path takes a FeatureMatrix.
+using Matrix = std::vector<std::vector<double>>;
+
+/// Flat, contiguous row-major feature matrix: one allocation, rows at stride
+/// num_cols. This replaces Matrix = vector<vector<double>> on the estimator
+/// hot path — tree training walks columns of many rows per node and batched
+/// inference walks rows, and both want cache-line locality instead of a
+/// pointer chase per row.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+
+  /// Zero-initialized matrix with the given shape.
+  FeatureMatrix(size_t num_rows, size_t num_cols)
+      : num_rows_(num_rows), num_cols_(num_cols), data_(num_rows * num_cols) {}
+
+  /// Adopts a flat row-major buffer of `num_cols`-wide rows (buffer size
+  /// must be a multiple of num_cols; for num_cols == 0 the matrix is empty).
+  FeatureMatrix(size_t num_cols, std::vector<double> data)
+      : num_rows_(num_cols == 0 ? 0 : data.size() / num_cols),
+        num_cols_(num_cols),
+        data_(std::move(data)) {}
+
+  /// Converting constructor from the legacy row-of-rows shape (implicit on
+  /// purpose: call sites migrate by recompiling). Ragged inputs are squared
+  /// off to the first row's width; rows beyond it are truncated, short rows
+  /// zero-padded — in practice every producer emits rectangular data.
+  FeatureMatrix(const Matrix& rows) {  // NOLINT(google-explicit-constructor)
+    num_rows_ = rows.size();
+    num_cols_ = rows.empty() ? 0 : rows.front().size();
+    data_.resize(num_rows_ * num_cols_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      const size_t copy = rows[r].size() < num_cols_ ? rows[r].size()
+                                                     : num_cols_;
+      for (size_t c = 0; c < copy; ++c) data_[r * num_cols_ + c] = rows[r][c];
+    }
+  }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return num_cols_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  const double* row(size_t r) const { return data_.data() + r * num_cols_; }
+  double* mutable_row(size_t r) { return data_.data() + r * num_cols_; }
+
+  double At(size_t r, size_t c) const { return data_[r * num_cols_ + c]; }
+  void Set(size_t r, size_t c, double v) { data_[r * num_cols_ + c] = v; }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hyper::learn
+
+#endif  // HYPER_LEARN_FEATURE_MATRIX_H_

@@ -1,16 +1,42 @@
 #include "learn/forest.h"
 
 #include <cmath>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace hyper::learn {
 
-Status RandomForestRegressor::Fit(const Matrix& x,
+Status RandomForestRegressor::Fit(const FeatureMatrix& x,
                                   const std::vector<double>& y) {
-  if (x.size() != y.size()) {
+  if (options_.tree.use_histograms && !x.empty()) {
+    HYPER_ASSIGN_OR_RETURN(BinnedMatrix binned,
+                           BinnedMatrix::Build(x, options_.tree.max_bins));
+    return FitImpl(x, &binned, y);
+  }
+  return FitImpl(x, /*binned=*/nullptr, y);
+}
+
+Status RandomForestRegressor::FitPreBinned(const FeatureMatrix& x,
+                                           const BinnedMatrix& binned,
+                                           const std::vector<double>& y) {
+  if (!options_.tree.use_histograms) {
+    return Status::InvalidArgument(
+        "FitPreBinned requires tree.use_histograms");
+  }
+  if (binned.num_rows() != x.num_rows() ||
+      binned.num_features() != x.num_cols()) {
+    return Status::InvalidArgument(
+        "binned matrix shape does not match the feature matrix");
+  }
+  return FitImpl(x, &binned, y);
+}
+
+Status RandomForestRegressor::FitImpl(const FeatureMatrix& x,
+                                      const BinnedMatrix* binned,
+                                      const std::vector<double>& y) {
+  if (x.num_rows() != y.size()) {
     return Status::InvalidArgument("feature/target row counts differ");
   }
   if (x.empty()) {
@@ -21,15 +47,15 @@ Status RandomForestRegressor::Fit(const Matrix& x,
 
   TreeOptions tree_options = options_.tree;
   if (tree_options.max_features == 0 && options_.sqrt_features &&
-      !x[0].empty()) {
+      x.num_cols() > 0) {
     tree_options.max_features = static_cast<size_t>(
-        std::ceil(std::sqrt(static_cast<double>(x[0].size()))));
+        std::ceil(std::sqrt(static_cast<double>(x.num_cols()))));
   }
 
   // Draw every bootstrap sample up front from one sequential stream so the
   // forest is deterministic regardless of how training is scheduled.
   Rng rng(options_.seed);
-  const size_t n = x.size();
+  const size_t n = x.num_rows();
   const size_t sample_size = std::max<size_t>(
       1, static_cast<size_t>(options_.subsample * static_cast<double>(n)));
   std::vector<std::vector<size_t>> bootstraps(options_.num_trees);
@@ -42,27 +68,38 @@ Status RandomForestRegressor::Fit(const Matrix& x,
     trees_.emplace_back(tree_options, /*seed=*/options_.seed + 7919 * (t + 1));
   }
 
-  // Train trees in parallel when the work is worth the thread overhead.
-  const size_t hardware = std::thread::hardware_concurrency();
-  const size_t workers = std::min<size_t>(
-      options_.num_trees,
-      hardware > 1 && n * options_.num_trees > 65536 ? hardware : 1);
+  // Worker budget: an explicit num_threads wins; in auto mode (0) small
+  // problems stay sequential — thread handoff would dominate the work.
+  size_t budget = options_.num_threads == 0 ? ThreadPool::DefaultThreads()
+                                            : options_.num_threads;
+  if (options_.num_threads == 0 && n * options_.num_trees <= 65536) {
+    budget = 1;
+  }
+  const size_t workers = std::min<size_t>(options_.num_trees, budget);
+
+  auto fit_one = [&](size_t t) -> Status {
+    if (binned != nullptr) {
+      return trees_[t].FitBinned(*binned, y, std::move(bootstraps[t]));
+    }
+    return trees_[t].FitSubset(x, y, std::move(bootstraps[t]));
+  };
+
   std::vector<Status> statuses(options_.num_trees);
   if (workers <= 1) {
     for (size_t t = 0; t < options_.num_trees; ++t) {
-      statuses[t] = trees_[t].FitSubset(x, y, std::move(bootstraps[t]));
+      statuses[t] = fit_one(t);
     }
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        for (size_t t = w; t < options_.num_trees; t += workers) {
-          statuses[t] = trees_[t].FitSubset(x, y, std::move(bootstraps[t]));
-        }
-      });
-    }
-    for (std::thread& thread : threads) thread.join();
+    // Strided shards over the shared pool: `workers` tasks regardless of
+    // pool width, so an explicit budget caps concurrency even when the
+    // process-wide pool is larger. Trees are independent and every tree's
+    // result is a function of its (seed, bootstrap) alone, so scheduling
+    // never changes the forest.
+    ThreadPool::Shared().ParallelFor(workers, [&](size_t w) {
+      for (size_t t = w; t < options_.num_trees; t += workers) {
+        statuses[t] = fit_one(t);
+      }
+    });
   }
   for (const Status& status : statuses) {
     HYPER_RETURN_NOT_OK(status);
@@ -74,9 +111,24 @@ double RandomForestRegressor::Predict(const std::vector<double>& x) const {
   HYPER_DCHECK(!trees_.empty());
   double total = 0.0;
   for (const DecisionTreeRegressor& tree : trees_) {
-    total += tree.Predict(x);
+    total += tree.PredictRow(x.data());
   }
   return total / static_cast<double>(trees_.size());
+}
+
+void RandomForestRegressor::PredictBatch(const FeatureMatrix& x,
+                                         std::span<double> out) const {
+  HYPER_DCHECK(!trees_.empty());
+  HYPER_DCHECK(out.size() == x.num_rows());
+  std::fill(out.begin(), out.end(), 0.0);
+  // Tree-at-a-time accumulation in tree order: every row's sum folds the
+  // trees in exactly the order per-row Predict does, so the means match
+  // bit for bit.
+  for (const DecisionTreeRegressor& tree : trees_) {
+    tree.PredictBatchAdd(x, out.data());
+  }
+  const double scale = static_cast<double>(trees_.size());
+  for (double& v : out) v /= scale;
 }
 
 }  // namespace hyper::learn

@@ -4,23 +4,24 @@
 
 namespace hyper::learn {
 
-Status FrequencyEstimator::Fit(const Matrix& x, const std::vector<double>& y) {
-  if (x.size() != y.size()) {
+Status FrequencyEstimator::Fit(const FeatureMatrix& x,
+                               const std::vector<double>& y) {
+  if (x.num_rows() != y.size()) {
     return Status::InvalidArgument("feature/target row counts differ");
   }
   if (x.empty()) {
     return Status::InvalidArgument("cannot fit estimator on zero rows");
   }
-  num_features_ = x[0].size();
+  num_features_ = x.num_cols();
   tables_.clear();
   const size_t levels = backoff_ ? num_features_ : 1;
   tables_.resize(std::max<size_t>(levels, 1));
 
   double total = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
+  for (size_t i = 0; i < x.num_rows(); ++i) {
     total += y[i];
     if (num_features_ == 0) continue;
-    const double* row = x[i].data();
+    const double* row = x.row(i);
     size_t h = kFnvOffset;
     if (backoff_) {
       for (size_t k = 0; k < num_features_; ++k) {
@@ -53,16 +54,24 @@ Status FrequencyEstimator::Fit(const Matrix& x, const std::vector<double>& y) {
       ++it->second.count;
     }
   }
-  global_mean_ = total / static_cast<double>(x.size());
+  global_mean_ = total / static_cast<double>(x.num_rows());
   return Status::OK();
 }
 
 double FrequencyEstimator::Predict(const std::vector<double>& x) const {
   HYPER_DCHECK(x.size() == num_features_);
-  if (num_features_ == 0 || tables_.empty()) return global_mean_;
+  return PredictPtr(x.data());
+}
 
-  // Running prefix hashes: hashes[k] covers x[0..k].
-  const double* row = x.data();
+void FrequencyEstimator::PredictBatch(const FeatureMatrix& x,
+                                      std::span<double> out) const {
+  HYPER_DCHECK(x.num_cols() == num_features_);
+  HYPER_DCHECK(out.size() == x.num_rows());
+  for (size_t r = 0; r < x.num_rows(); ++r) out[r] = PredictPtr(x.row(r));
+}
+
+double FrequencyEstimator::PredictPtr(const double* row) const {
+  if (num_features_ == 0 || tables_.empty()) return global_mean_;
   if (!backoff_) {
     size_t h = kFnvOffset;
     for (size_t k = 0; k < num_features_; ++k) h = HashStep(h, row[k]);

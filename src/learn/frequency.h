@@ -34,8 +34,14 @@ class FrequencyEstimator : public ConditionalMeanEstimator {
   explicit FrequencyEstimator(bool backoff = true, double smoothing = 0.0)
       : backoff_(backoff), smoothing_(smoothing) {}
 
-  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+  Status Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
   double Predict(const std::vector<double>& x) const override;
+
+  /// Pointer-walking batch prediction: one incremental-hash lookup chain per
+  /// row, no per-row virtual dispatch or vector copies. Bit-for-bit
+  /// identical to per-row Predict.
+  void PredictBatch(const FeatureMatrix& x,
+                    std::span<double> out) const override;
 
   /// Number of distinct feature vectors with support (index size).
   size_t support_size() const {
@@ -96,6 +102,8 @@ class FrequencyEstimator : public ConditionalMeanEstimator {
   static size_t HashStep(size_t h, double d) {
     return (h ^ std::hash<double>()(d)) * kFnvPrime;
   }
+
+  double PredictPtr(const double* row) const;
 
   bool backoff_ = true;
   double smoothing_ = 0.0;

@@ -2,10 +2,12 @@
 #define HYPER_LEARN_TREE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "learn/binning.h"
 #include "learn/estimator.h"
 
 namespace hyper::learn {
@@ -19,6 +21,15 @@ struct TreeOptions {
   /// Cap on candidate thresholds per feature per node; larger = finer splits
   /// but slower training.
   size_t max_thresholds = 64;
+  /// Histogram training (default): features are pre-binned to <= max_bins
+  /// uint8_t codes and each node scans per-feature (count, sum_y, sum_y^2)
+  /// histograms — O(n*f) per node with the sibling-subtraction trick —
+  /// instead of re-sorting (value, target) pairs per feature per node.
+  /// Off = the exact sort-based splitter, kept for A/B benchmarking; with
+  /// bins >= distinct values the two produce identical trees.
+  bool use_histograms = true;
+  /// Bin budget per feature for histogram training (clamped to 256).
+  size_t max_bins = 256;
 };
 
 /// CART regression tree: axis-aligned splits chosen by variance reduction,
@@ -29,17 +40,46 @@ class DecisionTreeRegressor : public ConditionalMeanEstimator {
                                  uint64_t seed = 42)
       : options_(options), rng_(seed) {}
 
-  Status Fit(const Matrix& x, const std::vector<double>& y) override;
+  Status Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
 
-  /// Trains on the subset of rows `rows` of (x, y) — used by forests for
-  /// bootstrap samples without copying the matrix.
-  Status FitSubset(const Matrix& x, const std::vector<double>& y,
+  /// Trains on the subset of rows `rows` of (x, y) with the exact sort-based
+  /// splitter — used by forests for bootstrap samples without copying the
+  /// matrix.
+  Status FitSubset(const FeatureMatrix& x, const std::vector<double>& y,
+                   std::vector<size_t> rows);
+
+  /// Histogram training against a pre-binned matrix (built once by the
+  /// caller and shared across trees/estimators). Only the codes and bin
+  /// metadata are read — the raw matrix is not needed.
+  Status FitBinned(const BinnedMatrix& binned, const std::vector<double>& y,
                    std::vector<size_t> rows);
 
   double Predict(const std::vector<double>& x) const override;
 
+  /// Non-virtual single-row traversal over a contiguous feature row.
+  double PredictRow(const double* x) const {
+    int node = 0;
+    while (nodes_[node].feature >= 0) {
+      const Node& n = nodes_[node];
+      node = x[n.feature] <= n.threshold ? n.left : n.right;
+    }
+    return nodes_[node].value;
+  }
+
+  void PredictBatch(const FeatureMatrix& x,
+                    std::span<double> out) const override;
+
+  /// out[r] += Predict(row r) for every row — the forest's tree-at-a-time
+  /// accumulation kernel.
+  void PredictBatchAdd(const FeatureMatrix& x, double* out) const;
+
   size_t num_nodes() const { return nodes_.size(); }
   int depth() const { return depth_; }
+
+  /// Pre-order structural fingerprint ("feature:threshold" per split,
+  /// "=value" per leaf) — lets tests assert two trees are identical without
+  /// exposing the node layout.
+  std::string StructureDigest() const;
 
  private:
   struct Node {
@@ -50,18 +90,37 @@ class DecisionTreeRegressor : public ConditionalMeanEstimator {
     double value = 0.0;      // leaf prediction
   };
 
-  /// Builds the subtree over x/y rows [begin, end) of `order_` at `depth`;
-  /// returns the node index.
-  int BuildNode(const Matrix& x, const std::vector<double>& y, size_t begin,
-                size_t end, int depth);
+  /// Per-bin target statistics for histogram split finding.
+  struct BinStat {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    uint32_t count = 0;
+  };
+  using Hist = std::vector<BinStat>;  // flattened, BinnedMatrix layout
+
+  /// Builds the subtree over x/y rows [begin, end) of `order_` at `depth`
+  /// with the exact splitter; returns the node index.
+  int BuildNode(const FeatureMatrix& x, const std::vector<double>& y,
+                size_t begin, size_t end, int depth);
+
+  /// Histogram twin of BuildNode. `hist` is this node's histogram when the
+  /// parent already derived it (sibling subtraction), empty otherwise.
+  int BuildNodeHist(const BinnedMatrix& binned, const std::vector<double>& y,
+                    size_t begin, size_t end, int depth, Hist hist);
 
   struct Split {
     int feature = -1;
     double threshold = 0.0;
     double gain = 0.0;
+    int bin = -1;  // histogram mode: go left when code <= bin
   };
-  Split FindBestSplit(const Matrix& x, const std::vector<double>& y,
+  Split FindBestSplit(const FeatureMatrix& x, const std::vector<double>& y,
                       size_t begin, size_t end);
+  Split FindBestSplitHist(const BinnedMatrix& binned, size_t begin, size_t end,
+                          const Hist& hist, double total_sum, double total_sq);
+
+  Hist AccumulateHist(const BinnedMatrix& binned, const std::vector<double>& y,
+                      size_t begin, size_t end) const;
 
   TreeOptions options_;
   Rng rng_;

@@ -30,10 +30,11 @@ std::string WhatIfPlanKey(const std::string& scope,
       options.use_blocks ? 1 : 0, options.use_columnar ? 1 : 0);
   const learn::ForestOptions& f = options.forest;
   key += StrFormat(
-      "|forest=%zu,%.17g,%d,%llu,%d,%zu,%zu,%zu", f.num_trees, f.subsample,
-      f.sqrt_features ? 1 : 0, static_cast<unsigned long long>(f.seed),
-      f.tree.max_depth, f.tree.min_samples_leaf, f.tree.max_features,
-      f.tree.max_thresholds);
+      "|forest=%zu,%.17g,%d,%llu,%d,%zu,%zu,%zu,%d,%zu", f.num_trees,
+      f.subsample, f.sqrt_features ? 1 : 0,
+      static_cast<unsigned long long>(f.seed), f.tree.max_depth,
+      f.tree.min_samples_leaf, f.tree.max_features, f.tree.max_thresholds,
+      f.tree.use_histograms ? 1 : 0, f.tree.max_bins);
   return key;
 }
 

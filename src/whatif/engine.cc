@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -9,6 +10,7 @@
 #include <unordered_set>
 
 #include "causal/ground.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -166,7 +168,28 @@ std::unique_ptr<learn::ConditionalMeanEstimator> MakeEstimator(
   }
   learn::ForestOptions fo = options.forest;
   fo.seed = options.seed * 2654435761u + 17;
+  // The engine's thread budget (--threads at the service/shell layer) is
+  // also the forest trainer's budget, unless the forest was configured with
+  // its own. Training results are identical for every setting.
+  if (fo.num_threads == 0) fo.num_threads = options.num_threads;
   return std::make_unique<learn::RandomForestRegressor>(fo);
+}
+
+/// Trains a freshly-made pattern estimator, routing forests through the
+/// plan-shared pre-binned matrix when one is available (binning is a pure
+/// function of the training matrix, so sharing it never changes the trees).
+Status FitPatternEstimator(learn::ConditionalMeanEstimator* est,
+                           const WhatIfOptions& options,
+                           const learn::FeatureMatrix& x,
+                           const learn::BinnedMatrix* binned,
+                           const std::vector<double>& y) {
+  if (binned != nullptr &&
+      options.estimator == learn::EstimatorKind::kForest &&
+      options.forest.tree.use_histograms) {
+    return static_cast<learn::RandomForestRegressor*>(est)->FitPreBinned(
+        x, *binned, y);
+  }
+  return est->Fit(x, y);
 }
 
 double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
@@ -403,6 +426,28 @@ std::vector<std::vector<size_t>> BuildBlockRows(
     const causal::CausalGraph* graph, bool use_blocks, size_t n) {
   std::vector<std::vector<size_t>> block_rows;
   if (use_blocks && graph != nullptr) {
+    // Without cross-tuple edges the ground graph never connects two tuples:
+    // every base tuple is its own component, so the blocks are the view
+    // rows grouped by base tid — no need to materialize the ground graph.
+    // (Partials fold with g = Sum, so any refinement of the block partition
+    // produces the same value bit for bit.)
+    bool any_cross_tuple = false;
+    for (const causal::CausalEdge& e : graph->edges()) {
+      if (e.is_cross_tuple()) {
+        any_cross_tuple = true;
+        break;
+      }
+    }
+    if (!any_cross_tuple) {
+      std::unordered_map<size_t, size_t> block_index;
+      for (size_t r = 0; r < n; ++r) {
+        const size_t tid = q.view_info.view_row_to_tid[r];
+        auto [it, inserted] = block_index.emplace(tid, block_rows.size());
+        if (inserted) block_rows.emplace_back();
+        block_rows[it->second].push_back(r);
+      }
+      return block_rows;
+    }
     auto components = causal::TupleComponents::Build(*graph, db);
     if (components.ok()) {
       std::unordered_map<size_t, size_t> block_index;
@@ -846,13 +891,16 @@ Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
   double train_seconds = 0.0;
 
   // Pre-encode training features (observed values + psi_pre).
-  learn::Matrix train_x;
-  train_x.reserve(train_rows.size());
-  for (size_t r : train_rows) {
+  learn::FeatureMatrix train_x(train_rows.size(),
+                               feature_cols.size() + psi_specs.size());
+  for (size_t i = 0; i < train_rows.size(); ++i) {
+    const size_t r = train_rows[i];
     HYPER_ASSIGN_OR_RETURN(std::vector<double> x, encoder.EncodeRow(view, r));
-    for (size_t j = 0; j < x.size(); ++j) x[j] = snap_feature(j, x[j]);
-    for (size_t p = 0; p < psi_specs.size(); ++p) x.push_back(psi_pre[p][r]);
-    train_x.push_back(std::move(x));
+    double* row = train_x.mutable_row(i);
+    for (size_t j = 0; j < x.size(); ++j) row[j] = snap_feature(j, x[j]);
+    for (size_t p = 0; p < psi_specs.size(); ++p) {
+      row[feature_cols.size() + p] = psi_pre[p][r];
+    }
   }
 
   // Observed output values (Sum/Avg only).
@@ -1046,15 +1094,30 @@ struct PreparedWhatIf::Impl {
   std::vector<std::optional<learn::QuantileDiscretizer>> feature_disc;
   std::vector<std::vector<double>> feat;  // encoded + snapped, per feature
   std::vector<size_t> train_rows;
-  learn::Matrix train_x;
+  learn::FeatureMatrix train_x;
+  /// Quantile-binned image of train_x for histogram forest training,
+  /// computed once at prepare time and shared across every pattern
+  /// estimator and every tree (absent for other estimator configs).
+  std::optional<learn::BinnedMatrix> train_binned;
   std::vector<double> y_obs;
   std::optional<relational::ColumnBoundExpr> out_eval;
+  /// Per-row observed output values (pre image), precomputed once per plan.
+  /// Rows whose output expression errors carry out_err = 1; the error is
+  /// reproduced by re-evaluating only if such a row is actually consulted —
+  /// identical behavior to per-row evaluation.
+  std::vector<double> out_all;
+  std::vector<uint8_t> out_err;
 
   /// Hole plan: compiled maximal determined subtrees of the For predicate.
   /// Binding against a concrete post image happens per evaluation.
   std::vector<const Expr*> hole_exprs;  // point into q.for_pred (owned here)
   std::unordered_map<const Expr*, size_t> hole_of;
   std::vector<relational::CompiledExpr> hole_compiled;
+  /// True when every hole is row-invariant (no column references — e.g.
+  /// constant thresholds): all rows then share one residual entry per
+  /// intervention, the per-row hole evaluation disappears, and entries
+  /// cache their exact qualification mask across evaluations.
+  bool holes_row_invariant = false;
 
   std::vector<std::vector<size_t>> block_rows;
 
@@ -1074,6 +1137,11 @@ struct PreparedWhatIf::Impl {
     std::string key;
     ExprPtr residual;
     std::optional<relational::ColumnBoundExpr> exact;  // absent for literals
+    /// Pre-image qualification per row (0/1, 2 = evaluation error), built
+    /// once per entry when holes are row-invariant (then one entry serves
+    /// every row, so the mask is O(n) per plan, amortized across every
+    /// evaluation of the sweep). Empty otherwise — Pass B evaluates per row.
+    std::vector<uint8_t> exact_vals;
     const PatternEstimators* pattern = nullptr;        // set once trained
   };
 
@@ -1109,6 +1177,16 @@ struct PreparedWhatIf::Impl {
       HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
                              relational::ColumnBoundExpr::Bind(ce, cview));
       e->exact = std::move(be);
+      if (holes_row_invariant) {
+        // One entry serves every row: cache the pre-image qualification so
+        // repeated evaluations of this plan skip the per-row re-evaluation.
+        const size_t n = cview.num_rows();
+        e->exact_vals.resize(n);
+        for (size_t r = 0; r < n; ++r) {
+          auto qr = e->exact->EvalBool(r);
+          e->exact_vals[r] = qr.ok() ? (*qr ? 1 : 0) : 2;
+        }
+      }
     }
     e->residual = std::move(residual);
     entries.push_back(std::move(e));
@@ -1138,6 +1216,8 @@ struct PreparedWhatIf::Impl {
     pat.literal = e.is_literal;
     pat.literal_value = e.literal_value;
 
+    const learn::BinnedMatrix* binned =
+        train_binned.has_value() ? &*train_binned : nullptr;
     std::vector<double> ind(train_rows.size(), 1.0);
     if (!e.is_literal) {
       for (size_t i = 0; i < train_rows.size(); ++i) {
@@ -1145,7 +1225,8 @@ struct PreparedWhatIf::Impl {
         ind[i] = b ? 1.0 : 0.0;
       }
       pat.weight = MakeEstimator(options);
-      HYPER_RETURN_NOT_OK(pat.weight->Fit(train_x, ind));
+      HYPER_RETURN_NOT_OK(
+          FitPatternEstimator(pat.weight.get(), options, train_x, binned, ind));
     }
     if (q.output_value != nullptr && !(e.is_literal && !e.literal_value)) {
       std::vector<double> value_target(train_rows.size());
@@ -1153,7 +1234,8 @@ struct PreparedWhatIf::Impl {
         value_target[i] = y_obs[i] * ind[i];
       }
       pat.value = MakeEstimator(options);
-      HYPER_RETURN_NOT_OK(pat.value->Fit(train_x, value_target));
+      HYPER_RETURN_NOT_OK(FitPatternEstimator(pat.value.get(), options,
+                                              train_x, binned, value_target));
     }
     *train_seconds += train_timer.ElapsedSeconds();
     auto [ins, inserted] = patterns.emplace(e.key, std::move(pat));
@@ -1288,16 +1370,30 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
     for (size_t r = 0; r < n; ++r) im.train_rows[r] = r;
   }
 
-  // Training features: pure double copies out of the encoded columns.
-  im.train_x.reserve(im.train_rows.size());
-  for (size_t r : im.train_rows) {
-    std::vector<double> x;
-    x.reserve(num_features + psi_specs.size());
-    for (size_t j = 0; j < num_features; ++j) x.push_back(im.feat[j][r]);
+  // Training features: pure double copies out of the encoded columns, into
+  // one flat row-major allocation.
+  im.train_x = learn::FeatureMatrix(im.train_rows.size(),
+                                    num_features + psi_specs.size());
+  for (size_t i = 0; i < im.train_rows.size(); ++i) {
+    const size_t r = im.train_rows[i];
+    double* row = im.train_x.mutable_row(i);
+    for (size_t j = 0; j < num_features; ++j) row[j] = im.feat[j][r];
     for (size_t p = 0; p < psi_specs.size(); ++p) {
-      x.push_back(im.psi[p].psi_pre[r]);
+      row[num_features + p] = im.psi[p].psi_pre[r];
     }
-    im.train_x.push_back(std::move(x));
+  }
+
+  // Quantile-bin the training matrix once for histogram forest training;
+  // every pattern estimator and every tree shares these codes. (Binning is
+  // deterministic in the matrix alone, so plans trained from a shared
+  // binned image are bit-identical to independently trained ones.)
+  if (options_.estimator == learn::EstimatorKind::kForest &&
+      options_.forest.tree.use_histograms) {
+    HYPER_ASSIGN_OR_RETURN(
+        learn::BinnedMatrix binned,
+        learn::BinnedMatrix::Build(im.train_x,
+                                   options_.forest.tree.max_bins));
+    im.train_binned = std::move(binned);
   }
 
   // Observed output values (Sum/Avg only), via the compiled output
@@ -1309,17 +1405,41 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
     HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
                            relational::ColumnBoundExpr::Bind(ce, im.cview));
     im.out_eval = std::move(be);
+    // All-row output values, evaluated once: the Evaluate hot loop reads
+    // them directly and the training targets below are a gather. Errors
+    // outside the training rows do not fail Prepare — they are recorded
+    // and reproduced only if Evaluate actually consults that row.
+    im.out_all.resize(n);
+    im.out_err.assign(n, 0);
+    for (size_t r = 0; r < n; ++r) {
+      auto vr = im.out_eval->Eval(r);
+      if (vr.ok()) {
+        auto dr = vr->AsDouble();
+        if (dr.ok()) {
+          im.out_all[r] = *dr;
+          continue;
+        }
+      }
+      im.out_err[r] = 1;
+    }
     im.y_obs.resize(im.train_rows.size());
     for (size_t i = 0; i < im.train_rows.size(); ++i) {
-      HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
-                             im.out_eval->Eval(im.train_rows[i]));
-      HYPER_ASSIGN_OR_RETURN(im.y_obs[i], v.AsDouble());
+      const size_t r = im.train_rows[i];
+      if (im.out_err[r]) {
+        // A training row must evaluate cleanly; re-run to surface the
+        // original error status.
+        HYPER_ASSIGN_OR_RETURN(relational::Scalar v, im.out_eval->Eval(r));
+        HYPER_ASSIGN_OR_RETURN(im.y_obs[i], v.AsDouble());
+        continue;
+      }
+      im.y_obs[i] = im.out_all[r];
     }
   }
 
   // Hole plan for the For predicate: compile every maximal determined
   // subtree once. Binding against the intervention's post image happens per
   // evaluation (bindings are cheap; compilation is not).
+  im.holes_row_invariant = true;
   if (im.q.for_pred != nullptr) {
     std::unordered_set<const Expr*> random_nodes;
     MarkRandom(*im.q.for_pred, im.plan.random_cols, &random_nodes);
@@ -1329,6 +1449,11 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
       HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr ce,
                              relational::CompiledExpr::Compile(*h, im.scope));
       im.hole_compiled.push_back(std::move(ce));
+      // A hole without column references (a constant threshold, an
+      // arithmetic of literals) folds to the same value for every tuple.
+      std::vector<std::string> refs;
+      sql::CollectColumnRefs(*h, &refs);
+      if (!refs.empty()) im.holes_row_invariant = false;
     }
   }
 
@@ -1348,10 +1473,12 @@ namespace {
 
 /// The per-intervention fifth of a what-if run, against a prepared plan.
 /// `block_threads` shards the block loop (1 inside batch fan-out to avoid
-/// oversubscription); the answer is identical for every setting.
+/// oversubscription); `batched` is the serving engine's batched_inference
+/// choice (a plan can serve both A/B arms). The answer is identical for
+/// every setting of either knob.
 Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
                                       const std::vector<UpdateSpec>& updates,
-                                      size_t block_threads) {
+                                      size_t block_threads, bool batched) {
   Stopwatch eval_timer;
   WhatIfResult result;
   const CompiledWhatIf& q = im.q;
@@ -1465,10 +1592,49 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     hole_eval.push_back(std::move(be));
   }
 
-  // Pass A (sequential): resolve each row to its residual entry and make
-  // sure the pattern estimators needed by affected rows are trained. Entry
-  // and pattern caches are shared across every evaluation of this plan;
-  // evaluations snapshot raw pointers so Pass B runs lock-free.
+  /// Post-update feature point of row r, written into dst[0..dims).
+  const size_t dims = num_features + psi_specs.size();
+  auto emit_features = [&](size_t r, double* dst) {
+    for (size_t j = 0; j < updates.size(); ++j) {
+      if (!in_s[r]) {
+        dst[j] = im.feat[j][r];
+      } else if (upost[j].is_set) {
+        dst[j] = set_feature[j];
+      } else {
+        dst[j] = im.SnapFeature(j, upost[j].per_row[r]);
+      }
+    }
+    for (size_t j = updates.size(); j < num_features; ++j) {
+      dst[j] = im.feat[j][r];
+    }
+    for (size_t p = 0; p < psi_specs.size(); ++p) {
+      dst[num_features + p] = psi_post[p][r];
+    }
+  };
+
+  // Batched-inference state, spanning the whole evaluation (predictions are
+  // block-independent; only the accumulation is per block). Affected rows
+  // are deduplicated per residual pattern — rows sharing a post-update
+  // feature point (common with discrete adjustment sets and a Set
+  // intervention) share one prediction slot, since estimators are pure
+  // functions of the point. One PredictBatch per estimator then covers the
+  // distinct points; the block loop just reads its row's slot. Predictions
+  // (and the fold order) are bit-for-bit those of the per-row path.
+  struct EntryBatch {
+    std::vector<double> feat;  // row-major distinct points, dims wide
+    uint32_t count = 0;        // distinct points
+    /// FNV-of-bytes hash -> slots with that hash (memcmp resolves).
+    std::unordered_map<size_t, std::vector<uint32_t>> dedup;
+    std::vector<double> weights, values;  // per slot
+  };
+  std::vector<EntryBatch> batches;
+  std::vector<uint32_t> slot_of_row(batched ? n : 0);
+
+  // Pass A (sequential): resolve each row to its residual entry, make sure
+  // the pattern estimators needed by affected rows are trained, and gather
+  // the deduplicated feature points. Entry and pattern caches are shared
+  // across every evaluation of this plan; evaluations snapshot raw pointers
+  // so Pass B runs lock-free.
   double train_seconds = 0.0;
   std::vector<uint32_t> entry_of_row(n);
   std::vector<const PreparedWhatIf::Impl::Entry*> local_entries;
@@ -1479,33 +1645,57 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   std::unordered_set<const PatternEstimators*> used_patterns;
   size_t pattern_hits = 0;
   std::vector<Value> scratch;
+  std::vector<double> point(dims);
   auto grow_local = [&](uint32_t id) {
     if (id >= local_entries.size()) {
       local_entries.resize(id + 1, nullptr);
       pattern_of_entry.resize(id + 1, nullptr);
     }
   };
-  for (size_t r = 0; r < n; ++r) {
-    scratch.clear();
+  // Row-invariant holes (constant thresholds, or no For predicate at all):
+  // every row folds to the same residual, so resolve the shared entry once
+  // and skip the per-row hole evaluation + cache lookup entirely. Gated on
+  // batched_inference: the flag-off path faithfully reproduces the legacy
+  // per-row evaluation loop for A/B measurement.
+  const bool uniform = im.holes_row_invariant && batched;
+  uint32_t uniform_id = 0;
+  if (uniform) {
     for (const relational::ColumnBoundExpr& he : hole_eval) {
-      HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(r));
+      HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(0));
       scratch.push_back(s.ToValue());
     }
+    std::lock_guard<std::mutex> lock(im.mu);
+    HYPER_ASSIGN_OR_RETURN(uniform_id, im.ResolveEntryLocked(scratch));
+    grow_local(uniform_id);
+    local_entries[uniform_id] = im.entries[uniform_id].get();
+  }
+
+  for (size_t r = 0; r < n; ++r) {
     uint32_t id;
-    auto it = local_cache.find(scratch);
-    if (it != local_cache.end()) {
-      id = it->second;
+    if (uniform) {
+      id = uniform_id;
     } else {
-      std::lock_guard<std::mutex> lock(im.mu);
-      HYPER_ASSIGN_OR_RETURN(id, im.ResolveEntryLocked(scratch));
-      grow_local(id);
-      local_entries[id] = im.entries[id].get();
-      local_cache.emplace(scratch, id);
+      scratch.clear();
+      for (const relational::ColumnBoundExpr& he : hole_eval) {
+        HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(r));
+        scratch.push_back(s.ToValue());
+      }
+      auto it = local_cache.find(scratch);
+      if (it != local_cache.end()) {
+        id = it->second;
+      } else {
+        std::lock_guard<std::mutex> lock(im.mu);
+        HYPER_ASSIGN_OR_RETURN(id, im.ResolveEntryLocked(scratch));
+        grow_local(id);
+        local_entries[id] = im.entries[id].get();
+        local_cache.emplace(scratch, id);
+      }
     }
     entry_of_row[r] = id;
     const PreparedWhatIf::Impl::Entry& e = *local_entries[id];
     if (e.is_literal && !e.literal_value) continue;  // disqualified
-    if ((in_s[r] || psi_changed[r]) && pattern_of_entry[id] == nullptr) {
+    if (!(in_s[r] || psi_changed[r])) continue;      // exact in Pass B
+    if (pattern_of_entry[id] == nullptr) {
       bool was_cached = false;
       const PatternEstimators* pat = nullptr;
       {
@@ -1517,11 +1707,58 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       pattern_of_entry[id] = pat;
       if (used_patterns.insert(pat).second && was_cached) ++pattern_hits;
     }
+    if (!batched) continue;
+    const PatternEstimators* pat = pattern_of_entry[id];
+    if (pat->weight == nullptr && pat->value == nullptr) continue;
+    if (id >= batches.size()) batches.resize(id + 1);
+    EntryBatch& eb = batches[id];
+    emit_features(r, point.data());
+    Fnv1a hasher;
+    for (size_t i = 0; i < dims; ++i) {
+      uint64_t bits;
+      std::memcpy(&bits, &point[i], sizeof(bits));
+      hasher.Mix(bits);
+    }
+    std::vector<uint32_t>& slots = eb.dedup[hasher.hash()];
+    uint32_t slot = UINT32_MAX;
+    for (uint32_t s : slots) {
+      if (std::memcmp(eb.feat.data() + static_cast<size_t>(s) * dims,
+                      point.data(), dims * sizeof(double)) == 0) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == UINT32_MAX) {
+      slot = eb.count++;
+      slots.push_back(slot);
+      eb.feat.insert(eb.feat.end(), point.begin(), point.end());
+    }
+    slot_of_row[r] = slot;
+  }
+
+  // Batched inference: one PredictBatch per (pattern, estimator) over the
+  // distinct feature points collected above.
+  if (batched) {
+    for (uint32_t id = 0; id < batches.size(); ++id) {
+      EntryBatch& eb = batches[id];
+      if (eb.count == 0) continue;
+      const PatternEstimators* pat = pattern_of_entry[id];
+      const learn::FeatureMatrix points(dims, std::move(eb.feat));
+      if (pat->weight != nullptr) {
+        eb.weights.resize(points.num_rows());
+        pat->weight->PredictBatch(points, eb.weights);
+      }
+      if (pat->value != nullptr) {
+        eb.values.resize(points.num_rows());
+        pat->value->PredictBatch(points, eb.values);
+      }
+    }
   }
 
   // Pass B (parallel): blocks are independent (§3.3), so each one is
-  // evaluated on its own accumulator — estimators are read-only here — and
-  // the partials merge in block order, bit-identical to a sequential fold.
+  // evaluated on its own accumulator — estimators and batch slots are
+  // read-only here — and the partials merge in block order, bit-identical
+  // to a sequential fold.
   const std::vector<std::vector<size_t>>& block_rows = im.block_rows;
   std::vector<std::pair<double, double>> partials(block_rows.size(),
                                                   {0.0, 0.0});
@@ -1529,29 +1766,45 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   auto eval_block = [&](size_t b) -> Status {
     prob::BlockAccumulator bacc(q.output_agg);
     bacc.BeginBlock();
-    std::vector<double> x;
-    x.reserve(num_features + psi_specs.size());
+    std::vector<double> x(batched ? 0 : dims);
     for (size_t r : block_rows[b]) {
       const uint32_t id = entry_of_row[r];
       const PreparedWhatIf::Impl::Entry& e = *local_entries[id];
       if (e.is_literal && !e.literal_value) continue;  // disqualified
       const bool affected = in_s[r] || psi_changed[r];
       if (!affected) {
-        // Unchanged tuple: post == pre, everything is exact.
+        // Unchanged tuple: post == pre, everything is exact. Qualification
+        // and output value come from the plan-level caches when present;
+        // tri-state error marks reproduce the per-row error exactly.
         bool qualifies = e.literal_value;
         if (!e.is_literal) {
-          auto qr = e.exact->EvalBool(r);
-          if (!qr.ok()) return qr.status();
-          qualifies = *qr;
+          if (batched && !e.exact_vals.empty()) {
+            const uint8_t v = e.exact_vals[r];
+            if (v == 2) {
+              auto qr = e.exact->EvalBool(r);
+              if (!qr.ok()) return qr.status();
+              qualifies = *qr;
+            } else {
+              qualifies = v != 0;
+            }
+          } else {
+            auto qr = e.exact->EvalBool(r);
+            if (!qr.ok()) return qr.status();
+            qualifies = *qr;
+          }
         }
         if (!qualifies) continue;
         double value = 0.0;
         if (im.out_eval.has_value()) {
-          auto vr = im.out_eval->Eval(r);
-          if (!vr.ok()) return vr.status();
-          auto dr = vr->AsDouble();
-          if (!dr.ok()) return dr.status();
-          value = *dr;
+          if (!batched || im.out_err[r]) {
+            auto vr = im.out_eval->Eval(r);
+            if (!vr.ok()) return vr.status();
+            auto dr = vr->AsDouble();
+            if (!dr.ok()) return dr.status();
+            value = *dr;
+          } else {
+            value = im.out_all[r];
+          }
         }
         bacc.Add(1.0, value);
         continue;
@@ -1559,30 +1812,20 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
 
       // Affected tuple: estimate at the post-update feature point.
       const PatternEstimators* pat = pattern_of_entry[id];
-      x.clear();
-      for (size_t j = 0; j < updates.size(); ++j) {
-        if (!in_s[r]) {
-          x.push_back(im.feat[j][r]);
-        } else if (upost[j].is_set) {
-          x.push_back(set_feature[j]);
-        } else {
-          x.push_back(im.SnapFeature(j, upost[j].per_row[r]));
+      double weight = 0.0, weighted_value = 0.0;
+      if (batched) {
+        weight = pat->literal ? (pat->literal_value ? 1.0 : 0.0)
+                              : Clamp01(batches[id].weights[slot_of_row[r]]);
+        if (weight <= 0.0) continue;
+        if (pat->value != nullptr) {
+          weighted_value = batches[id].values[slot_of_row[r]];
         }
-      }
-      for (size_t j = updates.size(); j < num_features; ++j) {
-        x.push_back(im.feat[j][r]);
-      }
-      for (size_t p = 0; p < psi_specs.size(); ++p) {
-        x.push_back(psi_post[p][r]);
-      }
-
-      const double weight =
-          pat->literal ? (pat->literal_value ? 1.0 : 0.0)
-                       : Clamp01(pat->weight->Predict(x));
-      if (weight <= 0.0) continue;
-      double weighted_value = 0.0;
-      if (pat->value != nullptr) {
-        weighted_value = pat->value->Predict(x);
+      } else {
+        emit_features(r, x.data());
+        weight = pat->literal ? (pat->literal_value ? 1.0 : 0.0)
+                              : Clamp01(pat->weight->Predict(x));
+        if (weight <= 0.0) continue;
+        if (pat->value != nullptr) weighted_value = pat->value->Predict(x);
       }
       bacc.Add(weight, weighted_value);
     }
@@ -1628,7 +1871,8 @@ Result<WhatIfResult> WhatIfEngine::Evaluate(
   const size_t threads = options_.num_threads == 0
                              ? ThreadPool::DefaultThreads()
                              : options_.num_threads;
-  return EvaluatePrepared(*plan.impl_, updates, threads);
+  return EvaluatePrepared(*plan.impl_, updates, threads,
+                          options_.batched_inference);
 }
 
 Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
@@ -1642,7 +1886,8 @@ Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
   std::vector<Status> statuses(interventions.size());
   if (threads <= 1 || interventions.size() == 1) {
     for (size_t i = 0; i < interventions.size(); ++i) {
-      auto r = EvaluatePrepared(*plan.impl_, interventions[i], threads);
+      auto r = EvaluatePrepared(*plan.impl_, interventions[i], threads,
+                                options_.batched_inference);
       if (!r.ok()) {
         statuses[i] = r.status();
       } else {
@@ -1656,7 +1901,8 @@ Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
     // bit-for-bit identical to a sequential Evaluate(interventions[i]).
     ThreadPool::Shared().ParallelFor(
         interventions.size(), [&](size_t i) {
-          auto r = EvaluatePrepared(*plan.impl_, interventions[i], 1);
+          auto r = EvaluatePrepared(*plan.impl_, interventions[i], 1,
+                                    options_.batched_inference);
           if (!r.ok()) {
             statuses[i] = r.status();
           } else {

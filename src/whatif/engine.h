@@ -54,8 +54,15 @@ struct WhatIfOptions {
   /// 1 = single-threaded, anything else = the process-wide hardware-sized
   /// pool (0 is the default). Blocks are evaluated on separate accumulators
   /// and merged in block order, so the answer is bit-for-bit identical for
-  /// every setting.
+  /// every setting. Also the forest trainer's thread budget (unless
+  /// forest.num_threads overrides it).
   size_t num_threads = 0;
+  /// Batched estimator inference in Evaluate (default): affected tuples are
+  /// grouped per residual pattern and predicted with one PredictBatch call
+  /// per estimator instead of a virtual Predict per tuple. Off = the legacy
+  /// per-row prediction loop, kept for A/B benchmarking; both paths return
+  /// bit-for-bit identical answers.
+  bool batched_inference = true;
 };
 
 struct WhatIfResult {

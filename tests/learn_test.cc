@@ -54,18 +54,18 @@ TEST(FeatureEncoderTest, UnseenCategoryGetsFreshCode) {
 TEST(FeatureEncoderTest, EncodeAllShape) {
   Table t = MixedTable();
   auto enc = FeatureEncoder::Fit(t, {"Color", "Price"}).value();
-  Matrix m = enc.EncodeAll(t).value();
-  ASSERT_EQ(m.size(), 3u);
-  ASSERT_EQ(m[0].size(), 2u);
+  FeatureMatrix m = enc.EncodeAll(t).value();
+  ASSERT_EQ(m.num_rows(), 3u);
+  ASSERT_EQ(m.num_cols(), 2u);
 }
 
 TEST(FeatureEncoderTest, EncodeSubset) {
   Table t = MixedTable();
   auto enc = FeatureEncoder::Fit(t, {"Price"}).value();
-  Matrix m = enc.EncodeSubset(t, {2, 0}).value();
-  ASSERT_EQ(m.size(), 2u);
-  EXPECT_DOUBLE_EQ(m[0][0], 30.0);
-  EXPECT_DOUBLE_EQ(m[1][0], 10.0);
+  FeatureMatrix m = enc.EncodeSubset(t, {2, 0}).value();
+  ASSERT_EQ(m.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 30.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 10.0);
 }
 
 TEST(FeatureEncoderTest, UnknownColumnFails) {
