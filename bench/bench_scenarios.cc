@@ -163,7 +163,8 @@ int main(int argc, char** argv) {
       "sweep batch");
   const double batch_seconds = sweep_timer.ElapsedSeconds();
   for (size_t i = 0; i < sweep_n; ++i) {
-    CheckEqual(fresh_values[i], batch[i].value,
+    CheckOk(batch[i].status, "sweep batch intervention status");
+    CheckEqual(fresh_values[i], batch[i].result.value,
                "sweep batch intervention " + std::to_string(i));
   }
 
@@ -237,6 +238,103 @@ int main(int argc, char** argv) {
                {"pattern_cache_hits",
                 static_cast<double>(after.pattern_cache_hits)},
                {"equal", g_mismatches == 0 ? 1.0 : 0.0}});
+
+  // -------------------------------------------------------------------
+  Banner("4. bench_howto: parallel candidate scoring at 1/2/4/8 threads");
+  // One shared plan cache, warmed once: the timed runs then measure the
+  // candidate-scoring loop itself (per-candidate Evaluate sharded over the
+  // pool), not plan construction or estimator training. Answers must be
+  // bit-identical at every thread count.
+  service::PlanCache howto_cache(64);
+  const std::string howto_scope =
+      "bench|" + std::to_string(ds.db.ContentFingerprint());
+  auto howto_engine_at = [&](size_t threads) {
+    howto::HowToOptions ho;
+    ho.whatif = options;
+    ho.whatif.num_threads = threads;
+    ho.plan_cache = &howto_cache;
+    ho.cache_scope = howto_scope;
+    return howto::HowToEngine(&ds.db, &ds.graph, ho);
+  };
+  {
+    // Warm: prepares the per-attribute plans and trains their estimators.
+    Unwrap(howto_engine_at(1).RunSql(howto_sql), "how-to warm");
+  }
+
+  const size_t thread_counts[] = {1, 2, 4, 8};
+  const size_t howto_reps = smoke ? 1 : 5;
+  std::vector<double> howto_seconds;
+  std::vector<howto::HowToResult> howto_results;
+  for (size_t threads : thread_counts) {
+    howto::HowToEngine engine = howto_engine_at(threads);
+    double best = 0.0;
+    for (size_t rep = 0; rep < howto_reps; ++rep) {
+      howto_timer.Restart();
+      howto::HowToResult r = Unwrap(engine.RunSql(howto_sql),
+                                    "how-to parallel");
+      const double seconds = howto_timer.ElapsedSeconds();
+      if (rep == 0 || seconds < best) best = seconds;
+      if (rep == 0) howto_results.push_back(std::move(r));
+    }
+    howto_seconds.push_back(best);
+  }
+  const size_t mismatches_before_howto = g_mismatches;
+  const howto::HowToResult& serial = howto_results[0];
+  for (size_t k = 1; k < howto_results.size(); ++k) {
+    const howto::HowToResult& parallel = howto_results[k];
+    const std::string tag =
+        " @ " + std::to_string(thread_counts[k]) + " threads";
+    CheckEqual(serial.baseline_value, parallel.baseline_value,
+               "how-to parallel baseline" + tag);
+    CheckEqual(serial.objective_value, parallel.objective_value,
+               "how-to parallel objective" + tag);
+    if (serial.PlanToString() != parallel.PlanToString()) {
+      std::fprintf(stderr,
+                   "[bench_scenarios] MISMATCH how-to plan%s: %s vs %s\n",
+                   tag.c_str(), serial.PlanToString().c_str(),
+                   parallel.PlanToString().c_str());
+      ++g_mismatches;
+    }
+    if (serial.candidates.size() != parallel.candidates.size()) {
+      std::fprintf(stderr,
+                   "[bench_scenarios] MISMATCH how-to candidate shape%s\n",
+                   tag.c_str());
+      ++g_mismatches;
+      continue;
+    }
+    for (size_t a = 0; a < serial.candidates.size(); ++a) {
+      if (serial.candidates[a].size() != parallel.candidates[a].size()) {
+        std::fprintf(stderr,
+                     "[bench_scenarios] MISMATCH how-to candidate shape%s\n",
+                     tag.c_str());
+        ++g_mismatches;
+        break;
+      }
+      for (size_t i = 0; i < serial.candidates[a].size(); ++i) {
+        CheckEqual(serial.candidates[a][i].objective_value,
+                   parallel.candidates[a][i].objective_value,
+                   "how-to parallel candidate " + std::to_string(a) + "/" +
+                       std::to_string(i) + tag);
+      }
+    }
+  }
+
+  TablePrinter t4({"threads", "seconds", "speedup"});
+  t4.PrintHeader();
+  std::vector<std::pair<std::string, double>> howto_record{
+      {"candidates", static_cast<double>(serial.candidates_evaluated)},
+      {"equal", 0.0}};  // patched below
+  for (size_t k = 0; k < howto_results.size(); ++k) {
+    t4.PrintRow({std::to_string(thread_counts[k]), Fmt(howto_seconds[k]),
+                 Fmt(howto_seconds[0] / howto_seconds[k], "%.2f")});
+    howto_record.emplace_back(
+        "seconds_t" + std::to_string(thread_counts[k]), howto_seconds[k]);
+    howto_record.emplace_back(
+        "speedup_t" + std::to_string(thread_counts[k]),
+        howto_seconds[0] / howto_seconds[k]);
+  }
+  howto_record[1].second = g_mismatches == mismatches_before_howto ? 1.0 : 0.0;
+  json.Record("bench_howto", howto_record);
 
   if (g_mismatches > 0) {
     std::fprintf(stderr,

@@ -118,8 +118,14 @@ int RunDemo(service::ScenarioService& service) {
   std::printf("-- intervention sweep (batch of %zu in %.3fs)\n",
               batch->size(), batch_timer.ElapsedSeconds());
   for (size_t i = 0; i < batch->size(); ++i) {
-    std::printf("  Status <- %d: value %.6g\n", static_cast<int>(i),
-                (*batch)[i].value);
+    const service::WhatIfBatchItem& item = (*batch)[i];
+    if (item.ok()) {
+      std::printf("  Status <- %d: value %.6g\n", static_cast<int>(i),
+                  item.result.value);
+    } else {
+      std::printf("  Status <- %d: %s\n", static_cast<int>(i),
+                  item.status.ToString().c_str());
+    }
   }
 
   // 4. A how-to on the warm cache: candidate scoring shares the prepared

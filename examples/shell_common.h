@@ -53,9 +53,9 @@ inline void PrintHowTo(const howto::HowToResult& result) {
 inline void PrintCacheStats(const service::PlanCacheStats& stats) {
   std::printf(
       "plan cache: %zu/%zu entr%s | %zu hit(s), %zu miss(es), %zu "
-      "eviction(s)\n",
+      "coalesced, %zu eviction(s)\n",
       stats.entries, stats.capacity, stats.entries == 1 ? "y" : "ies",
-      stats.hits, stats.misses, stats.evictions);
+      stats.hits, stats.misses, stats.coalesced, stats.evictions);
 }
 
 }  // namespace hyper::examples

@@ -29,4 +29,23 @@ echo "== perf gate (parity tests + bench smoke) =="
 # whatever perf tests are registered.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
 
+echo "== tsan smoke (service-labeled tests) =="
+# The concurrency gate: rebuild with -DHYPER_SANITIZE=thread and run the
+# scenario-service tests (shared plan cache, single-flight prepares,
+# concurrent how-to scoring) under ThreadSanitizer. Skipped only when the
+# toolchain has no usable TSan runtime.
+TSAN_PROBE="$(mktemp -d)"
+printf 'int main(){return 0;}\n' > "$TSAN_PROBE/probe.cc"
+if ${CXX:-c++} -fsanitize=thread "$TSAN_PROBE/probe.cc" -o "$TSAN_PROBE/probe" 2>/dev/null \
+    && "$TSAN_PROBE/probe"; then
+  rm -rf "$TSAN_PROBE"
+  TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_BUILD_DIR" -S . -DHYPER_SANITIZE=thread >/dev/null
+  cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" --target service_test
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -L service
+else
+  rm -rf "$TSAN_PROBE"
+  echo "ThreadSanitizer unavailable in this toolchain; skipping tsan smoke"
+fi
+
 echo "== check passed =="

@@ -59,6 +59,12 @@ class ThreadPool {
     return hw == 0 ? 1 : static_cast<size_t>(hw);
   }
 
+  /// The engines' shared thread-budget convention: 0 means "hardware
+  /// default", anything else is an explicit cap.
+  static size_t ResolveBudget(size_t configured) {
+    return configured == 0 ? DefaultThreads() : configured;
+  }
+
   /// Process-wide pool sized to the hardware; created on first use.
   static ThreadPool& Shared() {
     static ThreadPool pool(DefaultThreads());
@@ -69,16 +75,27 @@ class ThreadPool {
   /// this works (sequentially) even on a pool of size 0 workers or when the
   /// pool is busy. Blocks until every index has been processed. fn must be
   /// safe to call concurrently from multiple threads.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ///
+  /// `max_parallelism` caps the number of threads touching the loop,
+  /// including the caller (0 = no cap beyond the pool size). Engines pass
+  /// their configured thread budget here so a `--threads 2` run drives at
+  /// most 2 shards at a time even on a 64-core pool. The shard order items
+  /// are claimed in is scheduling-dependent either way, so callers must
+  /// (and do) merge results by index — answers never depend on the cap.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t max_parallelism = 0) {
     if (n == 0) return;
-    if (n == 1 || workers_.empty()) {
+    if (n == 1 || workers_.empty() || max_parallelism == 1) {
       for (size_t i = 0; i < n; ++i) fn(i);
       return;
     }
     auto state = std::make_shared<ForState>();
     state->n = n;
     state->fn = &fn;
-    const size_t drivers = std::min(workers_.size(), n - 1);
+    size_t drivers = std::min(workers_.size(), n - 1);
+    if (max_parallelism > 0) {
+      drivers = std::min(drivers, max_parallelism - 1);  // caller is one
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       for (size_t d = 0; d < drivers; ++d) {

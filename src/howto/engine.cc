@@ -1,12 +1,15 @@
 #include "howto/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "learn/discretizer.h"
 #include "opt/mck.h"
 #include "opt/milp.h"
@@ -316,6 +319,7 @@ struct HowToEngine::ScoredCandidates {
   double baseline = 0.0;
   std::vector<std::vector<CandidateUpdate>> per_attribute;
   size_t evaluated = 0;
+  size_t pruned = 0;
   size_t plan_cache_hits = 0;
   size_t pattern_cache_hits = 0;
   double prepare_seconds = 0.0;
@@ -324,7 +328,7 @@ struct HowToEngine::ScoredCandidates {
 };
 
 Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
-    const sql::HowToStmt& stmt) const {
+    const sql::HowToStmt& stmt, double prune_budget) const {
   ScoredCandidates scored;
   HYPER_ASSIGN_OR_RETURN(std::vector<std::vector<UpdateSpec>> candidates,
                          EnumerateCandidates(stmt));
@@ -399,51 +403,165 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
   HYPER_ASSIGN_OR_RETURN(std::vector<size_t> s_rows,
                          SelectWhenRows(view, stmt.when.get()));
 
+  // Per-candidate L1 cost over S, with the per-row pre-value pass hoisted
+  // out of the candidate loop: the O(|S|) view.At + AsDouble work runs once
+  // per attribute, not once per (attribute, candidate). The per-candidate
+  // summation still walks S in row order, so costs are bit-identical to the
+  // un-hoisted loop.
+  struct PreValue {
+    bool numeric = false;
+    double dbl = 0.0;
+    const Value* value = nullptr;
+  };
   scored.per_attribute.resize(candidates.size());
   for (size_t a = 0; a < candidates.size(); ++a) {
     HYPER_ASSIGN_OR_RETURN(
         size_t col, vschema.IndexOf(stmt.update_attributes[a]));
-    // One prepared plan per attribute, shared across its candidates.
-    std::shared_ptr<const whatif::PreparedWhatIf> plan;
-    if (shared && !candidates[a].empty()) {
-      sql::WhatIfStmt tmpl = MakeCandidateWhatIf(stmt, {candidates[a][0]});
-      auto prepared = prepare_shared(tmpl);
-      if (prepared.ok()) {
-        plan = *prepared;
-      } else if (prepared.status().code() != StatusCode::kUnimplemented) {
-        return prepared.status();
-      }
+    std::vector<PreValue> pre(s_rows.size());
+    for (size_t k = 0; k < s_rows.size(); ++k) {
+      const Value& v = view.At(s_rows[k], col);
+      pre[k].value = &v;
+      pre[k].numeric = v.is_numeric();
+      if (pre[k].numeric) pre[k].dbl = v.AsDouble().value();
     }
+    scored.per_attribute[a].reserve(candidates[a].size());
     for (const UpdateSpec& spec : candidates[a]) {
-      whatif::WhatIfResult result;
-      if (plan != nullptr) {
-        HYPER_ASSIGN_OR_RETURN(result, engine.Evaluate(*plan, {spec}));
-        record_eval(result);
-      } else {
-        sql::WhatIfStmt whatif_stmt = MakeCandidateWhatIf(stmt, {spec});
-        HYPER_ASSIGN_OR_RETURN(result, engine.Run(whatif_stmt));
-      }
-      ++scored.evaluated;
-
       CandidateUpdate cu;
       cu.spec = spec;
-      cu.objective_value = result.value;
-      cu.delta = result.value - scored.baseline;
+      const bool cand_numeric = spec.constant.is_numeric();
+      const double cand_dbl =
+          cand_numeric ? spec.constant.AsDouble().value() : 0.0;
       // Normalized L1 cost over S (fraction-changed for categoricals).
       double total = 0.0;
-      for (size_t r : s_rows) {
-        const Value& pre = view.At(r, col);
-        if (spec.constant.is_numeric() && pre.is_numeric()) {
-          total += std::fabs(spec.constant.AsDouble().value() -
-                             pre.AsDouble().value());
-        } else if (!spec.constant.Equals(pre)) {
+      for (const PreValue& p : pre) {
+        if (cand_numeric && p.numeric) {
+          total += std::fabs(cand_dbl - p.dbl);
+        } else if (!spec.constant.Equals(*p.value)) {
           total += 1.0;
         }
       }
       cu.cost = s_rows.empty() ? 0.0
                                : total / static_cast<double>(s_rows.size());
+      // Cost-infeasibility pruning (the admissible-bound idea of SolveMck's
+      // suffix_best, applied before evaluation): costs are nonnegative, so
+      // a candidate whose own cost exceeds the global L1 budget can never
+      // be part of a feasible chosen set — skip its what-if evaluation
+      // entirely. Same budget epsilon as the MCK DFS, and a pure function
+      // of (candidate, budget), so pruning never depends on thread count.
+      if (prune_budget >= 0.0 && cu.cost > prune_budget + 1e-12) {
+        cu.pruned = true;
+        cu.objective_value = scored.baseline;
+        cu.delta = 0.0;
+        ++scored.pruned;
+      }
       scored.per_attribute[a].push_back(std::move(cu));
     }
+  }
+
+  // Evaluate the surviving (attribute, candidate) pairs: one flat worklist
+  // sharded across the worker pool under the whatif.num_threads budget,
+  // results merged back in worklist order. Each parallel evaluation runs
+  // its own block loop single-threaded (the pool is already busy with whole
+  // candidates); Evaluate answers are invariant to the block-thread count,
+  // so the merge is bit-identical to the sequential loop.
+  struct WorkItem {
+    size_t a = 0;
+    size_t i = 0;
+  };
+  std::vector<WorkItem> work;
+  for (size_t a = 0; a < candidates.size(); ++a) {
+    for (size_t i = 0; i < candidates[a].size(); ++i) {
+      if (!scored.per_attribute[a][i].pruned) work.push_back({a, i});
+    }
+  }
+
+  // One prepared plan per attribute with surviving candidates, built up
+  // front so the parallel evaluation below never prepares (the plan cache
+  // single-flights concurrent runs racing on the same key). Prepared after
+  // pruning: an attribute whose whole candidate set is cost-infeasible
+  // skips plan construction and estimator training entirely.
+  std::vector<std::shared_ptr<const whatif::PreparedWhatIf>> plans(
+      candidates.size());
+  std::vector<bool> prepare_attempted(candidates.size(), false);
+  for (const WorkItem& w : work) {
+    if (!shared || prepare_attempted[w.a]) continue;
+    prepare_attempted[w.a] = true;
+    sql::WhatIfStmt tmpl = MakeCandidateWhatIf(stmt, {candidates[w.a][w.i]});
+    auto prepared = prepare_shared(tmpl);
+    if (prepared.ok()) {
+      plans[w.a] = *prepared;
+    } else if (prepared.status().code() != StatusCode::kUnimplemented) {
+      return prepared.status();
+    }
+  }
+
+  auto eval_candidate = [&](const whatif::WhatIfEngine& eng,
+                            const WorkItem& w) -> Result<whatif::WhatIfResult> {
+    const UpdateSpec& spec = candidates[w.a][w.i];
+    if (plans[w.a] != nullptr) return eng.Evaluate(*plans[w.a], {spec});
+    return eng.Run(MakeCandidateWhatIf(stmt, {spec}));
+  };
+
+  const size_t threads = ThreadPool::ResolveBudget(options_.whatif.num_threads);
+  std::vector<std::optional<whatif::WhatIfResult>> results(work.size());
+  std::vector<Status> statuses(work.size());
+  if (threads <= 1 || work.size() <= 1) {
+    for (size_t w = 0; w < work.size(); ++w) {
+      auto r = eval_candidate(engine, work[w]);
+      if (!r.ok()) {
+        statuses[w] = r.status();
+        break;  // the merge below reports the first error; stop paying
+      }
+      results[w] = std::move(r).value();
+    }
+  } else {
+    // The workers evaluate concurrently against the shared prepared plans;
+    // pattern estimators train exactly once under the plan's internal lock
+    // (see the PreparedWhatIf concurrency contract), and trained estimators
+    // are pure functions of the plan, so every candidate's value is
+    // bit-identical to the sequential path.
+    whatif::WhatIfOptions worker_options = options_.whatif;
+    worker_options.num_threads = 1;
+    whatif::WhatIfEngine worker_engine(db_, graph_, worker_options);
+    std::atomic<bool> failed{false};
+    ThreadPool::Shared().ParallelFor(
+        work.size(),
+        [&](size_t w) {
+          // Once any candidate has failed the run's outcome is fixed, so
+          // remaining items are skipped (status OK, result empty); the
+          // error pass below never reaches a skipped slot without first
+          // returning the genuine failure that tripped the flag.
+          if (failed.load(std::memory_order_relaxed)) return;
+          auto r = eval_candidate(worker_engine, work[w]);
+          if (r.ok()) {
+            results[w] = std::move(r).value();
+          } else {
+            statuses[w] = r.status();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        },
+        /*max_parallelism=*/threads);
+  }
+
+  // Errors first: statuses only ever hold genuine evaluation failures
+  // (early-skipped items keep an OK status and an empty result, and exist
+  // only when some item genuinely failed). Whether the call fails is
+  // deterministic; with several concurrently-failing candidates, which
+  // one's status is reported may depend on scheduling.
+  for (size_t w = 0; w < work.size(); ++w) {
+    HYPER_RETURN_NOT_OK(statuses[w]);
+  }
+
+  // Ordered deterministic merge (same pattern as the what-if block loop):
+  // counters, timings and candidate fields fold in worklist order —
+  // independent of which worker finished first.
+  for (size_t w = 0; w < work.size(); ++w) {
+    const whatif::WhatIfResult& result = *results[w];
+    if (plans[work[w].a] != nullptr) record_eval(result);
+    ++scored.evaluated;
+    CandidateUpdate& cu = scored.per_attribute[work[w].a][work[w].i];
+    cu.objective_value = result.value;
+    cu.delta = result.value - scored.baseline;
   }
   return scored;
 }
@@ -466,7 +584,10 @@ Result<HowToResult> HowToEngine::Run(const sql::HowToStmt& stmt) const {
     }
   }
 
-  HYPER_ASSIGN_OR_RETURN(ScoredCandidates scored, ScoreCandidates(stmt));
+  // The Run solve couples choices through the global L1 budget (when set),
+  // so cost-infeasible candidates can be pruned before evaluation.
+  HYPER_ASSIGN_OR_RETURN(ScoredCandidates scored,
+                         ScoreCandidates(stmt, options_.global_l1_budget));
 
   // IP objective: maximize sum of chosen deltas (negated for ToMinimize).
   const double sign = stmt.maximize ? 1.0 : -1.0;
@@ -474,6 +595,7 @@ Result<HowToResult> HowToEngine::Run(const sql::HowToStmt& stmt) const {
   HowToResult result;
   result.baseline_value = scored.baseline;
   result.candidates_evaluated = scored.evaluated;
+  result.candidates_pruned = scored.pruned;
   result.candidates = scored.per_attribute;
   result.plan_cache_hits = scored.plan_cache_hits;
   result.pattern_cache_hits = scored.pattern_cache_hits;
@@ -554,7 +676,10 @@ Result<HowToResult> HowToEngine::Run(const sql::HowToStmt& stmt) const {
 Result<HowToResult> HowToEngine::RunMinCost(const sql::HowToStmt& stmt,
                                             double objective_target) const {
   Stopwatch timer;
-  HYPER_ASSIGN_OR_RETURN(ScoredCandidates scored, ScoreCandidates(stmt));
+  // No budget row in the min-cost IP: any candidate may be selected, so no
+  // cost-based pruning applies here.
+  HYPER_ASSIGN_OR_RETURN(ScoredCandidates scored,
+                         ScoreCandidates(stmt, /*prune_budget=*/-1.0));
   const double sign = stmt.maximize ? 1.0 : -1.0;
   // Required signed improvement over the baseline.
   const double required = sign * (objective_target - scored.baseline);
@@ -595,6 +720,7 @@ Result<HowToResult> HowToEngine::RunMinCost(const sql::HowToStmt& stmt,
   HowToResult result;
   result.baseline_value = scored.baseline;
   result.candidates_evaluated = scored.evaluated;
+  result.candidates_pruned = scored.pruned;
   result.candidates = scored.per_attribute;
   result.plan_cache_hits = scored.plan_cache_hits;
   result.pattern_cache_hits = scored.pattern_cache_hits;
@@ -631,17 +757,38 @@ Result<HowToResult> HowToEngine::RunLexicographic(
   if (stmts.empty()) {
     return Status::InvalidArgument("need at least one objective");
   }
+  // Budget pruning is sound only when every objective scores candidates
+  // over one Use/When (the documented contract): different Whens give each
+  // objective its own S, hence its own costs — a candidate pruned (delta
+  // zeroed) under one objective's costs could still be selectable under
+  // another's budget row, corrupting the lock rows below. Statements that
+  // stray from the contract keep the pre-pruning behavior: every candidate
+  // is evaluated.
+  bool shared_scope = true;
+  auto when_text = [](const sql::HowToStmt* s) {
+    return s->when != nullptr ? s->when->ToString() : std::string();
+  };
   for (const sql::HowToStmt* s : stmts) {
     if (s->update_attributes != stmts[0]->update_attributes) {
       return Status::InvalidArgument(
           "lexicographic objectives must share the HowToUpdate list");
     }
+    if (s->use.ToString() != stmts[0]->use.ToString() ||
+        when_text(s) != when_text(stmts[0])) {
+      shared_scope = false;
+    }
   }
+  const double lex_prune_budget =
+      shared_scope ? options_.global_l1_budget : -1.0;
 
-  // Score every objective over the shared candidate space.
+  // Score every objective over the shared candidate space. Each solve below
+  // carries the global-L1 budget row, so cost-infeasible candidates prune
+  // exactly as in Run (identically across objectives: the cost depends only
+  // on the candidate and the shared Use/When, never on the objective).
   std::vector<ScoredCandidates> scored;
   for (const sql::HowToStmt* s : stmts) {
-    HYPER_ASSIGN_OR_RETURN(ScoredCandidates sc, ScoreCandidates(*s));
+    HYPER_ASSIGN_OR_RETURN(ScoredCandidates sc,
+                           ScoreCandidates(*s, lex_prune_budget));
     scored.push_back(std::move(sc));
   }
   // Candidate sets must align (same Limit structure).
@@ -714,6 +861,7 @@ Result<HowToResult> HowToEngine::RunLexicographic(
   result.candidates_evaluated = 0;
   for (const ScoredCandidates& sc : scored) {
     result.candidates_evaluated += sc.evaluated;
+    result.candidates_pruned += sc.pruned;
     result.plan_cache_hits += sc.plan_cache_hits;
     result.pattern_cache_hits += sc.pattern_cache_hits;
     result.prepare_seconds += sc.prepare_seconds;

@@ -16,7 +16,12 @@
 namespace hyper::howto {
 
 struct HowToOptions {
-  /// Estimation options for the candidate what-if evaluations.
+  /// Estimation options for the candidate what-if evaluations. Its
+  /// `num_threads` is also the candidate-scoring thread budget: the
+  /// (attribute, candidate) pairs are sharded across the shared worker pool
+  /// and merged in candidate order, so scored deltas, chosen plans and every
+  /// reported candidate value are bit-for-bit identical at any thread count
+  /// (1 = fully sequential; 0 = hardware default).
   whatif::WhatIfOptions whatif = {};
   /// Buckets for discretizing continuous update ranges (§4.3; Figure 9
   /// sweeps this).
@@ -53,6 +58,14 @@ struct CandidateUpdate {
   double objective_value = 0.0;  // estimated what-if value if applied alone
   double delta = 0.0;            // objective_value - baseline_value
   double cost = 0.0;             // normalized L1 over S (0 for categorical)
+  /// True when the candidate's what-if evaluation was skipped because its
+  /// cost alone already exceeds the global L1 budget: costs are nonnegative,
+  /// so no chosen set containing it can be feasible (the admissible-bound
+  /// argument of SolveMck's suffix pruning, applied before evaluation).
+  /// Pruned candidates carry delta = 0 / objective_value = baseline and are
+  /// never selected. Pruning is independent of the thread count, so pruned
+  /// runs are still bit-identical across 1..N scoring threads.
+  bool pruned = false;
 };
 
 /// The chosen action for one HowToUpdate attribute.
@@ -71,6 +84,9 @@ struct HowToResult {
   double baseline_value = 0.0;   // objective with no update
   double objective_value = 0.0;  // baseline + sum of chosen deltas (linear phi)
   size_t candidates_evaluated = 0;
+  /// Candidates skipped without a what-if evaluation because their cost
+  /// alone busts the global L1 budget (see CandidateUpdate::pruned).
+  size_t candidates_pruned = 0;
   bool used_mck = false;
   size_t solver_nodes = 0;
   double total_seconds = 0.0;
@@ -131,8 +147,14 @@ class HowToEngine {
  private:
   struct ScoredCandidates;
 
-  /// Scores every candidate with a single-attribute what-if run.
-  Result<ScoredCandidates> ScoreCandidates(const sql::HowToStmt& stmt) const;
+  /// Scores every candidate with a single-attribute what-if evaluation,
+  /// sharding the (attribute, candidate) pairs across the worker pool under
+  /// the `whatif.num_threads` budget with an ordered deterministic merge.
+  /// `prune_budget` >= 0 enables cost-infeasibility pruning against that
+  /// global L1 budget (callers whose solve has no budget row — RunMinCost —
+  /// pass -1, since every candidate stays selectable there).
+  Result<ScoredCandidates> ScoreCandidates(const sql::HowToStmt& stmt,
+                                           double prune_budget) const;
 
   const Database* db_;
   const causal::CausalGraph* graph_;  // nullable

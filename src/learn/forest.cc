@@ -70,8 +70,7 @@ Status RandomForestRegressor::FitImpl(const FeatureMatrix& x,
 
   // Worker budget: an explicit num_threads wins; in auto mode (0) small
   // problems stay sequential — thread handoff would dominate the work.
-  size_t budget = options_.num_threads == 0 ? ThreadPool::DefaultThreads()
-                                            : options_.num_threads;
+  size_t budget = ThreadPool::ResolveBudget(options_.num_threads);
   if (options_.num_threads == 0 && n * options_.num_trees <= 65536) {
     budget = 1;
   }

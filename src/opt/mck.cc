@@ -34,11 +34,20 @@ struct MckState {
     if (value + suffix_best[g] <= best_value + 1e-15) return;  // bound
 
     const MckGroup& group = (*groups)[g];
-    // Try items in descending value so good incumbents appear early.
+    // Try items in descending value so good incumbents appear early. Ties
+    // break by ascending index: std::sort is unstable, so ordering by value
+    // alone would let equal-value candidates land in a platform/STL-dependent
+    // order — and since the DFS keeps the first incumbent it finds (strict >
+    // below), the chosen item for a tied group would differ across builds.
+    // (value desc, index asc) makes the exploration order, and therefore the
+    // solution, a pure function of the input.
     std::vector<size_t> order(group.values.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return group.values[a] > group.values[b];
+      if (group.values[a] != group.values[b]) {
+        return group.values[a] > group.values[b];
+      }
+      return a < b;
     });
     for (size_t i : order) {
       if (budgeted && cost + group.costs[i] > budget + 1e-12) continue;

@@ -51,41 +51,110 @@ std::shared_ptr<const whatif::PreparedWhatIf> PlanCache::Get(
   return it->second.plan;
 }
 
-std::shared_ptr<const whatif::PreparedWhatIf> PlanCache::Put(
-    const std::string& key,
-    std::shared_ptr<const whatif::PreparedWhatIf> plan) {
-  if (capacity_ == 0) return plan;  // caching disabled
-  std::lock_guard<std::mutex> lock(mu_);
+PlanCache::PlanPtr PlanCache::StoreLocked(const std::string& key,
+                                          PlanPtr plan, bool* lost_race) {
   auto it = map_.find(key);
   if (it != map_.end()) {
     // A concurrent preparer won the race; keep its entry so every caller
     // shares one plan (and one pattern-estimator cache).
+    if (lost_race != nullptr) *lost_race = true;
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.plan;
   }
+  if (lost_race != nullptr) *lost_race = false;
   lru_.push_front(key);
   map_.emplace(key, Slot{plan, lru_.begin()});
   EvictIfNeededLocked();
   return plan;
 }
 
+std::shared_ptr<const whatif::PreparedWhatIf> PlanCache::Put(
+    const std::string& key,
+    std::shared_ptr<const whatif::PreparedWhatIf> plan) {
+  if (capacity_ == 0) return plan;  // caching disabled
+  std::lock_guard<std::mutex> lock(mu_);
+  bool lost_race = false;
+  PlanPtr canonical = StoreLocked(key, std::move(plan), &lost_race);
+  // The losing racer's Get counted a miss and its duplicated prepare is
+  // dropped here; record the convergence. (On this manual Get+Prepare+Put
+  // path misses still equal prepares — coalesced marks the dropped
+  // duplicate, unlike single-flight GetOrPrepare where it marks a saved
+  // one.)
+  if (lost_race) ++coalesced_;
+  return canonical;
+}
+
 Result<std::shared_ptr<const whatif::PreparedWhatIf>> PlanCache::GetOrPrepare(
     const std::string& key,
-    const std::function<
-        Result<std::shared_ptr<const whatif::PreparedWhatIf>>()>& prepare,
-    bool* hit) {
-  if (auto cached = Get(key)) {
-    if (hit != nullptr) *hit = true;
-    return cached;
+    const std::function<Result<PlanPtr>()>& prepare, bool* hit) {
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  size_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = clear_epoch_;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (hit != nullptr) *hit = true;
+      return it->second.plan;
+    }
+    auto fit = inflight_.find(key);
+    if (fit != inflight_.end() && fit->second->epoch == epoch) {
+      // Another caller is already preparing this key: coalesce onto its
+      // result instead of duplicating the Prepare + estimator training.
+      flight = fit->second;
+      ++coalesced_;
+    } else {
+      // No in-flight prepare — or only a stale one from before a Clear(),
+      // which must not serve post-Clear callers: become the (new) leader.
+      // The stale leader's waiters keep their own InFlight handle and are
+      // still answered by it.
+      flight = std::make_shared<InFlight>();
+      flight->future = flight->promise.get_future().share();
+      flight->epoch = epoch;
+      inflight_[key] = flight;
+      leader = true;
+      ++misses_;
+    }
   }
+
+  if (!leader) {
+    // Served by the leader's prepare: no work of our own, so report a hit.
+    if (hit != nullptr) *hit = true;
+    return flight->future.get();
+  }
+
   if (hit != nullptr) *hit = false;
-  HYPER_ASSIGN_OR_RETURN(std::shared_ptr<const whatif::PreparedWhatIf> plan,
-                         prepare());
-  return Put(key, std::move(plan));
+  // The factory runs outside the cache lock (it is the expensive part).
+  Result<PlanPtr> plan = prepare();
+  Result<PlanPtr> canonical = plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan.ok() && capacity_ > 0 && clear_epoch_ == epoch) {
+      // Single-flight means no same-key GetOrPrepare raced us, but a manual
+      // Put may have: StoreLocked keeps whichever entry landed first. A
+      // Clear() since we started means our key's scope may be invalidated —
+      // waiters still get the plan, but nothing is stored.
+      canonical = StoreLocked(key, *plan);
+    }
+    // Erase only our own slot: a post-Clear leader may have replaced it.
+    auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
+  }
+  // Publish after the slot is cleared: waiters woken here are done, and any
+  // later caller finds either the stored entry or a fresh miss.
+  flight->promise.set_value(canonical);
+  return canonical;
 }
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  // In-flight prepares still publish to their waiters, but the epoch bump
+  // stops their leaders from inserting a possibly-invalidated key and stops
+  // post-Clear callers from coalescing onto the stale work.
+  ++clear_epoch_;
   map_.clear();
   lru_.clear();
 }
@@ -95,6 +164,7 @@ PlanCacheStats PlanCache::stats() const {
   PlanCacheStats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.coalesced = coalesced_;
   s.evictions = evictions_;
   s.entries = map_.size();
   s.capacity = capacity_;

@@ -2,6 +2,7 @@
 #define HYPER_SERVICE_PLAN_CACHE_H_
 
 #include <functional>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,13 @@ namespace hyper::service {
 struct PlanCacheStats {
   size_t hits = 0;
   size_t misses = 0;
+  /// Lookups that neither hit nor prepared: the caller was coalesced onto a
+  /// concurrent preparer's in-flight plan (single-flight followers), or a
+  /// Put lost the insert race and converged on the already-stored entry.
+  /// Accounting invariant (asserted in service_test): for GetOrPrepare-only
+  /// workloads, `misses` equals the number of prepare-factory invocations
+  /// and `hits + misses + coalesced` equals the number of lookups.
+  size_t coalesced = 0;
   size_t evictions = 0;
   size_t entries = 0;
   size_t capacity = 0;
@@ -40,7 +48,8 @@ std::string WhatIfPlanKey(const std::string& scope,
 /// A thread-safe LRU cache of prepared what-if plans (trained estimators +
 /// compiled view plans). Entries are shared_ptr, so eviction never
 /// invalidates a plan an in-flight query is evaluating against. Capacity 0
-/// disables caching (every lookup misses, nothing is stored).
+/// disables storage (every lookup misses, nothing is retained), but
+/// GetOrPrepare still single-flights concurrent misses on one key.
 class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 64) : capacity_(capacity) {}
@@ -50,13 +59,22 @@ class PlanCache {
 
   /// Inserts `plan` unless the key is already present (first writer wins, so
   /// concurrent preparers converge on one shared plan — and one shared
-  /// pattern-estimator cache). Returns the canonical entry.
+  /// pattern-estimator cache). Returns the canonical entry. A lost race
+  /// counts as `coalesced`, so manual Get+Prepare+Put callers still
+  /// reconcile: their Get counted a miss, and the duplicated prepare is
+  /// visible as a coalesced insert.
   std::shared_ptr<const whatif::PreparedWhatIf> Put(
       const std::string& key,
       std::shared_ptr<const whatif::PreparedWhatIf> plan);
 
-  /// Get, or run `prepare` and Put on a miss. `hit` (optional) reports which
-  /// happened. The factory runs outside the cache lock.
+  /// Get, or run `prepare` and insert on a miss — single-flight: when N
+  /// callers miss the same key concurrently, exactly one runs `prepare`
+  /// (outside the cache lock) while the other N-1 block on the shared
+  /// in-flight result instead of each redundantly preparing and training.
+  /// Followers count as `coalesced` in the stats and report *hit = true
+  /// (they paid nothing); the one preparer counts the miss and reports
+  /// *hit = false. A failed prepare propagates its status to every waiter
+  /// and clears the in-flight slot so a later call retries.
   Result<std::shared_ptr<const whatif::PreparedWhatIf>> GetOrPrepare(
       const std::string& key,
       const std::function<
@@ -68,6 +86,22 @@ class PlanCache {
   size_t capacity() const { return capacity_; }
 
  private:
+  using PlanPtr = std::shared_ptr<const whatif::PreparedWhatIf>;
+
+  /// One in-flight Prepare, shared by the preparer (who fulfills the
+  /// promise) and every coalesced waiter. `epoch` records the clear epoch
+  /// at creation: a Clear() invalidates in-flight work too, so later
+  /// callers must not coalesce onto a pre-Clear prepare.
+  struct InFlight {
+    std::promise<Result<PlanPtr>> promise;
+    std::shared_future<Result<PlanPtr>> future;
+    size_t epoch = 0;
+  };
+
+  /// Inserts into the LRU (first writer wins) and returns the canonical
+  /// entry. Caller holds mu_.
+  PlanPtr StoreLocked(const std::string& key, PlanPtr plan,
+                      bool* lost_race = nullptr);
   void EvictIfNeededLocked();
 
   mutable std::mutex mu_;
@@ -75,12 +109,19 @@ class PlanCache {
   /// Front = most recently used.
   std::list<std::string> lru_;
   struct Slot {
-    std::shared_ptr<const whatif::PreparedWhatIf> plan;
+    PlanPtr plan;
     std::list<std::string>::iterator lru_it;
   };
   std::unordered_map<std::string, Slot> map_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// Bumped by Clear(). A leader whose prepare straddled a Clear still
+  /// publishes its plan to waiters but skips the insert: its key may embed
+  /// an invalidated scope (e.g. the pre-reload generation) and would sit in
+  /// the LRU as a permanently unreachable entry.
+  size_t clear_epoch_ = 0;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t coalesced_ = 0;
   size_t evictions_ = 0;
 };
 

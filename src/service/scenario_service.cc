@@ -408,18 +408,17 @@ std::vector<Response> ScenarioService::SubmitBatch(
     responses[i] = Dispatch(requests[i], *worlds[i]);
   };
 
-  const size_t threads = options_.num_threads == 0
-                             ? ThreadPool::DefaultThreads()
-                             : options_.num_threads;
+  const size_t threads = ThreadPool::ResolveBudget(options_.num_threads);
   if (threads <= 1 || requests.size() == 1) {
     for (size_t i = 0; i < requests.size(); ++i) run_one(i);
   } else {
-    ThreadPool::Shared().ParallelFor(requests.size(), run_one);
+    ThreadPool::Shared().ParallelFor(requests.size(), run_one,
+                                     /*max_parallelism=*/threads);
   }
   return responses;
 }
 
-Result<std::vector<whatif::WhatIfResult>> ScenarioService::SubmitWhatIfBatch(
+Result<std::vector<WhatIfBatchItem>> ScenarioService::SubmitWhatIfBatch(
     const std::string& scenario, const std::string& base_whatif_sql,
     const std::vector<std::vector<whatif::UpdateSpec>>& interventions) {
   HYPER_ASSIGN_OR_RETURN(World world, SnapshotWorld(scenario));
@@ -443,45 +442,64 @@ Result<std::vector<whatif::WhatIfResult>> ScenarioService::SubmitWhatIfBatch(
     // the same shape contract Evaluate enforces — interventions supply
     // constants and functions, never new attributes. Dispatch straight to
     // the row interpreter so the failed Prepare is not re-attempted N times.
+    // Failures (shape mismatches, evaluation errors) stay per item.
     whatif::WhatIfOptions row_options = options_.whatif;
     row_options.use_columnar = false;
     whatif::WhatIfEngine row_engine(world.db.get(), graph(), row_options);
-    std::vector<whatif::WhatIfResult> results;
-    results.reserve(interventions.size());
-    for (const std::vector<whatif::UpdateSpec>& specs : interventions) {
+    std::vector<WhatIfBatchItem> items(interventions.size());
+    for (size_t i = 0; i < interventions.size(); ++i) {
+      const std::vector<whatif::UpdateSpec>& specs = interventions[i];
       if (specs.size() != parsed.whatif->updates.size()) {
-        return Status::InvalidArgument("intervention arity mismatch");
+        items[i].status =
+            Status::InvalidArgument("intervention arity mismatch");
+        continue;
       }
+      bool shape_ok = true;
       for (size_t j = 0; j < specs.size(); ++j) {
         if (specs[j].attribute != parsed.whatif->updates[j].attribute) {
-          return Status::InvalidArgument(
+          items[i].status = Status::InvalidArgument(
               "intervention update attribute '" + specs[j].attribute +
               "' does not match the base statement's '" +
               parsed.whatif->updates[j].attribute + "'");
+          shape_ok = false;
+          break;
         }
         parsed.whatif->updates[j].func = specs[j].func;
         parsed.whatif->updates[j].constant = specs[j].constant;
       }
-      HYPER_ASSIGN_OR_RETURN(whatif::WhatIfResult result,
-                             row_engine.Run(*parsed.whatif));
-      results.push_back(std::move(result));
+      if (!shape_ok) continue;
+      auto result = row_engine.Run(*parsed.whatif);
+      if (result.ok()) {
+        items[i].result = std::move(result).value();
+      } else {
+        items[i].status = result.status();
+      }
     }
-    return results;
+    return items;
   }
 
-  HYPER_ASSIGN_OR_RETURN(std::vector<whatif::WhatIfResult> results,
-                         engine.EvaluateBatch(**plan, interventions));
-  for (whatif::WhatIfResult& result : results) {
-    result.plan_cache_hit = hit;
+  std::vector<Status> statuses;
+  HYPER_ASSIGN_OR_RETURN(
+      std::vector<whatif::WhatIfResult> results,
+      engine.EvaluateBatch(**plan, interventions, &statuses));
+  std::vector<WhatIfBatchItem> items(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    items[i].status = statuses[i];
+    items[i].result = std::move(results[i]);
+    items[i].result.plan_cache_hit = hit;
   }
-  if (!hit && !results.empty()) {
-    // Charge plan construction to the batch's first result so the totals
-    // stay meaningful.
-    results[0].prepare_seconds = (*plan)->prepare_seconds();
-    results[0].total_seconds =
-        results[0].prepare_seconds + results[0].eval_seconds;
+  if (!hit) {
+    // Charge plan construction to the batch's first successful result so
+    // the totals stay meaningful (a failed item's result is not consumed).
+    for (WhatIfBatchItem& item : items) {
+      if (!item.ok()) continue;
+      item.result.prepare_seconds = (*plan)->prepare_seconds();
+      item.result.total_seconds =
+          item.result.prepare_seconds + item.result.eval_seconds;
+      break;
+    }
   }
-  return results;
+  return items;
 }
 
 void ScenarioService::ReloadDataset(Database base) {

@@ -62,6 +62,17 @@ struct ScenarioInfo {
   size_t overridden_cells = 0;
 };
 
+/// One intervention's outcome within a SubmitWhatIfBatch sweep. `result` is
+/// meaningful iff `status.ok()`: a single failing intervention (e.g. an Avg
+/// whose qualifying set has zero probability under that intervention) is
+/// reported here per item instead of aborting the rest of the sweep.
+struct WhatIfBatchItem {
+  Status status = Status::OK();
+  whatif::WhatIfResult result;
+
+  bool ok() const { return status.ok(); }
+};
+
 /// The HypeR serving layer: owns a base database, a causal graph, named
 /// scenario branches (chained hypothetical updates as copy-on-write deltas,
 /// see ScenarioBranch) and a shared estimator/plan cache, and serves
@@ -117,9 +128,12 @@ class ScenarioService {
   /// Evaluates N interventions against ONE prepared plan in a single
   /// sharded pass: `base_whatif_sql` fixes the Use/When/For/Output shape and
   /// the update attributes; interventions[i] supplies the i-th constants.
-  /// results[i] is bit-for-bit identical to submitting the corresponding
-  /// single statement.
-  Result<std::vector<whatif::WhatIfResult>> SubmitWhatIfBatch(
+  /// results[i].result is bit-for-bit identical to submitting the
+  /// corresponding single statement. Batch-level failures (unknown scenario,
+  /// unparsable base statement, a hard Prepare error) fail the call;
+  /// per-intervention failures land in results[i].status and the rest of
+  /// the sweep still answers.
+  Result<std::vector<WhatIfBatchItem>> SubmitWhatIfBatch(
       const std::string& scenario, const std::string& base_whatif_sql,
       const std::vector<std::vector<whatif::UpdateSpec>>& interventions);
 

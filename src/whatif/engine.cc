@@ -1844,7 +1844,8 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     // block merge is order-fixed, so the answer never depends on the
     // worker count anyway.
     ThreadPool::Shared().ParallelFor(
-        block_rows.size(), [&](size_t b) { block_status[b] = eval_block(b); });
+        block_rows.size(), [&](size_t b) { block_status[b] = eval_block(b); },
+        /*max_parallelism=*/block_threads);
   }
   for (const Status& s : block_status) {
     HYPER_RETURN_NOT_OK(s);
@@ -1868,28 +1869,28 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
 
 Result<WhatIfResult> WhatIfEngine::Evaluate(
     const PreparedWhatIf& plan, const std::vector<UpdateSpec>& updates) const {
-  const size_t threads = options_.num_threads == 0
-                             ? ThreadPool::DefaultThreads()
-                             : options_.num_threads;
+  const size_t threads = ThreadPool::ResolveBudget(options_.num_threads);
   return EvaluatePrepared(*plan.impl_, updates, threads,
                           options_.batched_inference);
 }
 
 Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
     const PreparedWhatIf& plan,
-    const std::vector<std::vector<UpdateSpec>>& interventions) const {
+    const std::vector<std::vector<UpdateSpec>>& interventions,
+    std::vector<Status>* statuses) const {
   std::vector<WhatIfResult> results(interventions.size());
+  if (statuses != nullptr) {
+    statuses->assign(interventions.size(), Status::OK());
+  }
   if (interventions.empty()) return results;
-  const size_t threads = options_.num_threads == 0
-                             ? ThreadPool::DefaultThreads()
-                             : options_.num_threads;
-  std::vector<Status> statuses(interventions.size());
+  const size_t threads = ThreadPool::ResolveBudget(options_.num_threads);
+  std::vector<Status> item_status(interventions.size());
   if (threads <= 1 || interventions.size() == 1) {
     for (size_t i = 0; i < interventions.size(); ++i) {
       auto r = EvaluatePrepared(*plan.impl_, interventions[i], threads,
                                 options_.batched_inference);
       if (!r.ok()) {
-        statuses[i] = r.status();
+        item_status[i] = r.status();
       } else {
         results[i] = std::move(r).value();
       }
@@ -1900,17 +1901,23 @@ Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
     // Every evaluation is deterministic on its own, so results[i] is
     // bit-for-bit identical to a sequential Evaluate(interventions[i]).
     ThreadPool::Shared().ParallelFor(
-        interventions.size(), [&](size_t i) {
+        interventions.size(),
+        [&](size_t i) {
           auto r = EvaluatePrepared(*plan.impl_, interventions[i], 1,
                                     options_.batched_inference);
           if (!r.ok()) {
-            statuses[i] = r.status();
+            item_status[i] = r.status();
           } else {
             results[i] = std::move(r).value();
           }
-        });
+        },
+        /*max_parallelism=*/threads);
   }
-  for (const Status& s : statuses) {
+  if (statuses != nullptr) {
+    *statuses = std::move(item_status);
+    return results;
+  }
+  for (const Status& s : item_status) {
     HYPER_RETURN_NOT_OK(s);
   }
   return results;

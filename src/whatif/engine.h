@@ -96,9 +96,23 @@ struct WhatIfResult {
 /// of a what-if run; `WhatIfEngine::Evaluate` answers any intervention over
 /// the same (view, update attributes, When, For, Output) shape against it.
 ///
-/// A prepared plan is immutable except for its internal estimator cache,
-/// which is mutex-guarded: concurrent Evaluate calls are safe and return
-/// answers bit-for-bit identical to fresh single-query runs.
+/// Concurrency contract (audited for the parallel how-to scorer and the
+/// scenario service, which share one PreparedWhatIf across threads): a
+/// prepared plan is immutable after Prepare() except for three lazily-grown
+/// caches — the residual-entry list, the hole-value -> entry map, and the
+/// pattern-estimator map — all guarded by one internal mutex. Concurrent
+/// Evaluate calls are safe:
+///   - entries are unique_ptr-owned (stable addresses across list growth)
+///     and individually immutable once published under the lock;
+///   - a pattern estimator is trained by exactly the one caller that first
+///     needs it, under the lock, so concurrent evaluations never duplicate
+///     training (they observe the trained estimator as a cache hit);
+///   - the pattern map is node-based, so estimator addresses survive rehash
+///     and evaluations snapshot raw pointers, then predict lock-free
+///     (Predict/PredictBatch are const and touch no shared mutable state).
+/// Trained estimators are a pure function of (training matrix, pattern,
+/// options), so answers are bit-for-bit identical to fresh single-query
+/// runs no matter which caller happened to train first.
 class PreparedWhatIf {
  public:
   ~PreparedWhatIf();
@@ -164,9 +178,17 @@ class WhatIfEngine {
   /// Evaluates N interventions against one prepared plan in a single sharded
   /// pass over the worker pool. results[i] corresponds to interventions[i]
   /// and is identical to Evaluate(plan, interventions[i]).
+  ///
+  /// Error handling: with `statuses == nullptr` the first failing
+  /// intervention (in index order) fails the whole call. With a non-null
+  /// `statuses`, the call succeeds, statuses->at(i) carries each
+  /// intervention's own status (e.g. Avg over a zero-probability qualifying
+  /// set), and results[i] is meaningful iff statuses->at(i).ok() — one bad
+  /// intervention no longer aborts the rest of a sweep.
   Result<std::vector<WhatIfResult>> EvaluateBatch(
       const PreparedWhatIf& plan,
-      const std::vector<std::vector<UpdateSpec>>& interventions) const;
+      const std::vector<std::vector<UpdateSpec>>& interventions,
+      std::vector<Status>* statuses = nullptr) const;
 
   /// Human-readable execution plan: relevant-view shape, When selectivity,
   /// update interpretation, target attributes and the adjustment set the

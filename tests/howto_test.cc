@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baselines/opt_howto.h"
 #include "data/datasets.h"
 #include "howto/engine.h"
@@ -165,6 +167,98 @@ TEST_F(HowToGermanTest, GlobalBudgetForcesSelection) {
     EXPECT_FALSE(c.changed);
   }
   EXPECT_NEAR(result.objective_value, result.baseline_value, 1e-9);
+}
+
+TEST_F(HowToGermanTest, ParallelScoringBitEqualAcrossThreadCounts) {
+  // Candidate scoring shards the (attribute, candidate) pairs over the
+  // worker pool; the ordered merge must make every reported number — not
+  // just the chosen plan — bit-for-bit identical to the sequential loop.
+  const std::string query =
+      "Use German HowToUpdate Status, Savings "
+      "ToMaximize Avg(Post(Credit))";
+  HowToOptions serial = options_;
+  serial.whatif.num_threads = 1;
+  auto ref = HowToEngine(&ds_->db, &ds_->graph, serial).RunSql(query);
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  for (size_t threads : {2u, 4u, 8u}) {
+    HowToOptions parallel = options_;
+    parallel.whatif.num_threads = threads;
+    auto got = HowToEngine(&ds_->db, &ds_->graph, parallel).RunSql(query);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(ref->baseline_value, got->baseline_value) << threads;
+    EXPECT_EQ(ref->objective_value, got->objective_value) << threads;
+    EXPECT_EQ(ref->PlanToString(), got->PlanToString()) << threads;
+    EXPECT_EQ(ref->candidates_evaluated, got->candidates_evaluated);
+    ASSERT_EQ(ref->candidates.size(), got->candidates.size());
+    for (size_t a = 0; a < ref->candidates.size(); ++a) {
+      ASSERT_EQ(ref->candidates[a].size(), got->candidates[a].size());
+      for (size_t i = 0; i < ref->candidates[a].size(); ++i) {
+        EXPECT_EQ(ref->candidates[a][i].objective_value,
+                  got->candidates[a][i].objective_value);
+        EXPECT_EQ(ref->candidates[a][i].delta, got->candidates[a][i].delta);
+        EXPECT_EQ(ref->candidates[a][i].cost, got->candidates[a][i].cost);
+      }
+    }
+  }
+}
+
+TEST_F(HowToGermanTest, BudgetPrunesCostInfeasibleCandidates) {
+  // With a global L1 budget, candidates whose own cost busts the budget are
+  // skipped without a what-if evaluation. Pruning must be sound (only
+  // candidates that could never be chosen are pruned) and must not change
+  // the chosen plan relative to the exhaustive MILP solve over the same
+  // pruned candidate set.
+  const std::string query =
+      "Use German HowToUpdate Status, Savings "
+      "ToMaximize Avg(Post(Credit))";
+  // Unbudgeted run to learn the cost spectrum.
+  auto free_run = Engine().RunSql(query).value();
+  EXPECT_EQ(0u, free_run.candidates_pruned);
+  double min_cost = 1e300, max_cost = 0.0;
+  for (const auto& group : free_run.candidates) {
+    for (const auto& cu : group) {
+      if (cu.cost > 0) min_cost = std::min(min_cost, cu.cost);
+      max_cost = std::max(max_cost, cu.cost);
+    }
+  }
+  ASSERT_LT(min_cost, max_cost);
+
+  // A budget strictly between the cheapest and the dearest candidate must
+  // prune some candidates but not all, and every pruned candidate's own
+  // cost must exceed the budget (the admissible-bound soundness condition).
+  const double budget = 0.5 * (min_cost + max_cost);
+  HowToOptions budgeted = options_;
+  budgeted.global_l1_budget = budget;
+  auto pruned_run =
+      HowToEngine(&ds_->db, &ds_->graph, budgeted).RunSql(query).value();
+  EXPECT_GT(pruned_run.candidates_pruned, 0u);
+  EXPECT_GT(pruned_run.candidates_evaluated, 0u);
+  double plan_cost = 0.0;
+  for (const auto& group : pruned_run.candidates) {
+    for (const auto& cu : group) {
+      if (cu.pruned) EXPECT_GT(cu.cost, budget);
+    }
+  }
+  for (const auto& choice : pruned_run.plan) {
+    if (choice.changed) plan_cost += choice.cost;
+  }
+  EXPECT_LE(plan_cost, budget + 1e-9);
+
+  // MCK and branch-and-bound agree on the pruned instance.
+  HowToOptions milp = budgeted;
+  milp.prefer_mck = false;
+  auto milp_run =
+      HowToEngine(&ds_->db, &ds_->graph, milp).RunSql(query).value();
+  EXPECT_NEAR(pruned_run.objective_value, milp_run.objective_value, 1e-9);
+
+  // A budget above every candidate's cost prunes nothing and reproduces the
+  // unbudgeted plan (single-attribute costs here never couple).
+  HowToOptions roomy = options_;
+  roomy.global_l1_budget = 2.0 * max_cost * free_run.candidates.size();
+  auto roomy_run =
+      HowToEngine(&ds_->db, &ds_->graph, roomy).RunSql(query).value();
+  EXPECT_EQ(0u, roomy_run.candidates_pruned);
+  EXPECT_EQ(free_run.PlanToString(), roomy_run.PlanToString());
 }
 
 TEST_F(HowToGermanTest, MinimizeFlipsDirection) {

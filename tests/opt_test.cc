@@ -275,6 +275,27 @@ TEST(MckTest, MatchesMilpOnRandomInstances) {
   }
 }
 
+TEST(MckTest, TiedValuesBreakByLowestIndex) {
+  // Deliberately tied groups. SolveMck orders items with an unstable sort;
+  // without an explicit (value desc, index asc) tie-break the chosen item
+  // among equal values would depend on the STL's sort internals, making
+  // how-to plans platform-dependent. The contract: the lowest-index item of
+  // a tied set wins.
+  std::vector<MckGroup> groups{{{5, 5, 5}, {1, 0, 2}},
+                               {{2, 3, 3}, {0, 0, 0}}};
+  auto sol = SolveMck(groups, /*budget=*/-1).value();
+  EXPECT_NEAR(sol.value, 8, 1e-12);
+  EXPECT_EQ(sol.choice, (std::vector<int>{0, 1}));
+
+  // Under a budget, a tied-but-infeasible lower index yields to the next
+  // index, not to an arbitrary sort order.
+  std::vector<MckGroup> budgeted{{{5, 5}, {2, 1}}};
+  auto tight = SolveMck(budgeted, /*budget=*/1).value();
+  EXPECT_EQ(tight.choice, (std::vector<int>{1}));
+  auto loose = SolveMck(budgeted, /*budget=*/2).value();
+  EXPECT_EQ(loose.choice, (std::vector<int>{0}));
+}
+
 TEST(MckTest, NegativeCostRejected) {
   std::vector<MckGroup> groups{{{1}, {-0.5}}};
   EXPECT_FALSE(SolveMck(groups, 1).ok());

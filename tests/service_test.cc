@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "data/datasets.h"
@@ -160,7 +163,8 @@ TEST_F(ServiceTest, SubmitWhatIfBatchMatchesSingles) {
         "Use German When Status = 1 Update(Status) = " + std::to_string(v) +
             " Output Count(Credit = 1)",
         options);
-    EXPECT_EQ(expected, (*batch)[v].value) << "Status <- " << v;
+    ASSERT_TRUE((*batch)[v].ok()) << (*batch)[v].status;
+    EXPECT_EQ(expected, (*batch)[v].result.value) << "Status <- " << v;
   }
 }
 
@@ -325,6 +329,136 @@ TEST_F(ServiceTest, ConcurrentExplicitThreadsDeterminism) {
   for (double v : values) EXPECT_EQ(expected, v);
 }
 
+// --- plan-cache single-flight and accounting ------------------------------
+
+TEST_F(ServiceTest, GetOrPrepareSingleFlightsConcurrentMisses) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  whatif::WhatIfEngine engine(&db_, &graph_, options);
+  auto stmt = sql::ParseSql(kQuery);
+  ASSERT_TRUE(stmt.ok());
+
+  PlanCache cache(8);
+  std::atomic<size_t> prepares{0};
+  std::atomic<size_t> started{0};
+  auto prepare = [&]() -> Result<std::shared_ptr<const whatif::PreparedWhatIf>> {
+    ++prepares;
+    // Hold the in-flight slot open long enough that every follower arrives
+    // while the leader is still preparing, even on one core.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return engine.Prepare(*stmt->whatif);
+  };
+
+  constexpr size_t kCallers = 8;
+  std::vector<std::shared_ptr<const whatif::PreparedWhatIf>> plans(kCallers);
+  // char, not bool: vector<bool> packs bits, and concurrent writes to
+  // adjacent bits would themselves be a data race under the TSan gate.
+  std::vector<char> hits(kCallers, 0);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kCallers; ++t) {
+    workers.emplace_back([&, t] {
+      ++started;
+      while (started.load() < kCallers) std::this_thread::yield();
+      bool hit = false;
+      auto plan = cache.GetOrPrepare("key", prepare, &hit);
+      ASSERT_TRUE(plan.ok()) << plan.status();
+      plans[t] = *plan;
+      hits[t] = hit ? 1 : 0;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Exactly one caller prepared (and reported the miss); everyone else was
+  // served the leader's work as a hit, and all share one plan object.
+  EXPECT_EQ(1u, prepares.load());
+  EXPECT_EQ(1, std::count(hits.begin(), hits.end(), 0));
+  for (size_t t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(plans[0].get(), plans[t].get());
+  }
+
+  // Accounting: one miss (the preparer), everyone else coalesced or hit,
+  // and the ledger reconciles with both the lookup and the prepare count.
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(prepares.load(), stats.misses);
+  EXPECT_GT(stats.coalesced, 0u);
+  EXPECT_EQ(kCallers, stats.hits + stats.misses + stats.coalesced);
+
+  // A later lookup is a plain hit.
+  bool hit = false;
+  ASSERT_TRUE(cache.GetOrPrepare("key", prepare, &hit).ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(1u, prepares.load());
+}
+
+TEST_F(ServiceTest, PutLostRaceCountsCoalesced) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  whatif::WhatIfEngine engine(&db_, &graph_, options);
+  auto stmt = sql::ParseSql(kQuery);
+  ASSERT_TRUE(stmt.ok());
+
+  // Two manual Get+Prepare+Put racers: both Gets miss, both prepare, the
+  // second Put converges on the first entry. The ledger must reconcile:
+  // 2 lookups = 2 misses = 2 prepares, and the dropped duplicate prepare is
+  // visible as 1 coalesced insert.
+  PlanCache cache(8);
+  EXPECT_EQ(nullptr, cache.Get("key"));
+  EXPECT_EQ(nullptr, cache.Get("key"));
+  auto first = engine.Prepare(*stmt->whatif);
+  auto second = engine.Prepare(*stmt->whatif);
+  ASSERT_TRUE(first.ok() && second.ok());
+  auto canonical1 = cache.Put("key", *first);
+  auto canonical2 = cache.Put("key", *second);
+  EXPECT_EQ(first->get(), canonical1.get());
+  EXPECT_EQ(first->get(), canonical2.get());  // second racer lost
+
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(0u, stats.hits);
+  EXPECT_EQ(2u, stats.misses);
+  EXPECT_EQ(1u, stats.coalesced);
+  EXPECT_EQ(1u, stats.entries);
+  EXPECT_EQ(2u, stats.hits + stats.misses);  // reconciles with 2 prepares
+}
+
+// --- per-item statuses in batched what-if ---------------------------------
+
+TEST_F(ServiceTest, SubmitWhatIfBatchReportsPerItemFailures) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  auto service = MakeService(options);
+
+  // For Post(Status) = 0 with Update(Status) = v: the update attribute's
+  // post value is deterministic, so v != 0 disqualifies every updated tuple
+  // and the Avg's qualifying set has zero probability — that intervention
+  // must fail alone, without aborting its sweep siblings.
+  const std::string base =
+      "Use German Update(Status) = 0 Output Avg(Post(Credit)) "
+      "For Post(Status) = 0";
+  std::vector<std::vector<whatif::UpdateSpec>> interventions;
+  for (int v : {0, 1}) {
+    whatif::UpdateSpec spec;
+    spec.attribute = "Status";
+    spec.func = sql::UpdateFuncKind::kSet;
+    spec.constant = Value::Int(v);
+    interventions.push_back({spec});
+  }
+
+  auto batch = service->SubmitWhatIfBatch("main", base, interventions);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(2u, batch->size());
+
+  // Item 0 answers, bit-identical to a fresh single run.
+  ASSERT_TRUE((*batch)[0].ok()) << (*batch)[0].status;
+  EXPECT_EQ(FreshRun("Use German Update(Status) = 0 "
+                     "Output Avg(Post(Credit)) For Post(Status) = 0",
+                     options),
+            (*batch)[0].result.value);
+
+  // Item 1 carries its own error.
+  EXPECT_FALSE((*batch)[1].ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, (*batch)[1].status.code());
+}
+
 // --- how-to through shared plans ------------------------------------------
 
 TEST_F(ServiceTest, HowToSharedPlansBitEqualToLegacyPath) {
@@ -380,6 +514,154 @@ TEST_F(ServiceTest, HowToThroughServiceReusesCacheAcrossRuns) {
   EXPECT_EQ(0u, first.howto.plan_cache_hits);
   EXPECT_GT(second.howto.plan_cache_hits, 0u);
   EXPECT_EQ(0.0, second.howto.train_seconds);
+}
+
+// --- concurrent how-to stress ---------------------------------------------
+
+TEST_F(ServiceTest, ConcurrentMixedHowToStressBitEqualAcrossThreads) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  auto primary = sql::ParseSql(
+      "Use German HowToUpdate Status, Savings "
+      "ToMaximize Count(Credit = 1)");
+  auto secondary = sql::ParseSql(
+      "Use German HowToUpdate Status, Savings "
+      "ToMinimize Avg(Post(CreditAmount))");
+  ASSERT_TRUE(primary.ok() && secondary.ok());
+
+  auto engine_with = [&](PlanCache* cache, size_t threads) {
+    howto::HowToOptions ho;
+    ho.whatif = options;
+    ho.whatif.num_threads = threads;
+    ho.plan_cache = cache;
+    ho.cache_scope = "stress";
+    return howto::HowToEngine(&db_, &graph_, ho);
+  };
+
+  // Single-threaded reference results (fresh cache).
+  PlanCache ref_cache(64);
+  howto::HowToEngine ref_engine = engine_with(&ref_cache, 1);
+  auto ref_run = ref_engine.Run(*primary->howto);
+  ASSERT_TRUE(ref_run.ok()) << ref_run.status();
+  const double target =
+      ref_run->baseline_value +
+      0.3 * (ref_run->objective_value - ref_run->baseline_value);
+  auto ref_min = ref_engine.RunMinCost(*primary->howto, target);
+  ASSERT_TRUE(ref_min.ok()) << ref_min.status();
+  auto ref_lex = ref_engine.RunLexicographic(
+      {primary->howto.get(), secondary->howto.get()});
+  ASSERT_TRUE(ref_lex.ok()) << ref_lex.status();
+
+  // Reference what-if values on two scenario branches.
+  auto ref_service = MakeService(options);
+  ASSERT_TRUE(ref_service->CreateScenario("b1", "main").ok());
+  ASSERT_TRUE(ref_service
+                  ->ApplyHypotheticalSql(
+                      "b1",
+                      "Use German When Savings = 0 Update(Credit) = 0 "
+                      "Output Count(*)")
+                  .ok());
+  const double ref_main =
+      ref_service->Submit({"main", kQuery, {}}).whatif.value;
+  const double ref_b1 = ref_service->Submit({"b1", kQuery, {}}).whatif.value;
+
+  auto check_howto = [](const howto::HowToResult& expect,
+                        const howto::HowToResult& got, const char* what) {
+    EXPECT_EQ(expect.baseline_value, got.baseline_value) << what;
+    EXPECT_EQ(expect.objective_value, got.objective_value) << what;
+    EXPECT_EQ(expect.PlanToString(), got.PlanToString()) << what;
+    ASSERT_EQ(expect.candidates.size(), got.candidates.size()) << what;
+    for (size_t a = 0; a < expect.candidates.size(); ++a) {
+      ASSERT_EQ(expect.candidates[a].size(), got.candidates[a].size());
+      for (size_t i = 0; i < expect.candidates[a].size(); ++i) {
+        EXPECT_EQ(expect.candidates[a][i].objective_value,
+                  got.candidates[a][i].objective_value)
+            << what << " candidate " << a << "/" << i;
+      }
+    }
+  };
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    PlanCache cache(64);
+    howto::HowToEngine engine = engine_with(&cache, threads);
+    auto service = MakeService(options, 64, threads);
+    ASSERT_TRUE(service->CreateScenario("b1", "main").ok());
+    ASSERT_TRUE(service
+                    ->ApplyHypotheticalSql(
+                        "b1",
+                        "Use German When Savings = 0 Update(Credit) = 0 "
+                        "Output Count(*)")
+                    .ok());
+
+    // `threads` workers race mixed how-to solves against one shared plan
+    // cache, interleaved with what-if submissions on both branches.
+    std::vector<std::thread> workers;
+    std::vector<Status> howto_status(threads);
+    std::vector<howto::HowToResult> howto_results(threads);
+    std::vector<double> whatif_values(threads, 0.0);
+    std::atomic<size_t> started{0};
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ++started;
+        while (started.load() < threads) std::this_thread::yield();
+        Result<howto::HowToResult> r = Status::Internal("unset");
+        switch (t % 3) {
+          case 0:
+            r = engine.Run(*primary->howto);
+            break;
+          case 1:
+            r = engine.RunMinCost(*primary->howto, target);
+            break;
+          default:
+            r = engine.RunLexicographic(
+                {primary->howto.get(), secondary->howto.get()});
+            break;
+        }
+        if (r.ok()) {
+          howto_results[t] = std::move(r).value();
+        } else {
+          howto_status[t] = r.status();
+        }
+        whatif_values[t] =
+            service->Submit({t % 2 == 0 ? "main" : "b1", kQuery, {}})
+                .whatif.value;
+      });
+    }
+    for (std::thread& w : workers) w.join();
+
+    for (size_t t = 0; t < threads; ++t) {
+      ASSERT_TRUE(howto_status[t].ok()) << howto_status[t];
+      switch (t % 3) {
+        case 0:
+          check_howto(*ref_run, howto_results[t], "Run");
+          break;
+        case 1:
+          check_howto(*ref_min, howto_results[t], "RunMinCost");
+          break;
+        default:
+          check_howto(*ref_lex, howto_results[t], "RunLexicographic");
+          break;
+      }
+      EXPECT_EQ(t % 2 == 0 ? ref_main : ref_b1, whatif_values[t])
+          << "threads=" << threads << " worker=" << t;
+    }
+
+    // No duplicate Prepare+train: single-flight guarantees one miss (= one
+    // prepare) per distinct plan key, no matter how many workers raced on
+    // it. Lexicographic workers (t % 3 == 2) touch 3 extra keys for the
+    // secondary objective's baseline + per-attribute plans.
+    const size_t distinct_keys = threads >= 3 ? 6u : 3u;
+    PlanCacheStats stats = cache.stats();
+    EXPECT_EQ(distinct_keys, stats.misses) << "threads=" << threads;
+    EXPECT_EQ(0u, stats.evictions);
+    // Every lookup is accounted for exactly once.
+    size_t lookups = 0;
+    for (size_t t = 0; t < threads; ++t) {
+      lookups += (t % 3 == 2) ? 6 : 3;  // baseline + one per attribute
+    }
+    EXPECT_EQ(lookups, stats.hits + stats.misses + stats.coalesced)
+        << "threads=" << threads;
+  }
 }
 
 // --- invalidation ---------------------------------------------------------
