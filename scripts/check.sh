@@ -29,23 +29,33 @@ echo "== perf gate (parity tests + bench smoke) =="
 # whatever perf tests are registered.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
 
-echo "== tsan smoke (service-labeled tests) =="
-# The concurrency gate: rebuild with -DHYPER_SANITIZE=thread and run the
-# scenario-service tests (shared plan cache, single-flight prepares,
-# concurrent how-to scoring) under ThreadSanitizer. Skipped only when the
-# toolchain has no usable TSan runtime.
-TSAN_PROBE="$(mktemp -d)"
-printf 'int main(){return 0;}\n' > "$TSAN_PROBE/probe.cc"
-if ${CXX:-c++} -fsanitize=thread "$TSAN_PROBE/probe.cc" -o "$TSAN_PROBE/probe" 2>/dev/null \
-    && "$TSAN_PROBE/probe"; then
-  rm -rf "$TSAN_PROBE"
-  TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
-  cmake -B "$TSAN_BUILD_DIR" -S . -DHYPER_SANITIZE=thread >/dev/null
-  cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" --target service_test
-  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -L service
-else
-  rm -rf "$TSAN_PROBE"
-  echo "ThreadSanitizer unavailable in this toolchain; skipping tsan smoke"
-fi
+# Sanitizer legs over the `service`-labeled tests (the scenario service,
+# stage/plan caches, single-flight prepares, concurrent how-to scoring):
+# TSan catches data races on the shared stage caches, ASan catches
+# lifetime bugs in the stage graph (an evicted upstream stage must stay
+# alive through its downstream shared_ptr holders). Each leg probes the
+# toolchain first and is skipped only when its runtime is unusable.
+run_sanitizer_leg() {
+  local SAN="$1"         # thread | address
+  local FLAG="-fsanitize=$SAN"
+  local SAN_BUILD_DIR="${BUILD_DIR}-${2}"   # build dir suffix: tsan | asan
+  echo "== ${2} smoke (service-labeled tests) =="
+  local PROBE
+  PROBE="$(mktemp -d)"
+  printf 'int main(){return 0;}\n' > "$PROBE/probe.cc"
+  if ${CXX:-c++} "$FLAG" "$PROBE/probe.cc" -o "$PROBE/probe" 2>/dev/null \
+      && "$PROBE/probe"; then
+    rm -rf "$PROBE"
+    cmake -B "$SAN_BUILD_DIR" -S . -DHYPER_SANITIZE="$SAN" >/dev/null
+    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test
+    ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -L service
+  else
+    rm -rf "$PROBE"
+    echo "${SAN}Sanitizer unavailable in this toolchain; skipping ${2} smoke"
+  fi
+}
+
+run_sanitizer_leg thread tsan
+run_sanitizer_leg address asan
 
 echo "== check passed =="

@@ -14,7 +14,7 @@ Result<double> GroundTruthWhatIf(const Database& db, const causal::Scm& scm,
                                  const sql::WhatIfStmt& stmt) {
   HYPER_ASSIGN_OR_RETURN(whatif::CompiledWhatIf q,
                          whatif::CompileWhatIf(db, stmt));
-  const Table& view = q.view_info.view;
+  const Table& view = *q.view_info->view;
   const Schema& vschema = view.schema();
   const size_t n = view.num_rows();
 

@@ -156,7 +156,7 @@ Result<std::vector<std::vector<UpdateSpec>>> HowToEngine::EnumerateCandidates(
   HYPER_ASSIGN_OR_RETURN(
       whatif::ViewInfo view_info,
       whatif::BuildRelevantView(*db_, stmt.use, stmt.update_attributes[0]));
-  const Table& view = view_info.view;
+  const Table& view = *view_info.view;
   const Schema& vschema = view.schema();
 
   HYPER_ASSIGN_OR_RETURN(std::vector<size_t> s_rows,
@@ -342,13 +342,17 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
   // so Evaluate(plan, {spec}) is bit-for-bit identical to a fresh
   // Run(MakeCandidateWhatIf(stmt, {spec})).
   const bool shared = options_.share_plans;
+  // Staged pipeline (when the caller wired a StageContext): the baseline
+  // and every per-attribute plan share the ScopeStage, and candidates of
+  // one attribute share everything above the QueryStage.
+  const whatif::StageContext* stage_ctx = options_.stage_context;
   auto prepare_shared = [&](const sql::WhatIfStmt& ws)
       -> Result<std::shared_ptr<const whatif::PreparedWhatIf>> {
     if (options_.plan_cache != nullptr) {
       bool hit = false;
       auto plan = options_.plan_cache->GetOrPrepare(
           service::WhatIfPlanKey(options_.cache_scope, ws, options_.whatif),
-          [&] { return engine.Prepare(ws); }, &hit);
+          [&] { return engine.Prepare(ws, stage_ctx); }, &hit);
       if (plan.ok()) {
         if (hit) {
           ++scored.plan_cache_hits;
@@ -358,7 +362,7 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
       }
       return plan;
     }
-    auto plan = engine.Prepare(ws);
+    auto plan = engine.Prepare(ws, stage_ctx);
     if (plan.ok()) scored.prepare_seconds += (*plan)->prepare_seconds();
     return plan;
   };
@@ -398,7 +402,7 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
   HYPER_ASSIGN_OR_RETURN(
       whatif::ViewInfo view_info,
       whatif::BuildRelevantView(*db_, stmt.use, stmt.update_attributes[0]));
-  const Table& view = view_info.view;
+  const Table& view = *view_info.view;
   const Schema& vschema = view.schema();
   HYPER_ASSIGN_OR_RETURN(std::vector<size_t> s_rows,
                          SelectWhenRows(view, stmt.when.get()));

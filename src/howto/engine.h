@@ -49,6 +49,12 @@ struct HowToOptions {
   /// Data-snapshot scope for plan_cache keys (see WhatIfPlanKey); must
   /// change whenever the database content changes.
   std::string cache_scope;
+  /// Optional staged-prepare wiring (see whatif::StageContext): when set,
+  /// the baseline plan and every per-attribute candidate plan route through
+  /// the same staged pipeline, so they share the ScopeStage (and, per
+  /// attribute, everything above the QueryStage) instead of each
+  /// re-materializing the view. Not owned; must outlive Run.
+  const whatif::StageContext* stage_context = nullptr;
 };
 
 /// One candidate update for one attribute (an element of the S_B sets of

@@ -14,23 +14,43 @@
 
 namespace hyper::service {
 
-struct PlanCacheStats {
+/// Counters for one cache section (whole plans, or one prepare stage).
+struct StageStats {
   size_t hits = 0;
   size_t misses = 0;
-  /// Lookups that neither hit nor prepared: the caller was coalesced onto a
-  /// concurrent preparer's in-flight plan (single-flight followers), or a
+  /// Lookups that neither hit nor built: the caller was coalesced onto a
+  /// concurrent builder's in-flight entry (single-flight followers), or a
   /// Put lost the insert race and converged on the already-stored entry.
-  /// Accounting invariant (asserted in service_test): for GetOrPrepare-only
-  /// workloads, `misses` equals the number of prepare-factory invocations
-  /// and `hits + misses + coalesced` equals the number of lookups.
+  /// Accounting invariant (asserted in service_test): for
+  /// GetOrPrepare/GetOrBuild-only workloads, `misses` equals the number of
+  /// factory invocations and `hits + misses + coalesced` equals the number
+  /// of lookups.
   size_t coalesced = 0;
   size_t evictions = 0;
   size_t entries = 0;
   size_t capacity = 0;
 };
 
-/// Composes the cache key for a prepared what-if plan. The key captures
-/// everything Prepare() consumes:
+/// Stats for every section. The flat fields mirror the plan section (the
+/// legacy PlanCacheStats surface); the per-stage sections expose how much of
+/// each prepare the staged pipeline reused.
+struct PlanCacheStats {
+  // Plan section (assembled PreparedWhatIf entries).
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t coalesced = 0;
+  size_t evictions = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+  // Stage sections: misses count actual stage builds ("prepares per stage").
+  StageStats scope;
+  StageStats causal;
+  StageStats learn;
+  StageStats query;
+};
+
+/// Composes the cache key for an assembled (whole-plan) entry. The key
+/// captures everything Prepare() consumes:
 ///   - `scope`: the data snapshot (ScenarioService uses generation + branch
 ///     delta fingerprint; standalone callers can use
 ///     Database::ContentFingerprint()). Plans must never be shared across
@@ -40,19 +60,26 @@ struct PlanCacheStats {
 ///     update-attribute list. Update *constants and functions* are excluded:
 ///     a prepared plan answers any intervention over its attributes.
 ///   - the estimator configuration: backdoor mode, estimator kind, forest
-///     hyperparameters, smoothing, sample size and seed, block decomposition.
+///     hyperparameters, smoothing, sample size and seed, block decomposition
+///     — and the staged/monolithic arm, so A/B runs never share entries.
 std::string WhatIfPlanKey(const std::string& scope,
                           const sql::WhatIfStmt& stmt,
                           const whatif::WhatIfOptions& options);
 
-/// A thread-safe LRU cache of prepared what-if plans (trained estimators +
-/// compiled view plans). Entries are shared_ptr, so eviction never
-/// invalidates a plan an in-flight query is evaluating against. Capacity 0
-/// disables storage (every lookup misses, nothing is retained), but
-/// GetOrPrepare still single-flights concurrent misses on one key.
-class PlanCache {
+/// The serving layer's stage cache: one thread-safe LRU + single-flight
+/// section per prepare stage (Scope / Causal / Learn / Query, served to the
+/// engine through the whatif::StageProvider interface) plus a fifth section
+/// of assembled whole plans (the legacy typed PlanCache API). Entries are
+/// shared_ptr and downstream stages hold their upstream stages alive, so
+/// evicting any entry never invalidates an in-flight query or a live
+/// downstream stage. Capacity 0 disables storage in every section (each
+/// lookup misses, nothing is retained), but single-flight still coalesces
+/// concurrent builds of one key.
+class StageCache : public whatif::StageProvider {
  public:
-  explicit PlanCache(size_t capacity = 64) : capacity_(capacity) {}
+  explicit StageCache(size_t capacity = 64);
+
+  // --- whole-plan section (legacy typed API) ------------------------------
 
   /// Returns the cached plan or nullptr; counts a hit/miss.
   std::shared_ptr<const whatif::PreparedWhatIf> Get(const std::string& key);
@@ -81,49 +108,92 @@ class PlanCache {
           Result<std::shared_ptr<const whatif::PreparedWhatIf>>()>& prepare,
       bool* hit = nullptr);
 
+  // --- stage sections (whatif::StageProvider) -----------------------------
+
+  /// Per-stage get-or-build with the same LRU + single-flight semantics as
+  /// GetOrPrepare, one independent section per StageKind.
+  Result<StagePtr> GetOrBuild(whatif::StageKind kind, const std::string& key,
+                              const StageFactory& build, bool* hit) override;
+
+  /// Returns the cached stage or nullptr without building. Does not touch
+  /// recency or the hit/miss counters (it locates delta-patch bases, it
+  /// does not serve queries).
+  StagePtr Peek(whatif::StageKind kind, const std::string& key) override;
+
+  // --- maintenance --------------------------------------------------------
+
+  /// Eagerly evicts, from every section, the entries whose key contains
+  /// `tag` (e.g. a dropped branch's data-scope fingerprint). Returns the
+  /// number of entries evicted; the eviction counters absorb them, so the
+  /// hit/miss/coalesced ledger still reconciles with lookups.
+  size_t EvictTagged(const std::string& tag);
+
   void Clear();
   PlanCacheStats stats() const;
   size_t capacity() const { return capacity_; }
 
  private:
-  using PlanPtr = std::shared_ptr<const whatif::PreparedWhatIf>;
+  using EntryPtr = std::shared_ptr<const void>;
+  using EntryFactory = std::function<Result<EntryPtr>()>;
 
-  /// One in-flight Prepare, shared by the preparer (who fulfills the
-  /// promise) and every coalesced waiter. `epoch` records the clear epoch
-  /// at creation: a Clear() invalidates in-flight work too, so later
-  /// callers must not coalesce onto a pre-Clear prepare.
+  /// One in-flight build, shared by the builder (who fulfills the promise)
+  /// and every coalesced waiter. `epoch` records the clear epoch at
+  /// creation: a Clear() invalidates in-flight work too, so later callers
+  /// must not coalesce onto a pre-Clear build.
   struct InFlight {
-    std::promise<Result<PlanPtr>> promise;
-    std::shared_future<Result<PlanPtr>> future;
+    std::promise<Result<EntryPtr>> promise;
+    std::shared_future<Result<EntryPtr>> future;
     size_t epoch = 0;
+    /// Set (under the section mutex) by EvictTagged when this build's key
+    /// matches the evicted tag: the leader publishes to its waiters but
+    /// skips the insert, so a racing build cannot resurrect a dropped
+    /// branch's entries.
+    bool cancelled = false;
   };
 
-  /// Inserts into the LRU (first writer wins) and returns the canonical
-  /// entry. Caller holds mu_.
-  PlanPtr StoreLocked(const std::string& key, PlanPtr plan,
-                      bool* lost_race = nullptr);
-  void EvictIfNeededLocked();
+  /// One independent LRU + single-flight cache: plans, or one stage kind.
+  struct Section {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::string> lru;
+    struct Slot {
+      EntryPtr entry;
+      std::list<std::string>::iterator lru_it;
+    };
+    std::unordered_map<std::string, Slot> map;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+    /// Bumped by Clear(). A builder whose factory straddled a Clear still
+    /// publishes its entry to waiters but skips the insert: its key may
+    /// embed an invalidated scope and would sit unreachable in the LRU.
+    size_t clear_epoch = 0;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t coalesced = 0;
+    size_t evictions = 0;
+  };
 
-  mutable std::mutex mu_;
+  /// Inserts into the section LRU (first writer wins) and returns the
+  /// canonical entry. Caller holds the section mutex.
+  EntryPtr StoreLocked(Section& section, const std::string& key,
+                       EntryPtr entry, bool* lost_race = nullptr);
+  void EvictIfNeededLocked(Section& section);
+  Result<EntryPtr> GetOrBuildInSection(Section& section,
+                                       const std::string& key,
+                                       const EntryFactory& build, bool* hit);
+  StageStats SectionStats(const Section& section) const;
+
+  Section& SectionOf(whatif::StageKind kind) {
+    return stages_[static_cast<size_t>(kind)];
+  }
+
   size_t capacity_;
-  /// Front = most recently used.
-  std::list<std::string> lru_;
-  struct Slot {
-    PlanPtr plan;
-    std::list<std::string>::iterator lru_it;
-  };
-  std::unordered_map<std::string, Slot> map_;
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
-  /// Bumped by Clear(). A leader whose prepare straddled a Clear still
-  /// publishes its plan to waiters but skips the insert: its key may embed
-  /// an invalidated scope (e.g. the pre-reload generation) and would sit in
-  /// the LRU as a permanently unreachable entry.
-  size_t clear_epoch_ = 0;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t coalesced_ = 0;
-  size_t evictions_ = 0;
+  Section plans_;
+  Section stages_[4];  // indexed by StageKind
 };
+
+/// Historical name: the cache predates the staged pipeline. The typed
+/// whole-plan API is unchanged.
+using PlanCache = StageCache;
 
 }  // namespace hyper::service
 

@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "storage/column.h"
 #include "storage/value.h"
 
 namespace hyper::service {
@@ -24,10 +25,14 @@ namespace hyper::service {
 /// untouched relations are shared with the base via Database::ShallowCopy.
 class ScenarioBranch {
  public:
-  /// tid -> value overrides of one attribute.
-  using AttributeCells = std::map<size_t, Value>;
+  /// tid -> value overrides of one attribute. Aliases the storage-layer
+  /// cell-override types so branch deltas feed ColumnTable::ApplyOverrides
+  /// (delta-aware columnar materialization) without conversion.
+  using AttributeCells = AttributeCellOverrides;
   /// attr index -> cells, for one relation.
-  using RelationOverrides = std::map<size_t, AttributeCells>;
+  using RelationOverrides = TableCellOverrides;
+  /// relation -> overrides: a branch's whole delta, base-relative.
+  using OverrideMap = std::map<std::string, RelationOverrides>;
 
   ScenarioBranch(std::string name, std::string parent)
       : name_(std::move(name)), parent_(std::move(parent)) {}
@@ -65,6 +70,27 @@ class ScenarioBranch {
   /// guarding the branch.
   RelationOverrides OverridesFor(const std::string& relation) const;
 
+  /// The branch's whole delta (base-relative), by const reference — callers
+  /// needing a lock-free snapshot copy it (O(cells)).
+  const OverrideMap& overrides() const { return overrides_; }
+
+  /// Deterministic fingerprint of the delta restricted to `attrs` (indices
+  /// into `relation`'s base schema): FNV over the current override cells of
+  /// those attributes, in map order. Unlike delta_fingerprint() — which
+  /// mixes in Override() call order — this is a pure function of the
+  /// current cell state, so two branches that reached the same restricted
+  /// state through different update sequences fingerprint identically.
+  /// A branch whose delta misses `attrs` entirely fingerprints like an
+  /// untouched branch — the LearnStage-reuse contract.
+  uint64_t FingerprintRestricted(const std::string& relation,
+                                 const std::vector<size_t>& attrs) const;
+
+  /// FingerprintRestricted over an arbitrary snapshot (the service hashes
+  /// lock-free against a World's override copy).
+  static uint64_t FingerprintRestricted(const OverrideMap& overrides,
+                                        const std::string& relation,
+                                        const std::vector<size_t>& attrs);
+
   /// Merges one batch of cell overrides for (relation, attr index). Cells
   /// overwrite earlier values at the same coordinates. An empty batch is a
   /// no-op: it must not bump the version, change the fingerprint or mark
@@ -81,7 +107,7 @@ class ScenarioBranch {
   std::string parent_;
   /// relation -> attr index -> tid -> value. Ordered maps keep the
   /// fingerprint and materialization deterministic.
-  std::map<std::string, RelationOverrides> overrides_;
+  OverrideMap overrides_;
   size_t updates_applied_ = 0;
   uint64_t version_ = 0;
   Fnv1a fnv_;

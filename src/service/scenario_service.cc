@@ -53,10 +53,27 @@ Status ScenarioService::DropScenario(const std::string& name) {
   if (name == "main") {
     return Status::InvalidArgument("cannot drop the trunk scenario 'main'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (branches_.erase(name) == 0) {
-    return Status::NotFound("scenario '" + name + "' does not exist");
+  std::string scope_tag;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = branches_.find(name);
+    if (it == branches_.end()) {
+      return Status::NotFound("scenario '" + name + "' does not exist");
+    }
+    // The branch's materialization and override snapshot die with the
+    // BranchState; its data-scope fingerprint tags the cache entries to
+    // evict. Skip the eviction when the delta fingerprints like the trunk's
+    // (an untouched branch shares every entry with it).
+    if (it->second.branch.delta_fingerprint() !=
+        branches_.at("main").branch.delta_fingerprint()) {
+      scope_tag = ScopeLocked(it->second);
+    }
+    branches_.erase(it);
   }
+  // Eager eviction outside the service lock (the cache has its own): drop
+  // the branch-scoped plan / scope / query entries now instead of letting
+  // them squat in the LRU until capacity pressure pushes them out.
+  if (!scope_tag.empty()) cache_.EvictTagged(scope_tag);
   return Status::OK();
 }
 
@@ -96,6 +113,47 @@ std::string ScenarioService::ScopeLocked(const BranchState& state) const {
                        state.branch.delta_fingerprint()));
 }
 
+whatif::StageContext ScenarioService::StageContextFor(const World& world) {
+  whatif::StageContext ctx;
+  ctx.stages = &cache_;
+  ctx.data_scope = world.scope;
+  // Shape scope: stable across value-only deltas of one generation (cell
+  // overrides never add or remove rows), so shape-keyed stages (CausalStage
+  // on table views without cross-tuple edges) are shared by every branch.
+  ctx.shape_scope = StrFormat(
+      "g%llu", static_cast<unsigned long long>(world.generation));
+  // Patch base: the untouched-trunk scope of this generation. Branch
+  // overrides are base-relative, so any branch's columnar image is the base
+  // image plus its own cells.
+  ctx.base_scope = StrFormat(
+      "g%llu|d%016llx", static_cast<unsigned long long>(world.generation),
+      static_cast<unsigned long long>(Fnv1a().hash()));
+  ctx.overrides = world.overrides.get();
+  // Restricted delta fingerprint: hashes only the override cells of the
+  // attributes a LearnStage actually reads, against this request's
+  // immutable snapshot — branches whose deltas miss that set produce the
+  // trunk's fingerprint and share its LearnStage.
+  ctx.restricted = [db = world.db, overrides = world.overrides,
+                    generation = world.generation](
+                       const std::string& relation,
+                       const std::vector<std::string>& attrs) -> std::string {
+    std::vector<size_t> indices;
+    auto table = db->GetTable(relation);
+    if (table.ok()) {
+      indices.reserve(attrs.size());
+      for (const std::string& attr : attrs) {
+        auto idx = (*table)->schema().IndexOf(attr);
+        if (idx.ok()) indices.push_back(*idx);
+      }
+    }
+    return StrFormat(
+        "g%llu|r%016llx", static_cast<unsigned long long>(generation),
+        static_cast<unsigned long long>(ScenarioBranch::FingerprintRestricted(
+            *overrides, relation, indices)));
+  };
+  return ctx;
+}
+
 Result<ScenarioService::World> ScenarioService::SnapshotWorld(
     const std::string& scenario) {
   for (int attempt = 0; attempt < 8; ++attempt) {
@@ -109,6 +167,16 @@ Result<ScenarioService::World> ScenarioService::SnapshotWorld(
       world.scope = ScopeLocked(*state);
       world.branch_id = state->id;
       world.branch_version = state->branch.version();
+      world.generation = generation_;
+      // Override snapshot for the staged pipeline (O(cells) copy, cached
+      // per branch version like the materialization).
+      if (state->overrides == nullptr ||
+          state->overrides_version != state->branch.version()) {
+        state->overrides = std::make_shared<const ScenarioBranch::OverrideMap>(
+            state->branch.overrides());
+        state->overrides_version = state->branch.version();
+      }
+      world.overrides = state->overrides;
       if (state->effective != nullptr &&
           state->effective_version == state->branch.version()) {
         world.db = state->effective;
@@ -305,13 +373,15 @@ Response ScenarioService::Dispatch(const Request& request,
       request.whatif_options.has_value() ? *request.whatif_options
                                          : options_.whatif;
 
+  whatif::StageContext stage_context = StageContextFor(world);
+
   if (parsed->whatif != nullptr) {
     response.kind = Response::Kind::kWhatIf;
     whatif::WhatIfEngine engine(world.db.get(), graph(), opts);
     bool hit = false;
     auto plan = cache_.GetOrPrepare(
         WhatIfPlanKey(world.scope, *parsed->whatif, opts),
-        [&] { return engine.Prepare(*parsed->whatif); }, &hit);
+        [&] { return engine.Prepare(*parsed->whatif, &stage_context); }, &hit);
     if (plan.ok()) {
       auto result =
           engine.Evaluate(**plan, whatif::SpecsOfStatement(*parsed->whatif));
@@ -352,6 +422,7 @@ Response ScenarioService::Dispatch(const Request& request,
     ho.prefer_mck = options_.howto_prefer_mck;
     ho.plan_cache = &cache_;
     ho.cache_scope = world.scope;
+    ho.stage_context = &stage_context;
     howto::HowToEngine engine(world.db.get(), graph(), ho);
     auto result = engine.Run(*parsed->howto);
     if (!result.ok()) {
@@ -430,10 +501,11 @@ Result<std::vector<WhatIfBatchItem>> ScenarioService::SubmitWhatIfBatch(
   }
 
   whatif::WhatIfEngine engine(world.db.get(), graph(), options_.whatif);
+  whatif::StageContext stage_context = StageContextFor(world);
   bool hit = false;
   auto plan = cache_.GetOrPrepare(
       WhatIfPlanKey(world.scope, *parsed.whatif, options_.whatif),
-      [&] { return engine.Prepare(*parsed.whatif); }, &hit);
+      [&] { return engine.Prepare(*parsed.whatif, &stage_context); }, &hit);
   if (!plan.ok()) {
     if (plan.status().code() != StatusCode::kUnimplemented) {
       return plan.status();

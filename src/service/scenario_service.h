@@ -102,6 +102,15 @@ class ScenarioService {
   /// "main", which carries no deltas until hypotheticals are applied to it).
   Status CreateScenario(const std::string& name,
                         const std::string& parent = "main");
+
+  /// Drops the branch and eagerly evicts its cached state: the materialized
+  /// world and override snapshot go with the BranchState, and every plan /
+  /// stage cache entry scoped to the branch's delta fingerprint is evicted
+  /// immediately instead of aging out under LRU pressure. Stage entries
+  /// keyed by restricted or shape scopes survive — they are shared with
+  /// other branches by construction. (A live branch with a bit-identical
+  /// delta loses shared entries too; that costs a rebuild, never
+  /// correctness.)
   Status DropScenario(const std::string& name);
   bool HasScenario(const std::string& name) const;
   std::vector<ScenarioInfo> ListScenarios() const;
@@ -169,6 +178,10 @@ class ScenarioService {
     /// Cached effective world; rebuilt when branch.version() moves on.
     uint64_t effective_version = ~0ULL;
     std::shared_ptr<const Database> effective;
+    /// Cached override snapshot handed to requests (stage keys, delta
+    /// patching); refreshed alongside effective.
+    uint64_t overrides_version = ~0ULL;
+    std::shared_ptr<const ScenarioBranch::OverrideMap> overrides;
   };
 
   Result<BranchState*> FindBranchLocked(const std::string& name);
@@ -181,6 +194,11 @@ class ScenarioService {
     std::string scope;
     uint64_t branch_id = 0;
     uint64_t branch_version = 0;
+    uint64_t generation = 0;
+    /// The branch's delta, base-relative (shared, immutable snapshot): the
+    /// staged pipeline keys LearnStage reuse and patches columnar images
+    /// from it.
+    std::shared_ptr<const ScenarioBranch::OverrideMap> overrides;
   };
 
   /// Returns the branch's current world, materializing touched relations
@@ -189,6 +207,12 @@ class ScenarioService {
   Result<World> SnapshotWorld(const std::string& scenario);
 
   Response Dispatch(const Request& request, const World& world);
+
+  /// Stage-pipeline wiring for one request: stage cache, full / shape /
+  /// base scopes, the override snapshot, and the restricted-delta
+  /// fingerprint callback (see whatif::StageContext). The context borrows
+  /// from `world` and must not outlive it.
+  whatif::StageContext StageContextFor(const World& world);
 
   mutable std::mutex mu_;
   Database base_;

@@ -172,6 +172,71 @@ Result<std::vector<double>> ColumnTable::ColumnAsDoubles(size_t attr) const {
   return out;
 }
 
+Status ColumnTable::ApplyOverrides(const TableCellOverrides& overrides) {
+  // The dictionary is detached at most once per patch: the first unseen
+  // string pays one deep copy (so the patch source, which shares dict_, is
+  // never mutated), every later one interns into the already-private copy.
+  bool dict_private = false;
+  for (const auto& [attr, cells] : overrides) {
+    if (attr >= columns_.size()) continue;  // stale override beyond the shape
+    Column& col = columns_[attr];
+    for (const auto& [row, value] : cells) {
+      if (row >= num_rows_) continue;  // stale override beyond the shape
+      if (value.is_null()) {
+        if (col.nulls.empty()) col.nulls.resize(num_rows_, 0);
+        col.nulls[row] = 1;
+        switch (col.kind) {
+          case ColumnKind::kInt64: col.i64[row] = 0; break;
+          case ColumnKind::kDouble: col.f64[row] = 0.0; break;
+          case ColumnKind::kBool: col.b8[row] = 0; break;
+          case ColumnKind::kCode: col.codes[row] = Dictionary::kNullCode; break;
+        }
+        continue;
+      }
+      bool fits = false;
+      switch (col.kind) {
+        case ColumnKind::kInt64:
+          fits = value.type() == ValueType::kInt;
+          if (fits) col.i64[row] = value.int_value();
+          break;
+        case ColumnKind::kDouble:
+          // kDouble already means "numeric, possibly mixed": FromTable
+          // stores every numeric value through AsDouble here, so ints and
+          // bools patch in without changing the inferred kind.
+          fits = value.is_numeric();
+          if (fits) col.f64[row] = value.AsDouble().value();
+          break;
+        case ColumnKind::kBool:
+          fits = value.type() == ValueType::kBool;
+          if (fits) col.b8[row] = value.bool_value() ? 1 : 0;
+          break;
+        case ColumnKind::kCode:
+          fits = value.type() == ValueType::kString;
+          if (fits) {
+            int32_t code = dict_->Find(value.string_value());
+            if (code == Dictionary::kNullCode) {
+              if (!dict_private) {
+                dict_ = std::make_shared<Dictionary>(*dict_);
+                dict_private = true;
+              }
+              code = dict_->Intern(value.string_value());
+            }
+            col.codes[row] = code;
+          }
+          break;
+      }
+      if (!fits) {
+        return Status::FailedPrecondition(
+            "override value " + value.ToString() + " does not fit " +
+            ColumnKindName(col.kind) + " column '" +
+            schema_.attribute(attr).name + "'; rebuild from the table");
+      }
+      if (!col.nulls.empty()) col.nulls[row] = 0;
+    }
+  }
+  return Status::OK();
+}
+
 Table ColumnTable::ToTable() const {
   Table out(schema_);
   for (size_t r = 0; r < num_rows_; ++r) {

@@ -2,6 +2,7 @@
 #define HYPER_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -11,6 +12,14 @@
 #include "storage/table.h"
 
 namespace hyper {
+
+/// Sparse cell overrides for one table: attribute index -> row -> value.
+/// Ordered maps keep patch application (and anything fingerprinting the
+/// cells) deterministic. Structurally identical to the scenario-branch
+/// delta maps, so branch overrides flow into ColumnTable::ApplyOverrides
+/// without conversion.
+using AttributeCellOverrides = std::map<size_t, Value>;
+using TableCellOverrides = std::map<size_t, AttributeCellOverrides>;
 
 /// Shared string interner: every distinct string is stored once and addressed
 /// by a dense int32 code. Codes are assigned in first-intern order, so two
@@ -97,6 +106,28 @@ class ColumnTable {
   /// Materializes a row store with the same schema and Equals-equal values
   /// (used by tests and by callers that need the row API back).
   Table ToTable() const;
+
+  /// Patches this image in place from sparse cell overrides (attribute ->
+  /// row -> value), the delta-aware alternative to re-encoding a whole
+  /// patched table through FromTable. Cells beyond the table shape are
+  /// skipped (matching the scenario service's stale-override semantics).
+  ///
+  /// Every patched cell must fit the column's physical kind as inferred at
+  /// build time — int into kInt64/kDouble, double into kDouble, bool into
+  /// kBool, string into kCode, NULL anywhere; anything else (e.g. a double
+  /// landing in an all-int column, which FromTable would have promoted to
+  /// kDouble) returns FailedPrecondition with the image only partially
+  /// patched, and the caller must rebuild from the table instead. On OK the
+  /// image is value-for-value (Equals) identical to FromTable over the
+  /// patched rows; the physical kind may stay wider than a rebuild would
+  /// infer (overrides erasing a column's only double keep it kDouble),
+  /// which preserves Equals/Compare/Hash semantics per the mixed-column
+  /// contract.
+  ///
+  /// A string override absent from the dictionary triggers a private copy of
+  /// the dictionary before interning, so images sharing the original
+  /// dictionary (the patch source) are never mutated under concurrent reads.
+  Status ApplyOverrides(const TableCellOverrides& overrides);
 
  private:
   Schema schema_;

@@ -40,6 +40,15 @@ Result<const Table*> Database::GetTable(const std::string& name) const {
   return it->second.get();
 }
 
+Result<std::shared_ptr<const Table>> Database::GetTableShared(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  return std::shared_ptr<const Table>(it->second);
+}
+
 Result<Table*> Database::GetMutableTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) {

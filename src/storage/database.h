@@ -47,6 +47,13 @@ class Database {
 
   Result<const Table*> GetTable(const std::string& name) const;
 
+  /// Shared-ownership read access: the returned handle stays valid (with the
+  /// content it had at call time) even if this database later detaches the
+  /// relation through copy-on-write or is destroyed — snapshot semantics for
+  /// long-lived readers like prepared what-if plans.
+  Result<std::shared_ptr<const Table>> GetTableShared(
+      const std::string& name) const;
+
   /// Mutable access with copy-on-write: when the relation's storage is shared
   /// with another Database (via ShallowCopy or copy construction), it is
   /// detached first so mutation never leaks across copies. The returned

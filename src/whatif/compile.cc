@@ -72,7 +72,9 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
             "attribute '" + update_attr + "'");
       }
     }
-    info.view = *base;
+    // Zero-copy: the view aliases the relation's storage (copy-on-write at
+    // the Database layer keeps this snapshot stable under later mutation).
+    HYPER_ASSIGN_OR_RETURN(info.view, db.GetTableShared(relation));
     for (size_t k : base->schema().key_indices()) {
       info.view_key_columns.push_back(base->schema().attribute(k).name);
     }
@@ -89,13 +91,14 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
   // Embedded select: execute it, then map rows back to R by key.
   const std::string view_name =
       use.view_name.empty() ? "RelevantView" : use.view_name;
-  HYPER_ASSIGN_OR_RETURN(info.view,
+  HYPER_ASSIGN_OR_RETURN(Table executed,
                          relational::ExecuteSelect(db, *use.select, view_name));
+  info.view = std::make_shared<Table>(std::move(executed));
 
   // Column -> causal attribute mapping from the select items.
   for (size_t i = 0; i < use.select->items.size(); ++i) {
     const sql::SelectItem& item = use.select->items[i];
-    const std::string col = info.view.schema().attribute(i).name;
+    const std::string col = info.view->schema().attribute(i).name;
     if (item.expr != nullptr && item.expr->kind == ExprKind::kColumnRef) {
       // Plain column or aggregate of a column: both stand for the base
       // attribute in the (augmented) causal graph.
@@ -108,7 +111,7 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
   std::vector<size_t> key_attr_indices;
   for (size_t k : base->schema().key_indices()) {
     const std::string& key_name = base->schema().attribute(k).name;
-    if (!info.view.schema().Contains(key_name)) {
+    if (!info.view->schema().Contains(key_name)) {
       return Status::InvalidArgument(
           "relevant view must include the key attribute '" + key_name +
           "' of relation '" + relation + "'");
@@ -116,7 +119,7 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
     info.view_key_columns.push_back(key_name);
     key_attr_indices.push_back(k);
   }
-  if (!info.view.schema().Contains(update_attr)) {
+  if (!info.view->schema().Contains(update_attr)) {
     return Status::InvalidArgument(
         "relevant view must include the update attribute '" + update_attr +
         "'");
@@ -135,16 +138,16 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
 
   std::vector<size_t> view_key_cols;
   for (const std::string& name : info.view_key_columns) {
-    HYPER_ASSIGN_OR_RETURN(size_t idx, info.view.schema().IndexOf(name));
+    HYPER_ASSIGN_OR_RETURN(size_t idx, info.view->schema().IndexOf(name));
     view_key_cols.push_back(idx);
   }
 
-  info.view_row_to_tid.resize(info.view.num_rows());
+  info.view_row_to_tid.resize(info.view->num_rows());
   std::vector<bool> seen(base->num_rows(), false);
-  for (size_t r = 0; r < info.view.num_rows(); ++r) {
+  for (size_t r = 0; r < info.view->num_rows(); ++r) {
     std::vector<Value> key;
     key.reserve(view_key_cols.size());
-    for (size_t c : view_key_cols) key.push_back(info.view.At(r, c));
+    for (size_t c : view_key_cols) key.push_back(info.view->At(r, c));
     auto it = key_to_tid.find(key);
     if (it == key_to_tid.end()) {
       return Status::Internal(
@@ -180,13 +183,23 @@ Result<CompiledWhatIf> CompileWhatIf(const Database& db,
   if (stmt.updates.empty()) {
     return Status::InvalidArgument("what-if query requires an Update clause");
   }
+  HYPER_ASSIGN_OR_RETURN(
+      ViewInfo info,
+      BuildRelevantView(db, stmt.use, stmt.updates[0].attribute));
+  return CompileWhatIfAgainst(std::make_shared<const ViewInfo>(std::move(info)),
+                              stmt);
+}
+
+Result<CompiledWhatIf> CompileWhatIfAgainst(
+    std::shared_ptr<const ViewInfo> view_info, const sql::WhatIfStmt& stmt) {
+  if (stmt.updates.empty()) {
+    return Status::InvalidArgument("what-if query requires an Update clause");
+  }
 
   CompiledWhatIf out;
-  HYPER_ASSIGN_OR_RETURN(
-      out.view_info,
-      BuildRelevantView(db, stmt.use, stmt.updates[0].attribute));
+  out.view_info = std::move(view_info);
 
-  const Schema& vschema = out.view_info.view.schema();
+  const Schema& vschema = out.view_info->view->schema();
   for (const sql::UpdateClause& u : stmt.updates) {
     if (!vschema.Contains(u.attribute)) {
       return Status::InvalidArgument("update attribute '" + u.attribute +

@@ -27,17 +27,23 @@ struct UpdateSpec {
 /// to R tuples, and which causal-model attribute each view column stands
 /// for (aggregated columns map to their base attribute — the augmented-graph
 /// reading of §A.3.2).
+///
+/// The view table is held through shared ownership: for `Use <relation>` it
+/// aliases the database's own storage (no row copy per prepare), and staged
+/// prepare pipelines share one ViewInfo across every plan compiled against
+/// the same scope.
 struct ViewInfo {
-  Table view;
+  std::shared_ptr<const Table> view;
   std::string update_relation;                 // R
   std::vector<std::string> view_key_columns;   // key of R, as view columns
   std::vector<size_t> view_row_to_tid;         // view row -> tid in R
   std::unordered_map<std::string, std::string> causal_of_column;
 };
 
-/// A fully compiled what-if query.
+/// A fully compiled what-if query. `view_info` is shared: plans differing
+/// only in their predicates/output reuse one materialized view.
 struct CompiledWhatIf {
-  ViewInfo view_info;
+  std::shared_ptr<const ViewInfo> view_info;
   std::vector<UpdateSpec> updates;
   sql::ExprPtr when;      // nullable
   sql::ExprPtr for_pred;  // nullable; Count(pred) outputs are folded in here
@@ -57,6 +63,13 @@ Result<ViewInfo> BuildRelevantView(const Database& db,
 /// violations) surface here, before any estimation work starts.
 Result<CompiledWhatIf> CompileWhatIf(const Database& db,
                                      const sql::WhatIfStmt& stmt);
+
+/// The view-independent half of CompileWhatIf: validates `stmt` against an
+/// already-built relevant view and compiles its update specs / predicate /
+/// output ASTs. The staged prepare pipeline calls this with a cached
+/// ViewInfo so the view is materialized once per scope, not once per query.
+Result<CompiledWhatIf> CompileWhatIfAgainst(
+    std::shared_ptr<const ViewInfo> view_info, const sql::WhatIfStmt& stmt);
 
 /// The statement's Update clauses as UpdateSpecs (the intervention shape
 /// WhatIfEngine::Evaluate consumes). No validation — CompileWhatIf /

@@ -43,6 +43,31 @@ const char* BackdoorModeName(BackdoorMode mode) {
   return "?";
 }
 
+const char* StageKindName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kScope: return "scope";
+    case StageKind::kCausal: return "causal";
+    case StageKind::kLearn: return "learn";
+    case StageKind::kQuery: return "query";
+  }
+  return "?";
+}
+
+std::string EstimatorConfigKey(const WhatIfOptions& options) {
+  std::string key = StrFormat(
+      "|est=%d|smooth=%.17g|sample=%zu|seed=%llu",
+      static_cast<int>(options.estimator), options.frequency_smoothing,
+      options.sample_size, static_cast<unsigned long long>(options.seed));
+  const learn::ForestOptions& f = options.forest;
+  key += StrFormat(
+      "|forest=%zu,%.17g,%d,%llu,%d,%zu,%zu,%zu,%d,%zu", f.num_trees,
+      f.subsample, f.sqrt_features ? 1 : 0,
+      static_cast<unsigned long long>(f.seed), f.tree.max_depth,
+      f.tree.min_samples_leaf, f.tree.max_features, f.tree.max_thresholds,
+      f.tree.use_histograms ? 1 : 0, f.tree.max_bins);
+  return key;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -227,19 +252,19 @@ struct WhatIfPlan {
 Result<WhatIfPlan> BuildWhatIfPlan(const CompiledWhatIf& q,
                                    const causal::CausalGraph* graph,
                                    BackdoorMode requested_mode) {
-  const Schema& vschema = q.view_info.view.schema();
+  const Schema& vschema = q.view_info->view->schema();
   WhatIfPlan plan;
   plan.mode = graph == nullptr ? BackdoorMode::kAllAttributes : requested_mode;
   const BackdoorMode mode = plan.mode;
 
   // Causal name <-> view column maps.
   auto causal_of = [&](const std::string& col) -> std::string {
-    auto it = q.view_info.causal_of_column.find(col);
-    return it == q.view_info.causal_of_column.end() ? std::string()
+    auto it = q.view_info->causal_of_column.find(col);
+    return it == q.view_info->causal_of_column.end() ? std::string()
                                                     : it->second;
   };
   std::unordered_map<std::string, std::string> column_of_causal;
-  for (const auto& [col, attr] : q.view_info.causal_of_column) {
+  for (const auto& [col, attr] : q.view_info->causal_of_column) {
     column_of_causal.emplace(attr, col);
   }
 
@@ -351,7 +376,7 @@ Result<WhatIfPlan> BuildWhatIfPlan(const CompiledWhatIf& q,
     } else if (mode == BackdoorMode::kAllAttributes) {
       std::set<std::string> excluded = plan.target_cols;
       for (const UpdateSpec& u : q.updates) excluded.insert(u.attribute);
-      for (const std::string& k : q.view_info.view_key_columns) {
+      for (const std::string& k : q.view_info->view_key_columns) {
         excluded.insert(k);
       }
       for (const AttributeDef& attr : vschema.attributes()) {
@@ -393,7 +418,7 @@ Result<WhatIfPlan> BuildWhatIfPlan(const CompiledWhatIf& q,
     std::set<std::string> existing(plan.backdoor_cols.begin(),
                                    plan.backdoor_cols.end());
     for (const UpdateSpec& u : q.updates) existing.insert(u.attribute);
-    for (const std::string& k : q.view_info.view_key_columns) {
+    for (const std::string& k : q.view_info->view_key_columns) {
       existing.insert(k);
     }
     std::vector<std::string> refs;
@@ -441,7 +466,7 @@ std::vector<std::vector<size_t>> BuildBlockRows(
     if (!any_cross_tuple) {
       std::unordered_map<size_t, size_t> block_index;
       for (size_t r = 0; r < n; ++r) {
-        const size_t tid = q.view_info.view_row_to_tid[r];
+        const size_t tid = q.view_info->view_row_to_tid[r];
         auto [it, inserted] = block_index.emplace(tid, block_rows.size());
         if (inserted) block_rows.emplace_back();
         block_rows[it->second].push_back(r);
@@ -453,7 +478,7 @@ std::vector<std::vector<size_t>> BuildBlockRows(
       std::unordered_map<size_t, size_t> block_index;
       for (size_t r = 0; r < n; ++r) {
         auto block = components->BlockOf(causal::TupleId{
-            q.view_info.update_relation, q.view_info.view_row_to_tid[r]});
+            q.view_info->update_relation, q.view_info->view_row_to_tid[r]});
         const size_t b = block.ok() ? *block : 0;
         auto [it, inserted] = block_index.emplace(b, block_rows.size());
         if (inserted) block_rows.emplace_back();
@@ -665,7 +690,7 @@ Result<std::string> WhatIfEngine::ExplainSql(const std::string& text) const {
 
 Result<std::string> WhatIfEngine::Explain(const sql::WhatIfStmt& stmt) const {
   HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(*db_, stmt));
-  const Table& view = q.view_info.view;
+  const Table& view = *q.view_info->view;
   const Schema& vschema = view.schema();
   const BackdoorMode mode =
       graph_ == nullptr ? BackdoorMode::kAllAttributes : options_.backdoor;
@@ -674,7 +699,7 @@ Result<std::string> WhatIfEngine::Explain(const sql::WhatIfStmt& stmt) const {
   out += StrFormat("relevant view: %s over relation '%s' (%zu rows, %zu "
                    "attributes)\n",
                    vschema.relation_name().c_str(),
-                   q.view_info.update_relation.c_str(), view.num_rows(),
+                   q.view_info->update_relation.c_str(), view.num_rows(),
                    vschema.num_attributes());
 
   size_t selected = view.num_rows();
@@ -713,14 +738,14 @@ Result<std::string> WhatIfEngine::Explain(const sql::WhatIfStmt& stmt) const {
       sql::CollectColumnRefs(*q.output_value, &targets);
     }
     for (const UpdateSpec& u : q.updates) {
-      auto it = q.view_info.causal_of_column.find(u.attribute);
+      auto it = q.view_info->causal_of_column.find(u.attribute);
       const std::string b =
-          it != q.view_info.causal_of_column.end() ? it->second : u.attribute;
+          it != q.view_info->causal_of_column.end() ? it->second : u.attribute;
       if (!graph_->HasNode(b)) continue;
       for (const std::string& target : targets) {
-        auto jt = q.view_info.causal_of_column.find(target);
+        auto jt = q.view_info->causal_of_column.find(target);
         const std::string y =
-            jt != q.view_info.causal_of_column.end() ? jt->second : target;
+            jt != q.view_info->causal_of_column.end() ? jt->second : target;
         if (!graph_->HasNode(y)) continue;
         auto set = causal::MinimalBackdoorSet(*graph_, b, y);
         if (!set.ok()) continue;
@@ -768,7 +793,7 @@ Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
   WhatIfResult result;
 
   HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(*db_, stmt));
-  const Table& view = q.view_info.view;
+  const Table& view = *q.view_info->view;
   const Schema& vschema = view.schema();
   const size_t n = view.num_rows();
   result.view_rows = n;
@@ -1042,10 +1067,14 @@ Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
 }
 
 // ---------------------------------------------------------------------------
-// Prepared plans: the intervention-independent four-fifths of a columnar run
-// (view, adjustment set, encoders, training matrix, hole plan, blocks) plus
-// the shared, lazily-grown residual-pattern estimator cache. Evaluate() is
-// the cheap per-intervention fifth.
+// Prepared plans, staged: the intervention-independent four-fifths of a
+// columnar run split into four independently keyed, independently cacheable
+// stages — Scope (view + columnar image), Causal (backdoor plan + blocks),
+// Learn (encoders + training matrix + the trained pattern-estimator cache),
+// Query (compiled hole plan + per-row constants). A PreparedWhatIf is just
+// the composition of four stage handles; Evaluate() is the cheap
+// per-intervention fifth. Every stage is a pure function of its key, so a
+// plan assembled from cached stages is bit-identical to one built fresh.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -1070,14 +1099,38 @@ Result<double> ReadColumnDouble(const ColumnTable& cview, const Column& col,
 
 }  // namespace
 
-struct PreparedWhatIf::Impl {
-  WhatIfOptions options;  // engine options at prepare time
-  CompiledWhatIf q;
+/// ScopeStage: the materialized relevant view and its columnar image. For a
+/// scenario branch this is the only stage that must re-materialize data —
+/// and when the base world's ScopeStage is cached, it is built by patching
+/// the base image in place from the branch's sparse override cells
+/// (ColumnTable::ApplyOverrides) instead of re-encoding the whole table.
+struct ScopeStageData {
+  std::shared_ptr<const ViewInfo> view_info;
   ColumnTable cview;
+  /// Compile scope for expressions over the view (points into view_info's
+  /// schema, which this stage keeps alive).
   std::vector<relational::ScopedTuple> scope;
+};
+
+/// CausalStage: everything derived from the causal graph + query shape
+/// without reading a single cell value — the backdoor plan and the
+/// block-independent decomposition.
+struct CausalStageData {
   WhatIfPlan plan;
-  std::vector<bool> in_s;
-  size_t updated = 0;
+  std::vector<std::vector<size_t>> block_rows;
+};
+
+/// LearnStage: fitted encoders, the (binned) training matrix, psi prep, and
+/// the lazily-grown cache of trained pattern estimators. Keyed by the delta
+/// fingerprint restricted to the attributes training reads, so branches
+/// whose deltas miss that set share one LearnStage — estimators included.
+struct LearnStageData {
+  /// The scope this stage was built against. May differ from the scope a
+  /// sharing plan evaluates over (a branch delta on a non-training
+  /// attribute); training only reads attributes both scopes agree on.
+  std::shared_ptr<const ScopeStageData> built_on;
+  WhatIfOptions options;  // estimator-relevant engine options at build time
+  bool has_output = false;
 
   /// Intervention-independent psi (cross-tuple feature) state: link groups,
   /// pre-update sums and the per-row pre group means.
@@ -1096,15 +1149,92 @@ struct PreparedWhatIf::Impl {
   std::vector<size_t> train_rows;
   learn::FeatureMatrix train_x;
   /// Quantile-binned image of train_x for histogram forest training,
-  /// computed once at prepare time and shared across every pattern
-  /// estimator and every tree (absent for other estimator configs).
+  /// computed once per stage and shared across every pattern estimator and
+  /// every tree (absent for other estimator configs).
   std::optional<learn::BinnedMatrix> train_binned;
   std::vector<double> y_obs;
+
+  double SnapFeature(size_t j, double v) const {
+    return feature_disc[j].has_value()
+               ? feature_disc[j]->Representative(feature_disc[j]->BucketOf(v))
+               : v;
+  }
+
+  /// The pattern-estimator cache, guarded by mu. Pattern estimators depend
+  /// only on the residual pattern and this stage's training matrix, so one
+  /// trained estimator serves every plan sharing the stage — an
+  /// intervention sweep, every When-variant of a query, and every branch
+  /// whose delta misses the training attributes.
+  mutable std::mutex mu;
+  mutable std::unordered_map<std::string, PatternEstimators> patterns;
+
+  /// Trains (or fetches) the pattern estimators for one residual pattern.
+  /// `exact` is the caller's compiled residual (bound to the caller's own
+  /// cview — identical indicator values on every scope sharing this stage,
+  /// by the stage key's restricted-fingerprint contract). `was_cached`
+  /// reports whether training was skipped; `train_seconds` accrues the cost
+  /// actually incurred by this call. Thread-safe; a pattern is trained by
+  /// exactly the first caller that needs it.
+  Result<const PatternEstimators*> EnsurePattern(
+      const std::string& key, bool is_literal, bool literal_value,
+      const relational::ColumnBoundExpr* exact, bool* was_cached,
+      double* train_seconds) const {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = patterns.find(key);
+    if (it != patterns.end()) {
+      *was_cached = true;
+      return &it->second;
+    }
+    *was_cached = false;
+    Stopwatch train_timer;
+    PatternEstimators pat;
+    pat.literal = is_literal;
+    pat.literal_value = literal_value;
+
+    const learn::BinnedMatrix* binned =
+        train_binned.has_value() ? &*train_binned : nullptr;
+    std::vector<double> ind(train_rows.size(), 1.0);
+    if (!is_literal) {
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        HYPER_ASSIGN_OR_RETURN(bool b, exact->EvalBool(train_rows[i]));
+        ind[i] = b ? 1.0 : 0.0;
+      }
+      pat.weight = MakeEstimator(options);
+      HYPER_RETURN_NOT_OK(
+          FitPatternEstimator(pat.weight.get(), options, train_x, binned, ind));
+    }
+    if (has_output && !(is_literal && !literal_value)) {
+      std::vector<double> value_target(train_rows.size());
+      for (size_t i = 0; i < train_rows.size(); ++i) {
+        value_target[i] = y_obs[i] * ind[i];
+      }
+      pat.value = MakeEstimator(options);
+      HYPER_RETURN_NOT_OK(FitPatternEstimator(pat.value.get(), options,
+                                              train_x, binned, value_target));
+    }
+    *train_seconds += train_timer.ElapsedSeconds();
+    auto [ins, inserted] = patterns.emplace(key, std::move(pat));
+    (void)inserted;
+    return &ins->second;
+  }
+};
+
+/// QueryStage: the per-query leaves — compiled statement ASTs, the When
+/// mask, per-row output constants and the compiled residual (hole) plan,
+/// plus the lazily-grown residual-entry cache. Bound to one ScopeStage; the
+/// cheapest stage to rebuild, and the only one an intervention sweep or a
+/// When-variant pays for.
+struct QueryStageData {
+  std::shared_ptr<const ScopeStageData> built_on;
+  CompiledWhatIf q;
+  std::vector<bool> in_s;
+  size_t updated = 0;
+
   std::optional<relational::ColumnBoundExpr> out_eval;
-  /// Per-row observed output values (pre image), precomputed once per plan.
-  /// Rows whose output expression errors carry out_err = 1; the error is
-  /// reproduced by re-evaluating only if such a row is actually consulted —
-  /// identical behavior to per-row evaluation.
+  /// Per-row observed output values (pre image), precomputed once per
+  /// stage. Rows whose output expression errors carry out_err = 1; the
+  /// error is reproduced by re-evaluating only if such a row is actually
+  /// consulted — identical behavior to per-row evaluation.
   std::vector<double> out_all;
   std::vector<uint8_t> out_err;
 
@@ -1119,18 +1249,11 @@ struct PreparedWhatIf::Impl {
   /// cache their exact qualification mask across evaluations.
   bool holes_row_invariant = false;
 
-  std::vector<std::vector<size_t>> block_rows;
-
-  double SnapFeature(size_t j, double v) const {
-    return feature_disc[j].has_value()
-               ? feature_disc[j]->Representative(feature_disc[j]->BucketOf(v))
-               : v;
-  }
-
   /// One folded residual per distinct hole-value vector. Entries are
-  /// append-only and individually immutable once published (the pattern
-  /// pointer is written exactly once, under `mu`), so evaluations snapshot
-  /// raw pointers and read them lock-free afterwards.
+  /// append-only and individually immutable once published, so evaluations
+  /// snapshot raw pointers and read them lock-free afterwards. (Trained
+  /// pattern estimators live on the LearnStage — a QueryStage can be shared
+  /// by plans with different estimator configs.)
   struct Entry {
     bool is_literal = false;
     bool literal_value = false;
@@ -1139,22 +1262,18 @@ struct PreparedWhatIf::Impl {
     std::optional<relational::ColumnBoundExpr> exact;  // absent for literals
     /// Pre-image qualification per row (0/1, 2 = evaluation error), built
     /// once per entry when holes are row-invariant (then one entry serves
-    /// every row, so the mask is O(n) per plan, amortized across every
+    /// every row, so the mask is O(n) per stage, amortized across every
     /// evaluation of the sweep). Empty otherwise — Pass B evaluates per row.
     std::vector<uint8_t> exact_vals;
-    const PatternEstimators* pattern = nullptr;        // set once trained
   };
 
-  // Shared caches, guarded by mu. Pattern estimators depend only on the
-  // residual pattern and the (intervention-independent) training matrix, so
-  // one trained estimator serves every query against this plan — that is
-  // the whole point of the prepare/evaluate split.
+  // The residual-entry cache, guarded by mu (never held together with a
+  // LearnStage's pattern lock).
   mutable std::mutex mu;
   mutable std::vector<std::unique_ptr<Entry>> entries;
   mutable std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
                              ValueVectorEq>
       entry_cache;
-  mutable std::unordered_map<std::string, PatternEstimators> patterns;
 
   /// Resolves (or creates) the entry for one hole-value vector. Caller holds
   /// `mu`. An empty For predicate resolves to the literal-true entry via the
@@ -1173,14 +1292,15 @@ struct PreparedWhatIf::Impl {
     if (!e->is_literal) {
       HYPER_ASSIGN_OR_RETURN(
           relational::CompiledExpr ce,
-          relational::CompiledExpr::Compile(*residual, scope));
-      HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
-                             relational::ColumnBoundExpr::Bind(ce, cview));
+          relational::CompiledExpr::Compile(*residual, built_on->scope));
+      HYPER_ASSIGN_OR_RETURN(
+          relational::ColumnBoundExpr be,
+          relational::ColumnBoundExpr::Bind(ce, built_on->cview));
       e->exact = std::move(be);
       if (holes_row_invariant) {
         // One entry serves every row: cache the pre-image qualification so
         // repeated evaluations of this plan skip the per-row re-evaluation.
-        const size_t n = cview.num_rows();
+        const size_t n = built_on->cview.num_rows();
         e->exact_vals.resize(n);
         for (size_t r = 0; r < n; ++r) {
           auto qr = e->exact->EvalBool(r);
@@ -1194,119 +1314,177 @@ struct PreparedWhatIf::Impl {
     entry_cache.emplace(holes, id);
     return id;
   }
-
-  /// Trains (or fetches) the pattern estimators for `e`. Caller holds `mu`.
-  /// `was_cached` reports whether training was skipped; `train_seconds`
-  /// accrues the cost actually incurred by this call.
-  Result<const PatternEstimators*> EnsurePatternLocked(
-      Entry& e, bool* was_cached, double* train_seconds) const {
-    if (e.pattern != nullptr) {
-      *was_cached = true;
-      return e.pattern;
-    }
-    auto it = patterns.find(e.key);
-    if (it != patterns.end()) {
-      *was_cached = true;
-      e.pattern = &it->second;
-      return e.pattern;
-    }
-    *was_cached = false;
-    Stopwatch train_timer;
-    PatternEstimators pat;
-    pat.literal = e.is_literal;
-    pat.literal_value = e.literal_value;
-
-    const learn::BinnedMatrix* binned =
-        train_binned.has_value() ? &*train_binned : nullptr;
-    std::vector<double> ind(train_rows.size(), 1.0);
-    if (!e.is_literal) {
-      for (size_t i = 0; i < train_rows.size(); ++i) {
-        HYPER_ASSIGN_OR_RETURN(bool b, e.exact->EvalBool(train_rows[i]));
-        ind[i] = b ? 1.0 : 0.0;
-      }
-      pat.weight = MakeEstimator(options);
-      HYPER_RETURN_NOT_OK(
-          FitPatternEstimator(pat.weight.get(), options, train_x, binned, ind));
-    }
-    if (q.output_value != nullptr && !(e.is_literal && !e.literal_value)) {
-      std::vector<double> value_target(train_rows.size());
-      for (size_t i = 0; i < train_rows.size(); ++i) {
-        value_target[i] = y_obs[i] * ind[i];
-      }
-      pat.value = MakeEstimator(options);
-      HYPER_RETURN_NOT_OK(FitPatternEstimator(pat.value.get(), options,
-                                              train_x, binned, value_target));
-    }
-    *train_seconds += train_timer.ElapsedSeconds();
-    auto [ins, inserted] = patterns.emplace(e.key, std::move(pat));
-    (void)inserted;
-    e.pattern = &ins->second;
-    return e.pattern;
-  }
 };
 
-PreparedWhatIf::PreparedWhatIf() : impl_(std::make_unique<Impl>()) {}
-PreparedWhatIf::~PreparedWhatIf() = default;
+struct PreparedWhatIf::Impl {
+  std::shared_ptr<const ScopeStageData> scope;
+  std::shared_ptr<const CausalStageData> causal;
+  std::shared_ptr<const LearnStageData> learn;
+  std::shared_ptr<const QueryStageData> query;
+};
 
-Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
-    const sql::WhatIfStmt& stmt) const {
-  if (!options_.use_columnar) {
-    return Status::Unimplemented(
-        "Prepare requires the columnar path (use_columnar = true)");
+// ---------------------------------------------------------------------------
+// Stage builders + keys. Each builder is a pure function of its key's
+// inputs; Prepare assembles a plan by running the four builders in
+// dependency order, consulting the StageContext's stage cache when staged
+// prepare is on. Keys use the same injective length-prefixed field encoding
+// as the plan-cache key.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string KeyField(const char* tag, const std::string& text) {
+  return StrFormat("|%s[%zu]=", tag, text.size()) + text;
+}
+
+/// The view is a function of (data, Use clause, update relation) — NOT of
+/// which update attribute selected that relation — so the key uses the
+/// relation: every per-attribute plan of a how-to run (and the baseline)
+/// shares one ScopeStage.
+std::string ScopeStageKey(const std::string& data_scope,
+                          const sql::UseClause& use,
+                          const std::string& update_relation) {
+  std::string key = "scope";
+  key += KeyField("d", data_scope);
+  key += KeyField("use", use.ToString());
+  key += KeyField("rel", update_relation);
+  return key;
+}
+
+std::string QueryShapeKey(const sql::WhatIfStmt& stmt) {
+  std::string key;
+  for (const sql::UpdateClause& u : stmt.updates) {
+    key += KeyField("upd", u.attribute);
   }
-  Stopwatch prep_timer;
-  std::shared_ptr<PreparedWhatIf> prepared(new PreparedWhatIf());
-  PreparedWhatIf::Impl& im = *prepared->impl_;
-  im.options = options_;
+  key += KeyField("out", stmt.output.ToString());
+  key += KeyField("for",
+                  stmt.for_pred != nullptr ? stmt.for_pred->ToString() : "");
+  return key;
+}
 
-  HYPER_ASSIGN_OR_RETURN(im.q, CompileWhatIf(*db_, stmt));
-  const Table& view = im.q.view_info.view;
-  const Schema& vschema = view.schema();
-  const size_t n = view.num_rows();
-  if (n == 0) {
-    return Status::InvalidArgument("relevant view is empty");
+/// Builds the ScopeStage: relevant view + columnar image. When the context
+/// carries override cells and the base world's ScopeStage is cached, the
+/// image is the base image patched in place (ApplyOverrides) — bit-identical
+/// to re-encoding, at O(copy + cells) instead of O(cells scanned * typed
+/// dispatch). Falls back to a full build whenever patching is not possible
+/// (select views, a missing base stage, a kind-changing override).
+Result<std::shared_ptr<const ScopeStageData>> BuildScopeStage(
+    const Database& db, const sql::UseClause& use,
+    const std::string& update_attr0, const StageContext* ctx) {
+  HYPER_ASSIGN_OR_RETURN(ViewInfo info,
+                         BuildRelevantView(db, use, update_attr0));
+  const std::string& update_relation = info.update_relation;
+  auto stage = std::make_shared<ScopeStageData>();
+  stage->view_info = std::make_shared<const ViewInfo>(std::move(info));
+  const ViewInfo& vi = *stage->view_info;
+
+  bool patched = false;
+  if (use.is_table() && ctx != nullptr && ctx->stages != nullptr &&
+      !ctx->base_scope.empty() && ctx->overrides != nullptr &&
+      ctx->base_scope != ctx->data_scope) {
+    // The table view is the relation image itself (row == tid, same
+    // attribute order), so branch overrides in base-table coordinates patch
+    // the base image directly.
+    auto base_ptr = ctx->stages->Peek(
+        StageKind::kScope,
+        ScopeStageKey(ctx->base_scope, use, update_relation));
+    if (base_ptr != nullptr) {
+      auto base = std::static_pointer_cast<const ScopeStageData>(base_ptr);
+      if (base->cview.num_rows() == vi.view->num_rows() &&
+          base->cview.num_columns() == vi.view->schema().num_attributes()) {
+        ColumnTable image = base->cview;  // typed vector copy, shared dict
+        auto it = ctx->overrides->find(vi.update_relation);
+        Status applied = it != ctx->overrides->end()
+                             ? image.ApplyOverrides(it->second)
+                             : Status::OK();
+        if (applied.ok()) {
+          stage->cview = std::move(image);
+          patched = true;
+        }
+        // A kind-changing override: fall through to the full rebuild, which
+        // re-infers column kinds from the patched values.
+      }
+    }
   }
-
-  // Columnar image of the view. Shapes the substrate cannot represent (a
-  // column mixing strings with numbers) surface as Unimplemented so Run and
-  // the scenario service fall back to the row interpreter.
-  auto cview_result = ColumnTable::FromTable(view);
-  if (!cview_result.ok()) {
-    return Status::Unimplemented("columnar image unavailable: " +
-                                 cview_result.status().message());
+  if (!patched) {
+    // Columnar image of the view. Shapes the substrate cannot represent (a
+    // column mixing strings with numbers) surface as Unimplemented so Run
+    // and the scenario service fall back to the row interpreter.
+    auto cview_result = ColumnTable::FromTable(*vi.view);
+    if (!cview_result.ok()) {
+      return Status::Unimplemented("columnar image unavailable: " +
+                                   cview_result.status().message());
+    }
+    stage->cview = std::move(cview_result).value();
   }
-  im.cview = std::move(cview_result).value();
-  im.scope = {relational::ScopedTuple{vschema.relation_name(), &vschema}};
+  const Schema& vschema = vi.view->schema();
+  stage->scope = {relational::ScopedTuple{vschema.relation_name(), &vschema}};
+  return std::shared_ptr<const ScopeStageData>(std::move(stage));
+}
 
-  HYPER_ASSIGN_OR_RETURN(im.plan,
-                         BuildWhatIfPlan(im.q, graph_, options_.backdoor));
+Result<std::shared_ptr<const CausalStageData>> BuildCausalStage(
+    const ScopeStageData& scope, const CompiledWhatIf& q, const Database& db,
+    const causal::CausalGraph* graph, const WhatIfOptions& options) {
+  auto stage = std::make_shared<CausalStageData>();
+  HYPER_ASSIGN_OR_RETURN(stage->plan,
+                         BuildWhatIfPlan(q, graph, options.backdoor));
+  stage->block_rows = BuildBlockRows(q, db, graph, options.use_blocks,
+                                     scope.cview.num_rows());
+  return std::shared_ptr<const CausalStageData>(std::move(stage));
+}
 
-  // S membership from the When predicate, via the vectorized mask kernel.
-  HYPER_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> s_mask,
-      relational::EvalPredicateMask(im.q.when.get(), im.cview));
-  im.in_s.resize(n);
-  im.updated = 0;
-  for (size_t r = 0; r < n; ++r) {
-    im.in_s[r] = s_mask[r] != 0;
-    if (im.in_s[r]) ++im.updated;
+/// The view columns whose cell values the LearnStage reads: features
+/// (update attributes + adjustment set + For conditioning), psi link
+/// columns, and every column the For/Output expressions reference (residual
+/// indicators and training targets evaluate them on the pre image). A
+/// branch delta confined to other attributes cannot change anything this
+/// stage computes.
+std::vector<std::string> LearnDependencyColumns(const CompiledWhatIf& q,
+                                                const WhatIfPlan& plan) {
+  std::set<std::string> cols(plan.feature_cols.begin(),
+                             plan.feature_cols.end());
+  const Schema& vschema = q.view_info->view->schema();
+  for (const WhatIfPlan::PsiSpec& spec : plan.psi_specs) {
+    cols.insert(vschema.attribute(spec.link_col).name);
   }
+  std::vector<std::string> refs;
+  if (q.for_pred != nullptr) sql::CollectColumnRefs(*q.for_pred, &refs);
+  if (q.output_value != nullptr) {
+    sql::CollectColumnRefs(*q.output_value, &refs);
+  }
+  for (const std::string& c : refs) cols.insert(c);
+  return std::vector<std::string>(cols.begin(), cols.end());
+}
+
+Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
+    std::shared_ptr<const ScopeStageData> scope_stage,
+    const CausalStageData& causal, const CompiledWhatIf& q,
+    const WhatIfOptions& options) {
+  auto stage = std::make_shared<LearnStageData>();
+  stage->built_on = scope_stage;
+  stage->options = options;
+  stage->has_output = q.output_value != nullptr;
+  const ScopeStageData& scope = *scope_stage;
+  const ColumnTable& cview = scope.cview;
+  const Schema& vschema = q.view_info->view->schema();
+  const size_t n = cview.num_rows();
+  const WhatIfPlan& plan = causal.plan;
+  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = plan.psi_specs;
 
   // psi prep: link groups and pre-update sums, accumulated in row order
   // (bit-identical to the row path).
-  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = im.plan.psi_specs;
-  im.psi.resize(psi_specs.size());
+  stage->psi.resize(psi_specs.size());
   for (size_t p = 0; p < psi_specs.size(); ++p) {
     const WhatIfPlan::PsiSpec& spec = psi_specs[p];
-    const Column& bc = im.cview.col(im.plan.update_cols[spec.update_index]);
-    PreparedWhatIf::Impl::PsiPrep& prep = im.psi[p];
+    const Column& bc = cview.col(plan.update_cols[spec.update_index]);
+    LearnStageData::PsiPrep& prep = stage->psi[p];
     prep.pre_b.resize(n);
     for (size_t r = 0; r < n; ++r) {
-      HYPER_ASSIGN_OR_RETURN(prep.pre_b[r], ReadColumnDouble(im.cview, bc, r));
+      HYPER_ASSIGN_OR_RETURN(prep.pre_b[r], ReadColumnDouble(cview, bc, r));
     }
     uint32_t num_groups = 0;
-    HYPER_ASSIGN_OR_RETURN(
-        prep.gid, GroupIdsForColumn(im.cview, spec.link_col, &num_groups));
+    HYPER_ASSIGN_OR_RETURN(prep.gid,
+                           GroupIdsForColumn(cview, spec.link_col, &num_groups));
     prep.sum_pre.assign(num_groups, 0.0);
     prep.counts.assign(num_groups, 0);
     for (size_t r = 0; r < n; ++r) {
@@ -1323,63 +1501,64 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
 
   // Feature layout from the shared plan: update attributes, then backdoor
   // columns, then For conditioning columns, then psi.
-  const std::vector<std::string>& feature_cols = im.plan.feature_cols;
+  const std::vector<std::string>& feature_cols = plan.feature_cols;
   const size_t num_features = feature_cols.size();
   HYPER_ASSIGN_OR_RETURN(learn::FeatureEncoder encoder,
-                         learn::FeatureEncoder::Fit(im.cview, feature_cols));
-  im.encoder = std::move(encoder);
+                         learn::FeatureEncoder::Fit(cview, feature_cols));
+  stage->encoder = std::move(encoder);
 
   // Quantile grids for the frequency estimator's continuous features.
-  im.feature_disc.resize(num_features);
-  if (options_.estimator == learn::EstimatorKind::kFrequency) {
+  stage->feature_disc.resize(num_features);
+  if (options.estimator == learn::EstimatorKind::kFrequency) {
     for (size_t j = 0; j < num_features; ++j) {
       const size_t col = vschema.IndexOf(feature_cols[j]).value();
       if (vschema.attribute(col).type != ValueType::kDouble) continue;
-      const Column& c = im.cview.col(col);
+      const Column& c = cview.col(col);
       if (c.kind == ColumnKind::kCode) continue;
       std::vector<double> values;
       values.reserve(n);
       for (size_t r = 0; r < n; ++r) {
         if (c.is_null(r)) continue;
-        auto v = ReadColumnDouble(im.cview, c, r);
+        auto v = ReadColumnDouble(cview, c, r);
         if (v.ok()) values.push_back(*v);
       }
       auto disc = learn::QuantileDiscretizer::FitToData(std::move(values), 16);
-      if (disc.ok()) im.feature_disc[j] = *disc;
+      if (disc.ok()) stage->feature_disc[j] = *disc;
     }
   }
 
   // Encoded (and snapped) feature columns for every row, in one typed pass
   // per feature.
-  im.feat.resize(num_features);
+  stage->feat.resize(num_features);
   for (size_t j = 0; j < num_features; ++j) {
-    HYPER_ASSIGN_OR_RETURN(im.feat[j], im.encoder->EncodeColumn(im.cview, j));
-    if (im.feature_disc[j].has_value()) {
+    HYPER_ASSIGN_OR_RETURN(stage->feat[j],
+                           stage->encoder->EncodeColumn(cview, j));
+    if (stage->feature_disc[j].has_value()) {
       for (size_t r = 0; r < n; ++r) {
-        im.feat[j][r] = im.SnapFeature(j, im.feat[j][r]);
+        stage->feat[j][r] = stage->SnapFeature(j, stage->feat[j][r]);
       }
     }
   }
 
   // Training rows (HypeR-sampled caps them).
-  if (options_.sample_size > 0 && options_.sample_size < n) {
-    Rng rng(options_.seed);
-    im.train_rows = rng.SampleWithoutReplacement(n, options_.sample_size);
+  if (options.sample_size > 0 && options.sample_size < n) {
+    Rng rng(options.seed);
+    stage->train_rows = rng.SampleWithoutReplacement(n, options.sample_size);
   } else {
-    im.train_rows.resize(n);
-    for (size_t r = 0; r < n; ++r) im.train_rows[r] = r;
+    stage->train_rows.resize(n);
+    for (size_t r = 0; r < n; ++r) stage->train_rows[r] = r;
   }
 
   // Training features: pure double copies out of the encoded columns, into
   // one flat row-major allocation.
-  im.train_x = learn::FeatureMatrix(im.train_rows.size(),
-                                    num_features + psi_specs.size());
-  for (size_t i = 0; i < im.train_rows.size(); ++i) {
-    const size_t r = im.train_rows[i];
-    double* row = im.train_x.mutable_row(i);
-    for (size_t j = 0; j < num_features; ++j) row[j] = im.feat[j][r];
+  stage->train_x = learn::FeatureMatrix(stage->train_rows.size(),
+                                        num_features + psi_specs.size());
+  for (size_t i = 0; i < stage->train_rows.size(); ++i) {
+    const size_t r = stage->train_rows[i];
+    double* row = stage->train_x.mutable_row(i);
+    for (size_t j = 0; j < num_features; ++j) row[j] = stage->feat[j][r];
     for (size_t p = 0; p < psi_specs.size(); ++p) {
-      row[num_features + p] = im.psi[p].psi_pre[r];
+      row[num_features + p] = stage->psi[p].psi_pre[r];
     }
   }
 
@@ -1387,84 +1566,275 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
   // every pattern estimator and every tree shares these codes. (Binning is
   // deterministic in the matrix alone, so plans trained from a shared
   // binned image are bit-identical to independently trained ones.)
-  if (options_.estimator == learn::EstimatorKind::kForest &&
-      options_.forest.tree.use_histograms) {
+  if (options.estimator == learn::EstimatorKind::kForest &&
+      options.forest.tree.use_histograms) {
     HYPER_ASSIGN_OR_RETURN(
         learn::BinnedMatrix binned,
-        learn::BinnedMatrix::Build(im.train_x,
-                                   options_.forest.tree.max_bins));
-    im.train_binned = std::move(binned);
+        learn::BinnedMatrix::Build(stage->train_x,
+                                   options.forest.tree.max_bins));
+    stage->train_binned = std::move(binned);
+  }
+
+  // Training targets for the value estimators: the output expression
+  // evaluated observationally over the training rows (Post reads the pre
+  // image). A training row must evaluate cleanly — errors fail the build,
+  // exactly as they failed the monolithic Prepare.
+  if (q.output_value != nullptr) {
+    HYPER_ASSIGN_OR_RETURN(
+        relational::CompiledExpr ce,
+        relational::CompiledExpr::Compile(*q.output_value, scope.scope));
+    HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
+                           relational::ColumnBoundExpr::Bind(ce, cview));
+    stage->y_obs.resize(stage->train_rows.size());
+    for (size_t i = 0; i < stage->train_rows.size(); ++i) {
+      HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
+                             be.Eval(stage->train_rows[i]));
+      HYPER_ASSIGN_OR_RETURN(stage->y_obs[i], v.AsDouble());
+    }
+  }
+  return std::shared_ptr<const LearnStageData>(std::move(stage));
+}
+
+Result<std::shared_ptr<const QueryStageData>> BuildQueryStage(
+    std::shared_ptr<const ScopeStageData> scope_stage, CompiledWhatIf q,
+    const CausalStageData& causal) {
+  auto stage = std::make_shared<QueryStageData>();
+  stage->built_on = scope_stage;
+  stage->q = std::move(q);
+  const ColumnTable& cview = scope_stage->cview;
+  const size_t n = cview.num_rows();
+
+  // S membership from the When predicate, via the vectorized mask kernel.
+  HYPER_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> s_mask,
+      relational::EvalPredicateMask(stage->q.when.get(), cview));
+  stage->in_s.resize(n);
+  stage->updated = 0;
+  for (size_t r = 0; r < n; ++r) {
+    stage->in_s[r] = s_mask[r] != 0;
+    if (stage->in_s[r]) ++stage->updated;
   }
 
   // Observed output values (Sum/Avg only), via the compiled output
   // expression evaluated observationally (Post reads the pre image).
-  if (im.q.output_value != nullptr) {
+  if (stage->q.output_value != nullptr) {
     HYPER_ASSIGN_OR_RETURN(
         relational::CompiledExpr ce,
-        relational::CompiledExpr::Compile(*im.q.output_value, im.scope));
+        relational::CompiledExpr::Compile(*stage->q.output_value,
+                                          scope_stage->scope));
     HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
-                           relational::ColumnBoundExpr::Bind(ce, im.cview));
-    im.out_eval = std::move(be);
+                           relational::ColumnBoundExpr::Bind(ce, cview));
+    stage->out_eval = std::move(be);
     // All-row output values, evaluated once: the Evaluate hot loop reads
-    // them directly and the training targets below are a gather. Errors
-    // outside the training rows do not fail Prepare — they are recorded
-    // and reproduced only if Evaluate actually consults that row.
-    im.out_all.resize(n);
-    im.out_err.assign(n, 0);
+    // them directly. Errors do not fail the build — they are recorded and
+    // reproduced only if Evaluate actually consults that row.
+    stage->out_all.resize(n);
+    stage->out_err.assign(n, 0);
     for (size_t r = 0; r < n; ++r) {
-      auto vr = im.out_eval->Eval(r);
+      auto vr = stage->out_eval->Eval(r);
       if (vr.ok()) {
         auto dr = vr->AsDouble();
         if (dr.ok()) {
-          im.out_all[r] = *dr;
+          stage->out_all[r] = *dr;
           continue;
         }
       }
-      im.out_err[r] = 1;
-    }
-    im.y_obs.resize(im.train_rows.size());
-    for (size_t i = 0; i < im.train_rows.size(); ++i) {
-      const size_t r = im.train_rows[i];
-      if (im.out_err[r]) {
-        // A training row must evaluate cleanly; re-run to surface the
-        // original error status.
-        HYPER_ASSIGN_OR_RETURN(relational::Scalar v, im.out_eval->Eval(r));
-        HYPER_ASSIGN_OR_RETURN(im.y_obs[i], v.AsDouble());
-        continue;
-      }
-      im.y_obs[i] = im.out_all[r];
+      stage->out_err[r] = 1;
     }
   }
 
   // Hole plan for the For predicate: compile every maximal determined
   // subtree once. Binding against the intervention's post image happens per
   // evaluation (bindings are cheap; compilation is not).
-  im.holes_row_invariant = true;
-  if (im.q.for_pred != nullptr) {
+  stage->holes_row_invariant = true;
+  if (stage->q.for_pred != nullptr) {
     std::unordered_set<const Expr*> random_nodes;
-    MarkRandom(*im.q.for_pred, im.plan.random_cols, &random_nodes);
-    CollectHoles(*im.q.for_pred, random_nodes, &im.hole_exprs, &im.hole_of);
-    im.hole_compiled.reserve(im.hole_exprs.size());
-    for (const Expr* h : im.hole_exprs) {
-      HYPER_ASSIGN_OR_RETURN(relational::CompiledExpr ce,
-                             relational::CompiledExpr::Compile(*h, im.scope));
-      im.hole_compiled.push_back(std::move(ce));
+    MarkRandom(*stage->q.for_pred, causal.plan.random_cols, &random_nodes);
+    CollectHoles(*stage->q.for_pred, random_nodes, &stage->hole_exprs,
+                 &stage->hole_of);
+    stage->hole_compiled.reserve(stage->hole_exprs.size());
+    for (const Expr* h : stage->hole_exprs) {
+      HYPER_ASSIGN_OR_RETURN(
+          relational::CompiledExpr ce,
+          relational::CompiledExpr::Compile(*h, scope_stage->scope));
+      stage->hole_compiled.push_back(std::move(ce));
       // A hole without column references (a constant threshold, an
       // arithmetic of literals) folds to the same value for every tuple.
       std::vector<std::string> refs;
       sql::CollectColumnRefs(*h, &refs);
-      if (!refs.empty()) im.holes_row_invariant = false;
+      if (!refs.empty()) stage->holes_row_invariant = false;
+    }
+  }
+  return std::shared_ptr<const QueryStageData>(std::move(stage));
+}
+
+/// GetOrBuild through the context's stage cache when staged prepare is
+/// active, a plain build otherwise. `built` accrues per-call factory runs.
+template <typename T, typename Factory>
+Result<std::shared_ptr<const T>> StagedOrFresh(const StageContext* ctx,
+                                               bool staged, StageKind kind,
+                                               const std::string& key,
+                                               const Factory& factory) {
+  if (!staged) return factory();
+  HYPER_ASSIGN_OR_RETURN(
+      StageProvider::StagePtr ptr,
+      ctx->stages->GetOrBuild(
+          kind, key,
+          [&]() -> Result<StageProvider::StagePtr> {
+            HYPER_ASSIGN_OR_RETURN(std::shared_ptr<const T> stage, factory());
+            return std::static_pointer_cast<const void>(stage);
+          },
+          nullptr));
+  return std::static_pointer_cast<const T>(ptr);
+}
+
+}  // namespace
+
+PreparedWhatIf::PreparedWhatIf() : impl_(std::make_unique<Impl>()) {}
+PreparedWhatIf::~PreparedWhatIf() = default;
+
+Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
+    const sql::WhatIfStmt& stmt, const StageContext* ctx) const {
+  if (!options_.use_columnar) {
+    return Status::Unimplemented(
+        "Prepare requires the columnar path (use_columnar = true)");
+  }
+  if (stmt.updates.empty()) {
+    return Status::InvalidArgument("what-if query requires an Update clause");
+  }
+  Stopwatch prep_timer;
+  const bool staged =
+      ctx != nullptr && ctx->stages != nullptr && options_.staged_prepare;
+  const std::string& update_attr0 = stmt.updates[0].attribute;
+  HYPER_ASSIGN_OR_RETURN(std::string update_relation,
+                         db_->RelationOfAttribute(update_attr0));
+  if (stmt.use.is_table() && stmt.use.table != update_relation) {
+    // Mirror BuildRelevantView's cross-relation check here: it is the one
+    // attr0-specific validation a relation-keyed ScopeStage hit would skip.
+    HYPER_ASSIGN_OR_RETURN(const Table* named, db_->GetTable(stmt.use.table));
+    if (!named->schema().Contains(update_attr0)) {
+      return Status::InvalidArgument(
+          "Use relation '" + stmt.use.table + "' does not contain the update "
+          "attribute '" + update_attr0 + "'");
     }
   }
 
-  im.block_rows = BuildBlockRows(im.q, *db_, graph_, options_.use_blocks, n);
+  // --- ScopeStage: relevant view + columnar image --------------------------
+  const std::string scope_key =
+      staged ? ScopeStageKey(ctx->data_scope, stmt.use, update_relation)
+             : std::string();
+  HYPER_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ScopeStageData> scope_stage,
+      (StagedOrFresh<ScopeStageData>(ctx, staged, StageKind::kScope, scope_key,
+                                     [&] {
+                                       return BuildScopeStage(
+                                           *db_, stmt.use, update_attr0, ctx);
+                                     })));
+  const size_t n = scope_stage->cview.num_rows();
+  if (n == 0) {
+    return Status::InvalidArgument("relevant view is empty");
+  }
 
-  for (const UpdateSpec& u : im.q.updates) {
+  // Statement compilation against the shared view is cheap (AST clones +
+  // validation); it runs per Prepare so every stage below can consult the
+  // compiled shape.
+  HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q,
+                         CompileWhatIfAgainst(scope_stage->view_info, stmt));
+
+  // --- CausalStage: backdoor plan + ground blocks --------------------------
+  // Value-independent for table views without cross-tuple edges (overrides
+  // never change the data shape), so its key then carries only the shape
+  // scope and every branch of a generation shares one entry. Cross-tuple
+  // edges or select views make blocks (or the view shape itself) depend on
+  // cell values: fall back to the full data scope.
+  bool any_cross_tuple = false;
+  if (graph_ != nullptr) {
+    for (const causal::CausalEdge& e : graph_->edges()) {
+      if (e.is_cross_tuple()) {
+        any_cross_tuple = true;
+        break;
+      }
+    }
+  }
+  const bool shape_keyed = stmt.use.is_table() && !any_cross_tuple;
+  std::string causal_key;
+  if (staged) {
+    const std::string& causal_scope =
+        shape_keyed && !ctx->shape_scope.empty() ? ctx->shape_scope
+                                                 : ctx->data_scope;
+    causal_key = "causal";
+    causal_key += KeyField("d", causal_scope);
+    causal_key += KeyField("use", stmt.use.ToString());
+    causal_key += KeyField("rel", update_relation);
+    causal_key += QueryShapeKey(stmt);
+    causal_key += StrFormat("|mode=%d|blocks=%d",
+                            static_cast<int>(options_.backdoor),
+                            options_.use_blocks ? 1 : 0);
+  }
+  HYPER_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CausalStageData> causal_stage,
+      (StagedOrFresh<CausalStageData>(
+          ctx, staged, StageKind::kCausal, causal_key, [&] {
+            return BuildCausalStage(*scope_stage, q, *db_, graph_, options_);
+          })));
+
+  // --- LearnStage: encoders + training matrix + estimator cache -----------
+  // Keyed by the delta fingerprint restricted to the attributes training
+  // reads: a branch whose delta misses the adjustment set / features /
+  // For-Output references reuses the parent's LearnStage (and its trained
+  // estimators) outright.
+  std::string learn_key;
+  if (staged) {
+    std::string learn_scope;
+    if (stmt.use.is_table() && ctx->restricted != nullptr) {
+      learn_scope = ctx->restricted(
+          q.view_info->update_relation,
+          LearnDependencyColumns(q, causal_stage->plan));
+    } else {
+      learn_scope = ctx->data_scope;
+    }
+    learn_key = "learn";
+    learn_key += KeyField("c", causal_key);
+    learn_key += KeyField("d", learn_scope);
+    learn_key += EstimatorConfigKey(options_);
+  }
+  HYPER_ASSIGN_OR_RETURN(
+      std::shared_ptr<const LearnStageData> learn_stage,
+      (StagedOrFresh<LearnStageData>(
+          ctx, staged, StageKind::kLearn, learn_key, [&] {
+            return BuildLearnStage(scope_stage, *causal_stage, q, options_);
+          })));
+
+  // --- QueryStage: hole plan + per-row constants ---------------------------
+  std::string query_key;
+  if (staged) {
+    query_key = "query";
+    query_key += KeyField("c", causal_key);
+    query_key += KeyField("d", ctx->data_scope);
+    query_key += KeyField("when",
+                          stmt.when != nullptr ? stmt.when->ToString() : "");
+  }
+  HYPER_ASSIGN_OR_RETURN(
+      std::shared_ptr<const QueryStageData> query_stage,
+      (StagedOrFresh<QueryStageData>(
+          ctx, staged, StageKind::kQuery, query_key, [&] {
+            return BuildQueryStage(scope_stage, std::move(q), *causal_stage);
+          })));
+
+  // --- assembly ------------------------------------------------------------
+  std::shared_ptr<PreparedWhatIf> prepared(new PreparedWhatIf());
+  PreparedWhatIf::Impl& im = *prepared->impl_;
+  im.scope = std::move(scope_stage);
+  im.causal = std::move(causal_stage);
+  im.learn = std::move(learn_stage);
+  im.query = std::move(query_stage);
+
+  for (const UpdateSpec& u : im.query->q.updates) {
     prepared->update_attributes_.push_back(u.attribute);
   }
-  prepared->backdoor_ = im.plan.backdoor_causal;
+  prepared->backdoor_ = im.causal->plan.backdoor_causal;
   prepared->view_rows_ = n;
-  prepared->updated_rows_ = im.updated;
+  prepared->updated_rows_ = im.query->updated;
   prepared->prepare_seconds_ = prep_timer.ElapsedSeconds();
   return std::shared_ptr<const PreparedWhatIf>(std::move(prepared));
 }
@@ -1481,19 +1851,23 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
                                       size_t block_threads, bool batched) {
   Stopwatch eval_timer;
   WhatIfResult result;
-  const CompiledWhatIf& q = im.q;
-  const ColumnTable& cview = im.cview;
+  const ScopeStageData& sc = *im.scope;
+  const CausalStageData& ca = *im.causal;
+  const LearnStageData& le = *im.learn;
+  const QueryStageData& qs = *im.query;
+  const CompiledWhatIf& q = qs.q;
+  const ColumnTable& cview = sc.cview;
   const size_t n = cview.num_rows();
-  const std::vector<size_t>& update_cols = im.plan.update_cols;
-  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = im.plan.psi_specs;
-  const std::vector<bool>& in_s = im.in_s;
-  const size_t updated = im.updated;
-  const size_t num_features = im.plan.feature_cols.size();
+  const std::vector<size_t>& update_cols = ca.plan.update_cols;
+  const std::vector<WhatIfPlan::PsiSpec>& psi_specs = ca.plan.psi_specs;
+  const std::vector<bool>& in_s = qs.in_s;
+  const size_t updated = qs.updated;
+  const size_t num_features = ca.plan.feature_cols.size();
 
   result.view_rows = n;
   result.updated_rows = updated;
-  result.num_blocks = im.block_rows.size();
-  result.backdoor = im.plan.backdoor_causal;
+  result.num_blocks = ca.block_rows.size();
+  result.backdoor = ca.plan.backdoor_causal;
 
   // The intervention must target the plan's update attributes in order;
   // constants and update functions are free.
@@ -1548,7 +1922,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   std::vector<bool> psi_changed(n, false);
   for (size_t p = 0; p < psi_specs.size(); ++p) {
     const WhatIfPlan::PsiSpec& spec = psi_specs[p];
-    const PreparedWhatIf::Impl::PsiPrep& prep = im.psi[p];
+    const LearnStageData::PsiPrep& prep = le.psi[p];
     const UpdatePost& up = upost[spec.update_index];
     double set_double = 0.0;
     if (up.is_set && updated > 0) {
@@ -1577,15 +1951,15 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     for (size_t j = 0; j < updates.size(); ++j) {
       if (!upost[j].is_set) continue;
       HYPER_ASSIGN_OR_RETURN(double f,
-                             im.encoder->EncodeValue(j, updates[j].constant));
-      set_feature[j] = im.SnapFeature(j, f);
+                             le.encoder->EncodeValue(j, updates[j].constant));
+      set_feature[j] = le.SnapFeature(j, f);
     }
   }
 
   // Bind the hole plan against this intervention's post image.
   std::vector<relational::ColumnBoundExpr> hole_eval;
-  hole_eval.reserve(im.hole_compiled.size());
-  for (const relational::CompiledExpr& ce : im.hole_compiled) {
+  hole_eval.reserve(qs.hole_compiled.size());
+  for (const relational::CompiledExpr& ce : qs.hole_compiled) {
     HYPER_ASSIGN_OR_RETURN(
         relational::ColumnBoundExpr be,
         relational::ColumnBoundExpr::Bind(ce, cview, &post_image));
@@ -1597,15 +1971,15 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   auto emit_features = [&](size_t r, double* dst) {
     for (size_t j = 0; j < updates.size(); ++j) {
       if (!in_s[r]) {
-        dst[j] = im.feat[j][r];
+        dst[j] = le.feat[j][r];
       } else if (upost[j].is_set) {
         dst[j] = set_feature[j];
       } else {
-        dst[j] = im.SnapFeature(j, upost[j].per_row[r]);
+        dst[j] = le.SnapFeature(j, upost[j].per_row[r]);
       }
     }
     for (size_t j = updates.size(); j < num_features; ++j) {
-      dst[j] = im.feat[j][r];
+      dst[j] = le.feat[j][r];
     }
     for (size_t p = 0; p < psi_specs.size(); ++p) {
       dst[num_features + p] = psi_post[p][r];
@@ -1632,12 +2006,13 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
 
   // Pass A (sequential): resolve each row to its residual entry, make sure
   // the pattern estimators needed by affected rows are trained, and gather
-  // the deduplicated feature points. Entry and pattern caches are shared
-  // across every evaluation of this plan; evaluations snapshot raw pointers
+  // the deduplicated feature points. The entry cache lives on the
+  // QueryStage, the pattern-estimator cache on the LearnStage (shared
+  // across every plan assembled on it); evaluations snapshot raw pointers
   // so Pass B runs lock-free.
   double train_seconds = 0.0;
   std::vector<uint32_t> entry_of_row(n);
-  std::vector<const PreparedWhatIf::Impl::Entry*> local_entries;
+  std::vector<const QueryStageData::Entry*> local_entries;
   std::vector<const PatternEstimators*> pattern_of_entry;
   std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
                      ValueVectorEq>
@@ -1657,17 +2032,17 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   // and skip the per-row hole evaluation + cache lookup entirely. Gated on
   // batched_inference: the flag-off path faithfully reproduces the legacy
   // per-row evaluation loop for A/B measurement.
-  const bool uniform = im.holes_row_invariant && batched;
+  const bool uniform = qs.holes_row_invariant && batched;
   uint32_t uniform_id = 0;
   if (uniform) {
     for (const relational::ColumnBoundExpr& he : hole_eval) {
       HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(0));
       scratch.push_back(s.ToValue());
     }
-    std::lock_guard<std::mutex> lock(im.mu);
-    HYPER_ASSIGN_OR_RETURN(uniform_id, im.ResolveEntryLocked(scratch));
+    std::lock_guard<std::mutex> lock(qs.mu);
+    HYPER_ASSIGN_OR_RETURN(uniform_id, qs.ResolveEntryLocked(scratch));
     grow_local(uniform_id);
-    local_entries[uniform_id] = im.entries[uniform_id].get();
+    local_entries[uniform_id] = qs.entries[uniform_id].get();
   }
 
   for (size_t r = 0; r < n; ++r) {
@@ -1684,26 +2059,26 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       if (it != local_cache.end()) {
         id = it->second;
       } else {
-        std::lock_guard<std::mutex> lock(im.mu);
-        HYPER_ASSIGN_OR_RETURN(id, im.ResolveEntryLocked(scratch));
+        std::lock_guard<std::mutex> lock(qs.mu);
+        HYPER_ASSIGN_OR_RETURN(id, qs.ResolveEntryLocked(scratch));
         grow_local(id);
-        local_entries[id] = im.entries[id].get();
+        local_entries[id] = qs.entries[id].get();
         local_cache.emplace(scratch, id);
       }
     }
     entry_of_row[r] = id;
-    const PreparedWhatIf::Impl::Entry& e = *local_entries[id];
+    const QueryStageData::Entry& e = *local_entries[id];
     if (e.is_literal && !e.literal_value) continue;  // disqualified
     if (!(in_s[r] || psi_changed[r])) continue;      // exact in Pass B
     if (pattern_of_entry[id] == nullptr) {
+      // Train (or fetch) on the LearnStage — entries are immutable once
+      // published, so the residual evaluates outside the entry lock.
       bool was_cached = false;
       const PatternEstimators* pat = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(im.mu);
-        HYPER_ASSIGN_OR_RETURN(
-            pat, im.EnsurePatternLocked(*im.entries[id], &was_cached,
-                                        &train_seconds));
-      }
+      HYPER_ASSIGN_OR_RETURN(
+          pat, le.EnsurePattern(e.key, e.is_literal, e.literal_value,
+                                e.exact.has_value() ? &*e.exact : nullptr,
+                                &was_cached, &train_seconds));
       pattern_of_entry[id] = pat;
       if (used_patterns.insert(pat).second && was_cached) ++pattern_hits;
     }
@@ -1759,7 +2134,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   // evaluated on its own accumulator — estimators and batch slots are
   // read-only here — and the partials merge in block order, bit-identical
   // to a sequential fold.
-  const std::vector<std::vector<size_t>>& block_rows = im.block_rows;
+  const std::vector<std::vector<size_t>>& block_rows = ca.block_rows;
   std::vector<std::pair<double, double>> partials(block_rows.size(),
                                                   {0.0, 0.0});
   std::vector<Status> block_status(block_rows.size());
@@ -1769,12 +2144,12 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     std::vector<double> x(batched ? 0 : dims);
     for (size_t r : block_rows[b]) {
       const uint32_t id = entry_of_row[r];
-      const PreparedWhatIf::Impl::Entry& e = *local_entries[id];
+      const QueryStageData::Entry& e = *local_entries[id];
       if (e.is_literal && !e.literal_value) continue;  // disqualified
       const bool affected = in_s[r] || psi_changed[r];
       if (!affected) {
         // Unchanged tuple: post == pre, everything is exact. Qualification
-        // and output value come from the plan-level caches when present;
+        // and output value come from the stage-level caches when present;
         // tri-state error marks reproduce the per-row error exactly.
         bool qualifies = e.literal_value;
         if (!e.is_literal) {
@@ -1795,15 +2170,15 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
         }
         if (!qualifies) continue;
         double value = 0.0;
-        if (im.out_eval.has_value()) {
-          if (!batched || im.out_err[r]) {
-            auto vr = im.out_eval->Eval(r);
+        if (qs.out_eval.has_value()) {
+          if (!batched || qs.out_err[r]) {
+            auto vr = qs.out_eval->Eval(r);
             if (!vr.ok()) return vr.status();
             auto dr = vr->AsDouble();
             if (!dr.ok()) return dr.status();
             value = *dr;
           } else {
-            value = im.out_all[r];
+            value = qs.out_all[r];
           }
         }
         bacc.Add(1.0, value);
@@ -1864,6 +2239,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   result.total_seconds = result.eval_seconds;
   return result;
 }
+
 
 }  // namespace
 

@@ -1,6 +1,8 @@
 #ifndef HYPER_WHATIF_ENGINE_H_
 #define HYPER_WHATIF_ENGINE_H_
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,10 +12,93 @@
 #include "learn/estimator.h"
 #include "learn/forest.h"
 #include "sql/ast.h"
+#include "storage/column.h"
 #include "storage/database.h"
 #include "whatif/compile.h"
 
 namespace hyper::whatif {
+
+// ---------------------------------------------------------------------------
+// Staged prepare pipeline. Prepare() is a pipeline of four independently
+// fingerprinted stages, each keyed by only the inputs that can change its
+// output, so near-identical queries (an intervention sweep, a scenario
+// branch with a sparse delta) rebuild only the stages their difference
+// actually reaches:
+//
+//   ScopeStage   relevant view + columnar image
+//                key: data snapshot x Use clause x update relation
+//   CausalStage  backdoor plan + ground blocks
+//                key: + update attrs, For/Output shape, backdoor mode
+//                (data-independent for table views without cross-tuple
+//                edges: value-only deltas reuse it across branches)
+//   LearnStage   encoders + binned training matrix + the trained
+//                pattern-estimator cache
+//                key: + estimator config + the delta fingerprint restricted
+//                to the attributes training actually reads (features,
+//                adjustment set, For/Output references, psi links) — a
+//                branch whose delta touches none of them reuses the
+//                parent's LearnStage outright
+//   QueryStage   compiled residual (hole) plan + per-row constants (When
+//                mask, output values)
+//                key: + When text + the full data snapshot
+//
+// Stage payloads are opaque to callers (defined in engine.cc); downstream
+// stages hold shared_ptr references upstream, so evicting an upstream cache
+// entry never invalidates a live downstream stage or an assembled plan.
+// ---------------------------------------------------------------------------
+
+enum class StageKind { kScope = 0, kCausal, kLearn, kQuery };
+
+const char* StageKindName(StageKind kind);
+
+/// Per-stage cache consulted by the staged Prepare pipeline. Implemented by
+/// service::StageCache (LRU + single-flight per stage); the engine only
+/// needs get-or-build and a non-building peek (for delta patching).
+class StageProvider {
+ public:
+  using StagePtr = std::shared_ptr<const void>;
+  using StageFactory = std::function<Result<StagePtr>()>;
+
+  virtual ~StageProvider() = default;
+
+  /// Returns the cached stage or runs `build` and caches the result.
+  /// Single-flight per key; `hit` reports whether this caller built.
+  virtual Result<StagePtr> GetOrBuild(StageKind kind, const std::string& key,
+                                      const StageFactory& build,
+                                      bool* hit) = 0;
+
+  /// Returns the cached stage or nullptr. Never builds, never counts
+  /// hit/miss stats (used to locate a patch base, not to serve a query).
+  virtual StagePtr Peek(StageKind kind, const std::string& key) = 0;
+};
+
+/// Everything the staged pipeline needs to know about the data snapshot it
+/// is preparing against. Supplied by the scenario service; standalone
+/// callers may leave it out (Prepare then builds every stage fresh).
+struct StageContext {
+  /// Stage cache; null disables stage caching (fresh builds).
+  StageProvider* stages = nullptr;
+  /// Full data-snapshot id (e.g. generation + branch delta fingerprint).
+  /// Keys every value-sensitive stage.
+  std::string data_scope;
+  /// Snapshot id stable across value-only changes (e.g. the generation
+  /// alone): keys stages that depend on data shape but not cell values.
+  /// Empty = fall back to data_scope.
+  std::string shape_scope;
+  /// data_scope of the unpatched base world this snapshot's overrides are
+  /// relative to; empty disables delta patching of the columnar image.
+  std::string base_scope;
+  /// Sparse cell overrides of this snapshot vs base_scope, per relation
+  /// (base-table coordinates). Not owned; must outlive the Prepare call.
+  const std::map<std::string, TableCellOverrides>* overrides = nullptr;
+  /// Returns a scope id for the delta restricted to `attrs` of `relation`
+  /// (same format contract as data_scope: equal ids => equal cell values on
+  /// those attributes). Null = fall back to data_scope, which disables
+  /// cross-branch LearnStage reuse but stays correct.
+  std::function<std::string(const std::string& relation,
+                            const std::vector<std::string>& attrs)>
+      restricted;
+};
 
 /// How the engine picks the adjustment set C of Equation (1).
 enum class BackdoorMode {
@@ -30,6 +115,14 @@ enum class BackdoorMode {
 };
 
 const char* BackdoorModeName(BackdoorMode mode);
+
+struct WhatIfOptions;
+
+/// Injective text encoding of every option that can change what estimator
+/// training produces (estimator kind, smoothing, forest hyperparameters,
+/// sample size, seed). Shared by the plan-cache key and the LearnStage key
+/// so the two can never drift apart.
+std::string EstimatorConfigKey(const WhatIfOptions& options);
 
 struct WhatIfOptions {
   learn::EstimatorKind estimator = learn::EstimatorKind::kForest;
@@ -63,6 +156,14 @@ struct WhatIfOptions {
   /// per-row prediction loop, kept for A/B benchmarking; both paths return
   /// bit-for-bit identical answers.
   bool batched_inference = true;
+  /// Staged prepare (default): Prepare consults the per-stage cache of the
+  /// StageContext it was given, sharing Scope/Causal/Learn/Query stages
+  /// across plans whose keys agree (and patching branch deltas into a cached
+  /// columnar image instead of re-encoding). Off = the monolithic path:
+  /// every Prepare builds all four stages fresh and only whole plans are
+  /// cached, kept for A/B benchmarking; answers are bit-for-bit identical
+  /// either way (stages are pure functions of their keyed inputs).
+  bool staged_prepare = true;
 };
 
 struct WhatIfResult {
@@ -97,11 +198,13 @@ struct WhatIfResult {
 /// the same (view, update attributes, When, For, Output) shape against it.
 ///
 /// Concurrency contract (audited for the parallel how-to scorer and the
-/// scenario service, which share one PreparedWhatIf across threads): a
-/// prepared plan is immutable after Prepare() except for three lazily-grown
-/// caches — the residual-entry list, the hole-value -> entry map, and the
-/// pattern-estimator map — all guarded by one internal mutex. Concurrent
-/// Evaluate calls are safe:
+/// scenario service, which share one PreparedWhatIf — and, staged, whole
+/// stages — across threads): a prepared plan is immutable after Prepare()
+/// except for three lazily-grown caches — the residual-entry list and the
+/// hole-value -> entry map (QueryStage, one mutex) and the
+/// pattern-estimator map (LearnStage, its own mutex; shared by every plan
+/// assembled on that stage). The two locks are never held together.
+/// Concurrent Evaluate calls are safe:
 ///   - entries are unique_ptr-owned (stable addresses across list growth)
 ///     and individually immutable once published under the lock;
 ///   - a pattern estimator is trained by exactly the one caller that first
@@ -165,8 +268,16 @@ class WhatIfEngine {
   /// update constants/functions of `stmt` are ignored — only the update
   /// attribute list matters. Returns Unimplemented when the statement needs
   /// the legacy row path (callers should fall back to Run).
+  ///
+  /// With a StageContext (and options().staged_prepare), the plan is
+  /// assembled from the four-stage pipeline: each stage is looked up in the
+  /// context's stage cache under its own key and only missing stages are
+  /// built — so a plan differing from a cached one only in its When clause
+  /// rebuilds just the QueryStage, and a scenario branch whose delta touches
+  /// no training-relevant attribute reuses the parent's LearnStage (trained
+  /// estimators included). Assembled plans are bit-identical to fresh ones.
   Result<std::shared_ptr<const PreparedWhatIf>> Prepare(
-      const sql::WhatIfStmt& stmt) const;
+      const sql::WhatIfStmt& stmt, const StageContext* context = nullptr) const;
 
   /// Evaluates one intervention against a prepared plan. `updates` must
   /// target the plan's update attributes in order; constants and update

@@ -16,7 +16,7 @@ using sql::AggKind;
 Result<double> NaiveWhatIf(const Database& db, const causal::Scm& scm,
                            const sql::WhatIfStmt& stmt) {
   HYPER_ASSIGN_OR_RETURN(CompiledWhatIf q, CompileWhatIf(db, stmt));
-  const Table& view = q.view_info.view;
+  const Table& view = *q.view_info->view;
   const Schema& vschema = view.schema();
   const size_t n = view.num_rows();
 
@@ -44,8 +44,8 @@ Result<double> NaiveWhatIf(const Database& db, const causal::Scm& scm,
       HYPER_ASSIGN_OR_RETURN(Value post,
                              q.updates[j].Apply(view.At(r, update_cols[j])));
       interventions.push_back(causal::GroundIntervention{
-          causal::TupleId{q.view_info.update_relation,
-                          q.view_info.view_row_to_tid[r]},
+          causal::TupleId{q.view_info->update_relation,
+                          q.view_info->view_row_to_tid[r]},
           q.updates[j].attribute, std::move(post)});
     }
   }
@@ -57,7 +57,7 @@ Result<double> NaiveWhatIf(const Database& db, const causal::Scm& scm,
 
   // View key columns, for matching pre rows to world rows.
   std::vector<size_t> key_cols;
-  for (const std::string& k : q.view_info.view_key_columns) {
+  for (const std::string& k : q.view_info->view_key_columns) {
     HYPER_ASSIGN_OR_RETURN(size_t idx, vschema.IndexOf(k));
     key_cols.push_back(idx);
   }
@@ -67,7 +67,7 @@ Result<double> NaiveWhatIf(const Database& db, const causal::Scm& scm,
   for (const causal::PossibleWorld& world : worlds) {
     // Recompute the relevant view over the possible world.
     Table view_post;
-    if (q.view_info.update_relation == vschema.relation_name() &&
+    if (q.view_info->update_relation == vschema.relation_name() &&
         stmt.use.is_table()) {
       HYPER_ASSIGN_OR_RETURN(const Table* t,
                              world.db.GetTable(stmt.use.table));

@@ -155,6 +155,110 @@ TEST(ColumnTableTest, MixedStringNumericIsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// ApplyOverrides: patching a cached image must be value-for-value identical
+// to re-encoding the patched table (the delta-aware ScopeStage contract).
+// ---------------------------------------------------------------------------
+
+TEST(ColumnTableTest, ApplyOverridesMatchesRebuild) {
+  Table t(Schema("T",
+                 {{"I", ValueType::kInt, Mutability::kMutable},
+                  {"D", ValueType::kDouble, Mutability::kMutable},
+                  {"B", ValueType::kBool, Mutability::kMutable},
+                  {"S", ValueType::kString, Mutability::kMutable}},
+                 {}));
+  t.AppendUnchecked({Value::Int(1), Value::Double(1.5), Value::Bool(true),
+                     Value::String("a")});
+  t.AppendUnchecked({Value::Int(2), Value::Double(2.5), Value::Bool(false),
+                     Value::String("b")});
+  t.AppendUnchecked({Value::Null(), Value::Int(3), Value::Bool(true),
+                     Value::Null()});
+  auto base = ColumnTable::FromTable(t);
+  ASSERT_TRUE(base.ok());
+
+  // Overrides touching every kind, including NULL-in, NULL-out, a new
+  // dictionary string, and an int into a promoted double column.
+  TableCellOverrides overrides;
+  overrides[0][0] = Value::Int(7);           // int -> kInt64
+  overrides[0][2] = Value::Int(9);           // fills the NULL
+  overrides[1][1] = Value::Int(4);           // int -> promoted kDouble
+  overrides[1][0] = Value::Null();           // introduces a NULL
+  overrides[2][1] = Value::Bool(true);       // bool -> kBool
+  overrides[3][2] = Value::String("fresh");  // new category
+  overrides[3][0] = Value::String("b");      // existing category
+  overrides[9][0] = Value::Int(1);           // stale attr: skipped
+  overrides[0][99] = Value::Int(1);          // stale row: skipped
+
+  ColumnTable patched = *base;  // shares the dictionary with `base`
+  ASSERT_TRUE(patched.ApplyOverrides(overrides).ok());
+
+  // Reference: patch the row table, re-encode from scratch.
+  Table patched_rows = t;
+  for (const auto& [attr, cells] : overrides) {
+    for (const auto& [row, value] : cells) {
+      if (attr >= patched_rows.schema().num_attributes() ||
+          row >= patched_rows.num_rows()) {
+        continue;
+      }
+      patched_rows.SetValue(row, attr, value);
+    }
+  }
+  auto rebuilt = ColumnTable::FromTable(patched_rows);
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_EQ(rebuilt->num_rows(), patched.num_rows());
+  for (size_t a = 0; a < patched.num_columns(); ++a) {
+    for (size_t r = 0; r < patched.num_rows(); ++r) {
+      EXPECT_TRUE(rebuilt->GetValue(r, a).Equals(patched.GetValue(r, a)))
+          << "cell (" << r << ", " << a << ")";
+    }
+  }
+  // Column D lost its only genuine double to the NULL override, so a
+  // rebuild infers kInt64 while the patched image lawfully keeps the wider
+  // kDouble — Equals/Compare/Hash semantics are identical either way (the
+  // PR-1 mixed-column contract), which the value loop above just verified.
+  EXPECT_EQ(rebuilt->col(1).kind, ColumnKind::kInt64);
+  EXPECT_EQ(patched.col(1).kind, ColumnKind::kDouble);
+
+  // The new string was interned into a private dictionary: the patch source
+  // still resolves its own codes and never saw "fresh".
+  EXPECT_EQ(base->dict().Find("fresh"), Dictionary::kNullCode);
+  EXPECT_TRUE(base->GetValue(0, 3).Equals(Value::String("a")));
+  EXPECT_NE(patched.dict().Find("fresh"), Dictionary::kNullCode);
+}
+
+TEST(ColumnTableTest, ApplyOverridesRejectsKindChangingValues) {
+  Table t(Schema("T",
+                 {{"I", ValueType::kInt, Mutability::kMutable},
+                  {"B", ValueType::kBool, Mutability::kMutable}},
+                 {}));
+  t.AppendUnchecked({Value::Int(1), Value::Bool(true)});
+  auto base = ColumnTable::FromTable(t);
+  ASSERT_TRUE(base.ok());
+
+  // A double landing in an all-int column would change the inferred kind
+  // (FromTable promotes to kDouble): the patch must refuse so the caller
+  // rebuilds instead of serving a kind-mismatched image.
+  {
+    ColumnTable patched = *base;
+    TableCellOverrides overrides;
+    overrides[0][0] = Value::Double(1.5);
+    EXPECT_FALSE(patched.ApplyOverrides(overrides).ok());
+  }
+  // Same for a non-bool landing in a bool column, and a string in numeric.
+  {
+    ColumnTable patched = *base;
+    TableCellOverrides overrides;
+    overrides[1][0] = Value::Int(1);
+    EXPECT_FALSE(patched.ApplyOverrides(overrides).ok());
+  }
+  {
+    ColumnTable patched = *base;
+    TableCellOverrides overrides;
+    overrides[0][0] = Value::String("oops");
+    EXPECT_FALSE(patched.ApplyOverrides(overrides).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Compiled expressions: row mode, columnar mode, and the mask kernel all
 // agree with the interpreting evaluator.
 // ---------------------------------------------------------------------------

@@ -691,6 +691,239 @@ TEST_F(ServiceTest, ReloadDatasetInvalidatesCache) {
   EXPECT_EQ(fresh.RunSql(kQuery)->value, after.whatif.value);
 }
 
+// --- staged prepare pipeline ----------------------------------------------
+
+// A branch whose 1-cell delta touches only an attribute outside the plan's
+// features / adjustment set / For-Output references reuses the trunk's
+// CausalStage and LearnStage (trained estimators included): per-stage miss
+// counters prove only Scope and Query rebuilt — and the answer is still
+// bit-identical to a fresh engine run over the branch's effective world.
+TEST_F(ServiceTest, BranchDeltaOutsideTrainingSetReusesLearnStage) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kForest);
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->Submit({"main", kQuery, {}}).ok());
+  PlanCacheStats stats = service->cache_stats();
+  EXPECT_EQ(1u, stats.scope.misses);
+  EXPECT_EQ(1u, stats.causal.misses);
+  EXPECT_EQ(1u, stats.learn.misses);
+  EXPECT_EQ(1u, stats.query.misses);
+
+  // Savings is not in this query's adjustment set ({Age, Housing} for
+  // Status -> Credit), not an update attribute, and not referenced by
+  // For/Output — so the LearnStage never reads it.
+  ASSERT_TRUE(service->CreateScenario("savings").ok());
+  auto updated = service->ApplyHypotheticalSql(
+      "savings", "Use German When Id = 3 Update(Savings) = 2 Output Count(*)");
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  ASSERT_EQ(1u, *updated);
+
+  Response branch = service->Submit({"savings", kQuery, {}});
+  ASSERT_TRUE(branch.ok()) << branch.status;
+  stats = service->cache_stats();
+  EXPECT_EQ(2u, stats.scope.misses);   // branch image rebuilt (patched)
+  EXPECT_EQ(1u, stats.causal.misses);  // shape-keyed: shared with trunk
+  EXPECT_EQ(1u, stats.learn.misses);   // delta misses the training set
+  EXPECT_EQ(2u, stats.query.misses);   // per-row constants rebound
+  EXPECT_GT(branch.whatif.pattern_cache_hits, 0u);
+  EXPECT_EQ(0.0, branch.whatif.train_seconds);
+
+  // Bit-identical to a fresh (monolithic) engine over the effective world.
+  std::shared_ptr<const Database> world =
+      service->EffectiveDatabase("savings").value();
+  whatif::WhatIfEngine fresh(world.get(), &graph_, options);
+  EXPECT_EQ(fresh.RunSql(kQuery)->value, branch.whatif.value);
+}
+
+// A Housing delta under kAllAttributes — where Housing joins the
+// adjustment set — must invalidate the LearnStage (and retrain).
+TEST_F(ServiceTest, BranchDeltaOnAdjustmentAttributeInvalidatesLearnStage) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kAllAttributes, learn::EstimatorKind::kFrequency);
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->Submit({"main", kQuery, {}}).ok());
+  ASSERT_EQ(1u, service->cache_stats().learn.misses);
+
+  ASSERT_TRUE(service->CreateScenario("housing").ok());
+  auto updated = service->ApplyHypotheticalSql(
+      "housing", "Use German When Id = 3 Update(Housing) = 2 Output Count(*)");
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  ASSERT_EQ(1u, *updated);
+
+  Response branch = service->Submit({"housing", kQuery, {}});
+  ASSERT_TRUE(branch.ok()) << branch.status;
+  EXPECT_EQ(2u, service->cache_stats().learn.misses);
+
+  std::shared_ptr<const Database> world =
+      service->EffectiveDatabase("housing").value();
+  whatif::WhatIfEngine fresh(world.get(), &graph_, options);
+  EXPECT_EQ(fresh.RunSql(kQuery)->value, branch.whatif.value);
+
+  // A delta on a For-referenced (target) attribute invalidates too.
+  ASSERT_TRUE(service->CreateScenario("credit").ok());
+  ASSERT_TRUE(service
+                  ->ApplyHypotheticalSql("credit",
+                                         "Use German When Id = 5 "
+                                         "Update(Credit) = 0 Output Count(*)")
+                  .ok());
+  Response credit = service->Submit({"credit", kQuery, {}});
+  ASSERT_TRUE(credit.ok()) << credit.status;
+  EXPECT_EQ(3u, service->cache_stats().learn.misses);
+}
+
+// Evicting an upstream stage must not invalidate live downstream stages: a
+// LearnStage holds its ScopeStage alive through a shared_ptr, keeps serving
+// trained estimators, and a later prepare rebuilds only the evicted pieces.
+TEST_F(ServiceTest, UpstreamEvictionKeepsDownstreamStagesAlive) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kForest);
+  const double expected = FreshRun(kQuery, options);
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->Submit({"main", kQuery, {}}).ok());
+
+  PlanCacheStats before = service->cache_stats();
+  ASSERT_EQ(1u, before.scope.entries);
+  ASSERT_EQ(1u, before.learn.entries);
+
+  // DropScenario-style eager eviction by the trunk's scope tag removes the
+  // full-fingerprint entries (plan, scope, query); causal + learn survive
+  // because their keys use shape / restricted scopes.
+  // (Exercised through a throwaway branch so the public API drives it.)
+  ASSERT_TRUE(service->CreateScenario("twin").ok());
+  ASSERT_TRUE(service->DropScenario("twin").ok());  // identical delta: no-op
+  PlanCacheStats after_noop = service->cache_stats();
+  EXPECT_EQ(1u, after_noop.entries);  // trunk-shared entries kept
+
+  ASSERT_TRUE(service->CreateScenario("mut").ok());
+  ASSERT_TRUE(service
+                  ->ApplyHypotheticalSql("mut",
+                                         "Use German When Id = 7 "
+                                         "Update(Savings) = 1 Output Count(*)")
+                  .ok());
+  ASSERT_TRUE(service->Submit({"mut", kQuery, {}}).ok());
+  PlanCacheStats with_branch = service->cache_stats();
+  EXPECT_EQ(2u, with_branch.scope.entries);
+  EXPECT_EQ(1u, with_branch.learn.entries);  // shared (delta outside set)
+  ASSERT_TRUE(service->DropScenario("mut").ok());
+
+  PlanCacheStats after_drop = service->cache_stats();
+  EXPECT_EQ(1u, after_drop.entries) << "branch plan not evicted";
+  EXPECT_EQ(1u, after_drop.scope.entries) << "branch scope not evicted";
+  EXPECT_EQ(1u, after_drop.learn.entries) << "shared learn wrongly evicted";
+  EXPECT_EQ(with_branch.scope.evictions + 1, after_drop.scope.evictions);
+
+  // The ledger still reconciles after eager eviction: the three Submits
+  // above each did one plan lookup, the two plan misses each did one lookup
+  // per stage section — eviction never double-counts or loses a lookup.
+  Response again = service->Submit({"main", kQuery, {}});
+  ASSERT_TRUE(again.ok()) << again.status;
+  EXPECT_EQ(expected, again.whatif.value);
+  EXPECT_EQ(0.0, again.whatif.train_seconds);
+  PlanCacheStats final_stats = service->cache_stats();
+  EXPECT_EQ(3u,
+            final_stats.hits + final_stats.misses + final_stats.coalesced);
+  for (const StageStats* s :
+       {&final_stats.scope, &final_stats.causal, &final_stats.learn,
+        &final_stats.query}) {
+    EXPECT_EQ(2u, s->hits + s->misses + s->coalesced);
+  }
+  EXPECT_EQ(1u, final_stats.learn.misses) << "learn stage was rebuilt";
+}
+
+// Upstream eviction, hit directly at the StageCache: evict every ScopeStage
+// entry while a plan (and its Learn/Query stages) are live, then re-prepare.
+// Only the scope rebuilds — downstream stages hold their upstream alive and
+// keep serving — and evaluations stay bit-identical throughout.
+TEST_F(ServiceTest, StageCacheUpstreamEvictionKeepsDownstreamServing) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kForest);
+  StageCache cache(64);
+  whatif::StageContext ctx;
+  ctx.stages = &cache;
+  ctx.data_scope = "d";
+
+  whatif::WhatIfEngine engine(&db_, &graph_, options);
+  auto stmt = sql::ParseSql(kQuery);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  auto first = engine.Prepare(*stmt->whatif, &ctx);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto value_of = [&](const whatif::PreparedWhatIf& plan) {
+    auto r =
+        engine.Evaluate(plan, whatif::SpecsOfStatement(*stmt->whatif));
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r->value;
+  };
+  const double expected = value_of(**first);
+
+  // Scope keys are the only ones spelled "scope|d..." (plan keys embed
+  // "|scope[...]="), so this evicts exactly the scope section's entry.
+  EXPECT_EQ(1u, cache.EvictTagged("scope|d"));
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(0u, stats.scope.entries);
+  EXPECT_EQ(1u, stats.learn.entries);
+
+  // The live plan keeps working: its stages hold the evicted scope alive.
+  EXPECT_EQ(expected, value_of(**first));
+
+  // Re-preparing rebuilds only the scope; causal/learn/query all hit, so
+  // no estimator retrains and the assembled plan answers identically.
+  auto second = engine.Prepare(*stmt->whatif, &ctx);
+  ASSERT_TRUE(second.ok()) << second.status();
+  stats = cache.stats();
+  EXPECT_EQ(2u, stats.scope.misses);
+  EXPECT_EQ(1u, stats.causal.misses);
+  EXPECT_EQ(1u, stats.learn.misses);
+  EXPECT_EQ(1u, stats.query.misses);
+  EXPECT_EQ(expected, value_of(**second));
+}
+
+// Staged (default) vs monolithic (staged_prepare = false) answers are
+// bit-identical at 1/2/4/8 threads, across branches and When-variants.
+TEST_F(ServiceTest, StagedVsMonolithicBitEqualAcrossThreads) {
+  whatif::WhatIfOptions staged_options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kForest);
+  whatif::WhatIfOptions monolithic_options = staged_options;
+  monolithic_options.staged_prepare = false;
+
+  const std::string queries[] = {
+      kQuery,
+      "Use German When Status = 2 Update(Status) = 3 Output Count(Credit = 1)",
+      "Use German Update(Savings) = 2 Output Avg(Post(Credit))",
+  };
+
+  auto run_all = [&](const whatif::WhatIfOptions& options, size_t threads) {
+    whatif::WhatIfOptions with_threads = options;
+    with_threads.num_threads = threads;
+    auto service = MakeService(with_threads, 64, threads);
+    EXPECT_TRUE(service->CreateScenario("b").ok());
+    EXPECT_TRUE(service
+                    ->ApplyHypotheticalSql("b",
+                                           "Use German When Id = 2 "
+                                           "Update(Housing) = 0 "
+                                           "Output Count(*)")
+                    .ok());
+    std::vector<Request> requests;
+    for (const std::string& q : queries) {
+      requests.push_back({"main", q, {}});
+      requests.push_back({"b", q, {}});
+    }
+    std::vector<double> values;
+    for (const Response& r : service->SubmitBatch(requests)) {
+      EXPECT_TRUE(r.ok()) << r.status;
+      values.push_back(r.whatif.value);
+    }
+    return values;
+  };
+
+  const std::vector<double> reference = run_all(monolithic_options, 1);
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(reference, run_all(staged_options, threads))
+        << "staged answers diverged at " << threads << " thread(s)";
+    EXPECT_EQ(reference, run_all(monolithic_options, threads))
+        << "monolithic answers diverged at " << threads << " thread(s)";
+  }
+}
+
 // --- the storage substrate the branches ride on ---------------------------
 
 TEST_F(ServiceTest, DatabaseShallowCopyIsCopyOnWrite) {

@@ -419,9 +419,9 @@ TEST(CompileTest, BareTableView) {
       sql::ParseSql("Use R Update(B) = 1 Output Count(Y = 1)").value();
   auto compiled = CompileWhatIf(db, *stmt.whatif);
   ASSERT_TRUE(compiled.ok()) << compiled.status();
-  EXPECT_EQ(compiled->view_info.update_relation, "R");
-  EXPECT_EQ(compiled->view_info.view.num_rows(), 32u);
-  EXPECT_EQ(compiled->view_info.view_key_columns,
+  EXPECT_EQ(compiled->view_info->update_relation, "R");
+  EXPECT_EQ(compiled->view_info->view->num_rows(), 32u);
+  EXPECT_EQ(compiled->view_info->view_key_columns,
             std::vector<std::string>{"Id"});
   // Count(pred) folded into For.
   ASSERT_NE(compiled->for_pred, nullptr);
