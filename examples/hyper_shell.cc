@@ -21,7 +21,9 @@
 //   \scenario drop <name>          delete a branch
 //   \scenario apply <what-if>      apply the statement's deterministic update
 //                                  to the current scenario (chained updates)
-//   \cache stats|clear    shared estimator/plan cache
+//   \budget deadline <sec> | rows <n> | bytes <n> | off | show
+//                         per-request resource budget (0 = unlimited)
+//   \cache stats|clear    shared estimator/plan cache + admission counters
 //   \quit
 // Anything else is parsed as a HypeR statement (end with ';' or newline).
 
@@ -44,6 +46,7 @@ struct ShellState {
   std::unique_ptr<service::ScenarioService> service;
   std::string scenario = "main";
   whatif::WhatIfOptions options;  // per-request override, tweakable live
+  QueryBudget budget;             // per-request resource budget (\budget)
 };
 
 void RunStatement(ShellState& state, const std::string& text) {
@@ -51,6 +54,7 @@ void RunStatement(ShellState& state, const std::string& text) {
   request.scenario = state.scenario;
   request.sql = text;
   request.whatif_options = state.options;
+  request.budget = state.budget;
   service::Response response = state.service->Submit(request);
   if (!response.ok()) {
     std::printf("error: %s\n", response.status.ToString().c_str());
@@ -182,6 +186,28 @@ void RunCommand(ShellState& state, const std::string& line) {
     std::printf("sample: %zu\n", state.options.sample_size);
   } else if (cmd == "\\scenario") {
     RunScenarioCommand(state, parts, line);
+  } else if (cmd == "\\budget") {
+    const std::string sub = parts.size() > 1 ? parts[1] : "show";
+    if (sub == "off") {
+      state.budget = QueryBudget{};
+    } else if (sub == "deadline" && parts.size() > 2) {
+      state.budget.deadline_seconds = std::strtod(parts[2].c_str(), nullptr);
+    } else if (sub == "rows" && parts.size() > 2) {
+      state.budget.max_rows_touched =
+          static_cast<size_t>(std::strtoull(parts[2].c_str(), nullptr, 10));
+    } else if (sub == "bytes" && parts.size() > 2) {
+      state.budget.max_bytes_materialized =
+          static_cast<size_t>(std::strtoull(parts[2].c_str(), nullptr, 10));
+    } else if (sub != "show") {
+      std::printf("usage: \\budget deadline <sec> | rows <n> | bytes <n> | "
+                  "off | show\n");
+      return;
+    }
+    std::printf("budget: deadline %.3gs, rows %zu, bytes %zu (0 = "
+                "unlimited)\n",
+                state.budget.deadline_seconds,
+                state.budget.max_rows_touched,
+                state.budget.max_bytes_materialized);
   } else if (cmd == "\\cache") {
     const std::string sub = parts.size() > 1 ? parts[1] : "stats";
     if (sub == "clear") {
@@ -189,6 +215,7 @@ void RunCommand(ShellState& state, const std::string& line) {
       std::printf("plan cache cleared\n");
     } else {
       examples::PrintCacheStats(state.service->cache_stats());
+      examples::PrintGovernanceStats(state.service->governance_stats());
     }
   } else if (cmd == "\\explain" && parts.size() > 1) {
     const std::string query = line.substr(line.find(' ') + 1);
@@ -210,6 +237,7 @@ void RunCommand(ShellState& state, const std::string& line) {
         "commands: \\tables \\schema <rel> \\graph \\dot "
         "\\explain <what-if> \\estimator f|t \\mode graph|nb|indep "
         "\\sample <n> \\scenario list|new|use|drop|apply "
+        "\\budget deadline|rows|bytes|off|show "
         "\\cache stats|clear \\quit\n");
   }
 }

@@ -6,6 +6,10 @@
 //   ./build/scenario_server amazon --threads 4
 //   ./build/scenario_server --stdin               # line protocol:
 //                                                 #   [scenario|]statement
+//   ./build/scenario_server --max-concurrent 2 --max-queued 4
+//                                                 # admission control: at most
+//                                                 # 2 in flight, 4 queued,
+//                                                 # surplus shed (Unavailable)
 //
 // The demo script walks the workload of examples/SCENARIOS.md: branch,
 // apply a hypothetical, compare worlds, sweep interventions as one batch,
@@ -49,23 +53,43 @@ void PrintResponse(const std::string& label,
   }
 }
 
+// Line protocol: '[scenario|]statement'. Malformed lines (an empty scenario
+// or a '|' with nothing after it) get a structured one-line diagnostic
+// instead of being silently skipped or fed to the parser as garbage; EOF
+// drains the service gracefully (in-flight work finishes, new work is
+// rejected) and reports the admission/outcome counters.
 int RunStdin(service::ScenarioService& service) {
   std::printf("reading '[scenario|]statement' lines from stdin\n");
   std::string line;
+  size_t lineno = 0;
   while (std::getline(std::cin, line)) {
+    ++lineno;
     std::string trimmed(Trim(line));
     if (trimmed.empty() || trimmed[0] == '#') continue;
     service::Request request;
     const size_t bar = trimmed.find('|');
     if (bar != std::string::npos && trimmed.find(' ') > bar) {
-      request.scenario = trimmed.substr(0, bar);
-      request.sql = trimmed.substr(bar + 1);
+      if (bar == 0) {
+        std::printf("error: line %zu: empty scenario before '|'\n", lineno);
+        continue;
+      }
+      request.scenario = std::string(Trim(trimmed.substr(0, bar)));
+      request.sql = std::string(Trim(trimmed.substr(bar + 1)));
+      if (request.sql.empty()) {
+        std::printf("error: line %zu: missing statement after '%s|'\n",
+                    lineno, request.scenario.c_str());
+        continue;
+      }
     } else {
       request.sql = trimmed;
     }
     PrintResponse(request.scenario + ": " + request.sql,
                   service.Submit(request));
   }
+  service.BeginDrain();
+  service.AwaitIdle();
+  std::printf("-- eof: drained\n");
+  examples::PrintGovernanceStats(service.governance_stats());
   return 0;
 }
 
@@ -149,7 +173,17 @@ int RunDemo(service::ScenarioService& service) {
   std::printf("-- mixed batch: %zu/%zu ok in %.3fs\n", ok, responses.size(),
               mixed_timer.ElapsedSeconds());
 
+  // 6. Resource governance: the same query under an already-expired
+  //    deadline aborts with a typed status instead of running; the warm
+  //    cache entries it would have used are untouched.
+  service::Request governed{"main", query, {}};
+  governed.budget.deadline_seconds = 1e-9;
+  service::Response bounded = service.Submit(governed);
+  std::printf("-- governed what-if (1ns deadline): %s\n",
+              bounded.ok() ? "ok (?!)" : bounded.status.ToString().c_str());
+
   examples::PrintCacheStats(service.cache_stats());
+  examples::PrintGovernanceStats(service.governance_stats());
   return 0;
 }
 
@@ -158,10 +192,17 @@ int RunDemo(service::ScenarioService& service) {
 int main(int argc, char** argv) {
   std::string dataset = "german-syn-20k";
   size_t threads = 0;
+  size_t max_concurrent = 0;
+  size_t max_queued = 0;
   bool use_stdin = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-concurrent") == 0 && i + 1 < argc) {
+      max_concurrent =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--max-queued") == 0 && i + 1 < argc) {
+      max_queued = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--stdin") == 0) {
       use_stdin = true;
     } else if (argv[i][0] != '-') {
@@ -179,6 +220,8 @@ int main(int argc, char** argv) {
   options.whatif.estimator = learn::EstimatorKind::kFrequency;
   options.num_threads = threads;
   options.whatif.num_threads = threads;
+  options.max_concurrent_requests = max_concurrent;
+  options.max_queued_requests = max_queued;
   service::ScenarioService service(std::move(ds->db), std::move(ds->graph),
                                    options);
   std::printf("scenario server: %s, %zu thread(s)\n", dataset.c_str(),

@@ -9,6 +9,7 @@
 
 #include "howto/engine.h"
 #include "service/plan_cache.h"
+#include "service/scenario_service.h"
 #include "whatif/engine.h"
 
 namespace hyper::examples {
@@ -75,6 +76,24 @@ inline void PrintCacheStats(const service::PlanCacheStats& stats) {
     line(name, s->entries, s->capacity, s->hits, s->misses, s->coalesced,
          s->evictions);
   }
+}
+
+inline void PrintGovernanceStats(const service::GovernanceStats& stats) {
+  std::printf(
+      "admission: %llu admitted (%llu after queueing), %llu shed, "
+      "%llu rejected draining | %zu in flight, %zu waiting%s\n",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.queued),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.rejected_draining),
+      stats.in_flight, stats.queued_now, stats.draining ? " [draining]" : "");
+  std::printf(
+      "outcomes: %llu completed, of which %llu deadline-exceeded, "
+      "%llu resource-exhausted, %llu cancelled\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.resource_exhausted),
+      static_cast<unsigned long long>(stats.cancelled));
 }
 
 }  // namespace hyper::examples

@@ -30,15 +30,18 @@ echo "== perf gate (parity tests + bench smoke) =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
 
 # Sanitizer legs over the `service`-labeled tests (the scenario service,
-# stage/plan caches, single-flight prepares, concurrent how-to scoring):
-# TSan catches data races on the shared stage caches, ASan catches
-# lifetime bugs in the stage graph (an evicted upstream stage must stay
-# alive through its downstream shared_ptr holders). Each leg probes the
-# toolchain first and is skipped only when its runtime is unusable.
+# stage/plan caches, single-flight prepares, concurrent how-to scoring,
+# and the governance suite with its fault-injection matrix and admission
+# tests): TSan catches data races on the shared stage caches and the
+# admission/cancellation state, ASan catches lifetime bugs in abort
+# unwinding (an aborted request must not leave a stage half-built but
+# referenced), UBSan catches undefined behavior in the hot loops and
+# meter arithmetic. Each leg probes the toolchain first and is skipped
+# only when its runtime is unusable.
 run_sanitizer_leg() {
-  local SAN="$1"         # thread | address
+  local SAN="$1"         # thread | address | undefined
   local FLAG="-fsanitize=$SAN"
-  local SAN_BUILD_DIR="${BUILD_DIR}-${2}"   # build dir suffix: tsan | asan
+  local SAN_BUILD_DIR="${BUILD_DIR}-${2}"   # build dir suffix: tsan | asan | ubsan
   echo "== ${2} smoke (service-labeled tests) =="
   local PROBE
   PROBE="$(mktemp -d)"
@@ -47,7 +50,7 @@ run_sanitizer_leg() {
       && "$PROBE/probe"; then
     rm -rf "$PROBE"
     cmake -B "$SAN_BUILD_DIR" -S . -DHYPER_SANITIZE="$SAN" >/dev/null
-    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test
+    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test governance_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -L service
   else
     rm -rf "$PROBE"
@@ -57,5 +60,13 @@ run_sanitizer_leg() {
 
 run_sanitizer_leg thread tsan
 run_sanitizer_leg address asan
+run_sanitizer_leg undefined ubsan
+
+echo "== deadline-stress smoke (randomized tight deadlines) =="
+# Hammers the service with randomized near-zero deadlines and asserts every
+# outcome is OK or a typed governance abort, then that the caches still
+# serve bit-identical answers — a hang, crash or corruption fails the gate.
+"$BUILD_DIR"/governance_test \
+  --gtest_filter='GovernanceTest.RandomTightDeadlinesNeverHangOrCorrupt'
 
 echo "== check passed =="

@@ -23,6 +23,15 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  // Resource-governance taxonomy (see common/governance.h): every abort a
+  // QueryBudget / CancelToken / admission controller can produce maps to
+  // exactly one of these, so callers can distinguish "retry later"
+  // (kUnavailable), "retry with a bigger budget" (kDeadlineExceeded /
+  // kResourceExhausted) and "the caller gave up" (kCancelled).
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -64,6 +73,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -333,7 +333,19 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
   HYPER_ASSIGN_OR_RETURN(std::vector<std::vector<UpdateSpec>> candidates,
                          EnumerateCandidates(stmt));
 
-  whatif::WhatIfEngine engine(db_, graph_, options_.whatif);
+  // Governance rides in the what-if options: arm one guard here (unless the
+  // caller pre-armed one) and inject it, so the baseline, every plan prepare
+  // and every candidate evaluation of this run share a single deadline and
+  // one pair of meters instead of each arming their own.
+  whatif::WhatIfOptions whatif_options = options_.whatif;
+  const governance::ExecGuardPtr guard =
+      whatif_options.exec_guard != nullptr
+          ? whatif_options.exec_guard
+          : governance::ExecGuard::Arm(whatif_options.budget,
+                                       whatif_options.cancel_token);
+  whatif_options.exec_guard = guard;
+
+  whatif::WhatIfEngine engine(db_, graph_, whatif_options);
 
   // Prepared-plan sharing: one plan serves the baseline, and one plan per
   // HowToUpdate attribute serves every candidate of that attribute — the
@@ -511,6 +523,13 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
   std::vector<Status> statuses(work.size());
   if (threads <= 1 || work.size() <= 1) {
     for (size_t w = 0; w < work.size(); ++w) {
+      if (guard != nullptr) {
+        Status gs = guard->Check("howto.score");
+        if (!gs.ok()) {
+          statuses[w] = std::move(gs);
+          break;
+        }
+      }
       auto r = eval_candidate(engine, work[w]);
       if (!r.ok()) {
         statuses[w] = r.status();
@@ -524,7 +543,7 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
     // (see the PreparedWhatIf concurrency contract), and trained estimators
     // are pure functions of the plan, so every candidate's value is
     // bit-identical to the sequential path.
-    whatif::WhatIfOptions worker_options = options_.whatif;
+    whatif::WhatIfOptions worker_options = whatif_options;
     worker_options.num_threads = 1;
     whatif::WhatIfEngine worker_engine(db_, graph_, worker_options);
     std::atomic<bool> failed{false};
@@ -536,6 +555,14 @@ Result<HowToEngine::ScoredCandidates> HowToEngine::ScoreCandidates(
           // error pass below never reaches a skipped slot without first
           // returning the genuine failure that tripped the flag.
           if (failed.load(std::memory_order_relaxed)) return;
+          if (guard != nullptr) {
+            Status gs = guard->Check("howto.score");
+            if (!gs.ok()) {
+              statuses[w] = std::move(gs);
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
           auto r = eval_candidate(worker_engine, work[w]);
           if (r.ok()) {
             results[w] = std::move(r).value();

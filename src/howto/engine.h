@@ -22,6 +22,14 @@ struct HowToOptions {
   /// and merged in candidate order, so scored deltas, chosen plans and every
   /// reported candidate value are bit-for-bit identical at any thread count
   /// (1 = fully sequential; 0 = hardware default).
+  ///
+  /// Resource governance also rides here: `whatif.budget` /
+  /// `whatif.cancel_token` (or a pre-armed `whatif.exec_guard`) bound a
+  /// whole how-to run — the engine arms one guard per candidate-scoring
+  /// pass, shared by the baseline, every plan prepare and every candidate
+  /// evaluation, and additionally checks it before each candidate
+  /// ("howto.score"). Aborts surface as kDeadlineExceeded /
+  /// kResourceExhausted / kCancelled and never leave partial cache entries.
   whatif::WhatIfOptions whatif = {};
   /// Buckets for discretizing continuous update ranges (§4.3; Figure 9
   /// sweeps this).

@@ -448,14 +448,130 @@ Response ScenarioService::Dispatch(const Request& request,
   return response;
 }
 
+Status ScenarioService::Admit() {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (draining_) {
+    ++gov_.rejected_draining;
+    return Status::Unavailable("service is draining; new requests are "
+                               "rejected");
+  }
+  if (options_.max_concurrent_requests == 0) {
+    ++gov_.admitted;
+    ++in_flight_;
+    return Status::OK();
+  }
+  if (in_flight_ < options_.max_concurrent_requests) {
+    ++gov_.admitted;
+    ++in_flight_;
+    return Status::OK();
+  }
+  if (queue_len_ >= options_.max_queued_requests) {
+    ++gov_.shed;
+    return Status::Unavailable(StrFormat(
+        "service overloaded: %zu request(s) in flight and the wait queue "
+        "(%zu) is full",
+        in_flight_, options_.max_queued_requests));
+  }
+  ++queue_len_;
+  admission_cv_.wait(lock, [&] {
+    return draining_ || in_flight_ < options_.max_concurrent_requests;
+  });
+  --queue_len_;
+  if (draining_) {
+    ++gov_.rejected_draining;
+    admission_cv_.notify_all();  // AwaitIdle may be waiting on queue_len_
+    return Status::Unavailable("service is draining; queued request "
+                               "rejected");
+  }
+  ++gov_.admitted;
+  ++gov_.queued;
+  ++in_flight_;
+  return Status::OK();
+}
+
+void ScenarioService::Release(const Status& status) {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  --in_flight_;
+  ++gov_.completed;
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      ++gov_.deadline_exceeded;
+      break;
+    case StatusCode::kResourceExhausted:
+      ++gov_.resource_exhausted;
+      break;
+    case StatusCode::kCancelled:
+      ++gov_.cancelled;
+      break;
+    default:
+      break;
+  }
+  admission_cv_.notify_all();
+}
+
+void ScenarioService::BeginDrain() {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  draining_ = true;
+  admission_cv_.notify_all();
+}
+
+void ScenarioService::AwaitIdle() {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  admission_cv_.wait(lock,
+                     [&] { return in_flight_ == 0 && queue_len_ == 0; });
+}
+
+bool ScenarioService::draining() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return draining_;
+}
+
+GovernanceStats ScenarioService::governance_stats() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  GovernanceStats stats = gov_;
+  stats.in_flight = in_flight_;
+  stats.queued_now = queue_len_;
+  stats.draining = draining_;
+  return stats;
+}
+
+Response ScenarioService::GovernedDispatch(const Request& request,
+                                           const World& world) {
+  governance::ExecGuardPtr guard =
+      governance::ExecGuard::Arm(request.budget, request.cancel_token);
+  if (guard == nullptr) return Dispatch(request, world);
+  // Inject the armed guard through the per-request what-if options: the
+  // what-if engine, the how-to engine's scoring pass and the row fallback
+  // all pick it up instead of arming their own, so one deadline spans the
+  // whole request. Plan-cache keys are built from named option fields and
+  // never include governance state, so a governed request hits exactly the
+  // entries an ungoverned one would.
+  Request governed = request;
+  whatif::WhatIfOptions opts = request.whatif_options.has_value()
+                                   ? *request.whatif_options
+                                   : options_.whatif;
+  opts.budget = request.budget;
+  opts.cancel_token = request.cancel_token;
+  opts.exec_guard = std::move(guard);
+  governed.whatif_options = std::move(opts);
+  return Dispatch(governed, world);
+}
+
 Response ScenarioService::Submit(const Request& request) {
-  auto world = SnapshotWorld(request.scenario);
-  if (!world.ok()) {
-    Response response;
-    response.status = world.status();
+  Response response;
+  Status admitted = Admit();
+  if (!admitted.ok()) {
+    response.status = std::move(admitted);
     return response;
   }
-  return Dispatch(request, *world);
+  auto world = SnapshotWorld(request.scenario);
+  if (!world.ok()) {
+    response.status = world.status();
+  } else {
+    response = GovernedDispatch(request, *world);
+  }
+  Release(response.status);
+  return response;
 }
 
 std::vector<Response> ScenarioService::SubmitBatch(
@@ -471,12 +587,21 @@ std::vector<Response> ScenarioService::SubmitBatch(
     worlds.push_back(SnapshotWorld(request.scenario));
   }
 
+  // Each batch item is admitted individually: a batch wider than the
+  // concurrency limit sheds (or queues) its surplus items exactly like
+  // independent Submits would.
   auto run_one = [&](size_t i) {
-    if (!worlds[i].ok()) {
-      responses[i].status = worlds[i].status();
+    Status admitted = Admit();
+    if (!admitted.ok()) {
+      responses[i].status = std::move(admitted);
       return;
     }
-    responses[i] = Dispatch(requests[i], *worlds[i]);
+    if (!worlds[i].ok()) {
+      responses[i].status = worlds[i].status();
+    } else {
+      responses[i] = GovernedDispatch(requests[i], *worlds[i]);
+    }
+    Release(responses[i].status);
   };
 
   const size_t threads = ThreadPool::ResolveBudget(options_.num_threads);
@@ -492,6 +617,17 @@ std::vector<Response> ScenarioService::SubmitBatch(
 Result<std::vector<WhatIfBatchItem>> ScenarioService::SubmitWhatIfBatch(
     const std::string& scenario, const std::string& base_whatif_sql,
     const std::vector<std::vector<whatif::UpdateSpec>>& interventions) {
+  // The whole sweep is one admitted request: it shares a plan and runs as
+  // one unit of service work, however many interventions it carries.
+  HYPER_RETURN_NOT_OK(Admit());
+  auto result = DoSubmitWhatIfBatch(scenario, base_whatif_sql, interventions);
+  Release(result.ok() ? Status::OK() : result.status());
+  return result;
+}
+
+Result<std::vector<WhatIfBatchItem>> ScenarioService::DoSubmitWhatIfBatch(
+    const std::string& scenario, const std::string& base_whatif_sql,
+    const std::vector<std::vector<whatif::UpdateSpec>>& interventions) {
   HYPER_ASSIGN_OR_RETURN(World world, SnapshotWorld(scenario));
   HYPER_ASSIGN_OR_RETURN(sql::Statement parsed,
                          sql::ParseSql(base_whatif_sql));
@@ -500,7 +636,16 @@ Result<std::vector<WhatIfBatchItem>> ScenarioService::SubmitWhatIfBatch(
                                    "statement");
   }
 
-  whatif::WhatIfEngine engine(world.db.get(), graph(), options_.whatif);
+  // One guard for the whole sweep (when the service defaults carry a budget
+  // or token): Prepare and every intervention draw down the same deadline
+  // and meters. The plan-cache key below keeps using the raw options —
+  // governance state never enters a key.
+  whatif::WhatIfOptions engine_options = options_.whatif;
+  if (engine_options.exec_guard == nullptr) {
+    engine_options.exec_guard = governance::ExecGuard::Arm(
+        engine_options.budget, engine_options.cancel_token);
+  }
+  whatif::WhatIfEngine engine(world.db.get(), graph(), engine_options);
   whatif::StageContext stage_context = StageContextFor(world);
   bool hit = false;
   auto plan = cache_.GetOrPrepare(
@@ -515,7 +660,7 @@ Result<std::vector<WhatIfBatchItem>> ScenarioService::SubmitWhatIfBatch(
     // constants and functions, never new attributes. Dispatch straight to
     // the row interpreter so the failed Prepare is not re-attempted N times.
     // Failures (shape mismatches, evaluation errors) stay per item.
-    whatif::WhatIfOptions row_options = options_.whatif;
+    whatif::WhatIfOptions row_options = engine_options;
     row_options.use_columnar = false;
     whatif::WhatIfEngine row_engine(world.db.get(), graph(), row_options);
     std::vector<WhatIfBatchItem> items(interventions.size());

@@ -1,6 +1,8 @@
 #ifndef HYPER_SERVICE_SCENARIO_SERVICE_H_
 #define HYPER_SERVICE_SCENARIO_SERVICE_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "causal/graph.h"
+#include "common/governance.h"
 #include "common/status.h"
 #include "howto/engine.h"
 #include "service/plan_cache.h"
@@ -33,6 +36,15 @@ struct ServiceOptions {
   /// anything else = the process-wide pool (0 = hardware default). Results
   /// are ordered by request index and identical for every setting.
   size_t num_threads = 0;
+  /// Admission control: at most this many requests execute concurrently
+  /// (0 = unlimited, admission control off). Applies to Submit, each
+  /// SubmitBatch item, and SubmitWhatIfBatch as a whole.
+  size_t max_concurrent_requests = 0;
+  /// With admission control on, at most this many requests wait for a slot;
+  /// arrivals beyond that are shed immediately with kUnavailable (0 = no
+  /// queue, shed as soon as every slot is busy). Queue wait does not count
+  /// against a request's deadline — the budget arms at execution start.
+  size_t max_queued_requests = 0;
 };
 
 /// One request against a scenario branch. The statement kind (what-if /
@@ -42,6 +54,30 @@ struct Request {
   std::string sql;
   /// Per-request estimation override (defaults to the service options).
   std::optional<whatif::WhatIfOptions> whatif_options;
+  /// Per-request resource limits (zero-valued fields are unlimited). One
+  /// guard spans parse + prepare + evaluate; aborts surface as
+  /// kDeadlineExceeded / kResourceExhausted in the response status and
+  /// never leave partial plan- or stage-cache entries.
+  QueryBudget budget;
+  /// Cooperative cancellation (detached by default). Trip it from any
+  /// thread; the request unwinds with kCancelled at its next checkpoint.
+  CancelToken cancel_token;
+};
+
+/// Admission-control and governed-outcome counters (monotone over the
+/// service lifetime, except the two gauges at the bottom).
+struct GovernanceStats {
+  uint64_t admitted = 0;           // granted an execution slot
+  uint64_t queued = 0;             // of admitted: waited for a slot first
+  uint64_t shed = 0;               // rejected, queue full (kUnavailable)
+  uint64_t rejected_draining = 0;  // rejected, service draining (kUnavailable)
+  uint64_t completed = 0;          // finished with any status
+  uint64_t deadline_exceeded = 0;  // completed with kDeadlineExceeded
+  uint64_t resource_exhausted = 0;  // completed with kResourceExhausted
+  uint64_t cancelled = 0;          // completed with kCancelled
+  size_t in_flight = 0;            // gauge: executing right now
+  size_t queued_now = 0;           // gauge: waiting for a slot right now
+  bool draining = false;           // gauge: BeginDrain was called
 };
 
 struct Response {
@@ -146,6 +182,20 @@ class ScenarioService {
       const std::string& scenario, const std::string& base_whatif_sql,
       const std::vector<std::vector<whatif::UpdateSpec>>& interventions);
 
+  // --- admission control & drain ------------------------------------------
+
+  /// Stops admitting work: new and queued requests are rejected with
+  /// kUnavailable; in-flight requests run to completion (or hit their own
+  /// deadlines). Idempotent.
+  void BeginDrain();
+
+  /// Blocks until nothing is executing or queued. Call after BeginDrain for
+  /// a graceful shutdown.
+  void AwaitIdle();
+
+  bool draining() const;
+  GovernanceStats governance_stats() const;
+
   // --- cache & data management -------------------------------------------
 
   PlanCacheStats cache_stats() const { return cache_.stats(); }
@@ -208,6 +258,23 @@ class ScenarioService {
 
   Response Dispatch(const Request& request, const World& world);
 
+  /// Dispatch with the request's budget/token armed into one ExecGuard and
+  /// injected through the per-request what-if options, so every engine the
+  /// request touches shares a single deadline and one pair of meters.
+  Response GovernedDispatch(const Request& request, const World& world);
+
+  /// Blocks until the request may execute (or rejects it): kUnavailable
+  /// when the service is draining or the wait queue is full. Every Admit()
+  /// that returns OK must be paired with exactly one Release().
+  Status Admit();
+  /// Releases the execution slot and folds the request's outcome into the
+  /// governance counters.
+  void Release(const Status& status);
+
+  Result<std::vector<WhatIfBatchItem>> DoSubmitWhatIfBatch(
+      const std::string& scenario, const std::string& base_whatif_sql,
+      const std::vector<std::vector<whatif::UpdateSpec>>& interventions);
+
   /// Stage-pipeline wiring for one request: stage cache, full / shape /
   /// base scopes, the override snapshot, and the restricted-delta
   /// fingerprint callback (see whatif::StageContext). The context borrows
@@ -224,6 +291,16 @@ class ScenarioService {
   std::map<std::string, BranchState> branches_;
   ServiceOptions options_;
   PlanCache cache_;
+
+  /// Admission-control state, on its own lock (never held together with
+  /// mu_, and never across a dispatch — only around counter/slot updates
+  /// and the bounded queue wait).
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t in_flight_ = 0;
+  size_t queue_len_ = 0;
+  bool draining_ = false;
+  GovernanceStats gov_;  // counters only; gauges are filled by the accessor
 };
 
 }  // namespace hyper::service

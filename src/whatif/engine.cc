@@ -70,6 +70,19 @@ std::string EstimatorConfigKey(const WhatIfOptions& options) {
 
 namespace {
 
+using governance::ExecGuard;
+using governance::ExecGuardPtr;
+using governance::LoopCheck;
+
+/// The request's guard: a pre-armed one injected by the caller (the service
+/// arms per request so one deadline spans parse + prepare + evaluate), else
+/// a fresh arm from the options' budget and token. Null when ungoverned —
+/// every checkpoint below then reduces to one pointer test.
+ExecGuardPtr GuardFor(const WhatIfOptions& options) {
+  if (options.exec_guard != nullptr) return options.exec_guard;
+  return ExecGuard::Arm(options.budget, options.cancel_token);
+}
+
 // ---------------------------------------------------------------------------
 // For-predicate folding (§A.2): per tuple, every subexpression whose value
 // is already determined (pre-update values, immutable attributes, the
@@ -770,6 +783,16 @@ Result<std::string> WhatIfEngine::Explain(const sql::WhatIfStmt& stmt) const {
 }
 
 Result<WhatIfResult> WhatIfEngine::Run(const sql::WhatIfStmt& stmt) const {
+  if (options_.exec_guard == nullptr) {
+    ExecGuardPtr guard = ExecGuard::Arm(options_.budget, options_.cancel_token);
+    if (guard != nullptr) {
+      // Re-enter with the armed guard injected so Prepare, Evaluate and the
+      // row fallback all observe one deadline and one pair of meters.
+      WhatIfOptions governed = options_;
+      governed.exec_guard = std::move(guard);
+      return WhatIfEngine(db_, graph_, std::move(governed)).Run(stmt);
+    }
+  }
   if (!options_.use_columnar) return RunRows(stmt);
   Stopwatch total_timer;
   auto prepared = Prepare(stmt);
@@ -799,6 +822,10 @@ Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
   result.view_rows = n;
   if (n == 0) {
     return Status::InvalidArgument("relevant view is empty");
+  }
+  const ExecGuardPtr guard = GuardFor(options_);
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->ChargeRows(n, "whatif.run_rows"));
   }
 
   HYPER_ASSIGN_OR_RETURN(WhatIfPlan plan,
@@ -990,9 +1017,13 @@ Result<WhatIfResult> WhatIfEngine::RunRows(const sql::WhatIfStmt& stmt) const {
   prob::BlockAccumulator acc(q.output_agg);
   ExprPtr literal_true = sql::MakeLiteral(Value::Bool(true));
 
+  LoopCheck gov_loop(guard.get());
   for (const std::vector<size_t>& rows : block_rows) {
     acc.BeginBlock();
     for (size_t r : rows) {
+      if (gov_loop.Due()) {
+        HYPER_RETURN_NOT_OK(gov_loop.guard()->Check("whatif.run_rows"));
+      }
       // Fold the For predicate against this tuple's deterministic values.
       Env fold_env;
       fold_env.Bind(vschema.relation_name(), &vschema, &view.row(r),
@@ -1178,7 +1209,7 @@ struct LearnStageData {
   Result<const PatternEstimators*> EnsurePattern(
       const std::string& key, bool is_literal, bool literal_value,
       const relational::ColumnBoundExpr* exact, bool* was_cached,
-      double* train_seconds) const {
+      double* train_seconds, const governance::ExecGuard* guard) const {
     std::lock_guard<std::mutex> lock(mu);
     auto it = patterns.find(key);
     if (it != patterns.end()) {
@@ -1186,6 +1217,12 @@ struct LearnStageData {
       return &it->second;
     }
     *was_cached = false;
+    // A governed abort below unwinds before the emplace, so the pattern
+    // cache never holds a partially trained estimator.
+    if (guard != nullptr) {
+      HYPER_RETURN_NOT_OK(
+          guard->ChargeRows(train_rows.size(), "whatif.train"));
+    }
     Stopwatch train_timer;
     PatternEstimators pat;
     pat.literal = is_literal;
@@ -1194,8 +1231,12 @@ struct LearnStageData {
     const learn::BinnedMatrix* binned =
         train_binned.has_value() ? &*train_binned : nullptr;
     std::vector<double> ind(train_rows.size(), 1.0);
+    governance::LoopCheck gov_loop(guard);
     if (!is_literal) {
       for (size_t i = 0; i < train_rows.size(); ++i) {
+        if (gov_loop.Due()) {
+          HYPER_RETURN_NOT_OK(guard->Check("whatif.train"));
+        }
         HYPER_ASSIGN_OR_RETURN(bool b, exact->EvalBool(train_rows[i]));
         ind[i] = b ? 1.0 : 0.0;
       }
@@ -1204,6 +1245,9 @@ struct LearnStageData {
           FitPatternEstimator(pat.weight.get(), options, train_x, binned, ind));
     }
     if (has_output && !(is_literal && !literal_value)) {
+      if (guard != nullptr) {
+        HYPER_RETURN_NOT_OK(guard->Check("whatif.train"));
+      }
       std::vector<double> value_target(train_rows.size());
       for (size_t i = 0; i < train_rows.size(); ++i) {
         value_target[i] = y_obs[i] * ind[i];
@@ -1370,13 +1414,25 @@ std::string QueryShapeKey(const sql::WhatIfStmt& stmt) {
 /// (select views, a missing base stage, a kind-changing override).
 Result<std::shared_ptr<const ScopeStageData>> BuildScopeStage(
     const Database& db, const sql::UseClause& use,
-    const std::string& update_attr0, const StageContext* ctx) {
+    const std::string& update_attr0, const StageContext* ctx,
+    const ExecGuard* guard) {
   HYPER_ASSIGN_OR_RETURN(ViewInfo info,
                          BuildRelevantView(db, use, update_attr0));
   const std::string& update_relation = info.update_relation;
   auto stage = std::make_shared<ScopeStageData>();
   stage->view_info = std::make_shared<const ViewInfo>(std::move(info));
   const ViewInfo& vi = *stage->view_info;
+  if (guard != nullptr) {
+    // Charge the view scan and (approximately) the columnar image before
+    // materializing it, so an over-budget request aborts without paying the
+    // allocation. Meters charge work actually done: a stage-cache hit skips
+    // the builder and charges nothing.
+    const size_t vrows = vi.view->num_rows();
+    HYPER_RETURN_NOT_OK(guard->ChargeRows(vrows, "whatif.prepare.scope"));
+    HYPER_RETURN_NOT_OK(guard->ChargeBytes(
+        vrows * vi.view->schema().num_attributes() * sizeof(double),
+        "whatif.prepare.scope"));
+  }
 
   bool patched = false;
   if (use.is_table() && ctx != nullptr && ctx->stages != nullptr &&
@@ -1424,10 +1480,16 @@ Result<std::shared_ptr<const ScopeStageData>> BuildScopeStage(
 
 Result<std::shared_ptr<const CausalStageData>> BuildCausalStage(
     const ScopeStageData& scope, const CompiledWhatIf& q, const Database& db,
-    const causal::CausalGraph* graph, const WhatIfOptions& options) {
+    const causal::CausalGraph* graph, const WhatIfOptions& options,
+    const ExecGuard* guard) {
   auto stage = std::make_shared<CausalStageData>();
   HYPER_ASSIGN_OR_RETURN(stage->plan,
                          BuildWhatIfPlan(q, graph, options.backdoor));
+  if (guard != nullptr) {
+    // The block decomposition walks every view row.
+    HYPER_RETURN_NOT_OK(guard->ChargeRows(scope.cview.num_rows(),
+                                          "whatif.prepare.causal"));
+  }
   stage->block_rows = BuildBlockRows(q, db, graph, options.use_blocks,
                                      scope.cview.num_rows());
   return std::shared_ptr<const CausalStageData>(std::move(stage));
@@ -1459,7 +1521,7 @@ std::vector<std::string> LearnDependencyColumns(const CompiledWhatIf& q,
 Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
     std::shared_ptr<const ScopeStageData> scope_stage,
     const CausalStageData& causal, const CompiledWhatIf& q,
-    const WhatIfOptions& options) {
+    const WhatIfOptions& options, const ExecGuard* guard) {
   auto stage = std::make_shared<LearnStageData>();
   stage->built_on = scope_stage;
   stage->options = options;
@@ -1470,6 +1532,9 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
   const size_t n = cview.num_rows();
   const WhatIfPlan& plan = causal.plan;
   const std::vector<WhatIfPlan::PsiSpec>& psi_specs = plan.psi_specs;
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->ChargeRows(n, "whatif.prepare.learn"));
+  }
 
   // psi prep: link groups and pre-update sums, accumulated in row order
   // (bit-identical to the row path).
@@ -1531,6 +1596,10 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
   // per feature.
   stage->feat.resize(num_features);
   for (size_t j = 0; j < num_features; ++j) {
+    if (guard != nullptr) {
+      HYPER_RETURN_NOT_OK(
+          guard->ChargeBytes(n * sizeof(double), "whatif.prepare.learn"));
+    }
     HYPER_ASSIGN_OR_RETURN(stage->feat[j],
                            stage->encoder->EncodeColumn(cview, j));
     if (stage->feature_disc[j].has_value()) {
@@ -1551,6 +1620,12 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
 
   // Training features: pure double copies out of the encoded columns, into
   // one flat row-major allocation.
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->ChargeBytes(
+        stage->train_rows.size() * (num_features + psi_specs.size()) *
+            sizeof(double),
+        "whatif.prepare.learn"));
+  }
   stage->train_x = learn::FeatureMatrix(stage->train_rows.size(),
                                         num_features + psi_specs.size());
   for (size_t i = 0; i < stage->train_rows.size(); ++i) {
@@ -1586,7 +1661,11 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
     HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
                            relational::ColumnBoundExpr::Bind(ce, cview));
     stage->y_obs.resize(stage->train_rows.size());
+    LoopCheck gov_loop(guard);
     for (size_t i = 0; i < stage->train_rows.size(); ++i) {
+      if (gov_loop.Due()) {
+        HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.learn"));
+      }
       HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
                              be.Eval(stage->train_rows[i]));
       HYPER_ASSIGN_OR_RETURN(stage->y_obs[i], v.AsDouble());
@@ -1597,12 +1676,15 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
 
 Result<std::shared_ptr<const QueryStageData>> BuildQueryStage(
     std::shared_ptr<const ScopeStageData> scope_stage, CompiledWhatIf q,
-    const CausalStageData& causal) {
+    const CausalStageData& causal, const ExecGuard* guard) {
   auto stage = std::make_shared<QueryStageData>();
   stage->built_on = scope_stage;
   stage->q = std::move(q);
   const ColumnTable& cview = scope_stage->cview;
   const size_t n = cview.num_rows();
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->ChargeRows(n, "whatif.prepare.query"));
+  }
 
   // S membership from the When predicate, via the vectorized mask kernel.
   HYPER_ASSIGN_OR_RETURN(
@@ -1630,7 +1712,11 @@ Result<std::shared_ptr<const QueryStageData>> BuildQueryStage(
     // reproduced only if Evaluate actually consults that row.
     stage->out_all.resize(n);
     stage->out_err.assign(n, 0);
+    LoopCheck gov_loop(guard);
     for (size_t r = 0; r < n; ++r) {
+      if (gov_loop.Due()) {
+        HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.query"));
+      }
       auto vr = stage->out_eval->Eval(r);
       if (vr.ok()) {
         auto dr = vr->AsDouble();
@@ -1719,7 +1805,18 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
     }
   }
 
+  // One guard for the whole prepare (pre-armed by the caller when a single
+  // deadline must span more than this call). Checked before every stage and
+  // inside the builders' hot loops. An abort inside a stage factory returns
+  // a typed error Result, which the stage cache propagates to every
+  // coalesced waiter exactly once and never stores — so a governed abort
+  // cannot leave a partial stage behind, and a retry rebuilds from scratch.
+  const ExecGuardPtr guard = GuardFor(options_);
+
   // --- ScopeStage: relevant view + columnar image --------------------------
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.scope"));
+  }
   const std::string scope_key =
       staged ? ScopeStageKey(ctx->data_scope, stmt.use, update_relation)
              : std::string();
@@ -1728,7 +1825,8 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
       (StagedOrFresh<ScopeStageData>(ctx, staged, StageKind::kScope, scope_key,
                                      [&] {
                                        return BuildScopeStage(
-                                           *db_, stmt.use, update_attr0, ctx);
+                                           *db_, stmt.use, update_attr0, ctx,
+                                           guard.get());
                                      })));
   const size_t n = scope_stage->cview.num_rows();
   if (n == 0) {
@@ -1771,11 +1869,15 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
                             static_cast<int>(options_.backdoor),
                             options_.use_blocks ? 1 : 0);
   }
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.causal"));
+  }
   HYPER_ASSIGN_OR_RETURN(
       std::shared_ptr<const CausalStageData> causal_stage,
       (StagedOrFresh<CausalStageData>(
           ctx, staged, StageKind::kCausal, causal_key, [&] {
-            return BuildCausalStage(*scope_stage, q, *db_, graph_, options_);
+            return BuildCausalStage(*scope_stage, q, *db_, graph_, options_,
+                                    guard.get());
           })));
 
   // --- LearnStage: encoders + training matrix + estimator cache -----------
@@ -1798,11 +1900,15 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
     learn_key += KeyField("d", learn_scope);
     learn_key += EstimatorConfigKey(options_);
   }
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.learn"));
+  }
   HYPER_ASSIGN_OR_RETURN(
       std::shared_ptr<const LearnStageData> learn_stage,
       (StagedOrFresh<LearnStageData>(
           ctx, staged, StageKind::kLearn, learn_key, [&] {
-            return BuildLearnStage(scope_stage, *causal_stage, q, options_);
+            return BuildLearnStage(scope_stage, *causal_stage, q, options_,
+                                   guard.get());
           })));
 
   // --- QueryStage: hole plan + per-row constants ---------------------------
@@ -1814,11 +1920,15 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
     query_key += KeyField("when",
                           stmt.when != nullptr ? stmt.when->ToString() : "");
   }
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.query"));
+  }
   HYPER_ASSIGN_OR_RETURN(
       std::shared_ptr<const QueryStageData> query_stage,
       (StagedOrFresh<QueryStageData>(
           ctx, staged, StageKind::kQuery, query_key, [&] {
-            return BuildQueryStage(scope_stage, std::move(q), *causal_stage);
+            return BuildQueryStage(scope_stage, std::move(q), *causal_stage,
+                                   guard.get());
           })));
 
   // --- assembly ------------------------------------------------------------
@@ -1848,7 +1958,8 @@ namespace {
 /// every setting of either knob.
 Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
                                       const std::vector<UpdateSpec>& updates,
-                                      size_t block_threads, bool batched) {
+                                      size_t block_threads, bool batched,
+                                      const ExecGuard* guard) {
   Stopwatch eval_timer;
   WhatIfResult result;
   const ScopeStageData& sc = *im.scope;
@@ -1868,6 +1979,10 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   result.updated_rows = updated;
   result.num_blocks = ca.block_rows.size();
   result.backdoor = ca.plan.backdoor_causal;
+
+  if (guard != nullptr) {
+    HYPER_RETURN_NOT_OK(guard->ChargeRows(n, "whatif.eval.rows"));
+  }
 
   // The intervention must target the plan's update attributes in order;
   // constants and update functions are free.
@@ -2045,7 +2160,11 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     local_entries[uniform_id] = qs.entries[uniform_id].get();
   }
 
+  LoopCheck pass_a_check(guard);
   for (size_t r = 0; r < n; ++r) {
+    if (pass_a_check.Due()) {
+      HYPER_RETURN_NOT_OK(guard->Check("whatif.eval.rows"));
+    }
     uint32_t id;
     if (uniform) {
       id = uniform_id;
@@ -2078,7 +2197,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       HYPER_ASSIGN_OR_RETURN(
           pat, le.EnsurePattern(e.key, e.is_literal, e.literal_value,
                                 e.exact.has_value() ? &*e.exact : nullptr,
-                                &was_cached, &train_seconds));
+                                &was_cached, &train_seconds, guard));
       pattern_of_entry[id] = pat;
       if (used_patterns.insert(pat).second && was_cached) ++pattern_hits;
     }
@@ -2139,10 +2258,25 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
                                                   {0.0, 0.0});
   std::vector<Status> block_status(block_rows.size());
   auto eval_block = [&](size_t b) -> Status {
+    // Aborts are sticky and monotone, so once any shard trips the guard
+    // every later checking block returns the same typed status; the
+    // block-ordered merge below then surfaces it deterministically. The
+    // entry check is amortized over the block index: ground blocks can be
+    // single rows (one block per tuple), and a full checkpoint per block
+    // would dominate the warm path. Every 64th block keeps the response
+    // latency of a 1-row-block decomposition at ~64 rows while the per-row
+    // LoopCheck below covers the few-large-blocks shape.
+    if (guard != nullptr && (b & 63) == 0) {
+      HYPER_RETURN_NOT_OK(guard->Check("whatif.eval.blocks"));
+    }
+    LoopCheck block_check(guard);
     prob::BlockAccumulator bacc(q.output_agg);
     bacc.BeginBlock();
     std::vector<double> x(batched ? 0 : dims);
     for (size_t r : block_rows[b]) {
+      if (block_check.Due()) {
+        HYPER_RETURN_NOT_OK(guard->Check("whatif.eval.blocks"));
+      }
       const uint32_t id = entry_of_row[r];
       const QueryStageData::Entry& e = *local_entries[id];
       if (e.is_literal && !e.literal_value) continue;  // disqualified
@@ -2246,8 +2380,9 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
 Result<WhatIfResult> WhatIfEngine::Evaluate(
     const PreparedWhatIf& plan, const std::vector<UpdateSpec>& updates) const {
   const size_t threads = ThreadPool::ResolveBudget(options_.num_threads);
+  const ExecGuardPtr guard = GuardFor(options_);
   return EvaluatePrepared(*plan.impl_, updates, threads,
-                          options_.batched_inference);
+                          options_.batched_inference, guard.get());
 }
 
 Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
@@ -2260,16 +2395,30 @@ Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
   }
   if (interventions.empty()) return results;
   const size_t threads = ThreadPool::ResolveBudget(options_.num_threads);
+  // One guard spans the whole batch; a per-item pre-check keeps governance
+  // failures per-item when the caller collects statuses, and the sticky
+  // abort means every item after the trip reports the same typed status.
+  const ExecGuardPtr guard = GuardFor(options_);
   std::vector<Status> item_status(interventions.size());
+  auto eval_item = [&](size_t i, size_t item_threads) {
+    if (guard != nullptr) {
+      Status gs = guard->Check("whatif.eval.batch");
+      if (!gs.ok()) {
+        item_status[i] = std::move(gs);
+        return;
+      }
+    }
+    auto r = EvaluatePrepared(*plan.impl_, interventions[i], item_threads,
+                              options_.batched_inference, guard.get());
+    if (!r.ok()) {
+      item_status[i] = r.status();
+    } else {
+      results[i] = std::move(r).value();
+    }
+  };
   if (threads <= 1 || interventions.size() == 1) {
     for (size_t i = 0; i < interventions.size(); ++i) {
-      auto r = EvaluatePrepared(*plan.impl_, interventions[i], threads,
-                                options_.batched_inference);
-      if (!r.ok()) {
-        item_status[i] = r.status();
-      } else {
-        results[i] = std::move(r).value();
-      }
+      eval_item(i, threads);
     }
   } else {
     // Shard across interventions; each evaluation runs its block loop
@@ -2277,16 +2426,7 @@ Result<std::vector<WhatIfResult>> WhatIfEngine::EvaluateBatch(
     // Every evaluation is deterministic on its own, so results[i] is
     // bit-for-bit identical to a sequential Evaluate(interventions[i]).
     ThreadPool::Shared().ParallelFor(
-        interventions.size(),
-        [&](size_t i) {
-          auto r = EvaluatePrepared(*plan.impl_, interventions[i], 1,
-                                    options_.batched_inference);
-          if (!r.ok()) {
-            item_status[i] = r.status();
-          } else {
-            results[i] = std::move(r).value();
-          }
-        },
+        interventions.size(), [&](size_t i) { eval_item(i, 1); },
         /*max_parallelism=*/threads);
   }
   if (statuses != nullptr) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "causal/graph.h"
+#include "common/governance.h"
 #include "common/status.h"
 #include "learn/estimator.h"
 #include "learn/forest.h"
@@ -164,6 +165,23 @@ struct WhatIfOptions {
   /// cached, kept for A/B benchmarking; answers are bit-for-bit identical
   /// either way (stages are pure functions of their keyed inputs).
   bool staged_prepare = true;
+  // --- resource governance (per-request; never part of any cache key) ---
+  /// Wall-clock / row / byte limits for each engine call. The default
+  /// (all-zero) budget is ungoverned and costs nothing. An abort returns
+  /// kDeadlineExceeded / kResourceExhausted and never stores a partial
+  /// stage or plan in any cache — a retry with a larger budget hits the
+  /// same cache keys and answers bit-identically.
+  QueryBudget budget;
+  /// Cooperative cancellation; detached (default) tokens never cancel.
+  /// Polled at every stage boundary and inside the hot loops; an abort
+  /// returns kCancelled with the same no-partial-entries guarantee.
+  CancelToken cancel_token;
+  /// Pre-armed governance state. When set, Prepare/Evaluate/Run check
+  /// against *this* guard instead of arming a fresh one from
+  /// budget/cancel_token — the scenario service uses it to stretch one
+  /// request deadline across parse + prepare + evaluate. Leave null to let
+  /// each engine entry point arm its own.
+  governance::ExecGuardPtr exec_guard;
 };
 
 struct WhatIfResult {

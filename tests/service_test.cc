@@ -390,6 +390,73 @@ TEST_F(ServiceTest, GetOrPrepareSingleFlightsConcurrentMisses) {
   EXPECT_EQ(1u, prepares.load());
 }
 
+TEST_F(ServiceTest, GetOrPrepareFailurePropagatesToAllWaitersOnce) {
+  const whatif::WhatIfOptions options = EngineOptions(
+      whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
+  whatif::WhatIfEngine engine(&db_, &graph_, options);
+  auto stmt = sql::ParseSql(kQuery);
+  ASSERT_TRUE(stmt.ok());
+
+  // The failure half of the single-flight contract: when the one elected
+  // builder's factory fails, every coalesced waiter receives that same
+  // error (exactly one factory run — the failure is not retried N times),
+  // nothing is stored, and the in-flight slot is cleared so a later call
+  // rebuilds from scratch.
+  PlanCache cache(8);
+  std::atomic<size_t> runs{0};
+  std::atomic<size_t> started{0};
+  auto failing =
+      [&]() -> Result<std::shared_ptr<const whatif::PreparedWhatIf>> {
+    ++runs;
+    // Keep the in-flight slot open so every follower coalesces onto the
+    // doomed build instead of racing past it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return Status::ResourceExhausted("row budget exceeded at test.inject");
+  };
+
+  constexpr size_t kCallers = 8;
+  std::vector<Status> statuses(kCallers);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kCallers; ++t) {
+    workers.emplace_back([&, t] {
+      ++started;
+      while (started.load() < kCallers) std::this_thread::yield();
+      auto plan = cache.GetOrPrepare("key", failing);
+      statuses[t] = plan.ok() ? Status::OK() : plan.status();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // One factory run; every caller saw the same typed error.
+  EXPECT_EQ(1u, runs.load());
+  for (size_t t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(StatusCode::kResourceExhausted, statuses[t].code())
+        << "caller " << t << ": " << statuses[t];
+  }
+
+  // The failure stored nothing: no entry, and the miss ledger still
+  // reconciles (1 miss for the failed leader, the rest coalesced).
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(0u, stats.entries);
+  EXPECT_EQ(nullptr, cache.Get("key"));
+  EXPECT_EQ(1u, stats.misses);
+  EXPECT_EQ(kCallers - 1, stats.coalesced);
+
+  // The in-flight slot was cleared: a retry runs the factory again, and a
+  // now-successful factory populates the cache normally.
+  auto rebuild =
+      [&]() -> Result<std::shared_ptr<const whatif::PreparedWhatIf>> {
+    ++runs;
+    return engine.Prepare(*stmt->whatif);
+  };
+  bool hit = true;
+  auto plan = cache.GetOrPrepare("key", rebuild, &hit);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(2u, runs.load());
+  EXPECT_EQ(1u, cache.stats().entries);
+}
+
 TEST_F(ServiceTest, PutLostRaceCountsCoalesced) {
   const whatif::WhatIfOptions options = EngineOptions(
       whatif::BackdoorMode::kGraph, learn::EstimatorKind::kFrequency);
