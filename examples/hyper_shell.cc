@@ -24,6 +24,7 @@
 //   \budget deadline <sec> | rows <n> | bytes <n> | off | show
 //                         per-request resource budget (0 = unlimited)
 //   \cache stats|clear    shared estimator/plan cache + admission counters
+//   \metrics              full metrics snapshot (the server's /statusz JSON)
 //   \quit
 // Anything else is parsed as a HypeR statement (end with ';' or newline).
 
@@ -35,7 +36,9 @@
 #include "common/strings.h"
 #include "data/datasets.h"
 #include "examples/shell_common.h"
+#include "obs/metrics.h"
 #include "service/scenario_service.h"
+#include "service/service_metrics.h"
 #include "storage/csv.h"
 
 using namespace hyper;
@@ -43,6 +46,9 @@ using namespace hyper;
 namespace {
 
 struct ShellState {
+  /// Declared before the service: the service holds instrument pointers
+  /// into the registry, so the registry must be destroyed last.
+  obs::MetricsRegistry registry;
   std::unique_ptr<service::ScenarioService> service;
   std::string scenario = "main";
   whatif::WhatIfOptions options;  // per-request override, tweakable live
@@ -217,6 +223,11 @@ void RunCommand(ShellState& state, const std::string& line) {
       examples::PrintCacheStats(state.service->cache_stats());
       examples::PrintGovernanceStats(state.service->governance_stats());
     }
+  } else if (cmd == "\\metrics") {
+    // The same JSON document the server exposes on /statusz, so in-process
+    // sessions read exactly what an operator scraping the server would.
+    std::printf("%s\n",
+                service::StatuszJson(*state.service, &state.registry).c_str());
   } else if (cmd == "\\explain" && parts.size() > 1) {
     const std::string query = line.substr(line.find(' ') + 1);
     auto db = state.service->EffectiveDatabase(state.scenario);
@@ -238,7 +249,7 @@ void RunCommand(ShellState& state, const std::string& line) {
         "\\explain <what-if> \\estimator f|t \\mode graph|nb|indep "
         "\\sample <n> \\scenario list|new|use|drop|apply "
         "\\budget deadline|rows|bytes|off|show "
-        "\\cache stats|clear \\quit\n");
+        "\\cache stats|clear \\metrics \\quit\n");
   }
 }
 
@@ -278,6 +289,7 @@ int main(int argc, char** argv) {
   service::ServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.whatif.num_threads = threads;
+  service_options.metrics = &state.registry;
 
   if (!loaded_csv) {
     auto ds = data::MakeByName(dataset, /*scale=*/0.5);

@@ -1,189 +1,204 @@
-// Scenario server demo: the ScenarioService serving a multi-session
-// exploration workload — named scenario branches, a shared estimator/plan
-// cache, and batched what-if evaluation.
+// HypeR scenario server: the ScenarioService behind a real HTTP/JSON
+// front-end (src/net), with metrics (src/obs) and graceful drain.
 //
-//   ./build/scenario_server                       # german-syn-20k, demo script
-//   ./build/scenario_server amazon --threads 4
-//   ./build/scenario_server --stdin               # line protocol:
-//                                                 #   [scenario|]statement
-//   ./build/scenario_server --max-concurrent 2 --max-queued 4
-//                                                 # admission control: at most
-//                                                 # 2 in flight, 4 queued,
-//                                                 # surplus shed (Unavailable)
+//   ./build/scenario_server                        # serve on 127.0.0.1:8080
+//   ./build/scenario_server --port 0               # ephemeral port (printed)
+//   ./build/scenario_server --http-threads 8 --max-concurrent 2 --max-queued 4
+//   ./build/scenario_server --stdin                # line protocol:
+//                                                  #   [scenario|]statement
+//   ./build/scenario_server --demo                 # scripted walkthrough
 //
-// The demo script walks the workload of examples/SCENARIOS.md: branch,
-// apply a hypothetical, compare worlds, sweep interventions as one batch,
-// and show what the cache saved.
+// Every mode funnels through the same net::QueryHandler, so the wire
+// behavior (JSON shapes, error objects, HTTP status mapping) is identical
+// whether a statement arrives over a socket, stdin, or the demo script.
+// SIGTERM/SIGINT drain gracefully: in-flight requests finish, new ones are
+// rejected with 503, then the process exits 0. See examples/SCENARIOS.md
+// for a curl walkthrough of every endpoint.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
 
-#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "data/datasets.h"
-#include "examples/shell_common.h"
+#include "net/listener.h"
+#include "net/query_handler.h"
+#include "obs/metrics.h"
 #include "service/scenario_service.h"
 
 using namespace hyper;
 
 namespace {
 
-void PrintResponse(const std::string& label,
-                   const service::Response& response) {
-  std::printf("-- %s\n", label.c_str());
-  if (!response.ok()) {
-    std::printf("error: %s\n", response.status.ToString().c_str());
-    return;
-  }
-  switch (response.kind) {
-    case service::Response::Kind::kWhatIf:
-      examples::PrintWhatIf(response.whatif);
-      break;
-    case service::Response::Kind::kHowTo:
-      examples::PrintHowTo(response.howto);
-      break;
-    case service::Response::Kind::kSelect:
-      std::printf("%s", response.table.ToString(10).c_str());
-      break;
-    case service::Response::Kind::kNone:
-      break;
-  }
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+void InstallSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
 }
 
-// Line protocol: '[scenario|]statement'. Malformed lines (an empty scenario
-// or a '|' with nothing after it) get a structured one-line diagnostic
-// instead of being silently skipped or fed to the parser as garbage; EOF
-// drains the service gracefully (in-flight work finishes, new work is
-// rejected) and reports the admission/outcome counters.
-int RunStdin(service::ScenarioService& service) {
-  std::printf("reading '[scenario|]statement' lines from stdin\n");
+/// Runs one request through the handler as if it had arrived over HTTP.
+net::HttpResponse Call(net::QueryHandler& handler, const char* method,
+                       const std::string& path, const std::string& body) {
+  net::HttpRequest request;
+  request.method = method;
+  request.target = path;
+  request.version = "HTTP/1.1";
+  request.body = body;
+  net::HttpResponse response;
+  handler.Handle(request, &response);
+  return response;
+}
+
+// Line protocol: '[scenario|]statement'. Every line answers with exactly the
+// JSON object the HTTP path would send — including the structured error
+// object for malformed lines — so scripts can consume stdout uniformly.
+// Diagnostics go to stderr.
+int RunStdin(service::ScenarioService& service, net::QueryHandler& handler) {
+  std::fprintf(stderr, "reading '[scenario|]statement' lines from stdin\n");
   std::string line;
   size_t lineno = 0;
   while (std::getline(std::cin, line)) {
     ++lineno;
     std::string trimmed(Trim(line));
     if (trimmed.empty() || trimmed[0] == '#') continue;
-    service::Request request;
+    std::string scenario = "main";
+    std::string sql = trimmed;
     const size_t bar = trimmed.find('|');
     if (bar != std::string::npos && trimmed.find(' ') > bar) {
       if (bar == 0) {
-        std::printf("error: line %zu: empty scenario before '|'\n", lineno);
+        std::printf("%s\n",
+                    net::ErrorJson(400, "bad_request",
+                                   StrFormat("line %zu: empty scenario "
+                                             "before '|'", lineno))
+                        .c_str());
         continue;
       }
-      request.scenario = std::string(Trim(trimmed.substr(0, bar)));
-      request.sql = std::string(Trim(trimmed.substr(bar + 1)));
-      if (request.sql.empty()) {
-        std::printf("error: line %zu: missing statement after '%s|'\n",
-                    lineno, request.scenario.c_str());
+      scenario = std::string(Trim(trimmed.substr(0, bar)));
+      sql = std::string(Trim(trimmed.substr(bar + 1)));
+      if (sql.empty()) {
+        std::printf("%s\n",
+                    net::ErrorJson(400, "bad_request",
+                                   StrFormat("line %zu: missing statement "
+                                             "after '%s|'", lineno,
+                                             scenario.c_str()))
+                        .c_str());
         continue;
       }
-    } else {
-      request.sql = trimmed;
     }
-    PrintResponse(request.scenario + ": " + request.sql,
-                  service.Submit(request));
+    std::printf("%s\n", handler.HandleLine(scenario, sql).c_str());
+    std::fflush(stdout);
   }
   service.BeginDrain();
   service.AwaitIdle();
-  std::printf("-- eof: drained\n");
-  examples::PrintGovernanceStats(service.governance_stats());
+  std::fprintf(stderr, "eof: drained\n");
   return 0;
 }
 
-int RunDemo(service::ScenarioService& service) {
+// The SCENARIOS.md walkthrough, issued through the handler end to end:
+// branch, apply a hypothetical, compare worlds, sweep interventions as one
+// batch, and read the metrics the workload produced.
+int RunDemo(net::QueryHandler& handler) {
   const std::string query =
       "Use German When Status = 1 Update(Status) = 2 "
       "Output Count(Credit = 1)";
+  auto show = [&](const char* label, const net::HttpResponse& r) {
+    std::printf("-- %s [%d]\n%s\n", label, r.status, r.body.c_str());
+  };
 
-  // 1. The same what-if twice: the second run reuses the prepared plan and
-  //    its trained estimators.
-  PrintResponse("what-if (cold cache)", service.Submit({"main", query, {}}));
-  PrintResponse("what-if (warm cache)", service.Submit({"main", query, {}}));
+  const std::string whatif_body =
+      "{\"scenario\":\"main\",\"sql\":\"" + query + "\"}";
+  show("what-if (cold cache)",
+       Call(handler, "POST", "/v1/whatif", whatif_body));
+  show("what-if (warm cache)",
+       Call(handler, "POST", "/v1/whatif", whatif_body));
 
-  // 2. Branch a scenario and apply a hypothetical: later queries on the
-  //    branch see the post-update world; 'main' is untouched.
-  if (Status s = service.CreateScenario("austerity", "main"); !s.ok()) {
-    std::printf("error: %s\n", s.ToString().c_str());
+  show("create scenario 'austerity'",
+       Call(handler, "POST", "/v1/scenario",
+            "{\"action\":\"create\",\"name\":\"austerity\"}"));
+  show("apply hypothetical to 'austerity'",
+       Call(handler, "POST", "/v1/scenario",
+            "{\"action\":\"apply\",\"scenario\":\"austerity\",\"sql\":"
+            "\"Use German When Savings = 0 Update(Credit) = 0 "
+            "Output Count(*)\"}"));
+  show("same what-if on 'austerity'",
+       Call(handler, "POST", "/v1/whatif",
+            "{\"scenario\":\"austerity\",\"sql\":\"" + query + "\"}"));
+  show("same what-if on 'main' (isolated)",
+       Call(handler, "POST", "/v1/whatif", whatif_body));
+
+  show("intervention sweep (one prepared plan)",
+       Call(handler, "POST", "/v1/whatif/batch",
+            "{\"scenario\":\"main\",\"sql\":\"" + query +
+                "\",\"interventions\":["
+                "[{\"attribute\":\"Status\",\"value\":0}],"
+                "[{\"attribute\":\"Status\",\"value\":1}],"
+                "[{\"attribute\":\"Status\",\"value\":2}],"
+                "[{\"attribute\":\"Status\",\"value\":3}]]}"));
+
+  show("how-to (shared estimators)",
+       Call(handler, "POST", "/v1/howto",
+            "{\"scenario\":\"main\",\"sql\":\"Use German HowToUpdate Status "
+            "ToMaximize Count(Credit = 1)\"}"));
+
+  show("governed what-if (1ms deadline)",
+       Call(handler, "POST", "/v1/howto",
+            "{\"scenario\":\"main\",\"deadline_ms\":1,\"sql\":"
+            "\"Use German HowToUpdate Status ToMaximize "
+            "Count(Credit = 1)\"}"));
+
+  show("scenario list", Call(handler, "GET", "/v1/scenario", ""));
+  show("statusz", Call(handler, "GET", "/statusz", ""));
+  return 0;
+}
+
+int Serve(service::ScenarioService& service, net::QueryHandler& handler,
+          uint16_t port, size_t http_threads) {
+  net::HttpServerOptions options;
+  options.port = port;
+  options.num_threads = http_threads;
+  net::HttpServer server(options);
+  const Status started = server.Start(handler.AsHandler());
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
     return 1;
   }
-  auto updated = service.ApplyHypotheticalSql(
-      "austerity",
-      "Use German When Savings = 0 Update(Credit) = 0 Output Count(*)");
-  if (!updated.ok()) {
-    std::printf("error: %s\n", updated.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("-- applied hypothetical to 'austerity': %zu row(s)\n",
-              *updated);
-  PrintResponse("same what-if on 'austerity'",
-                service.Submit({"austerity", query, {}}));
-  PrintResponse("same what-if on 'main' (isolated)",
-                service.Submit({"main", query, {}}));
+  std::printf("scenario_server listening on %s:%u (%zu http thread(s))\n",
+              options.bind_address.c_str(), unsigned{server.port()},
+              http_threads);
+  std::fflush(stdout);
 
-  // 3. Intervention sweep: N what-ifs over one shared view, evaluated as a
-  //    single batch against one prepared plan.
-  std::vector<std::vector<whatif::UpdateSpec>> interventions;
-  for (int status = 0; status <= 3; ++status) {
-    whatif::UpdateSpec spec;
-    spec.attribute = "Status";
-    spec.func = sql::UpdateFuncKind::kSet;
-    spec.constant = Value::Int(status);
-    interventions.push_back({spec});
-  }
-  Stopwatch batch_timer;
-  auto batch = service.SubmitWhatIfBatch("main", query, interventions);
-  if (!batch.ok()) {
-    std::printf("error: %s\n", batch.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("-- intervention sweep (batch of %zu in %.3fs)\n",
-              batch->size(), batch_timer.ElapsedSeconds());
-  for (size_t i = 0; i < batch->size(); ++i) {
-    const service::WhatIfBatchItem& item = (*batch)[i];
-    if (item.ok()) {
-      std::printf("  Status <- %d: value %.6g\n", static_cast<int>(i),
-                  item.result.value);
-    } else {
-      std::printf("  Status <- %d: %s\n", static_cast<int>(i),
-                  item.status.ToString().c_str());
-    }
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  // 4. A how-to on the warm cache: candidate scoring shares the prepared
-  //    plans the sweep just populated.
-  PrintResponse(
-      "how-to (shared estimators)",
-      service.Submit({"main",
-                      "Use German HowToUpdate Status "
-                      "ToMaximize Count(Credit = 1)",
-                      {}}));
-
-  // 5. Mixed concurrent workload across branches.
-  std::vector<service::Request> mixed;
-  for (int i = 0; i < 4; ++i) {
-    mixed.push_back({i % 2 == 0 ? "main" : "austerity", query, {}});
-  }
-  Stopwatch mixed_timer;
-  std::vector<service::Response> responses = service.SubmitBatch(mixed);
-  size_t ok = 0;
-  for (const service::Response& r : responses) ok += r.ok() ? 1 : 0;
-  std::printf("-- mixed batch: %zu/%zu ok in %.3fs\n", ok, responses.size(),
-              mixed_timer.ElapsedSeconds());
-
-  // 6. Resource governance: the same query under an already-expired
-  //    deadline aborts with a typed status instead of running; the warm
-  //    cache entries it would have used are untouched.
-  service::Request governed{"main", query, {}};
-  governed.budget.deadline_seconds = 1e-9;
-  service::Response bounded = service.Submit(governed);
-  std::printf("-- governed what-if (1ns deadline): %s\n",
-              bounded.ok() ? "ok (?!)" : bounded.status.ToString().c_str());
-
-  examples::PrintCacheStats(service.cache_stats());
-  examples::PrintGovernanceStats(service.governance_stats());
+  // Graceful drain: stop admitting service work first, so requests arriving
+  // during the drain get a clean 503 instead of a dropped connection; once
+  // the last in-flight request finishes, tear the listener down.
+  std::fprintf(stderr, "signal received: draining\n");
+  service.BeginDrain();
+  service.AwaitIdle();
+  server.Stop();
+  const net::HttpServer::Stats stats = server.stats();
+  const service::GovernanceStats gov = service.governance_stats();
+  std::fprintf(stderr,
+               "drained: %llu connection(s), %llu request(s), "
+               "%llu completed, %llu rejected while draining\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.requests_served),
+               static_cast<unsigned long long>(gov.completed),
+               static_cast<unsigned long long>(gov.rejected_draining));
   return 0;
 }
 
@@ -194,7 +209,10 @@ int main(int argc, char** argv) {
   size_t threads = 0;
   size_t max_concurrent = 0;
   size_t max_queued = 0;
+  long port = 8080;
+  size_t http_threads = 4;
   bool use_stdin = false;
+  bool use_demo = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
@@ -203,29 +221,49 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--max-queued") == 0 && i + 1 < argc) {
       max_queued = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--http-threads") == 0 && i + 1 < argc) {
+      http_threads =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--stdin") == 0) {
       use_stdin = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      use_demo = true;
     } else if (argv[i][0] != '-') {
       dataset = argv[i];
     }
   }
-
-  auto ds = data::MakeByName(dataset, /*scale=*/0.25);
-  if (!ds.ok()) {
-    std::printf("%s\n", ds.status().ToString().c_str());
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "--port must be in [0, 65535]\n");
     return 1;
   }
 
+  auto ds = data::MakeByName(dataset, /*scale=*/0.25);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  // The registry outlives the service (the service holds instrument
+  // pointers into it).
+  obs::MetricsRegistry registry;
   service::ServiceOptions options;
   options.whatif.estimator = learn::EstimatorKind::kFrequency;
   options.num_threads = threads;
   options.whatif.num_threads = threads;
   options.max_concurrent_requests = max_concurrent;
   options.max_queued_requests = max_queued;
+  options.metrics = &registry;
   service::ScenarioService service(std::move(ds->db), std::move(ds->graph),
                                    options);
-  std::printf("scenario server: %s, %zu thread(s)\n", dataset.c_str(),
-              threads == 0 ? ThreadPool::DefaultThreads() : threads);
+  net::QueryHandler handler(&service, &registry);
+  std::fprintf(stderr, "scenario server: %s, %zu engine thread(s)\n",
+               dataset.c_str(),
+               threads == 0 ? ThreadPool::DefaultThreads() : threads);
 
-  return use_stdin ? RunStdin(service) : RunDemo(service);
+  if (use_stdin) return RunStdin(service, handler);
+  if (use_demo) return RunDemo(handler);
+  InstallSignalHandlers();
+  return Serve(service, handler, static_cast<uint16_t>(port), http_threads);
 }

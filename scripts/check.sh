@@ -50,7 +50,7 @@ run_sanitizer_leg() {
       && "$PROBE/probe"; then
     rm -rf "$PROBE"
     cmake -B "$SAN_BUILD_DIR" -S . -DHYPER_SANITIZE="$SAN" >/dev/null
-    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test governance_test
+    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test governance_test obs_test net_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -L service
   else
     rm -rf "$PROBE"
@@ -68,5 +68,96 @@ echo "== deadline-stress smoke (randomized tight deadlines) =="
 # serve bit-identical answers — a hang, crash or corruption fails the gate.
 "$BUILD_DIR"/governance_test \
   --gtest_filter='GovernanceTest.RandomTightDeadlinesNeverHangOrCorrupt'
+
+echo "== server smoke (HTTP serving vs in-process reference) =="
+# End-to-end over a real socket: the served what-if must carry the same
+# value bits as the in-process reference (the stdin transport shares the
+# handler, so it IS the in-process path), governance aborts must arrive as
+# their documented HTTP codes, the metrics counters must move, and SIGTERM
+# must drain gracefully — finish the in-flight request, 503 new ones, exit 0.
+SMOKE_Q='Use German When Status = 1 Update(Status) = 2 Output Count(Credit = 1)'
+SMOKE_TMP="$(mktemp -d)"
+smoke_fail() {
+  echo "smoke: $1"
+  [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+  exit 1
+}
+
+printf 'main|%s\n' "$SMOKE_Q" | "$BUILD_DIR"/scenario_server --stdin \
+  > "$SMOKE_TMP/ref.json" 2>/dev/null
+REF_VALUE="$(grep -o '"value":[^,}]*' "$SMOKE_TMP/ref.json" | head -n1)"
+[ -n "$REF_VALUE" ] || smoke_fail "no reference value from --stdin"
+
+"$BUILD_DIR"/scenario_server --port 0 --http-threads 2 \
+  > "$SMOKE_TMP/server.log" 2>"$SMOKE_TMP/server.err" &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 240); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+          "$SMOKE_TMP/server.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || smoke_fail "server died on startup"
+  sleep 0.5
+done
+[ -n "$PORT" ] || smoke_fail "server never reported its port"
+URL="http://127.0.0.1:$PORT"
+BODY="{\"sql\":\"$SMOKE_Q\"}"
+
+COLD="$(curl -sf -X POST "$URL/v1/whatif" -d "$BODY" \
+        | grep -o '"value":[^,}]*')"
+WARM_JSON="$(curl -sf -X POST "$URL/v1/whatif" -d "$BODY")"
+WARM="$(printf '%s' "$WARM_JSON" | grep -o '"value":[^,}]*')"
+[ "$COLD" = "$REF_VALUE" ] && [ "$WARM" = "$REF_VALUE" ] \
+  || smoke_fail "served value diverged: ref=$REF_VALUE cold=$COLD warm=$WARM"
+printf '%s' "$WARM_JSON" | grep -q '"plan_cache_hit":true' \
+  || smoke_fail "warm request missed the plan cache"
+
+BATCH="$(curl -sf -X POST "$URL/v1/whatif/batch" \
+  -d "{\"sql\":\"$SMOKE_Q\",\"interventions\":[[{\"attribute\":\"Status\",\"value\":2}]]}")"
+printf '%s' "$BATCH" | grep -qF "$REF_VALUE" \
+  || smoke_fail "batch item diverged from the single-query reference"
+
+curl -sf -X POST "$URL/v1/scenario" \
+  -d '{"action":"create","name":"smoke"}' >/dev/null \
+  || smoke_fail "scenario create failed"
+curl -sf "$URL/v1/scenario" | grep -q '"smoke"' \
+  || smoke_fail "created scenario missing from the list"
+
+METRICS="$(curl -sf "$URL/metrics")"
+printf '%s\n' "$METRICS" \
+  | grep -q 'hyper_http_requests_total{route="/v1/whatif",code="200"} [1-9]' \
+  || smoke_fail "whatif request counter did not move"
+printf '%s\n' "$METRICS" \
+  | grep -q 'hyper_admission_total{outcome="admitted"} [1-9]' \
+  || smoke_fail "admission counter did not move"
+printf '%s\n' "$METRICS" | grep -q 'hyper_request_seconds_bucket{' \
+  || smoke_fail "latency histogram missing from /metrics"
+
+# Governance over the wire: an exhausted row budget is a 429.
+GOV_CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$URL/v1/whatif" \
+  -d "{\"max_rows\":1,\"sql\":\"$SMOKE_Q\"}")"
+[ "$GOV_CODE" = "429" ] || smoke_fail "row-budget abort served as $GOV_CODE, want 429"
+
+# Graceful drain: park a slow forest request in flight, SIGTERM, then a new
+# request must bounce with 503 while the in-flight one still answers 200.
+curl -s -X POST "$URL/v1/whatif" \
+  -d "{\"estimator\":\"forest\",\"trees\":8192,\"sql\":\"$SMOKE_Q\"}" \
+  -o "$SMOKE_TMP/slow.json" -w '%{http_code}' > "$SMOKE_TMP/slow.code" &
+CURL_PID=$!
+sleep 0.5
+kill -TERM "$SERVER_PID"
+sleep 0.3
+DRAIN_CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$URL/v1/whatif" \
+  -d "$BODY" || true)"
+[ "$DRAIN_CODE" = "503" ] \
+  || smoke_fail "expected 503 while draining, got $DRAIN_CODE"
+wait "$CURL_PID" || true
+[ "$(cat "$SMOKE_TMP/slow.code")" = "200" ] \
+  || smoke_fail "in-flight request was dropped during drain ($(cat "$SMOKE_TMP/slow.code"))"
+SERVER_EXIT=0
+wait "$SERVER_PID" || SERVER_EXIT=$?
+[ "$SERVER_EXIT" = "0" ] || smoke_fail "server exited $SERVER_EXIT after drain"
+rm -rf "$SMOKE_TMP"
+echo "server smoke passed: served value $REF_VALUE bit-equal to reference"
 
 echo "== check passed =="

@@ -1,0 +1,107 @@
+#include "net/connection.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace hyper {
+namespace net {
+
+namespace {
+// Poll quantum: how often the read loop re-checks the stop flag while idle.
+constexpr int kPollQuantumMs = 200;
+}  // namespace
+
+HttpConnection::~HttpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool HttpConnection::WriteAll(const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+HttpConnection::ReadResult HttpConnection::ReadSome() {
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int ready = ::poll(&pfd, 1, kPollQuantumMs);
+  if (ready < 0) {
+    if (errno == EINTR) return ReadResult::kTimeout;
+    return ReadResult::kClosed;
+  }
+  if (ready == 0) return ReadResult::kTimeout;
+  char buf[8192];
+  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n > 0) {
+    parser_.Feed(buf, static_cast<size_t>(n));
+    return ReadResult::kData;
+  }
+  if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return ReadResult::kTimeout;
+  }
+  return ReadResult::kClosed;  // orderly peer close or hard error
+}
+
+HttpConnection::Stats HttpConnection::Serve(const HttpHandler& handler,
+                                            const std::atomic<bool>& stop) {
+  Stats stats;
+  for (;;) {
+    idle_left_ms_ = idle_timeout_ms_;
+    while (parser_.state() == HttpParser::State::kNeedMore) {
+      // A stop with nothing buffered means no request is owed an answer;
+      // mid-request bytes are read to completion so the (draining) service
+      // can reject the request with a proper response instead of a RST.
+      if (stop.load(std::memory_order_relaxed) && !parser_.has_buffered()) {
+        return stats;
+      }
+      switch (ReadSome()) {
+        case ReadResult::kData:
+          idle_left_ms_ = idle_timeout_ms_;
+          break;
+        case ReadResult::kTimeout:
+          idle_left_ms_ -= kPollQuantumMs;
+          if (idle_left_ms_ <= 0) return stats;
+          break;
+        case ReadResult::kClosed:
+          return stats;
+      }
+    }
+
+    if (parser_.state() == HttpParser::State::kError) {
+      ++stats.parse_errors;
+      HttpResponse response;
+      response.status = parser_.error_status();
+      response.body = ErrorJson(parser_.error_status(), parser_.error_code(),
+                                parser_.error_message());
+      const std::string wire = SerializeResponse(response, false);
+      WriteAll(wire.data(), wire.size());
+      return stats;  // framing is unreliable after a parse error: close
+    }
+
+    ++stats.requests;
+    const HttpRequest& request = parser_.request();
+    HttpResponse response;
+    handler(request, &response);
+    const bool keep =
+        request.keep_alive() && !stop.load(std::memory_order_relaxed);
+    const std::string wire = SerializeResponse(response, keep);
+    if (!WriteAll(wire.data(), wire.size())) return stats;
+    if (!keep) return stats;
+    parser_.Reset();  // may surface a pipelined request immediately
+  }
+}
+
+}  // namespace net
+}  // namespace hyper

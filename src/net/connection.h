@@ -1,0 +1,55 @@
+#ifndef HYPER_NET_CONNECTION_H_
+#define HYPER_NET_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/http.h"
+
+namespace hyper {
+namespace net {
+
+/// Drives one accepted socket through its keep-alive lifetime: poll/read,
+/// feed the incremental parser, dispatch complete requests to the handler,
+/// write responses, loop while keep-alive holds. Owns and closes the fd.
+///
+/// Shutdown contract: `stop` is checked between requests and while waiting
+/// for bytes. When it trips with no partial request buffered the connection
+/// closes immediately; a request already in flight (or mid-read) is finished
+/// and answered first — the service layer is draining by then, so new work
+/// gets its 503 body rather than a dropped connection.
+class HttpConnection {
+ public:
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t parse_errors = 0;
+  };
+
+  HttpConnection(int fd, HttpLimits limits, int idle_timeout_ms)
+      : fd_(fd), parser_(limits), idle_timeout_ms_(idle_timeout_ms) {}
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Blocks until the connection is done (peer close, error, idle timeout,
+  /// Connection: close, or stop). Returns per-connection stats.
+  Stats Serve(const HttpHandler& handler, const std::atomic<bool>& stop);
+
+ private:
+  bool WriteAll(const char* data, size_t len);
+  /// Waits up to the poll quantum for readable bytes; returns false on
+  /// timeout budget exhaustion, peer close, or socket error.
+  enum class ReadResult { kData, kTimeout, kClosed };
+  ReadResult ReadSome();
+
+  int fd_;
+  HttpParser parser_;
+  int idle_timeout_ms_;
+  int idle_left_ms_ = 0;
+};
+
+}  // namespace net
+}  // namespace hyper
+
+#endif  // HYPER_NET_CONNECTION_H_

@@ -1,0 +1,241 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace hyper {
+namespace net {
+
+namespace {
+
+std::string ToLowerCopy(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string conn = ToLowerCopy(Header("connection"));
+  if (version == "HTTP/1.0") return conn == "keep-alive";
+  return conn != "close";
+}
+
+std::string HttpRequest::path() const {
+  const size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string_view HttpReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += "HTTP/1.1 " + std::to_string(response.status) + " ";
+  out += HttpReason(response.status);
+  out += "\r\nContent-Type: " + response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  for (const auto& [k, v] : response.headers) {
+    out += "\r\n" + k + ": " + v;
+  }
+  out += "\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string ErrorJson(int http_status, std::string_view code,
+                      std::string_view message) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("error").BeginObject()
+      .Key("code").String(code)
+      .Key("http_status").Int(http_status)
+      .Key("message").String(message)
+      .EndObject()
+      .EndObject();
+  return w.Take();
+}
+
+// --- HttpParser -------------------------------------------------------------
+
+HttpParser::State HttpParser::Feed(const char* data, size_t len) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(data, len);
+  return Advance();
+}
+
+HttpParser::State HttpParser::FailWith(int status, std::string code,
+                                       std::string message) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_code_ = std::move(code);
+  error_message_ = std::move(message);
+  return state_;
+}
+
+HttpParser::State HttpParser::Advance() {
+  if (!head_done_) {
+    const size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return FailWith(431, "header_too_large",
+                        StrFormat("request head exceeds %zu bytes",
+                                  limits_.max_header_bytes));
+      }
+      state_ = State::kNeedMore;
+      return state_;
+    }
+    if (end + 4 > limits_.max_header_bytes) {
+      return FailWith(431, "header_too_large",
+                      StrFormat("request head exceeds %zu bytes",
+                                limits_.max_header_bytes));
+    }
+    if (!ParseHead(std::string_view(buffer_).substr(0, end))) {
+      return state_;  // FailWith already ran
+    }
+    head_done_ = true;
+    consumed_ = end + 4;
+  }
+  const size_t have = buffer_.size() - consumed_;
+  if (have < body_length_) {
+    state_ = State::kNeedMore;
+    return state_;
+  }
+  request_.body = buffer_.substr(consumed_, body_length_);
+  consumed_ += body_length_;
+  state_ = State::kComplete;
+  return state_;
+}
+
+bool HttpParser::ParseHead(std::string_view head) {
+  // Request line: METHOD SP TARGET SP VERSION
+  const size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) {
+    FailWith(400, "bad_request", "malformed request line");
+    return false;
+  }
+  request_ = HttpRequest();
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    FailWith(400, "bad_request", "malformed request line");
+    return false;
+  }
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    FailWith(505, "version_not_supported",
+             "only HTTP/1.0 and HTTP/1.1 are supported");
+    return false;
+  }
+
+  // Header fields.
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view field = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      FailWith(400, "bad_request", "malformed header field");
+      return false;
+    }
+    std::string name = ToLowerCopy(TrimView(field.substr(0, colon)));
+    if (name.find(' ') != std::string::npos) {
+      FailWith(400, "bad_request", "malformed header name");
+      return false;
+    }
+    request_.headers.emplace_back(std::move(name),
+                                  std::string(TrimView(field.substr(colon + 1))));
+  }
+
+  if (!request_.Header("transfer-encoding").empty()) {
+    FailWith(501, "not_implemented", "Transfer-Encoding is not supported");
+    return false;
+  }
+  body_length_ = 0;
+  const std::string_view cl = request_.Header("content-length");
+  if (!cl.empty()) {
+    uint64_t parsed = 0;
+    for (const char c : cl) {
+      if (!std::isdigit(static_cast<unsigned char>(c)) ||
+          parsed > (1ULL << 40)) {
+        FailWith(400, "bad_request", "invalid Content-Length");
+        return false;
+      }
+      parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (parsed > limits_.max_body_bytes) {
+      FailWith(413, "body_too_large",
+               StrFormat("request body exceeds %zu bytes",
+                         limits_.max_body_bytes));
+      return false;
+    }
+    body_length_ = static_cast<size_t>(parsed);
+  }
+  return true;
+}
+
+HttpParser::State HttpParser::Reset() {
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  body_length_ = 0;
+  head_done_ = false;
+  state_ = State::kNeedMore;
+  request_ = HttpRequest();
+  if (!buffer_.empty()) return Advance();  // pipelined bytes already here
+  return state_;
+}
+
+}  // namespace net
+}  // namespace hyper

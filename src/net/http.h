@@ -1,0 +1,121 @@
+#ifndef HYPER_NET_HTTP_H_
+#define HYPER_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hyper {
+namespace net {
+
+/// Wire-level limits enforced by the incremental parser. Requests past
+/// either limit are rejected before any body processing (431 / 413).
+struct HttpLimits {
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 4 * 1024 * 1024;
+};
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET", "POST"
+  std::string target;   // as sent, e.g. "/v1/whatif?pretty"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  /// Header names lowercased at parse time; values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header value for `name` (lowercase); empty when absent.
+  std::string_view Header(std::string_view name) const;
+  /// Keep-alive per HTTP semantics: 1.1 default on unless
+  /// `Connection: close`, 1.0 default off unless `Connection: keep-alive`.
+  bool keep_alive() const;
+  /// `target` with any "?query" suffix removed.
+  std::string path() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  /// Extra headers beyond Content-Type/Content-Length/Connection (those are
+  /// emitted by Serialize).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Standard reason phrase for `status` ("OK", "Too Many Requests", ...).
+std::string_view HttpReason(int status);
+
+/// Renders a full HTTP/1.1 response message. `keep_alive` controls the
+/// Connection header.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// The handler's error body shape, shared by the HTTP path and the stdin
+/// protocol: {"error":{"code":...,"http_status":N,"message":...}}.
+std::string ErrorJson(int http_status, std::string_view code,
+                      std::string_view message);
+
+/// Incremental HTTP/1.1 request parser. Feed() consumes raw bytes across
+/// arbitrary fragmentation; once a full request is buffered the parser
+/// yields kComplete and holds the parsed request. Bytes past the end of the
+/// request (pipelining) stay buffered: Reset() rolls the parser forward to
+/// them.
+///
+/// Scope: Content-Length bodies only. Transfer-Encoding is answered with
+/// 501, unknown HTTP versions with 505, oversized headers/bodies with
+/// 431/413, and anything structurally malformed with 400 — the connection
+/// layer writes the matching error response and closes.
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  enum class State { kNeedMore, kComplete, kError };
+
+  State Feed(const char* data, size_t len);
+
+  /// Valid iff the last Feed returned kComplete.
+  const HttpRequest& request() const { return request_; }
+
+  /// Valid iff the last Feed returned kError.
+  int error_status() const { return error_status_; }
+  const std::string& error_code() const { return error_code_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Prepares for the next request on the same connection: drops the
+  /// consumed bytes and immediately re-parses any pipelined leftover (so the
+  /// caller must check state() again after Reset).
+  State Reset();
+
+  State state() const { return state_; }
+
+  /// True when unconsumed bytes are buffered (a partial or pipelined
+  /// request) — the connection should finish reading before closing.
+  bool has_buffered() const { return buffer_.size() > consumed_; }
+
+ private:
+  State Advance();
+  State FailWith(int status, std::string code, std::string message);
+  bool ParseHead(std::string_view head);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // bytes of buffer_ belonging to the parsed request
+  size_t body_length_ = 0;
+  bool head_done_ = false;
+  State state_ = State::kNeedMore;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_code_;
+  std::string error_message_;
+};
+
+/// A request handler: fill in `response` for `request`. Runs on a server
+/// worker thread; must be thread-safe.
+using HttpHandler = std::function<void(const HttpRequest&, HttpResponse*)>;
+
+}  // namespace net
+}  // namespace hyper
+
+#endif  // HYPER_NET_HTTP_H_

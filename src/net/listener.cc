@@ -1,0 +1,149 @@
+#include "net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+#include "net/connection.h"
+
+namespace hyper {
+namespace net {
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_threads == 0) options_.num_threads = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(HttpHandler handler) {
+  if (started_) return Status::FailedPrecondition("server already started");
+  handler_ = std::move(handler);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument(
+        StrFormat("invalid bind address '%s'", options_.bind_address.c_str()));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrFormat("bind(%s:%u): %s",
+                                      options_.bind_address.c_str(),
+                                      unsigned{options_.port}, err.c_str()));
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrFormat("listen(): %s", err.c_str()));
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  stopping_.store(false);
+  started_ = true;
+  accept_thread_ = std::thread(&HttpServer::AcceptLoop, this);
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back(&HttpServer::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true);
+  // Unblock accept(): shutdown() wakes a blocked accept on Linux; close()
+  // finishes the job.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Drop connections that were accepted but never picked up.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (errno == ECONNABORTED) continue;
+      break;  // listen socket is gone
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(fd);
+    }
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return !pending_.empty() || stopping_.load(std::memory_order_relaxed);
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    HttpConnection connection(fd, options_.limits, options_.idle_timeout_ms);
+    const HttpConnection::Stats stats = connection.Serve(handler_, stopping_);
+    requests_served_.fetch_add(stats.requests, std::memory_order_relaxed);
+    parse_errors_.fetch_add(stats.parse_errors, std::memory_order_relaxed);
+  }
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.requests_served = requests_served_.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace net
+}  // namespace hyper

@@ -1,0 +1,87 @@
+#ifndef HYPER_NET_LISTENER_H_
+#define HYPER_NET_LISTENER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace hyper {
+namespace net {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; read the result from port().
+  uint16_t port = 8080;
+  size_t num_threads = 4;
+  HttpLimits limits;
+  int idle_timeout_ms = 30000;
+  int backlog = 128;
+};
+
+/// Blocking-socket HTTP server: one accept thread feeds a bounded-by-nothing
+/// fd queue drained by `num_threads` workers, each of which owns one
+/// connection for its whole keep-alive lifetime. Dependency-free (POSIX
+/// sockets + std::thread); suitable for the query volumes a scenario
+/// service sees, not for slowloris-grade fan-in.
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spins up the accept + worker threads. The handler
+  /// runs on worker threads and must be thread-safe.
+  Status Start(HttpHandler handler);
+
+  /// Stops accepting, closes the listen socket, and joins every thread.
+  /// Connections mid-request finish their current response first (see
+  /// HttpConnection's stop contract). Idempotent.
+  void Stop();
+
+  /// The bound port (resolves ephemeral requests after Start).
+  uint16_t port() const { return port_; }
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t requests_served = 0;
+    uint64_t parse_errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+
+  HttpServerOptions options_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+};
+
+}  // namespace net
+}  // namespace hyper
+
+#endif  // HYPER_NET_LISTENER_H_

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "relational/compiled.h"
 #include "relational/select.h"
+#include "service/service_metrics.h"
 #include "sql/parser.h"
 
 namespace hyper::service {
@@ -17,6 +18,9 @@ ScenarioService::ScenarioService(Database base, ServiceOptions options)
       cache_(options.plan_cache_capacity) {
   branches_.emplace("main", BranchState{ScenarioBranch("main", ""),
                                         next_branch_id_++, ~0ULL, nullptr});
+  if (options_.metrics != nullptr) {
+    instruments_ = std::make_unique<ServiceInstruments>(options_.metrics);
+  }
 }
 
 ScenarioService::ScenarioService(Database base, causal::CausalGraph graph,
@@ -28,7 +32,12 @@ ScenarioService::ScenarioService(Database base, causal::CausalGraph graph,
       cache_(options.plan_cache_capacity) {
   branches_.emplace("main", BranchState{ScenarioBranch("main", ""),
                                         next_branch_id_++, ~0ULL, nullptr});
+  if (options_.metrics != nullptr) {
+    instruments_ = std::make_unique<ServiceInstruments>(options_.metrics);
+  }
 }
+
+ScenarioService::~ScenarioService() = default;
 
 Status ScenarioService::CreateScenario(const std::string& name,
                                        const std::string& parent) {
@@ -539,22 +548,32 @@ Response ScenarioService::GovernedDispatch(const Request& request,
                                            const World& world) {
   governance::ExecGuardPtr guard =
       governance::ExecGuard::Arm(request.budget, request.cancel_token);
-  if (guard == nullptr) return Dispatch(request, world);
-  // Inject the armed guard through the per-request what-if options: the
-  // what-if engine, the how-to engine's scoring pass and the row fallback
-  // all pick it up instead of arming their own, so one deadline spans the
-  // whole request. Plan-cache keys are built from named option fields and
-  // never include governance state, so a governed request hits exactly the
-  // entries an ungoverned one would.
-  Request governed = request;
-  whatif::WhatIfOptions opts = request.whatif_options.has_value()
-                                   ? *request.whatif_options
-                                   : options_.whatif;
-  opts.budget = request.budget;
-  opts.cancel_token = request.cancel_token;
-  opts.exec_guard = std::move(guard);
-  governed.whatif_options = std::move(opts);
-  return Dispatch(governed, world);
+  Stopwatch timer;
+  Response response;
+  if (guard == nullptr) {
+    response = Dispatch(request, world);
+  } else {
+    // Inject the armed guard through the per-request what-if options: the
+    // what-if engine, the how-to engine's scoring pass and the row fallback
+    // all pick it up instead of arming their own, so one deadline spans the
+    // whole request. Plan-cache keys are built from named option fields and
+    // never include governance state, so a governed request hits exactly the
+    // entries an ungoverned one would.
+    Request governed = request;
+    whatif::WhatIfOptions opts = request.whatif_options.has_value()
+                                     ? *request.whatif_options
+                                     : options_.whatif;
+    opts.budget = request.budget;
+    opts.cancel_token = request.cancel_token;
+    opts.exec_guard = guard;
+    governed.whatif_options = std::move(opts);
+    response = Dispatch(governed, world);
+  }
+  if (instruments_ != nullptr) {
+    instruments_->RecordRequest(response, guard.get(),
+                                timer.ElapsedSeconds());
+  }
+  return response;
 }
 
 Response ScenarioService::Submit(const Request& request) {
@@ -620,8 +639,13 @@ Result<std::vector<WhatIfBatchItem>> ScenarioService::SubmitWhatIfBatch(
   // The whole sweep is one admitted request: it shares a plan and runs as
   // one unit of service work, however many interventions it carries.
   HYPER_RETURN_NOT_OK(Admit());
+  Stopwatch timer;
   auto result = DoSubmitWhatIfBatch(scenario, base_whatif_sql, interventions);
   Release(result.ok() ? Status::OK() : result.status());
+  if (instruments_ != nullptr) {
+    instruments_->RecordBatch(result.ok() ? Status::OK() : result.status(),
+                              interventions.size(), timer.ElapsedSeconds());
+  }
   return result;
 }
 

@@ -20,7 +20,15 @@
 #include "storage/database.h"
 #include "whatif/engine.h"
 
+namespace hyper::obs {
+class MetricsRegistry;
+}  // namespace hyper::obs
+
 namespace hyper::service {
+
+/// Pre-resolved instrument handles (defined in service_metrics.h); owned by
+/// the service when a registry is wired, absent otherwise.
+struct ServiceInstruments;
 
 struct ServiceOptions {
   /// Default estimation options for what-if (and the what-if legs of
@@ -45,6 +53,10 @@ struct ServiceOptions {
   /// queue, shed as soon as every slot is busy). Queue wait does not count
   /// against a request's deadline — the budget arms at execution start.
   size_t max_queued_requests = 0;
+  /// Observability: when set (not owned; must outlive the service), every
+  /// dispatched request is folded into latency histograms and outcome
+  /// counters (see service_metrics.h). Null = no instrumentation cost.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One request against a scenario branch. The statement kind (what-if /
@@ -131,6 +143,7 @@ class ScenarioService {
   explicit ScenarioService(Database base, ServiceOptions options = {});
   ScenarioService(Database base, causal::CausalGraph graph,
                   ServiceOptions options = {});
+  ~ScenarioService();  // out-of-line: ServiceInstruments is incomplete here
 
   // --- scenario branches -------------------------------------------------
 
@@ -291,6 +304,8 @@ class ScenarioService {
   std::map<std::string, BranchState> branches_;
   ServiceOptions options_;
   PlanCache cache_;
+  /// Metrics handles, present iff options_.metrics was set.
+  std::unique_ptr<ServiceInstruments> instruments_;
 
   /// Admission-control state, on its own lock (never held together with
   /// mu_, and never across a dispatch — only around counter/slot updates
