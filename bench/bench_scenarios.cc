@@ -19,9 +19,13 @@
 //   5. branch_fanout         — chained branch deltas, cold vs staged reuse.
 //   6. governance_overhead   — warm what-if with a generous budget armed vs
 //                              ungoverned; gated within 2%.
+//   7. durability_recovery   — journaled applies vs in-memory applies, then
+//                              a crash (no snapshot, no drain) and the WAL
+//                              replay time to a bit-identical service.
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -521,6 +525,110 @@ int main(int argc, char** argv) {
                {"overhead", gov_overhead},
                {"within_2pct", gov_overhead <= 0.02 ? 1.0 : 0.0},
                {"equal", g_mismatches == 0 ? 1.0 : 0.0}});
+
+  // -------------------------------------------------------------------
+  Banner("7. durability: WAL append overhead + crash-recovery time");
+  // Same mutation traffic twice — once in-memory, once journaled — then a
+  // simulated crash (service destroyed with no snapshot and no drain; only
+  // the WAL survives) and a timed recovery that must land on bit-identical
+  // branch fingerprints and answers.
+  char dur_template[] = "/tmp/hyper_bench_dur_XXXXXX";
+  const char* dur_dir = ::mkdtemp(dur_template);
+  if (dur_dir == nullptr) {
+    std::fprintf(stderr, "[bench_scenarios] cannot create durability dir\n");
+    return 1;
+  }
+  const size_t dur_n = smoke ? 8 : 64;
+  const auto apply_traffic = [&](service::ScenarioService& s) {
+    CheckOk(s.CreateScenario("durable"), "create durable branch");
+    for (size_t i = 0; i < dur_n; ++i) {
+      const std::string sql =
+          "Use German When Status = " + std::to_string(i % 3) +
+          " Update(Savings) = " + std::to_string(i % 5) + " Output Count(*)";
+      CheckOk(s.ApplyHypotheticalSql("durable", sql).status(),
+              "durable apply");
+    }
+  };
+
+  Stopwatch dur_timer;
+  service::ServiceOptions mem_options = service_options;
+  double mem_apply_seconds = 0.0;
+  {
+    service::ScenarioService mem_service(ds.db, ds.graph, mem_options);
+    dur_timer.Restart();
+    apply_traffic(mem_service);
+    mem_apply_seconds = dur_timer.ElapsedSeconds();
+  }
+
+  service::ServiceOptions dur_options = service_options;
+  dur_options.data_dir = dur_dir;
+  dur_options.snapshot_every_records = 0;  // force a full-WAL replay below
+  std::vector<service::ScenarioInfo> dur_live_infos;
+  double dur_apply_seconds = 0.0;
+  double dur_live_value = 0.0;
+  uint64_t dur_wal_bytes = 0;
+  {
+    service::ScenarioService dur_service(ds.db, ds.graph, dur_options);
+    CheckOk(dur_service.recovery_status(), "durable service construction");
+    dur_timer.Restart();
+    apply_traffic(dur_service);
+    dur_apply_seconds = dur_timer.ElapsedSeconds();
+    dur_live_infos = dur_service.ListScenarios();
+    dur_wal_bytes = dur_service.wal_stats().appended_bytes;
+    service::Response live = dur_service.Submit({"durable", query, {}});
+    CheckOk(live.status, "durable live submit");
+    dur_live_value = live.whatif.value;
+  }  // crash: no snapshot, no drain
+
+  dur_timer.Restart();
+  service::ScenarioService recovered(ds.db, ds.graph, dur_options);
+  const double recovery_wall = dur_timer.ElapsedSeconds();
+  CheckOk(recovered.recovery_status(), "recovery");
+  const double recovery_seconds = recovered.recovery_info().seconds;
+  const auto recovered_infos = recovered.ListScenarios();
+  if (recovered_infos.size() != dur_live_infos.size()) {
+    std::fprintf(stderr, "[bench_scenarios] MISMATCH recovered %zu branches, "
+                 "want %zu\n", recovered_infos.size(), dur_live_infos.size());
+    ++g_mismatches;
+  } else {
+    for (size_t i = 0; i < recovered_infos.size(); ++i) {
+      if (recovered_infos[i].delta_fingerprint !=
+          dur_live_infos[i].delta_fingerprint) {
+        std::fprintf(stderr,
+                     "[bench_scenarios] MISMATCH fingerprint of '%s' after "
+                     "recovery\n", recovered_infos[i].name.c_str());
+        ++g_mismatches;
+      }
+    }
+  }
+  service::Response replayed = recovered.Submit({"durable", query, {}});
+  CheckOk(replayed.status, "recovered submit");
+  CheckEqual(dur_live_value, replayed.whatif.value, "recovered what-if");
+
+  const uint64_t dur_records = recovered.recovery_info().records_replayed;
+  TablePrinter t7({"measurement", "value"});
+  t7.PrintHeader();
+  t7.PrintRow({"applies in-memory", Fmt(mem_apply_seconds)});
+  t7.PrintRow({"applies journaled (fsync=interval)", Fmt(dur_apply_seconds)});
+  t7.PrintRow({"wal bytes", std::to_string(dur_wal_bytes)});
+  t7.PrintRow({"recovery (replay " + std::to_string(dur_records) +
+                   " records)",
+               Fmt(recovery_seconds)});
+  json.Record(
+      "durability_recovery",
+      {{"records", static_cast<double>(dur_records)},
+       {"wal_bytes", static_cast<double>(dur_wal_bytes)},
+       {"mem_apply_seconds", mem_apply_seconds},
+       {"durable_apply_seconds", dur_apply_seconds},
+       {"recovery_seconds", recovery_seconds},
+       {"recovery_wall_seconds", recovery_wall},
+       {"records_per_second",
+        recovery_seconds > 0.0 ? static_cast<double>(dur_records) /
+                                     recovery_seconds
+                               : 0.0},
+       {"equal", g_mismatches == 0 ? 1.0 : 0.0}});
+  [[maybe_unused]] const int dur_rc =
+      std::system(("rm -rf '" + std::string(dur_dir) + "'").c_str());
 
   if (g_mismatches > 0) {
     std::fprintf(stderr,

@@ -25,6 +25,7 @@
 //                         per-request resource budget (0 = unlimited)
 //   \cache stats|clear    shared estimator/plan cache + admission counters
 //   \metrics              full metrics snapshot (the server's /statusz JSON)
+//   \wal stats            durability state (needs --data-dir <dir>)
 //   \quit
 // Anything else is parsed as a HypeR statement (end with ';' or newline).
 
@@ -35,6 +36,7 @@
 
 #include "common/strings.h"
 #include "data/datasets.h"
+#include "durability/manager.h"
 #include "examples/shell_common.h"
 #include "obs/metrics.h"
 #include "service/scenario_service.h"
@@ -228,6 +230,35 @@ void RunCommand(ShellState& state, const std::string& line) {
     // sessions read exactly what an operator scraping the server would.
     std::printf("%s\n",
                 service::StatuszJson(*state.service, &state.registry).c_str());
+  } else if (cmd == "\\wal") {
+    const durability::WalStats w = state.service->wal_stats();
+    if (!w.enabled) {
+      std::printf("durability off (start with --data-dir <dir>)\n");
+      return;
+    }
+    std::printf("wal: %s (fsync=%s)\n", w.dir.c_str(), w.fsync_policy);
+    std::printf("  last lsn %llu, %llu append(s) / %llu byte(s), "
+                "%llu fsync(s), %zu segment(s)\n",
+                static_cast<unsigned long long>(w.last_lsn),
+                static_cast<unsigned long long>(w.appends),
+                static_cast<unsigned long long>(w.appended_bytes),
+                static_cast<unsigned long long>(w.fsyncs), w.segments);
+    std::printf("  snapshots: %llu written, last at lsn %llu, "
+                "%llu record(s) since\n",
+                static_cast<unsigned long long>(w.snapshots_written),
+                static_cast<unsigned long long>(w.last_snapshot_lsn),
+                static_cast<unsigned long long>(w.records_since_snapshot));
+    const durability::RecoveryInfo& rec = w.recovery;
+    if (rec.performed) {
+      std::printf("  recovery: %llu replayed, %llu skipped, %.3fs%s%s\n",
+                  static_cast<unsigned long long>(rec.records_replayed),
+                  static_cast<unsigned long long>(rec.records_skipped),
+                  rec.seconds,
+                  rec.snapshot_loaded ? ", from snapshot" : "",
+                  rec.tail_truncated ? ", torn tail truncated" : "");
+    } else {
+      std::printf("  recovery: fresh data dir (nothing to replay)\n");
+    }
   } else if (cmd == "\\explain" && parts.size() > 1) {
     const std::string query = line.substr(line.find(' ') + 1);
     auto db = state.service->EffectiveDatabase(state.scenario);
@@ -249,7 +280,7 @@ void RunCommand(ShellState& state, const std::string& line) {
         "\\explain <what-if> \\estimator f|t \\mode graph|nb|indep "
         "\\sample <n> \\scenario list|new|use|drop|apply "
         "\\budget deadline|rows|bytes|off|show "
-        "\\cache stats|clear \\metrics \\quit\n");
+        "\\cache stats|clear \\metrics \\wal stats \\quit\n");
   }
 }
 
@@ -261,6 +292,7 @@ int main(int argc, char** argv) {
 
   std::string dataset = "german-syn-20k";
   size_t threads = 0;
+  std::string data_dir;
   Database csv_db;
   bool loaded_csv = false;
   for (int i = 1; i < argc; ++i) {
@@ -281,6 +313,8 @@ int main(int argc, char** argv) {
       loaded_csv = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
     } else if (argv[i][0] != '-') {
       dataset = argv[i];
     }
@@ -290,6 +324,7 @@ int main(int argc, char** argv) {
   service_options.num_threads = threads;
   service_options.whatif.num_threads = threads;
   service_options.metrics = &state.registry;
+  service_options.data_dir = data_dir;
 
   if (!loaded_csv) {
     auto ds = data::MakeByName(dataset, /*scale=*/0.5);
@@ -310,6 +345,19 @@ int main(int argc, char** argv) {
                 "no-background mode)\n");
   }
   state.options.num_threads = threads;
+
+  if (!state.service->recovery_status().ok()) {
+    std::printf("recovery failed: %s\n",
+                state.service->recovery_status().ToString().c_str());
+    return 1;
+  }
+  if (state.service->durable()) {
+    const durability::RecoveryInfo& rec = state.service->recovery_info();
+    std::printf("durable sessions: %s (%llu record(s) replayed in %.3fs)\n",
+                data_dir.c_str(),
+                static_cast<unsigned long long>(rec.records_replayed),
+                rec.seconds);
+  }
 
   std::printf("HypeR shell. \\quit to exit, \\help for commands.\n");
   std::string line;

@@ -7,6 +7,9 @@
 //   ./build/scenario_server --stdin                # line protocol:
 //                                                  #   [scenario|]statement
 //   ./build/scenario_server --demo                 # scripted walkthrough
+//   ./build/scenario_server --data-dir /var/hyper  # durable sessions (WAL +
+//                                                  # snapshots; recovers on
+//                                                  # restart) --fsync always
 //
 // Every mode funnels through the same net::QueryHandler, so the wire
 // behavior (JSON shapes, error objects, HTTP status mapping) is identical
@@ -26,6 +29,7 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "data/datasets.h"
+#include "durability/manager.h"
 #include "net/listener.h"
 #include "net/query_handler.h"
 #include "obs/metrics.h"
@@ -45,6 +49,20 @@ void InstallSignalHandlers() {
   sa.sa_handler = HandleSignal;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Final snapshot on clean shutdown: the next start recovers from the
+/// snapshot alone instead of replaying the whole log. Failure is non-fatal —
+/// the WAL already holds everything the snapshot would.
+void FinalSnapshot(service::ScenarioService& service) {
+  if (!service.durable()) return;
+  const Status s = service.SnapshotNow();
+  if (!s.ok()) {
+    std::fprintf(stderr, "final snapshot failed (WAL remains authoritative): "
+                 "%s\n", s.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "final snapshot written\n");
+  }
 }
 
 /// Runs one request through the handler as if it had arrived over HTTP.
@@ -101,6 +119,7 @@ int RunStdin(service::ScenarioService& service, net::QueryHandler& handler) {
   }
   service.BeginDrain();
   service.AwaitIdle();
+  FinalSnapshot(service);
   std::fprintf(stderr, "eof: drained\n");
   return 0;
 }
@@ -189,6 +208,7 @@ int Serve(service::ScenarioService& service, net::QueryHandler& handler,
   std::fprintf(stderr, "signal received: draining\n");
   service.BeginDrain();
   service.AwaitIdle();
+  FinalSnapshot(service);
   server.Stop();
   const net::HttpServer::Stats stats = server.stats();
   const service::GovernanceStats gov = service.governance_stats();
@@ -213,6 +233,9 @@ int main(int argc, char** argv) {
   size_t http_threads = 4;
   bool use_stdin = false;
   bool use_demo = false;
+  std::string data_dir;
+  durability::FsyncPolicy fsync = durability::FsyncPolicy::kInterval;
+  uint64_t snapshot_every = 256;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
@@ -226,6 +249,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--http-threads") == 0 && i + 1 < argc) {
       http_threads =
           static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
+      auto parsed = durability::ParseFsyncPolicy(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      fsync = parsed.value();
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
+      snapshot_every = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--stdin") == 0) {
       use_stdin = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
@@ -255,8 +289,31 @@ int main(int argc, char** argv) {
   options.max_concurrent_requests = max_concurrent;
   options.max_queued_requests = max_queued;
   options.metrics = &registry;
+  options.data_dir = data_dir;
+  options.wal_fsync = fsync;
+  options.snapshot_every_records = snapshot_every;
   service::ScenarioService service(std::move(ds->db), std::move(ds->graph),
                                    options);
+  // A durable service that failed recovery refuses every state-changing op
+  // with the recovery error; a server in that state is useless (and the
+  // operator should know immediately), so fail fast.
+  if (!service.recovery_status().ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 service.recovery_status().ToString().c_str());
+    return 1;
+  }
+  if (service.durable()) {
+    const durability::RecoveryInfo& rec = service.recovery_info();
+    std::fprintf(
+        stderr,
+        "durable sessions: %s (fsync=%s); recovered %llu record(s) in %.3fs"
+        "%s%s, snapshot %s\n",
+        data_dir.c_str(), durability::FsyncPolicyName(fsync),
+        static_cast<unsigned long long>(rec.records_replayed), rec.seconds,
+        rec.tail_truncated ? ", torn tail truncated" : "",
+        rec.records_skipped != 0 ? ", duplicates skipped" : "",
+        rec.snapshot_loaded ? rec.snapshot_path.c_str() : "(none)");
+  }
   net::QueryHandler handler(&service, &registry);
   std::fprintf(stderr, "scenario server: %s, %zu engine thread(s)\n",
                dataset.c_str(),

@@ -50,7 +50,7 @@ run_sanitizer_leg() {
       && "$PROBE/probe"; then
     rm -rf "$PROBE"
     cmake -B "$SAN_BUILD_DIR" -S . -DHYPER_SANITIZE="$SAN" >/dev/null
-    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test governance_test obs_test net_test
+    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test governance_test obs_test net_test durability_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -L service
   else
     rm -rf "$PROBE"
@@ -159,5 +159,89 @@ wait "$SERVER_PID" || SERVER_EXIT=$?
 [ "$SERVER_EXIT" = "0" ] || smoke_fail "server exited $SERVER_EXIT after drain"
 rm -rf "$SMOKE_TMP"
 echo "server smoke passed: served value $REF_VALUE bit-equal to reference"
+
+echo "== crash-recovery smoke (kill -9 mid-traffic, byte-identical answers) =="
+# The durability acceptance gate, end to end over a real socket: mutate
+# scenario state on a durable server, kill it with SIGKILL (no drain, no
+# final snapshot — only the WAL survives), restart on the same data dir, and
+# byte-diff the recovered answers and branch delta fingerprints against both
+# the pre-crash server and a never-crashed in-memory reference.
+DUR_TMP="$(mktemp -d)"
+dur_fail() {
+  echo "crash smoke: $1"
+  [ -n "${DUR_PID:-}" ] && kill -9 "$DUR_PID" 2>/dev/null || true
+  exit 1
+}
+# Starts a scenario_server ($1: extra args) and sets DUR_PID/DUR_URL.
+dur_start() {
+  : > "$DUR_TMP/server.log"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR"/scenario_server --port 0 --http-threads 2 $1 \
+    > "$DUR_TMP/server.log" 2>"$DUR_TMP/server.err" &
+  DUR_PID=$!
+  local PORT=""
+  for _ in $(seq 1 240); do
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+            "$DUR_TMP/server.log")"
+    [ -n "$PORT" ] && break
+    kill -0 "$DUR_PID" 2>/dev/null \
+      || dur_fail "server died on startup: $(cat "$DUR_TMP/server.err")"
+    sleep 0.5
+  done
+  [ -n "$PORT" ] || dur_fail "server never reported its port"
+  DUR_URL="http://127.0.0.1:$PORT"
+}
+# Same mutation traffic against whichever server is up: branch, two applies,
+# one apply on main.
+dur_mutate() {
+  curl -sf -X POST "$DUR_URL/v1/scenario" \
+    -d '{"action":"create","name":"crashy"}' >/dev/null \
+    || dur_fail "create failed"
+  curl -sf -X POST "$DUR_URL/v1/scenario" \
+    -d '{"action":"apply","scenario":"crashy","sql":"Use German When Savings = 0 Update(Credit) = 0 Output Count(*)"}' >/dev/null \
+    || dur_fail "apply failed"
+  curl -sf -X POST "$DUR_URL/v1/scenario" \
+    -d '{"action":"apply","scenario":"main","sql":"Use German When Age = 1 Update(Savings) = 2 Output Count(*)"}' >/dev/null \
+    || dur_fail "apply to main failed"
+}
+# Captures what must survive the crash: every branch's delta fingerprint and
+# the what-if answer bytes on both branches.
+dur_observe() {
+  {
+    curl -sf "$DUR_URL/v1/scenario" \
+      | grep -o '"name":"[^"]*"\|"delta_fingerprint":"[^"]*"'
+    curl -sf -X POST "$DUR_URL/v1/whatif" -d "$BODY" \
+      | grep -o '"value":[^,}]*'
+    curl -sf -X POST "$DUR_URL/v1/whatif" \
+      -d "{\"scenario\":\"crashy\",\"sql\":\"$SMOKE_Q\"}" \
+      | grep -o '"value":[^,}]*'
+  } > "$1"
+  [ -s "$1" ] || dur_fail "no observations captured into $1"
+}
+
+dur_start "--data-dir $DUR_TMP/data --fsync always"
+dur_mutate
+dur_observe "$DUR_TMP/before.txt"
+kill -9 "$DUR_PID"
+wait "$DUR_PID" 2>/dev/null || true
+
+dur_start "--data-dir $DUR_TMP/data --fsync always"
+grep -q "recovered" "$DUR_TMP/server.err" \
+  || dur_fail "restarted server did not report recovery"
+dur_observe "$DUR_TMP/after.txt"
+kill -TERM "$DUR_PID"; wait "$DUR_PID" || dur_fail "recovered server exited non-zero"
+diff "$DUR_TMP/before.txt" "$DUR_TMP/after.txt" \
+  || dur_fail "post-recovery answers/fingerprints diverged from pre-crash"
+
+# A server that never crashed and never journaled must agree too.
+dur_start ""
+dur_mutate
+dur_observe "$DUR_TMP/reference.txt"
+kill -TERM "$DUR_PID"; wait "$DUR_PID" || true
+diff <(grep '"value"' "$DUR_TMP/before.txt") \
+     <(grep '"value"' "$DUR_TMP/reference.txt") \
+  || dur_fail "durable answers diverged from the in-memory reference"
+rm -rf "$DUR_TMP"
+echo "crash smoke passed: recovered answers byte-identical to pre-crash"
 
 echo "== check passed =="

@@ -1,0 +1,22 @@
+#ifndef HYPER_COMMON_CRC32_H_
+#define HYPER_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyper {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) — the checksum
+/// guarding every WAL record and snapshot file in src/durability/. Software
+/// table implementation; record sizes are small (one hypothetical delta per
+/// record), so a byte-at-a-time table walk is never the bottleneck next to
+/// the write() + fsync it protects.
+///
+/// Incremental use: pass the previous return value as `seed` to extend a
+/// checksum over multiple buffers. The empty-buffer CRC with seed 0 is 0;
+/// the standard check value Crc32c("123456789", 9) == 0xE3069283.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace hyper
+
+#endif  // HYPER_COMMON_CRC32_H_

@@ -32,6 +32,13 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kUnavailable,
+  // Durable-state taxonomy (see src/durability/): unrecoverable corruption
+  // detected in a WAL segment or snapshot — a checksum mismatch mid-log, a
+  // replay divergence, a missing log prefix. Distinct from
+  // kFailedPrecondition (the data dir is intact but belongs to a different
+  // dataset) so operators can tell "restore from backup" from "point the
+  // server at the right data".
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -85,6 +92,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

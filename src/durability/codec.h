@@ -1,0 +1,146 @@
+#ifndef HYPER_DURABILITY_CODEC_H_
+#define HYPER_DURABILITY_CODEC_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace hyper::durability {
+
+/// Little-endian binary codec for WAL payloads and snapshots. The contract
+/// that matters is bit-exactness: a Value must decode to something whose
+/// Value::Hash() equals the original's, because branch delta fingerprints
+/// are FNV mixes over those hashes and recovery is verified fingerprint by
+/// fingerprint. Doubles therefore travel as their raw 8-byte image (never
+/// through text), and integers as fixed-width little-endian words.
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  void Val(const Value& v) {
+    U8(static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull: break;
+      case ValueType::kBool: U8(v.bool_value() ? 1 : 0); break;
+      case ValueType::kInt: U64(static_cast<uint64_t>(v.int_value())); break;
+      case ValueType::kDouble: F64(v.double_value()); break;
+      case ValueType::kString: Str(v.string_value()); break;
+    }
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over an immutable buffer. Every accessor returns a
+/// Status-bearing Result so a truncated or garbage payload surfaces as a
+/// typed decode error instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> U8() {
+    if (remaining() < 1) return Truncated("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> U32() {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> F64() {
+    HYPER_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    return std::bit_cast<double>(bits);
+  }
+
+  Result<std::string> Str() {
+    HYPER_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (remaining() < len) return Truncated("string body");
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  Result<Value> Val() {
+    HYPER_ASSIGN_OR_RETURN(uint8_t tag, U8());
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        return Value::Null();
+      case ValueType::kBool: {
+        HYPER_ASSIGN_OR_RETURN(uint8_t b, U8());
+        return Value::Bool(b != 0);
+      }
+      case ValueType::kInt: {
+        HYPER_ASSIGN_OR_RETURN(uint64_t v, U64());
+        return Value::Int(static_cast<int64_t>(v));
+      }
+      case ValueType::kDouble: {
+        HYPER_ASSIGN_OR_RETURN(double v, F64());
+        return Value::Double(v);
+      }
+      case ValueType::kString: {
+        HYPER_ASSIGN_OR_RETURN(std::string s, Str());
+        return Value::String(std::move(s));
+      }
+    }
+    return Status::DataLoss("unknown value type tag " + std::to_string(tag) +
+                            " in durable record");
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::DataLoss(std::string("durable record truncated reading ") +
+                            what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hyper::durability
+
+#endif  // HYPER_DURABILITY_CODEC_H_

@@ -1,0 +1,386 @@
+#include "durability/manager.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "durability/codec.h"
+
+namespace hyper::durability {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+/// --- Record payload codecs -------------------------------------------------
+
+std::string EncodeCreate(const CreateRecord& r) {
+  ByteWriter w;
+  w.Str(r.name);
+  w.Str(r.parent);
+  w.U64(r.post_fingerprint);
+  return w.Take();
+}
+
+Result<CreateRecord> DecodeCreate(const std::string& payload) {
+  ByteReader reader(payload);
+  CreateRecord r;
+  HYPER_ASSIGN_OR_RETURN(r.name, reader.Str());
+  HYPER_ASSIGN_OR_RETURN(r.parent, reader.Str());
+  HYPER_ASSIGN_OR_RETURN(r.post_fingerprint, reader.U64());
+  return r;
+}
+
+std::string EncodeApply(const ApplyRecord& r) {
+  ByteWriter w;
+  w.Str(r.branch);
+  w.U64(r.pre_fingerprint);
+  w.U64(r.post_fingerprint);
+  w.U32(static_cast<uint32_t>(r.batches.size()));
+  for (const ApplyBatch& batch : r.batches) {
+    w.Str(batch.relation);
+    w.U64(batch.attr);
+    w.U32(static_cast<uint32_t>(batch.cells.size()));
+    for (const auto& [tid, value] : batch.cells) {
+      w.U64(tid);
+      w.Val(value);
+    }
+  }
+  return w.Take();
+}
+
+Result<ApplyRecord> DecodeApply(const std::string& payload) {
+  ByteReader reader(payload);
+  ApplyRecord r;
+  HYPER_ASSIGN_OR_RETURN(r.branch, reader.Str());
+  HYPER_ASSIGN_OR_RETURN(r.pre_fingerprint, reader.U64());
+  HYPER_ASSIGN_OR_RETURN(r.post_fingerprint, reader.U64());
+  HYPER_ASSIGN_OR_RETURN(uint32_t batch_count, reader.U32());
+  r.batches.reserve(batch_count);
+  for (uint32_t b = 0; b < batch_count; ++b) {
+    ApplyBatch batch;
+    HYPER_ASSIGN_OR_RETURN(batch.relation, reader.Str());
+    HYPER_ASSIGN_OR_RETURN(batch.attr, reader.U64());
+    HYPER_ASSIGN_OR_RETURN(uint32_t cell_count, reader.U32());
+    batch.cells.reserve(cell_count);
+    for (uint32_t c = 0; c < cell_count; ++c) {
+      HYPER_ASSIGN_OR_RETURN(uint64_t tid, reader.U64());
+      HYPER_ASSIGN_OR_RETURN(Value value, reader.Val());
+      batch.cells.emplace_back(tid, std::move(value));
+    }
+    r.batches.push_back(std::move(batch));
+  }
+  if (!reader.done()) {
+    return Status::DataLoss("apply record has trailing bytes");
+  }
+  return r;
+}
+
+std::string EncodeDrop(const DropRecord& r) {
+  ByteWriter w;
+  w.Str(r.name);
+  return w.Take();
+}
+
+Result<DropRecord> DecodeDrop(const std::string& payload) {
+  ByteReader reader(payload);
+  DropRecord r;
+  HYPER_ASSIGN_OR_RETURN(r.name, reader.Str());
+  return r;
+}
+
+std::string EncodeReload(const ReloadRecord& r) {
+  ByteWriter w;
+  w.U64(r.generation);
+  w.U64(r.base_fingerprint);
+  return w.Take();
+}
+
+Result<ReloadRecord> DecodeReload(const std::string& payload) {
+  ByteReader reader(payload);
+  ReloadRecord r;
+  HYPER_ASSIGN_OR_RETURN(r.generation, reader.U64());
+  HYPER_ASSIGN_OR_RETURN(r.base_fingerprint, reader.U64());
+  return r;
+}
+
+/// --- Manager ---------------------------------------------------------------
+
+Manager::Manager(DurabilityOptions options, WalSegmentHeader identity)
+    : options_(std::move(options)),
+      wal_dir_(options_.dir + "/wal"),
+      identity_(identity) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    appends_total_ =
+        m.GetCounter("hyper_wal_appends_total", "",
+                     "WAL records appended (acknowledged mutations)");
+    bytes_total_ = m.GetCounter("hyper_wal_bytes_total", "",
+                                "Bytes appended to the WAL, framing included");
+    fsync_seconds_ = m.GetHistogram("hyper_wal_fsync_seconds", "",
+                                    "Latency of WAL fdatasync calls");
+    snapshots_total_ = m.GetCounter("hyper_snapshots_total", "",
+                                    "Durable branch-state snapshots written");
+    recovery_seconds_ =
+        m.GetGauge("hyper_recovery_seconds", "",
+                   "Wall seconds spent recovering durable state at startup");
+    recovery_replayed_ =
+        m.GetGauge("hyper_recovery_records_replayed", "",
+                   "WAL records replayed during the last recovery");
+  }
+}
+
+Result<Manager::OpenResult> Manager::Open(DurabilityOptions options,
+                                          uint64_t live_base_fingerprint) {
+  const auto start = std::chrono::steady_clock::now();
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("durability data dir must be non-empty");
+  }
+
+  OpenResult result;
+  HYPER_ASSIGN_OR_RETURN(result.snapshot, LoadLatestSnapshot(options.dir));
+  const std::string wal_dir = options.dir + "/wal";
+  HYPER_ASSIGN_OR_RETURN(ReadLogResult log, ReadLog(wal_dir));
+
+  RecoveryInfo& info = result.info;
+  info.snapshot_loaded = result.snapshot.found;
+  info.snapshot_path = result.snapshot.path;
+  info.snapshot_lsn = result.snapshot.state.last_lsn;
+  info.corrupt_snapshots_skipped = result.snapshot.corrupt_skipped;
+  info.tail_truncated = log.tail_truncated;
+  info.truncated_segment = log.truncated_segment;
+  info.truncated_bytes = log.truncated_bytes;
+  info.records_skipped = log.skipped;
+  info.performed = result.snapshot.found || log.has_segments;
+
+  // Identity the durable state claims, updated by any reload in the tail.
+  uint64_t generation = 1;
+  uint64_t base_fingerprint = live_base_fingerprint;
+  const uint64_t snapshot_lsn = result.snapshot.state.last_lsn;
+  if (result.snapshot.found) {
+    generation = result.snapshot.state.generation;
+    base_fingerprint = result.snapshot.state.base_fingerprint;
+  } else if (log.has_segments) {
+    generation = log.first_header.generation;
+    base_fingerprint = log.first_header.base_fingerprint;
+  }
+
+  if (log.has_segments) {
+    // Prefix coverage: the oldest retained segment must reach back to the
+    // snapshot (or to lsn 1 when no snapshot could be loaded). A gap means
+    // pruned history with nothing standing in for it.
+    const uint64_t need_from =
+        result.snapshot.found ? snapshot_lsn + 1 : 1;
+    if (log.first_header.first_lsn > need_from) {
+      return Status::DataLoss(
+          "WAL prefix missing: oldest retained segment starts at lsn " +
+          std::to_string(log.first_header.first_lsn) + " but recovery needs " +
+          std::to_string(need_from) +
+          (result.snapshot.found
+               ? " (snapshot " + result.snapshot.path + ")"
+               : " (no loadable snapshot" +
+                     (result.snapshot.corrupt_skipped.empty()
+                          ? std::string(")")
+                          : "; " +
+                                std::to_string(
+                                    result.snapshot.corrupt_skipped.size()) +
+                                " corrupt snapshot(s) skipped)")));
+    }
+  } else if (result.snapshot.found && snapshot_lsn > 0) {
+    // Snapshot claims journaled history but the log is gone entirely. The
+    // snapshot alone IS the state up to its lsn, so this is recoverable —
+    // nothing after it could have been acknowledged without a WAL frame.
+    // (A deleted-but-needed tail shows up as the coverage gap above.)
+  }
+
+  uint64_t max_lsn = snapshot_lsn;
+  for (WalRecord& record : log.records) {
+    if (record.lsn <= snapshot_lsn) {
+      ++info.records_skipped;  // already folded into the snapshot
+      continue;
+    }
+    if (max_lsn > snapshot_lsn && record.lsn != max_lsn + 1) {
+      return Status::DataLoss("WAL lsn gap: record " +
+                              std::to_string(record.lsn) + " follows " +
+                              std::to_string(max_lsn));
+    }
+    max_lsn = record.lsn;
+    RecoveredOp op;
+    op.lsn = record.lsn;
+    op.type = record.type;
+    switch (record.type) {
+      case WalRecordType::kCreate: {
+        HYPER_ASSIGN_OR_RETURN(CreateRecord r, DecodeCreate(record.payload));
+        op.op = std::move(r);
+        break;
+      }
+      case WalRecordType::kApply: {
+        HYPER_ASSIGN_OR_RETURN(ApplyRecord r, DecodeApply(record.payload));
+        op.op = std::move(r);
+        break;
+      }
+      case WalRecordType::kDrop: {
+        HYPER_ASSIGN_OR_RETURN(DropRecord r, DecodeDrop(record.payload));
+        op.op = std::move(r);
+        break;
+      }
+      case WalRecordType::kReload: {
+        HYPER_ASSIGN_OR_RETURN(ReloadRecord r, DecodeReload(record.payload));
+        generation = r.generation;
+        base_fingerprint = r.base_fingerprint;
+        op.op = std::move(r);
+        break;
+      }
+      case WalRecordType::kHeader:
+        return Status::DataLoss("header frame with nonzero lsn " +
+                                std::to_string(record.lsn));
+    }
+    result.ops.push_back(std::move(op));
+  }
+  info.records_replayed = result.ops.size();
+  info.generation = generation;
+
+  if (info.performed && base_fingerprint != live_base_fingerprint) {
+    char expect[24], got[24];
+    std::snprintf(expect, sizeof(expect), "%016llx",
+                  static_cast<unsigned long long>(base_fingerprint));
+    std::snprintf(got, sizeof(got), "%016llx",
+                  static_cast<unsigned long long>(live_base_fingerprint));
+    return Status::FailedPrecondition(
+        std::string("data dir ") + options.dir +
+        " was recorded against base fingerprint " + expect +
+        " but the loaded dataset fingerprints as " + got +
+        " — point the server at the matching dataset or a fresh data dir");
+  }
+
+  WalSegmentHeader identity;
+  identity.base_fingerprint = live_base_fingerprint;
+  identity.generation = generation;
+  auto manager =
+      std::unique_ptr<Manager>(new Manager(std::move(options), identity));
+
+  WalWriter::Options writer_options;
+  writer_options.fsync = manager->options_.fsync;
+  writer_options.fsync_interval_seconds =
+      manager->options_.fsync_interval_seconds;
+  writer_options.segment_max_bytes = manager->options_.segment_max_bytes;
+  manager->wal_ = std::make_unique<WalWriter>(manager->wal_dir_,
+                                              writer_options);
+  HYPER_RETURN_NOT_OK(manager->wal_->Open(identity, max_lsn + 1));
+  manager->last_snapshot_lsn_ = snapshot_lsn;
+
+  info.seconds = SecondsSince(start);
+  manager->recovery_ = info;
+  result.manager = std::move(manager);
+  return result;
+}
+
+Status Manager::AppendLocked(WalRecordType type, const std::string& payload) {
+  const uint64_t bytes_before = wal_->appended_bytes();
+  const uint64_t fsyncs_before = wal_->fsyncs();
+  HYPER_RETURN_NOT_OK(wal_->Append(type, payload, nullptr));
+  ++records_since_snapshot_;
+  if (appends_total_ != nullptr) appends_total_->Increment();
+  if (bytes_total_ != nullptr) {
+    bytes_total_->Increment(wal_->appended_bytes() - bytes_before);
+  }
+  if (fsync_seconds_ != nullptr && wal_->fsyncs() > fsyncs_before) {
+    fsync_seconds_->Observe(wal_->last_fsync_seconds());
+  }
+  return Status::OK();
+}
+
+Status Manager::AppendCreate(const CreateRecord& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(WalRecordType::kCreate, EncodeCreate(r));
+}
+
+Status Manager::AppendApply(const ApplyRecord& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(WalRecordType::kApply, EncodeApply(r));
+}
+
+Status Manager::AppendDrop(const DropRecord& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(WalRecordType::kDrop, EncodeDrop(r));
+}
+
+Status Manager::AppendReload(const ReloadRecord& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HYPER_RETURN_NOT_OK(AppendLocked(WalRecordType::kReload, EncodeReload(r)));
+  identity_.generation = r.generation;
+  identity_.base_fingerprint = r.base_fingerprint;
+  return Status::OK();
+}
+
+bool Manager::ShouldSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.snapshot_every_records > 0 &&
+         records_since_snapshot_ >= options_.snapshot_every_records;
+}
+
+Status Manager::WriteSnapshot(std::vector<DurableBranch> branches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Records the snapshot claims must be durable before the snapshot is.
+  HYPER_RETURN_NOT_OK(wal_->Sync());
+  DurableState state;
+  state.generation = identity_.generation;
+  state.base_fingerprint = identity_.base_fingerprint;
+  state.last_lsn = wal_->last_lsn();
+  state.branches = std::move(branches);
+  HYPER_RETURN_NOT_OK(WriteSnapshotFile(options_.dir, state, /*keep=*/2));
+  ++snapshots_written_;
+  records_since_snapshot_ = 0;
+  last_snapshot_lsn_ = state.last_lsn;
+  if (snapshots_total_ != nullptr) snapshots_total_->Increment();
+  // Start a fresh segment so everything before it can be reclaimed once no
+  // retained snapshot needs it.
+  HYPER_RETURN_NOT_OK(wal_->Rotate(identity_));
+  HYPER_ASSIGN_OR_RETURN(auto snapshots, ListSnapshotFiles(options_.dir));
+  if (!snapshots.empty()) {
+    HYPER_RETURN_NOT_OK(wal_->PruneSegmentsBelow(snapshots.front().first + 1));
+  }
+  return Status::OK();
+}
+
+Status Manager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->Sync();
+}
+
+void Manager::NoteRecoveryComplete(const RecoveryInfo& info) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recovery_ = info;
+  }
+  if (recovery_seconds_ != nullptr) recovery_seconds_->Set(info.seconds);
+  if (recovery_replayed_ != nullptr) {
+    recovery_replayed_->Set(static_cast<double>(info.records_replayed));
+  }
+}
+
+WalStats Manager::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats stats;
+  stats.enabled = true;
+  stats.dir = options_.dir;
+  stats.fsync_policy = FsyncPolicyName(options_.fsync);
+  stats.last_lsn = wal_->last_lsn();
+  stats.appends = wal_->appended_frames();
+  stats.appended_bytes = wal_->appended_bytes();
+  stats.fsyncs = wal_->fsyncs();
+  stats.last_fsync_seconds = wal_->last_fsync_seconds();
+  stats.segments = wal_->segment_count();
+  stats.snapshots_written = snapshots_written_;
+  stats.last_snapshot_lsn = last_snapshot_lsn_;
+  stats.records_since_snapshot = records_since_snapshot_;
+  stats.recovery = recovery_;
+  return stats;
+}
+
+}  // namespace hyper::durability

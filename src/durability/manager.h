@@ -1,0 +1,211 @@
+#ifndef HYPER_DURABILITY_MANAGER_H_
+#define HYPER_DURABILITY_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "obs/metrics.h"
+#include "storage/value.h"
+
+namespace hyper::durability {
+
+/// Orchestrates one data directory:
+///
+///   <dir>/wal/wal-<lsn>.log     checksummed record log (wal.h)
+///   <dir>/snapshot-<lsn>.snap   periodic branch-state images (snapshot.h)
+///
+/// The ScenarioService appends one typed record per acknowledged mutation —
+/// strictly BEFORE the mutation becomes visible — and on startup replays
+/// snapshot + tail through the same ScenarioBranch code path that produced
+/// them, which is what makes recovered delta fingerprints (and therefore
+/// what-if / how-to answers) bit-identical to the pre-crash run. The manager
+/// itself never interprets override semantics; it moves opaque-but-typed
+/// payloads and enforces the storage invariants (checksums, ordering,
+/// prefix coverage, dataset identity).
+
+struct DurabilityOptions {
+  /// Root data directory; empty disables durability entirely.
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kInterval;
+  double fsync_interval_seconds = 0.05;
+  /// Write a snapshot (and rotate the WAL) every N appended records;
+  /// 0 disables automatic snapshots (explicit SnapshotNow still works).
+  uint64_t snapshot_every_records = 256;
+  uint64_t segment_max_bytes = 64ull << 20;
+  /// Optional sink for wal/snapshot/recovery series; may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// --- Typed record payloads -------------------------------------------------
+
+struct CreateRecord {
+  std::string name;
+  std::string parent;  // empty: branched from base
+  /// delta_fingerprint() of the new branch (inherited from the parent).
+  uint64_t post_fingerprint = 0;
+};
+
+/// One Override() batch of an applied hypothetical.
+struct ApplyBatch {
+  std::string relation;
+  uint64_t attr = 0;
+  /// (tid, value) in apply order — fingerprint mixing is order-sensitive.
+  std::vector<std::pair<uint64_t, Value>> cells;
+};
+
+struct ApplyRecord {
+  std::string branch;
+  uint64_t pre_fingerprint = 0;   // branch fingerprint the batches landed on
+  uint64_t post_fingerprint = 0;  // fingerprint after every batch applied
+  std::vector<ApplyBatch> batches;
+};
+
+struct DropRecord {
+  std::string name;  // tombstone: this branch must never be resurrected
+};
+
+struct ReloadRecord {
+  uint64_t generation = 1;        // generation after the reload
+  uint64_t base_fingerprint = 0;  // ContentFingerprint of the new base
+};
+
+std::string EncodeCreate(const CreateRecord& r);
+std::string EncodeApply(const ApplyRecord& r);
+std::string EncodeDrop(const DropRecord& r);
+std::string EncodeReload(const ReloadRecord& r);
+Result<CreateRecord> DecodeCreate(const std::string& payload);
+Result<ApplyRecord> DecodeApply(const std::string& payload);
+Result<DropRecord> DecodeDrop(const std::string& payload);
+Result<ReloadRecord> DecodeReload(const std::string& payload);
+
+/// One decoded log record the service must replay (lsn ascending).
+struct RecoveredOp {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kHeader;
+  std::variant<CreateRecord, ApplyRecord, DropRecord, ReloadRecord> op;
+};
+
+/// What recovery found and did; surfaced via `\wal stats`, /statusz and the
+/// server startup log.
+struct RecoveryInfo {
+  bool performed = false;  // existing durable state was found
+  bool snapshot_loaded = false;
+  std::string snapshot_path;
+  uint64_t snapshot_lsn = 0;
+  std::vector<std::string> corrupt_snapshots_skipped;
+  uint64_t records_replayed = 0;
+  /// Duplicated or snapshot-covered records skipped idempotently.
+  uint64_t records_skipped = 0;
+  bool tail_truncated = false;
+  std::string truncated_segment;
+  uint64_t truncated_bytes = 0;
+  uint64_t generation = 1;
+  /// Wall seconds for load+replay; the service finalizes this after it has
+  /// rebuilt branch state (NoteRecoveryComplete).
+  double seconds = 0.0;
+};
+
+/// Point-in-time counters for `\wal stats` and the durability section of
+/// /statusz. Counters are since process start, not since log creation.
+struct WalStats {
+  bool enabled = false;
+  std::string dir;
+  const char* fsync_policy = "off";
+  uint64_t last_lsn = 0;
+  uint64_t appends = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t fsyncs = 0;
+  double last_fsync_seconds = 0.0;
+  uint64_t segments = 0;
+  uint64_t snapshots_written = 0;
+  uint64_t last_snapshot_lsn = 0;
+  uint64_t records_since_snapshot = 0;
+  RecoveryInfo recovery;
+};
+
+class Manager {
+ public:
+  struct OpenResult {
+    std::unique_ptr<Manager> manager;
+    /// Snapshot to rehydrate branches from (found=false on a fresh dir).
+    SnapshotLoadResult snapshot;
+    /// Records with lsn > snapshot.last_lsn, decoded, lsn ascending.
+    std::vector<RecoveredOp> ops;
+    RecoveryInfo info;
+  };
+
+  /// Opens (creating if absent) the data directory and validates the full
+  /// chain: newest loadable snapshot, every WAL record after it, prefix
+  /// coverage, strictly-ascending lsns, and dataset identity —
+  /// `live_base_fingerprint` is the ContentFingerprint of the base the
+  /// caller just loaded; an intact dir recorded against a different base
+  /// fails with kFailedPrecondition (corruption fails with kDataLoss).
+  static Result<OpenResult> Open(DurabilityOptions options,
+                                 uint64_t live_base_fingerprint);
+
+  /// Append one record; the frame is on disk (fsynced per policy) when this
+  /// returns OK. The caller holds its own state lock, making append order
+  /// equal visibility order.
+  Status AppendCreate(const CreateRecord& r);
+  Status AppendApply(const ApplyRecord& r);
+  Status AppendDrop(const DropRecord& r);
+  /// Also re-stamps the segment identity (generation, base fingerprint)
+  /// used for future rotations.
+  Status AppendReload(const ReloadRecord& r);
+
+  /// True once snapshot_every_records appends have landed since the last
+  /// snapshot (never true when disabled).
+  bool ShouldSnapshot() const;
+
+  /// Persists `state` (branch images supplied by the service; generation /
+  /// base fingerprint / last_lsn stamped here), rotates the WAL so the
+  /// snapshot starts a fresh segment, and prunes segments and snapshots no
+  /// longer needed for recovery.
+  Status WriteSnapshot(std::vector<DurableBranch> branches);
+
+  /// Forces an fdatasync of the open segment (drain path).
+  Status Sync();
+
+  /// Stores the finalized recovery report and publishes recovery metrics
+  /// (hyper_recovery_seconds, replay counters).
+  void NoteRecoveryComplete(const RecoveryInfo& info);
+
+  WalStats Stats() const;
+  const DurabilityOptions& options() const { return options_; }
+
+ private:
+  Manager(DurabilityOptions options, WalSegmentHeader identity);
+
+  Status AppendLocked(WalRecordType type, const std::string& payload);
+
+  const DurabilityOptions options_;
+  const std::string wal_dir_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WalWriter> wal_;
+  WalSegmentHeader identity_;  // current generation + base fingerprint
+  uint64_t records_since_snapshot_ = 0;
+  uint64_t snapshots_written_ = 0;
+  uint64_t last_snapshot_lsn_ = 0;
+  RecoveryInfo recovery_;
+
+  // Series are registered once at Open; null when metrics sink absent.
+  obs::Counter* appends_total_ = nullptr;
+  obs::Counter* bytes_total_ = nullptr;
+  obs::Histogram* fsync_seconds_ = nullptr;
+  obs::Counter* snapshots_total_ = nullptr;
+  obs::Gauge* recovery_seconds_ = nullptr;
+  obs::Gauge* recovery_replayed_ = nullptr;
+};
+
+}  // namespace hyper::durability
+
+#endif  // HYPER_DURABILITY_MANAGER_H_

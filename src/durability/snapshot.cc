@@ -1,0 +1,234 @@
+#include "durability/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "durability/codec.h"
+
+namespace hyper::durability {
+
+namespace {
+namespace fs = std::filesystem;
+}  // namespace
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshotFiles(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> snapshots;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) != 0) continue;
+    if (name.size() != 9 + 16 + 5 || name.substr(25) != ".snap") continue;
+    uint64_t lsn = 0;
+    bool ok = true;
+    for (char c : name.substr(9, 16)) {
+      if (c >= '0' && c <= '9') lsn = (lsn << 4) | uint64_t(c - '0');
+      else if (c >= 'a' && c <= 'f') lsn = (lsn << 4) | uint64_t(c - 'a' + 10);
+      else { ok = false; break; }
+    }
+    if (!ok) continue;
+    snapshots.emplace_back(lsn, entry.path().string());
+  }
+  if (ec) {
+    return Status::Internal("listing snapshot directory " + dir + ": " +
+                            ec.message());
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+  return snapshots;
+}
+
+std::string SnapshotName(uint64_t last_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snapshot-%016llx.snap",
+                static_cast<unsigned long long>(last_lsn));
+  return buf;
+}
+
+std::string EncodeSnapshot(const DurableState& state) {
+  ByteWriter w;
+  w.U32(kSnapshotFormatVersion);
+  w.U64(state.generation);
+  w.U64(state.base_fingerprint);
+  w.U64(state.last_lsn);
+  w.U32(static_cast<uint32_t>(state.branches.size()));
+  for (const DurableBranch& branch : state.branches) {
+    w.Str(branch.name);
+    w.Str(branch.parent);
+    w.U64(branch.updates_applied);
+    w.U64(branch.version);
+    w.U64(branch.fnv_state);
+    w.U32(static_cast<uint32_t>(branch.overrides.size()));
+    for (const auto& [relation, attrs] : branch.overrides) {
+      w.Str(relation);
+      w.U32(static_cast<uint32_t>(attrs.size()));
+      for (const auto& [attr, cells] : attrs) {
+        w.U64(attr);
+        w.U32(static_cast<uint32_t>(cells.size()));
+        for (const auto& [tid, value] : cells) {
+          w.U64(tid);
+          w.Val(value);
+        }
+      }
+    }
+  }
+  const std::string payload = w.Take();
+  ByteWriter out;
+  out.U32(Crc32c(payload.data(), payload.size()));
+  std::string file = out.Take();
+  file.append(payload);
+  return file;
+}
+
+Result<DurableState> DecodeSnapshot(std::string_view file_bytes) {
+  if (file_bytes.size() < 4) {
+    return Status::DataLoss("snapshot file shorter than its checksum");
+  }
+  ByteReader crc_reader(file_bytes.substr(0, 4));
+  const uint32_t stored_crc = *crc_reader.U32();
+  const std::string_view payload = file_bytes.substr(4);
+  const uint32_t actual_crc = Crc32c(payload.data(), payload.size());
+  if (stored_crc != actual_crc) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "snapshot checksum mismatch (stored %08x, computed %08x)",
+                  stored_crc, actual_crc);
+    return Status::DataLoss(buf);
+  }
+  ByteReader r(payload);
+  HYPER_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kSnapshotFormatVersion) {
+    return Status::DataLoss("unsupported snapshot format version " +
+                            std::to_string(version));
+  }
+  DurableState state;
+  HYPER_ASSIGN_OR_RETURN(state.generation, r.U64());
+  HYPER_ASSIGN_OR_RETURN(state.base_fingerprint, r.U64());
+  HYPER_ASSIGN_OR_RETURN(state.last_lsn, r.U64());
+  HYPER_ASSIGN_OR_RETURN(uint32_t branch_count, r.U32());
+  state.branches.reserve(branch_count);
+  for (uint32_t b = 0; b < branch_count; ++b) {
+    DurableBranch branch;
+    HYPER_ASSIGN_OR_RETURN(branch.name, r.Str());
+    HYPER_ASSIGN_OR_RETURN(branch.parent, r.Str());
+    HYPER_ASSIGN_OR_RETURN(branch.updates_applied, r.U64());
+    HYPER_ASSIGN_OR_RETURN(branch.version, r.U64());
+    HYPER_ASSIGN_OR_RETURN(branch.fnv_state, r.U64());
+    HYPER_ASSIGN_OR_RETURN(uint32_t relation_count, r.U32());
+    for (uint32_t rel = 0; rel < relation_count; ++rel) {
+      HYPER_ASSIGN_OR_RETURN(std::string relation, r.Str());
+      TableCellOverrides& attrs = branch.overrides[relation];
+      HYPER_ASSIGN_OR_RETURN(uint32_t attr_count, r.U32());
+      for (uint32_t a = 0; a < attr_count; ++a) {
+        HYPER_ASSIGN_OR_RETURN(uint64_t attr, r.U64());
+        AttributeCellOverrides& cells = attrs[static_cast<size_t>(attr)];
+        HYPER_ASSIGN_OR_RETURN(uint32_t cell_count, r.U32());
+        for (uint32_t c = 0; c < cell_count; ++c) {
+          HYPER_ASSIGN_OR_RETURN(uint64_t tid, r.U64());
+          HYPER_ASSIGN_OR_RETURN(Value value, r.Val());
+          cells[static_cast<size_t>(tid)] = std::move(value);
+        }
+      }
+    }
+    state.branches.push_back(std::move(branch));
+  }
+  if (!r.done()) {
+    return Status::DataLoss("snapshot has " + std::to_string(r.remaining()) +
+                            " trailing bytes after decoded state");
+  }
+  return state;
+}
+
+Status WriteSnapshotFile(const std::string& dir, const DurableState& state,
+                         size_t keep) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory " + dir + ": " +
+                            ec.message());
+  }
+  const std::string file = EncodeSnapshot(state);
+  const std::string final_path = dir + "/" + SnapshotName(state.last_lsn);
+  const std::string tmp_path = final_path + ".tmp";
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal("open " + tmp_path + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < file.size()) {
+    ssize_t n = ::write(fd, file.data() + written, file.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st =
+          Status::Internal("write " + tmp_path + ": " + std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fdatasync(fd) != 0) {
+    Status st =
+        Status::Internal("fdatasync " + tmp_path + ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("rename " + tmp_path + " -> " + final_path + ": " +
+                            std::strerror(errno));
+  }
+  // The rename only becomes crash-durable once the directory entry is.
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return Status::Internal("open dir " + dir + ": " + std::strerror(errno));
+  }
+  int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) {
+    return Status::Internal("fsync dir " + dir + ": " + std::strerror(errno));
+  }
+
+  HYPER_ASSIGN_OR_RETURN(auto snapshots, ListSnapshotFiles(dir));
+  if (snapshots.size() > keep) {
+    for (size_t i = 0; i + keep < snapshots.size(); ++i) {
+      fs::remove(snapshots[i].second, ec);  // best effort; stale is harmless
+    }
+  }
+  return Status::OK();
+}
+
+Result<SnapshotLoadResult> LoadLatestSnapshot(const std::string& dir) {
+  SnapshotLoadResult result;
+  if (!fs::exists(dir)) return result;
+  HYPER_ASSIGN_OR_RETURN(auto snapshots, ListSnapshotFiles(dir));
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    std::ifstream in(it->second, std::ios::binary);
+    if (!in) {
+      result.corrupt_skipped.push_back(it->second);
+      continue;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    Result<DurableState> decoded = DecodeSnapshot(bytes);
+    if (!decoded.ok()) {
+      result.corrupt_skipped.push_back(it->second);
+      continue;
+    }
+    result.found = true;
+    result.state = std::move(*decoded);
+    result.path = it->second;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace hyper::durability

@@ -1,0 +1,75 @@
+#ifndef HYPER_DURABILITY_SNAPSHOT_H_
+#define HYPER_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace hyper::durability {
+
+/// Point-in-time image of every scenario branch's durable state, written as
+/// `snapshot-<%016x last_lsn>.snap`. A snapshot plus the WAL records with
+/// lsn > last_lsn reconstructs the exact service state.
+///
+/// The branch delta fingerprint is an order-sensitive FNV mix, so each
+/// branch carries its raw `fnv_state` — recomputing from the cell map would
+/// lose the mix order and break the bit-identical recovery guarantee
+/// (ScenarioBranch::Restore reseeds from this value).
+
+struct DurableBranch {
+  std::string name;
+  std::string parent;
+  /// relation -> attr index -> tid -> value (base-relative), matching
+  /// ScenarioBranch::OverrideMap cell for cell.
+  std::map<std::string, TableCellOverrides> overrides;
+  uint64_t updates_applied = 0;
+  uint64_t version = 0;
+  uint64_t fnv_state = 0;  // raw Fnv1a hash == delta_fingerprint()
+};
+
+struct DurableState {
+  uint64_t generation = 1;
+  uint64_t base_fingerprint = 0;  // Database::ContentFingerprint of the base
+  uint64_t last_lsn = 0;          // every record <= this is reflected here
+  std::vector<DurableBranch> branches;  // sorted by name (map iteration)
+};
+
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// File body: u32 crc32c over the payload, then the payload.
+std::string EncodeSnapshot(const DurableState& state);
+Result<DurableState> DecodeSnapshot(std::string_view file_bytes);
+
+std::string SnapshotName(uint64_t last_lsn);
+
+/// Atomically writes `state` into `dir` (tmp file + fdatasync + rename +
+/// directory fsync), then prunes to the newest `keep` snapshots.
+Status WriteSnapshotFile(const std::string& dir, const DurableState& state,
+                         size_t keep = 2);
+
+struct SnapshotLoadResult {
+  bool found = false;
+  DurableState state;
+  std::string path;
+  /// Newer snapshot files that failed CRC/decode and were skipped in favor
+  /// of an older one (recovery then replays more WAL instead of failing).
+  std::vector<std::string> corrupt_skipped;
+};
+
+/// Loads the newest snapshot that validates, falling back through older
+/// ones. No snapshot at all is not an error (found=false); a directory
+/// where every snapshot is corrupt reports them all in corrupt_skipped.
+Result<SnapshotLoadResult> LoadLatestSnapshot(const std::string& dir);
+
+/// All snapshot files in `dir`, sorted ascending by last_lsn. The manager
+/// prunes WAL segments below the oldest retained snapshot's lsn.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshotFiles(
+    const std::string& dir);
+
+}  // namespace hyper::durability
+
+#endif  // HYPER_DURABILITY_SNAPSHOT_H_

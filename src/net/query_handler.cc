@@ -254,6 +254,7 @@ int HttpStatusOf(const Status& status) {
     case StatusCode::kUnimplemented:
       return 501;
     case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
       return 500;
     default:
       return GovernanceHttpStatus(status);
@@ -512,6 +513,10 @@ HttpResponse QueryHandler::ListScenarios() {
         .Key("parent").String(info.parent)
         .Key("updates_applied").UInt(info.updates_applied)
         .Key("overridden_cells").UInt(info.overridden_cells)
+        .Key("delta_fingerprint")
+        .String(StrFormat("%016llx",
+                          static_cast<unsigned long long>(
+                              info.delta_fingerprint)))
         .EndObject();
   }
   w.EndArray().EndObject();

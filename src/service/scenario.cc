@@ -61,4 +61,25 @@ void ScenarioBranch::Override(
   ++version_;
 }
 
+uint64_t ScenarioBranch::PreviewFingerprint(
+    const std::string& relation, size_t attr,
+    const std::vector<std::pair<size_t, Value>>& cells) const {
+  return PreviewFingerprint(fnv_.hash(), relation, attr, cells);
+}
+
+uint64_t ScenarioBranch::PreviewFingerprint(
+    uint64_t fnv_state, const std::string& relation, size_t attr,
+    const std::vector<std::pair<size_t, Value>>& cells) {
+  if (cells.empty()) return fnv_state;
+  // Mirrors Override()'s mixing exactly; keep the two in lockstep.
+  Fnv1a fnv(fnv_state);
+  fnv.MixString(relation);
+  fnv.Mix(attr);
+  for (const auto& [tid, value] : cells) {
+    fnv.Mix(tid);
+    fnv.Mix(value.Hash());
+  }
+  return fnv.hash();
+}
+
 }  // namespace hyper::service

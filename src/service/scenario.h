@@ -46,6 +46,22 @@ class ScenarioBranch {
         version_(0),
         fnv_(parent.fnv_) {}
 
+  /// Rehydrates a branch from durable state (src/durability/). The delta
+  /// fingerprint mixes in Override() *call order*, so it cannot be
+  /// recomputed from the cell map alone — the snapshot carries the raw FNV
+  /// state and this factory reseeds it, making post-recovery fingerprints
+  /// bit-identical to the pre-crash ones.
+  static ScenarioBranch Restore(std::string name, std::string parent,
+                                OverrideMap overrides, size_t updates_applied,
+                                uint64_t version, uint64_t fnv_state) {
+    ScenarioBranch branch(std::move(name), std::move(parent));
+    branch.overrides_ = std::move(overrides);
+    branch.updates_applied_ = updates_applied;
+    branch.version_ = version;
+    branch.fnv_ = Fnv1a(fnv_state);
+    return branch;
+  }
+
   const std::string& name() const { return name_; }
   const std::string& parent() const { return parent_; }
 
@@ -97,6 +113,20 @@ class ScenarioBranch {
   /// the relation touched (a data-identical world keeps its cached plans).
   void Override(const std::string& relation, size_t attr,
                 const std::vector<std::pair<size_t, Value>>& cells);
+
+  /// What delta_fingerprint() would become after Override(relation, attr,
+  /// cells) — without mutating. The durability layer journals this
+  /// post-image so replay can verify each record landed on the exact
+  /// fingerprint the live run produced.
+  uint64_t PreviewFingerprint(
+      const std::string& relation, size_t attr,
+      const std::vector<std::pair<size_t, Value>>& cells) const;
+
+  /// Same simulation from an explicit FNV state — chain it across the
+  /// batches of one hypothetical (the state IS the fingerprint).
+  static uint64_t PreviewFingerprint(
+      uint64_t fnv_state, const std::string& relation, size_t attr,
+      const std::vector<std::pair<size_t, Value>>& cells);
 
   /// Counts one applied hypothetical statement (which may Override several
   /// attributes).

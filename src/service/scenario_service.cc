@@ -21,6 +21,7 @@ ScenarioService::ScenarioService(Database base, ServiceOptions options)
   if (options_.metrics != nullptr) {
     instruments_ = std::make_unique<ServiceInstruments>(options_.metrics);
   }
+  InitDurability();
 }
 
 ScenarioService::ScenarioService(Database base, causal::CausalGraph graph,
@@ -35,12 +36,200 @@ ScenarioService::ScenarioService(Database base, causal::CausalGraph graph,
   if (options_.metrics != nullptr) {
     instruments_ = std::make_unique<ServiceInstruments>(options_.metrics);
   }
+  InitDurability();
+}
+
+void ScenarioService::InitDurability() {
+  if (options_.data_dir.empty()) return;
+  durability::DurabilityOptions dopts;
+  dopts.dir = options_.data_dir;
+  dopts.fsync = options_.wal_fsync;
+  dopts.fsync_interval_seconds = options_.wal_fsync_interval_seconds;
+  dopts.snapshot_every_records = options_.snapshot_every_records;
+  dopts.metrics = options_.metrics;
+  Stopwatch timer;
+  auto opened =
+      durability::Manager::Open(std::move(dopts), base_.ContentFingerprint());
+  if (!opened.ok()) {
+    recovery_status_ = opened.status();
+    return;
+  }
+  recovery_info_ = opened->info;
+  Status replayed = ReplayDurable(&*opened);
+  if (!replayed.ok()) {
+    // Refuse to serve from a half-replayed state: the gate holds the typed
+    // status and no manager exists to journal against.
+    recovery_status_ = std::move(replayed);
+    return;
+  }
+  recovery_info_.seconds = timer.ElapsedSeconds();
+  durable_ = std::move(opened->manager);
+  durable_->NoteRecoveryComplete(recovery_info_);
+}
+
+Status ScenarioService::ReplayDurable(durability::Manager::OpenResult* opened) {
+  // Constructor-only: no concurrent access, mu_ not needed.
+  if (opened->snapshot.found) {
+    branches_.clear();
+    for (durability::DurableBranch& image : opened->snapshot.state.branches) {
+      std::string name = image.name;
+      ScenarioBranch branch = ScenarioBranch::Restore(
+          std::move(image.name), std::move(image.parent),
+          std::move(image.overrides), image.updates_applied, image.version,
+          image.fnv_state);
+      branches_.emplace(std::move(name),
+                        BranchState{std::move(branch), next_branch_id_++,
+                                    ~0ULL, nullptr});
+    }
+    if (branches_.count("main") == 0) {
+      return Status::DataLoss("snapshot " + opened->snapshot.path +
+                              " is missing the trunk scenario 'main'");
+    }
+  }
+  generation_ = opened->info.generation;
+
+  // Replay the tail through the SAME mutation path that produced it
+  // (ScenarioBranch::Override), verifying each record lands on the exact
+  // fingerprint the live run journaled. Any divergence means the log and
+  // the code disagree about history — refuse rather than serve wrong state.
+  for (durability::RecoveredOp& op : opened->ops) {
+    const std::string at = " (WAL lsn " + std::to_string(op.lsn) + ")";
+    switch (op.type) {
+      case durability::WalRecordType::kCreate: {
+        auto& r = std::get<durability::CreateRecord>(op.op);
+        if (branches_.count(r.name) > 0) {
+          return Status::DataLoss("replay divergence: scenario '" + r.name +
+                                  "' already exists at its create record" +
+                                  at);
+        }
+        auto parent = branches_.find(r.parent);
+        if (parent == branches_.end()) {
+          return Status::DataLoss("replay divergence: parent scenario '" +
+                                  r.parent + "' missing" + at);
+        }
+        ScenarioBranch branch(r.name, parent->second.branch);
+        if (branch.delta_fingerprint() != r.post_fingerprint) {
+          return Status::DataLoss(
+              "replay divergence: created scenario '" + r.name +
+              "' fingerprints differently than journaled" + at);
+        }
+        branches_.emplace(r.name,
+                          BranchState{std::move(branch), next_branch_id_++,
+                                      ~0ULL, nullptr});
+        break;
+      }
+      case durability::WalRecordType::kApply: {
+        auto& r = std::get<durability::ApplyRecord>(op.op);
+        auto it = branches_.find(r.branch);
+        if (it == branches_.end()) {
+          return Status::DataLoss("replay divergence: scenario '" + r.branch +
+                                  "' missing at its apply record" + at);
+        }
+        ScenarioBranch& branch = it->second.branch;
+        if (branch.delta_fingerprint() != r.pre_fingerprint) {
+          return Status::DataLoss(
+              "replay divergence: scenario '" + r.branch +
+              "' does not match the journaled pre-apply fingerprint" + at);
+        }
+        for (const durability::ApplyBatch& batch : r.batches) {
+          std::vector<std::pair<size_t, Value>> cells;
+          cells.reserve(batch.cells.size());
+          for (const auto& [tid, value] : batch.cells) {
+            cells.emplace_back(static_cast<size_t>(tid), value);
+          }
+          branch.Override(batch.relation, static_cast<size_t>(batch.attr),
+                          cells);
+        }
+        branch.RecordUpdateApplied();
+        if (branch.delta_fingerprint() != r.post_fingerprint) {
+          return Status::DataLoss(
+              "replay divergence: scenario '" + r.branch +
+              "' does not match the journaled post-apply fingerprint" + at);
+        }
+        break;
+      }
+      case durability::WalRecordType::kDrop: {
+        auto& r = std::get<durability::DropRecord>(op.op);
+        // Tombstone: the branch must exist here and must not survive. A
+        // missing branch means history diverged.
+        if (branches_.erase(r.name) == 0) {
+          return Status::DataLoss("replay divergence: drop tombstone for "
+                                  "unknown scenario '" +
+                                  r.name + "'" + at);
+        }
+        break;
+      }
+      case durability::WalRecordType::kReload: {
+        // The base data itself is never journaled; Manager::Open already
+        // verified the final base fingerprint against the live dataset.
+        // Override replay is base-independent (journaled physical cells),
+        // so everything before this record was exact — and is now wiped,
+        // exactly as the live reload wiped it.
+        auto& r = std::get<durability::ReloadRecord>(op.op);
+        generation_ = r.generation;
+        branches_.clear();
+        branches_.emplace("main", BranchState{ScenarioBranch("main", ""),
+                                              next_branch_id_++, ~0ULL,
+                                              nullptr});
+        break;
+      }
+      case durability::WalRecordType::kHeader:
+        return Status::DataLoss("unexpected header record in replay" + at);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<durability::DurableBranch> ScenarioService::ImageBranchesLocked()
+    const {
+  std::vector<durability::DurableBranch> images;
+  images.reserve(branches_.size());
+  for (const auto& [name, state] : branches_) {
+    durability::DurableBranch image;
+    image.name = name;
+    image.parent = state.branch.parent();
+    image.overrides = state.branch.overrides();
+    image.updates_applied = state.branch.updates_applied();
+    image.version = state.branch.version();
+    image.fnv_state = state.branch.delta_fingerprint();
+    images.push_back(std::move(image));
+  }
+  return images;
+}
+
+Status ScenarioService::SnapshotLocked() {
+  return durable_->WriteSnapshot(ImageBranchesLocked());
+}
+
+Status ScenarioService::SnapshotNow() {
+  HYPER_RETURN_NOT_OK(recovery_status_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_ == nullptr) return Status::OK();
+  return SnapshotLocked();
+}
+
+Status ScenarioService::SyncWal() {
+  HYPER_RETURN_NOT_OK(recovery_status_);
+  if (durable_ == nullptr) return Status::OK();
+  return durable_->Sync();
+}
+
+durability::WalStats ScenarioService::wal_stats() const {
+  if (durable_ == nullptr) {
+    durability::WalStats stats;
+    stats.enabled = false;
+    stats.dir = options_.data_dir;
+    stats.recovery = recovery_info_;
+    return stats;
+  }
+  return durable_->Stats();
 }
 
 ScenarioService::~ScenarioService() = default;
 
 Status ScenarioService::CreateScenario(const std::string& name,
                                        const std::string& parent) {
+  HYPER_RETURN_NOT_OK(recovery_status_);
   if (name.empty()) {
     return Status::InvalidArgument("scenario name must not be empty");
   }
@@ -53,12 +242,26 @@ Status ScenarioService::CreateScenario(const std::string& name,
     return Status::NotFound("parent scenario '" + parent +
                             "' does not exist");
   }
-  branches_.emplace(name, BranchState{ScenarioBranch(name, it->second.branch),
-                                      next_branch_id_++, ~0ULL, nullptr});
+  ScenarioBranch branch(name, it->second.branch);
+  if (durable_ != nullptr) {
+    // Journal-before-visible: an append failure leaves the service exactly
+    // as it was — the branch object above is simply discarded.
+    durability::CreateRecord record;
+    record.name = name;
+    record.parent = parent;
+    record.post_fingerprint = branch.delta_fingerprint();
+    HYPER_RETURN_NOT_OK(durable_->AppendCreate(record));
+  }
+  branches_.emplace(name, BranchState{std::move(branch), next_branch_id_++,
+                                      ~0ULL, nullptr});
+  if (durable_ != nullptr && durable_->ShouldSnapshot()) {
+    SnapshotLocked();  // cadence only; a failed snapshot just leaves more WAL
+  }
   return Status::OK();
 }
 
 Status ScenarioService::DropScenario(const std::string& name) {
+  HYPER_RETURN_NOT_OK(recovery_status_);
   if (name == "main") {
     return Status::InvalidArgument("cannot drop the trunk scenario 'main'");
   }
@@ -69,6 +272,13 @@ Status ScenarioService::DropScenario(const std::string& name) {
     if (it == branches_.end()) {
       return Status::NotFound("scenario '" + name + "' does not exist");
     }
+    if (durable_ != nullptr) {
+      // Tombstone-before-erase: once acknowledged, recovery must never
+      // resurrect this branch.
+      durability::DropRecord record;
+      record.name = name;
+      HYPER_RETURN_NOT_OK(durable_->AppendDrop(record));
+    }
     // The branch's materialization and override snapshot die with the
     // BranchState; its data-scope fingerprint tags the cache entries to
     // evict. Skip the eviction when the delta fingerprints like the trunk's
@@ -78,6 +288,9 @@ Status ScenarioService::DropScenario(const std::string& name) {
       scope_tag = ScopeLocked(it->second);
     }
     branches_.erase(it);
+    if (durable_ != nullptr && durable_->ShouldSnapshot()) {
+      SnapshotLocked();  // cadence only; failure just leaves more WAL
+    }
   }
   // Eager eviction outside the service lock (the cache has its own): drop
   // the branch-scoped plan / scope / query entries now instead of letting
@@ -101,6 +314,7 @@ std::vector<ScenarioInfo> ScenarioService::ListScenarios() const {
     info.parent = state.branch.parent();
     info.updates_applied = state.branch.updates_applied();
     info.overridden_cells = state.branch.overridden_cells();
+    info.delta_fingerprint = state.branch.delta_fingerprint();
     out.push_back(std::move(info));
   }
   return out;
@@ -237,6 +451,7 @@ Result<ScenarioService::World> ScenarioService::SnapshotWorld(
 
 Result<std::shared_ptr<const Database>> ScenarioService::EffectiveDatabase(
     const std::string& scenario) {
+  HYPER_RETURN_NOT_OK(recovery_status_);
   HYPER_ASSIGN_OR_RETURN(World world, SnapshotWorld(scenario));
   return world.db;
 }
@@ -327,6 +542,7 @@ Result<HypotheticalDelta> ComputeHypotheticalDelta(
 
 Result<size_t> ScenarioService::ApplyHypothetical(
     const std::string& scenario, const sql::WhatIfStmt& stmt) {
+  HYPER_RETURN_NOT_OK(recovery_status_);
   if (stmt.updates.empty()) {
     return Status::InvalidArgument("hypothetical update needs an Update "
                                    "clause");
@@ -355,11 +571,39 @@ Result<size_t> ScenarioService::ApplyHypothetical(
         state->branch.version() != world.branch_version) {
       continue;  // world moved; retry against the new state
     }
+    if (durable_ != nullptr) {
+      // Journal the PHYSICAL override batches (not the SQL): replay pushes
+      // the same cells through the same Override() mixing, which is what
+      // makes recovered fingerprints — and therefore answers — bit-identical.
+      // Appended before the branch moves; a failed append mutates nothing.
+      durability::ApplyRecord record;
+      record.branch = scenario;
+      record.pre_fingerprint = state->branch.delta_fingerprint();
+      uint64_t fp = record.pre_fingerprint;
+      record.batches.reserve(stmt.updates.size());
+      for (size_t j = 0; j < stmt.updates.size(); ++j) {
+        durability::ApplyBatch batch;
+        batch.relation = delta.relation;
+        batch.attr = delta.attr_of_update[j];
+        batch.cells.reserve(delta.cells[j].size());
+        for (const auto& [tid, value] : delta.cells[j]) {
+          batch.cells.emplace_back(tid, value);
+        }
+        fp = ScenarioBranch::PreviewFingerprint(
+            fp, delta.relation, delta.attr_of_update[j], delta.cells[j]);
+        record.batches.push_back(std::move(batch));
+      }
+      record.post_fingerprint = fp;
+      HYPER_RETURN_NOT_OK(durable_->AppendApply(record));
+    }
     for (size_t j = 0; j < stmt.updates.size(); ++j) {
       state->branch.Override(delta.relation, delta.attr_of_update[j],
                              delta.cells[j]);
     }
     state->branch.RecordUpdateApplied();
+    if (durable_ != nullptr && durable_->ShouldSnapshot()) {
+      SnapshotLocked();  // cadence only; failure just leaves more WAL
+    }
     return delta.updated_rows;
   }
   return Status::FailedPrecondition(
@@ -578,6 +822,12 @@ Response ScenarioService::GovernedDispatch(const Request& request,
 
 Response ScenarioService::Submit(const Request& request) {
   Response response;
+  if (!recovery_status_.ok()) {
+    // A service behind a failed recovery refuses to answer: serving the
+    // in-memory default state would silently drop acknowledged history.
+    response.status = recovery_status_;
+    return response;
+  }
   Status admitted = Admit();
   if (!admitted.ok()) {
     response.status = std::move(admitted);
@@ -597,6 +847,10 @@ std::vector<Response> ScenarioService::SubmitBatch(
     const std::vector<Request>& requests) {
   std::vector<Response> responses(requests.size());
   if (requests.empty()) return responses;
+  if (!recovery_status_.ok()) {
+    for (Response& response : responses) response.status = recovery_status_;
+    return responses;
+  }
 
   // Snapshot every request's world up front: the whole batch runs against
   // one consistent state per scenario.
@@ -636,6 +890,7 @@ std::vector<Response> ScenarioService::SubmitBatch(
 Result<std::vector<WhatIfBatchItem>> ScenarioService::SubmitWhatIfBatch(
     const std::string& scenario, const std::string& base_whatif_sql,
     const std::vector<std::vector<whatif::UpdateSpec>>& interventions) {
+  HYPER_RETURN_NOT_OK(recovery_status_);
   // The whole sweep is one admitted request: it shares a plan and runs as
   // one unit of service work, however many interventions it carries.
   HYPER_RETURN_NOT_OK(Admit());
@@ -743,14 +998,29 @@ Result<std::vector<WhatIfBatchItem>> ScenarioService::DoSubmitWhatIfBatch(
   return items;
 }
 
-void ScenarioService::ReloadDataset(Database base) {
+Status ScenarioService::ReloadDataset(Database base) {
+  HYPER_RETURN_NOT_OK(recovery_status_);
   std::lock_guard<std::mutex> lock(mu_);
+  if (durable_ != nullptr) {
+    // The new base's content is NOT journaled — only its fingerprint, which
+    // recovery checks against whatever dataset the operator reloads. The
+    // reload record makes the generation bump durable; the snapshot right
+    // after re-anchors recovery so pre-reload records become prunable.
+    durability::ReloadRecord record;
+    record.generation = generation_ + 1;
+    record.base_fingerprint = base.ContentFingerprint();
+    HYPER_RETURN_NOT_OK(durable_->AppendReload(record));
+  }
   base_ = std::move(base);
   ++generation_;
   branches_.clear();
   branches_.emplace("main", BranchState{ScenarioBranch("main", ""),
                                         next_branch_id_++, ~0ULL, nullptr});
   cache_.Clear();
+  if (durable_ != nullptr) {
+    HYPER_RETURN_NOT_OK(SnapshotLocked());
+  }
+  return Status::OK();
 }
 
 }  // namespace hyper::service

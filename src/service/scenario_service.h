@@ -13,6 +13,7 @@
 #include "causal/graph.h"
 #include "common/governance.h"
 #include "common/status.h"
+#include "durability/manager.h"
 #include "howto/engine.h"
 #include "service/plan_cache.h"
 #include "service/scenario.h"
@@ -57,6 +58,18 @@ struct ServiceOptions {
   /// dispatched request is folded into latency histograms and outcome
   /// counters (see service_metrics.h). Null = no instrumentation cost.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Durability: when non-empty, every state-changing operation (scenario
+  /// create/drop, applied hypothetical, dataset reload) is journaled to a
+  /// checksummed WAL under this directory BEFORE it becomes visible, with
+  /// periodic branch-state snapshots; on construction the service recovers
+  /// the directory's state bit-identically (same delta fingerprints, same
+  /// answers). Empty = in-memory only, zero overhead.
+  std::string data_dir;
+  durability::FsyncPolicy wal_fsync = durability::FsyncPolicy::kInterval;
+  double wal_fsync_interval_seconds = 0.05;
+  /// Snapshot + WAL rotation every N journaled records (0 = only explicit
+  /// SnapshotNow / reload snapshots).
+  uint64_t snapshot_every_records = 256;
 };
 
 /// One request against a scenario branch. The statement kind (what-if /
@@ -108,6 +121,9 @@ struct ScenarioInfo {
   std::string parent;
   size_t updates_applied = 0;
   size_t overridden_cells = 0;
+  /// delta_fingerprint() of the branch — the recovery acceptance check
+  /// compares these across a crash/restart.
+  uint64_t delta_fingerprint = 0;
 };
 
 /// One intervention's outcome within a SubmitWhatIfBatch sweep. `result` is
@@ -216,8 +232,35 @@ class ScenarioService {
 
   /// Replaces the base database: every branch is dropped back to a clean
   /// trunk and the plan cache scope rolls over (cached plans for the old
-  /// data can never serve the new data).
-  void ReloadDataset(Database base);
+  /// data can never serve the new data). With durability on, the reload is
+  /// journaled and immediately followed by a fresh snapshot (the base data
+  /// itself is not journaled — recovery verifies the operator reloaded the
+  /// same dataset via its content fingerprint).
+  Status ReloadDataset(Database base);
+
+  // --- durability ----------------------------------------------------------
+
+  /// Non-OK when the service was constructed over a data dir that failed
+  /// recovery (corrupt WAL, replay divergence, wrong dataset). A gated
+  /// service refuses every mutation and submit with exactly this status —
+  /// it never silently serves possibly-wrong state.
+  const Status& recovery_status() const { return recovery_status_; }
+
+  /// What startup recovery found and replayed (meaningful when
+  /// options().data_dir was set, defaulted otherwise).
+  const durability::RecoveryInfo& recovery_info() const {
+    return recovery_info_;
+  }
+
+  /// Writes a branch-state snapshot now (drain path, `\wal stats` demos).
+  /// OK and a no-op when durability is off.
+  Status SnapshotNow();
+
+  /// Forces an fdatasync of the open WAL segment. No-op when off.
+  Status SyncWal();
+
+  bool durable() const { return durable_ != nullptr; }
+  durability::WalStats wal_stats() const;
 
   /// The branch's current world: base relations shared structurally,
   /// touched relations patched (built lazily, cached per branch version).
@@ -249,6 +292,15 @@ class ScenarioService {
 
   Result<BranchState*> FindBranchLocked(const std::string& name);
   std::string ScopeLocked(const BranchState& state) const;
+
+  /// Opens the data dir, rehydrates branches from snapshot + WAL tail, and
+  /// verifies every replayed record lands on its journaled fingerprint.
+  /// Failures park the service behind recovery_status_ instead of throwing.
+  void InitDurability();
+  Status ReplayDurable(durability::Manager::OpenResult* opened);
+  /// Images every branch for a snapshot; caller holds mu_.
+  std::vector<durability::DurableBranch> ImageBranchesLocked() const;
+  Status SnapshotLocked();
 
   /// Snapshot of everything a request needs. (branch_id, branch_version)
   /// identify the exact world, for optimistic writers.
@@ -306,6 +358,13 @@ class ScenarioService {
   PlanCache cache_;
   /// Metrics handles, present iff options_.metrics was set.
   std::unique_ptr<ServiceInstruments> instruments_;
+  /// Durability manager, present iff options_.data_dir was set AND recovery
+  /// succeeded. Appends happen under mu_, before the mutation is visible.
+  std::unique_ptr<durability::Manager> durable_;
+  /// Written once during construction, read-only afterwards (safe to check
+  /// without mu_).
+  Status recovery_status_ = Status::OK();
+  durability::RecoveryInfo recovery_info_;
 
   /// Admission-control state, on its own lock (never held together with
   /// mu_, and never across a dispatch — only around counter/slot updates

@@ -201,6 +201,24 @@ void AppendServiceSeries(const ScenarioService& service,
   AppendCacheSection(snapshot, "learn", cache.learn);
   AppendCacheSection(snapshot, "query", cache.query);
 
+  // Durability point-in-time state. The monotone WAL counters
+  // (hyper_wal_appends_total, hyper_wal_bytes_total, the fsync histogram,
+  // hyper_snapshots_total) live in the registry — the durability manager
+  // owns them — so only the derived gauges are appended here.
+  const durability::WalStats wal = service.wal_stats();
+  AppendGauge(snapshot, "hyper_wal_enabled", "",
+              "1 when a durable data dir is wired", wal.enabled ? 1.0 : 0.0);
+  if (wal.enabled) {
+    AppendGauge(snapshot, "hyper_wal_last_lsn", "",
+                "Highest acknowledged WAL sequence number",
+                double(wal.last_lsn));
+    AppendGauge(snapshot, "hyper_wal_segments", "",
+                "Live WAL segment files", double(wal.segments));
+    AppendGauge(snapshot, "hyper_wal_records_since_snapshot", "",
+                "Records appended since the last snapshot",
+                double(wal.records_since_snapshot));
+  }
+
   // Keep the exposition grouped per family after the append.
   std::stable_sort(snapshot->samples.begin(), snapshot->samples.end(),
                    [](const obs::MetricSample& a, const obs::MetricSample& b) {
@@ -248,6 +266,40 @@ std::string StatuszJson(const ScenarioService& service,
   WriteStageStats(&w, cache.learn);
   w.Key("query");
   WriteStageStats(&w, cache.query);
+  w.EndObject();
+
+  const durability::WalStats wal = service.wal_stats();
+  w.Key("durability").BeginObject();
+  w.Key("enabled").Bool(wal.enabled);
+  if (wal.enabled || !wal.dir.empty()) w.Key("dir").String(wal.dir);
+  if (wal.enabled) {
+    w.Key("fsync").String(wal.fsync_policy)
+        .Key("last_lsn").UInt(wal.last_lsn)
+        .Key("appends").UInt(wal.appends)
+        .Key("appended_bytes").UInt(wal.appended_bytes)
+        .Key("fsyncs").UInt(wal.fsyncs)
+        .Key("segments").UInt(wal.segments)
+        .Key("snapshots_written").UInt(wal.snapshots_written)
+        .Key("last_snapshot_lsn").UInt(wal.last_snapshot_lsn)
+        .Key("records_since_snapshot").UInt(wal.records_since_snapshot);
+  }
+  if (!service.recovery_status().ok()) {
+    w.Key("recovery_error").String(service.recovery_status().ToString());
+  }
+  const durability::RecoveryInfo& rec = wal.recovery;
+  w.Key("recovery").BeginObject()
+      .Key("performed").Bool(rec.performed)
+      .Key("snapshot_loaded").Bool(rec.snapshot_loaded)
+      .Key("snapshot_lsn").UInt(rec.snapshot_lsn)
+      .Key("records_replayed").UInt(rec.records_replayed)
+      .Key("records_skipped").UInt(rec.records_skipped)
+      .Key("tail_truncated").Bool(rec.tail_truncated)
+      .Key("truncated_bytes").UInt(rec.truncated_bytes)
+      .Key("corrupt_snapshots_skipped")
+      .UInt(rec.corrupt_snapshots_skipped.size())
+      .Key("generation").UInt(rec.generation)
+      .Key("seconds").Double(rec.seconds)
+      .EndObject();
   w.EndObject();
 
   w.Key("metrics");
