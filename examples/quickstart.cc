@@ -59,8 +59,9 @@ Database Figure1Database() {
   R(3, 5, 0.95, 5);
   R(4, 5, 0.7, 4);
 
-  db.AddTable(std::move(product));
-  db.AddTable(std::move(review));
+  // Fixed example schema into an empty database: AddTable cannot fail.
+  (void)db.AddTable(std::move(product));
+  (void)db.AddTable(std::move(review));
   return db;
 }
 

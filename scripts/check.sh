@@ -22,7 +22,42 @@ echo "== build =="
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
 echo "== ctest =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" -LE perf
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" -LE 'perf|lint'
+
+echo "== static analysis (invariant linter + thread-safety + clang-tidy) =="
+# Three legs, mirroring the sanitizer probe-then-skip pattern:
+#   1. scripts/lint_invariants.py — plain python3, always runs: governance
+#      state out of cache keys, no unordered iteration on serving paths, no
+#      naked clocks in hot loops, no unjustified (void)-dropped Status.
+#   2. Clang Thread Safety Analysis — builds src/ under clang with
+#      -Werror=thread-safety (HYPER_THREAD_SAFETY=ON) and runs the
+#      negative-compile test proving the gate rejects unlocked guarded
+#      access. Skipped when no clang++ is on PATH (gcc has no analysis).
+#   3. clang-tidy over src/ with the repo .clang-tidy profile. Skipped when
+#      no clang-tidy is on PATH.
+python3 scripts/lint_invariants.py src
+python3 tests/lint_invariants_test.py .
+echo "lint summary: invariant linter clean (src/ + rule self-tests)"
+
+if command -v clang++ >/dev/null 2>&1; then
+  # Full src/ under -Werror=thread-safety, then the negative-compile test
+  # proving the gate actually rejects unlocked guarded access.
+  TSAFE_BUILD_DIR="${BUILD_DIR}-tsafe"
+  cmake -B "$TSAFE_BUILD_DIR" -S . -DHYPER_THREAD_SAFETY=ON \
+        -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build "$TSAFE_BUILD_DIR" -j"$(nproc)" --target hyper_core
+  ctest --test-dir "$TSAFE_BUILD_DIR" --output-on-failure -R thread_safety_compile
+  echo "lint summary: thread-safety analysis clean (src/ + negative-compile test)"
+else
+  echo "lint summary: thread-safety analysis SKIPPED (no clang++ on PATH)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1 || [ -n "${CLANG_TIDY:-}" ]; then
+  scripts/run_tidy.sh "$BUILD_DIR"
+  echo "lint summary: clang-tidy clean"
+else
+  echo "lint summary: clang-tidy SKIPPED (not on PATH)"
+fi
 
 echo "== perf gate (parity tests + bench smoke) =="
 # bench_micro_smoke exists only when google-benchmark was found; ctest runs

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Project-specific invariant linters for the HypeR serving layer.
+
+Four rules, each encoding a contract the type system cannot express and a
+bug class this codebase has to actively defend against:
+
+  cache-key-governance   Cache-key structs (names ending in `Key`) must not
+                         carry governance state (QueryBudget, CancelToken,
+                         ExecGuard, deadlines). Keys are shared across
+                         requests; a budget in the key either fragments the
+                         cache (per-request keys never hit) or leaks one
+                         request's governance into another's plan.
+
+  unordered-iter         Serving-path code (whatif/ howto/ service/ net/
+                         relational/ prob/) must not range-iterate a
+                         same-file std::unordered_map/set: iteration order
+                         is hash-seed dependent, and anything it feeds into
+                         a merged or served result breaks the bit-identical
+                         determinism contract. Sites that are provably
+                         order-independent annotate the loop line (or the
+                         line above) with:  // lint:allow(unordered-iter): why
+
+  steady-clock           Hot evaluation loops (whatif/ howto/) must not call
+                         steady_clock::now() directly — per-row clock reads
+                         are the regression governance::LoopCheck exists to
+                         prevent (it amortizes the clock over N iterations).
+                         Annotate deliberate sites with
+                         // lint:allow(steady-clock): why
+
+  void-cast              `(void)Foo(...)` silences [[nodiscard]] (see
+                         common/status.h). A bare cast with no explanation
+                         is an error swallowed without an argument; require
+                         a comment on the same line or within the two lines
+                         above saying why dropping the result is correct.
+
+Usage: lint_invariants.py [paths...]   (default: src/)
+Exit 0 when clean, 1 when any rule fired, 2 on usage errors.
+"""
+
+import os
+import re
+import sys
+
+GOVERNANCE_TYPES = re.compile(
+    r"\b(QueryBudget|CancelToken|ExecGuard|Deadline|time_point)\b")
+KEY_STRUCT = re.compile(r"^\s*(?:struct|class)\s+(\w*Key)\b[^;]*$")
+UNORDERED_DECL = re.compile(
+    r"unordered_(?:map|set)<[^;\n]*>\s+(\w+)\s*(?:;|=|\{|\bGUARDED_BY)")
+UNORDERED_DECL_CONT = re.compile(r"^\s*(\w+)\s*(?:;|=|\{|\bGUARDED_BY)")
+RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*(\w+)\s*\)")
+STEADY_CLOCK = re.compile(r"steady_clock::now\s*\(")
+VOID_CAST = re.compile(r"^\s*\(void\)\s*[\w.\->:]+\s*\(")
+ALLOW = "lint:allow"
+
+SERVING_DIRS = ("whatif", "howto", "service", "net", "relational", "prob")
+HOT_DIRS = ("whatif", "howto")
+
+
+def has_comment_justification(lines, idx):
+    """True when lines[idx] or the two lines above carry a comment."""
+    if "//" in lines[idx]:
+        return True
+    for back in (1, 2):
+        if idx - back >= 0 and lines[idx - back].lstrip().startswith("//"):
+            return True
+    return False
+
+
+def lint_file(path, findings):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        findings.append((path, 0, "io", str(e)))
+        return
+    lines = text.split("\n")
+    parts = os.path.normpath(path).split(os.sep)
+    in_serving = any(d in parts for d in SERVING_DIRS)
+    in_hot = any(d in parts for d in HOT_DIRS)
+
+    # --- cache-key-governance ---
+    for i, line in enumerate(lines):
+        m = KEY_STRUCT.match(line)
+        if not m:
+            continue
+        # Scan the struct body until its closing brace at column 0/struct
+        # indent ('};'). Key structs here are small; cap the scan.
+        for j in range(i + 1, min(i + 120, len(lines))):
+            body_line = lines[j]
+            if re.match(r"^\s*};", body_line):
+                break
+            gm = GOVERNANCE_TYPES.search(body_line)
+            if gm and ALLOW not in body_line:
+                findings.append(
+                    (path, j + 1, "cache-key-governance",
+                     f"cache-key struct {m.group(1)} carries governance "
+                     f"state ({gm.group(1)}); keys must be request-"
+                     "independent"))
+
+    # --- unordered-iter (serving dirs only) ---
+    if in_serving:
+        unordered_names = set()
+        for i, line in enumerate(lines):
+            dm = UNORDERED_DECL.search(line)
+            if dm:
+                unordered_names.add(dm.group(1))
+            elif (i > 0 and "unordered_" in lines[i - 1]
+                  and lines[i - 1].rstrip().endswith(">")):
+                cm = UNORDERED_DECL_CONT.match(line)
+                if cm:
+                    unordered_names.add(cm.group(1))
+        for i, line in enumerate(lines):
+            fm = RANGE_FOR.search(line)
+            if not fm or fm.group(1) not in unordered_names:
+                continue
+            window = lines[max(0, i - 1):i + 1]
+            if any(ALLOW in w and "unordered-iter" in w for w in window):
+                continue
+            findings.append(
+                (path, i + 1, "unordered-iter",
+                 f"range-for over unordered container '{fm.group(1)}' on a "
+                 "serving path; hash order is nondeterministic — sort "
+                 "before merging/serving, or annotate "
+                 "// lint:allow(unordered-iter): <why order cannot matter>"))
+
+    # --- steady-clock (hot dirs only) ---
+    if in_hot:
+        for i, line in enumerate(lines):
+            if STEADY_CLOCK.search(line) and not (
+                    ALLOW in line and "steady-clock" in line):
+                findings.append(
+                    (path, i + 1, "steady-clock",
+                     "naked steady_clock::now() in an evaluation hot path; "
+                     "use governance::LoopCheck (amortized) or annotate "
+                     "// lint:allow(steady-clock): <why>"))
+
+    # --- void-cast ---
+    for i, line in enumerate(lines):
+        if VOID_CAST.match(line) and not has_comment_justification(lines, i):
+            findings.append(
+                (path, i + 1, "void-cast",
+                 "(void)-discarded call with no justification comment; say "
+                 "why dropping the result is correct (same line or the two "
+                 "lines above)"))
+
+
+def collect_files(paths):
+    exts = (".h", ".cc", ".cpp", ".hpp")
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        out.append(os.path.join(root, name))
+        else:
+            print(f"lint_invariants: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def main(argv):
+    paths = argv[1:] or ["src"]
+    findings = []
+    files = collect_files(paths)
+    for path in files:
+        lint_file(path, findings)
+    for path, line, rule, msg in findings:
+        print(f"{path}:{line}: [{rule}] {msg}")
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s) "
+              f"in {len(files)} file(s)")
+        return 1
+    print(f"lint_invariants: clean ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: repo-root .clang-tidy) over every src/ translation
+# unit using the compilation database exported by CMake
+# (CMAKE_EXPORT_COMPILE_COMMANDS is always on — see CMakeLists.txt).
+#
+# Usage: run_tidy.sh [build_dir]     (default: build)
+# Exits 77 (ctest SKIP) when no clang-tidy is on PATH, 2 when the build dir
+# has no compile_commands.json, 1 on findings, 0 when clean.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "SKIP: no clang-tidy on PATH"
+  exit 77
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "ERROR: $BUILD_DIR/compile_commands.json not found — configure first:"
+  echo "  cmake -B $BUILD_DIR"
+  exit 2
+fi
+
+mapfile -t SOURCES < <(find "$ROOT/src" -name '*.cc' | sort)
+echo "clang-tidy ($TIDY) over ${#SOURCES[@]} files"
+
+FAILED=0
+for src in "${SOURCES[@]}"; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$src"; then
+    FAILED=1
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "clang-tidy: findings above"
+  exit 1
+fi
+echo "clang-tidy: clean"
+exit 0

@@ -1,0 +1,89 @@
+#ifndef HYPER_COMMON_MUTEX_H_
+#define HYPER_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace hyper {
+
+/// A std::mutex carrying the CAPABILITY attribute so Clang Thread Safety
+/// Analysis can reason about it. libstdc++'s std::mutex is unannotated, so
+/// GUARDED_BY(some_std_mutex) checks nothing; GUARDED_BY(some_hyper_Mutex)
+/// is enforced under -Werror=thread-safety (see common/thread_annotations.h
+/// and the HYPER_THREAD_SAFETY CMake option). Zero overhead: the wrapper is
+/// exactly a std::mutex at runtime.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The raw std::mutex, for interop the analysis cannot follow (CondVar's
+  /// adopt_lock wait). Callers outside common/mutex.h should not need this.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex — the scoped capability the analysis tracks:
+///
+///   MutexLock lock(&mu_);
+///   guarded_member_ = ...;  // OK: mu_ is held until end of scope
+///
+/// Deliberately minimal (no deferred/adoptable/timed modes): every locked
+/// region in this codebase is a plain acquire-at-scope-entry.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() atomically releases and
+/// reacquires the caller's Mutex via std::condition_variable on the native
+/// handle; REQUIRES(mu) teaches the analysis that the capability is held on
+/// entry and on return (the release inside the wait is invisible to it,
+/// which matches the caller's view: guarded state may only be re-read after
+/// Wait returns, when the lock is held again).
+///
+/// No predicate overload on purpose: the analysis cannot see through a
+/// predicate lambda's accesses to guarded members, so waits are written as
+///   while (!condition_over_guarded_state) cv_.Wait(mu_);
+/// inside the locked region, where every read is checked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    // adopt_lock hands the already-held native mutex to a unique_lock for
+    // the duration of the wait; release() hands it back without unlocking,
+    // so ownership round-trips and the MutexLock destructor stays balanced.
+    std::unique_lock<std::mutex> native_lock(mu.native(), std::adopt_lock);
+    cv_.wait(native_lock);
+    native_lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hyper
+
+#endif  // HYPER_COMMON_MUTEX_H_

@@ -49,7 +49,12 @@ const char* StatusCodeName(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// [[nodiscard]]: ignoring a Status silently swallows the error. The rare
+/// call site that genuinely cannot act on a failure must spell out
+/// `(void)Thing();` with a comment saying why dropping it is correct —
+/// scripts/lint_invariants.py rejects a bare cast with no justification.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -119,8 +124,11 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 ///   Result<Table> r = Parse(...);
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).value();
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error (and a wasted computation).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success) or a Status (failure) keeps
   /// call sites readable: `return table;` / `return Status::ParseError(...)`.

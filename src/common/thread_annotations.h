@@ -1,0 +1,90 @@
+#ifndef HYPER_COMMON_THREAD_ANNOTATIONS_H_
+#define HYPER_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (abseil style). Lock contracts
+/// that used to live in comments — "guarded by mu_", "caller holds the
+/// section mutex" — become machine-checked attributes: a clang build with
+/// -DHYPER_THREAD_SAFETY=ON (which adds -Werror=thread-safety) rejects any
+/// access to a GUARDED_BY member without its mutex held, any call to a
+/// REQUIRES function without the capability, and any lock/unlock imbalance.
+/// Under gcc (and clang without the flag) every macro expands to nothing, so
+/// the annotations are zero-cost documentation.
+///
+/// Vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+///   GUARDED_BY(mu)      data member readable/writable only with mu held
+///   PT_GUARDED_BY(mu)   pointee (not the pointer) guarded by mu
+///   REQUIRES(mu)        function must be called with mu held (and does not
+///                       release it)
+///   ACQUIRE(mu)/RELEASE(mu)  function acquires / releases mu
+///   TRY_ACQUIRE(b, mu)  acquires mu iff the function returns b
+///   EXCLUDES(mu)        function must be called with mu NOT held (deadlock
+///                       documentation; e.g. callbacks that re-enter a cache)
+///   ASSERT_CAPABILITY   runtime assertion that mu is held (not used yet)
+///   CAPABILITY / SCOPED_CAPABILITY  class-level markers for mutex types and
+///                       RAII lock types (see common/mutex.h)
+///   NO_THREAD_SAFETY_ANALYSIS  opt a function out (last resort; say why)
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HYPER_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HYPER_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+#define CAPABILITY(x) HYPER_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY HYPER_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) HYPER_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) HYPER_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...)                 \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(          \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HYPER_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // HYPER_COMMON_THREAD_ANNOTATIONS_H_

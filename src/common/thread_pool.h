@@ -2,15 +2,15 @@
 #define HYPER_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace hyper {
 
@@ -41,10 +41,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& t : workers_) t.join();
   }
 
@@ -97,12 +97,12 @@ class ThreadPool {
       drivers = std::min(drivers, max_parallelism - 1);  // caller is one
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (size_t d = 0; d < drivers; ++d) {
         tasks_.push([state] { state->Drive(); });
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     state->Drive();  // caller participates
     state->WaitDone();
   }
@@ -113,8 +113,10 @@ class ThreadPool {
     const std::function<void(size_t)>* fn = nullptr;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    /// Guards nothing itself — done/next are atomics — it exists so the
+    /// completion wakeup has a mutex to pair with done_cv.
+    Mutex done_mu;
+    CondVar done_cv;
 
     void Drive() {
       for (;;) {
@@ -122,17 +124,17 @@ class ThreadPool {
         if (i >= n) break;
         (*fn)(i);
         if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-          std::unique_lock<std::mutex> lock(done_mu);
-          done_cv.notify_all();
+          MutexLock lock(&done_mu);
+          done_cv.NotifyAll();
         }
       }
     }
 
     void WaitDone() {
-      std::unique_lock<std::mutex> lock(done_mu);
-      done_cv.wait(lock, [this] {
-        return done.load(std::memory_order_acquire) >= n;
-      });
+      MutexLock lock(&done_mu);
+      while (done.load(std::memory_order_acquire) < n) {
+        done_cv.Wait(done_mu);
+      }
     }
   };
 
@@ -140,8 +142,8 @@ class ThreadPool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        MutexLock lock(&mu_);
+        while (!stop_ && tasks_.empty()) cv_.Wait(mu_);
         if (stop_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop();
@@ -150,11 +152,13 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  /// Started in the constructor, joined in the destructor, and never
+  /// mutated in between — safe to size() without mu_.
   std::vector<std::thread> workers_;
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hyper

@@ -269,13 +269,18 @@ Result<Manager::OpenResult> Manager::Open(DurabilityOptions options,
   writer_options.fsync_interval_seconds =
       manager->options_.fsync_interval_seconds;
   writer_options.segment_max_bytes = manager->options_.segment_max_bytes;
-  manager->wal_ = std::make_unique<WalWriter>(manager->wal_dir_,
-                                              writer_options);
-  HYPER_RETURN_NOT_OK(manager->wal_->Open(identity, max_lsn + 1));
-  manager->last_snapshot_lsn_ = snapshot_lsn;
+  {
+    // The manager is not shared yet; the lock exists for the analysis (and
+    // costs one uncontended acquire at startup).
+    MutexLock lock(&manager->mu_);
+    manager->wal_ = std::make_unique<WalWriter>(manager->wal_dir_,
+                                                writer_options);
+    HYPER_RETURN_NOT_OK(manager->wal_->Open(identity, max_lsn + 1));
+    manager->last_snapshot_lsn_ = snapshot_lsn;
 
-  info.seconds = SecondsSince(start);
-  manager->recovery_ = info;
+    info.seconds = SecondsSince(start);
+    manager->recovery_ = info;
+  }
   result.manager = std::move(manager);
   return result;
 }
@@ -296,22 +301,22 @@ Status Manager::AppendLocked(WalRecordType type, const std::string& payload) {
 }
 
 Status Manager::AppendCreate(const CreateRecord& r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return AppendLocked(WalRecordType::kCreate, EncodeCreate(r));
 }
 
 Status Manager::AppendApply(const ApplyRecord& r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return AppendLocked(WalRecordType::kApply, EncodeApply(r));
 }
 
 Status Manager::AppendDrop(const DropRecord& r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return AppendLocked(WalRecordType::kDrop, EncodeDrop(r));
 }
 
 Status Manager::AppendReload(const ReloadRecord& r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   HYPER_RETURN_NOT_OK(AppendLocked(WalRecordType::kReload, EncodeReload(r)));
   identity_.generation = r.generation;
   identity_.base_fingerprint = r.base_fingerprint;
@@ -319,13 +324,13 @@ Status Manager::AppendReload(const ReloadRecord& r) {
 }
 
 bool Manager::ShouldSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return options_.snapshot_every_records > 0 &&
          records_since_snapshot_ >= options_.snapshot_every_records;
 }
 
 Status Manager::WriteSnapshot(std::vector<DurableBranch> branches) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Records the snapshot claims must be durable before the snapshot is.
   HYPER_RETURN_NOT_OK(wal_->Sync());
   DurableState state;
@@ -349,13 +354,13 @@ Status Manager::WriteSnapshot(std::vector<DurableBranch> branches) {
 }
 
 Status Manager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return wal_->Sync();
 }
 
 void Manager::NoteRecoveryComplete(const RecoveryInfo& info) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     recovery_ = info;
   }
   if (recovery_seconds_ != nullptr) recovery_seconds_->Set(info.seconds);
@@ -365,7 +370,7 @@ void Manager::NoteRecoveryComplete(const RecoveryInfo& info) {
 }
 
 WalStats Manager::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   WalStats stats;
   stats.enabled = true;
   stats.dir = options_.dir;

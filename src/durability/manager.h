@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "durability/snapshot.h"
 #include "durability/wal.h"
 #include "obs/metrics.h"
@@ -184,20 +185,23 @@ class Manager {
  private:
   Manager(DurabilityOptions options, WalSegmentHeader identity);
 
-  Status AppendLocked(WalRecordType type, const std::string& payload);
+  Status AppendLocked(WalRecordType type, const std::string& payload)
+      REQUIRES(mu_);
 
   const DurabilityOptions options_;
   const std::string wal_dir_;
 
-  mutable std::mutex mu_;
-  std::unique_ptr<WalWriter> wal_;
-  WalSegmentHeader identity_;  // current generation + base fingerprint
-  uint64_t records_since_snapshot_ = 0;
-  uint64_t snapshots_written_ = 0;
-  uint64_t last_snapshot_lsn_ = 0;
-  RecoveryInfo recovery_;
+  mutable Mutex mu_;
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(mu_);
+  /// Current generation + base fingerprint.
+  WalSegmentHeader identity_ GUARDED_BY(mu_);
+  uint64_t records_since_snapshot_ GUARDED_BY(mu_) = 0;
+  uint64_t snapshots_written_ GUARDED_BY(mu_) = 0;
+  uint64_t last_snapshot_lsn_ GUARDED_BY(mu_) = 0;
+  RecoveryInfo recovery_ GUARDED_BY(mu_);
 
-  // Series are registered once at Open; null when metrics sink absent.
+  // Series are registered once at Open (before the manager is shared) and
+  // only dereferenced afterwards — immutable-after-publish, not guarded.
   obs::Counter* appends_total_ = nullptr;
   obs::Counter* bytes_total_ = nullptr;
   obs::Histogram* fsync_seconds_ = nullptr;

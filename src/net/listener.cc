@@ -22,15 +22,17 @@ HttpServer::HttpServer(HttpServerOptions options)
 HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start(HttpHandler handler) {
-  if (started_) return Status::FailedPrecondition("server already started");
+  if (started_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
   handler_ = std::move(handler);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -38,38 +40,35 @@ Status HttpServer::Start(HttpHandler handler) {
   addr.sin_port = htons(options_.port);
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return Status::InvalidArgument(
         StrFormat("invalid bind address '%s'", options_.bind_address.c_str()));
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return Status::Internal(StrFormat("bind(%s:%u): %s",
                                       options_.bind_address.c_str(),
                                       unsigned{options_.port}, err.c_str()));
   }
-  if (::listen(listen_fd_, options_.backlog) < 0) {
+  if (::listen(fd, options_.backlog) < 0) {
     const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return Status::Internal(StrFormat("listen(): %s", err.c_str()));
   }
 
   sockaddr_in bound;
   socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
     port_ = ntohs(bound.sin_port);
   } else {
     port_ = options_.port;
   }
 
+  listen_fd_.store(fd);
   stopping_.store(false);
-  started_ = true;
+  started_.store(true);
   accept_thread_ = std::thread(&HttpServer::AcceptLoop, this);
   workers_.reserve(options_.num_threads);
   for (size_t i = 0; i < options_.num_threads; ++i) {
@@ -79,29 +78,39 @@ Status HttpServer::Start(HttpHandler handler) {
 }
 
 void HttpServer::Stop() {
-  if (!started_) return;
-  started_ = false;
-  stopping_.store(true);
+  if (!started_.exchange(false)) return;
+  {
+    // Published under mu_ so the store cannot land between a worker's
+    // predicate check and its wait — otherwise the NotifyAll below can fire
+    // before the worker blocks and the wakeup is lost (the worker would
+    // sleep forever; TSan's scheduler hits this window reliably).
+    MutexLock lock(&mu_);
+    stopping_.store(true);
+  }
   // Unblock accept(): shutdown() wakes a blocked accept on Linux; close()
   // finishes the job.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
   // Drop connections that were accepted but never picked up.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const int fd : pending_) ::close(fd);
+  MutexLock lock(&mu_);
+  for (const int pending_fd : pending_) ::close(pending_fd);
   pending_.clear();
 }
 
 void HttpServer::AcceptLoop() {
   while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load(std::memory_order_relaxed);
+    if (listen_fd < 0) break;  // Stop() already closed it
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (stopping_.load(std::memory_order_relaxed)) break;
@@ -110,10 +119,10 @@ void HttpServer::AcceptLoop() {
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       pending_.push_back(fd);
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 }
 
@@ -121,10 +130,11 @@ void HttpServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        return !pending_.empty() || stopping_.load(std::memory_order_relaxed);
-      });
+      MutexLock lock(&mu_);
+      while (pending_.empty() &&
+             !stopping_.load(std::memory_order_relaxed)) {
+        cv_.Wait(mu_);
+      }
       if (pending_.empty()) return;  // stopping and drained
       fd = pending_.front();
       pending_.pop_front();

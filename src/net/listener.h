@@ -2,15 +2,15 @@
 #define HYPER_NET_LISTENER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/http.h"
 
 namespace hyper {
@@ -64,17 +64,22 @@ class HttpServer {
 
   HttpServerOptions options_;
   HttpHandler handler_;
-  int listen_fd_ = -1;
+  /// Atomic because Stop() writes -1 while AcceptLoop may still be reading
+  /// the fd for accept() — the shutdown/close wakes that accept, but the
+  /// load itself must not race the store.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
+  /// Start/Stop are caller-serialized (see Start's precondition); atomic so
+  /// a misuse is a clean read, not a data race.
+  std::atomic<bool> started_{false};
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<int> pending_ GUARDED_BY(mu_);  // accepted fds awaiting a worker
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> requests_served_{0};

@@ -99,7 +99,7 @@ double HistogramQuantile(const std::vector<double>& bounds,
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view labels,
                                      std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = counters_.try_emplace(MakeKey(name, labels));
   if (inserted) it->second.help = std::string(help);
   return &it->second.counter;
@@ -108,7 +108,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name,
 Gauge* MetricsRegistry::GetGauge(std::string_view name,
                                  std::string_view labels,
                                  std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = gauges_.try_emplace(MakeKey(name, labels));
   if (inserted) it->second.help = std::string(help);
   return &it->second.gauge;
@@ -118,7 +118,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::string_view labels,
                                          std::string_view help,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [it, inserted] = histograms_.try_emplace(MakeKey(name, labels));
   if (inserted) {
     it->second.help = std::string(help);
@@ -129,7 +129,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [key, entry] : counters_) {
     MetricSample s;
     SplitKey(key, &s.name, &s.labels);

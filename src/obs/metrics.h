@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hyper {
 namespace obs {
@@ -138,11 +140,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  // Keyed by name + "\0" + labels; node-based maps keep pointers stable.
-  std::map<std::string, CounterEntry> counters_;
-  std::map<std::string, GaugeEntry> gauges_;
-  std::map<std::string, HistogramEntry> histograms_;
+  mutable Mutex mu_;
+  // Keyed by name + "\0" + labels; node-based maps keep pointers stable, so
+  // instrument pointers stay valid outside mu_ — only the map structure is
+  // guarded, never the (atomic) instrument payloads.
+  std::map<std::string, CounterEntry> counters_ GUARDED_BY(mu_);
+  std::map<std::string, GaugeEntry> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramEntry> histograms_ GUARDED_BY(mu_);
 };
 
 /// Prometheus text exposition format (version 0.0.4): HELP/TYPE headers per

@@ -67,7 +67,7 @@ Result<StageCache::EntryPtr> StageCache::GetOrBuildInSection(
   bool leader = false;
   size_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(section.mu);
+    MutexLock lock(&section.mu);
     epoch = section.clear_epoch;
     auto it = section.map.find(key);
     if (it != section.map.end()) {
@@ -107,7 +107,7 @@ Result<StageCache::EntryPtr> StageCache::GetOrBuildInSection(
   Result<EntryPtr> entry = build();
   Result<EntryPtr> canonical = entry;
   {
-    std::lock_guard<std::mutex> lock(section.mu);
+    MutexLock lock(&section.mu);
     if (entry.ok() && capacity_ > 0 && section.clear_epoch == epoch &&
         !flight->cancelled) {
       // Single-flight means no same-key GetOrBuild raced us, but a manual
@@ -130,7 +130,7 @@ Result<StageCache::EntryPtr> StageCache::GetOrBuildInSection(
 }
 
 StageStats StageCache::SectionStats(const Section& section) const {
-  std::lock_guard<std::mutex> lock(section.mu);
+  MutexLock lock(&section.mu);
   StageStats s;
   s.hits = section.hits;
   s.misses = section.misses;
@@ -145,7 +145,7 @@ StageStats StageCache::SectionStats(const Section& section) const {
 
 std::shared_ptr<const whatif::PreparedWhatIf> StageCache::Get(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(plans_.mu);
+  MutexLock lock(&plans_.mu);
   auto it = plans_.map.find(key);
   if (it == plans_.map.end()) {
     ++plans_.misses;
@@ -161,7 +161,7 @@ std::shared_ptr<const whatif::PreparedWhatIf> StageCache::Put(
     const std::string& key,
     std::shared_ptr<const whatif::PreparedWhatIf> plan) {
   if (capacity_ == 0) return plan;  // caching disabled
-  std::lock_guard<std::mutex> lock(plans_.mu);
+  MutexLock lock(&plans_.mu);
   bool lost_race = false;
   EntryPtr canonical = StoreLocked(plans_, key, std::move(plan), &lost_race);
   // The losing racer's Get counted a miss and its duplicated prepare is
@@ -203,7 +203,7 @@ Result<StageCache::StagePtr> StageCache::GetOrBuild(whatif::StageKind kind,
 StageCache::StagePtr StageCache::Peek(whatif::StageKind kind,
                                       const std::string& key) {
   Section& section = SectionOf(kind);
-  std::lock_guard<std::mutex> lock(section.mu);
+  MutexLock lock(&section.mu);
   auto it = section.map.find(key);
   return it == section.map.end() ? nullptr : it->second.entry;
 }
@@ -215,7 +215,7 @@ size_t StageCache::EvictTagged(const std::string& tag) {
   Section* sections[] = {&plans_, &stages_[0], &stages_[1], &stages_[2],
                          &stages_[3]};
   for (Section* section : sections) {
-    std::lock_guard<std::mutex> lock(section->mu);
+    MutexLock lock(&section->mu);
     for (auto it = section->map.begin(); it != section->map.end();) {
       if (it->first.find(tag) != std::string::npos) {
         section->lru.erase(it->second.lru_it);
@@ -247,7 +247,7 @@ void StageCache::Clear() {
   Section* sections[] = {&plans_, &stages_[0], &stages_[1], &stages_[2],
                          &stages_[3]};
   for (Section* section : sections) {
-    std::lock_guard<std::mutex> lock(section->mu);
+    MutexLock lock(&section->mu);
     // In-flight builds still publish to their waiters, but the epoch bump
     // stops their leaders from inserting a possibly-invalidated key and
     // stops post-Clear callers from coalescing onto the stale work.

@@ -5,11 +5,12 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "whatif/engine.h"
 
 namespace hyper::service {
@@ -152,35 +153,44 @@ class StageCache : public whatif::StageProvider {
   };
 
   /// One independent LRU + single-flight cache: plans, or one stage kind.
+  /// `InFlight::cancelled` is written under the owning section's mu (see
+  /// EvictTagged) and read by the build leader under the same mu — the
+  /// analysis cannot express "guarded by the section that owns me" across
+  /// the shared_ptr, so the contract lives here in prose.
   struct Section {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     /// Front = most recently used.
-    std::list<std::string> lru;
+    std::list<std::string> lru GUARDED_BY(mu);
     struct Slot {
       EntryPtr entry;
       std::list<std::string>::iterator lru_it;
     };
-    std::unordered_map<std::string, Slot> map;
-    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+    std::unordered_map<std::string, Slot> map GUARDED_BY(mu);
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight
+        GUARDED_BY(mu);
     /// Bumped by Clear(). A builder whose factory straddled a Clear still
     /// publishes its entry to waiters but skips the insert: its key may
     /// embed an invalidated scope and would sit unreachable in the LRU.
-    size_t clear_epoch = 0;
-    size_t hits = 0;
-    size_t misses = 0;
-    size_t coalesced = 0;
-    size_t evictions = 0;
+    size_t clear_epoch GUARDED_BY(mu) = 0;
+    size_t hits GUARDED_BY(mu) = 0;
+    size_t misses GUARDED_BY(mu) = 0;
+    size_t coalesced GUARDED_BY(mu) = 0;
+    size_t evictions GUARDED_BY(mu) = 0;
   };
 
   /// Inserts into the section LRU (first writer wins) and returns the
   /// canonical entry. Caller holds the section mutex.
   EntryPtr StoreLocked(Section& section, const std::string& key,
-                       EntryPtr entry, bool* lost_race = nullptr);
-  void EvictIfNeededLocked(Section& section);
+                       EntryPtr entry, bool* lost_race = nullptr)
+      REQUIRES(section.mu);
+  void EvictIfNeededLocked(Section& section) REQUIRES(section.mu);
+  /// Runs `build` outside the section lock (EXCLUDES documents that the
+  /// factory may re-enter other sections, never this one).
   Result<EntryPtr> GetOrBuildInSection(Section& section,
                                        const std::string& key,
-                                       const EntryFactory& build, bool* hit);
-  StageStats SectionStats(const Section& section) const;
+                                       const EntryFactory& build, bool* hit)
+      EXCLUDES(section.mu);
+  StageStats SectionStats(const Section& section) const EXCLUDES(section.mu);
 
   Section& SectionOf(whatif::StageKind kind) {
     return stages_[static_cast<size_t>(kind)];

@@ -203,7 +203,7 @@ Status ScenarioService::SnapshotLocked() {
 
 Status ScenarioService::SnapshotNow() {
   HYPER_RETURN_NOT_OK(recovery_status_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (durable_ == nullptr) return Status::OK();
   return SnapshotLocked();
 }
@@ -233,7 +233,7 @@ Status ScenarioService::CreateScenario(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("scenario name must not be empty");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (branches_.count(name) > 0) {
     return Status::AlreadyExists("scenario '" + name + "' already exists");
   }
@@ -255,7 +255,8 @@ Status ScenarioService::CreateScenario(const std::string& name,
   branches_.emplace(name, BranchState{std::move(branch), next_branch_id_++,
                                       ~0ULL, nullptr});
   if (durable_ != nullptr && durable_->ShouldSnapshot()) {
-    SnapshotLocked();  // cadence only; a failed snapshot just leaves more WAL
+    // Cadence only: a failed snapshot just leaves more WAL to replay.
+    (void)SnapshotLocked();
   }
   return Status::OK();
 }
@@ -267,7 +268,7 @@ Status ScenarioService::DropScenario(const std::string& name) {
   }
   std::string scope_tag;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = branches_.find(name);
     if (it == branches_.end()) {
       return Status::NotFound("scenario '" + name + "' does not exist");
@@ -289,7 +290,8 @@ Status ScenarioService::DropScenario(const std::string& name) {
     }
     branches_.erase(it);
     if (durable_ != nullptr && durable_->ShouldSnapshot()) {
-      SnapshotLocked();  // cadence only; failure just leaves more WAL
+      // Cadence only: failure just leaves more WAL to replay.
+      (void)SnapshotLocked();
     }
   }
   // Eager eviction outside the service lock (the cache has its own): drop
@@ -300,12 +302,12 @@ Status ScenarioService::DropScenario(const std::string& name) {
 }
 
 bool ScenarioService::HasScenario(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return branches_.count(name) > 0;
 }
 
 std::vector<ScenarioInfo> ScenarioService::ListScenarios() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<ScenarioInfo> out;
   out.reserve(branches_.size());
   for (const auto& [name, state] : branches_) {
@@ -385,7 +387,7 @@ Result<ScenarioService::World> ScenarioService::SnapshotWorld(
     std::vector<std::pair<std::string, ScenarioBranch::RelationOverrides>>
         touched;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       HYPER_ASSIGN_OR_RETURN(BranchState * state, FindBranchLocked(scenario));
       world.scope = ScopeLocked(*state);
       world.branch_id = state->id;
@@ -433,7 +435,7 @@ Result<ScenarioService::World> ScenarioService::SnapshotWorld(
       HYPER_RETURN_NOT_OK(effective->PutTable(std::move(patched)));
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     HYPER_ASSIGN_OR_RETURN(BranchState * state, FindBranchLocked(scenario));
     if (state->id != world.branch_id ||
         state->branch.version() != world.branch_version) {
@@ -565,7 +567,7 @@ Result<size_t> ScenarioService::ApplyHypothetical(
                            ComputeHypotheticalDelta(*world.db, stmt));
     if (delta.updated_rows == 0) return size_t{0};  // nothing to record
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     HYPER_ASSIGN_OR_RETURN(BranchState * state, FindBranchLocked(scenario));
     if (state->id != world.branch_id ||
         state->branch.version() != world.branch_version) {
@@ -602,7 +604,8 @@ Result<size_t> ScenarioService::ApplyHypothetical(
     }
     state->branch.RecordUpdateApplied();
     if (durable_ != nullptr && durable_->ShouldSnapshot()) {
-      SnapshotLocked();  // cadence only; failure just leaves more WAL
+      // Cadence only: failure just leaves more WAL to replay.
+      (void)SnapshotLocked();
     }
     return delta.updated_rows;
   }
@@ -702,7 +705,7 @@ Response ScenarioService::Dispatch(const Request& request,
 }
 
 Status ScenarioService::Admit() {
-  std::unique_lock<std::mutex> lock(admission_mu_);
+  MutexLock lock(&admission_mu_);
   if (draining_) {
     ++gov_.rejected_draining;
     return Status::Unavailable("service is draining; new requests are "
@@ -726,13 +729,13 @@ Status ScenarioService::Admit() {
         in_flight_, options_.max_queued_requests));
   }
   ++queue_len_;
-  admission_cv_.wait(lock, [&] {
-    return draining_ || in_flight_ < options_.max_concurrent_requests;
-  });
+  while (!draining_ && in_flight_ >= options_.max_concurrent_requests) {
+    admission_cv_.Wait(admission_mu_);
+  }
   --queue_len_;
   if (draining_) {
     ++gov_.rejected_draining;
-    admission_cv_.notify_all();  // AwaitIdle may be waiting on queue_len_
+    admission_cv_.NotifyAll();  // AwaitIdle may be waiting on queue_len_
     return Status::Unavailable("service is draining; queued request "
                                "rejected");
   }
@@ -743,7 +746,7 @@ Status ScenarioService::Admit() {
 }
 
 void ScenarioService::Release(const Status& status) {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  MutexLock lock(&admission_mu_);
   --in_flight_;
   ++gov_.completed;
   switch (status.code()) {
@@ -759,28 +762,29 @@ void ScenarioService::Release(const Status& status) {
     default:
       break;
   }
-  admission_cv_.notify_all();
+  admission_cv_.NotifyAll();
 }
 
 void ScenarioService::BeginDrain() {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  MutexLock lock(&admission_mu_);
   draining_ = true;
-  admission_cv_.notify_all();
+  admission_cv_.NotifyAll();
 }
 
 void ScenarioService::AwaitIdle() {
-  std::unique_lock<std::mutex> lock(admission_mu_);
-  admission_cv_.wait(lock,
-                     [&] { return in_flight_ == 0 && queue_len_ == 0; });
+  MutexLock lock(&admission_mu_);
+  while (in_flight_ != 0 || queue_len_ != 0) {
+    admission_cv_.Wait(admission_mu_);
+  }
 }
 
 bool ScenarioService::draining() const {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  MutexLock lock(&admission_mu_);
   return draining_;
 }
 
 GovernanceStats ScenarioService::governance_stats() const {
-  std::lock_guard<std::mutex> lock(admission_mu_);
+  MutexLock lock(&admission_mu_);
   GovernanceStats stats = gov_;
   stats.in_flight = in_flight_;
   stats.queued_now = queue_len_;
@@ -1000,7 +1004,7 @@ Result<std::vector<WhatIfBatchItem>> ScenarioService::DoSubmitWhatIfBatch(
 
 Status ScenarioService::ReloadDataset(Database base) {
   HYPER_RETURN_NOT_OK(recovery_status_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (durable_ != nullptr) {
     // The new base's content is NOT journaled — only its fingerprint, which
     // recovery checks against whatever dataset the operator reloads. The

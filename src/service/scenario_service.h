@@ -1,18 +1,18 @@
 #ifndef HYPER_SERVICE_SCENARIO_SERVICE_H_
 #define HYPER_SERVICE_SCENARIO_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "causal/graph.h"
 #include "common/governance.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "durability/manager.h"
 #include "howto/engine.h"
 #include "service/plan_cache.h"
@@ -290,17 +290,23 @@ class ScenarioService {
     std::shared_ptr<const ScenarioBranch::OverrideMap> overrides;
   };
 
-  Result<BranchState*> FindBranchLocked(const std::string& name);
-  std::string ScopeLocked(const BranchState& state) const;
+  Result<BranchState*> FindBranchLocked(const std::string& name)
+      REQUIRES(mu_);
+  std::string ScopeLocked(const BranchState& state) const REQUIRES(mu_);
 
   /// Opens the data dir, rehydrates branches from snapshot + WAL tail, and
   /// verifies every replayed record lands on its journaled fingerprint.
   /// Failures park the service behind recovery_status_ instead of throwing.
-  void InitDurability();
-  Status ReplayDurable(durability::Manager::OpenResult* opened);
+  /// Constructor-only (the service is unpublished, so no lock is physically
+  /// taken); REQUIRES(mu_) states the logical contract — these touch
+  /// mu_-guarded state — and the analysis skips constructor bodies.
+  void InitDurability() REQUIRES(mu_);
+  Status ReplayDurable(durability::Manager::OpenResult* opened)
+      REQUIRES(mu_);
   /// Images every branch for a snapshot; caller holds mu_.
-  std::vector<durability::DurableBranch> ImageBranchesLocked() const;
-  Status SnapshotLocked();
+  std::vector<durability::DurableBranch> ImageBranchesLocked() const
+      REQUIRES(mu_);
+  Status SnapshotLocked() REQUIRES(mu_);
 
   /// Snapshot of everything a request needs. (branch_id, branch_version)
   /// identify the exact world, for optimistic writers.
@@ -319,7 +325,7 @@ class ScenarioService {
   /// Returns the branch's current world, materializing touched relations
   /// outside the service lock (O(rows) copies never block other requests);
   /// the result is cached per branch version.
-  Result<World> SnapshotWorld(const std::string& scenario);
+  Result<World> SnapshotWorld(const std::string& scenario) EXCLUDES(mu_);
 
   Response Dispatch(const Request& request, const World& world);
 
@@ -331,10 +337,10 @@ class ScenarioService {
   /// Blocks until the request may execute (or rejects it): kUnavailable
   /// when the service is draining or the wait queue is full. Every Admit()
   /// that returns OK must be paired with exactly one Release().
-  Status Admit();
+  Status Admit() EXCLUDES(admission_mu_);
   /// Releases the execution slot and folds the request's outcome into the
   /// governance counters.
-  void Release(const Status& status);
+  void Release(const Status& status) EXCLUDES(admission_mu_);
 
   Result<std::vector<WhatIfBatchItem>> DoSubmitWhatIfBatch(
       const std::string& scenario, const std::string& base_whatif_sql,
@@ -346,20 +352,26 @@ class ScenarioService {
   /// from `world` and must not outlive it.
   whatif::StageContext StageContextFor(const World& world);
 
-  mutable std::mutex mu_;
-  Database base_;
+  mutable Mutex mu_;
+  Database base_ GUARDED_BY(mu_);
+  /// graph_ / has_graph_ / options_ / cache_ / instruments_ are set in the
+  /// constructor and immutable afterwards (cache_ is internally locked), so
+  /// they are intentionally unguarded.
   causal::CausalGraph graph_;
   bool has_graph_ = false;
   /// Bumped by ReloadDataset; prefixes every plan-cache scope.
-  uint64_t generation_ = 1;
-  uint64_t next_branch_id_ = 1;
-  std::map<std::string, BranchState> branches_;
+  uint64_t generation_ GUARDED_BY(mu_) = 1;
+  uint64_t next_branch_id_ GUARDED_BY(mu_) = 1;
+  std::map<std::string, BranchState> branches_ GUARDED_BY(mu_);
   ServiceOptions options_;
   PlanCache cache_;
   /// Metrics handles, present iff options_.metrics was set.
   std::unique_ptr<ServiceInstruments> instruments_;
   /// Durability manager, present iff options_.data_dir was set AND recovery
-  /// succeeded. Appends happen under mu_, before the mutation is visible.
+  /// succeeded. The pointer itself is written only during construction
+  /// (safe to test without mu_; Manager is internally locked) — but appends
+  /// that order against branch mutations happen under mu_, before the
+  /// mutation is visible.
   std::unique_ptr<durability::Manager> durable_;
   /// Written once during construction, read-only afterwards (safe to check
   /// without mu_).
@@ -369,12 +381,13 @@ class ScenarioService {
   /// Admission-control state, on its own lock (never held together with
   /// mu_, and never across a dispatch — only around counter/slot updates
   /// and the bounded queue wait).
-  mutable std::mutex admission_mu_;
-  std::condition_variable admission_cv_;
-  size_t in_flight_ = 0;
-  size_t queue_len_ = 0;
-  bool draining_ = false;
-  GovernanceStats gov_;  // counters only; gauges are filled by the accessor
+  mutable Mutex admission_mu_;
+  CondVar admission_cv_;
+  size_t in_flight_ GUARDED_BY(admission_mu_) = 0;
+  size_t queue_len_ GUARDED_BY(admission_mu_) = 0;
+  bool draining_ GUARDED_BY(admission_mu_) = false;
+  /// Counters only; gauges are filled by the accessor.
+  GovernanceStats gov_ GUARDED_BY(admission_mu_);
 };
 
 }  // namespace hyper::service

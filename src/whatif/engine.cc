@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -11,9 +10,11 @@
 
 #include "causal/ground.h"
 #include "common/hash.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "learn/dataset.h"
 #include "learn/discretizer.h"
@@ -1196,8 +1197,9 @@ struct LearnStageData {
   /// trained estimator serves every plan sharing the stage — an
   /// intervention sweep, every When-variant of a query, and every branch
   /// whose delta misses the training attributes.
-  mutable std::mutex mu;
-  mutable std::unordered_map<std::string, PatternEstimators> patterns;
+  mutable Mutex mu;
+  mutable std::unordered_map<std::string, PatternEstimators> patterns
+      GUARDED_BY(mu);
 
   /// Trains (or fetches) the pattern estimators for one residual pattern.
   /// `exact` is the caller's compiled residual (bound to the caller's own
@@ -1209,8 +1211,9 @@ struct LearnStageData {
   Result<const PatternEstimators*> EnsurePattern(
       const std::string& key, bool is_literal, bool literal_value,
       const relational::ColumnBoundExpr* exact, bool* was_cached,
-      double* train_seconds, const governance::ExecGuard* guard) const {
-    std::lock_guard<std::mutex> lock(mu);
+      double* train_seconds, const governance::ExecGuard* guard) const
+      EXCLUDES(mu) {
+    MutexLock lock(&mu);
     auto it = patterns.find(key);
     if (it != patterns.end()) {
       *was_cached = true;
@@ -1313,16 +1316,17 @@ struct QueryStageData {
 
   // The residual-entry cache, guarded by mu (never held together with a
   // LearnStage's pattern lock).
-  mutable std::mutex mu;
-  mutable std::vector<std::unique_ptr<Entry>> entries;
+  mutable Mutex mu;
+  mutable std::vector<std::unique_ptr<Entry>> entries GUARDED_BY(mu);
   mutable std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
                              ValueVectorEq>
-      entry_cache;
+      entry_cache GUARDED_BY(mu);
 
   /// Resolves (or creates) the entry for one hole-value vector. Caller holds
   /// `mu`. An empty For predicate resolves to the literal-true entry via the
   /// empty hole vector.
-  Result<uint32_t> ResolveEntryLocked(const std::vector<Value>& holes) const {
+  Result<uint32_t> ResolveEntryLocked(const std::vector<Value>& holes) const
+      REQUIRES(mu) {
     auto it = entry_cache.find(holes);
     if (it != entry_cache.end()) return it->second;
     ExprPtr residual = q.for_pred == nullptr
@@ -2154,7 +2158,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       HYPER_ASSIGN_OR_RETURN(relational::Scalar s, he.Eval(0));
       scratch.push_back(s.ToValue());
     }
-    std::lock_guard<std::mutex> lock(qs.mu);
+    MutexLock lock(&qs.mu);
     HYPER_ASSIGN_OR_RETURN(uniform_id, qs.ResolveEntryLocked(scratch));
     grow_local(uniform_id);
     local_entries[uniform_id] = qs.entries[uniform_id].get();
@@ -2178,7 +2182,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       if (it != local_cache.end()) {
         id = it->second;
       } else {
-        std::lock_guard<std::mutex> lock(qs.mu);
+        MutexLock lock(&qs.mu);
         HYPER_ASSIGN_OR_RETURN(id, qs.ResolveEntryLocked(scratch));
         grow_local(id);
         local_entries[id] = qs.entries[id].get();

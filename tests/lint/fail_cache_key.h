@@ -1,0 +1,8 @@
+// Fixture: cache-key struct carrying governance state — must FIRE
+// cache-key-governance.
+#pragma once
+
+struct BadPlanKey {
+  std::string scope;
+  QueryBudget budget;  // governance state in a shared key
+};

@@ -1,0 +1,7 @@
+// Fixture: bare (void)-discarded call, no justification — must FIRE
+// void-cast.
+Status DoThing();
+
+void Caller() {
+  (void)DoThing();
+}

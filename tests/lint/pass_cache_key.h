@@ -1,0 +1,14 @@
+// Fixture: clean cache-key struct — must NOT fire.
+#pragma once
+
+struct GoodPlanKey {
+  std::string scope;
+  std::string query_text;
+  uint64_t options_fingerprint = 0;
+};
+
+// Governance types outside a *Key struct are fine.
+struct RequestContext {
+  QueryBudget budget;
+  CancelToken cancel;
+};

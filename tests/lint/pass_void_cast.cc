@@ -1,0 +1,10 @@
+// Fixture: justified discards and non-call casts — must NOT fire.
+Status DoThing();
+
+void Caller() {
+  // Best-effort: failure here only delays cleanup, retried on next tick.
+  (void)DoThing();
+  (void)DoThing();  // same-line justification also accepted
+  bool inserted = true;
+  (void)inserted;
+}

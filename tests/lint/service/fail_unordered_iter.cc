@@ -1,0 +1,14 @@
+// Fixture (under a serving dir name): unannotated range-for over an
+// unordered container — must FIRE unordered-iter.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> Serve() {
+  std::unordered_map<std::string, int> counts;
+  std::vector<std::string> out;
+  for (const auto& [k, v] : counts) {
+    out.push_back(k);
+  }
+  return out;
+}

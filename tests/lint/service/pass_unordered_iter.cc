@@ -1,0 +1,19 @@
+// Fixture: annotated iteration and ordered containers — must NOT fire.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int Sum() {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  // lint:allow(unordered-iter): summation is order-independent
+  for (const auto& [k, v] : counts) {
+    total += v;
+  }
+  std::map<std::string, int> ordered;
+  for (const auto& [k, v] : ordered) {
+    total += v;
+  }
+  return total;
+}

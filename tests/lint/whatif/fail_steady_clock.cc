@@ -1,0 +1,12 @@
+// Fixture (under a hot dir name): naked clock read — must FIRE steady-clock.
+#include <chrono>
+
+double Evaluate() {
+  double total = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    auto now = std::chrono::steady_clock::now();
+    (void)now;
+    total += i;
+  }
+  return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: annotated clock read — must NOT fire.
+#include <chrono>
+
+double StampOnce() {
+  auto start = std::chrono::steady_clock::now();  // lint:allow(steady-clock): once per call, not per row
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - start)  // lint:allow(steady-clock): once per call
+      .count();
+}

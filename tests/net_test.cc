@@ -214,9 +214,32 @@ void ArmBlockingHook() {
   governance::SetFaultHook(&BlockingHook);
 }
 
-void AwaitBlockedRequests(size_t n) {
+// Waits until `n` requests are parked at the hook, or `abandoned` flips true
+// (see AbandonAwait). The escape hatch matters for governed requests with a
+// real deadline: under a sanitizer build the deadline can expire at a
+// checkpoint *before* "whatif.eval.rows", so the request finishes without
+// ever parking and an unconditional wait here would never return. Returns
+// whether the requests actually parked.
+bool AwaitBlockedRequests(size_t n,
+                          const std::atomic<bool>* abandoned = nullptr) {
   std::unique_lock<std::mutex> lock(g_block_mu);
-  g_block_cv.wait(lock, [n] { return g_blocked_now >= n; });
+  g_block_cv.wait(lock, [&] {
+    return g_blocked_now >= n ||
+           (abandoned != nullptr &&
+            abandoned->load(std::memory_order_relaxed));
+  });
+  return g_blocked_now >= n;
+}
+
+// Flips the waiter's give-up flag. The store happens under g_block_mu so it
+// cannot land between the waiter's predicate check and its wait (the notify
+// would be lost and the waiter would sleep forever).
+void AbandonAwait(std::atomic<bool>* abandoned) {
+  {
+    std::lock_guard<std::mutex> lock(g_block_mu);
+    abandoned->store(true, std::memory_order_relaxed);
+  }
+  g_block_cv.notify_all();
 }
 
 void ReleaseBlockedRequests() {
@@ -432,14 +455,20 @@ TEST_F(QueryHandlerTest, ExpiredDeadlineIs504) {
   // has provably expired, then release it into the deadline check.
   HookGuard guard;
   ArmBlockingHook();
-  std::thread releaser([] {
-    AwaitBlockedRequests(1);
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // `finished` lets the releaser stop waiting if the deadline fires at an
+  // earlier checkpoint and the request never reaches the hook (slow
+  // sanitizer builds) — the 504 is already decided in that case.
+  std::atomic<bool> finished{false};
+  std::thread releaser([&] {
+    if (AwaitBlockedRequests(1, &finished)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
     ReleaseBlockedRequests();
   });
   const HttpResponse response =
       Call(handler, "POST", "/v1/whatif",
            std::string("{\"deadline_ms\":1,\"sql\":\"") + kQuery + "\"}");
+  AbandonAwait(&finished);
   releaser.join();
   EXPECT_EQ(response.status, 504) << response.body;
 }

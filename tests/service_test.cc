@@ -746,7 +746,7 @@ TEST_F(ServiceTest, ReloadDatasetInvalidatesCache) {
   german.seed = 99;
   auto ds = data::MakeGermanSyn(german);
   ASSERT_TRUE(ds.ok());
-  service->ReloadDataset(std::move(ds->db));
+  ASSERT_TRUE(service->ReloadDataset(std::move(ds->db)).ok());
   EXPECT_EQ(0u, service->cache_stats().entries);
 
   std::shared_ptr<const Database> reloaded =

@@ -1,0 +1,31 @@
+// Negative fixture: reads and writes a GUARDED_BY member without holding the
+// mutex. The thread_safety_compile test asserts this file FAILS to compile
+// under -Werror=thread-safety — proving the gate actually rejects the bug
+// class, not just that the macros expand.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BUG: mu_ not held
+  }
+
+  int balance() const {
+    return balance_;  // BUG: mu_ not held
+  }
+
+ private:
+  mutable hyper::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

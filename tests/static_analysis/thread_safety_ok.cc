@@ -1,0 +1,33 @@
+// Positive fixture for the thread-safety negative-compile test: every access
+// to the guarded member happens under the capability, so this translation
+// unit must compile cleanly with -Werror=thread-safety. If it stops
+// compiling, the annotation macros themselves regressed.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    hyper::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    hyper::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+ private:
+  mutable hyper::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Negative-compile test for the Clang Thread Safety gate.
+#
+#   1. thread_safety_ok.cc  (locked accesses)   must COMPILE under
+#      -Werror=thread-safety — the annotations are well-formed.
+#   2. thread_safety_bad.cc (unlocked accesses) must FAIL to compile —
+#      the gate actually rejects a guarded access without the lock.
+#
+# Requires clang++ (the analysis does not exist in gcc); exits 77 so ctest
+# reports SKIP (SKIP_RETURN_CODE) on toolchains without it.
+#
+# Usage: thread_safety_compile_test.sh <repo_src_dir>
+set -u
+
+SRC_DIR="${1:?usage: $0 <repo_src_dir>}"
+FIXTURES="$(cd "$(dirname "$0")" && pwd)/static_analysis"
+
+CLANGXX="${CLANGXX:-}"
+if [ -z "$CLANGXX" ]; then
+  for candidate in clang++ clang++-18 clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANGXX="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$CLANGXX" ]; then
+  echo "SKIP: no clang++ on PATH (thread-safety analysis is clang-only)"
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+       -I "$SRC_DIR")
+
+echo "using $CLANGXX"
+
+if ! "$CLANGXX" "${FLAGS[@]}" "$FIXTURES/thread_safety_ok.cc"; then
+  echo "FAIL: locked fixture should compile cleanly under -Werror=thread-safety"
+  exit 1
+fi
+echo "ok: locked fixture compiles"
+
+if "$CLANGXX" "${FLAGS[@]}" "$FIXTURES/thread_safety_bad.cc" 2>/dev/null; then
+  echo "FAIL: unlocked fixture compiled — the thread-safety gate is not rejecting guarded accesses"
+  exit 1
+fi
+echo "ok: unlocked fixture rejected"
+exit 0
