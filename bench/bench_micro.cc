@@ -20,6 +20,8 @@
 #include "bench/bench_util.h"
 #include "causal/graph.h"
 #include "causal/ground.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
 #include "data/datasets.h"
 #include "learn/forest.h"
 #include "learn/frequency.h"
@@ -203,8 +205,7 @@ BENCHMARK(BM_WhatIfEndToEnd);
 // compiled path, and the speedup.
 // ---------------------------------------------------------------------------
 
-void RunComparisonSuite(bool smoke) {
-  bench::JsonLines out("BENCH_micro.json");
+void RunComparisonSuite(bool smoke, bench::JsonLines& out) {
   bench::Banner(smoke ? "row vs columnar comparison (smoke)"
                       : "row vs columnar comparison");
 
@@ -574,6 +575,289 @@ void RunComparisonSuite(bool smoke) {
   if (sink == 42.0) std::printf("(unlikely sink)\n");  // defeat DCE
 }
 
+// ---------------------------------------------------------------------------
+// Scale sweep: per-kernel and end-to-end records at 10k / 100k / 1M rows on
+// german-syn (1M only outside --smoke; scripts/check.sh runs the smoke
+// sizes). Every A/B pair in here is a bit-equality contract — scalar vs
+// SIMD kernels, per-row loops vs vectorized loops, morsel vs static
+// scheduling — so any divergence aborts the bench with exit 1. The
+// end-to-end record compares the engine's current defaults against the
+// pre-vectorization configuration (scalar SIMD level, static shards,
+// per-row expression loops) at the same thread budget.
+// ---------------------------------------------------------------------------
+
+void RunScaleSweep(bool smoke, bench::JsonLines& out) {
+  bench::Banner(smoke ? "scale sweep (smoke: 10k, 100k)"
+                      : "scale sweep (10k, 100k, 1M)");
+  std::vector<size_t> sizes{10000, 100000};
+  if (!smoke) sizes.push_back(1000000);
+  double sink = 0.0;
+
+  // Restores process-wide execution knobs even if a gate exits early is not
+  // needed: gates call std::exit, and the knobs are process-local.
+  const auto scalar_static_on = [] {
+    simd::SetForceScalar(true);
+    SetSchedulingMode(SchedulingMode::kStatic);
+  };
+  const auto scalar_static_off = [] {
+    simd::SetForceScalar(false);
+    SetSchedulingMode(SchedulingMode::kMorsel);
+  };
+
+  for (size_t n : sizes) {
+    data::GermanOptions gopt;
+    gopt.rows = n;
+    auto gds = bench::Unwrap(data::MakeGermanSyn(gopt), "german_syn");
+    const Table& t = *gds.db.GetTable("German").value();
+    auto ct = bench::Unwrap(ColumnTable::FromTable(t), "columnarize German");
+    const size_t reps = n >= 1000000 ? 3 : (n >= 100000 ? 10 : 30);
+    const double rows = static_cast<double>(n);
+
+    // --- When-mask kernel: per-row EvalBool vs scalar-mirror vs SIMD. ---
+    {
+      auto pred = sql::MakeBinary(
+          sql::BinaryOp::kAnd,
+          sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", "Status"),
+                          sql::MakeLiteral(Value::Int(1))),
+          sql::MakeBinary(sql::BinaryOp::kGe, sql::MakeColumnRef("", "Age"),
+                          sql::MakeLiteral(Value::Int(1))));
+      const Schema& schema = t.schema();
+      const std::vector<relational::ScopedTuple> scope{
+          relational::ScopedTuple{schema.relation_name(), &schema}};
+      auto compiled = bench::Unwrap(
+          relational::CompiledExpr::Compile(*pred, scope), "compile when");
+      auto bound = bench::Unwrap(
+          relational::ColumnBoundExpr::Bind(compiled, ct), "bind when");
+
+      std::vector<uint8_t> per_row(n);
+      const double per_row_s = bench::TimePerRep(reps, [&] {
+        for (size_t r = 0; r < n; ++r) {
+          per_row[r] = bound.EvalBool(r).value() ? 1 : 0;
+        }
+        sink += per_row[n - 1];
+      });
+      std::vector<uint8_t> scalar_mask, simd_mask;
+      simd::SetForceScalar(true);
+      const double scalar_s = bench::TimePerRep(reps, [&] {
+        if (!bound.TryMaskKernel(&scalar_mask)) {
+          std::fprintf(stderr, "[bench] when mask not kernel-eligible\n");
+          std::exit(1);
+        }
+        sink += scalar_mask[n - 1];
+      });
+      simd::SetForceScalar(false);
+      const double simd_s = bench::TimePerRep(reps, [&] {
+        if (!bound.TryMaskKernel(&simd_mask)) {
+          std::fprintf(stderr, "[bench] when mask not kernel-eligible\n");
+          std::exit(1);
+        }
+        sink += simd_mask[n - 1];
+      });
+      if (std::memcmp(per_row.data(), scalar_mask.data(), n) != 0 ||
+          std::memcmp(scalar_mask.data(), simd_mask.data(), n) != 0) {
+        std::fprintf(stderr, "[bench] when-mask kernels diverge at %zu\n", n);
+        std::exit(1);
+      }
+      out.Record("scale_when_mask",
+                 {{"rows", rows},
+                  {"per_row_s", per_row_s},
+                  {"scalar_kernel_s", scalar_s},
+                  {"simd_kernel_s", simd_s},
+                  {"speedup_vs_per_row", per_row_s / simd_s},
+                  {"simd_vs_scalar", scalar_s / simd_s},
+                  {"equal", 1.0}});
+    }
+
+    // --- Numeric kernel: per-row Eval().AsDouble() vs the vectorized
+    // evaluator (int64 arithmetic widened exactly like the scalar path). ---
+    {
+      auto expr = sql::MakeBinary(
+          sql::BinaryOp::kAdd, sql::MakeColumnRef("", "CreditAmount"),
+          sql::MakeBinary(sql::BinaryOp::kMul, sql::MakeLiteral(Value::Int(2)),
+                          sql::MakeColumnRef("", "Age")));
+      const Schema& schema = t.schema();
+      const std::vector<relational::ScopedTuple> scope{
+          relational::ScopedTuple{schema.relation_name(), &schema}};
+      auto compiled = bench::Unwrap(
+          relational::CompiledExpr::Compile(*expr, scope), "compile out");
+      auto bound = bench::Unwrap(
+          relational::ColumnBoundExpr::Bind(compiled, ct), "bind out");
+
+      std::vector<double> per_row(n);
+      const double per_row_s = bench::TimePerRep(reps, [&] {
+        for (size_t r = 0; r < n; ++r) {
+          per_row[r] = bound.Eval(r).value().AsDouble().value();
+        }
+        sink += per_row[n - 1];
+      });
+      std::vector<double> scalar_out, simd_out;
+      std::vector<uint8_t> err;
+      simd::SetForceScalar(true);
+      const double scalar_s = bench::TimePerRep(reps, [&] {
+        if (!bound.TryEvalDoubleKernel(&scalar_out, &err)) {
+          std::fprintf(stderr, "[bench] out expr not kernel-eligible\n");
+          std::exit(1);
+        }
+        sink += scalar_out[n - 1];
+      });
+      simd::SetForceScalar(false);
+      const double simd_s = bench::TimePerRep(reps, [&] {
+        if (!bound.TryEvalDoubleKernel(&simd_out, &err)) {
+          std::fprintf(stderr, "[bench] out expr not kernel-eligible\n");
+          std::exit(1);
+        }
+        sink += simd_out[n - 1];
+      });
+      if (std::memcmp(per_row.data(), scalar_out.data(),
+                      n * sizeof(double)) != 0 ||
+          std::memcmp(scalar_out.data(), simd_out.data(),
+                      n * sizeof(double)) != 0) {
+        std::fprintf(stderr, "[bench] numeric kernels diverge at %zu\n", n);
+        std::exit(1);
+      }
+      out.Record("scale_eval_double",
+                 {{"rows", rows},
+                  {"per_row_s", per_row_s},
+                  {"scalar_kernel_s", scalar_s},
+                  {"simd_kernel_s", simd_s},
+                  {"speedup_vs_per_row", per_row_s / simd_s},
+                  {"simd_vs_scalar", scalar_s / simd_s},
+                  {"equal", 1.0}});
+    }
+
+    // --- Override patching: ~25% of rows get one Status cell each;
+    // morsel-parallel segment patching vs the static pre-PR schedule.
+    // Both runs must produce byte-identical columns. ---
+    {
+      TableCellOverrides overrides;
+      const size_t status = t.schema().IndexOf("Status").value();
+      AttributeCellOverrides& cells = overrides[status];
+      for (size_t r = 0; r < n; r += 4) cells.emplace(r, Value::Int(2));
+
+      auto ct_static = bench::Unwrap(ColumnTable::FromTable(t), "columnarize");
+      scalar_static_on();
+      const double static_s = bench::TimePerRep(reps, [&] {
+        bench::CheckOk(ct_static.ApplyOverrides(overrides), "patch static");
+        sink += 1.0;
+      });
+      scalar_static_off();
+      auto ct_morsel = bench::Unwrap(ColumnTable::FromTable(t), "columnarize");
+      const double morsel_s = bench::TimePerRep(reps, [&] {
+        bench::CheckOk(ct_morsel.ApplyOverrides(overrides), "patch morsel");
+        sink += 1.0;
+      });
+      const Column& a = ct_static.col(status);
+      const Column& b = ct_morsel.col(status);
+      if (a.i64 != b.i64) {
+        std::fprintf(stderr, "[bench] override patch diverges at %zu\n", n);
+        std::exit(1);
+      }
+      out.Record("scale_apply_overrides",
+                 {{"rows", rows},
+                  {"cells", static_cast<double>(cells.size())},
+                  {"static_s", static_s},
+                  {"morsel_s", morsel_s},
+                  {"speedup", static_s / morsel_s},
+                  {"equal", 1.0}});
+    }
+
+    // --- Histogram training: SoA scatter + sibling subtraction at scale
+    // (single-threaded substrate number; no scalar/SIMD A/B because the
+    // scatter is inherently sequential per tree). ---
+    {
+      auto encoder =
+          bench::Unwrap(learn::FeatureEncoder::Fit(
+                            t, {"Status", "Savings", "Housing",
+                                "CreditHistory", "CreditAmount", "Age", "Sex"}),
+                        "fit encoder");
+      learn::FeatureMatrix x = bench::Unwrap(encoder.EncodeAll(t), "encode");
+      std::vector<double> y =
+          bench::Unwrap(learn::ExtractTarget(t, "Credit"), "target");
+      learn::ForestOptions fo;
+      fo.num_trees = 2;
+      fo.num_threads = 1;
+      fo.tree.use_histograms = true;
+      const size_t fit_reps = n >= 1000000 ? 1 : 3;
+      const double hist_s = bench::TimePerRep(fit_reps, [&] {
+        learn::RandomForestRegressor forest(fo);
+        bench::CheckOk(forest.Fit(x, y), "histogram fit");
+        sink += static_cast<double>(forest.num_trees());
+      });
+      out.Record("scale_hist_fit",
+                 {{"rows", rows},
+                  {"trees", static_cast<double>(fo.num_trees)},
+                  {"histogram_s", hist_s},
+                  {"rows_per_s", rows * fo.num_trees / hist_s}});
+    }
+
+    // --- End to end: warm Evaluate and cold Prepare+Evaluate, engine
+    // defaults vs the pre-vectorization configuration (scalar kernels,
+    // static shards, per-row loops) at the same thread budget. ---
+    {
+      auto stmt = bench::Unwrap(
+          sql::ParseSql("Use German When Status = 1 Update(Status) = 2 "
+                        "Output Count(Credit = 1)"),
+          "parse");
+      const std::vector<whatif::UpdateSpec> specs =
+          whatif::SpecsOfStatement(*stmt.whatif);
+
+      whatif::WhatIfOptions new_opt;
+      new_opt.estimator = learn::EstimatorKind::kFrequency;
+      whatif::WhatIfOptions legacy_opt = new_opt;
+      legacy_opt.vectorized_exec = false;
+
+      struct Arm {
+        double cold_s = 0.0;
+        double warm_s = 0.0;
+        double value = 0.0;
+      };
+      auto run_arm = [&](const whatif::WhatIfOptions& options) {
+        Arm arm;
+        const size_t cold_reps = n >= 1000000 ? 2 : 3;
+        arm.cold_s = bench::TimePerRep(cold_reps, [&] {
+          whatif::WhatIfEngine engine(&gds.db, &gds.graph, options);
+          auto plan = bench::Unwrap(engine.Prepare(*stmt.whatif), "prepare");
+          auto result = bench::Unwrap(engine.Evaluate(*plan, specs), "eval");
+          arm.value = result.value;
+          sink += result.value;
+        });
+        whatif::WhatIfEngine engine(&gds.db, &gds.graph, options);
+        auto plan = bench::Unwrap(engine.Prepare(*stmt.whatif), "prepare");
+        sink += bench::Unwrap(engine.Evaluate(*plan, specs), "warmup").value;
+        const size_t warm_reps = n >= 1000000 ? 3 : 5;
+        arm.warm_s = bench::TimePerRep(warm_reps, [&] {
+          auto result = bench::Unwrap(engine.Evaluate(*plan, specs), "eval");
+          arm.value = result.value;
+          sink += result.value;
+        });
+        return arm;
+      };
+
+      scalar_static_on();
+      const Arm legacy = run_arm(legacy_opt);
+      scalar_static_off();
+      const Arm vectorized = run_arm(new_opt);
+      if (legacy.value != vectorized.value) {
+        std::fprintf(stderr,
+                     "[bench] e2e arms diverge at %zu: %.17g vs %.17g\n", n,
+                     legacy.value, vectorized.value);
+        std::exit(1);
+      }
+      out.Record("scale_whatif_e2e",
+                 {{"rows", rows},
+                  {"legacy_cold_s", legacy.cold_s},
+                  {"vectorized_cold_s", vectorized.cold_s},
+                  {"cold_speedup", legacy.cold_s / vectorized.cold_s},
+                  {"legacy_warm_s", legacy.warm_s},
+                  {"vectorized_warm_s", vectorized.warm_s},
+                  {"warm_speedup", legacy.warm_s / vectorized.warm_s},
+                  {"equal", 1.0}});
+    }
+  }
+
+  if (sink == 42.0) std::printf("(unlikely sink)\n");  // defeat DCE
+}
+
 }  // namespace hyper
 
 int main(int argc, char** argv) {
@@ -591,6 +875,8 @@ int main(int argc, char** argv) {
     benchmark::Initialize(&filtered_argc, args.data());
     benchmark::RunSpecifiedBenchmarks();
   }
-  hyper::RunComparisonSuite(smoke);
+  hyper::bench::JsonLines out("BENCH_micro.json");
+  hyper::RunComparisonSuite(smoke, out);
+  hyper::RunScaleSweep(smoke, out);
   return 0;
 }

@@ -59,18 +59,22 @@ else
   echo "lint summary: clang-tidy SKIPPED (not on PATH)"
 fi
 
-echo "== perf gate (parity tests + bench smoke) =="
+echo "== perf gate (parity tests + bench smoke + 100k scale smoke) =="
 # bench_micro_smoke exists only when google-benchmark was found; ctest runs
-# whatever perf tests are registered.
+# whatever perf tests are registered. scale_perf_test is the 100k-row
+# mirror of the bench scale sweep: legacy-vs-vectorized what-if bit
+# equality at 1/2/4/8 threads plus kernel-vs-per-row bit equality across a
+# segment boundary (bit-equality gates only — no timing assertions).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L perf
 
 # Sanitizer legs over the `service`-labeled tests (the scenario service,
 # stage/plan caches, single-flight prepares, concurrent how-to scoring,
-# and the governance suite with its fault-injection matrix and admission
-# tests): TSan catches data races on the shared stage caches and the
-# admission/cancellation state, ASan catches lifetime bugs in abort
-# unwinding (an aborted request must not leave a stage half-built but
-# referenced), UBSan catches undefined behavior in the hot loops and
+# the governance suite with its fault-injection matrix and admission
+# tests, and the morsel/work-stealing scheduler suite): TSan catches data
+# races on the shared stage caches, the admission/cancellation state, and
+# the work-stealing deques under skewed load, ASan catches lifetime bugs
+# in abort unwinding (an aborted request must not leave a stage half-built
+# but referenced), UBSan catches undefined behavior in the hot loops and
 # meter arithmetic. Each leg probes the toolchain first and is skipped
 # only when its runtime is unusable.
 run_sanitizer_leg() {
@@ -85,7 +89,7 @@ run_sanitizer_leg() {
       && "$PROBE/probe"; then
     rm -rf "$PROBE"
     cmake -B "$SAN_BUILD_DIR" -S . -DHYPER_SANITIZE="$SAN" >/dev/null
-    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test governance_test obs_test net_test durability_test
+    cmake --build "$SAN_BUILD_DIR" -j"$(nproc)" --target service_test governance_test obs_test net_test durability_test morsel_test
     ctest --test-dir "$SAN_BUILD_DIR" --output-on-failure -L service
   else
     rm -rf "$PROBE"

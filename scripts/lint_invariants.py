@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific invariant linters for the HypeR serving layer.
 
-Four rules, each encoding a contract the type system cannot express and a
+Five rules, each encoding a contract the type system cannot express and a
 bug class this codebase has to actively defend against:
 
   cache-key-governance   Cache-key structs (names ending in `Key`) must not
@@ -27,6 +27,21 @@ bug class this codebase has to actively defend against:
                          Annotate deliberate sites with
                          // lint:allow(steady-clock): why
 
+  raw-atomic-partition   Partitioned-evaluation code (whatif/ howto/ learn/
+                         relational/ storage/) must not accumulate results
+                         through raw atomic read-modify-writes (.fetch_add /
+                         .fetch_sub / .compare_exchange_*). Cross-thread RMW
+                         folds are order-nondeterministic (fatal for the
+                         bit-identical merge contract when doubles are
+                         involved) and serialize on the contended cache
+                         line; partial results belong in per-block partials
+                         merged in block order. The work-stealing deques in
+                         common/thread_pool.h are the sanctioned home for
+                         scheduling atomics. Annotate deliberate sites
+                         (e.g. monotonic counters never folded into served
+                         values) with
+                         // lint:allow(raw-atomic-partition): why
+
   void-cast              `(void)Foo(...)` silences [[nodiscard]] (see
                          common/status.h). A bare cast with no explanation
                          is an error swallowed without an argument; require
@@ -50,10 +65,14 @@ UNORDERED_DECL_CONT = re.compile(r"^\s*(\w+)\s*(?:;|=|\{|\bGUARDED_BY)")
 RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*(\w+)\s*\)")
 STEADY_CLOCK = re.compile(r"steady_clock::now\s*\(")
 VOID_CAST = re.compile(r"^\s*\(void\)\s*[\w.\->:]+\s*\(")
+RAW_ATOMIC = re.compile(
+    r"(?:\.|->)\s*(fetch_add|fetch_sub|compare_exchange_weak|"
+    r"compare_exchange_strong)\s*\(")
 ALLOW = "lint:allow"
 
 SERVING_DIRS = ("whatif", "howto", "service", "net", "relational", "prob")
 HOT_DIRS = ("whatif", "howto")
+PARTITION_DIRS = ("whatif", "howto", "learn", "relational", "storage")
 
 
 def has_comment_justification(lines, idx):
@@ -133,6 +152,24 @@ def lint_file(path, findings):
                      "naked steady_clock::now() in an evaluation hot path; "
                      "use governance::LoopCheck (amortized) or annotate "
                      "// lint:allow(steady-clock): <why>"))
+
+    # --- raw-atomic-partition (partition-evaluation dirs only) ---
+    if any(d in parts for d in PARTITION_DIRS):
+        for i, line in enumerate(lines):
+            am = RAW_ATOMIC.search(line)
+            if not am:
+                continue
+            window = lines[max(0, i - 1):i + 1]
+            if any(ALLOW in w and "raw-atomic-partition" in w
+                   for w in window):
+                continue
+            findings.append(
+                (path, i + 1, "raw-atomic-partition",
+                 f"raw atomic RMW ({am.group(1)}) in partitioned-evaluation "
+                 "code; fold into per-block partials merged in block order "
+                 "(order-deterministic, contention-free), or annotate "
+                 "// lint:allow(raw-atomic-partition): <why the fold order "
+                 "cannot reach a served value>"))
 
     # --- void-cast ---
     for i, line in enumerate(lines):

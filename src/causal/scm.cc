@@ -145,6 +145,50 @@ Result<Assignment> Scm::SampleEntity(Rng& rng) const {
   return state;
 }
 
+Result<Scm::EntitySampler> Scm::CompileEntitySampler() const {
+  EntitySampler sampler;
+  sampler.names_ = order_;
+  sampler.steps_.reserve(order_.size());
+  std::map<std::string, size_t> pos;
+  for (size_t i = 0; i < order_.size(); ++i) pos.emplace(order_[i], i);
+  for (const std::string& attr : order_) {
+    const Node& node = nodes_.at(attr);
+    EntitySampler::Step step;
+    step.mechanism = node.mechanism.get();
+    step.parents.reserve(node.parents.size());
+    for (const ParentRef& p : node.parents) {
+      auto it = pos.find(p.attribute);
+      if (it == pos.end() || it->second >= sampler.steps_.size()) {
+        return Status::FailedPrecondition(
+            "parent '" + p.attribute + "' of '" + attr +
+            "' is not an earlier attribute; cannot compile a flat sampler");
+      }
+      step.parents.push_back(it->second);
+    }
+    sampler.steps_.push_back(std::move(step));
+  }
+  return sampler;
+}
+
+size_t Scm::EntitySampler::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return names_.size();
+}
+
+Status Scm::EntitySampler::Sample(Rng& rng, std::vector<Value>* out) const {
+  out->resize(steps_.size());
+  std::vector<Value> parents;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    parents.clear();
+    for (size_t p : step.parents) parents.push_back((*out)[p]);
+    HYPER_ASSIGN_OR_RETURN((*out)[i], step.mechanism->Sample(parents, rng));
+  }
+  return Status::OK();
+}
+
 std::vector<std::string> Scm::AffectedInOrder(
     const std::vector<std::string>& targets) const {
   const CausalGraph graph = Graph();

@@ -139,6 +139,11 @@ class Scm {
   /// SCMs with cross-tuple links, use GroundScm / the dataset generators).
   Result<Assignment> SampleEntity(Rng& rng) const;
 
+  /// Compiled flat sampler over this SCM's attributes; see EntitySampler.
+  /// The Scm must outlive the sampler (it borrows the mechanisms).
+  class EntitySampler;
+  Result<EntitySampler> CompileEntitySampler() const;
+
   /// Exact interventional distribution for a single entity: holds the
   /// observed values of non-descendants fixed, sets `interventions`, and
   /// enumerates the joint distribution of all affected attributes (the
@@ -172,6 +177,34 @@ class Scm {
 
   std::map<std::string, Node> nodes_;
   std::vector<std::string> order_;  // insertion order == topological order
+};
+
+/// Flat-entity sampler for the million-row dataset generators: attribute
+/// positions and parent indices are resolved once at compile time, so
+/// per-entity sampling does no name lookups and builds no Assignment maps.
+/// Mechanisms are invoked in the same topological order with the same parent
+/// values as SampleEntity, so both paths consume the identical RNG stream
+/// and generate identical data.
+class Scm::EntitySampler {
+ public:
+  /// Position of `name` in the sampled vector (the Scm's attributes()
+  /// order); num_attributes() when unknown.
+  size_t IndexOf(const std::string& name) const;
+
+  size_t num_attributes() const { return steps_.size(); }
+
+  /// Samples one entity into `out`, resized to num_attributes() (slot i is
+  /// attributes()[i]); the vector's capacity is reused across calls.
+  Status Sample(Rng& rng, std::vector<Value>* out) const;
+
+ private:
+  friend class Scm;
+  struct Step {
+    const Mechanism* mechanism = nullptr;
+    std::vector<size_t> parents;  // positions of parent values in `out`
+  };
+  std::vector<Step> steps_;
+  std::vector<std::string> names_;  // parallel to steps_
 };
 
 /// One intervention on a ground variable.

@@ -1,9 +1,11 @@
 #ifndef HYPER_COMMON_THREAD_POOL_H_
 #define HYPER_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -25,10 +27,43 @@ inline uint64_t DeriveStreamSeed(uint64_t base, uint64_t stream) {
   return z ^ (z >> 31);
 }
 
+/// How ParallelForRange distributes a loop across participants.
+///
+/// kMorsel (default): participants claim grain-sized morsels from the front
+/// of their own deque and steal half from the back of a victim's when theirs
+/// runs dry — skewed iterations can't idle workers. kStatic reproduces the
+/// pre-morsel behavior (each participant claims its whole contiguous shard,
+/// no stealing) and exists for the morsel-vs-static A/B bit-equality tests
+/// and benches: callers merge results by index, so answers are identical
+/// under either mode — only wall-clock differs.
+enum class SchedulingMode : uint8_t { kMorsel = 0, kStatic = 1 };
+
+namespace internal {
+inline std::atomic<uint8_t>& SchedulingModeFlag() {
+  static std::atomic<uint8_t> mode{static_cast<uint8_t>(SchedulingMode::kMorsel)};
+  return mode;
+}
+}  // namespace internal
+
+inline void SetSchedulingMode(SchedulingMode mode) {
+  internal::SchedulingModeFlag().store(static_cast<uint8_t>(mode),
+                                       std::memory_order_relaxed);
+}
+
+inline SchedulingMode CurrentSchedulingMode() {
+  return static_cast<SchedulingMode>(
+      internal::SchedulingModeFlag().load(std::memory_order_relaxed));
+}
+
 /// A small fixed-size worker pool for sharding independent loops (the
 /// what-if engine's block decomposition, bench harnesses). Tasks must not
 /// throw: the library communicates failure via Status, and a task's status
 /// is the caller's to collect (see ParallelFor usage in whatif/engine.cc).
+///
+/// This class is the one sanctioned home for raw atomics used to partition
+/// loop iterations (see scripts/lint_invariants.py, raw-atomic-partition):
+/// engine code expresses parallel loops through ParallelFor/ParallelForRange
+/// instead of hand-rolled fetch_add counters.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads) {
@@ -84,21 +119,72 @@ class ThreadPool {
   /// (and do) merge results by index — answers never depend on the cap.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    size_t max_parallelism = 0) {
+    // Single implementation path: every ParallelFor is a grain-1 morsel
+    // loop, so no caller silently keeps a private static split.
+    ParallelForRange(
+        n, /*grain=*/1,
+        [&fn](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) fn(i);
+        },
+        max_parallelism);
+  }
+
+  /// Morsel-driven work-stealing loop: runs fn(begin, end) over disjoint
+  /// sub-ranges that exactly cover [0, n). The range is split into one
+  /// contiguous shard per participant; each participant pops grain-sized
+  /// morsels from the front of its own shard and, when it runs dry, steals
+  /// the back half of a victim's remaining shard (steal-half deques), so a
+  /// skewed iteration-cost distribution cannot idle workers. The calling
+  /// thread participates and the call blocks until every index has been
+  /// processed.
+  ///
+  /// fn must be safe to call concurrently from multiple threads. The set of
+  /// (begin, end) ranges fn sees is scheduling-dependent; callers must (and
+  /// do) write results into per-index slots and merge them in index order,
+  /// so answers are bit-identical at any thread count and under either
+  /// SchedulingMode. `max_parallelism` caps participating threads including
+  /// the caller (0 = pool size).
+  void ParallelForRange(size_t n,
+                        size_t grain,
+                        const std::function<void(size_t, size_t)>& fn,
+                        size_t max_parallelism = 0) {
     if (n == 0) return;
-    if (n == 1 || workers_.empty() || max_parallelism == 1) {
-      for (size_t i = 0; i < n; ++i) fn(i);
+    if (grain == 0) grain = 1;
+    // The deques pack (begin, end) into one uint64; recurse over windows in
+    // the (never-hit-in-practice) >4G-iteration case.
+    constexpr size_t kMaxWindow = size_t{1} << 31;
+    if (n > kMaxWindow) {
+      for (size_t base = 0; base < n; base += kMaxWindow) {
+        const size_t len = std::min(kMaxWindow, n - base);
+        ParallelForRange(
+            len, grain,
+            [&fn, base](size_t b, size_t e) { fn(base + b, base + e); },
+            max_parallelism);
+      }
       return;
     }
-    auto state = std::make_shared<ForState>();
-    state->n = n;
-    state->fn = &fn;
-    size_t drivers = std::min(workers_.size(), n - 1);
+    size_t participants = workers_.size() + 1;  // caller is one
     if (max_parallelism > 0) {
-      drivers = std::min(drivers, max_parallelism - 1);  // caller is one
+      participants = std::min(participants, max_parallelism);
+    }
+    participants = std::min(participants, (n + grain - 1) / grain);
+    if (participants <= 1 || workers_.empty()) {
+      fn(0, n);
+      return;
+    }
+    auto state = std::make_shared<RangeState>(participants);
+    state->n = n;
+    state->grain = grain;
+    state->fn = &fn;
+    state->steal = CurrentSchedulingMode() == SchedulingMode::kMorsel;
+    for (size_t s = 0; s < participants; ++s) {
+      state->deques[s].store(
+          RangeState::Pack(n * s / participants, n * (s + 1) / participants),
+          std::memory_order_relaxed);
     }
     {
       MutexLock lock(&mu_);
-      for (size_t d = 0; d < drivers; ++d) {
+      for (size_t d = 0; d + 1 < participants; ++d) {
         tasks_.push([state] { state->Drive(); });
       }
     }
@@ -108,25 +194,117 @@ class ThreadPool {
   }
 
  private:
-  struct ForState {
+  /// Shared state of one ParallelForRange call. Each participant owns one
+  /// deque slot: a packed (begin << 32 | end) range it pops grain-sized
+  /// morsels from the front of; thieves CAS the back half away. Every index
+  /// in [0, n) lives in exactly one deque or one in-flight morsel at any
+  /// moment, and is executed exactly once.
+  struct RangeState {
+    explicit RangeState(size_t participants) : deques(participants) {}
+
+    static uint64_t Pack(size_t begin, size_t end) {
+      return (static_cast<uint64_t>(begin) << 32) | static_cast<uint64_t>(end);
+    }
+
     size_t n = 0;
-    const std::function<void(size_t)>* fn = nullptr;
-    std::atomic<size_t> next{0};
+    size_t grain = 1;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    bool steal = true;
+    std::vector<std::atomic<uint64_t>> deques;
+    std::atomic<size_t> next_slot{0};
     std::atomic<size_t> done{0};
-    /// Guards nothing itself — done/next are atomics — it exists so the
+    /// Guards nothing itself — done/deques are atomics — it exists so the
     /// completion wakeup has a mutex to pair with done_cv.
     Mutex done_mu;
     CondVar done_cv;
 
-    void Drive() {
+    void Run(size_t begin, size_t end) {
+      (*fn)(begin, end);
+      if (done.fetch_add(end - begin, std::memory_order_acq_rel) +
+              (end - begin) ==
+          n) {
+        MutexLock lock(&done_mu);
+        done_cv.NotifyAll();
+      }
+    }
+
+    /// Claims up to `grain` indices (the whole shard under static
+    /// scheduling) from the front of the caller's own deque.
+    bool PopFront(size_t slot, size_t* begin, size_t* end) {
+      uint64_t cur = deques[slot].load(std::memory_order_acquire);
       for (;;) {
-        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        (*fn)(i);
-        if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-          MutexLock lock(&done_mu);
-          done_cv.NotifyAll();
+        const size_t b = static_cast<size_t>(cur >> 32);
+        const size_t e = static_cast<size_t>(cur & 0xffffffffu);
+        if (b >= e) return false;
+        const size_t take = steal ? std::min(grain, e - b) : e - b;
+        if (deques[slot].compare_exchange_weak(cur, Pack(b + take, e),
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          *begin = b;
+          *end = b + take;
+          return true;
         }
+      }
+    }
+
+    /// Claims the back half (rounded up) of the victim's remaining range —
+    /// the whole range under static scheduling, which only ever moves
+    /// unstarted shards. No ABA hazard: every index is claimed exactly
+    /// once, so a deque's packed value can never recur after it changes.
+    bool StealBack(size_t victim, size_t* begin, size_t* end) {
+      uint64_t cur = deques[victim].load(std::memory_order_acquire);
+      for (;;) {
+        const size_t b = static_cast<size_t>(cur >> 32);
+        const size_t e = static_cast<size_t>(cur & 0xffffffffu);
+        if (b >= e) return false;
+        const size_t take = steal ? (e - b + 1) / 2 : e - b;
+        if (deques[victim].compare_exchange_weak(cur, Pack(b, e - take),
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire)) {
+          *begin = e - take;
+          *end = e;
+          return true;
+        }
+      }
+    }
+
+    void Drive() {
+      const size_t slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= deques.size()) return;
+      for (;;) {
+        size_t b = 0, e = 0;
+        if (PopFront(slot, &b, &e)) {
+          Run(b, e);
+          continue;
+        }
+        bool stole = false;
+        for (size_t k = 1; k < deques.size(); ++k) {
+          const size_t victim = (slot + k) % deques.size();
+          if (!StealBack(victim, &b, &e)) continue;
+          if (!steal) {
+            // Static mode still drains leftover whole shards (a queued
+            // driver may never get a pool slot — e.g. nested loops on a
+            // saturated pool — and someone must finish its shard), it just
+            // never splits one.
+            Run(b, e);
+            stole = true;
+            break;
+          }
+          // Run the first morsel of the stolen range and park the rest in
+          // our own deque — empty right now, and only its owner stores to
+          // it, so a plain store cannot race a successful CAS.
+          const size_t take = std::min(grain, e - b);
+          if (e - b > take) {
+            deques[slot].store(Pack(b + take, e), std::memory_order_release);
+          }
+          Run(b, b + take);
+          stole = true;
+          break;
+        }
+        // A full scan found nothing to steal: remaining work (if any) is
+        // parked in deques whose owners are still driving. Exit; the done
+        // counter, not driver exit, signals completion.
+        if (!stole) break;
       }
     }
 

@@ -150,6 +150,12 @@ Result<Dataset> MakeAmazonSyn(const AmazonOptions& options) {
                      {"Rating", ValueType::kInt, Mutability::kMutable}},
                     {"RowId"}));
 
+  product.Reserve(options.products);
+  // Expected review count (uniform 1..2x-1 per product); reserving the mean
+  // keeps the growth doublings to at most one.
+  review.Reserve(options.products * options.reviews_per_product);
+  flat.Reserve(options.products * options.reviews_per_product);
+
   Rng rng(options.seed);
   int64_t review_id = 0;
   int64_t flat_id = 0;

@@ -109,8 +109,9 @@ Result<Dataset> MakeStudentSyn(const StudentOptions& options);
 // Registry (bench harnesses look datasets up by paper name)
 // ---------------------------------------------------------------------------
 
-/// Names: "german", "german-syn-20k", "german-syn-1m" (scaled by `scale` in
-/// [0,1] to keep default bench runs fast), "adult", "amazon", "student-syn".
+/// Names: "german", "german-syn-20k", "german-syn-1m", "german-syn-10m"
+/// (scaled by `scale` in [0,1] to keep default bench runs fast), "adult",
+/// "amazon", "student-syn".
 Result<Dataset> MakeByName(const std::string& name, double scale = 1.0,
                            uint64_t seed = 23);
 

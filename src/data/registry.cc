@@ -38,6 +38,12 @@ Result<Dataset> MakeByName(const std::string& name, double scale,
     opt.seed = seed;
     return MakeGermanSyn(opt);
   }
+  if (key == "german-syn-10m") {
+    GermanOptions opt;
+    opt.rows = rows(10000000);
+    opt.seed = seed;
+    return MakeGermanSyn(opt);
+  }
   if (key == "adult") {
     AdultOptions opt;
     opt.rows = rows(32000);
@@ -58,8 +64,8 @@ Result<Dataset> MakeByName(const std::string& name, double scale,
   }
   return Status::NotFound("unknown dataset '" + name +
                           "'; known: german, german-syn-20k, "
-                          "german-syn-20k-continuous, german-syn-1m, adult, "
-                          "amazon, student-syn");
+                          "german-syn-20k-continuous, german-syn-1m, "
+                          "german-syn-10m, adult, amazon, student-syn");
 }
 
 }  // namespace hyper::data

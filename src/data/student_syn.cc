@@ -169,6 +169,10 @@ Result<Dataset> MakeStudentSyn(const StudentOptions& options) {
        {"Grade", ValueType::kInt, Mutability::kMutable}},
       {"RowId"}));
 
+  student.Reserve(options.students);
+  participation.Reserve(options.students * options.courses_per_student);
+  flat.Reserve(options.students * options.courses_per_student);
+
   Rng rng(options.seed);
   int64_t flat_id = 0;
   for (size_t s = 0; s < options.students; ++s) {

@@ -89,16 +89,17 @@ Status RandomForestRegressor::FitImpl(const FeatureMatrix& x,
       statuses[t] = fit_one(t);
     }
   } else {
-    // Strided shards over the shared pool: `workers` tasks regardless of
-    // pool width, so an explicit budget caps concurrency even when the
-    // process-wide pool is larger. Trees are independent and every tree's
-    // result is a function of its (seed, bootstrap) alone, so scheduling
-    // never changes the forest.
-    ThreadPool::Shared().ParallelFor(workers, [&](size_t w) {
-      for (size_t t = w; t < options_.num_trees; t += workers) {
-        statuses[t] = fit_one(t);
-      }
-    });
+    // Morsel-claimed trees over the shared pool, capped at `workers` so an
+    // explicit budget bounds concurrency even when the process-wide pool is
+    // larger. Trees are independent and every tree's result is a function
+    // of its (seed, bootstrap) alone, so scheduling never changes the
+    // forest — and work stealing keeps slow trees from serializing a shard.
+    ThreadPool::Shared().ParallelForRange(
+        options_.num_trees, /*grain=*/1,
+        [&](size_t begin, size_t end) {
+          for (size_t t = begin; t < end; ++t) statuses[t] = fit_one(t);
+        },
+        /*max_parallelism=*/workers);
   }
   for (const Status& status : statuses) {
     HYPER_RETURN_NOT_OK(status);

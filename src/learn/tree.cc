@@ -218,18 +218,22 @@ DecisionTreeRegressor::Split DecisionTreeRegressor::FindBestSplit(
 DecisionTreeRegressor::Hist DecisionTreeRegressor::AccumulateHist(
     const BinnedMatrix& binned, const std::vector<double>& y, size_t begin,
     size_t end) const {
-  Hist h(binned.total_bins());
+  Hist h;
+  h.Reset(binned.total_bins());
   const size_t num_features = binned.num_features();
+  double* sums = h.sum.data();
+  double* sqs = h.sum_sq.data();
+  uint32_t* counts = h.count.data();
   for (size_t i = begin; i < end; ++i) {
     const size_t row = order_[i];
     const uint8_t* codes = binned.row_codes(row);
     const double t = y[row];
     const double tt = t * t;
     for (size_t f = 0; f < num_features; ++f) {
-      BinStat& b = h[binned.bin_offset(f) + codes[f]];
-      b.sum += t;
-      b.sum_sq += tt;
-      ++b.count;
+      const size_t b = binned.bin_offset(f) + codes[f];
+      sums[b] += t;
+      sqs[b] += tt;
+      ++counts[b];
     }
   }
   return h;
@@ -311,12 +315,13 @@ int DecisionTreeRegressor::BuildNodeHist(const BinnedMatrix& binned,
     Hist small = left_is_small ? AccumulateHist(binned, y, begin, mid)
                                : AccumulateHist(binned, y, mid, end);
     if (need_large) {
+      // Sibling subtraction over the SoA spans: three independent
+      // contiguous loops the compiler turns into packed subtracts.
       Hist large = std::move(hist);
-      for (size_t b = 0; b < large.size(); ++b) {
-        large[b].sum -= small[b].sum;
-        large[b].sum_sq -= small[b].sum_sq;
-        large[b].count -= small[b].count;
-      }
+      const size_t bins = large.size();
+      for (size_t b = 0; b < bins; ++b) large.sum[b] -= small.sum[b];
+      for (size_t b = 0; b < bins; ++b) large.sum_sq[b] -= small.sum_sq[b];
+      for (size_t b = 0; b < bins; ++b) large.count[b] -= small.count[b];
       (left_is_small ? right_hist : left_hist) = std::move(large);
     }
     if (need_small) {
@@ -356,10 +361,13 @@ DecisionTreeRegressor::Split DecisionTreeRegressor::FindBestSplitHist(
   std::vector<uint32_t> present;  // non-empty bins of the current feature
   for (size_t f : features) {
     const size_t num_bins = binned.num_bins(f);
-    const BinStat* stats = hist.data() + binned.bin_offset(f);
+    const size_t off = binned.bin_offset(f);
+    const double* sums = hist.sum.data() + off;
+    const double* sqs = hist.sum_sq.data() + off;
+    const uint32_t* counts = hist.count.data() + off;
     present.clear();
     for (size_t b = 0; b < num_bins; ++b) {
-      if (stats[b].count > 0) present.push_back(static_cast<uint32_t>(b));
+      if (counts[b] > 0) present.push_back(static_cast<uint32_t>(b));
     }
     if (present.size() < 2) continue;  // constant in this node
 
@@ -377,10 +385,10 @@ DecisionTreeRegressor::Split DecisionTreeRegressor::FindBestSplitHist(
     size_t left_n = 0;
     size_t next_boundary = 0;
     for (size_t p = 0; p < present.size(); ++p) {
-      const BinStat& s = stats[present[p]];
-      left_sum += s.sum;
-      left_sq += s.sum_sq;
-      left_n += s.count;
+      const uint32_t pb = present[p];
+      left_sum += sums[pb];
+      left_sq += sqs[pb];
+      left_n += counts[pb];
       if (p >= num_boundaries || next_boundary != p) continue;
       next_boundary += stride;
       if (left_n < options_.min_samples_leaf ||

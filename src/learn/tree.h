@@ -90,13 +90,24 @@ class DecisionTreeRegressor : public ConditionalMeanEstimator {
     double value = 0.0;      // leaf prediction
   };
 
-  /// Per-bin target statistics for histogram split finding.
-  struct BinStat {
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    uint32_t count = 0;
+  /// Per-bin target statistics for histogram split finding, in
+  /// structure-of-arrays layout (flattened to the BinnedMatrix bin order):
+  /// sibling subtraction and the per-feature split scans then run over
+  /// contiguous double spans the compiler vectorizes, instead of striding
+  /// through 24-byte structs.
+  struct Hist {
+    std::vector<double> sum;
+    std::vector<double> sum_sq;
+    std::vector<uint32_t> count;
+
+    bool empty() const { return sum.empty(); }
+    size_t size() const { return sum.size(); }
+    void Reset(size_t bins) {
+      sum.assign(bins, 0.0);
+      sum_sq.assign(bins, 0.0);
+      count.assign(bins, 0);
+    }
   };
-  using Hist = std::vector<BinStat>;  // flattened, BinnedMatrix layout
 
   /// Builds the subtree over x/y rows [begin, end) of `order_` at `depth`
   /// with the exact splitter; returns the node index.

@@ -1,8 +1,12 @@
 #include "relational/compiled.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "common/simd.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace hyper::relational {
 
@@ -574,69 +578,73 @@ Result<bool> ColumnBoundExpr::EvalBool(size_t row) const {
 
 // ---------------------------------------------------------------------------
 // Vectorized mask kernel
+//
+// Split into a row-independent eligibility walk (MaskEligible) and a range
+// runner (MaskRun) so large tables shard the run per ColumnTable segment:
+// every kernel is element-wise, so the mask is bit-identical at any thread
+// count, SIMD level, and range decomposition. Eligibility failing is the
+// complete set of per-row error sources, so an eligible tree's EvalBool
+// succeeds on every row — callers rely on that (e.g. tri-state caches).
 // ---------------------------------------------------------------------------
 
 namespace {
 
-/// Applies `op` over per-row doubles produced by two getters. Equality uses
-/// double comparison — exactly Value::Equals / Value::Compare for numerics.
-template <typename GetL, typename GetR>
-void CompareLoop(size_t n, BinaryOp op, GetL&& lhs, GetR&& rhs,
-                 std::vector<uint8_t>* mask) {
+/// Conversion chunk: big enough to amortize dispatch, small enough that the
+/// double scratch stays in L1/L2.
+constexpr size_t kNumChunk = 4096;
+
+bool SimdCmpOf(BinaryOp op, simd::Cmp* out) {
   switch (op) {
-    case BinaryOp::kEq:
-      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) == rhs(r);
-      break;
-    case BinaryOp::kNe:
-      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) != rhs(r);
-      break;
-    case BinaryOp::kLt:
-      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) < rhs(r);
-      break;
-    case BinaryOp::kLe:
-      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) <= rhs(r);
-      break;
-    case BinaryOp::kGt:
-      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) > rhs(r);
-      break;
-    case BinaryOp::kGe:
-      for (size_t r = 0; r < n; ++r) (*mask)[r] = lhs(r) >= rhs(r);
-      break;
-    default:
-      break;
+    case BinaryOp::kEq: *out = simd::Cmp::kEq; return true;
+    case BinaryOp::kNe: *out = simd::Cmp::kNe; return true;
+    case BinaryOp::kLt: *out = simd::Cmp::kLt; return true;
+    case BinaryOp::kLe: *out = simd::Cmp::kLe; return true;
+    case BinaryOp::kGt: *out = simd::Cmp::kGt; return true;
+    case BinaryOp::kGe: *out = simd::Cmp::kGe; return true;
+    default: return false;
   }
 }
 
-/// Per-row numeric view of a null-free column, dispatched once per column.
-template <typename Fn>
-bool WithNumericGetter(const Column& col, Fn&& fn) {
+/// Numeric image of rows [begin, begin + len) of a null-free numeric
+/// column — exactly Scalar::AsDouble per element.
+void ToF64Span(const Column& col, size_t begin, size_t len, double* out) {
   switch (col.kind) {
     case ColumnKind::kInt64:
-      fn([data = col.i64.data()](size_t r) {
-        return static_cast<double>(data[r]);
-      });
-      return true;
+      simd::I64ToF64(col.i64.data() + begin, len, out);
+      break;
     case ColumnKind::kDouble:
-      fn([data = col.f64.data()](size_t r) { return data[r]; });
-      return true;
+      std::memcpy(out, col.f64.data() + begin, len * sizeof(double));
+      break;
     case ColumnKind::kBool:
-      fn([data = col.b8.data()](size_t r) {
-        return data[r] != 0 ? 1.0 : 0.0;
-      });
-      return true;
+      simd::U8ToF64(col.b8.data() + begin, len, out);
+      break;
     case ColumnKind::kCode:
-      return false;
+      break;  // excluded by eligibility
   }
-  return false;
+}
+
+/// Chunked column-vs-constant comparison through the double image (an int64
+/// column against a fractional or out-of-range literal must compare as
+/// doubles, exactly like the scalar path).
+void CmpNumericConst(const Column& col, size_t begin, size_t len, double c,
+                     simd::Cmp op, uint8_t* out) {
+  if (col.kind == ColumnKind::kDouble) {
+    simd::CmpF64Const(col.f64.data() + begin, len, c, op, out);
+    return;
+  }
+  double buf[kNumChunk];
+  for (size_t off = 0; off < len; off += kNumChunk) {
+    const size_t m = std::min(kNumChunk, len - off);
+    ToF64Span(col, begin + off, m, buf);
+    simd::CmpF64Const(buf, m, c, op, out + off);
+  }
 }
 
 }  // namespace
 
-bool ColumnBoundExpr::MaskKernel(uint32_t idx,
-                                 std::vector<uint8_t>* mask) const {
+bool ColumnBoundExpr::MaskEligible(uint32_t idx) const {
   using Node = CompiledExpr::Node;
   const Node& n = nodes_[idx];
-  const size_t num_rows = table_->num_rows();
 
   // A column reference is kernel-eligible when it reads the pre image
   // directly: no NULLs, no post override.
@@ -650,178 +658,475 @@ bool ColumnBoundExpr::MaskKernel(uint32_t idx,
   };
 
   switch (n.op) {
-    case Node::Op::kLiteral: {
-      auto b = n.literal.AsBool();
-      if (!b.ok()) return false;
-      std::fill(mask->begin(), mask->end(), *b ? 1 : 0);
-      return true;
-    }
+    case Node::Op::kLiteral:
+      return n.literal.AsBool().ok();
     case Node::Op::kColumnRef: {
       const Column* col = eligible_col(idx);
-      if (col == nullptr || col->kind == ColumnKind::kCode) return false;
-      bool ok = WithNumericGetter(*col, [&](auto get) {
-        for (size_t r = 0; r < num_rows; ++r) (*mask)[r] = get(r) != 0.0;
-      });
-      return ok;
+      return col != nullptr && col->kind != ColumnKind::kCode;
     }
-    case Node::Op::kNot: {
-      if (!MaskKernel(n.children[0], mask)) return false;
-      for (size_t r = 0; r < num_rows; ++r) (*mask)[r] = !(*mask)[r];
-      return true;
-    }
+    case Node::Op::kNot:
+      return MaskEligible(n.children[0]);
     case Node::Op::kAnd:
-    case Node::Op::kOr: {
-      // Eager evaluation is safe here: kernel-eligible subtrees cannot error,
-      // so the mask matches the short-circuit semantics bit for bit.
-      if (!MaskKernel(n.children[0], mask)) return false;
-      std::vector<uint8_t> rhs(num_rows);
-      if (!MaskKernel(n.children[1], &rhs)) return false;
-      if (n.op == Node::Op::kAnd) {
-        for (size_t r = 0; r < num_rows; ++r) (*mask)[r] &= rhs[r];
-      } else {
-        for (size_t r = 0; r < num_rows; ++r) (*mask)[r] |= rhs[r];
-      }
-      return true;
-    }
+    case Node::Op::kOr:
+      return MaskEligible(n.children[0]) && MaskEligible(n.children[1]);
     case Node::Op::kCompare: {
       const uint32_t li = n.children[0], ri = n.children[1];
-      const Node& ln = nodes_[li];
-      const Node& rn = nodes_[ri];
       const Column* lcol = eligible_col(li);
       const Column* rcol = eligible_col(ri);
+      const bool eq_ne = n.cmp == BinaryOp::kEq || n.cmp == BinaryOp::kNe;
 
-      // column vs column.
       if (lcol != nullptr && rcol != nullptr) {
-        if (lcol->kind == ColumnKind::kCode || rcol->kind == ColumnKind::kCode) {
+        if (lcol->kind == ColumnKind::kCode ||
+            rcol->kind == ColumnKind::kCode) {
           // Same-dictionary code equality; ordered comparisons need strings.
-          if (lcol->kind != rcol->kind) return false;
-          if (n.cmp != BinaryOp::kEq && n.cmp != BinaryOp::kNe) return false;
-          const int32_t* a = lcol->codes.data();
-          const int32_t* b = rcol->codes.data();
-          const bool want_eq = n.cmp == BinaryOp::kEq;
-          for (size_t r = 0; r < num_rows; ++r) {
-            (*mask)[r] = (a[r] == b[r]) == want_eq;
-          }
-          return true;
-        }
-        bool handled = false;
-        WithNumericGetter(*lcol, [&](auto gl) {
-          handled = WithNumericGetter(*rcol, [&](auto gr) {
-            CompareLoop(num_rows, n.cmp, gl, gr, mask);
-          });
-        });
-        return handled;
-      }
-
-      // column vs literal (either side).
-      const Column* col = lcol != nullptr ? lcol : rcol;
-      const Node* lit = lcol != nullptr ? &rn : &ln;
-      const uint32_t lit_idx = lcol != nullptr ? ri : li;
-      const bool col_is_lhs = lcol != nullptr;
-      if (col == nullptr || lit->op != Node::Op::kLiteral) return false;
-      const Value& lv = lit->literal;
-      if (lv.is_null()) return false;  // NULL ordering: leave to fallback
-
-      if (col->kind == ColumnKind::kCode) {
-        if (lv.type() != ValueType::kString) {
-          // Equals(string, number) is false without error; ordered
-          // comparisons error — fallback for those.
-          if (n.cmp == BinaryOp::kEq) {
-            std::fill(mask->begin(), mask->end(), 0);
-            return true;
-          }
-          if (n.cmp == BinaryOp::kNe) {
-            std::fill(mask->begin(), mask->end(), 1);
-            return true;
-          }
-          return false;
-        }
-        if (n.cmp != BinaryOp::kEq && n.cmp != BinaryOp::kNe) {
-          return false;  // lexicographic order: codes are unordered
-        }
-        const int32_t code = bound_[lit_idx].literal_code;
-        const int32_t* data = col->codes.data();
-        const bool want_eq = n.cmp == BinaryOp::kEq;
-        for (size_t r = 0; r < num_rows; ++r) {
-          (*mask)[r] = (data[r] == code) == want_eq;
+          return lcol->kind == rcol->kind && eq_ne;
         }
         return true;
       }
-
-      if (lv.type() == ValueType::kString) {
-        if (n.cmp == BinaryOp::kEq) {
-          std::fill(mask->begin(), mask->end(), 0);
-          return true;
-        }
-        if (n.cmp == BinaryOp::kNe) {
-          std::fill(mask->begin(), mask->end(), 1);
-          return true;
-        }
-        return false;
+      const Column* col = lcol != nullptr ? lcol : rcol;
+      const Node* lit = lcol != nullptr ? &nodes_[ri] : &nodes_[li];
+      if (col == nullptr || lit->op != Node::Op::kLiteral) return false;
+      const Value& lv = lit->literal;
+      if (lv.is_null()) return false;  // NULL ordering: leave to fallback
+      if (col->kind == ColumnKind::kCode) {
+        // String literal: code compare. Number literal: Equals is false
+        // without error (constant fill); ordered comparisons error.
+        return eq_ne;
       }
-      const double c = lv.AsDouble().value();
-      bool handled = WithNumericGetter(*col, [&](auto get) {
-        if (col_is_lhs) {
-          CompareLoop(num_rows, n.cmp, get, [c](size_t) { return c; }, mask);
-        } else {
-          CompareLoop(num_rows, n.cmp, [c](size_t) { return c; }, get, mask);
-        }
-      });
-      return handled;
+      if (lv.type() == ValueType::kString) return eq_ne;  // constant fill
+      return true;
     }
     case Node::Op::kInList: {
-      const Column* col = eligible_col(n.children[0]);
-      if (col == nullptr) return false;
-      // All items must be literals.
+      if (eligible_col(n.children[0]) == nullptr) return false;
       for (size_t c = 1; c < n.children.size(); ++c) {
         if (nodes_[n.children[c]].op != Node::Op::kLiteral) return false;
         if (nodes_[n.children[c]].literal.is_null()) return false;
       }
-      if (col->kind == ColumnKind::kCode) {
-        std::vector<int32_t> want;
-        for (size_t c = 1; c < n.children.size(); ++c) {
-          const Node& item = nodes_[n.children[c]];
-          if (item.literal.type() != ValueType::kString) continue;  // never eq
-          want.push_back(bound_[n.children[c]].literal_code);
-        }
-        const int32_t* data = col->codes.data();
-        for (size_t r = 0; r < num_rows; ++r) {
-          uint8_t hit = 0;
-          for (int32_t w : want) hit |= (data[r] == w);
-          (*mask)[r] = hit;
-        }
-        return true;
-      }
-      std::vector<double> want;
-      for (size_t c = 1; c < n.children.size(); ++c) {
-        const Node& item = nodes_[n.children[c]];
-        if (item.literal.type() == ValueType::kString) continue;  // never eq
-        want.push_back(item.literal.AsDouble().value());
-      }
-      bool handled = WithNumericGetter(*col, [&](auto get) {
-        for (size_t r = 0; r < num_rows; ++r) {
-          const double v = get(r);
-          uint8_t hit = 0;
-          for (double w : want) hit |= (v == w);
-          (*mask)[r] = hit;
-        }
-      });
-      return handled;
+      return true;
     }
     default:
       return false;
   }
 }
 
-Result<std::vector<uint8_t>> ColumnBoundExpr::EvalMask() const {
+void ColumnBoundExpr::MaskRun(uint32_t idx, size_t begin, size_t end,
+                              uint8_t* out) const {
+  using Node = CompiledExpr::Node;
+  const Node& n = nodes_[idx];
+  const size_t len = end - begin;
+
+  switch (n.op) {
+    case Node::Op::kLiteral: {
+      std::memset(out, *n.literal.AsBool() ? 1 : 0, len);
+      return;
+    }
+    case Node::Op::kColumnRef: {
+      const Column& col = *bound_[idx].column;
+      if (col.kind == ColumnKind::kBool) {
+        std::memcpy(out, col.b8.data() + begin, len);  // already 0/1
+        return;
+      }
+      CmpNumericConst(col, begin, len, 0.0, simd::Cmp::kNe, out);
+      return;
+    }
+    case Node::Op::kNot: {
+      MaskRun(n.children[0], begin, end, out);
+      simd::MaskNot(out, len, out);
+      return;
+    }
+    case Node::Op::kAnd:
+    case Node::Op::kOr: {
+      // Eager evaluation is safe here: kernel-eligible subtrees cannot error,
+      // so the mask matches the short-circuit semantics bit for bit.
+      MaskRun(n.children[0], begin, end, out);
+      std::vector<uint8_t> rhs(len);
+      MaskRun(n.children[1], begin, end, rhs.data());
+      if (n.op == Node::Op::kAnd) {
+        simd::MaskAnd(out, rhs.data(), len, out);
+      } else {
+        simd::MaskOr(out, rhs.data(), len, out);
+      }
+      return;
+    }
+    case Node::Op::kCompare: {
+      const uint32_t li = n.children[0], ri = n.children[1];
+      const Column* lcol = nodes_[li].op == Node::Op::kColumnRef
+                               ? bound_[li].column
+                               : nullptr;
+      const Column* rcol = nodes_[ri].op == Node::Op::kColumnRef
+                               ? bound_[ri].column
+                               : nullptr;
+
+      // column vs column.
+      if (lcol != nullptr && rcol != nullptr) {
+        if (lcol->kind == ColumnKind::kCode) {
+          simd::CmpI32Cols(lcol->codes.data() + begin,
+                           rcol->codes.data() + begin, len,
+                           n.cmp == BinaryOp::kEq, out);
+          return;
+        }
+        simd::Cmp op;
+        SimdCmpOf(n.cmp, &op);
+        if (lcol->kind == ColumnKind::kDouble &&
+            rcol->kind == ColumnKind::kDouble) {
+          simd::CmpF64Cols(lcol->f64.data() + begin, rcol->f64.data() + begin,
+                           len, op, out);
+          return;
+        }
+        double la[kNumChunk], ra[kNumChunk];
+        for (size_t off = 0; off < len; off += kNumChunk) {
+          const size_t m = std::min(kNumChunk, len - off);
+          ToF64Span(*lcol, begin + off, m, la);
+          ToF64Span(*rcol, begin + off, m, ra);
+          simd::CmpF64Cols(la, ra, m, op, out + off);
+        }
+        return;
+      }
+
+      // column vs literal (either side).
+      const Column* col = lcol != nullptr ? lcol : rcol;
+      const uint32_t lit_idx = lcol != nullptr ? ri : li;
+      const bool col_is_lhs = lcol != nullptr;
+      const Value& lv = nodes_[lit_idx].literal;
+
+      if (col->kind == ColumnKind::kCode) {
+        if (lv.type() != ValueType::kString) {
+          // Equals(string, number) is false without error.
+          std::memset(out, n.cmp == BinaryOp::kNe ? 1 : 0, len);
+          return;
+        }
+        simd::CmpI32Const(col->codes.data() + begin, len,
+                          bound_[lit_idx].literal_code,
+                          n.cmp == BinaryOp::kEq, out);
+        return;
+      }
+      if (lv.type() == ValueType::kString) {
+        std::memset(out, n.cmp == BinaryOp::kNe ? 1 : 0, len);
+        return;
+      }
+      simd::Cmp op;
+      SimdCmpOf(n.cmp, &op);
+      if (!col_is_lhs) op = simd::Mirror(op);  // lit OP col == col ROP lit
+      CmpNumericConst(*col, begin, len, lv.AsDouble().value(), op, out);
+      return;
+    }
+    case Node::Op::kInList: {
+      const Column& col = *bound_[n.children[0]].column;
+      std::memset(out, 0, len);
+      std::vector<uint8_t> tmp(len);
+      if (col.kind == ColumnKind::kCode) {
+        for (size_t c = 1; c < n.children.size(); ++c) {
+          const Node& item = nodes_[n.children[c]];
+          if (item.literal.type() != ValueType::kString) continue;  // never eq
+          simd::CmpI32Const(col.codes.data() + begin, len,
+                            bound_[n.children[c]].literal_code,
+                            /*want_eq=*/true, tmp.data());
+          simd::MaskOr(out, tmp.data(), len, out);
+        }
+        return;
+      }
+      for (size_t c = 1; c < n.children.size(); ++c) {
+        const Node& item = nodes_[n.children[c]];
+        if (item.literal.type() == ValueType::kString) continue;  // never eq
+        CmpNumericConst(col, begin, len, item.literal.AsDouble().value(),
+                        simd::Cmp::kEq, tmp.data());
+        simd::MaskOr(out, tmp.data(), len, out);
+      }
+      return;
+    }
+    default:
+      return;  // unreachable on eligible trees
+  }
+}
+
+bool ColumnBoundExpr::TryMaskKernel(std::vector<uint8_t>* mask) const {
+  if (!MaskEligible(0)) return false;
   const size_t n = table_->num_rows();
-  std::vector<uint8_t> mask(n, 0);
-  if (MaskKernel(0, &mask)) return mask;
+  mask->assign(n, 0);
+  if (n >= 2 * ColumnTable::kSegmentRows) {
+    uint8_t* data = mask->data();
+    ThreadPool::Shared().ParallelForRange(
+        n, ColumnTable::kSegmentRows,
+        [this, data](size_t begin, size_t end) {
+          MaskRun(0, begin, end, data + begin);
+        });
+  } else {
+    MaskRun(0, 0, n, mask->data());
+  }
+  return true;
+}
+
+Result<std::vector<uint8_t>> ColumnBoundExpr::EvalMask() const {
+  std::vector<uint8_t> mask;
+  if (TryMaskKernel(&mask)) return mask;
+  const size_t n = table_->num_rows();
+  mask.assign(n, 0);
   for (size_t r = 0; r < n; ++r) {
     HYPER_ASSIGN_OR_RETURN(bool b, EvalBool(r));
     mask[r] = b ? 1 : 0;
   }
   return mask;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized numeric kernel
+// ---------------------------------------------------------------------------
+
+bool ColumnBoundExpr::NumEligible(uint32_t idx) const {
+  using Node = CompiledExpr::Node;
+  const Node& n = nodes_[idx];
+  switch (n.op) {
+    case Node::Op::kLiteral:
+      switch (n.literal.type()) {
+        case ValueType::kBool:
+        case ValueType::kInt:
+        case ValueType::kDouble:
+          return true;
+        default:
+          return false;  // NULL / string literals error through AsDouble
+      }
+    case Node::Op::kColumnRef: {
+      if (bound_[idx].override_ != nullptr) return false;
+      const Column* col = bound_[idx].column;
+      return !col->has_nulls() && col->kind != ColumnKind::kCode;
+    }
+    case Node::Op::kNeg:
+    case Node::Op::kAbs:
+      return NumEligible(n.children[0]);
+    case Node::Op::kArith:
+    case Node::Op::kL1:
+      return NumEligible(n.children[0]) && NumEligible(n.children[1]);
+    case Node::Op::kNot:
+    case Node::Op::kAnd:
+    case Node::Op::kOr:
+    case Node::Op::kCompare:
+    case Node::Op::kInList:
+      // Boolean subtrees route through the mask kernel; Scalar::Bool widens
+      // to 0.0/1.0 exactly like the mask bytes.
+      return MaskEligible(idx);
+  }
+  return false;
+}
+
+ColumnBoundExpr::NumType ColumnBoundExpr::NumNodeType(uint32_t idx) const {
+  using Node = CompiledExpr::Node;
+  const Node& n = nodes_[idx];
+  switch (n.op) {
+    case Node::Op::kLiteral:
+      switch (n.literal.type()) {
+        case ValueType::kInt: return NumType::kInt;
+        case ValueType::kBool: return NumType::kBool;
+        default: return NumType::kDouble;
+      }
+    case Node::Op::kColumnRef:
+      switch (bound_[idx].column->kind) {
+        case ColumnKind::kInt64: return NumType::kInt;
+        case ColumnKind::kBool: return NumType::kBool;
+        default: return NumType::kDouble;
+      }
+    case Node::Op::kNeg:
+      // Scalar: Int stays Int, everything else widens to double.
+      return NumNodeType(n.children[0]) == NumType::kInt ? NumType::kInt
+                                                         : NumType::kDouble;
+    case Node::Op::kArith:
+      if (n.cmp == BinaryOp::kDiv) return NumType::kDouble;
+      return NumNodeType(n.children[0]) == NumType::kInt &&
+                     NumNodeType(n.children[1]) == NumType::kInt
+                 ? NumType::kInt
+                 : NumType::kDouble;
+    case Node::Op::kNot:
+    case Node::Op::kAnd:
+    case Node::Op::kOr:
+    case Node::Op::kCompare:
+    case Node::Op::kInList:
+      return NumType::kBool;
+    default:
+      return NumType::kDouble;  // kAbs / kL1
+  }
+}
+
+void ColumnBoundExpr::EvalNumChunk(uint32_t idx, size_t begin, size_t len,
+                                   std::vector<int64_t>* out_i,
+                                   std::vector<double>* out_d,
+                                   std::vector<uint8_t>* out_m,
+                                   uint8_t* err) const {
+  using Node = CompiledExpr::Node;
+  const Node& n = nodes_[idx];
+  const NumType t = NumNodeType(idx);
+
+  // Double image of a child's chunk result (reuses its double buffer when
+  // it already is one) — exactly Scalar::AsDouble element-wise.
+  const auto as_f64 = [len](NumType ct, std::vector<int64_t>& ci,
+                            std::vector<double>& cd,
+                            std::vector<uint8_t>& cm) -> const double* {
+    if (ct == NumType::kDouble) return cd.data();
+    cd.resize(len);
+    if (ct == NumType::kInt) {
+      simd::I64ToF64(ci.data(), len, cd.data());
+    } else {
+      simd::U8ToF64(cm.data(), len, cd.data());
+    }
+    return cd.data();
+  };
+
+  switch (n.op) {
+    case Node::Op::kLiteral:
+      if (t == NumType::kInt) {
+        out_i->assign(len, n.literal.int_value());
+      } else if (t == NumType::kBool) {
+        out_m->assign(len, n.literal.bool_value() ? 1 : 0);
+      } else {
+        out_d->assign(len, n.literal.double_value());
+      }
+      return;
+    case Node::Op::kColumnRef: {
+      const Column& col = *bound_[idx].column;
+      if (t == NumType::kInt) {
+        out_i->assign(col.i64.begin() + begin, col.i64.begin() + begin + len);
+      } else if (t == NumType::kBool) {
+        out_m->assign(col.b8.begin() + begin, col.b8.begin() + begin + len);
+      } else {
+        out_d->assign(col.f64.begin() + begin, col.f64.begin() + begin + len);
+      }
+      return;
+    }
+    case Node::Op::kNot:
+    case Node::Op::kAnd:
+    case Node::Op::kOr:
+    case Node::Op::kCompare:
+    case Node::Op::kInList:
+      out_m->resize(len);
+      MaskRun(idx, begin, begin + len, out_m->data());
+      return;
+    case Node::Op::kNeg: {
+      std::vector<int64_t> ci;
+      std::vector<double> cd;
+      std::vector<uint8_t> cm;
+      EvalNumChunk(n.children[0], begin, len, &ci, &cd, &cm, err);
+      if (t == NumType::kInt) {
+        out_i->resize(len);
+        for (size_t k = 0; k < len; ++k) (*out_i)[k] = -ci[k];
+        return;
+      }
+      const double* c = as_f64(NumNodeType(n.children[0]), ci, cd, cm);
+      out_d->resize(len);
+      for (size_t k = 0; k < len; ++k) (*out_d)[k] = -c[k];
+      return;
+    }
+    case Node::Op::kAbs: {
+      std::vector<int64_t> ci;
+      std::vector<double> cd;
+      std::vector<uint8_t> cm;
+      EvalNumChunk(n.children[0], begin, len, &ci, &cd, &cm, err);
+      const double* c = as_f64(NumNodeType(n.children[0]), ci, cd, cm);
+      out_d->resize(len);
+      for (size_t k = 0; k < len; ++k) (*out_d)[k] = std::fabs(c[k]);
+      return;
+    }
+    case Node::Op::kL1: {
+      std::vector<int64_t> li, ri;
+      std::vector<double> ld, rd;
+      std::vector<uint8_t> lm, rm;
+      EvalNumChunk(n.children[0], begin, len, &li, &ld, &lm, err);
+      EvalNumChunk(n.children[1], begin, len, &ri, &rd, &rm, err);
+      const double* a = as_f64(NumNodeType(n.children[0]), li, ld, lm);
+      const double* b = as_f64(NumNodeType(n.children[1]), ri, rd, rm);
+      out_d->resize(len);
+      for (size_t k = 0; k < len; ++k) (*out_d)[k] = std::fabs(a[k] - b[k]);
+      return;
+    }
+    case Node::Op::kArith: {
+      std::vector<int64_t> li, ri;
+      std::vector<double> ld, rd;
+      std::vector<uint8_t> lm, rm;
+      EvalNumChunk(n.children[0], begin, len, &li, &ld, &lm, err);
+      EvalNumChunk(n.children[1], begin, len, &ri, &rd, &rm, err);
+      if (t == NumType::kInt) {
+        // Both children are int chunks: exactly the Scalar::Int arithmetic
+        // (int64 wraparound and all), then the caller widens once.
+        out_i->resize(len);
+        switch (n.cmp) {
+          case BinaryOp::kAdd:
+            for (size_t k = 0; k < len; ++k) (*out_i)[k] = li[k] + ri[k];
+            break;
+          case BinaryOp::kSub:
+            for (size_t k = 0; k < len; ++k) (*out_i)[k] = li[k] - ri[k];
+            break;
+          default:  // kMul (kDiv is never kInt)
+            for (size_t k = 0; k < len; ++k) (*out_i)[k] = li[k] * ri[k];
+            break;
+        }
+        return;
+      }
+      const double* a = as_f64(NumNodeType(n.children[0]), li, ld, lm);
+      const double* b = as_f64(NumNodeType(n.children[1]), ri, rd, rm);
+      out_d->resize(len);
+      switch (n.cmp) {
+        case BinaryOp::kAdd:
+          for (size_t k = 0; k < len; ++k) (*out_d)[k] = a[k] + b[k];
+          break;
+        case BinaryOp::kSub:
+          for (size_t k = 0; k < len; ++k) (*out_d)[k] = a[k] - b[k];
+          break;
+        case BinaryOp::kMul:
+          for (size_t k = 0; k < len; ++k) (*out_d)[k] = a[k] * b[k];
+          break;
+        case BinaryOp::kDiv:
+          // "division by zero" is the only per-row error an eligible tree
+          // can hit; rows already errored upstream stay errored (err is
+          // sticky) and their garbage values are never read.
+          for (size_t k = 0; k < len; ++k) {
+            err[k] |= (b[k] == 0.0);
+            (*out_d)[k] = a[k] / b[k];
+          }
+          break;
+        default:
+          break;
+      }
+      return;
+    }
+    default:
+      return;  // unreachable on eligible trees
+  }
+}
+
+bool ColumnBoundExpr::TryEvalDoubleKernel(std::vector<double>* out,
+                                          std::vector<uint8_t>* err) const {
+  if (!NumEligible(0)) return false;
+  const size_t n = table_->num_rows();
+  out->assign(n, 0.0);
+  err->assign(n, 0);
+  const NumType root_t = NumNodeType(0);
+  double* out_data = out->data();
+  uint8_t* err_data = err->data();
+  const auto run = [this, root_t, out_data, err_data](size_t begin,
+                                                      size_t end) {
+    std::vector<int64_t> bi;
+    std::vector<double> bd;
+    std::vector<uint8_t> bm;
+    for (size_t off = begin; off < end; off += kNumChunk) {
+      const size_t len = std::min(kNumChunk, end - off);
+      EvalNumChunk(0, off, len, &bi, &bd, &bm, err_data + off);
+      double* dst = out_data + off;
+      if (root_t == NumType::kInt) {
+        simd::I64ToF64(bi.data(), len, dst);
+      } else if (root_t == NumType::kBool) {
+        simd::U8ToF64(bm.data(), len, dst);
+      } else {
+        std::memcpy(dst, bd.data(), len * sizeof(double));
+      }
+      const uint8_t* e = err_data + off;
+      for (size_t k = 0; k < len; ++k) {
+        if (e[k]) dst[k] = 0.0;  // defined value on errored rows
+      }
+    }
+  };
+  if (n >= 2 * ColumnTable::kSegmentRows) {
+    ThreadPool::Shared().ParallelForRange(n, ColumnTable::kSegmentRows, run);
+  } else {
+    run(0, n);
+  }
+  return true;
 }
 
 Result<std::vector<uint8_t>> EvalPredicateMask(const sql::Expr* pred,

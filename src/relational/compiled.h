@@ -139,9 +139,11 @@ class PostImage {
   void SetConst(size_t attr, Value v);
   /// Post value of `attr` is `values[row]` for active rows (scale/shift).
   void SetPerRowDouble(size_t attr, std::vector<double> values);
-  /// Rows where `active` is false keep their pre image everywhere. A null
-  /// active set means every row is updated.
-  void set_active(const std::vector<bool>* active) { active_ = active; }
+  /// Rows where `active` is 0 keep their pre image everywhere. A null
+  /// active set means every row is updated. The 0/1 byte mask is the same
+  /// shape EvalMask produces, so selection masks feed in without conversion
+  /// (and the kernels can read it branch-free).
+  void set_active(const std::vector<uint8_t>* active) { active_ = active; }
 
   bool has_override(size_t attr) const {
     return attr < overrides_.size() && overrides_[attr].kind != OvKind::kNone;
@@ -156,7 +158,7 @@ class PostImage {
     std::vector<double> per_row;
   };
   std::vector<Override> overrides_;
-  const std::vector<bool>* active_ = nullptr;
+  const std::vector<uint8_t>* active_ = nullptr;
 };
 
 /// A compiled expression bound to one ColumnTable (tuple slot 0): column
@@ -175,10 +177,30 @@ class ColumnBoundExpr {
   Result<bool> EvalBool(size_t row) const;
 
   /// Batch predicate evaluation over every row of the bound table. Uses
-  /// tight typed loops for comparisons / logical connectives over null-free,
-  /// non-overridden columns and falls back to per-row EvalBool for anything
-  /// else; the produced mask is identical either way.
+  /// SIMD-dispatched typed kernels (common/simd.h) for comparisons / logical
+  /// connectives over null-free, non-overridden columns — sharded per
+  /// ColumnTable segment on large tables — and falls back to per-row
+  /// EvalBool for anything else; the produced mask is identical either way
+  /// (the kernels are element-wise, so the mask is bit-identical at any
+  /// thread count and SIMD level).
   Result<std::vector<uint8_t>> EvalMask() const;
+
+  /// Vectorized boolean evaluation when the whole tree is kernel-eligible:
+  /// resizes `mask` and fills mask[r] == (EvalBool(r) ? 1 : 0), returning
+  /// true. Returns false (mask unspecified) when any part of the tree needs
+  /// the per-row path. Eligibility is row-independent, so a true return
+  /// also guarantees EvalBool succeeds on every row.
+  bool TryMaskKernel(std::vector<uint8_t>* mask) const;
+
+  /// Vectorized numeric evaluation when the whole tree is numeric-kernel
+  /// eligible: resizes the outputs and fills out[r] with exactly
+  /// Eval(r).AsDouble() (including the int64-arithmetic-then-widen cases)
+  /// and err[r] = 1 where Eval(r) errors — on an eligible tree the only
+  /// reachable error is division by zero; out[r] is 0.0 on errored rows.
+  /// Returns false (outputs unspecified) when the tree needs the per-row
+  /// path.
+  bool TryEvalDoubleKernel(std::vector<double>* out,
+                           std::vector<uint8_t>* err) const;
 
  private:
   struct BoundNode {
@@ -188,9 +210,22 @@ class ColumnBoundExpr {
     Scalar override_const;            // kConst override, pre-resolved at Bind
   };
 
+  /// Static value type of a numeric-kernel node; valid only on eligible
+  /// trees, where every row of a node yields the same Scalar kind.
+  enum class NumType : uint8_t { kInt, kDouble, kBool };
+
   Result<Scalar> EvalNode(uint32_t idx, size_t row) const;
   Result<Scalar> ReadColumn(uint32_t idx, size_t row) const;
-  bool MaskKernel(uint32_t idx, std::vector<uint8_t>* mask) const;
+  /// Row-independent eligibility for the boolean mask kernel.
+  bool MaskEligible(uint32_t idx) const;
+  /// Fills out[0 .. end-begin) with the mask of rows [begin, end); the tree
+  /// rooted at idx must be MaskEligible.
+  void MaskRun(uint32_t idx, size_t begin, size_t end, uint8_t* out) const;
+  bool NumEligible(uint32_t idx) const;
+  NumType NumNodeType(uint32_t idx) const;
+  void EvalNumChunk(uint32_t idx, size_t begin, size_t len,
+                    std::vector<int64_t>* out_i, std::vector<double>* out_d,
+                    std::vector<uint8_t>* out_m, uint8_t* err) const;
 
   const ColumnTable* table_ = nullptr;
   const PostImage* post_ = nullptr;

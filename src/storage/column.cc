@@ -1,6 +1,7 @@
 #include "storage/column.h"
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace hyper {
 
@@ -172,68 +173,139 @@ Result<std::vector<double>> ColumnTable::ColumnAsDoubles(size_t attr) const {
   return out;
 }
 
+std::vector<size_t> ColumnTable::DirtySegments(
+    const TableCellOverrides& overrides) const {
+  std::vector<uint8_t> dirty(num_segments(), 0);
+  for (const auto& [attr, cells] : overrides) {
+    if (attr >= columns_.size()) continue;
+    for (const auto& [row, value] : cells) {
+      (void)value;
+      if (row >= num_rows_) continue;
+      dirty[row / kSegmentRows] = 1;
+    }
+  }
+  std::vector<size_t> out;
+  for (size_t s = 0; s < dirty.size(); ++s) {
+    if (dirty[s]) out.push_back(s);
+  }
+  return out;
+}
+
 Status ColumnTable::ApplyOverrides(const TableCellOverrides& overrides) {
-  // The dictionary is detached at most once per patch: the first unseen
-  // string pays one deep copy (so the patch source, which shares dict_, is
-  // never mutated), every later one interns into the already-private copy.
+  // Pass 1 (sequential): validate every in-shape cell and intern unseen
+  // strings before anything is written, so a kind mismatch rejects the whole
+  // patch with the image untouched. The dictionary is detached at most once:
+  // the first unseen string pays one deep copy (so the patch source, which
+  // shares dict_, is never mutated), every later one interns into the
+  // already-private copy. After this pass the dictionary is read-only, so
+  // the patch pass may Find() from any thread.
+  struct PatchCell {
+    size_t attr;
+    size_t row;
+    const Value* value;
+    int32_t code;  // resolved dictionary code for kCode cells
+  };
+  std::vector<PatchCell> cells_flat;
+  std::vector<uint8_t> needs_nulls(columns_.size(), 0);
   bool dict_private = false;
   for (const auto& [attr, cells] : overrides) {
     if (attr >= columns_.size()) continue;  // stale override beyond the shape
     Column& col = columns_[attr];
     for (const auto& [row, value] : cells) {
       if (row >= num_rows_) continue;  // stale override beyond the shape
+      int32_t code = Dictionary::kNullCode;
       if (value.is_null()) {
-        if (col.nulls.empty()) col.nulls.resize(num_rows_, 0);
-        col.nulls[row] = 1;
+        if (col.nulls.empty()) needs_nulls[attr] = 1;
+      } else {
+        bool fits = false;
         switch (col.kind) {
-          case ColumnKind::kInt64: col.i64[row] = 0; break;
-          case ColumnKind::kDouble: col.f64[row] = 0.0; break;
-          case ColumnKind::kBool: col.b8[row] = 0; break;
-          case ColumnKind::kCode: col.codes[row] = Dictionary::kNullCode; break;
-        }
-        continue;
-      }
-      bool fits = false;
-      switch (col.kind) {
-        case ColumnKind::kInt64:
-          fits = value.type() == ValueType::kInt;
-          if (fits) col.i64[row] = value.int_value();
-          break;
-        case ColumnKind::kDouble:
-          // kDouble already means "numeric, possibly mixed": FromTable
-          // stores every numeric value through AsDouble here, so ints and
-          // bools patch in without changing the inferred kind.
-          fits = value.is_numeric();
-          if (fits) col.f64[row] = value.AsDouble().value();
-          break;
-        case ColumnKind::kBool:
-          fits = value.type() == ValueType::kBool;
-          if (fits) col.b8[row] = value.bool_value() ? 1 : 0;
-          break;
-        case ColumnKind::kCode:
-          fits = value.type() == ValueType::kString;
-          if (fits) {
-            int32_t code = dict_->Find(value.string_value());
-            if (code == Dictionary::kNullCode) {
-              if (!dict_private) {
-                dict_ = std::make_shared<Dictionary>(*dict_);
-                dict_private = true;
+          case ColumnKind::kInt64:
+            fits = value.type() == ValueType::kInt;
+            break;
+          case ColumnKind::kDouble:
+            // kDouble already means "numeric, possibly mixed": FromTable
+            // stores every numeric value through AsDouble here, so ints and
+            // bools patch in without changing the inferred kind.
+            fits = value.is_numeric();
+            break;
+          case ColumnKind::kBool:
+            fits = value.type() == ValueType::kBool;
+            break;
+          case ColumnKind::kCode:
+            fits = value.type() == ValueType::kString;
+            if (fits) {
+              code = dict_->Find(value.string_value());
+              if (code == Dictionary::kNullCode) {
+                if (!dict_private) {
+                  dict_ = std::make_shared<Dictionary>(*dict_);
+                  dict_private = true;
+                }
+                code = dict_->Intern(value.string_value());
               }
-              code = dict_->Intern(value.string_value());
             }
-            col.codes[row] = code;
-          }
-          break;
+            break;
+        }
+        if (!fits) {
+          return Status::FailedPrecondition(
+              "override value " + value.ToString() + " does not fit " +
+              ColumnKindName(col.kind) + " column '" +
+              schema_.attribute(attr).name + "'; rebuild from the table");
+        }
       }
-      if (!fits) {
-        return Status::FailedPrecondition(
-            "override value " + value.ToString() + " does not fit " +
-            ColumnKindName(col.kind) + " column '" +
-            schema_.attribute(attr).name + "'; rebuild from the table");
-      }
-      if (!col.nulls.empty()) col.nulls[row] = 0;
+      cells_flat.push_back(PatchCell{attr, row, &value, code});
     }
   }
+  for (size_t a = 0; a < columns_.size(); ++a) {
+    if (needs_nulls[a]) columns_[a].nulls.resize(num_rows_, 0);
+  }
+
+  // Pass 2: patch. Cells in different segments touch disjoint rows, so large
+  // patches shard per dirty segment — the written image is identical at any
+  // thread count (each cell is written exactly once, by exactly one shard).
+  const auto patch_one = [this](const PatchCell& cell) {
+    Column& col = columns_[cell.attr];
+    const Value& value = *cell.value;
+    if (value.is_null()) {
+      col.nulls[cell.row] = 1;
+      switch (col.kind) {
+        case ColumnKind::kInt64: col.i64[cell.row] = 0; break;
+        case ColumnKind::kDouble: col.f64[cell.row] = 0.0; break;
+        case ColumnKind::kBool: col.b8[cell.row] = 0; break;
+        case ColumnKind::kCode:
+          col.codes[cell.row] = Dictionary::kNullCode;
+          break;
+      }
+      return;
+    }
+    switch (col.kind) {
+      case ColumnKind::kInt64: col.i64[cell.row] = value.int_value(); break;
+      case ColumnKind::kDouble:
+        col.f64[cell.row] = value.AsDouble().value();
+        break;
+      case ColumnKind::kBool:
+        col.b8[cell.row] = value.bool_value() ? 1 : 0;
+        break;
+      case ColumnKind::kCode: col.codes[cell.row] = cell.code; break;
+    }
+    if (!col.nulls.empty()) col.nulls[cell.row] = 0;
+  };
+
+  constexpr size_t kParallelPatchThreshold = 8192;
+  if (cells_flat.size() < kParallelPatchThreshold || num_segments() <= 1) {
+    for (const PatchCell& cell : cells_flat) patch_one(cell);
+    return Status::OK();
+  }
+  std::vector<std::vector<PatchCell>> per_seg(num_segments());
+  for (const PatchCell& cell : cells_flat) {
+    per_seg[cell.row / kSegmentRows].push_back(cell);
+  }
+  std::vector<size_t> dirty;
+  for (size_t s = 0; s < per_seg.size(); ++s) {
+    if (!per_seg[s].empty()) dirty.push_back(s);
+  }
+  ThreadPool::Shared().ParallelFor(dirty.size(), [&](size_t d) {
+    for (const PatchCell& cell : per_seg[dirty[d]]) patch_one(cell);
+  });
   return Status::OK();
 }
 

@@ -1,11 +1,13 @@
 #ifndef HYPER_STORAGE_COLUMN_H_
 #define HYPER_STORAGE_COLUMN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -116,8 +118,8 @@ class ColumnTable {
   /// build time — int into kInt64/kDouble, double into kDouble, bool into
   /// kBool, string into kCode, NULL anywhere; anything else (e.g. a double
   /// landing in an all-int column, which FromTable would have promoted to
-  /// kDouble) returns FailedPrecondition with the image only partially
-  /// patched, and the caller must rebuild from the table instead. On OK the
+  /// kDouble) returns FailedPrecondition, and the caller must rebuild from
+  /// the table instead (only the dictionary may have grown). On OK the
   /// image is value-for-value (Equals) identical to FromTable over the
   /// patched rows; the physical kind may stay wider than a rebuild would
   /// infer (overrides erasing a column's only double keep it kDouble),
@@ -127,7 +129,33 @@ class ColumnTable {
   /// A string override absent from the dictionary triggers a private copy of
   /// the dictionary before interning, so images sharing the original
   /// dictionary (the patch source) are never mutated under concurrent reads.
+  ///
+  /// Overrides are validated (and strings interned) in one sequential pass
+  /// before any cell is written, so FailedPrecondition now leaves the image
+  /// untouched; large patches are then applied in parallel per segment
+  /// (disjoint row ranges, so the result is independent of thread count).
   Status ApplyOverrides(const TableCellOverrides& overrides);
+
+  /// Fixed segment size for parallel kernels: ApplyOverrides, When-mask
+  /// evaluation, and batch evaluation shard per segment, and a branch delta
+  /// touches only its dirty segments.
+  static constexpr size_t kSegmentRows = 65536;
+
+  /// Number of kSegmentRows-sized segments covering the rows (0 when empty).
+  size_t num_segments() const {
+    return (num_rows_ + kSegmentRows - 1) / kSegmentRows;
+  }
+
+  /// Row range [begin, end) of segment `seg`.
+  std::pair<size_t, size_t> SegmentBounds(size_t seg) const {
+    const size_t begin = seg * kSegmentRows;
+    return {begin, std::min(begin + kSegmentRows, num_rows_)};
+  }
+
+  /// Sorted ids of the segments containing at least one in-shape override
+  /// cell (stale cells beyond the table shape are ignored, matching
+  /// ApplyOverrides).
+  std::vector<size_t> DirtySegments(const TableCellOverrides& overrides) const;
 
  private:
   Schema schema_;

@@ -34,6 +34,10 @@ class Table {
   /// Unchecked append for generators on hot paths.
   void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
 
+  /// Pre-sizes the row vector; the million-row generators reserve up front
+  /// so growth never copies the row headers repeatedly.
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
   const Row& row(size_t tid) const { return rows_[tid]; }
   Row& mutable_row(size_t tid) { return rows_[tid]; }
 

@@ -12,6 +12,7 @@
 #include "common/hash.h"
 #include "common/mutex.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_annotations.h"
@@ -1150,6 +1151,11 @@ struct ScopeStageData {
 struct CausalStageData {
   WhatIfPlan plan;
   std::vector<std::vector<size_t>> block_rows;
+  /// True when block b is exactly {b} — every tuple its own block, in row
+  /// order (the common single-table shape). The evaluate loop then takes a
+  /// flat row-order pass instead of per-block accumulators: since g is Sum
+  /// and partials merge in block order, the fold is bit-identical.
+  bool identity_blocks = false;
 };
 
 /// LearnStage: fitted encoders, the (binned) training matrix, psi prep, and
@@ -1178,6 +1184,14 @@ struct LearnStageData {
   std::optional<learn::FeatureEncoder> encoder;
   std::vector<std::optional<learn::QuantileDiscretizer>> feature_disc;
   std::vector<std::vector<double>> feat;  // encoded + snapped, per feature
+  /// Rows grouped by the byte pattern of their non-update feature columns
+  /// (same byte-equality the per-row dedup uses, so group == distinct
+  /// post-update feature point whenever the update features and psi are
+  /// row-constant). Lets a Set-update evaluation map affected rows to batch
+  /// slots with one array read instead of hashing the point per row.
+  /// Computed only under vectorized_exec; empty otherwise.
+  std::vector<uint32_t> residual_gid;
+  uint32_t residual_groups = 0;
   std::vector<size_t> train_rows;
   learn::FeatureMatrix train_x;
   /// Quantile-binned image of train_x for histogram forest training,
@@ -1236,12 +1250,23 @@ struct LearnStageData {
     std::vector<double> ind(train_rows.size(), 1.0);
     governance::LoopCheck gov_loop(guard);
     if (!is_literal) {
-      for (size_t i = 0; i < train_rows.size(); ++i) {
-        if (gov_loop.Due()) {
-          HYPER_RETURN_NOT_OK(guard->Check("whatif.train"));
+      // Indicator of the residual pattern over the sampled rows. The mask
+      // kernel evaluates all rows branch-free and the gather keeps exactly
+      // the sampled ones; on ineligible trees the per-row loop (which can
+      // also surface evaluation errors) runs instead.
+      std::vector<uint8_t> ind_mask;
+      if (options.vectorized_exec && exact->TryMaskKernel(&ind_mask)) {
+        for (size_t i = 0; i < train_rows.size(); ++i) {
+          ind[i] = ind_mask[train_rows[i]] != 0 ? 1.0 : 0.0;
         }
-        HYPER_ASSIGN_OR_RETURN(bool b, exact->EvalBool(train_rows[i]));
-        ind[i] = b ? 1.0 : 0.0;
+      } else {
+        for (size_t i = 0; i < train_rows.size(); ++i) {
+          if (gov_loop.Due()) {
+            HYPER_RETURN_NOT_OK(guard->Check("whatif.train"));
+          }
+          HYPER_ASSIGN_OR_RETURN(bool b, exact->EvalBool(train_rows[i]));
+          ind[i] = b ? 1.0 : 0.0;
+        }
       }
       pat.weight = MakeEstimator(options);
       HYPER_RETURN_NOT_OK(
@@ -1274,8 +1299,13 @@ struct LearnStageData {
 struct QueryStageData {
   std::shared_ptr<const ScopeStageData> built_on;
   CompiledWhatIf q;
-  std::vector<bool> in_s;
+  /// 0/1 When mask (same byte layout EvalPredicateMask produces, so it feeds
+  /// PostImage::set_active and the SIMD mask kernels without conversion).
+  std::vector<uint8_t> in_s;
   size_t updated = 0;
+  /// Snapshot of WhatIfOptions::vectorized_exec at build time; lazily-built
+  /// residual entries follow it so one stage never mixes paths.
+  bool vectorized = true;
 
   std::optional<relational::ColumnBoundExpr> out_eval;
   /// Per-row observed output values (pre image), precomputed once per
@@ -1348,11 +1378,17 @@ struct QueryStageData {
       if (holes_row_invariant) {
         // One entry serves every row: cache the pre-image qualification so
         // repeated evaluations of this plan skip the per-row re-evaluation.
+        // The mask kernel only fires on trees it can prove error-free, so
+        // its 0/1 output is exactly the scalar tri-state without any 2s.
         const size_t n = built_on->cview.num_rows();
-        e->exact_vals.resize(n);
-        for (size_t r = 0; r < n; ++r) {
-          auto qr = e->exact->EvalBool(r);
-          e->exact_vals[r] = qr.ok() ? (*qr ? 1 : 0) : 2;
+        if (vectorized && e->exact->TryMaskKernel(&e->exact_vals)) {
+          // done: exact_vals[r] == (EvalBool(r) ? 1 : 0) for every row.
+        } else {
+          e->exact_vals.resize(n);
+          for (size_t r = 0; r < n; ++r) {
+            auto qr = e->exact->EvalBool(r);
+            e->exact_vals[r] = qr.ok() ? (*qr ? 1 : 0) : 2;
+          }
         }
       }
     }
@@ -1496,6 +1532,13 @@ Result<std::shared_ptr<const CausalStageData>> BuildCausalStage(
   }
   stage->block_rows = BuildBlockRows(q, db, graph, options.use_blocks,
                                      scope.cview.num_rows());
+  stage->identity_blocks =
+      stage->block_rows.size() == scope.cview.num_rows();
+  for (size_t b = 0; stage->identity_blocks && b < stage->block_rows.size();
+       ++b) {
+    stage->identity_blocks =
+        stage->block_rows[b].size() == 1 && stage->block_rows[b][0] == b;
+  }
   return std::shared_ptr<const CausalStageData>(std::move(stage));
 }
 
@@ -1548,8 +1591,27 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
     const Column& bc = cview.col(plan.update_cols[spec.update_index]);
     LearnStageData::PsiPrep& prep = stage->psi[p];
     prep.pre_b.resize(n);
-    for (size_t r = 0; r < n; ++r) {
-      HYPER_ASSIGN_OR_RETURN(prep.pre_b[r], ReadColumnDouble(cview, bc, r));
+    if (options.vectorized_exec && !bc.has_nulls() &&
+        bc.kind != ColumnKind::kCode) {
+      // Bulk typed widening — value-for-value what ReadColumnDouble returns
+      // on a null-free numeric column.
+      switch (bc.kind) {
+        case ColumnKind::kInt64:
+          simd::I64ToF64(bc.i64.data(), n, prep.pre_b.data());
+          break;
+        case ColumnKind::kDouble:
+          std::copy(bc.f64.begin(), bc.f64.end(), prep.pre_b.begin());
+          break;
+        case ColumnKind::kBool:
+          simd::U8ToF64(bc.b8.data(), n, prep.pre_b.data());
+          break;
+        case ColumnKind::kCode:
+          break;  // excluded above
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        HYPER_ASSIGN_OR_RETURN(prep.pre_b[r], ReadColumnDouble(cview, bc, r));
+      }
     }
     uint32_t num_groups = 0;
     HYPER_ASSIGN_OR_RETURN(prep.gid,
@@ -1613,6 +1675,48 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
     }
   }
 
+  // Residual dedup grouping: rows keyed by the bytes of their non-update
+  // feature columns (update features come first in the plan layout). A
+  // Set-update evaluation with no psi features then resolves each affected
+  // row's batch slot from its group id instead of hashing the full feature
+  // point per row; byte equality here is exactly the memcmp the per-row
+  // dedup applies, so the slot assignment is identical.
+  if (options.vectorized_exec) {
+    const size_t first = q.updates.size();
+    stage->residual_gid.resize(n);
+    std::unordered_map<uint64_t, std::vector<uint32_t>> gid_of_hash;
+    std::vector<uint32_t> group_rep;  // first row of each group
+    for (size_t r = 0; r < n; ++r) {
+      Fnv1a hasher;
+      for (size_t j = first; j < num_features; ++j) {
+        uint64_t bits;
+        std::memcpy(&bits, &stage->feat[j][r], sizeof(bits));
+        hasher.Mix(bits);
+      }
+      std::vector<uint32_t>& candidates = gid_of_hash[hasher.hash()];
+      uint32_t gid = UINT32_MAX;
+      for (uint32_t g : candidates) {
+        const size_t rep = group_rep[g];
+        bool same = true;
+        for (size_t j = first; same && j < num_features; ++j) {
+          same = std::memcmp(&stage->feat[j][r], &stage->feat[j][rep],
+                             sizeof(double)) == 0;
+        }
+        if (same) {
+          gid = g;
+          break;
+        }
+      }
+      if (gid == UINT32_MAX) {
+        gid = static_cast<uint32_t>(group_rep.size());
+        group_rep.push_back(static_cast<uint32_t>(r));
+        candidates.push_back(gid);
+      }
+      stage->residual_gid[r] = gid;
+    }
+    stage->residual_groups = static_cast<uint32_t>(group_rep.size());
+  }
+
   // Training rows (HypeR-sampled caps them).
   if (options.sample_size > 0 && options.sample_size < n) {
     Rng rng(options.seed);
@@ -1665,14 +1769,35 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
     HYPER_ASSIGN_OR_RETURN(relational::ColumnBoundExpr be,
                            relational::ColumnBoundExpr::Bind(ce, cview));
     stage->y_obs.resize(stage->train_rows.size());
-    LoopCheck gov_loop(guard);
-    for (size_t i = 0; i < stage->train_rows.size(); ++i) {
-      if (gov_loop.Due()) {
-        HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.learn"));
+    // Vectorized path: evaluate the full column once, then gather the
+    // sampled rows. If any sampled row errored (division by zero is the only
+    // error an eligible tree can raise), fall back to the per-row loop so
+    // the build fails with exactly the scalar path's error and ordering.
+    bool done = false;
+    if (options.vectorized_exec) {
+      std::vector<double> all;
+      std::vector<uint8_t> err;
+      if (be.TryEvalDoubleKernel(&all, &err)) {
+        bool any_err = false;
+        for (size_t r : stage->train_rows) any_err |= err[r] != 0;
+        if (!any_err) {
+          for (size_t i = 0; i < stage->train_rows.size(); ++i) {
+            stage->y_obs[i] = all[stage->train_rows[i]];
+          }
+          done = true;
+        }
       }
-      HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
-                             be.Eval(stage->train_rows[i]));
-      HYPER_ASSIGN_OR_RETURN(stage->y_obs[i], v.AsDouble());
+    }
+    if (!done) {
+      LoopCheck gov_loop(guard);
+      for (size_t i = 0; i < stage->train_rows.size(); ++i) {
+        if (gov_loop.Due()) {
+          HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.learn"));
+        }
+        HYPER_ASSIGN_OR_RETURN(relational::Scalar v,
+                               be.Eval(stage->train_rows[i]));
+        HYPER_ASSIGN_OR_RETURN(stage->y_obs[i], v.AsDouble());
+      }
     }
   }
   return std::shared_ptr<const LearnStageData>(std::move(stage));
@@ -1680,10 +1805,11 @@ Result<std::shared_ptr<const LearnStageData>> BuildLearnStage(
 
 Result<std::shared_ptr<const QueryStageData>> BuildQueryStage(
     std::shared_ptr<const ScopeStageData> scope_stage, CompiledWhatIf q,
-    const CausalStageData& causal, const ExecGuard* guard) {
+    const CausalStageData& causal, const ExecGuard* guard, bool vectorized) {
   auto stage = std::make_shared<QueryStageData>();
   stage->built_on = scope_stage;
   stage->q = std::move(q);
+  stage->vectorized = vectorized;
   const ColumnTable& cview = scope_stage->cview;
   const size_t n = cview.num_rows();
   if (guard != nullptr) {
@@ -1691,15 +1817,11 @@ Result<std::shared_ptr<const QueryStageData>> BuildQueryStage(
   }
 
   // S membership from the When predicate, via the vectorized mask kernel.
+  // The mask is kept in its 0/1-byte form: it feeds PostImage::set_active
+  // and the branch-free per-row loops directly.
   HYPER_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> s_mask,
-      relational::EvalPredicateMask(stage->q.when.get(), cview));
-  stage->in_s.resize(n);
-  stage->updated = 0;
-  for (size_t r = 0; r < n; ++r) {
-    stage->in_s[r] = s_mask[r] != 0;
-    if (stage->in_s[r]) ++stage->updated;
-  }
+      stage->in_s, relational::EvalPredicateMask(stage->q.when.get(), cview));
+  stage->updated = simd::MaskCount(stage->in_s.data(), n);
 
   // Observed output values (Sum/Avg only), via the compiled output
   // expression evaluated observationally (Post reads the pre image).
@@ -1713,23 +1835,30 @@ Result<std::shared_ptr<const QueryStageData>> BuildQueryStage(
     stage->out_eval = std::move(be);
     // All-row output values, evaluated once: the Evaluate hot loop reads
     // them directly. Errors do not fail the build — they are recorded and
-    // reproduced only if Evaluate actually consults that row.
-    stage->out_all.resize(n);
-    stage->out_err.assign(n, 0);
-    LoopCheck gov_loop(guard);
-    for (size_t r = 0; r < n; ++r) {
-      if (gov_loop.Due()) {
-        HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.query"));
-      }
-      auto vr = stage->out_eval->Eval(r);
-      if (vr.ok()) {
-        auto dr = vr->AsDouble();
-        if (dr.ok()) {
-          stage->out_all[r] = *dr;
-          continue;
+    // reproduced only if Evaluate actually consults that row. The numeric
+    // kernel only fires on trees whose sole reachable error is division by
+    // zero, and it reports exactly those rows in out_err, so both paths
+    // produce identical (out_all, out_err) pairs.
+    if (!vectorized ||
+        !stage->out_eval->TryEvalDoubleKernel(&stage->out_all,
+                                              &stage->out_err)) {
+      stage->out_all.assign(n, 0.0);
+      stage->out_err.assign(n, 0);
+      LoopCheck gov_loop(guard);
+      for (size_t r = 0; r < n; ++r) {
+        if (gov_loop.Due()) {
+          HYPER_RETURN_NOT_OK(guard->Check("whatif.prepare.query"));
         }
+        auto vr = stage->out_eval->Eval(r);
+        if (vr.ok()) {
+          auto dr = vr->AsDouble();
+          if (dr.ok()) {
+            stage->out_all[r] = *dr;
+            continue;
+          }
+        }
+        stage->out_err[r] = 1;
       }
-      stage->out_err[r] = 1;
     }
   }
 
@@ -1932,7 +2061,7 @@ Result<std::shared_ptr<const PreparedWhatIf>> WhatIfEngine::Prepare(
       (StagedOrFresh<QueryStageData>(
           ctx, staged, StageKind::kQuery, query_key, [&] {
             return BuildQueryStage(scope_stage, std::move(q), *causal_stage,
-                                   guard.get());
+                                   guard.get(), options_.vectorized_exec);
           })));
 
   // --- assembly ------------------------------------------------------------
@@ -1975,7 +2104,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   const size_t n = cview.num_rows();
   const std::vector<size_t>& update_cols = ca.plan.update_cols;
   const std::vector<WhatIfPlan::PsiSpec>& psi_specs = ca.plan.psi_specs;
-  const std::vector<bool>& in_s = qs.in_s;
+  const std::vector<uint8_t>& in_s = qs.in_s;
   const size_t updated = qs.updated;
   const size_t num_features = ca.plan.feature_cols.size();
 
@@ -2025,20 +2154,49 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     if (updated > 0) {
       HYPER_ASSIGN_OR_RETURN(double c, u.constant.AsDouble());
       const Column& col = cview.col(update_cols[j]);
-      for (size_t r = 0; r < n; ++r) {
-        if (!in_s[r]) continue;
-        HYPER_ASSIGN_OR_RETURN(double p, ReadColumnDouble(cview, col, r));
-        upost[j].per_row[r] =
-            u.func == sql::UpdateFuncKind::kScale ? c * p : c + p;
+      if (qs.vectorized && !col.has_nulls() &&
+          col.kind != ColumnKind::kCode) {
+        // Null-free numeric column: widen once, then a branch-free select.
+        // Rows outside S keep the 0.0 the assign above wrote, exactly like
+        // the skipping loop below.
+        std::vector<double> pre(n);
+        switch (col.kind) {
+          case ColumnKind::kInt64:
+            simd::I64ToF64(col.i64.data(), n, pre.data());
+            break;
+          case ColumnKind::kDouble:
+            std::copy(col.f64.begin(), col.f64.end(), pre.begin());
+            break;
+          case ColumnKind::kBool:
+            simd::U8ToF64(col.b8.data(), n, pre.data());
+            break;
+          case ColumnKind::kCode:
+            break;  // excluded above
+        }
+        const bool is_scale = u.func == sql::UpdateFuncKind::kScale;
+        double* out = upost[j].per_row.data();
+        for (size_t r = 0; r < n; ++r) {
+          const double v = is_scale ? c * pre[r] : c + pre[r];
+          out[r] = in_s[r] != 0 ? v : 0.0;
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          if (!in_s[r]) continue;
+          HYPER_ASSIGN_OR_RETURN(double p, ReadColumnDouble(cview, col, r));
+          upost[j].per_row[r] =
+              u.func == sql::UpdateFuncKind::kScale ? c * p : c + p;
+        }
       }
     }
     post_image.SetPerRowDouble(update_cols[j], upost[j].per_row);
   }
   post_image.set_active(&in_s);
 
-  // Post-update psi group means from the precomputed pre sums.
+  // Post-update psi group means from the precomputed pre sums. Without psi
+  // features the changed mask stays unallocated — readers treat empty as
+  // all-zero — so psi-free evaluations skip an n-byte zeroed allocation.
   std::vector<std::vector<double>> psi_post(psi_specs.size());
-  std::vector<bool> psi_changed(n, false);
+  std::vector<uint8_t> psi_changed(psi_specs.empty() ? 0 : n, 0);
   for (size_t p = 0; p < psi_specs.size(); ++p) {
     const WhatIfPlan::PsiSpec& spec = psi_specs[p];
     const LearnStageData::PsiPrep& prep = le.psi[p];
@@ -2059,10 +2217,12 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       const uint32_t g = prep.gid[r];
       psi_post[p][r] = sum_post[g] / static_cast<double>(prep.counts[g]);
       if (std::fabs(prep.psi_pre[r] - psi_post[p][r]) > 1e-12) {
-        psi_changed[r] = true;
+        psi_changed[r] = 1;
       }
     }
   }
+
+  const uint8_t* psic = psi_changed.empty() ? nullptr : psi_changed.data();
 
   // Encoded Set-update feature values (one per update, not per row).
   std::vector<double> set_feature(updates.size(), 0.0);
@@ -2130,7 +2290,36 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   // across every plan assembled on it); evaluations snapshot raw pointers
   // so Pass B runs lock-free.
   double train_seconds = 0.0;
-  std::vector<uint32_t> entry_of_row(n);
+  // Row-invariant holes (constant thresholds, or no For predicate at all):
+  // every row folds to the same residual, so resolve the shared entry once
+  // and skip the per-row hole evaluation + cache lookup entirely. Gated on
+  // batched_inference: the flag-off path faithfully reproduces the legacy
+  // per-row evaluation loop for A/B measurement.
+  const bool uniform = qs.holes_row_invariant && batched;
+  const bool all_set = [&] {
+    for (const UpdatePost& u : upost) {
+      if (!u.is_set) return false;
+    }
+    return true;
+  }();
+  // Identity singleton blocks on a single-threaded budget take a flat
+  // row-order pass in Pass B below — the per-block merge in block order IS
+  // a row-order fold there, so the per-block accumulator, partial, and
+  // status arrays are pure overhead (one heap pair + Status per tuple).
+  const bool flat_blocks =
+      qs.vectorized && ca.identity_blocks && block_threads <= 1;
+  // Fast Pass A for the common serving shape — row-invariant holes, Set
+  // updates only, no psi features: every affected row's post-update point
+  // is (constant set features) ++ (its non-update feature bytes), so the
+  // LearnStage's precomputed residual grouping IS the dedup. Affected rows
+  // map to batch slots with one array read; the slots, the gathered feature
+  // points, and their order are identical to the hashing loop in the else
+  // branch below (first appearance in row order, byte equality).
+  const bool fast_pass_a = uniform && all_set && psi_specs.empty() &&
+                           qs.vectorized && !le.residual_gid.empty();
+  // A flat uniform Pass B reads the shared entry directly, so the fast
+  // Pass A can skip both the entry map and its n-slot zeroed allocation.
+  std::vector<uint32_t> entry_of_row(fast_pass_a && flat_blocks ? 0 : n);
   std::vector<const QueryStageData::Entry*> local_entries;
   std::vector<const PatternEstimators*> pattern_of_entry;
   std::unordered_map<std::vector<Value>, uint32_t, ValueVectorHash,
@@ -2146,12 +2335,6 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       pattern_of_entry.resize(id + 1, nullptr);
     }
   };
-  // Row-invariant holes (constant thresholds, or no For predicate at all):
-  // every row folds to the same residual, so resolve the shared entry once
-  // and skip the per-row hole evaluation + cache lookup entirely. Gated on
-  // batched_inference: the flag-off path faithfully reproduces the legacy
-  // per-row evaluation loop for A/B measurement.
-  const bool uniform = qs.holes_row_invariant && batched;
   uint32_t uniform_id = 0;
   if (uniform) {
     for (const relational::ColumnBoundExpr& he : hole_eval) {
@@ -2164,6 +2347,56 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     local_entries[uniform_id] = qs.entries[uniform_id].get();
   }
 
+  if (fast_pass_a) {
+    if (!flat_blocks) {
+      std::fill(entry_of_row.begin(), entry_of_row.end(), uniform_id);
+    }
+    const QueryStageData::Entry& e = *local_entries[uniform_id];
+    if (!(e.is_literal && !e.literal_value)) {
+      const uint32_t* gid = le.residual_gid.data();
+      std::vector<uint32_t> slot_of_gid(le.residual_groups, UINT32_MAX);
+      const PatternEstimators* pat = nullptr;
+      EntryBatch* eb = nullptr;
+      // Guard checkpoints per stride instead of per row: the body is a few
+      // loads, so a stride keeps cancellation latency in the microseconds
+      // while removing the per-row counter from the hot loop.
+      constexpr size_t kGuardStride = 4096;
+      bool done = false;
+      for (size_t base = 0; base < n && !done; base += kGuardStride) {
+        if (guard != nullptr) {
+          HYPER_RETURN_NOT_OK(guard->Check("whatif.eval.rows"));
+        }
+        const size_t lim = std::min(n, base + kGuardStride);
+        for (size_t r = base; r < lim; ++r) {
+          if (!in_s[r]) continue;  // psi_changed is all-zero with no psi
+          if (pat == nullptr) {
+            bool was_cached = false;
+            HYPER_ASSIGN_OR_RETURN(
+                pat, le.EnsurePattern(e.key, e.is_literal, e.literal_value,
+                                      e.exact.has_value() ? &*e.exact : nullptr,
+                                      &was_cached, &train_seconds, guard));
+            pattern_of_entry[uniform_id] = pat;
+            if (used_patterns.insert(pat).second && was_cached) ++pattern_hits;
+            if (pat->weight == nullptr && pat->value == nullptr) {
+              done = true;  // literal pattern: nothing to batch, training done
+              break;
+            }
+            if (uniform_id >= batches.size()) batches.resize(uniform_id + 1);
+            eb = &batches[uniform_id];
+          }
+          const uint32_t g = gid[r];
+          uint32_t slot = slot_of_gid[g];
+          if (slot == UINT32_MAX) {
+            slot = eb->count++;
+            slot_of_gid[g] = slot;
+            emit_features(r, point.data());
+            eb->feat.insert(eb->feat.end(), point.begin(), point.end());
+          }
+          slot_of_row[r] = slot;
+        }
+      }
+    }
+  } else {
   LoopCheck pass_a_check(guard);
   for (size_t r = 0; r < n; ++r) {
     if (pass_a_check.Due()) {
@@ -2192,7 +2425,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     entry_of_row[r] = id;
     const QueryStageData::Entry& e = *local_entries[id];
     if (e.is_literal && !e.literal_value) continue;  // disqualified
-    if (!(in_s[r] || psi_changed[r])) continue;      // exact in Pass B
+    if (!(in_s[r] || (psic != nullptr && psic[r]))) continue;  // Pass B
     if (pattern_of_entry[id] == nullptr) {
       // Train (or fetch) on the LearnStage — entries are immutable once
       // published, so the residual evaluates outside the entry lock.
@@ -2233,6 +2466,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     }
     slot_of_row[r] = slot;
   }
+  }
 
   // Batched inference: one PredictBatch per (pattern, estimator) over the
   // distinct feature points collected above.
@@ -2258,9 +2492,9 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
   // read-only here — and the partials merge in block order, bit-identical
   // to a sequential fold.
   const std::vector<std::vector<size_t>>& block_rows = ca.block_rows;
-  std::vector<std::pair<double, double>> partials(block_rows.size(),
-                                                  {0.0, 0.0});
-  std::vector<Status> block_status(block_rows.size());
+  std::vector<std::pair<double, double>> partials(
+      flat_blocks ? 0 : block_rows.size(), {0.0, 0.0});
+  std::vector<Status> block_status(flat_blocks ? 0 : block_rows.size());
   auto eval_block = [&](size_t b) -> Status {
     // Aborts are sticky and monotone, so once any shard trips the guard
     // every later checking block returns the same typed status; the
@@ -2284,7 +2518,7 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
       const uint32_t id = entry_of_row[r];
       const QueryStageData::Entry& e = *local_entries[id];
       if (e.is_literal && !e.literal_value) continue;  // disqualified
-      const bool affected = in_s[r] || psi_changed[r];
+      const bool affected = in_s[r] || (psic != nullptr && psic[r]);
       if (!affected) {
         // Unchanged tuple: post == pre, everything is exact. Qualification
         // and output value come from the stage-level caches when present;
@@ -2347,7 +2581,141 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     return Status::OK();
   };
 
-  if (block_threads <= 1 || block_rows.size() <= 1) {
+  prob::BlockAccumulator acc(q.output_agg);
+  if (flat_blocks) {
+    // Same row body as eval_block, same += sequence as the block-ordered
+    // merge (starting from +0.0 the partial can never be -0.0, so one merge
+    // of the flat totals is bit-identical to n singleton merges). Errors
+    // surface as the first failing row, which is the first failing block.
+    double num = 0.0, den = 0.0;
+    LoopCheck flat_check(guard);
+    // Branchless specialization for the dominant serving shape: one shared
+    // entry, batched Count with a trained weight estimator and a cached
+    // qualification mask. Every row adds exactly what the generic body
+    // adds — non-qualifying and zero-weight rows contribute +0.0, which is
+    // bit-identical to skipping them because the partial starts at +0.0 and
+    // only ever accumulates non-negative clamped weights (it can never be
+    // -0.0). Replacing the affected/unaffected branch with a select removes
+    // the data-dependent mispredictions that dominate this loop on mixed
+    // selections.
+    const QueryStageData::Entry* ue = uniform ? local_entries[uniform_id]
+                                              : nullptr;
+    const PatternEstimators* upat =
+        uniform ? pattern_of_entry[uniform_id] : nullptr;
+    const bool table_disqualified =
+        uniform && ue->is_literal && !ue->literal_value;
+    const bool turbo_count =
+        uniform && batched && !table_disqualified && psi_specs.empty() &&
+        q.output_agg == sql::AggKind::kCount && !ue->is_literal &&
+        !ue->exact_vals.empty() && upat != nullptr && !upat->literal &&
+        upat->weight != nullptr && uniform_id < batches.size() &&
+        !batches[uniform_id].weights.empty() && !qs.out_eval.has_value();
+    if (table_disqualified) {
+      // Every tuple resolves to a disqualified literal entry: the fold is
+      // empty and the zero partial below is all that remains.
+    } else if (turbo_count) {
+      const uint8_t* qual = ue->exact_vals.data();
+      const uint8_t* aff = in_s.data();
+      const double* w = batches[uniform_id].weights.data();
+      const uint32_t* slots = slot_of_row.data();
+      // Stride-level guard checkpoints (see Pass A): microsecond-scale
+      // cancellation latency without a per-row counter or branch.
+      constexpr size_t kGuardStride = 4096;
+      for (size_t base = 0; base < n; base += kGuardStride) {
+        if (guard != nullptr) {
+          HYPER_RETURN_NOT_OK(guard->Check("whatif.eval.blocks"));
+        }
+        const size_t lim = std::min(n, base + kGuardStride);
+        for (size_t r = base; r < lim; ++r) {
+          const bool affd = aff[r] != 0;
+          const uint8_t v = qual[r];
+          if (v == 2 && !affd) {  // cache miss: per-row evaluator decides
+            HYPER_ASSIGN_OR_RETURN(const bool qb, ue->exact->EvalBool(r));
+            num += qb ? 1.0 : 0.0;
+            continue;
+          }
+          // Unaffected slots read w[0] harmlessly (weights is non-empty);
+          // the select keeps only the arm the generic body would take.
+          const double unw = v != 0 ? 1.0 : 0.0;
+          const double wa = Clamp01(w[slots[r]]);
+          num += affd ? wa : unw;
+        }
+      }
+    } else {
+    std::vector<double> x(batched ? 0 : dims);
+    for (size_t r = 0; r < n; ++r) {
+      if (guard != nullptr && (r & 63) == 0) {
+        HYPER_RETURN_NOT_OK(guard->Check("whatif.eval.blocks"));
+      }
+      if (flat_check.Due()) {
+        HYPER_RETURN_NOT_OK(guard->Check("whatif.eval.blocks"));
+      }
+      const uint32_t id = uniform ? uniform_id : entry_of_row[r];
+      const QueryStageData::Entry& e = *local_entries[id];
+      if (e.is_literal && !e.literal_value) continue;  // disqualified
+      double weight = 0.0, weighted_value = 0.0;
+      const bool affected = in_s[r] || (psic != nullptr && psic[r]);
+      if (!affected) {
+        bool qualifies = e.literal_value;
+        if (!e.is_literal) {
+          if (batched && !e.exact_vals.empty()) {
+            const uint8_t v = e.exact_vals[r];
+            if (v == 2) {
+              HYPER_ASSIGN_OR_RETURN(qualifies, e.exact->EvalBool(r));
+            } else {
+              qualifies = v != 0;
+            }
+          } else {
+            HYPER_ASSIGN_OR_RETURN(qualifies, e.exact->EvalBool(r));
+          }
+        }
+        if (!qualifies) continue;
+        double value = 0.0;
+        if (qs.out_eval.has_value()) {
+          if (!batched || qs.out_err[r]) {
+            HYPER_ASSIGN_OR_RETURN(relational::Scalar vs, qs.out_eval->Eval(r));
+            HYPER_ASSIGN_OR_RETURN(value, vs.AsDouble());
+          } else {
+            value = qs.out_all[r];
+          }
+        }
+        weight = 1.0;
+        weighted_value = value;
+      } else {
+        const PatternEstimators* pat = pattern_of_entry[id];
+        if (batched) {
+          weight = pat->literal ? (pat->literal_value ? 1.0 : 0.0)
+                                : Clamp01(batches[id].weights[slot_of_row[r]]);
+          if (weight <= 0.0) continue;
+          if (pat->value != nullptr) {
+            weighted_value = batches[id].values[slot_of_row[r]];
+          }
+        } else {
+          emit_features(r, x.data());
+          weight = pat->literal ? (pat->literal_value ? 1.0 : 0.0)
+                                : Clamp01(pat->weight->Predict(x));
+          if (weight <= 0.0) continue;
+          if (pat->value != nullptr) weighted_value = pat->value->Predict(x);
+        }
+      }
+      switch (q.output_agg) {
+        case sql::AggKind::kCount:
+          num += weight;
+          break;
+        case sql::AggKind::kSum:
+          num += weighted_value;
+          break;
+        case sql::AggKind::kAvg:
+          num += weighted_value;
+          den += weight;
+          break;
+        default:
+          break;
+      }
+    }
+    }
+    acc.MergeBlockPartial(num, den);
+  } else if (block_threads <= 1 || block_rows.size() <= 1) {
     for (size_t b = 0; b < block_rows.size(); ++b) {
       block_status[b] = eval_block(b);
     }
@@ -2355,16 +2723,21 @@ Result<WhatIfResult> EvaluatePrepared(const PreparedWhatIf::Impl& im,
     // Any parallel setting shares the process-wide hardware-sized pool:
     // spawning threads per query would dominate small queries, and the
     // block merge is order-fixed, so the answer never depends on the
-    // worker count anyway.
-    ThreadPool::Shared().ParallelFor(
-        block_rows.size(), [&](size_t b) { block_status[b] = eval_block(b); },
+    // worker count anyway. Blocks are claimed morsel-wise (64 at a time;
+    // single-tuple blocks dominate, so per-block claiming would be all
+    // contention) and the work-stealing deques rebalance skewed block
+    // sizes; partials land at fixed indices either way.
+    ThreadPool::Shared().ParallelForRange(
+        block_rows.size(), /*grain=*/64,
+        [&](size_t begin, size_t end) {
+          for (size_t b = begin; b < end; ++b) block_status[b] = eval_block(b);
+        },
         /*max_parallelism=*/block_threads);
   }
   for (const Status& s : block_status) {
     HYPER_RETURN_NOT_OK(s);
   }
 
-  prob::BlockAccumulator acc(q.output_agg);
   for (const auto& [num, den] : partials) {
     acc.MergeBlockPartial(num, den);
   }

@@ -157,6 +157,14 @@ struct WhatIfOptions {
   /// per-row prediction loop, kept for A/B benchmarking; both paths return
   /// bit-for-bit identical answers.
   bool batched_inference = true;
+  /// Vectorized execution (default): per-row constant loops (When masks,
+  /// output values, psi baselines, training targets, exact-pattern
+  /// indicators) go through the SIMD-dispatched column kernels of
+  /// relational::ColumnBoundExpr when the expression tree is eligible. Off =
+  /// the per-row scalar loops, kept for A/B benchmarking; both paths return
+  /// bit-for-bit identical answers (the kernels reproduce the scalar
+  /// evaluator exactly), so this flag is not part of any cache key.
+  bool vectorized_exec = true;
   /// Staged prepare (default): Prepare consults the per-stage cache of the
   /// StageContext it was given, sharing Scope/Causal/Learn/Query stages
   /// across plans whose keys agree (and patching branch deltas into a cached

@@ -259,6 +259,70 @@ TEST(ColumnTableTest, ApplyOverridesRejectsKindChangingValues) {
 }
 
 // ---------------------------------------------------------------------------
+// Segment partitioning: DirtySegments must name exactly the 64k-row
+// segments an override set touches (the what-if engine repatches only
+// those), and a patch landing on the first row of a segment — the exact
+// 64k boundary — must not leak into the neighbouring segment.
+// ---------------------------------------------------------------------------
+
+TEST(ColumnTableTest, ApplyOverridesAtSegmentBoundary) {
+  const size_t rows = ColumnTable::kSegmentRows + 10;
+  Table t(Schema("T", {{"I", ValueType::kInt, Mutability::kMutable}}, {}));
+  for (size_t r = 0; r < rows; ++r) {
+    t.AppendUnchecked({Value::Int(static_cast<int64_t>(r % 97))});
+  }
+  auto base = ColumnTable::FromTable(t);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->num_segments(), 2u);
+  EXPECT_EQ(base->SegmentBounds(0).second, ColumnTable::kSegmentRows);
+  EXPECT_EQ(base->SegmentBounds(1).first, ColumnTable::kSegmentRows);
+  EXPECT_EQ(base->SegmentBounds(1).second, rows);
+
+  // Patch the last row of segment 0, the first row of segment 1 (the cell
+  // exactly on the 64k boundary), and the table's two end rows.
+  const size_t last0 = ColumnTable::kSegmentRows - 1;
+  const size_t first1 = ColumnTable::kSegmentRows;
+  TableCellOverrides overrides;
+  overrides[0][last0] = Value::Int(-1);
+  overrides[0][first1] = Value::Int(-2);
+  overrides[0][0] = Value::Int(-3);
+  overrides[0][rows - 1] = Value::Int(-4);
+
+  ColumnTable patched = *base;
+  ASSERT_TRUE(patched.ApplyOverrides(overrides).ok());
+  EXPECT_TRUE(patched.GetValue(last0, 0).Equals(Value::Int(-1)));
+  EXPECT_TRUE(patched.GetValue(first1, 0).Equals(Value::Int(-2)));
+  EXPECT_TRUE(patched.GetValue(0, 0).Equals(Value::Int(-3)));
+  EXPECT_TRUE(patched.GetValue(rows - 1, 0).Equals(Value::Int(-4)));
+  // Neighbours of the boundary cells are untouched.
+  EXPECT_TRUE(patched.GetValue(last0 - 1, 0).Equals(base->GetValue(last0 - 1, 0)));
+  EXPECT_TRUE(
+      patched.GetValue(first1 + 1, 0).Equals(base->GetValue(first1 + 1, 0)));
+}
+
+TEST(ColumnTableTest, DirtySegmentsAreSortedAndIgnoreStaleCells) {
+  const size_t rows = 2 * ColumnTable::kSegmentRows + 5;
+  Table t(Schema("T", {{"I", ValueType::kInt, Mutability::kMutable}}, {}));
+  for (size_t r = 0; r < rows; ++r) {
+    t.AppendUnchecked({Value::Int(1)});
+  }
+  auto ct = ColumnTable::FromTable(t);
+  ASSERT_TRUE(ct.ok());
+  ASSERT_EQ(ct->num_segments(), 3u);
+
+  EXPECT_TRUE(ct->DirtySegments({}).empty());
+
+  TableCellOverrides overrides;
+  overrides[0][2 * ColumnTable::kSegmentRows] = Value::Int(5);  // segment 2
+  overrides[0][3] = Value::Int(5);                              // segment 0
+  overrides[0][ColumnTable::kSegmentRows - 1] = Value::Int(5);  // segment 0
+  overrides[0][rows + 100] = Value::Int(5);   // stale row: ignored
+  overrides[7][10] = Value::Int(5);           // stale attr: ignored
+  const std::vector<size_t> dirty = ct->DirtySegments(overrides);
+  EXPECT_EQ(dirty, (std::vector<size_t>{0, 2}));
+}
+
+// ---------------------------------------------------------------------------
 // Compiled expressions: row mode, columnar mode, and the mask kernel all
 // agree with the interpreting evaluator.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,13 @@
+// Fixture (under a partition dir name): atomic RMW fold of partial results
+// — must FIRE raw-atomic-partition.
+#include <atomic>
+#include <cstddef>
+
+double FoldPartials(const double* block_sums, size_t n) {
+  std::atomic<long> folded{0};
+  for (size_t b = 0; b < n; ++b) {
+    folded.fetch_add(static_cast<long>(block_sums[b]),
+                     std::memory_order_relaxed);
+  }
+  return static_cast<double>(folded.load());
+}

@@ -1,0 +1,15 @@
+// Fixture: per-block partials merged in block order (no atomics), plus an
+// annotated diagnostics counter — must NOT fire.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+double FoldPartials(const double* block_sums, size_t n,
+                    std::atomic<size_t>* blocks_seen) {
+  std::vector<double> partials(block_sums, block_sums + n);
+  double total = 0.0;
+  for (size_t b = 0; b < n; ++b) total += partials[b];
+  blocks_seen->fetch_add(  // lint:allow(raw-atomic-partition): metrics counter, never folded into a served value
+      n);
+  return total;
+}

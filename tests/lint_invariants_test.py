@@ -27,6 +27,7 @@ def main():
         ("fail_cache_key.h", "cache-key-governance"),
         ("service/fail_unordered_iter.cc", "unordered-iter"),
         ("whatif/fail_steady_clock.cc", "steady-clock"),
+        ("whatif/fail_raw_atomic.cc", "raw-atomic-partition"),
         ("fail_void_cast.cc", "void-cast"),
     ]
     failures = []
@@ -43,7 +44,8 @@ def main():
             print(f"ok: {rel} fires [{rule}]")
 
     for rel in ("pass_cache_key.h", "service/pass_unordered_iter.cc",
-                "whatif/pass_steady_clock.cc", "pass_void_cast.cc"):
+                "whatif/pass_steady_clock.cc", "whatif/pass_raw_atomic.cc",
+                "pass_void_cast.cc"):
         r = run_linter(repo, os.path.join(fixtures, rel))
         if r.returncode != 0:
             failures.append(f"{rel}: expected clean, got exit "

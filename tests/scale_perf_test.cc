@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "data/datasets.h"
+#include "relational/compiled.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+#include "storage/column.h"
+#include "whatif/engine.h"
+
+namespace hyper {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 100k-row perf-smoke gates. These are the scaled-down ctest mirror of the
+// bench_micro scale sweep: they run the same 100k configuration check.sh
+// times, but assert only the bit-equality contracts (timing assertions would
+// flake under sanitizers and loaded CI hosts). 100k rows spans two 64k
+// column segments, so the kernel paths cross a segment boundary and the
+// what-if paths exercise the segment-partitioned override/patch machinery.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kRows = 100000;
+
+/// Restores the process-wide execution knobs (SIMD force-scalar flag and
+/// scheduling mode) that the legacy arm flips.
+class ScopedExecutionKnobs {
+ public:
+  ScopedExecutionKnobs()
+      : saved_scalar_(simd::ForceScalar()),
+        saved_mode_(CurrentSchedulingMode()) {}
+  ~ScopedExecutionKnobs() {
+    simd::SetForceScalar(saved_scalar_);
+    SetSchedulingMode(saved_mode_);
+  }
+
+ private:
+  bool saved_scalar_;
+  SchedulingMode saved_mode_;
+};
+
+data::Dataset MakeGerman() {
+  data::GermanOptions gopt;
+  gopt.rows = kRows;
+  auto ds = data::MakeGermanSyn(gopt);
+  EXPECT_TRUE(ds.ok()) << ds.status();
+  return std::move(ds).value();
+}
+
+// The pre-PR execution configuration: per-row expression loops, scalar SIMD
+// level, static shards. Any divergence from the vectorized default is a
+// correctness bug, not a perf regression.
+TEST(ScalePerfTest, WhatIfLegacyVsVectorizedBitEqualAt100k) {
+  ScopedExecutionKnobs knobs;
+  auto ds = MakeGerman();
+  auto stmt = sql::ParseSql(
+      "Use German When Status = 1 Update(Status) = 2 Output Count(Credit = 1)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_NE(stmt->whatif, nullptr);
+
+  const auto run = [&](bool vectorized, size_t threads) {
+    whatif::WhatIfOptions options;
+    options.estimator = learn::EstimatorKind::kFrequency;
+    options.num_threads = threads;
+    options.vectorized_exec = vectorized;
+    if (!vectorized) {
+      simd::SetForceScalar(true);
+      SetSchedulingMode(SchedulingMode::kStatic);
+    } else {
+      simd::SetForceScalar(false);
+      SetSchedulingMode(SchedulingMode::kMorsel);
+    }
+    whatif::WhatIfEngine engine(&ds.db, &ds.graph, options);
+    auto result = engine.Run(*stmt->whatif);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? result->value : 0.0;
+  };
+
+  const double legacy = run(/*vectorized=*/false, /*threads=*/1);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const double vectorized = run(/*vectorized=*/true, threads);
+    uint64_t got = 0, want = 0;
+    std::memcpy(&got, &vectorized, sizeof(got));
+    std::memcpy(&want, &legacy, sizeof(want));
+    ASSERT_EQ(got, want) << "threads=" << threads;
+  }
+}
+
+// Kernel-vs-per-row equality for the two expression kernels the engine leans
+// on (When-mask and double projection), across a >1-segment table.
+TEST(ScalePerfTest, ExpressionKernelsMatchPerRowAt100k) {
+  ScopedExecutionKnobs knobs;
+  auto ds = MakeGerman();
+  const Table& t = *ds.db.GetTable("German").value();
+  auto ct_or = ColumnTable::FromTable(t);
+  ASSERT_TRUE(ct_or.ok()) << ct_or.status();
+  const ColumnTable& ct = *ct_or;
+  ASSERT_GT(ct.num_segments(), 1u);
+
+  const Schema& schema = t.schema();
+  const std::vector<relational::ScopedTuple> scope{
+      relational::ScopedTuple{schema.relation_name(), &schema}};
+
+  {
+    auto pred = sql::MakeBinary(
+        sql::BinaryOp::kAnd,
+        sql::MakeBinary(sql::BinaryOp::kEq, sql::MakeColumnRef("", "Status"),
+                        sql::MakeLiteral(Value::Int(1))),
+        sql::MakeBinary(sql::BinaryOp::kGe, sql::MakeColumnRef("", "Age"),
+                        sql::MakeLiteral(Value::Int(1))));
+    auto compiled = relational::CompiledExpr::Compile(*pred, scope);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    auto bound = relational::ColumnBoundExpr::Bind(*compiled, ct);
+    ASSERT_TRUE(bound.ok()) << bound.status();
+
+    std::vector<uint8_t> per_row(kRows);
+    for (size_t r = 0; r < kRows; ++r) {
+      auto b = bound->EvalBool(r);
+      ASSERT_TRUE(b.ok()) << b.status();
+      per_row[r] = *b ? 1 : 0;
+    }
+    for (bool force : {true, false}) {
+      simd::SetForceScalar(force);
+      std::vector<uint8_t> mask;
+      ASSERT_TRUE(bound->TryMaskKernel(&mask)) << "force=" << force;
+      ASSERT_EQ(mask.size(), kRows);
+      ASSERT_EQ(std::memcmp(mask.data(), per_row.data(), kRows), 0)
+          << "force=" << force;
+    }
+  }
+
+  {
+    auto expr = sql::MakeBinary(
+        sql::BinaryOp::kAdd, sql::MakeColumnRef("", "CreditAmount"),
+        sql::MakeBinary(sql::BinaryOp::kMul, sql::MakeLiteral(Value::Int(2)),
+                        sql::MakeColumnRef("", "Age")));
+    auto compiled = relational::CompiledExpr::Compile(*expr, scope);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    auto bound = relational::ColumnBoundExpr::Bind(*compiled, ct);
+    ASSERT_TRUE(bound.ok()) << bound.status();
+
+    std::vector<double> per_row(kRows);
+    for (size_t r = 0; r < kRows; ++r) {
+      auto v = bound->Eval(r);
+      ASSERT_TRUE(v.ok()) << v.status();
+      auto d = v->AsDouble();
+      ASSERT_TRUE(d.ok()) << d.status();
+      per_row[r] = *d;
+    }
+    for (bool force : {true, false}) {
+      simd::SetForceScalar(force);
+      std::vector<double> vals;
+      std::vector<uint8_t> err;
+      ASSERT_TRUE(bound->TryEvalDoubleKernel(&vals, &err)) << "force=" << force;
+      ASSERT_EQ(vals.size(), kRows);
+      for (size_t r = 0; r < kRows; ++r) ASSERT_EQ(err[r], 0) << r;
+      ASSERT_EQ(std::memcmp(vals.data(), per_row.data(),
+                            kRows * sizeof(double)),
+                0)
+          << "force=" << force;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hyper
